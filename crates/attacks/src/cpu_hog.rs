@@ -1,0 +1,118 @@
+//! CPU DoS: spin loops that try to monopolize the processor, optionally
+//! requesting real-time priority (which Docker-confined tasks are denied,
+//! §III-C — the ablation benches flip that protection off).
+
+use container_rt::container::Container;
+use rt_sched::machine::Machine;
+use rt_sched::task::{Activation, Cost, CpuSet, SchedPolicy, TaskId, TaskSpec};
+use sim_core::time::SimDuration;
+
+/// A CPU-hogging attack: `threads` spin loops, optionally demanding
+/// `SCHED_FIFO` at a priority that would dominate the safety controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuHog {
+    /// Number of spinner threads (a fork-bomb-lite).
+    pub threads: usize,
+    /// Whether the attacker tries to raise itself to an RT class.
+    pub request_realtime: bool,
+}
+
+impl CpuHog {
+    /// A single best-effort spinner.
+    pub fn single() -> Self {
+        CpuHog {
+            threads: 1,
+            request_realtime: false,
+        }
+    }
+
+    /// An aggressive variant: four spinners demanding FIFO 95 (above the
+    /// paper's kernel drivers at 90). Inside an intact container this is
+    /// demoted and confined; the ablation removes those restrictions.
+    pub fn aggressive() -> Self {
+        CpuHog {
+            threads: 4,
+            request_realtime: true,
+        }
+    }
+
+    fn spec(&self, i: usize) -> TaskSpec {
+        TaskSpec {
+            name: format!("cpu-hog-{i}"),
+            policy: if self.request_realtime {
+                SchedPolicy::Fifo { priority: 95 }
+            } else {
+                SchedPolicy::Fair { weight: 1024 }
+            },
+            affinity: CpuSet::ALL,
+            activation: Activation::Busy,
+            cost: Cost::compute(SimDuration::from_secs(1)),
+        }
+    }
+
+    /// Launches the hog inside `container` (restrictions apply).
+    pub fn launch(&self, machine: &mut Machine, container: &mut Container) -> Vec<TaskId> {
+        (0..self.threads)
+            .map(|i| container.run_task(machine, self.spec(i)))
+            .collect()
+    }
+
+    /// Launches the hog directly on the host — the unprotected baseline of
+    /// the CPU-protection ablation (no cpuset, no priority restriction).
+    pub fn launch_unconfined(&self, machine: &mut Machine) -> Vec<TaskId> {
+        let root = machine.root_cgroup();
+        (0..self.threads)
+            .map(|i| machine.spawn(self.spec(i), root))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use container_rt::container::ContainerConfig;
+    use rt_sched::machine::MachineConfig;
+    use sim_core::time::SimTime;
+    use virt_net::net::Network;
+
+    fn safety_task(m: &mut Machine) -> TaskId {
+        let root = m.root_cgroup();
+        m.spawn(
+            TaskSpec::periodic_fifo(
+                "safety",
+                20,
+                SimDuration::from_micros(2500),
+                Cost::compute(SimDuration::from_micros(400)),
+            ),
+            root,
+        )
+    }
+
+    #[test]
+    fn confined_hog_cannot_starve_safety_controller() {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut net = Network::new();
+        let host = net.add_namespace("host");
+        let mut c = Container::create(&mut m, &mut net, host, ContainerConfig::cce(3));
+        let safety = safety_task(&mut m);
+        CpuHog::aggressive().launch(&mut m, &mut c);
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_secs(1), &mut ev);
+        let st = m.task_stats(safety);
+        assert_eq!(st.skips, 0, "safety controller never starves");
+        assert!(st.completions >= 398);
+    }
+
+    #[test]
+    fn unconfined_rt_hog_starves_safety_controller() {
+        // The ablation: without Docker's restrictions, four FIFO-95
+        // spinners own all cores and the FIFO-20 safety controller starves.
+        let mut m = Machine::new(MachineConfig::default());
+        let safety = safety_task(&mut m);
+        CpuHog::aggressive().launch_unconfined(&mut m);
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_secs(1), &mut ev);
+        let st = m.task_stats(safety);
+        assert!(st.skips > 300, "safety starved: {} skips", st.skips);
+    }
+}

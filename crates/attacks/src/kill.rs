@@ -1,0 +1,71 @@
+//! Safety attack: killing the complex controller.
+//!
+//! "The attacker might choose to kill it to not only damage the drone's
+//! safety but also maximize the resource used for attack" (§V-D). Inside
+//! the container the attacker has full control over container processes,
+//! so this needs no privilege escalation.
+
+use rt_sched::machine::Machine;
+use rt_sched::task::TaskId;
+
+/// Kills a set of tasks (the complex controller's processes) at attack
+/// time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KillController {
+    /// Tasks to kill.
+    pub targets: Vec<TaskId>,
+}
+
+impl KillController {
+    /// Prepares an attack against `targets`.
+    pub fn new(targets: Vec<TaskId>) -> Self {
+        KillController { targets }
+    }
+
+    /// Executes the kill. Idempotent.
+    pub fn execute(&self, machine: &mut Machine) {
+        for &t in &self.targets {
+            machine.kill(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_sched::machine::MachineConfig;
+    use rt_sched::task::{Cost, TaskSpec};
+    use sim_core::time::{SimDuration, SimTime};
+
+    #[test]
+    fn kill_terminates_targets_only() {
+        let mut m = Machine::new(MachineConfig::default());
+        let root = m.root_cgroup();
+        let a = m.spawn(
+            TaskSpec::periodic_fair(
+                "complex",
+                SimDuration::from_millis(4),
+                Cost::compute(SimDuration::from_micros(100)),
+            ),
+            root,
+        );
+        let b = m.spawn(
+            TaskSpec::periodic_fifo(
+                "safety",
+                20,
+                SimDuration::from_millis(4),
+                Cost::compute(SimDuration::from_micros(100)),
+            ),
+            root,
+        );
+        let attack = KillController::new(vec![a]);
+        attack.execute(&mut m);
+        attack.execute(&mut m); // idempotent
+        assert!(!m.is_alive(a));
+        assert!(m.is_alive(b));
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_millis(100), &mut ev);
+        assert_eq!(m.task_stats(a).completions, 0);
+        assert!(m.task_stats(b).completions > 20);
+    }
+}

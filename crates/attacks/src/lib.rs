@@ -1,0 +1,49 @@
+//! DoS attack library for the ContainerDrone reproduction.
+//!
+//! Implements the attacker model of §III-B: malicious code smuggled into
+//! the CCE through an update launches resource-exhaustion attacks from
+//! *inside* the container. Three attack families from the paper's
+//! evaluation, plus a CPU hog for the ablation study:
+//!
+//! * [`membw_hog`] — the IsolBench `Bandwidth` benchmark ("reads or writes
+//!   a large array sequentially"), used for Figures 4 and 5;
+//! * [`udp_flood`] — "continuously send packets to the UDP port that the
+//!   HCE is listening on", used for Figure 7;
+//! * [`kill`] — "the attacker shutdown the complex controller while the
+//!   drone is flying", used for Figure 6;
+//! * [`spoof`] — protocol-valid hostile motor commands (an *extension*
+//!   beyond the paper's DoS model, caught by the attitude-error rule);
+//! * [`cpu_hog`] — spin loops that try to monopolize CPU (§III-C defends
+//!   this by cpuset + priority restriction).
+//!
+//! # Examples
+//!
+//! ```
+//! use attacks::membw_hog::BandwidthHog;
+//!
+//! let hog = BandwidthHog::isolbench();
+//! assert!(hog.stall_fraction > 0.9); // almost pure memory traffic
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cpu_hog;
+pub mod kill;
+pub mod membw_hog;
+pub mod spoof;
+pub mod udp_flood;
+
+pub use cpu_hog::CpuHog;
+pub use kill::KillController;
+pub use membw_hog::BandwidthHog;
+pub use spoof::{MotorSpoof, SpoofDriver};
+pub use udp_flood::{FloodDriver, UdpFlood};
+
+/// Convenient glob import of the attack types.
+pub mod prelude {
+    pub use crate::cpu_hog::CpuHog;
+    pub use crate::kill::KillController;
+    pub use crate::membw_hog::BandwidthHog;
+    pub use crate::spoof::{MotorSpoof, SpoofDriver};
+    pub use crate::udp_flood::{FloodDriver, UdpFlood};
+}

@@ -1,0 +1,81 @@
+//! Memory-bandwidth DoS: the IsolBench `Bandwidth` benchmark profile.
+//!
+//! "We used the Bandwidth from Isolbench, a benchmark that reads or writes
+//! a large array sequentially, to simulate the attacker's behavior" (§V-B).
+//! A sequential streaming loop on an A53-class core saturates the shared
+//! DRAM channel while being almost entirely memory-stalled itself.
+
+use container_rt::container::Container;
+use rt_sched::machine::Machine;
+use rt_sched::task::{Cost, TaskId, TaskSpec};
+use sim_core::time::SimDuration;
+
+/// The Bandwidth attack profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthHog {
+    /// Streaming fetch rate of one attack thread, cache lines/s.
+    pub bandwidth: f64,
+    /// Memory-stall fraction of the attack loop itself.
+    pub stall_fraction: f64,
+    /// Number of attack threads (the paper runs one, "the only process
+    /// running inside the container").
+    pub threads: usize,
+}
+
+impl BandwidthHog {
+    /// The IsolBench `Bandwidth` profile: a single thread streaming at
+    /// nearly the full bus rate.
+    pub fn isolbench() -> Self {
+        BandwidthHog {
+            bandwidth: 14.0e6, // ~900 MB/s of 64 B lines: bus-saturating
+            stall_fraction: 0.95,
+            threads: 1,
+        }
+    }
+
+    /// Launches the attack inside `container`. Returns the spawned task
+    /// ids (they are `Busy` tasks and run until killed or the container
+    /// stops).
+    pub fn launch(&self, machine: &mut Machine, container: &mut Container) -> Vec<TaskId> {
+        (0..self.threads)
+            .map(|i| {
+                container.run_task(
+                    machine,
+                    TaskSpec::busy_fair(
+                        format!("bandwidth-{i}"),
+                        Cost::streaming(
+                            SimDuration::from_secs(1),
+                            self.bandwidth,
+                            self.stall_fraction,
+                        ),
+                    ),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use container_rt::container::ContainerConfig;
+    use rt_sched::machine::MachineConfig;
+    use sim_core::time::SimTime;
+    use virt_net::net::Network;
+
+    #[test]
+    fn hog_saturates_only_its_cpuset_core() {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut net = Network::new();
+        let host = net.add_namespace("host");
+        let mut c = Container::create(&mut m, &mut net, host, ContainerConfig::cce(3));
+        let ids = BandwidthHog::isolbench().launch(&mut m, &mut c);
+        assert_eq!(ids.len(), 1);
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_millis(500), &mut ev);
+        assert!(m.core_stats()[3].busy > SimDuration::from_millis(480));
+        assert!(m.core_stats()[0].busy < SimDuration::from_millis(20));
+        // It really moves memory: the perf counter on core 3 is hot.
+        assert!(m.memory().counters()[3].lines > 1.0e6);
+    }
+}

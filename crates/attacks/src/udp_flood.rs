@@ -1,0 +1,175 @@
+//! Communication DoS: a UDP flood against the HCE's listening port.
+//!
+//! "We launched a program mid-fly that continuously send packets to the
+//! UDP port that the HCE is listening on" (§V-C). The damage is threefold:
+//! flood datagrams crowd genuine `MotorOutput` frames out of the finite
+//! receive queue, each delivered datagram costs rx-thread CPU, and the
+//! parser must skip the garbage.
+
+use container_rt::container::Container;
+use rt_sched::machine::Machine;
+use rt_sched::task::{Cost, TaskId, TaskSpec};
+use sim_core::time::{SimDuration, SimTime};
+use virt_net::net::{Addr, NetError, Network, NsId, SocketId};
+
+/// Flood parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UdpFlood {
+    /// Packets per second offered.
+    pub pps: f64,
+    /// Payload size of each flood datagram, bytes.
+    pub payload: usize,
+    /// Destination port on the host (14600 = the motor-output port).
+    pub target_port: u16,
+}
+
+impl UdpFlood {
+    /// The paper's attack: garbage datagrams at high rate against the
+    /// motor-output port.
+    pub fn against_motor_port() -> Self {
+        UdpFlood {
+            pps: 20_000.0,
+            payload: 64,
+            target_port: 14600,
+        }
+    }
+
+    /// Starts the flood: binds a sender socket in the container namespace
+    /// and spawns the flooding process (a busy task that costs container
+    /// CPU). Returns the driver to step each quantum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError`] if the sender socket cannot be bound.
+    pub fn launch(
+        &self,
+        machine: &mut Machine,
+        net: &mut Network,
+        container: &mut Container,
+        host_ns: NsId,
+        src_port: u16,
+    ) -> Result<FloodDriver, NetError> {
+        let socket = net.bind(container.netns(), src_port)?;
+        let task = container.run_task(
+            machine,
+            TaskSpec::busy_fair(
+                "udp-flooder",
+                Cost::memory_bound(SimDuration::from_secs(1), 0.8e6, 0.2),
+            ),
+        );
+        Ok(FloodDriver {
+            socket,
+            task,
+            target: Addr {
+                ns: host_ns,
+                port: self.target_port,
+            },
+            pps: self.pps,
+            payload: self.payload,
+            carry: 0.0,
+            sent: 0,
+            active: true,
+        })
+    }
+}
+
+/// Drives an active flood: call [`FloodDriver::step`] every quantum.
+#[derive(Debug)]
+pub struct FloodDriver {
+    socket: SocketId,
+    task: TaskId,
+    target: Addr,
+    pps: f64,
+    payload: usize,
+    carry: f64,
+    sent: u64,
+    active: bool,
+}
+
+impl FloodDriver {
+    /// Emits this quantum's worth of flood packets.
+    pub fn step(&mut self, net: &mut Network, now: SimTime, dt: SimDuration) {
+        if !self.active {
+            return;
+        }
+        self.carry += self.pps * dt.as_secs_f64();
+        while self.carry >= 1.0 {
+            self.carry -= 1.0;
+            // Garbage payload: zeros never parse as a MAVLink frame.
+            let _ = net.send(self.socket, self.target, vec![0u8; self.payload], now);
+            self.sent += 1;
+        }
+    }
+
+    /// Total packets offered so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// The flooding process's task id (killable).
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+
+    /// Stops emitting (e.g. when the attack window ends).
+    pub fn stop(&mut self, machine: &mut Machine) {
+        self.active = false;
+        machine.kill(self.task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use container_rt::container::ContainerConfig;
+    use rt_sched::machine::MachineConfig;
+
+    #[test]
+    fn flood_reaches_offered_rate() {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut net = Network::new();
+        let host = net.add_namespace("host");
+        let mut c = Container::create(&mut m, &mut net, host, ContainerConfig::cce(3));
+        let rx = net.bind_with_capacity(host, 14600, 100_000).unwrap();
+
+        let mut driver = UdpFlood {
+            pps: 5_000.0,
+            payload: 64,
+            target_port: 14600,
+        }
+        .launch(&mut m, &mut net, &mut c, host, 40000)
+        .unwrap();
+
+        let dt = SimDuration::from_micros(50);
+        let mut t = SimTime::ZERO;
+        while t < SimTime::from_secs(1) {
+            driver.step(&mut net, t, dt);
+            t += dt;
+            net.step(t);
+        }
+        assert!((4_990..=5_010).contains(&(driver.sent() as i64)), "{}", driver.sent());
+        let stats = net.socket_stats(rx);
+        // Most packets arrive (large rx buffer, no rate limit configured).
+        assert!(stats.delivered > 4_000, "delivered {}", stats.delivered);
+    }
+
+    #[test]
+    fn stop_halts_the_flood() {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut net = Network::new();
+        let host = net.add_namespace("host");
+        let mut c = Container::create(&mut m, &mut net, host, ContainerConfig::cce(3));
+        net.bind(host, 14600).unwrap();
+        let mut driver = UdpFlood::against_motor_port()
+            .launch(&mut m, &mut net, &mut c, host, 40000)
+            .unwrap();
+        let dt = SimDuration::from_millis(1);
+        driver.step(&mut net, SimTime::ZERO, dt);
+        let sent = driver.sent();
+        assert!(sent > 0);
+        driver.stop(&mut m);
+        driver.step(&mut net, SimTime::from_millis(1), dt);
+        assert_eq!(driver.sent(), sent);
+        assert!(!m.is_alive(driver.task()));
+    }
+}

@@ -1,0 +1,482 @@
+//! The PX4-like cascaded flight controller.
+//!
+//! Structure (outer → inner): position P → velocity PID → attitude P →
+//! rate PID → mixer. The same [`FlightController`] type serves as both of
+//! the paper's controllers:
+//!
+//! * the **complex controller** ([`ControlGains::complex`]) — aggressive
+//!   gains, full position cascade, waypoint missions; runs inside the CCE
+//!   on forwarded sensor messages;
+//! * the **safety controller** ([`ControlGains::safety`]) — conservative
+//!   gains and tighter limits; small enough to verify, runs on the HCE and
+//!   is always hot as the Simplex fallback.
+
+use sim_core::time::SimTime;
+use uav_dynamics::math::{wrap_angle, Quat, Vec3};
+use uav_dynamics::quad::{QuadParams, GRAVITY};
+use uav_dynamics::sensors::{BaroSample, ImuSample, PositionFix};
+
+use crate::estimator::{AttitudeFilter, AttitudeFilterConfig, PositionFilter, PositionFilterConfig};
+use crate::mixer::{Mixer, MixerConfig, Wrench};
+use crate::pid::{Pid, PidConfig};
+
+/// Gains and limits for the full cascade.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlGains {
+    /// Position → velocity-setpoint P gain, 1/s.
+    pub pos_p: f64,
+    /// Horizontal velocity limit, m/s.
+    pub max_vel_xy: f64,
+    /// Vertical velocity limit, m/s.
+    pub max_vel_z: f64,
+    /// Horizontal velocity PID (output: acceleration setpoint, m/s²).
+    pub vel_xy: PidConfig,
+    /// Vertical velocity PID (output: acceleration setpoint, m/s²).
+    pub vel_z: PidConfig,
+    /// Maximum commanded tilt, rad.
+    pub max_tilt: f64,
+    /// Attitude → rate-setpoint P gain, 1/s.
+    pub att_p: f64,
+    /// Rate-setpoint limit, rad/s.
+    pub max_rate: f64,
+    /// Yaw rate-setpoint limit, rad/s.
+    pub max_yaw_rate: f64,
+    /// Roll/pitch rate PID (output: angular acceleration, rad/s²).
+    pub rate_rp: PidConfig,
+    /// Yaw rate PID (output: angular acceleration, rad/s²).
+    pub rate_yaw: PidConfig,
+}
+
+impl ControlGains {
+    /// The complex controller: performance-tuned.
+    pub fn complex() -> Self {
+        ControlGains {
+            pos_p: 0.95,
+            max_vel_xy: 3.0,
+            max_vel_z: 1.5,
+            vel_xy: PidConfig::pid(2.6, 0.8, 0.0, 6.0, 2.0, 0.0),
+            vel_z: PidConfig::pid(4.0, 2.0, 0.0, 5.0, 2.5, 0.0),
+            max_tilt: 35f64.to_radians(),
+            att_p: 7.0,
+            max_rate: 3.5,
+            max_yaw_rate: 1.5,
+            rate_rp: PidConfig::pid(22.0, 18.0, 0.9, 400.0, 60.0, 40.0),
+            rate_yaw: PidConfig::pid(12.0, 6.0, 0.0, 150.0, 30.0, 0.0),
+        }
+    }
+
+    /// The safety controller: conservative, verified-simple behaviour.
+    pub fn safety() -> Self {
+        ControlGains {
+            pos_p: 0.6,
+            max_vel_xy: 1.0,
+            max_vel_z: 0.8,
+            vel_xy: PidConfig::pid(2.2, 0.6, 0.0, 3.5, 1.5, 0.0),
+            vel_z: PidConfig::pid(3.0, 1.2, 0.0, 4.0, 2.0, 0.0),
+            max_tilt: 20f64.to_radians(),
+            att_p: 5.0,
+            max_rate: 2.0,
+            max_yaw_rate: 0.8,
+            rate_rp: PidConfig::pid(18.0, 12.0, 0.7, 300.0, 40.0, 30.0),
+            rate_yaw: PidConfig::pid(10.0, 4.0, 0.0, 120.0, 20.0, 0.0),
+        }
+    }
+}
+
+/// Flight mode, mirroring the paper's experiment procedure: "first flies the
+/// drone to a safe height in manual mode and then switches to position
+/// control mode".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlightMode {
+    /// Motors off.
+    #[default]
+    Disarmed,
+    /// Attitude stabilization; the operator supplies tilt + thrust.
+    Stabilized,
+    /// Full position hold at the current setpoint.
+    Position,
+}
+
+/// Operator stick input for [`FlightMode::Stabilized`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StickInput {
+    /// Commanded roll, rad.
+    pub roll: f64,
+    /// Commanded pitch, rad.
+    pub pitch: f64,
+    /// Commanded yaw rate, rad/s.
+    pub yaw_rate: f64,
+    /// Normalized collective thrust, 0–1.
+    pub thrust: f64,
+}
+
+/// A position-hold target.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Setpoint {
+    /// Target position, NED m.
+    pub position: Vec3,
+    /// Target yaw, rad.
+    pub yaw: f64,
+}
+
+/// One waypoint of a mission (complex-controller feature).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Waypoint {
+    /// Position to reach, NED m.
+    pub position: Vec3,
+    /// Yaw to hold, rad.
+    pub yaw: f64,
+    /// Acceptance radius, m.
+    pub tolerance: f64,
+}
+
+/// The assembled controller.
+///
+/// # Examples
+///
+/// ```
+/// use autopilot::controller::{ControlGains, FlightController, Setpoint};
+/// use uav_dynamics::math::Vec3;
+/// use uav_dynamics::quad::QuadParams;
+/// use sim_core::time::SimTime;
+///
+/// let params = QuadParams::default();
+/// let mut fc = FlightController::new(&params, ControlGains::safety());
+/// fc.initialize_hover(Vec3::new(0.0, 0.0, -1.0), 0.0, SimTime::ZERO);
+/// fc.set_setpoint(Setpoint { position: Vec3::new(0.0, 0.0, -1.0), yaw: 0.0 });
+/// let pwm = fc.run_rate_loop(SimTime::from_millis(3));
+/// assert!(pwm.iter().all(|&p| (1000..=2000).contains(&p)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlightController {
+    gains: ControlGains,
+    params: QuadParams,
+    mixer: Mixer,
+    attitude_filter: AttitudeFilter,
+    position_filter: PositionFilter,
+    mode: FlightMode,
+    setpoint: Setpoint,
+    sticks: StickInput,
+    mission: Vec<Waypoint>,
+    mission_index: usize,
+    vel_x: Pid,
+    vel_y: Pid,
+    vel_z: Pid,
+    rate_x: Pid,
+    rate_y: Pid,
+    rate_z: Pid,
+    attitude_sp: Quat,
+    thrust_sp: f64,
+    rate_sp: Vec3,
+    last_outer: Option<SimTime>,
+    last_rate: Option<SimTime>,
+    last_pwm: [u16; 4],
+    outer_runs: u64,
+    rate_runs: u64,
+}
+
+impl FlightController {
+    /// Builds a controller for the given airframe.
+    pub fn new(params: &QuadParams, gains: ControlGains) -> Self {
+        FlightController {
+            gains,
+            params: *params,
+            mixer: Mixer::new(MixerConfig::from_quad(params)),
+            attitude_filter: AttitudeFilter::new(AttitudeFilterConfig::default()),
+            position_filter: PositionFilter::new(PositionFilterConfig::default()),
+            mode: FlightMode::Disarmed,
+            setpoint: Setpoint::default(),
+            sticks: StickInput::default(),
+            mission: Vec::new(),
+            mission_index: 0,
+            vel_x: Pid::new(gains.vel_xy),
+            vel_y: Pid::new(gains.vel_xy),
+            vel_z: Pid::new(gains.vel_z),
+            rate_x: Pid::new(gains.rate_rp),
+            rate_y: Pid::new(gains.rate_rp),
+            rate_z: Pid::new(gains.rate_yaw),
+            attitude_sp: Quat::IDENTITY,
+            thrust_sp: 0.0,
+            rate_sp: Vec3::ZERO,
+            last_outer: None,
+            last_rate: None,
+            last_pwm: [1000; 4],
+            outer_runs: 0,
+            rate_runs: 0,
+        }
+    }
+
+    /// The gains in use.
+    pub fn gains(&self) -> &ControlGains {
+        &self.gains
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> FlightMode {
+        self.mode
+    }
+
+    /// Switches mode. Entering [`FlightMode::Position`] re-centres the
+    /// setpoint on the current position estimate so the vehicle holds where
+    /// it is, like PX4's position mode.
+    pub fn set_mode(&mut self, mode: FlightMode) {
+        if mode == FlightMode::Position && self.mode != FlightMode::Position {
+            let (_, _, yaw) = self.attitude_filter.attitude().to_euler();
+            self.setpoint = Setpoint {
+                position: self.position_filter.position(),
+                yaw,
+            };
+        }
+        self.mode = mode;
+    }
+
+    /// Sets the position-hold target.
+    pub fn set_setpoint(&mut self, sp: Setpoint) {
+        self.setpoint = sp;
+        if self.mode == FlightMode::Disarmed {
+            self.mode = FlightMode::Position;
+        }
+    }
+
+    /// Current position-hold target.
+    pub fn setpoint(&self) -> Setpoint {
+        self.setpoint
+    }
+
+    /// Sets operator sticks (used in [`FlightMode::Stabilized`]).
+    pub fn set_sticks(&mut self, sticks: StickInput) {
+        self.sticks = sticks;
+        if self.mode == FlightMode::Disarmed && sticks.thrust > 0.0 {
+            self.mode = FlightMode::Stabilized;
+        }
+    }
+
+    /// Loads a waypoint mission (complex-controller feature). The active
+    /// setpoint follows the mission while in position mode.
+    pub fn set_mission(&mut self, waypoints: Vec<Waypoint>) {
+        self.mission = waypoints;
+        self.mission_index = 0;
+    }
+
+    /// Index of the next mission waypoint (== len when complete).
+    pub fn mission_progress(&self) -> usize {
+        self.mission_index
+    }
+
+    /// Replaces the position-observer configuration (use
+    /// [`PositionFilterConfig::for_noise`] to match the positioning
+    /// source). Resets the observer state; call before
+    /// [`FlightController::initialize_hover`].
+    pub fn configure_position_filter(&mut self, config: PositionFilterConfig) {
+        self.position_filter = PositionFilter::new(config);
+    }
+
+    /// Primes estimators and setpoint for a mid-air start at `position` —
+    /// the initial condition of every figure scenario.
+    pub fn initialize_hover(&mut self, position: Vec3, yaw: f64, time: SimTime) {
+        self.attitude_filter
+            .initialize(Quat::from_euler(0.0, 0.0, yaw), time);
+        self.position_filter.initialize(position, Vec3::ZERO, time);
+        self.setpoint = Setpoint { position, yaw };
+        self.mode = FlightMode::Position;
+        self.thrust_sp = self.params.hover_thrust();
+        self.attitude_sp = Quat::from_euler(0.0, 0.0, yaw);
+    }
+
+    /// Feeds an IMU sample to the attitude filter.
+    pub fn on_imu(&mut self, sample: &ImuSample) {
+        self.attitude_filter.update(sample);
+    }
+
+    /// Feeds a position fix to the position filter.
+    pub fn on_position_fix(&mut self, fix: &PositionFix) {
+        self.position_filter.update_fix(fix);
+    }
+
+    /// Feeds a barometer sample to the position filter.
+    pub fn on_baro(&mut self, sample: &BaroSample) {
+        self.position_filter.update_baro(sample);
+    }
+
+    /// Current attitude estimate.
+    pub fn attitude_estimate(&self) -> Quat {
+        self.attitude_filter.attitude()
+    }
+
+    /// Current position estimate.
+    pub fn position_estimate(&self) -> Vec3 {
+        self.position_filter.position()
+    }
+
+    /// Attitude error magnitude between estimate and setpoint, rad — the
+    /// signal the paper's security monitor bounds.
+    pub fn attitude_error(&self) -> f64 {
+        self.attitude_filter.attitude().angle_to(self.attitude_sp)
+    }
+
+    /// Number of outer-loop and rate-loop executions so far.
+    pub fn run_counts(&self) -> (u64, u64) {
+        (self.outer_runs, self.rate_runs)
+    }
+
+    /// Runs the outer cascade (position → velocity → attitude setpoints).
+    /// Call at 250 Hz when healthy; the controller tolerates any actual rate.
+    pub fn run_outer(&mut self, now: SimTime) {
+        let dt = self
+            .last_outer
+            .map(|t| now.saturating_since(t).as_secs_f64())
+            .unwrap_or(0.004)
+            .clamp(0.0, 0.1);
+        self.last_outer = Some(now);
+        self.outer_runs += 1;
+
+        match self.mode {
+            FlightMode::Disarmed => {
+                self.thrust_sp = 0.0;
+                self.rate_sp = Vec3::ZERO;
+                return;
+            }
+            FlightMode::Stabilized => {
+                self.attitude_sp = {
+                    let (_, _, yaw) = self.attitude_filter.attitude().to_euler();
+                    Quat::from_euler(self.sticks.roll, self.sticks.pitch, yaw)
+                };
+                self.thrust_sp = self.sticks.thrust * 4.0 * self.params.motor_max_thrust;
+                self.update_attitude_loop(self.sticks.yaw_rate);
+                return;
+            }
+            FlightMode::Position => {}
+        }
+
+        self.advance_mission();
+        self.position_filter.predict(now);
+        let pos = self.position_filter.position();
+        let vel = self.position_filter.velocity();
+        let g = &self.gains;
+
+        // Position P → velocity setpoint.
+        let pos_err = self.setpoint.position - pos;
+        let mut vel_sp = pos_err * g.pos_p;
+        let vxy = vel_sp.norm_xy();
+        if vxy > g.max_vel_xy {
+            let k = g.max_vel_xy / vxy;
+            vel_sp.x *= k;
+            vel_sp.y *= k;
+        }
+        vel_sp.z = vel_sp.z.clamp(-g.max_vel_z, g.max_vel_z);
+
+        // Velocity PID → acceleration setpoint (world frame).
+        let acc_sp = Vec3::new(
+            self.vel_x.update(vel_sp.x, vel.x, dt),
+            self.vel_y.update(vel_sp.y, vel.y, dt),
+            self.vel_z.update(vel_sp.z, vel.z, dt),
+        );
+
+        // Acceleration → attitude setpoint and collective thrust. The tilt
+        // demand must be expressed in the *current* yaw frame — using the
+        // setpoint yaw would push in rotated directions whenever the vehicle
+        // carries a yaw error (e.g. right after an uncontrolled phase),
+        // which turns recovery into an outward spiral. Yaw is steered
+        // separately through a rate feed-forward.
+        let (_, _, yaw_now) = self.attitude_filter.attitude().to_euler();
+        let (sy, cy) = yaw_now.sin_cos();
+        let ax = cy * acc_sp.x + sy * acc_sp.y;
+        let ay = -sy * acc_sp.x + cy * acc_sp.y;
+        let pitch_sp = (-ax / GRAVITY).atan().clamp(-g.max_tilt, g.max_tilt);
+        let roll_sp = (ay / GRAVITY).atan().clamp(-g.max_tilt, g.max_tilt);
+        self.attitude_sp = Quat::from_euler(roll_sp, pitch_sp, yaw_now);
+
+        let tilt_comp = (roll_sp.cos() * pitch_sp.cos()).max(0.5);
+        self.thrust_sp = (self.params.mass * (GRAVITY - acc_sp.z) / tilt_comp)
+            .clamp(0.0, 4.0 * self.params.motor_max_thrust);
+
+        let yaw_err = wrap_angle(self.setpoint.yaw - yaw_now);
+        let yaw_ff = (g.att_p * yaw_err).clamp(-g.max_yaw_rate, g.max_yaw_rate);
+        self.update_attitude_loop(yaw_ff);
+    }
+
+    /// Attitude P: quaternion error → body rate setpoint.
+    fn update_attitude_loop(&mut self, yaw_rate_ff: f64) {
+        let g = &self.gains;
+        let q = self.attitude_filter.attitude();
+        let q_err = q.conjugate().mul_quat(self.attitude_sp).normalized();
+        // Shortest rotation: flip sign if w < 0.
+        let sign = if q_err.w >= 0.0 { 1.0 } else { -1.0 };
+        let mut rate_sp = Vec3::new(q_err.x, q_err.y, q_err.z) * (2.0 * g.att_p * sign);
+        rate_sp.x = rate_sp.x.clamp(-g.max_rate, g.max_rate);
+        rate_sp.y = rate_sp.y.clamp(-g.max_rate, g.max_rate);
+        rate_sp.z = (rate_sp.z + yaw_rate_ff).clamp(-g.max_yaw_rate, g.max_yaw_rate);
+        self.rate_sp = rate_sp;
+    }
+
+    /// Advances the waypoint mission when the current target is reached.
+    fn advance_mission(&mut self) {
+        if self.mission_index >= self.mission.len() {
+            return;
+        }
+        let wp = self.mission[self.mission_index];
+        self.setpoint = Setpoint {
+            position: wp.position,
+            yaw: wp.yaw,
+        };
+        let dist = (self.position_filter.position() - wp.position).norm();
+        if dist < wp.tolerance {
+            self.mission_index += 1;
+        }
+    }
+
+    /// Runs the inner rate loop and mixer; call at 400 Hz when healthy.
+    /// Returns the PWM command for the four motors.
+    pub fn run_rate_loop(&mut self, now: SimTime) -> [u16; 4] {
+        let dt = self
+            .last_rate
+            .map(|t| now.saturating_since(t).as_secs_f64())
+            .unwrap_or(0.0025)
+            .clamp(0.0, 0.1);
+        self.last_rate = Some(now);
+        self.rate_runs += 1;
+
+        if self.mode == FlightMode::Disarmed {
+            self.last_pwm = [1000; 4];
+            return self.last_pwm;
+        }
+
+        let rates = self.attitude_filter.rates();
+        let ang_acc = Vec3::new(
+            self.rate_x.update(self.rate_sp.x, rates.x, dt),
+            self.rate_y.update(self.rate_sp.y, rates.y, dt),
+            self.rate_z.update(self.rate_sp.z, rates.z, dt),
+        );
+        let torque = self.params.inertia.mul_vec(ang_acc);
+        let wrench = Wrench {
+            thrust: self.thrust_sp,
+            torque_x: torque.x,
+            torque_y: torque.y,
+            torque_z: torque.z,
+        };
+        self.last_pwm = self.mixer.mix_pwm(wrench);
+        self.last_pwm
+    }
+
+    /// The PWM output of the most recent rate-loop run.
+    pub fn last_pwm(&self) -> [u16; 4] {
+        self.last_pwm
+    }
+
+    /// Resets transient control state (integrators, derivative history) —
+    /// used when the Simplex monitor promotes the standby controller.
+    pub fn reset_transients(&mut self) {
+        self.vel_x.reset();
+        self.vel_y.reset();
+        self.vel_z.reset();
+        self.rate_x.reset();
+        self.rate_y.reset();
+        self.rate_z.reset();
+    }
+
+    /// Yaw error (wrapped) between estimate and setpoint, rad.
+    pub fn yaw_error(&self) -> f64 {
+        let (_, _, yaw) = self.attitude_filter.attitude().to_euler();
+        wrap_angle(self.setpoint.yaw - yaw)
+    }
+}

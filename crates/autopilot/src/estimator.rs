@@ -1,0 +1,408 @@
+//! State estimation: a complementary attitude filter and a constant-gain
+//! position/velocity observer.
+//!
+//! PX4 runs an EKF; for the control rates and disturbance levels in this
+//! reproduction a complementary filter has the same essential property the
+//! experiments rely on: estimate quality *degrades with sensor latency and
+//! gaps*, because gyro integration drifts between corrections. When a DoS
+//! attack starves the sensor path, the estimate — and then the vehicle —
+//! degrades exactly as in the paper.
+
+use sim_core::time::SimTime;
+use uav_dynamics::math::{Quat, Vec3};
+use uav_dynamics::sensors::{BaroSample, ImuSample, PositionFix};
+
+/// Attitude filter configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttitudeFilterConfig {
+    /// Accelerometer correction gain (fraction of tilt error removed per
+    /// second).
+    pub accel_gain: f64,
+    /// Magnetometer yaw correction gain, per second.
+    pub mag_gain: f64,
+    /// Largest IMU gap integrated as-is; beyond this the gyro integration
+    /// clamps `dt` (a starved driver cannot inject a huge rotation step).
+    pub max_gyro_dt: f64,
+}
+
+impl Default for AttitudeFilterConfig {
+    fn default() -> Self {
+        AttitudeFilterConfig {
+            accel_gain: 2.0,
+            mag_gain: 0.5,
+            max_gyro_dt: 0.05,
+        }
+    }
+}
+
+/// Complementary attitude filter.
+///
+/// # Examples
+///
+/// ```
+/// use autopilot::estimator::AttitudeFilter;
+/// use uav_dynamics::sensors::ImuSample;
+/// use uav_dynamics::math::Vec3;
+/// use sim_core::time::SimTime;
+///
+/// let mut f = AttitudeFilter::default();
+/// let sample = ImuSample {
+///     time: SimTime::from_millis(4),
+///     accel: Vec3::new(0.0, 0.0, -9.81),
+///     ..Default::default()
+/// };
+/// f.update(&sample);
+/// let (roll, pitch, _) = f.attitude().to_euler();
+/// assert!(roll.abs() < 1e-6 && pitch.abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AttitudeFilter {
+    config: AttitudeFilterConfig,
+    attitude: Quat,
+    last_time: Option<SimTime>,
+    last_gyro: Vec3,
+}
+
+impl Default for AttitudeFilter {
+    fn default() -> Self {
+        AttitudeFilter::new(AttitudeFilterConfig::default())
+    }
+}
+
+impl AttitudeFilter {
+    /// Creates a filter at the identity attitude.
+    pub fn new(config: AttitudeFilterConfig) -> Self {
+        AttitudeFilter {
+            config,
+            attitude: Quat::IDENTITY,
+            last_time: None,
+            last_gyro: Vec3::ZERO,
+        }
+    }
+
+    /// Forces the filter state (scenario initialization at hover).
+    pub fn initialize(&mut self, attitude: Quat, time: SimTime) {
+        self.attitude = attitude;
+        self.last_time = Some(time);
+    }
+
+    /// Current attitude estimate (body → world).
+    pub fn attitude(&self) -> Quat {
+        self.attitude
+    }
+
+    /// The most recent gyro measurement fed to the filter, rad/s.
+    pub fn rates(&self) -> Vec3 {
+        self.last_gyro
+    }
+
+    /// Time of the last processed sample.
+    pub fn last_update(&self) -> Option<SimTime> {
+        self.last_time
+    }
+
+    /// Folds one IMU sample into the estimate.
+    pub fn update(&mut self, sample: &ImuSample) {
+        let dt = match self.last_time {
+            Some(prev) => sample.time.saturating_since(prev).as_secs_f64(),
+            None => 0.0,
+        };
+        self.last_time = Some(sample.time);
+        self.last_gyro = sample.gyro;
+
+        // Predict: integrate gyro, clamping pathological gaps.
+        let dt = dt.min(self.config.max_gyro_dt);
+        if dt > 0.0 {
+            self.attitude = self.attitude.integrate(sample.gyro, dt);
+        }
+
+        // Correct tilt with the accelerometer whenever it plausibly measures
+        // gravity (norm close to g).
+        let norm = sample.accel.norm();
+        if (7.0..12.5).contains(&norm) && dt > 0.0 {
+            // Gravity direction measured in body frame (specific force at
+            // quasi-static flight is −g, so down is −accel).
+            let down_meas = (-sample.accel).normalized();
+            // Down direction predicted by the current attitude.
+            let down_pred = self.attitude.rotate_inverse(Vec3::new(0.0, 0.0, 1.0));
+            // Small-angle correction toward the measured down direction:
+            // rotating by meas × pred shrinks the tilt error.
+            let correction = down_meas.cross(down_pred) * (self.config.accel_gain * dt);
+            self.attitude = self
+                .attitude
+                .mul_quat(Quat::new(1.0, correction.x / 2.0, correction.y / 2.0, correction.z / 2.0))
+                .normalized();
+        }
+
+        // Correct yaw with the magnetometer (horizontal projection).
+        if self.config.mag_gain > 0.0 && dt > 0.0 && sample.mag.norm() > 1e-6 {
+            let mag_world = self.attitude.rotate(sample.mag);
+            let yaw_err = -mag_world.y.atan2(mag_world.x); // field declination 0
+            let correction = Vec3::new(0.0, 0.0, 1.0) * (yaw_err * self.config.mag_gain * dt);
+            let body_corr = self.attitude.rotate_inverse(correction);
+            self.attitude = self
+                .attitude
+                .mul_quat(Quat::new(1.0, body_corr.x / 2.0, body_corr.y / 2.0, body_corr.z / 2.0))
+                .normalized();
+        }
+    }
+}
+
+/// Position observer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionFilterConfig {
+    /// Fraction of position innovation absorbed per fix.
+    pub position_gain: f64,
+    /// Fraction of velocity innovation absorbed per fix.
+    pub velocity_gain: f64,
+    /// Barometer altitude fusion gain per sample (0 disables).
+    pub baro_gain: f64,
+}
+
+impl Default for PositionFilterConfig {
+    fn default() -> Self {
+        PositionFilterConfig {
+            position_gain: 0.95,
+            velocity_gain: 0.95,
+            baro_gain: 0.02,
+        }
+    }
+}
+
+impl PositionFilterConfig {
+    /// Chooses observer gains for a positioning source with the given
+    /// per-fix noise standard deviation (metres): near-perfect fixes
+    /// (Vicon, millimetres) are absorbed almost fully; noisy fixes
+    /// (consumer GNSS, decimetres) are averaged so the velocity estimate
+    /// stays usable.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use autopilot::estimator::PositionFilterConfig;
+    /// let vicon = PositionFilterConfig::for_noise(0.002);
+    /// let gps = PositionFilterConfig::for_noise(0.4);
+    /// assert!(vicon.position_gain > gps.position_gain);
+    /// ```
+    pub fn for_noise(position_noise_std: f64) -> Self {
+        // Smooth interpolation: full trust below 1 cm, heavy averaging
+        // above half a metre. Velocity stays well-trusted — GNSS velocity
+        // comes from a separate (Doppler) channel whose noise is low even
+        // when the position fix wanders.
+        let t = (position_noise_std.max(0.0) / 0.5).clamp(0.0, 1.0);
+        PositionFilterConfig {
+            position_gain: 0.95 - 0.65 * t,
+            velocity_gain: 0.95 - 0.25 * t,
+            baro_gain: 0.02 + 0.08 * t,
+        }
+    }
+}
+
+/// Constant-gain position/velocity observer fed by the positioning fixes
+/// (Vicon-as-GPS) and optionally the barometer.
+#[derive(Debug, Clone)]
+pub struct PositionFilter {
+    config: PositionFilterConfig,
+    position: Vec3,
+    velocity: Vec3,
+    last_time: Option<SimTime>,
+}
+
+impl Default for PositionFilter {
+    fn default() -> Self {
+        PositionFilter::new(PositionFilterConfig::default())
+    }
+}
+
+impl PositionFilter {
+    /// Creates an observer at the origin.
+    pub fn new(config: PositionFilterConfig) -> Self {
+        PositionFilter {
+            config,
+            position: Vec3::ZERO,
+            velocity: Vec3::ZERO,
+            last_time: None,
+        }
+    }
+
+    /// Forces the observer state (scenario initialization).
+    pub fn initialize(&mut self, position: Vec3, velocity: Vec3, time: SimTime) {
+        self.position = position;
+        self.velocity = velocity;
+        self.last_time = Some(time);
+    }
+
+    /// Current position estimate, NED metres.
+    pub fn position(&self) -> Vec3 {
+        self.position
+    }
+
+    /// Current velocity estimate, NED m/s.
+    pub fn velocity(&self) -> Vec3 {
+        self.velocity
+    }
+
+    /// Dead-reckons the state forward to `time` using the velocity estimate.
+    pub fn predict(&mut self, time: SimTime) {
+        if let Some(prev) = self.last_time {
+            let dt = time.saturating_since(prev).as_secs_f64().min(0.5);
+            self.position += self.velocity * dt;
+        }
+        self.last_time = Some(time);
+    }
+
+    /// Fuses a positioning fix.
+    pub fn update_fix(&mut self, fix: &PositionFix) {
+        self.predict(fix.time);
+        self.position += (fix.position - self.position) * self.config.position_gain;
+        self.velocity += (fix.velocity - self.velocity) * self.config.velocity_gain;
+    }
+
+    /// Fuses a barometric altitude.
+    pub fn update_baro(&mut self, baro: &BaroSample) {
+        if self.config.baro_gain > 0.0 {
+            self.predict(baro.time);
+            let alt_err = baro.altitude - (-self.position.z);
+            self.position.z -= alt_err * self.config.baro_gain;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::rng::Rng;
+    use sim_core::time::SimDuration;
+    use uav_dynamics::quad::GRAVITY;
+
+    fn imu_at(t_ms: u64, gyro: Vec3, accel: Vec3) -> ImuSample {
+        ImuSample {
+            time: SimTime::from_millis(t_ms),
+            gyro,
+            accel,
+            mag: Vec3::new(0.21, 0.0, 0.42),
+        }
+    }
+
+    #[test]
+    fn filter_converges_to_level_from_wrong_init() {
+        let mut f = AttitudeFilter::default();
+        f.initialize(Quat::from_euler(0.3, -0.2, 0.0), SimTime::ZERO);
+        // Level, static vehicle: accel measures (0,0,-g).
+        for i in 1..=2000u64 {
+            f.update(&imu_at(i * 4, Vec3::ZERO, Vec3::new(0.0, 0.0, -GRAVITY)));
+        }
+        let (roll, pitch, _) = f.attitude().to_euler();
+        assert!(roll.abs() < 0.01, "roll {roll}");
+        assert!(pitch.abs() < 0.01, "pitch {pitch}");
+    }
+
+    #[test]
+    fn gyro_integration_tracks_fast_motion() {
+        let mut f = AttitudeFilter::default();
+        f.initialize(Quat::IDENTITY, SimTime::ZERO);
+        // Constant roll rate 1 rad/s for 0.5 s at 250 Hz; accel invalid
+        // (freefall-like) so only the gyro drives the filter.
+        for i in 1..=125u64 {
+            f.update(&imu_at(i * 4, Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO));
+        }
+        let (roll, _, _) = f.attitude().to_euler();
+        assert!((roll - 0.5).abs() < 0.01, "roll {roll}");
+    }
+
+    #[test]
+    fn sensor_gaps_degrade_attitude_tracking() {
+        // The property the paper's memory-DoS experiment rests on: with the
+        // same rotation, sparse samples track worse than dense ones.
+        let simulate = |period_ms: u64| {
+            let mut f = AttitudeFilter::default();
+            f.initialize(Quat::IDENTITY, SimTime::ZERO);
+            // True motion: sinusoidal roll rate, 2 Hz.
+            let mut t = 0u64;
+            while t < 2000 {
+                t += period_ms;
+                let secs = t as f64 / 1000.0;
+                let rate = (std::f64::consts::TAU * 2.0 * secs).sin() * 2.0;
+                f.update(&imu_at(t, Vec3::new(rate, 0.0, 0.0), Vec3::ZERO));
+            }
+            // True roll angle: integral of the sine.
+            let secs = t as f64 / 1000.0;
+            let true_roll = (1.0 - (std::f64::consts::TAU * 2.0 * secs).cos())
+                / (std::f64::consts::PI * 2.0);
+            let (roll, _, _) = f.attitude().to_euler();
+            (roll - true_roll).abs()
+        };
+        let dense = simulate(4); // 250 Hz
+        let sparse = simulate(97); // ~10 Hz, aliased
+        assert!(sparse > 5.0 * dense, "dense {dense}, sparse {sparse}");
+    }
+
+    #[test]
+    fn noisy_hover_estimate_stays_level() {
+        let mut f = AttitudeFilter::default();
+        f.initialize(Quat::IDENTITY, SimTime::ZERO);
+        let mut rng = Rng::seed_from(3);
+        for i in 1..=5000u64 {
+            let noise = Vec3::new(
+                rng.normal(0.0, 0.002),
+                rng.normal(0.0, 0.002),
+                rng.normal(0.0, 0.002),
+            );
+            let accel = Vec3::new(
+                rng.normal(0.0, 0.05),
+                rng.normal(0.0, 0.05),
+                -GRAVITY + rng.normal(0.0, 0.05),
+            );
+            f.update(&imu_at(i * 4, noise, accel));
+        }
+        let (roll, pitch, _) = f.attitude().to_euler();
+        assert!(roll.abs() < 0.02 && pitch.abs() < 0.02, "{roll} {pitch}");
+    }
+
+    #[test]
+    fn position_filter_tracks_constant_velocity() {
+        let mut f = PositionFilter::default();
+        f.initialize(Vec3::ZERO, Vec3::ZERO, SimTime::ZERO);
+        // Fixes every 100 ms from a vehicle moving at 1 m/s north.
+        for i in 1..=50u64 {
+            let t = SimTime::from_millis(i * 100);
+            f.update_fix(&PositionFix {
+                time: t,
+                position: Vec3::new(i as f64 * 0.1, 0.0, -1.0),
+                velocity: Vec3::new(1.0, 0.0, 0.0),
+                ..Default::default()
+            });
+        }
+        assert!((f.position().x - 5.0).abs() < 0.05);
+        assert!((f.velocity().x - 1.0).abs() < 0.05);
+        // Dead reckoning carries the estimate between fixes.
+        f.predict(SimTime::from_millis(5050));
+        assert!((f.position().x - 5.05).abs() < 0.05);
+    }
+
+    #[test]
+    fn baro_pulls_altitude() {
+        let mut f = PositionFilter::new(PositionFilterConfig {
+            baro_gain: 0.5,
+            ..Default::default()
+        });
+        f.initialize(Vec3::new(0.0, 0.0, -1.0), Vec3::ZERO, SimTime::ZERO);
+        for i in 1..=40u64 {
+            f.update_baro(&BaroSample {
+                time: SimTime::from_millis(i * 20),
+                altitude: 2.0,
+                ..Default::default()
+            });
+        }
+        assert!((-f.position().z - 2.0).abs() < 0.05, "alt {}", -f.position().z);
+    }
+
+    #[test]
+    fn predict_clamps_huge_gaps() {
+        let mut f = PositionFilter::default();
+        f.initialize(Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0), SimTime::ZERO);
+        f.predict(SimTime::ZERO + SimDuration::from_secs(100));
+        // A 100 s outage dead-reckons at most 0.5 s worth of motion.
+        assert!(f.position().x <= 5.0 + 1e-9);
+    }
+}

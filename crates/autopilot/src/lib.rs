@@ -1,0 +1,56 @@
+//! PX4-like flight control stack for the ContainerDrone reproduction.
+//!
+//! The paper runs the PX4 autopilot in both control environments (§IV-C).
+//! This crate provides the equivalent control stack:
+//!
+//! * [`pid`] — limited, anti-windup PID primitive,
+//! * [`estimator`] — complementary attitude filter + position observer
+//!   (estimate quality degrades with sensor gaps, the property the paper's
+//!   memory-DoS experiment rests on),
+//! * [`mixer`] — Quad-X control allocation with desaturation,
+//! * [`controller`] — the cascaded [`controller::FlightController`], with
+//!   [`controller::ControlGains::complex`] and
+//!   [`controller::ControlGains::safety`] presets corresponding to the
+//!   paper's complex and safety controllers.
+//!
+//! # Examples
+//!
+//! ```
+//! use autopilot::prelude::*;
+//! use uav_dynamics::math::Vec3;
+//! use uav_dynamics::quad::QuadParams;
+//! use sim_core::time::SimTime;
+//!
+//! let params = QuadParams::default();
+//! let mut fc = FlightController::new(&params, ControlGains::complex());
+//! fc.initialize_hover(Vec3::new(0.0, 0.0, -1.0), 0.0, SimTime::ZERO);
+//! fc.run_outer(SimTime::from_millis(4));
+//! let pwm = fc.run_rate_loop(SimTime::from_millis(5));
+//! assert!(pwm.iter().all(|&p| p >= 1000));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod estimator;
+pub mod mixer;
+pub mod pid;
+
+pub use controller::{
+    ControlGains, FlightController, FlightMode, Setpoint, StickInput, Waypoint,
+};
+pub use estimator::{
+    AttitudeFilter, AttitudeFilterConfig, PositionFilter, PositionFilterConfig,
+};
+pub use mixer::{Mixer, MixerConfig, Wrench};
+pub use pid::{Pid, PidConfig};
+
+/// Convenient glob import of the autopilot types.
+pub mod prelude {
+    pub use crate::controller::{
+        ControlGains, FlightController, FlightMode, Setpoint, StickInput, Waypoint,
+    };
+    pub use crate::estimator::{AttitudeFilter, PositionFilter};
+    pub use crate::mixer::{Mixer, MixerConfig, Wrench};
+    pub use crate::pid::{Pid, PidConfig};
+}

@@ -1,0 +1,248 @@
+//! Control allocation: thrust + body torques → four motor commands.
+//!
+//! Implements the Quad-X geometry used by [`uav_dynamics::quad::Quadrotor`]
+//! (motors: 0 front-right CCW, 1 rear-left CCW, 2 front-left CW,
+//! 3 rear-right CW) with airmode-style desaturation: when a command exceeds
+//! the actuator range, yaw authority is sacrificed first and collective
+//! thrust is shifted to preserve roll/pitch — attitude is what keeps a
+//! multirotor alive.
+
+use uav_dynamics::motor::cmd_to_pwm;
+
+/// Geometry/scaling parameters for the mixer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixerConfig {
+    /// Motor lever arm projection, m (arm length / √2 for Quad-X).
+    pub arm: f64,
+    /// Reaction torque per newton of thrust, m.
+    pub torque_coeff: f64,
+    /// Maximum thrust of one motor, N.
+    pub motor_max_thrust: f64,
+}
+
+impl MixerConfig {
+    /// Builds the mixer config from airframe parameters.
+    pub fn from_quad(params: &uav_dynamics::quad::QuadParams) -> Self {
+        MixerConfig {
+            arm: params.arm_length / std::f64::consts::SQRT_2,
+            torque_coeff: params.torque_coeff,
+            motor_max_thrust: params.motor_max_thrust,
+        }
+    }
+}
+
+/// The demanded wrench: collective thrust plus body torques.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Wrench {
+    /// Total thrust, N (positive up along −z body).
+    pub thrust: f64,
+    /// Roll torque, N·m.
+    pub torque_x: f64,
+    /// Pitch torque, N·m.
+    pub torque_y: f64,
+    /// Yaw torque, N·m.
+    pub torque_z: f64,
+}
+
+/// Allocates a wrench to per-motor normalized commands in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use autopilot::mixer::{Mixer, MixerConfig, Wrench};
+/// use uav_dynamics::quad::QuadParams;
+///
+/// let mixer = Mixer::new(MixerConfig::from_quad(&QuadParams::default()));
+/// let cmds = mixer.mix(Wrench { thrust: 11.77, ..Default::default() });
+/// // Pure hover thrust: all four motors equal.
+/// assert!((cmds[0] - cmds[3]).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mixer {
+    config: MixerConfig,
+}
+
+impl Mixer {
+    /// Creates a mixer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any config parameter is non-positive.
+    pub fn new(config: MixerConfig) -> Self {
+        assert!(config.arm > 0.0, "arm must be positive");
+        assert!(config.torque_coeff > 0.0, "torque_coeff must be positive");
+        assert!(config.motor_max_thrust > 0.0, "motor_max_thrust must be positive");
+        Mixer { config }
+    }
+
+    /// Computes normalized motor commands for `wrench`.
+    pub fn mix(&self, wrench: Wrench) -> [f64; 4] {
+        let c = &self.config;
+        let base = wrench.thrust / 4.0;
+        let r = wrench.torque_x / (4.0 * c.arm);
+        let p = wrench.torque_y / (4.0 * c.arm);
+        let mut y = wrench.torque_z / (4.0 * c.torque_coeff);
+
+        // Quad-X allocation (see torque signs in uav-dynamics::quad).
+        let thrust_of = |r: f64, p: f64, y: f64| {
+            [
+                base - r + p + y, // 0: front-right, CCW
+                base + r - p + y, // 1: rear-left,  CCW
+                base + r + p - y, // 2: front-left,  CW
+                base - r - p - y, // 3: rear-right,  CW
+            ]
+        };
+
+        let max = c.motor_max_thrust;
+        let mut thrusts = thrust_of(r, p, y);
+
+        // Stage 1: give up yaw authority if it causes saturation.
+        let overflow = thrusts
+            .iter()
+            .map(|t| (t - max).max(0.0).max(-t))
+            .fold(0.0f64, f64::max);
+        if overflow > 0.0 {
+            let shrink = (1.0 - overflow / y.abs().max(1e-9)).clamp(0.0, 1.0);
+            y *= shrink;
+            thrusts = thrust_of(r, p, y);
+        }
+
+        // Stage 2: shift collective thrust to center the commands in range.
+        let lo = thrusts.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = thrusts.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut shift = 0.0;
+        if lo < 0.0 && hi < max {
+            shift = (-lo).min(max - hi);
+        } else if hi > max && lo > 0.0 {
+            shift = -(hi - max).min(lo);
+        }
+
+        let mut cmds = [0.0f64; 4];
+        for (cmd, t) in cmds.iter_mut().zip(thrusts) {
+            *cmd = ((t + shift) / max).clamp(0.0, 1.0);
+        }
+        cmds
+    }
+
+    /// Computes PWM microsecond commands for `wrench`.
+    pub fn mix_pwm(&self, wrench: Wrench) -> [u16; 4] {
+        let cmds = self.mix(wrench);
+        [
+            cmd_to_pwm(cmds[0]),
+            cmd_to_pwm(cmds[1]),
+            cmd_to_pwm(cmds[2]),
+            cmd_to_pwm(cmds[3]),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uav_dynamics::quad::QuadParams;
+
+    fn mixer() -> Mixer {
+        Mixer::new(MixerConfig::from_quad(&QuadParams::default()))
+    }
+
+    /// Recomputes the wrench produced by a set of normalized commands.
+    fn wrench_of(m: &Mixer, cmds: [f64; 4]) -> Wrench {
+        let c = m.config;
+        let t: Vec<f64> = cmds.iter().map(|x| x * c.motor_max_thrust).collect();
+        Wrench {
+            thrust: t.iter().sum(),
+            torque_x: c.arm * (-t[0] + t[1] + t[2] - t[3]),
+            torque_y: c.arm * (t[0] - t[1] + t[2] - t[3]),
+            torque_z: c.torque_coeff * (t[0] + t[1] - t[2] - t[3]),
+        }
+    }
+
+    #[test]
+    fn unsaturated_mix_is_exact() {
+        let m = mixer();
+        let w = Wrench {
+            thrust: 12.0,
+            torque_x: 0.2,
+            torque_y: -0.15,
+            torque_z: 0.02,
+        };
+        let back = wrench_of(&m, m.mix(w));
+        assert!((back.thrust - w.thrust).abs() < 1e-9);
+        assert!((back.torque_x - w.torque_x).abs() < 1e-9);
+        assert!((back.torque_y - w.torque_y).abs() < 1e-9);
+        assert!((back.torque_z - w.torque_z).abs() < 1e-9);
+    }
+
+    #[test]
+    fn commands_always_in_unit_range() {
+        let m = mixer();
+        for &thrust in &[0.0, 5.0, 20.0, 40.0] {
+            for &tx in &[-3.0, 0.0, 3.0] {
+                for &tz in &[-1.0, 0.0, 1.0] {
+                    let cmds = m.mix(Wrench {
+                        thrust,
+                        torque_x: tx,
+                        torque_y: -tx,
+                        torque_z: tz,
+                    });
+                    for c in cmds {
+                        assert!((0.0..=1.0).contains(&c), "{cmds:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_preserves_roll_direction_over_yaw() {
+        let m = mixer();
+        // Huge roll + yaw demand at high thrust: yaw gets sacrificed, the
+        // roll torque sign must survive.
+        let w = Wrench {
+            thrust: 22.0,
+            torque_x: 2.0,
+            torque_y: 0.0,
+            torque_z: 1.5,
+        };
+        let back = wrench_of(&m, m.mix(w));
+        assert!(back.torque_x > 0.3, "roll torque retained: {back:?}");
+        assert!(back.torque_z.abs() < w.torque_z, "yaw reduced: {back:?}");
+    }
+
+    #[test]
+    fn zero_thrust_zero_torque_is_all_motors_off() {
+        let m = mixer();
+        assert_eq!(m.mix(Wrench::default()), [0.0; 4]);
+    }
+
+    #[test]
+    fn low_thrust_roll_demand_uses_thrust_shift() {
+        let m = mixer();
+        // Nearly zero collective with a roll demand: without the shift the
+        // negative-side motors would clamp at 0 and kill the torque.
+        let w = Wrench {
+            thrust: 0.5,
+            torque_x: 0.3,
+            torque_y: 0.0,
+            torque_z: 0.0,
+        };
+        let back = wrench_of(&m, m.mix(w));
+        assert!(back.torque_x > 0.25, "roll mostly preserved: {back:?}");
+    }
+
+    #[test]
+    fn pwm_output_matches_normalized() {
+        let m = mixer();
+        let w = Wrench {
+            thrust: 11.0,
+            torque_x: 0.1,
+            torque_y: 0.1,
+            torque_z: 0.0,
+        };
+        let cmds = m.mix(w);
+        let pwm = m.mix_pwm(w);
+        for i in 0..4 {
+            assert_eq!(pwm[i], cmd_to_pwm(cmds[i]));
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! PID controller with output limiting, integrator anti-windup and a
+//! filtered derivative-on-measurement term.
+
+/// PID gain/limit configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PidConfig {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain.
+    pub ki: f64,
+    /// Derivative gain (applied to the measurement, not the error, so
+    /// setpoint steps do not kick the output).
+    pub kd: f64,
+    /// Symmetric output limit (the output is clamped to `±output_limit`).
+    pub output_limit: f64,
+    /// Symmetric integrator state limit (anti-windup clamp).
+    pub integral_limit: f64,
+    /// Derivative low-pass cutoff frequency, Hz (0 disables filtering).
+    pub derivative_cutoff_hz: f64,
+}
+
+impl PidConfig {
+    /// A proportional-only controller.
+    pub fn p(kp: f64, output_limit: f64) -> Self {
+        PidConfig {
+            kp,
+            ki: 0.0,
+            kd: 0.0,
+            output_limit,
+            integral_limit: 0.0,
+            derivative_cutoff_hz: 0.0,
+        }
+    }
+
+    /// A PI controller.
+    pub fn pi(kp: f64, ki: f64, output_limit: f64, integral_limit: f64) -> Self {
+        PidConfig {
+            kp,
+            ki,
+            kd: 0.0,
+            output_limit,
+            integral_limit,
+            derivative_cutoff_hz: 0.0,
+        }
+    }
+
+    /// A full PID controller with a derivative low-pass at `cutoff_hz`.
+    pub fn pid(
+        kp: f64,
+        ki: f64,
+        kd: f64,
+        output_limit: f64,
+        integral_limit: f64,
+        cutoff_hz: f64,
+    ) -> Self {
+        PidConfig {
+            kp,
+            ki,
+            kd,
+            output_limit,
+            integral_limit,
+            derivative_cutoff_hz: cutoff_hz,
+        }
+    }
+}
+
+/// PID controller state.
+///
+/// # Examples
+///
+/// ```
+/// use autopilot::pid::{Pid, PidConfig};
+///
+/// let mut pid = Pid::new(PidConfig::p(2.0, 10.0));
+/// let out = pid.update(1.0, 0.0, 0.01); // setpoint 1, measurement 0
+/// assert_eq!(out, 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pid {
+    config: PidConfig,
+    integral: f64,
+    last_measurement: Option<f64>,
+    derivative_filtered: f64,
+}
+
+impl Pid {
+    /// Creates a controller at rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any limit is negative.
+    pub fn new(config: PidConfig) -> Self {
+        assert!(config.output_limit >= 0.0, "negative output limit");
+        assert!(config.integral_limit >= 0.0, "negative integral limit");
+        Pid {
+            config,
+            integral: 0.0,
+            last_measurement: None,
+            derivative_filtered: 0.0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PidConfig {
+        &self.config
+    }
+
+    /// Runs one update with `dt` seconds since the previous call and
+    /// returns the limited output.
+    ///
+    /// Non-positive or non-finite `dt` skips the integral/derivative update
+    /// and returns the proportional response only — robust behaviour when a
+    /// starved scheduler produces pathological timing.
+    pub fn update(&mut self, setpoint: f64, measurement: f64, dt: f64) -> f64 {
+        let c = &self.config;
+        let error = setpoint - measurement;
+
+        if !(dt.is_finite() && dt > 0.0) {
+            return (c.kp * error).clamp(-c.output_limit, c.output_limit);
+        }
+
+        // Integrator with clamping anti-windup.
+        self.integral = (self.integral + c.ki * error * dt)
+            .clamp(-c.integral_limit, c.integral_limit);
+
+        // Derivative on measurement, optionally low-passed.
+        let raw_derivative = match self.last_measurement {
+            Some(prev) => (measurement - prev) / dt,
+            None => 0.0,
+        };
+        self.last_measurement = Some(measurement);
+        let derivative = if c.derivative_cutoff_hz > 0.0 {
+            let alpha = {
+                let rc = 1.0 / (std::f64::consts::TAU * c.derivative_cutoff_hz);
+                dt / (rc + dt)
+            };
+            self.derivative_filtered += alpha * (raw_derivative - self.derivative_filtered);
+            self.derivative_filtered
+        } else {
+            raw_derivative
+        };
+
+        let out = c.kp * error + self.integral - c.kd * derivative;
+        out.clamp(-c.output_limit, c.output_limit)
+    }
+
+    /// Current integrator state.
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+
+    /// Clears all internal state (used when the Simplex switch hands
+    /// control to a controller that has been in standby).
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.last_measurement = None;
+        self.derivative_filtered = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_only_response() {
+        let mut pid = Pid::new(PidConfig::p(3.0, 100.0));
+        assert_eq!(pid.update(2.0, 0.5, 0.01), 4.5);
+    }
+
+    #[test]
+    fn output_is_clamped() {
+        let mut pid = Pid::new(PidConfig::p(10.0, 1.0));
+        assert_eq!(pid.update(100.0, 0.0, 0.01), 1.0);
+        assert_eq!(pid.update(-100.0, 0.0, 0.01), -1.0);
+    }
+
+    #[test]
+    fn integral_accumulates_and_clamps() {
+        let mut pid = Pid::new(PidConfig::pi(0.0, 1.0, 10.0, 0.5));
+        for _ in 0..1000 {
+            pid.update(1.0, 0.0, 0.01);
+        }
+        assert!((pid.integral() - 0.5).abs() < 1e-12, "integral clamped at limit");
+    }
+
+    #[test]
+    fn integral_drives_out_steady_state_error() {
+        // Plant: x' = u. P alone leaves droop under a constant disturbance;
+        // PI must converge to the setpoint.
+        let mut pid = Pid::new(PidConfig::pi(2.0, 4.0, 10.0, 5.0));
+        let mut x: f64 = 0.0;
+        let disturbance = -1.0;
+        let dt = 0.01;
+        for _ in 0..5000 {
+            let u = pid.update(1.0, x, dt);
+            x += (u + disturbance) * dt;
+        }
+        assert!((x - 1.0).abs() < 0.01, "x = {x}");
+    }
+
+    #[test]
+    fn derivative_damps_oscillation() {
+        // Plant: double integrator x'' = u. Pure P oscillates forever; adding
+        // D must decay the oscillation.
+        let run = |kd: f64| {
+            let mut pid = Pid::new(PidConfig::pid(4.0, 0.0, kd, 100.0, 0.0, 0.0));
+            let (mut x, mut v) = (1.0f64, 0.0f64);
+            let dt = 0.001;
+            let mut peak: f64 = 0.0;
+            for i in 0..20_000 {
+                let u = pid.update(0.0, x, dt);
+                v += u * dt;
+                x += v * dt;
+                if i > 15_000 {
+                    peak = peak.max(x.abs());
+                }
+            }
+            peak
+        };
+        assert!(run(3.0) < 0.05, "damped run should settle, got {}", run(3.0));
+        assert!(run(0.0) > 0.5, "undamped run should keep oscillating");
+    }
+
+    #[test]
+    fn derivative_on_measurement_ignores_setpoint_steps() {
+        let mut pid = Pid::new(PidConfig::pid(0.0, 0.0, 1.0, 100.0, 0.0, 0.0));
+        pid.update(0.0, 0.0, 0.01);
+        // Setpoint jumps; measurement unchanged -> derivative term stays 0.
+        let out = pid.update(10.0, 0.0, 0.01);
+        assert_eq!(out, 0.0);
+    }
+
+    #[test]
+    fn pathological_dt_falls_back_to_proportional() {
+        let mut pid = Pid::new(PidConfig::pid(2.0, 1.0, 1.0, 10.0, 5.0, 0.0));
+        assert_eq!(pid.update(1.0, 0.0, 0.0), 2.0);
+        assert_eq!(pid.update(1.0, 0.0, f64::NAN), 2.0);
+        assert_eq!(pid.integral(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pid = Pid::new(PidConfig::pid(1.0, 1.0, 1.0, 10.0, 5.0, 10.0));
+        for _ in 0..100 {
+            pid.update(1.0, 0.5, 0.01);
+        }
+        assert!(pid.integral() != 0.0);
+        pid.reset();
+        assert_eq!(pid.integral(), 0.0);
+    }
+}

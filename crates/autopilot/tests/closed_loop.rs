@@ -1,0 +1,298 @@
+//! Closed-loop flight tests: the controller flying the simulated airframe.
+//!
+//! These tests establish the control-quality facts the paper's experiments
+//! rely on: the stack holds position at healthy rates, and *degrading the
+//! loop rate / sensor cadence destabilizes it* — the crash mechanism behind
+//! Figure 4.
+
+use autopilot::controller::{ControlGains, FlightController, Setpoint, Waypoint};
+use sim_core::time::{SimDuration, SimTime};
+use uav_dynamics::math::Vec3;
+use uav_dynamics::world::{World, WorldConfig};
+
+/// Result of a scripted closed-loop flight.
+struct FlightResult {
+    max_xy_dev: f64,
+    max_z_dev: f64,
+    crashed: bool,
+    final_pos: Vec3,
+}
+
+/// Flies `duration` seconds of position hold at `target` with every loop
+/// running at the given rates. `latency` delays actuation by a fixed lag,
+/// emulating scheduling-induced output delay.
+#[allow(clippy::too_many_arguments)]
+fn fly(
+    gains: ControlGains,
+    seed: u64,
+    duration_s: u64,
+    sensor_hz: f64,
+    outer_hz: f64,
+    rate_hz: f64,
+    latency: SimDuration,
+    target: Vec3,
+) -> FlightResult {
+    let mut world = World::new(WorldConfig::default(), seed);
+    let hover = Vec3::new(0.0, 0.0, -1.0);
+    world.start_at_hover(hover);
+
+    let mut fc = FlightController::new(world.quad_params(), gains);
+    fc.initialize_hover(hover, 0.0, SimTime::ZERO);
+    fc.set_setpoint(Setpoint {
+        position: target,
+        yaw: 0.0,
+    });
+
+    let dt = SimDuration::from_micros(250);
+    let sensor_period = SimDuration::from_hz(sensor_hz);
+    let outer_period = SimDuration::from_hz(outer_hz);
+    let rate_period = SimDuration::from_hz(rate_hz);
+    let fix_period = SimDuration::from_hz(10.0);
+
+    let end = SimTime::from_secs(duration_s);
+    let mut t = SimTime::ZERO;
+    let (mut next_sensor, mut next_outer, mut next_rate, mut next_fix) =
+        (t, t, t, t);
+    let mut pending: Vec<(SimTime, [u16; 4])> = Vec::new();
+
+    let mut max_xy_dev = 0.0f64;
+    let mut max_z_dev = 0.0f64;
+
+    while t < end && world.crash().is_none() {
+        if t >= next_sensor {
+            let imu = world.sample_imu();
+            fc.on_imu(&imu);
+            next_sensor += sensor_period;
+        }
+        if t >= next_fix {
+            let fix = world.sample_position();
+            fc.on_position_fix(&fix);
+            next_fix += fix_period;
+        }
+        if t >= next_outer {
+            fc.run_outer(t);
+            next_outer += outer_period;
+        }
+        if t >= next_rate {
+            let pwm = fc.run_rate_loop(t);
+            pending.push((t + latency, pwm));
+            next_rate += rate_period;
+        }
+        while let Some(&(due, pwm)) = pending.first() {
+            if due <= t {
+                world.set_motor_pwm(pwm);
+                pending.remove(0);
+            } else {
+                break;
+            }
+        }
+        t += dt;
+        world.advance_to(t);
+
+        if t > SimTime::from_secs(2) {
+            let p = world.truth().position;
+            max_xy_dev = max_xy_dev.max((p - target).norm_xy());
+            max_z_dev = max_z_dev.max((p.z - target.z).abs());
+        }
+    }
+
+    FlightResult {
+        max_xy_dev,
+        max_z_dev,
+        crashed: world.crash().is_some(),
+        final_pos: world.truth().position,
+    }
+}
+
+#[test]
+fn complex_controller_holds_position_at_full_rate() {
+    let r = fly(
+        ControlGains::complex(),
+        42,
+        15,
+        250.0,
+        250.0,
+        400.0,
+        SimDuration::ZERO,
+        Vec3::new(0.0, 0.0, -1.0),
+    );
+    assert!(!r.crashed, "must not crash");
+    assert!(r.max_xy_dev < 0.25, "xy dev {}", r.max_xy_dev);
+    assert!(r.max_z_dev < 0.25, "z dev {}", r.max_z_dev);
+}
+
+#[test]
+fn safety_controller_holds_position_at_full_rate() {
+    let r = fly(
+        ControlGains::safety(),
+        43,
+        15,
+        250.0,
+        250.0,
+        400.0,
+        SimDuration::ZERO,
+        Vec3::new(0.0, 0.0, -1.0),
+    );
+    assert!(!r.crashed);
+    assert!(r.max_xy_dev < 0.35, "xy dev {}", r.max_xy_dev);
+    assert!(r.max_z_dev < 0.35, "z dev {}", r.max_z_dev);
+}
+
+#[test]
+fn step_response_reaches_new_setpoint() {
+    let r = fly(
+        ControlGains::complex(),
+        44,
+        12,
+        250.0,
+        250.0,
+        400.0,
+        SimDuration::ZERO,
+        Vec3::new(1.0, -0.5, -1.5),
+    );
+    assert!(!r.crashed);
+    let err = (r.final_pos - Vec3::new(1.0, -0.5, -1.5)).norm();
+    assert!(err < 0.2, "final error {err}");
+}
+
+#[test]
+fn moderate_rate_reduction_still_stable() {
+    // Half-rate operation: well within stability margins.
+    let r = fly(
+        ControlGains::complex(),
+        45,
+        10,
+        125.0,
+        125.0,
+        200.0,
+        SimDuration::from_millis(4),
+        Vec3::new(0.0, 0.0, -1.0),
+    );
+    assert!(!r.crashed, "half-rate flight must still be stable");
+    assert!(r.max_xy_dev < 0.5, "xy dev {}", r.max_xy_dev);
+}
+
+#[test]
+fn severe_rate_degradation_destabilizes() {
+    // The Figure-4 mechanism: a memory-DoS-starved stack effectively runs
+    // the whole pipeline at a fraction of its design rate with added
+    // latency. At ~15x degradation plus 60 ms of latency the vehicle must
+    // lose position control (crash or large excursion).
+    let r = fly(
+        ControlGains::complex(),
+        46,
+        20,
+        15.0,
+        15.0,
+        25.0,
+        SimDuration::from_millis(60),
+        Vec3::new(0.0, 0.0, -1.0),
+    );
+    assert!(
+        r.crashed || r.max_xy_dev > 1.0 || r.max_z_dev > 1.0,
+        "severe degradation should destabilize: xy {} z {} crashed {}",
+        r.max_xy_dev,
+        r.max_z_dev,
+        r.crashed
+    );
+}
+
+#[test]
+fn mission_waypoints_are_tracked_in_order() {
+    let mut world = World::new(WorldConfig::default(), 47);
+    let hover = Vec3::new(0.0, 0.0, -1.0);
+    world.start_at_hover(hover);
+    let mut fc = FlightController::new(world.quad_params(), ControlGains::complex());
+    fc.initialize_hover(hover, 0.0, SimTime::ZERO);
+    fc.set_mission(vec![
+        Waypoint {
+            position: Vec3::new(1.0, 0.0, -1.0),
+            yaw: 0.0,
+            tolerance: 0.3,
+        },
+        Waypoint {
+            position: Vec3::new(1.0, 1.0, -1.5),
+            yaw: 0.0,
+            tolerance: 0.3,
+        },
+    ]);
+
+    let dt = SimDuration::from_micros(250);
+    let mut t = SimTime::ZERO;
+    let (mut next_s, mut next_o, mut next_r, mut next_f) = (t, t, t, t);
+    while t < SimTime::from_secs(20) && world.crash().is_none() {
+        if t >= next_s {
+            fc.on_imu(&world.sample_imu());
+            next_s += SimDuration::from_hz(250.0);
+        }
+        if t >= next_f {
+            fc.on_position_fix(&world.sample_position());
+            next_f += SimDuration::from_hz(10.0);
+        }
+        if t >= next_o {
+            fc.run_outer(t);
+            next_o += SimDuration::from_hz(250.0);
+        }
+        if t >= next_r {
+            world.set_motor_pwm(fc.run_rate_loop(t));
+            next_r += SimDuration::from_hz(400.0);
+        }
+        t += dt;
+        world.advance_to(t);
+        if fc.mission_progress() == 2 {
+            break;
+        }
+    }
+    assert!(world.crash().is_none(), "mission flight crashed");
+    assert_eq!(fc.mission_progress(), 2, "mission incomplete");
+    let err = (world.truth().position - Vec3::new(1.0, 1.0, -1.5)).norm();
+    assert!(err < 0.5, "far from final waypoint: {err}");
+}
+
+#[test]
+fn gust_disturbance_is_rejected() {
+    let mut world = World::new(WorldConfig::default(), 48);
+    let hover = Vec3::new(0.0, 0.0, -1.0);
+    world.start_at_hover(hover);
+    let mut fc = FlightController::new(world.quad_params(), ControlGains::complex());
+    fc.initialize_hover(hover, 0.0, SimTime::ZERO);
+
+    let dt = SimDuration::from_micros(250);
+    let mut t = SimTime::ZERO;
+    let (mut next_s, mut next_o, mut next_r, mut next_f) = (t, t, t, t);
+    let mut gusted = false;
+    let mut max_dev_after_recovery = 0.0f64;
+    while t < SimTime::from_secs(15) && world.crash().is_none() {
+        if !gusted && t >= SimTime::from_secs(5) {
+            world.inject_gust(Vec3::new(2.5, 2.5, 0.0), 1.0);
+            gusted = true;
+        }
+        if t >= next_s {
+            fc.on_imu(&world.sample_imu());
+            next_s += SimDuration::from_hz(250.0);
+        }
+        if t >= next_f {
+            fc.on_position_fix(&world.sample_position());
+            next_f += SimDuration::from_hz(10.0);
+        }
+        if t >= next_o {
+            fc.run_outer(t);
+            next_o += SimDuration::from_hz(250.0);
+        }
+        if t >= next_r {
+            world.set_motor_pwm(fc.run_rate_loop(t));
+            next_r += SimDuration::from_hz(400.0);
+        }
+        t += dt;
+        world.advance_to(t);
+        if t > SimTime::from_secs(12) {
+            max_dev_after_recovery =
+                max_dev_after_recovery.max((world.truth().position - hover).norm());
+        }
+    }
+    assert!(world.crash().is_none());
+    assert!(
+        max_dev_after_recovery < 0.3,
+        "should re-settle after gust, dev {max_dev_after_recovery}"
+    );
+}

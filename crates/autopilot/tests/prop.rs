@@ -1,0 +1,110 @@
+//! Property-based tests for the control stack: PID limits hold for any
+//! gain/input combination, and the mixer's outputs are always realizable.
+
+use autopilot::mixer::{Mixer, MixerConfig, Wrench};
+use autopilot::pid::{Pid, PidConfig};
+use proptest::prelude::*;
+use uav_dynamics::quad::QuadParams;
+
+fn arb_pid_config() -> impl Strategy<Value = PidConfig> {
+    (
+        0.0f64..50.0,
+        0.0f64..50.0,
+        0.0f64..5.0,
+        0.1f64..100.0,
+        0.0f64..50.0,
+        prop_oneof![Just(0.0), 1.0f64..100.0],
+    )
+        .prop_map(|(kp, ki, kd, out, int, cutoff)| {
+            PidConfig::pid(kp, ki, kd, out, int, cutoff)
+        })
+}
+
+proptest! {
+    /// PID output and integrator never leave their configured limits, for
+    /// any gains, inputs and time steps — the anti-windup contract.
+    #[test]
+    fn pid_limits_always_hold(
+        config in arb_pid_config(),
+        inputs in prop::collection::vec((-1000.0f64..1000.0, -1000.0f64..1000.0), 1..200),
+        dt in 0.0001f64..0.1,
+    ) {
+        let mut pid = Pid::new(config);
+        for (sp, meas) in inputs {
+            let out = pid.update(sp, meas, dt);
+            prop_assert!(out.abs() <= config.output_limit + 1e-12, "output {out}");
+            prop_assert!(
+                pid.integral().abs() <= config.integral_limit + 1e-12,
+                "integral {}",
+                pid.integral()
+            );
+            prop_assert!(out.is_finite());
+        }
+    }
+
+    /// Reset always restores the zero-state response.
+    #[test]
+    fn pid_reset_restores_initial_behaviour(
+        config in arb_pid_config(),
+        sp in -100.0f64..100.0,
+        meas in -100.0f64..100.0,
+    ) {
+        let mut fresh = Pid::new(config);
+        let mut used = Pid::new(config);
+        for i in 0..50 {
+            used.update(i as f64, -(i as f64), 0.01);
+        }
+        used.reset();
+        prop_assert_eq!(fresh.update(sp, meas, 0.01), used.update(sp, meas, 0.01));
+    }
+
+    /// Mixer outputs are always in [0, 1] for any wrench demand.
+    #[test]
+    fn mixer_outputs_realizable(
+        thrust in -5.0f64..60.0,
+        tx in -5.0f64..5.0,
+        ty in -5.0f64..5.0,
+        tz in -2.0f64..2.0,
+    ) {
+        let mixer = Mixer::new(MixerConfig::from_quad(&QuadParams::default()));
+        let cmds = mixer.mix(Wrench {
+            thrust,
+            torque_x: tx,
+            torque_y: ty,
+            torque_z: tz,
+        });
+        for c in cmds {
+            prop_assert!((0.0..=1.0).contains(&c), "command {c} out of range");
+            prop_assert!(c.is_finite());
+        }
+    }
+
+    /// For feasible (unsaturated) demands the mixer is exact: recomputing
+    /// the wrench from the motor commands returns the input.
+    #[test]
+    fn mixer_exact_when_feasible(
+        thrust in 6.0f64..18.0,
+        tx in -0.3f64..0.3,
+        ty in -0.3f64..0.3,
+        tz in -0.05f64..0.05,
+    ) {
+        let params = QuadParams::default();
+        let config = MixerConfig::from_quad(&params);
+        let mixer = Mixer::new(config);
+        let w = Wrench { thrust, torque_x: tx, torque_y: ty, torque_z: tz };
+        let cmds = mixer.mix(w);
+        // Skip genuinely saturated cases (they are allowed to deviate).
+        if cmds.iter().all(|c| *c > 1e-9 && *c < 1.0 - 1e-9) {
+            let t: Vec<f64> = cmds.iter().map(|c| c * params.motor_max_thrust).collect();
+            let arm = params.arm_length / std::f64::consts::SQRT_2;
+            let back_thrust: f64 = t.iter().sum();
+            let back_tx = arm * (-t[0] + t[1] + t[2] - t[3]);
+            let back_ty = arm * (t[0] - t[1] + t[2] - t[3]);
+            let back_tz = params.torque_coeff * (t[0] + t[1] - t[2] - t[3]);
+            prop_assert!((back_thrust - thrust).abs() < 1e-6);
+            prop_assert!((back_tx - tx).abs() < 1e-6);
+            prop_assert!((back_ty - ty).abs() < 1e-6);
+            prop_assert!((back_tz - tz).abs() < 1e-6);
+        }
+    }
+}

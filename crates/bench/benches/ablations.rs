@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the ablation scenarios (the design-choice
+//! studies DESIGN.md commits to): CPU protection and MemGuard budget.
+
+use attacks::cpu_hog::CpuHog;
+use containerdrone_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_core::time::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_cpu_protection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("cpu_protection", |b| {
+        b.iter(|| {
+            let mut protected = ScenarioConfig {
+                attack: Attack::CpuHog {
+                    at: SimTime::from_secs(2),
+                    hog: CpuHog::aggressive(),
+                },
+                ..ScenarioConfig::healthy()
+            }
+            .with_duration(SimDuration::from_secs(8));
+            let mut unprotected = protected.clone();
+            protected.framework.protections.cpu_isolation = true;
+            unprotected.framework.protections.cpu_isolation = false;
+
+            let p = Scenario::new(protected).run();
+            let u = Scenario::new(unprotected).run();
+            let skips = |r: &ScenarioResult| {
+                r.task_report
+                    .iter()
+                    .find(|(n, _)| n == "safety-controller")
+                    .map(|(_, s)| s.skips)
+                    .unwrap_or(0)
+            };
+            assert_eq!(skips(&p), 0, "protected run never starves");
+            assert!(skips(&u) > 100, "ablated run starves");
+            black_box((skips(&p), skips(&u)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_memguard_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("memguard_budget_sweep", |b| {
+        b.iter(|| {
+            let mut devs = Vec::new();
+            for budget in [0.02, 0.10, 0.35] {
+                let mut cfg = ScenarioConfig::fig5().with_duration(SimDuration::from_secs(8));
+                cfg.attack = Attack::MemoryHog {
+                    at: SimTime::from_secs(2),
+                    hog: attacks::membw_hog::BandwidthHog::isolbench(),
+                };
+                cfg.framework.protections.memguard_budget = budget;
+                let r = Scenario::new(cfg).run();
+                devs.push(r.max_deviation(SimTime::from_secs(2), SimTime::from_secs(8)));
+            }
+            black_box(devs)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu_protection, bench_memguard_budget);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benchmarks running each *figure scenario* end to end (shorter
+//! windows than the paper's 30 s, sized for benchmarking). Each bench also
+//! sanity-asserts the scenario's expected qualitative outcome, so
+//! `cargo bench` doubles as a smoke reproduction of Figures 4–7.
+
+use containerdrone_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_core::time::{SimDuration, SimTime};
+use std::hint::black_box;
+
+/// Shifts a scenario's attack earlier and trims the duration so the
+/// qualitative outcome still happens inside the benched window.
+fn shortened(mut cfg: ScenarioConfig, attack_at: u64, duration: u64) -> ScenarioConfig {
+    cfg.attack = match cfg.attack {
+        Attack::None => Attack::None,
+        Attack::MemoryHog { hog, .. } => Attack::MemoryHog {
+            at: SimTime::from_secs(attack_at),
+            hog,
+        },
+        Attack::UdpFlood { flood, .. } => Attack::UdpFlood {
+            at: SimTime::from_secs(attack_at),
+            flood,
+        },
+        Attack::KillComplex { .. } => Attack::KillComplex {
+            at: SimTime::from_secs(attack_at),
+        },
+        Attack::CpuHog { hog, .. } => Attack::CpuHog {
+            at: SimTime::from_secs(attack_at),
+            hog,
+        },
+        Attack::SpoofMotor { spoof, .. } => Attack::SpoofMotor {
+            at: SimTime::from_secs(attack_at),
+            spoof,
+        },
+    };
+    cfg.with_duration(SimDuration::from_secs(duration))
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig4_mem_attack_unprotected", |b| {
+        b.iter(|| {
+            let r = Scenario::new(shortened(ScenarioConfig::fig4(), 2, 20)).run();
+            assert!(r.crashed(), "fig4 shape: crash");
+            black_box(r.max_deviation(SimTime::from_secs(2), SimTime::from_secs(20)))
+        });
+    });
+
+    group.bench_function("fig5_mem_attack_memguard", |b| {
+        b.iter(|| {
+            let r = Scenario::new(shortened(ScenarioConfig::fig5(), 2, 10)).run();
+            assert!(!r.crashed(), "fig5 shape: stable");
+            black_box(r.max_deviation(SimTime::from_secs(2), SimTime::from_secs(10)))
+        });
+    });
+
+    group.bench_function("fig6_controller_kill", |b| {
+        b.iter(|| {
+            let r = Scenario::new(shortened(ScenarioConfig::fig6(), 3, 12)).run();
+            assert!(!r.crashed() && r.switch_time.is_some(), "fig6 shape: failover");
+            black_box(r.switch_time)
+        });
+    });
+
+    group.bench_function("fig7_udp_flood", |b| {
+        b.iter(|| {
+            let r = Scenario::new(shortened(ScenarioConfig::fig7(), 3, 12)).run();
+            assert!(!r.crashed() && r.switch_time.is_some(), "fig7 shape: failover");
+            black_box(r.flood_sent)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

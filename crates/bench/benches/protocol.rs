@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the protocol layer: frame encode/decode and
+//! streaming-parser throughput — the per-packet costs that bound how fast
+//! a flood can hurt the rx thread.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mavlink_lite::prelude::*;
+use std::hint::black_box;
+
+fn imu_message() -> Message {
+    Message::Imu(RawImu {
+        time_usec: 123_456,
+        gyro: [0.01, -0.02, 0.03],
+        accel: [0.1, 0.2, -9.8],
+        mag: [0.2, 0.0, 0.4],
+    })
+}
+
+fn motor_message() -> Message {
+    Message::Motor(MotorOutput {
+        time_usec: 123_456,
+        pwm: [1500, 1480, 1520, 1490],
+        seq: 42,
+        armed: 1,
+    })
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/encode");
+    for (name, msg) in [("imu_52B", imu_message()), ("motor_29B", motor_message())] {
+        let mut tx = Sender::new(1, 1);
+        group.throughput(Throughput::Bytes(
+            (msg.payload_len() + mavlink_lite::FRAME_OVERHEAD) as u64,
+        ));
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(tx.encode(black_box(msg))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/decode");
+    for (name, msg) in [("imu_52B", imu_message()), ("motor_29B", motor_message())] {
+        let wire = Sender::new(1, 1).encode(msg);
+        group.throughput(Throughput::Bytes(wire.len() as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| mavlink_lite::Frame::decode(black_box(&wire)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/parser");
+
+    // A healthy second of motor output: 400 frames back to back.
+    let mut tx = Sender::new(1, 1);
+    let clean: Vec<u8> = (0..400).flat_map(|_| tx.encode(motor_message())).collect();
+    group.throughput(Throughput::Bytes(clean.len() as u64));
+    group.bench_function("clean_stream_400_frames", |b| {
+        b.iter(|| {
+            let mut p = Parser::new();
+            black_box(p.push(black_box(&clean)))
+        });
+    });
+
+    // A flooded second: the same frames drowned in garbage datagrams.
+    let mut flooded = Vec::new();
+    for chunk in clean.chunks(29) {
+        flooded.extend_from_slice(&[0u8; 64]);
+        flooded.extend_from_slice(chunk);
+    }
+    group.throughput(Throughput::Bytes(flooded.len() as u64));
+    group.bench_function("flooded_stream", |b| {
+        b.iter(|| {
+            let mut p = Parser::new();
+            black_box(p.push(black_box(&flooded)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_parser);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Criterion benchmarks for the substrate simulators: scheduler stepping,
+//! the DRAM/MemGuard model, quadrotor physics, and the network stack.
+//! These bound the wall-clock cost of a full co-simulated flight second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use membw::prelude::*;
+use rt_sched::prelude::*;
+use sim_core::time::{SimDuration, SimTime};
+use std::hint::black_box;
+use uav_dynamics::prelude::*;
+use virt_net::prelude::*;
+
+/// The ContainerDrone HCE-like task set on 4 cores.
+fn loaded_machine() -> Machine {
+    let mut m = Machine::new(MachineConfig::default());
+    let root = m.root_cgroup();
+    m.spawn(
+        TaskSpec::periodic_fifo("drv", 90, SimDuration::from_hz(250.0),
+            Cost::memory_bound(SimDuration::from_micros(350), 2.2e6, 0.7)),
+        root,
+    );
+    m.spawn(
+        TaskSpec::periodic_fifo("motor", 90, SimDuration::from_hz(400.0),
+            Cost::compute(SimDuration::from_micros(60))),
+        root,
+    );
+    m.spawn(
+        TaskSpec::periodic_fifo("safety", 20, SimDuration::from_hz(400.0),
+            Cost::memory_bound(SimDuration::from_micros(320), 1.5e6, 0.55)),
+        root,
+    );
+    let cce = m.add_cgroup(Cgroup::container("cce", CpuSet::single(3)));
+    m.spawn(
+        TaskSpec::busy_fair("hog", Cost::streaming(SimDuration::from_secs(1), 14.0e6, 0.95)),
+        cce,
+    );
+    m
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/scheduler");
+    group.throughput(Throughput::Elements(20_000)); // quanta per simulated second
+    group.bench_function("simulated_second_4core_taskset", |b| {
+        b.iter_batched(
+            loaded_machine,
+            |mut m| {
+                let mut ev = Vec::new();
+                m.step_until(SimTime::from_secs(1), &mut ev);
+                black_box(ev.len())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/membw");
+    let demands = [
+        CoreDemand { bandwidth: 2.2e6, stall_fraction: 0.7, streaming: false },
+        CoreDemand { bandwidth: 1.5e6, stall_fraction: 0.55, streaming: false },
+        CoreDemand::default(),
+        CoreDemand { bandwidth: 14.0e6, stall_fraction: 0.95, streaming: true },
+    ];
+    for memguard in [false, true] {
+        let name = if memguard { "quantum_with_memguard" } else { "quantum_unregulated" };
+        group.bench_function(name, |b| {
+            let dram = DramConfig::default();
+            let mut mem = MemorySystem::new(4, dram);
+            if memguard {
+                mem.enable_memguard(MemGuardConfig::single_core(4, 3, 0.05, &dram));
+            }
+            let mut t = SimTime::ZERO;
+            let dt = SimDuration::from_micros(50);
+            b.iter(|| {
+                let out = mem.quantum(t, dt, black_box(&demands));
+                t += dt;
+                black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_physics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/dynamics");
+    group.throughput(Throughput::Elements(2000)); // 2 kHz steps per second
+    group.bench_function("simulated_second_2khz", |b| {
+        b.iter_batched(
+            || {
+                let mut w = World::new(WorldConfig::default(), 7);
+                w.start_at_hover(Vec3::new(0.0, 0.0, -1.0));
+                w.set_motor_commands([w.quad_params().hover_command(); 4]);
+                w
+            },
+            |mut w| {
+                w.advance_to(SimTime::from_secs(1));
+                black_box(w.truth().position)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("imu_sample", |b| {
+        let mut w = World::new(WorldConfig::default(), 7);
+        w.start_at_hover(Vec3::new(0.0, 0.0, -1.0));
+        b.iter(|| black_box(w.sample_imu()));
+    });
+    group.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/network");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("send_deliver_1000_datagrams", |b| {
+        b.iter_batched(
+            || {
+                let mut net = Network::new();
+                let host = net.add_namespace("host");
+                let cce = net.add_namespace("cce");
+                net.connect(host, cce, LinkConfig::default());
+                let rx = net.bind_with_capacity(host, 14600, 2048).unwrap();
+                let tx = net.bind(cce, 9000).unwrap();
+                (net, host, rx, tx)
+            },
+            |(mut net, host, rx, tx)| {
+                for i in 0..1000u64 {
+                    let t = SimTime::from_micros(i * 50);
+                    net.send(tx, Addr { ns: host, port: 14600 }, vec![0u8; 29], t).unwrap();
+                }
+                net.step(SimTime::from_secs(1));
+                black_box(net.socket_stats(rx).delivered)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler,
+    bench_memory_system,
+    bench_physics,
+    bench_network
+);
+criterion_main!(benches);

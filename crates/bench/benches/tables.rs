@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the table artifacts: the Table I measurement
+//! flight and the Table II overhead measurements, each asserting its
+//! qualitative outcome so `cargo bench` smoke-checks the tables too.
+
+use container_rt::prelude::*;
+use containerdrone_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rt_sched::prelude::*;
+use sim_core::time::{SimDuration, SimTime};
+use std::hint::black_box;
+use virt_net::prelude::*;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table1_stream_rates", |b| {
+        b.iter(|| {
+            let cfg = ScenarioConfig::healthy().with_duration(SimDuration::from_secs(5));
+            let r = Scenario::new(cfg).run();
+            let imu = r.streams.iter().find(|s| s.name == "IMU").unwrap();
+            assert!((imu.measured_hz - 250.0).abs() < 10.0);
+            assert_eq!(imu.frame_bytes, 52.0);
+            black_box(r.streams.len())
+        });
+    });
+    group.finish();
+}
+
+fn measure_idle(seconds: u64, setup: impl FnOnce(&mut Machine, &mut Network)) -> Vec<f64> {
+    let mut machine = Machine::new(MachineConfig::default());
+    let mut net = Network::new();
+    spawn_system_background(&mut machine);
+    setup(&mut machine, &mut net);
+    let mut ev = Vec::new();
+    machine.step_until(SimTime::from_secs(1), &mut ev);
+    machine.reset_accounting();
+    machine.step_until(SimTime::from_secs(1 + seconds), &mut ev);
+    machine.idle_rates()
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table2_overhead", |b| {
+        b.iter(|| {
+            let native = measure_idle(2, |_, _| {});
+            let vm = measure_idle(2, |m, _| {
+                Vm::start(m, VmConfig::default());
+            });
+            let container = measure_idle(2, |m, n| {
+                let host = n.add_namespace("host");
+                let _c = Container::create(m, n, host, ContainerConfig::cce(3));
+            });
+            // Table II shape: VM overhead dominates.
+            assert!(vm[3] < container[3] - 0.05);
+            black_box((native, vm, container))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_table2);
+criterion_main!(benches);

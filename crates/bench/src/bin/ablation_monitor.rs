@@ -1,0 +1,28 @@
+//! Ablation A3 — the security monitor itself: the Figure 6 controller-kill
+//! attack with monitoring disabled ends in a crash; with it, recovery.
+
+use cd_bench::{ascii_table, write_result};
+use containerdrone_core::prelude::*;
+use sim_core::time::SimTime;
+
+fn run(monitor: bool) -> Vec<String> {
+    let mut cfg = ScenarioConfig::fig6();
+    cfg.framework.protections.monitor = monitor;
+    let r = Scenario::new(cfg).run();
+    vec![
+        if monitor { "on (paper)" } else { "off (ablation)" }.to_string(),
+        if r.crashed() { "yes" } else { "no" }.to_string(),
+        r.switch_time.map(|t| t.to_string()).unwrap_or("never".into()),
+        format!("{:.3}", r.max_deviation(SimTime::from_secs(12), SimTime::from_secs(30))),
+    ]
+}
+
+fn main() {
+    println!("Ablation — security monitoring under the Figure-6 controller kill\n");
+    let table = ascii_table(
+        &["monitor", "crashed", "switch", "max dev after kill (m)"],
+        &[run(true), run(false)],
+    );
+    print!("{table}");
+    write_result("ablation_monitor.txt", &table);
+}

@@ -1,0 +1,25 @@
+//! Runs every table, figure and ablation harness in sequence, writing all
+//! artifacts to `results/`. This is the one-shot reproduction entry point:
+//!
+//! ```text
+//! cargo run --release -p cd-bench --bin all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "table2", "fig4", "fig5", "fig6", "fig7",
+        "ablation_cpu", "ablation_comm", "ablation_monitor", "ablation_memguard",
+        "extension_spoof", "analysis", "replication",
+    ];
+    for bin in bins {
+        println!("═══ running {bin} ═══");
+        let status = Command::new(std::env::current_exe().unwrap().with_file_name(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+        println!();
+    }
+    println!("all artifacts regenerated under results/");
+}

@@ -1,0 +1,90 @@
+//! Response-time analysis of the ContainerDrone HCE task set — the
+//! paper's stated future work ("hard real-time proof and schedulability
+//! analysis"), applied to the exact task set this reproduction simulates.
+
+use cd_bench::{ascii_table, write_result};
+use containerdrone_core::config::{FrameworkConfig, TaskCosts};
+use rt_sched::analysis::{response_time_analysis, AnalyzedTask};
+use sim_core::time::SimDuration;
+
+/// The HCE task set of the memory-DoS experiments, pinned as the
+/// partitioned analysis requires (driver on core 0, stack on core 1,
+/// monitor on core 2; the CCE owns core 3).
+fn hce_taskset(costs: &TaskCosts) -> Vec<AnalyzedTask> {
+    vec![
+        AnalyzedTask {
+            name: "sensor-driver".into(),
+            core: 0,
+            priority: 90,
+            period: SimDuration::from_hz(250.0),
+            cost: costs.sensor_driver,
+        },
+        AnalyzedTask {
+            name: "motor-driver".into(),
+            core: 0,
+            priority: 90,
+            period: SimDuration::from_hz(400.0),
+            cost: costs.motor_driver,
+        },
+        AnalyzedTask {
+            name: "hce-flight-stack".into(),
+            core: 1,
+            priority: 50,
+            period: SimDuration::from_hz(250.0),
+            cost: costs.hce_flight_stack,
+        },
+        AnalyzedTask {
+            name: "security-monitor".into(),
+            core: 2,
+            priority: 35,
+            period: SimDuration::from_hz(100.0),
+            cost: costs.monitor,
+        },
+        AnalyzedTask {
+            name: "safety-controller".into(),
+            core: 2,
+            priority: 20,
+            period: SimDuration::from_hz(400.0),
+            cost: costs.safety_controller,
+        },
+    ]
+}
+
+fn main() {
+    let fw = FrameworkConfig::default();
+    let tasks = hce_taskset(&fw.costs);
+    let gamma = containerdrone_core::scenario::MEM_ATTACK_GAMMA;
+
+    let cases = [
+        ("healthy (no contention)", None),
+        ("under Bandwidth hog, no MemGuard (U_other=0.93)", Some((gamma, 0.93))),
+        ("under hog, MemGuard 2% budget (worst-case sustained)", Some((gamma, 0.02))),
+        ("under hog, MemGuard 5% budget (worst-case sustained)", Some((gamma, 0.05))),
+    ];
+
+    println!("Response-time analysis of the HCE task set (γ = {gamma})\n");
+    let mut all_rows = Vec::new();
+    for (label, contention) in cases {
+        let report = response_time_analysis(&tasks, 3, contention);
+        for v in &report.tasks {
+            all_rows.push(vec![
+                label.to_string(),
+                v.name.clone(),
+                format!("{}", v.wcet),
+                v.response.map(|r| r.to_string()).unwrap_or("> deadline".into()),
+                if v.schedulable { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    let table = ascii_table(
+        &["case", "task", "WCET (inflated)", "worst response", "schedulable"],
+        &all_rows,
+    );
+    print!("{table}");
+    println!("\nNote: the analysis bounds *sustained* worst-case contention. MemGuard");
+    println!("confines the hog to one burst per 1 ms period, so simulation shows the");
+    println!("5% case running without a single miss — the gap between certified and");
+    println!("observed behaviour is exactly what the paper's future-work hard-real-time");
+    println!("analysis would have to close.");
+    write_result("analysis_rta.txt", &table);
+}

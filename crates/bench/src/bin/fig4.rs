@@ -1,0 +1,18 @@
+//! Regenerates **Figure 4**: local position X/Y/Z without MemGuard under
+//! the IsolBench `Bandwidth` memory-DoS attack (starts at 10 s). Paper:
+//! "the drone starts to drift right after the Bandwidth task is launched
+//! … and results in a crash shortly after."
+
+use cd_bench::{narrate_figure, save_figure_csv};
+use containerdrone_core::prelude::*;
+
+fn main() {
+    let result = Scenario::new(ScenarioConfig::fig4()).run();
+    narrate_figure(
+        "Figure 4 — memory DoS, MemGuard OFF",
+        "drift after attack onset, crash shortly after",
+        &result,
+    );
+    save_figure_csv("fig4.csv", &result);
+    assert!(result.crashed(), "expected the unprotected run to crash");
+}

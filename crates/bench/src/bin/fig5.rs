@@ -1,0 +1,17 @@
+//! Regenerates **Figure 5**: the same memory-DoS attack as Figure 4 but
+//! with MemGuard regulating the CCE core. Paper: "the drone oscillates for
+//! a short time but then managed to stabilize itself."
+
+use cd_bench::{narrate_figure, save_figure_csv};
+use containerdrone_core::prelude::*;
+
+fn main() {
+    let result = Scenario::new(ScenarioConfig::fig5()).run();
+    narrate_figure(
+        "Figure 5 — memory DoS, MemGuard ON",
+        "brief oscillation, remains stable",
+        &result,
+    );
+    save_figure_csv("fig5.csv", &result);
+    assert!(!result.crashed(), "expected the protected run to survive");
+}

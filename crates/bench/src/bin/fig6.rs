@@ -1,0 +1,19 @@
+//! Regenerates **Figure 6**: the attacker kills the complex controller at
+//! 12 s. Paper: "The security monitor detects that the output from CCE has
+//! not been received for some time, then kills the receiving thread and
+//! switches to the output from the safety controller."
+
+use cd_bench::{narrate_figure, save_figure_csv};
+use containerdrone_core::prelude::*;
+
+fn main() {
+    let result = Scenario::new(ScenarioConfig::fig6()).run();
+    narrate_figure(
+        "Figure 6 — complex controller killed at 12 s",
+        "receive-interval rule trips; safety controller stabilizes the drone",
+        &result,
+    );
+    save_figure_csv("fig6.csv", &result);
+    assert!(!result.crashed());
+    assert!(result.switch_time.is_some(), "expected a simplex switch");
+}

@@ -1,0 +1,55 @@
+//! Replication study: every figure scenario across a seed panel, so the
+//! qualitative outcomes can be checked for seed-robustness at a glance.
+
+use cd_bench::{ascii_table, write_result};
+use containerdrone_core::prelude::*;
+use sim_core::time::SimTime;
+
+fn outcome(cfg: ScenarioConfig) -> (String, String) {
+    let r = Scenario::new(cfg).run();
+    let out = match &r.crash {
+        Some(c) => format!("crash {:.1}s", c.time.as_secs_f64()),
+        None => {
+            let dev = r.max_deviation(
+                r.attack_onset.unwrap_or(SimTime::from_secs(2)),
+                SimTime::from_secs(30),
+            );
+            if dev > 2.0 {
+                format!("lost ctl ({dev:.1} m)")
+            } else {
+                format!("stable ({dev:.2} m)")
+            }
+        }
+    };
+    let switch = r
+        .switch_time
+        .map(|t| format!("{:.1}s", t.as_secs_f64()))
+        .unwrap_or("-".into());
+    (out, switch)
+}
+
+fn main() {
+    let seeds = [2019u64, 7, 99, 12345, 777];
+    println!("Replication across seeds {seeds:?} (outcome / simplex switch)\n");
+    let mut rows = Vec::new();
+    for (name, mk) in [
+        ("fig4 (expected: crash or lost ctl)", ScenarioConfig::fig4 as fn() -> ScenarioConfig),
+        ("fig5 (expected: stable)", ScenarioConfig::fig5),
+        ("fig6 (expected: stable + switch)", ScenarioConfig::fig6),
+        ("fig7 (expected: stable + switch)", ScenarioConfig::fig7),
+    ] {
+        let mut row = vec![name.to_string()];
+        for &seed in &seeds {
+            let (out, switch) = outcome(mk().with_seed(seed));
+            row.push(format!("{out} / {switch}"));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("scenario".to_string())
+        .chain(seeds.iter().map(|s| format!("seed {s}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let table = ascii_table(&header_refs, &rows);
+    print!("{table}");
+    write_result("replication.txt", &table);
+}

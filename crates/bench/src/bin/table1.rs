@@ -1,0 +1,58 @@
+//! Regenerates **Table I**: "The rate and amount of data transfer between
+//! the reliable and normal control environments."
+//!
+//! Runs a healthy 10 s hover and measures each stream's achieved rate and
+//! on-wire frame size at the virtual network layer.
+
+use cd_bench::{ascii_table, write_result};
+use containerdrone_core::prelude::*;
+use sim_core::time::SimDuration;
+
+fn main() {
+    let cfg = ScenarioConfig::healthy().with_duration(SimDuration::from_secs(10));
+    let result = Scenario::new(cfg).run();
+
+    let paper: &[(&str, &str, &str, &str)] = &[
+        ("IMU", "250Hz", "52 bytes", "14660"),
+        ("Barometer", "50Hz", "32 bytes", "14660"),
+        ("GPS", "10Hz", "44 bytes", "14660"),
+        ("RC", "50Hz", "50 bytes", "14660"),
+        ("Motor Output", "400Hz", "29 bytes", "14600"),
+    ];
+
+    let rows: Vec<Vec<String>> = result
+        .streams
+        .iter()
+        .zip(paper)
+        .map(|(s, p)| {
+            vec![
+                s.name.to_string(),
+                s.direction.to_string(),
+                format!("{} (paper {})", fmt_hz(s.measured_hz), p.1),
+                format!("{:.0} bytes (paper {})", s.frame_bytes, p.2),
+                format!("{} (paper {})", s.port, p.3),
+            ]
+        })
+        .collect();
+
+    let table = ascii_table(
+        &["Component", "Direction", "Measured rate", "Size", "Port"],
+        &rows,
+    );
+    println!("Table I — data transfer between HCE and CCE (measured over 10 s)\n");
+    print!("{table}");
+    write_result("table1.txt", &table);
+
+    let mut csv = String::from("component,direction,nominal_hz,measured_hz,frame_bytes,port\n");
+    for s in &result.streams {
+        csv.push_str(&format!(
+            "{},{},{},{:.3},{:.0},{}\n",
+            s.name, s.direction, s.nominal_hz, s.measured_hz, s.frame_bytes, s.port
+        ));
+    }
+    write_result("table1.csv", &csv);
+}
+
+fn fmt_hz(hz: f64) -> String {
+    format!("{hz:.1}Hz")
+}

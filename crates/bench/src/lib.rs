@@ -1,0 +1,142 @@
+//! Shared harness code for the table/figure regeneration binaries.
+//!
+//! Every evaluation artifact of the paper has a binary in `src/bin/`:
+//!
+//! | Binary | Artifact |
+//! |--------|----------|
+//! | `table1` | Table I — stream rates/sizes/ports |
+//! | `table2` | Table II — per-core idle: native vs VM vs container |
+//! | `fig4`   | Fig. 4 — memory DoS, MemGuard off (crash) |
+//! | `fig5`   | Fig. 5 — memory DoS, MemGuard on (stable) |
+//! | `fig6`   | Fig. 6 — complex controller killed (failover) |
+//! | `fig7`   | Fig. 7 — UDP flood (failover) |
+//! | `ablation_cpu` | CPU protection on/off |
+//! | `ablation_comm` | iptables on/off under flood |
+//! | `ablation_monitor` | monitor rules on/off |
+//! | `ablation_memguard` | MemGuard budget sweep |
+//! | `all`   | everything above, writing CSVs to `results/` |
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use containerdrone_core::runner::ScenarioResult;
+use sim_core::time::SimTime;
+
+/// Renders an ASCII table with a header row.
+///
+/// # Examples
+///
+/// ```
+/// let t = cd_bench::ascii_table(
+///     &["name", "value"],
+///     &[vec!["a".into(), "1".into()]],
+/// );
+/// assert!(t.contains("| a"));
+/// ```
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let sep = {
+        let mut s = String::from("+");
+        for w in &widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    let fmt_row = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (w, cell) in widths.iter().zip(cells) {
+            let _ = write!(s, " {cell:<w$} |");
+        }
+        s
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let mut out = String::new();
+    out.push_str(&sep);
+    out.push('\n');
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    out
+}
+
+/// The `results/` directory at the workspace root (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes `content` to `results/<name>` and reports the path on stdout.
+pub fn write_result(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    std::fs::write(&path, content).expect("write result file");
+    println!("wrote {}", path.display());
+}
+
+/// Prints the standard figure narration: outcome, switch, events, and the
+/// X/Y/Z deviation profile the paper plots.
+pub fn narrate_figure(title: &str, paper_expectation: &str, result: &ScenarioResult) {
+    println!("── {title} ──");
+    println!("paper: {paper_expectation}");
+    print!("{}", result.summary());
+    let end = SimTime::from_secs(30);
+    for axis in ["x", "y", "z"] {
+        let full = result.telemetry.max_tracking_error(axis, SimTime::from_secs(2), end);
+        println!("max |{axis}_true − {axis}_sp| = {full:.3} m");
+    }
+    if let Some(at) = result.attack_onset {
+        println!(
+            "deviation before attack: {:.3} m | after: {:.3} m",
+            result.max_deviation(SimTime::from_secs(2), at),
+            result.max_deviation(at, end)
+        );
+    }
+    println!();
+}
+
+/// Saves a figure's telemetry CSV under `results/`.
+pub fn save_figure_csv(name: &str, result: &ScenarioResult) {
+    write_result(name, &result.telemetry.to_csv());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_table_aligns_columns() {
+        let t = ascii_table(
+            &["col", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], lines[2], "separators match");
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "rectangular");
+        assert!(t.contains("| long-name |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ascii_table_validates_width() {
+        let _ = ascii_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

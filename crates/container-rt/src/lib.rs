@@ -1,0 +1,40 @@
+//! Container runtime and VM overhead models for the ContainerDrone
+//! reproduction.
+//!
+//! * [`container`] — a Docker-like runtime over [`rt_sched`] cgroups and
+//!   [`virt_net`] namespaces: cpuset confinement, no-realtime demotion,
+//!   bridged networking with port mapping, lifecycle control.
+//! * [`vm`] — the QEMU-style VM overhead model and the host background
+//!   load, which together regenerate the paper's Table II comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use container_rt::prelude::*;
+//! use rt_sched::prelude::*;
+//! use virt_net::prelude::*;
+//!
+//! let mut machine = Machine::new(MachineConfig::default());
+//! let mut net = Network::new();
+//! let host = net.add_namespace("host");
+//! let mut cce = Container::create(&mut machine, &mut net, host,
+//!                                 ContainerConfig::cce(3));
+//! // Whatever the task asks for, it runs best-effort on core 3 only.
+//! cce.run_task(&mut machine,
+//!              TaskSpec::busy_fair("complex-controller",
+//!                                  Cost::compute(sim_core::time::SimDuration::from_secs(1))));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod container;
+pub mod vm;
+
+pub use container::{Container, ContainerConfig, ContainerState};
+pub use vm::{spawn_system_background, Vm, VmConfig};
+
+/// Convenient glob import of the runtime types.
+pub mod prelude {
+    pub use crate::container::{Container, ContainerConfig, ContainerState};
+    pub use crate::vm::{spawn_system_background, Vm, VmConfig};
+}

@@ -1,0 +1,194 @@
+//! Virtual-machine overhead model for the Table II comparison.
+//!
+//! The paper compares CPU idle rates with one QEMU v3.0.0 VM emulating an
+//! ARM Versatile/PB (ARM926EJ-S) with 256 MB against one container. Full-
+//! system TCG emulation is expensive even for an idle guest: every guest
+//! timer tick runs translated code, and QEMU's vCPU, I/O and device-model
+//! threads all burn host CPU. We model those threads as host tasks whose
+//! utilizations are **calibrated to the paper's measurement** (idle rates
+//! ≈ 0.86/0.83/0.81/0.77) — the shape that matters is VM ≫ container ≈
+//! native, and it is reproduced structurally, not hard-coded: the tasks
+//! below really run on the simulated machine and the idle rates are
+//! measured back from the scheduler's accounting.
+
+use rt_sched::machine::Machine;
+use rt_sched::task::{Cost, CpuSet, TaskId, TaskSpec};
+use sim_core::time::SimDuration;
+
+/// Configuration of the emulated VM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmConfig {
+    /// VM name.
+    pub name: String,
+    /// Per-core utilization of the QEMU thread pinned to each core,
+    /// fractions of that core.
+    pub thread_loads: Vec<f64>,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            name: "qemu-arm926".to_string(),
+            // Calibrated against Table II: one idle ARM926 full-system
+            // emulation costs 9–22% per core in QEMU threads (vCPU TCG,
+            // iothread, device timers, display/misc), on top of the host
+            // background load.
+            thread_loads: vec![0.09, 0.16, 0.18, 0.22],
+        }
+    }
+}
+
+/// A running VM: a set of QEMU host threads.
+#[derive(Debug)]
+pub struct Vm {
+    name: String,
+    tasks: Vec<TaskId>,
+}
+
+impl Vm {
+    /// Starts the VM's QEMU threads on `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread_loads` is longer than the machine's core count or
+    /// any load is outside `[0, 1)`.
+    pub fn start(machine: &mut Machine, config: VmConfig) -> Vm {
+        assert!(
+            config.thread_loads.len() <= machine.config().n_cores,
+            "more QEMU threads than cores"
+        );
+        let root = machine.root_cgroup();
+        let mut tasks = Vec::new();
+        for (core, &load) in config.thread_loads.iter().enumerate() {
+            assert!((0.0..1.0).contains(&load), "load out of range: {load}");
+            if load == 0.0 {
+                continue;
+            }
+            // Guest timer ticks dominate: model as a 1 kHz periodic task
+            // whose per-job cost yields the calibrated utilization. TCG
+            // translation of a near-idle guest runs hot in the translation
+            // cache, so the cost is compute-dominated.
+            let period = SimDuration::from_millis(1);
+            let spec = TaskSpec::periodic_fair(
+                format!("{}/thread{}", config.name, core),
+                period,
+                Cost::compute(period.mul_f64(load)),
+            )
+            .with_affinity(CpuSet::single(core));
+            tasks.push(machine.spawn(spec, root));
+        }
+        Vm {
+            name: config.name,
+            tasks,
+        }
+    }
+
+    /// VM name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Stops the VM (kills all QEMU threads).
+    pub fn stop(&mut self, machine: &mut Machine) {
+        for t in self.tasks.drain(..) {
+            machine.kill(t);
+        }
+    }
+}
+
+/// Spawns the host's background load (kernel threads, system daemons):
+/// the "no container nor VM" baseline of Table II, where CPU0 idles at
+/// ~0.95 and the remaining cores at ~0.99.
+pub fn spawn_system_background(machine: &mut Machine) -> Vec<TaskId> {
+    let root = machine.root_cgroup();
+    let mut ids = Vec::new();
+    // Kernel housekeeping on CPU0 (~5%).
+    ids.push(machine.spawn(
+        TaskSpec::periodic_fifo(
+            "kworker/0",
+            40,
+            SimDuration::from_millis(10),
+            Cost::compute(SimDuration::from_micros(480)),
+        )
+        .with_affinity(CpuSet::single(0)),
+        root,
+    ));
+    // Light per-core ticks (~0.7% each).
+    for core in 1..machine.config().n_cores {
+        ids.push(machine.spawn(
+            TaskSpec::periodic_fifo(
+                format!("tick/{core}"),
+                40,
+                SimDuration::from_millis(10),
+                Cost::compute(SimDuration::from_micros(70)),
+            )
+            .with_affinity(CpuSet::single(core)),
+            root,
+        ));
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_sched::machine::MachineConfig;
+    use sim_core::time::SimTime;
+
+    fn measure_idle<F: FnOnce(&mut Machine)>(setup: F) -> Vec<f64> {
+        let mut m = Machine::new(MachineConfig::default());
+        spawn_system_background(&mut m);
+        setup(&mut m);
+        let mut ev = Vec::new();
+        // Warm up, then measure a 5 s window as the paper does.
+        m.step_until(SimTime::from_secs(1), &mut ev);
+        m.reset_accounting();
+        m.step_until(SimTime::from_secs(6), &mut ev);
+        m.idle_rates()
+    }
+
+    #[test]
+    fn baseline_matches_table2_native_row() {
+        let idle = measure_idle(|_| {});
+        assert!((idle[0] - 0.95).abs() < 0.01, "cpu0 {}", idle[0]);
+        for (c, rate) in idle.iter().enumerate().skip(1) {
+            assert!(*rate > 0.98, "cpu{c} {rate}");
+        }
+    }
+
+    #[test]
+    fn vm_costs_far_more_than_nothing() {
+        let idle = measure_idle(|m| {
+            Vm::start(m, VmConfig::default());
+        });
+        // Table II shape: every core loses 10–25%.
+        assert!(idle[0] < 0.90, "cpu0 {}", idle[0]);
+        assert!(idle[3] < 0.82, "cpu3 {}", idle[3]);
+        assert!(idle.iter().all(|&r| r > 0.5), "sane lower bound");
+    }
+
+    #[test]
+    fn vm_stop_restores_idle() {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut vm = Vm::start(&mut m, VmConfig::default());
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_secs(1), &mut ev);
+        vm.stop(&mut m);
+        m.reset_accounting();
+        m.step_until(SimTime::from_secs(2), &mut ev);
+        assert!(m.idle_rates().iter().all(|&r| r > 0.999));
+    }
+
+    #[test]
+    #[should_panic(expected = "load out of range")]
+    fn vm_rejects_bad_load() {
+        let mut m = Machine::new(MachineConfig::default());
+        let _ = Vm::start(
+            &mut m,
+            VmConfig {
+                name: "bad".into(),
+                thread_loads: vec![1.5],
+            },
+        );
+    }
+}

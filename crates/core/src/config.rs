@@ -1,0 +1,241 @@
+//! Framework configuration: stream rates and ports (Table I), task
+//! priorities (§IV-C), execution-cost models, protections, and monitor
+//! thresholds.
+
+use membw::dram::DramConfig;
+use rt_sched::task::Cost;
+use sim_core::time::SimDuration;
+
+/// UDP port on which the CCE receives sensor streams (Table I).
+pub const SENSOR_PORT: u16 = 14660;
+/// UDP port on which the HCE receives motor output (Table I).
+pub const MOTOR_PORT: u16 = 14600;
+
+/// Stream cadences of Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamRates {
+    /// IMU messages, Hz (paper: 250).
+    pub imu_hz: f64,
+    /// Barometer messages, Hz (paper: 50).
+    pub baro_hz: f64,
+    /// GPS (Vicon) messages, Hz (paper: 10).
+    pub gps_hz: f64,
+    /// RC messages, Hz (paper: 50).
+    pub rc_hz: f64,
+    /// Motor output, Hz (paper: 400).
+    pub motor_hz: f64,
+}
+
+impl Default for StreamRates {
+    fn default() -> Self {
+        StreamRates {
+            imu_hz: 250.0,
+            baro_hz: 50.0,
+            gps_hz: 10.0,
+            rc_hz: 50.0,
+            motor_hz: 400.0,
+        }
+    }
+}
+
+/// Execution-cost models for every task in the system.
+///
+/// Baselines approximate PX4-on-RPi3 measurements; the memory-intensity
+/// (`stall_fraction`) values are the calibration surface for the memory-DoS
+/// experiments and are documented per-experiment in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskCosts {
+    /// HCE sensor driver, per 250 Hz job.
+    pub sensor_driver: Cost,
+    /// HCE motor driver, per 400 Hz job.
+    pub motor_driver: Cost,
+    /// HCE security monitor, per 100 Hz job.
+    pub monitor: Cost,
+    /// HCE rx thread, per received datagram (MAVLink parse + dispatch).
+    pub rx_per_packet: Cost,
+    /// HCE safety controller, per 400 Hz job.
+    pub safety_controller: Cost,
+    /// HCE full flight stack (estimator + cascade), per 250 Hz job — the
+    /// pilot task in the memory-DoS experiments.
+    pub hce_flight_stack: Cost,
+    /// CCE complex-controller pipeline (parse + estimate + outer loops),
+    /// per 250 Hz job.
+    pub cce_pipeline: Cost,
+    /// CCE rate loop + motor-output send, per 400 Hz job.
+    pub cce_rate_loop: Cost,
+    /// Kernel housekeeping tick, per 1 kHz job (the "system interrupts"
+    /// around priority 40 in §IV-C).
+    pub system_tick: Cost,
+}
+
+impl Default for TaskCosts {
+    fn default() -> Self {
+        TaskCosts {
+            sensor_driver: Cost::memory_bound(SimDuration::from_micros(350), 2.2e6, 0.70),
+            motor_driver: Cost::compute(SimDuration::from_micros(60)),
+            monitor: Cost::compute(SimDuration::from_micros(50)),
+            rx_per_packet: Cost::memory_bound(SimDuration::from_micros(90), 1.0e6, 0.30),
+            safety_controller: Cost::memory_bound(SimDuration::from_micros(320), 1.5e6, 0.55),
+            hce_flight_stack: Cost::memory_bound(SimDuration::from_micros(2000), 2.8e6, 0.90),
+            cce_pipeline: Cost::memory_bound(SimDuration::from_micros(900), 2.0e6, 0.60),
+            cce_rate_loop: Cost::memory_bound(SimDuration::from_micros(300), 1.0e6, 0.40),
+            system_tick: Cost::compute(SimDuration::from_micros(25)),
+        }
+    }
+}
+
+/// FIFO priorities from §IV-C: drivers 90, system interrupts ≈ 40,
+/// safety controller 20.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Priorities {
+    /// Kernel driver tasks (sensor + motor).
+    pub drivers: u8,
+    /// System interrupt work.
+    pub system: u8,
+    /// Security monitor.
+    pub monitor: u8,
+    /// HCE receiving thread.
+    pub rx_thread: u8,
+    /// Safety controller.
+    pub safety: u8,
+}
+
+impl Default for Priorities {
+    fn default() -> Self {
+        Priorities {
+            drivers: 90,
+            system: 40,
+            monitor: 35,
+            rx_thread: 30,
+            safety: 20,
+        }
+    }
+}
+
+/// The three protection mechanisms of §III, individually switchable for
+/// the ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Protections {
+    /// CPU: confine the CCE to its cpuset and deny RT priority.
+    pub cpu_isolation: bool,
+    /// Memory: MemGuard regulation of the CCE core.
+    pub memguard: bool,
+    /// MemGuard budget for the CCE core, fraction of bus bandwidth.
+    pub memguard_budget: f64,
+    /// Communication: iptables rate limit on the HCE motor port.
+    pub iptables: bool,
+    /// iptables admitted packet rate, packets/s.
+    pub iptables_pps: f64,
+    /// iptables burst size, packets.
+    pub iptables_burst: f64,
+    /// Security monitoring (rules + Simplex switching).
+    pub monitor: bool,
+}
+
+impl Default for Protections {
+    fn default() -> Self {
+        Protections {
+            cpu_isolation: true,
+            memguard: true,
+            memguard_budget: 0.05,
+            iptables: true,
+            iptables_pps: 2_000.0,
+            iptables_burst: 200.0,
+            monitor: true,
+        }
+    }
+}
+
+/// Security-monitor thresholds (§III-E names the two rules; the paper
+/// leaves the numbers to the implementation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorThresholds {
+    /// Rule 1: maximum interval between valid outputs from the CCE.
+    pub max_receive_interval: SimDuration,
+    /// Rule 2: maximum attitude error, rad.
+    pub max_attitude_error: f64,
+    /// Rule 2 persistence: the error must exceed the bound for this long.
+    pub attitude_persistence: SimDuration,
+}
+
+impl Default for MonitorThresholds {
+    fn default() -> Self {
+        MonitorThresholds {
+            max_receive_interval: SimDuration::from_millis(600),
+            max_attitude_error: 20f64.to_radians(),
+            attitude_persistence: SimDuration::from_millis(250),
+        }
+    }
+}
+
+/// Top-level framework configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameworkConfig {
+    /// Stream rates (Table I).
+    pub rates: StreamRates,
+    /// Task cost models.
+    pub costs: TaskCosts,
+    /// FIFO priorities (§IV-C).
+    pub priorities: Priorities,
+    /// Protection switches.
+    pub protections: Protections,
+    /// Monitor thresholds.
+    pub thresholds: MonitorThresholds,
+    /// Which core the CCE owns ("one of the four cores is assigned
+    /// exclusively for CCE use", §IV-B).
+    pub cce_core: usize,
+    /// DRAM model (γ is the memory-DoS calibration parameter).
+    pub dram: DramConfig,
+    /// HCE receive-socket queue capacity, datagrams.
+    pub rx_queue_capacity: usize,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        FrameworkConfig {
+            rates: StreamRates::default(),
+            costs: TaskCosts::default(),
+            priorities: Priorities::default(),
+            protections: Protections::default(),
+            thresholds: MonitorThresholds::default(),
+            cce_core: 3,
+            dram: DramConfig::default(),
+            rx_queue_capacity: 256,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rates_match_table1() {
+        let r = StreamRates::default();
+        assert_eq!(r.imu_hz, 250.0);
+        assert_eq!(r.baro_hz, 50.0);
+        assert_eq!(r.gps_hz, 10.0);
+        assert_eq!(r.rc_hz, 50.0);
+        assert_eq!(r.motor_hz, 400.0);
+    }
+
+    #[test]
+    fn default_priorities_match_paper() {
+        let p = Priorities::default();
+        assert_eq!(p.drivers, 90);
+        assert_eq!(p.safety, 20);
+        assert!(p.system < p.drivers && p.system > p.safety);
+    }
+
+    #[test]
+    fn ports_match_table1() {
+        assert_eq!(SENSOR_PORT, 14660);
+        assert_eq!(MOTOR_PORT, 14600);
+    }
+
+    #[test]
+    fn all_protections_default_on() {
+        let p = Protections::default();
+        assert!(p.cpu_isolation && p.memguard && p.iptables && p.monitor);
+    }
+}

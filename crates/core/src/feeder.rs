@@ -1,0 +1,230 @@
+//! Simulation control mode: feeder-side message construction and CCE-side
+//! decoding (§III-E).
+//!
+//! "We require the complex controller to run in a simulation mode, where it
+//! does not access any device file but receive all the necessary data from
+//! the network interface. Feeder threads running in HCE receive raw sensor
+//! data from device drivers and send them to both controllers."
+//!
+//! This module converts between the simulator's sensor samples and the
+//! MAVLink-lite messages of Table I, including the local-NED ↔ geodetic
+//! conversion the GPS stream needs.
+
+use mavlink_lite::messages::{RawBaro, RawGps, RawImu, RcChannels};
+use sim_core::time::SimTime;
+use uav_dynamics::math::Vec3;
+use uav_dynamics::sensors::{BaroSample, ImuSample, PositionFix};
+
+/// Reference latitude of the flight volume origin, degrees (the paper's
+/// lab in Urbana-Champaign).
+pub const REF_LAT_DEG: f64 = 40.1164;
+/// Reference longitude of the flight volume origin, degrees.
+pub const REF_LON_DEG: f64 = -88.2434;
+
+/// Metres per degree of latitude (WGS-84 mean).
+const M_PER_DEG_LAT: f64 = 111_320.0;
+
+/// Converts an IMU sample to its Table I message.
+pub fn imu_to_msg(s: &ImuSample) -> RawImu {
+    RawImu {
+        time_usec: s.time.as_micros(),
+        gyro: [s.gyro.x as f32, s.gyro.y as f32, s.gyro.z as f32],
+        accel: [s.accel.x as f32, s.accel.y as f32, s.accel.z as f32],
+        mag: [s.mag.x as f32, s.mag.y as f32, s.mag.z as f32],
+    }
+}
+
+/// Reconstructs an IMU sample from its message.
+pub fn msg_to_imu(m: &RawImu) -> ImuSample {
+    ImuSample {
+        time: SimTime::from_micros(m.time_usec),
+        gyro: Vec3::new(m.gyro[0] as f64, m.gyro[1] as f64, m.gyro[2] as f64),
+        accel: Vec3::new(m.accel[0] as f64, m.accel[1] as f64, m.accel[2] as f64),
+        mag: Vec3::new(m.mag[0] as f64, m.mag[1] as f64, m.mag[2] as f64),
+    }
+}
+
+/// Converts a barometer sample to its Table I message.
+pub fn baro_to_msg(s: &BaroSample) -> RawBaro {
+    RawBaro {
+        time_usec: s.time.as_micros(),
+        abs_pressure: s.pressure_hpa as f32,
+        diff_pressure: 0.0,
+        temperature: s.temperature_c as f32,
+        altitude: s.altitude as f32,
+    }
+}
+
+/// Reconstructs a barometer sample from its message.
+pub fn msg_to_baro(m: &RawBaro) -> BaroSample {
+    BaroSample {
+        time: SimTime::from_micros(m.time_usec),
+        pressure_hpa: m.abs_pressure as f64,
+        temperature_c: m.temperature as f64,
+        altitude: m.altitude as f64,
+    }
+}
+
+/// Converts a position fix to the GPS message of Table I, projecting local
+/// NED onto geodetic coordinates around the lab origin (what the paper's
+/// ViconMAVLink bridge does).
+pub fn fix_to_msg(s: &PositionFix) -> RawGps {
+    let lat = REF_LAT_DEG + s.position.x / M_PER_DEG_LAT;
+    let m_per_deg_lon = M_PER_DEG_LAT * REF_LAT_DEG.to_radians().cos();
+    let lon = REF_LON_DEG + s.position.y / m_per_deg_lon;
+    RawGps {
+        time_usec: s.time.as_micros(),
+        lat: (lat * 1e7).round() as i32,
+        lon: (lon * 1e7).round() as i32,
+        alt_mm: (-s.position.z * 1000.0).round() as i32,
+        vel_n: s.velocity.x as f32,
+        vel_e: s.velocity.y as f32,
+        vel_d: s.velocity.z as f32,
+        eph_cm: (s.h_accuracy * 100.0).clamp(0.0, u16::MAX as f64) as u16,
+        epv_cm: (s.v_accuracy * 100.0).clamp(0.0, u16::MAX as f64) as u16,
+    }
+}
+
+/// Reconstructs a local-NED position fix from a GPS message.
+pub fn msg_to_fix(m: &RawGps) -> PositionFix {
+    let lat = m.lat as f64 / 1e7;
+    let lon = m.lon as f64 / 1e7;
+    let m_per_deg_lon = M_PER_DEG_LAT * REF_LAT_DEG.to_radians().cos();
+    PositionFix {
+        time: SimTime::from_micros(m.time_usec),
+        position: Vec3::new(
+            (lat - REF_LAT_DEG) * M_PER_DEG_LAT,
+            (lon - REF_LON_DEG) * m_per_deg_lon,
+            -(m.alt_mm as f64) / 1000.0,
+        ),
+        velocity: Vec3::new(m.vel_n as f64, m.vel_e as f64, m.vel_d as f64),
+        h_accuracy: m.eph_cm as f64 / 100.0,
+        v_accuracy: m.epv_cm as f64 / 100.0,
+    }
+}
+
+/// Builds the RC message: neutral sticks, position mode, healthy link.
+pub fn neutral_rc(time: SimTime) -> RcChannels {
+    let mut channels = [0u16; 16];
+    channels[0] = 1500; // roll
+    channels[1] = 1500; // pitch
+    channels[2] = 1500; // throttle
+    channels[3] = 1500; // yaw
+    channels[4] = 2000; // mode switch: position
+    RcChannels {
+        time_usec: time.as_micros(),
+        channels,
+        chan_count: 5,
+        rssi: 220,
+    }
+}
+
+/// Counts frames and bytes of one feeder stream (for the Table I report).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamCounter {
+    /// Frames sent.
+    pub frames: u64,
+    /// Total on-wire bytes.
+    pub bytes: u64,
+}
+
+impl StreamCounter {
+    /// Records one frame of `wire_len` bytes.
+    pub fn record(&mut self, wire_len: usize) {
+        self.frames += 1;
+        self.bytes += wire_len as u64;
+    }
+
+    /// Mean frame size, bytes.
+    pub fn mean_frame_size(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.frames as f64
+        }
+    }
+
+    /// Achieved rate over `elapsed` seconds.
+    pub fn rate_hz(&self, elapsed: f64) -> f64 {
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            self.frames as f64 / elapsed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imu_roundtrip_is_close() {
+        let s = ImuSample {
+            time: SimTime::from_millis(1234),
+            gyro: Vec3::new(0.1, -0.2, 0.3),
+            accel: Vec3::new(-9.7, 0.1, -0.4),
+            mag: Vec3::new(0.2, 0.0, 0.4),
+        };
+        let back = msg_to_imu(&imu_to_msg(&s));
+        assert_eq!(back.time, s.time);
+        assert!((back.gyro - s.gyro).norm() < 1e-6);
+        assert!((back.accel - s.accel).norm() < 1e-5);
+    }
+
+    #[test]
+    fn gps_roundtrip_is_centimetre_accurate() {
+        for &(x, y, z) in &[
+            (0.0, 0.0, -1.0),
+            (2.5, -3.5, -2.0),
+            (-4.9, 4.9, -0.3),
+        ] {
+            let s = PositionFix {
+                time: SimTime::from_secs(5),
+                position: Vec3::new(x, y, z),
+                velocity: Vec3::new(1.0, -0.5, 0.2),
+                h_accuracy: 0.004,
+                v_accuracy: 0.004,
+            };
+            let back = msg_to_fix(&fix_to_msg(&s));
+            assert!(
+                (back.position - s.position).norm() < 0.02,
+                "roundtrip error {:?} vs {:?}",
+                back.position,
+                s.position
+            );
+            assert!((back.velocity - s.velocity).norm() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn baro_roundtrip() {
+        let s = BaroSample {
+            time: SimTime::from_millis(77),
+            pressure_hpa: 1003.2,
+            temperature_c: 25.0,
+            altitude: 1.35,
+        };
+        let back = msg_to_baro(&baro_to_msg(&s));
+        assert!((back.altitude - s.altitude).abs() < 1e-6);
+        assert!((back.pressure_hpa - s.pressure_hpa).abs() < 0.01);
+    }
+
+    #[test]
+    fn neutral_rc_is_position_mode() {
+        let rc = neutral_rc(SimTime::from_secs(1));
+        assert_eq!(rc.channels[4], 2000);
+        assert_eq!(rc.chan_count, 5);
+    }
+
+    #[test]
+    fn stream_counter_accumulates() {
+        let mut c = StreamCounter::default();
+        for _ in 0..250 {
+            c.record(52);
+        }
+        assert_eq!(c.frames, 250);
+        assert_eq!(c.mean_frame_size(), 52.0);
+        assert!((c.rate_hz(1.0) - 250.0).abs() < 1e-9);
+    }
+}

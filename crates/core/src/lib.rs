@@ -1,0 +1,65 @@
+//! **ContainerDrone**: a container-based DoS-attack-resilient control
+//! framework for real-time UAV systems — full-system reproduction of
+//! Chen et al., DATE 2019.
+//!
+//! The framework splits the flight software into two environments:
+//!
+//! * the **Host Control Environment (HCE)** — sensor/motor drivers, a
+//!   verified safety controller, a receiving thread, and a security
+//!   monitor, all running with real-time priorities on the host;
+//! * the **Container Control Environment (CCE)** — the feature-rich but
+//!   untrusted complex controller, confined by cgroup cpuset, denied RT
+//!   priority, regulated by MemGuard and reachable only through a bridged
+//!   UDP channel with iptables rate limiting.
+//!
+//! A Simplex-architecture [`monitor::SecurityMonitor`] watches the CCE's
+//! output stream and the vehicle's attitude; on a rule violation it kills
+//! the receiving thread and hands actuation to the safety controller.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use containerdrone_core::prelude::*;
+//! use sim_core::time::SimDuration;
+//!
+//! // A short healthy hover (the full figures run 30 s).
+//! let cfg = ScenarioConfig::healthy().with_duration(SimDuration::from_secs(2));
+//! let result = Scenario::new(cfg).run();
+//! assert!(!result.crashed());
+//! ```
+//!
+//! The paper's experiments are presets: [`scenario::ScenarioConfig::fig4`]
+//! through [`scenario::ScenarioConfig::fig7`]; the `cd-bench` crate
+//! regenerates every table and figure from them.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod feeder;
+pub mod monitor;
+pub mod runner;
+pub mod scenario;
+pub mod telemetry;
+
+pub use config::{
+    FrameworkConfig, MonitorThresholds, Priorities, Protections, StreamRates, TaskCosts,
+    MOTOR_PORT, SENSOR_PORT,
+};
+pub use monitor::{
+    AttitudeErrorRule, MonitorContext, MonitorEvent, OutputSource, ReceiveIntervalRule,
+    RuleVerdict, SecurityMonitor, SecurityRule,
+};
+pub use runner::{Scenario, ScenarioResult, StreamReport};
+pub use scenario::{Attack, Pilot, ScenarioConfig};
+pub use telemetry::{FlightRecorder, Marker};
+
+/// Convenient glob import of the framework types.
+pub mod prelude {
+    pub use crate::config::{FrameworkConfig, Protections, MOTOR_PORT, SENSOR_PORT};
+    pub use crate::monitor::{
+        MonitorContext, OutputSource, RuleVerdict, SecurityMonitor, SecurityRule,
+    };
+    pub use crate::runner::{Scenario, ScenarioResult, StreamReport};
+    pub use crate::scenario::{Attack, Pilot, ScenarioConfig};
+    pub use crate::telemetry::FlightRecorder;
+}

@@ -1,0 +1,817 @@
+//! The co-simulation runner: machine + network + physics + controllers.
+//!
+//! [`Scenario::run`] assembles the full ContainerDrone system of Figure 2 —
+//! HCE tasks on the host (drivers, rx thread, security monitor, safety
+//! controller), CCE tasks in the container (complex-controller pipeline and
+//! rate loop), the bridged UDP channel of Table I — and advances everything
+//! in lock-step at the scheduler quantum. Job completions trigger the
+//! corresponding framework actions, so every scheduling delay, memory
+//! stall, dropped packet and parser resync propagates into flight quality
+//! exactly the way it does on the paper's testbed.
+
+use attacks::spoof::SpoofDriver;
+use attacks::udp_flood::FloodDriver;
+use autopilot::controller::{ControlGains, FlightController, Setpoint};
+use container_rt::container::{Container, ContainerConfig};
+use container_rt::vm::spawn_system_background;
+use mavlink_lite::frame::Sender;
+use mavlink_lite::messages::{Heartbeat, Message, MotorOutput};
+use mavlink_lite::parser::{Parser, ParserStats};
+use membw::dram::MemGuardConfig;
+use rt_sched::machine::{Machine, MachineConfig, TaskStats};
+use rt_sched::task::{SchedEvent, TaskId, TaskSpec};
+use sim_core::time::{SimDuration, SimTime};
+use uav_dynamics::crash::Crash;
+use uav_dynamics::motor::cmd_to_pwm;
+use uav_dynamics::world::World;
+use virt_net::net::{Addr, Network, NsId, SocketId, SocketStats};
+
+use crate::config::{MOTOR_PORT, SENSOR_PORT};
+use crate::feeder::{
+    baro_to_msg, fix_to_msg, imu_to_msg, msg_to_baro, msg_to_fix, msg_to_imu, neutral_rc,
+    StreamCounter,
+};
+use crate::monitor::{MonitorContext, MonitorEvent, OutputSource, SecurityMonitor, SecurityRule};
+use crate::scenario::{Attack, Pilot, ScenarioConfig};
+use crate::telemetry::FlightRecorder;
+
+/// One row of the Table I report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// Stream name (IMU, Barometer, …).
+    pub name: &'static str,
+    /// "HCE → CCE" or "CCE → HCE".
+    pub direction: &'static str,
+    /// Nominal rate from the configuration, Hz.
+    pub nominal_hz: f64,
+    /// Measured rate over the run, Hz.
+    pub measured_hz: f64,
+    /// On-wire frame size, bytes.
+    pub frame_bytes: f64,
+    /// Destination UDP port.
+    pub port: u16,
+}
+
+/// Everything a scenario run produces.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// The configuration that produced this result.
+    pub config: ScenarioConfig,
+    /// Recorded flight signals (the figure data).
+    pub telemetry: FlightRecorder,
+    /// The crash, if the flight ended in one.
+    pub crash: Option<Crash>,
+    /// When the Simplex switch to the safety controller happened.
+    pub switch_time: Option<SimTime>,
+    /// Monitor rule violations.
+    pub monitor_events: Vec<MonitorEvent>,
+    /// Attack onset (None for healthy runs).
+    pub attack_onset: Option<SimTime>,
+    /// Per-core idle fractions over the run.
+    pub idle_rates: Vec<f64>,
+    /// Measured Table I stream statistics.
+    pub streams: Vec<StreamReport>,
+    /// HCE motor-port parser statistics (flood garbage shows up here).
+    pub hce_parser_stats: ParserStats,
+    /// HCE motor-socket statistics (drops show up here).
+    pub rx_socket_stats: SocketStats,
+    /// Packets offered by the flood attack, if any.
+    pub flood_sent: u64,
+    /// CCE liveness heartbeats received by the HCE (1 Hz when healthy).
+    pub heartbeats_received: u64,
+    /// Per-task scheduler statistics (name, stats).
+    pub task_report: Vec<(String, TaskStats)>,
+}
+
+impl ScenarioResult {
+    /// `true` if the vehicle crashed.
+    pub fn crashed(&self) -> bool {
+        self.crash.is_some()
+    }
+
+    /// Largest distance between truth and the hover setpoint over
+    /// `[from, to)`, metres.
+    pub fn max_deviation(&self, from: SimTime, to: SimTime) -> f64 {
+        ["x", "y", "z"]
+            .iter()
+            .map(|a| self.telemetry.max_tracking_error(a, from, to))
+            .fold(0.0, f64::max)
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "outcome: {}\n",
+            match &self.crash {
+                Some(c) => format!("CRASHED at {} ({})", c.time, c.kind),
+                None => "stable".to_string(),
+            }
+        ));
+        if let Some(at) = self.attack_onset {
+            s.push_str(&format!("attack onset: {at}\n"));
+        }
+        match self.switch_time {
+            Some(t) => s.push_str(&format!("simplex switch: {t}\n")),
+            None => s.push_str("simplex switch: never\n"),
+        }
+        for ev in &self.monitor_events {
+            s.push_str(&format!("violation [{}] at {}: {}\n", ev.rule, ev.time, ev.detail));
+        }
+        let idle: Vec<String> = self.idle_rates.iter().map(|r| format!("{r:.2}")).collect();
+        s.push_str(&format!("idle rates: [{}]\n", idle.join(", ")));
+        s
+    }
+}
+
+/// An executable scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    config: ScenarioConfig,
+}
+
+impl Scenario {
+    /// Wraps a configuration.
+    pub fn new(config: ScenarioConfig) -> Self {
+        Scenario { config }
+    }
+
+    /// Runs the scenario to completion (or 1 s past a crash) and returns
+    /// the collected results.
+    pub fn run(self) -> ScenarioResult {
+        Runtime::build(self.config, Vec::new()).run()
+    }
+
+    /// Runs with additional custom security rules installed in the monitor
+    /// (see the `custom_rule` example).
+    pub fn run_with_rules(self, rules: Vec<Box<dyn SecurityRule>>) -> ScenarioResult {
+        Runtime::build(self.config, rules).run()
+    }
+}
+
+struct TaskIds {
+    sensor_driver: TaskId,
+    motor_driver: TaskId,
+    monitor: Option<TaskId>,
+    rx: Option<TaskId>,
+    safety: Option<TaskId>,
+    hce_stack: Option<TaskId>,
+    cc_pipeline: Option<TaskId>,
+    cc_rate: Option<TaskId>,
+}
+
+struct Runtime {
+    cfg: ScenarioConfig,
+    world: World,
+    machine: Machine,
+    net: Network,
+    container: Container,
+    host_ns: NsId,
+    // Sockets.
+    hce_motor_rx: SocketId,
+    hce_sensor_tx: SocketId,
+    cce_motor_tx: Option<SocketId>,
+    cce_sensor_rx: Option<SocketId>,
+    // Protocol state.
+    hce_sender: Sender,
+    cce_sender: Sender,
+    hce_parser: Parser,
+    cce_parser: Parser,
+    // Controllers.
+    safety_fc: FlightController,
+    cce_fc: Option<FlightController>,
+    hce_fc: Option<FlightController>,
+    monitor: SecurityMonitor,
+    // Simplex actuation state.
+    cce_cmd_pwm: [u16; 4],
+    last_valid_output: Option<SimTime>,
+    motor_seq: u32,
+    // Feeder state.
+    sensor_jobs: u64,
+    cce_rate_jobs: u64,
+    heartbeats_received: u64,
+    last_heartbeat: Option<SimTime>,
+    imu_counter: StreamCounter,
+    baro_counter: StreamCounter,
+    gps_counter: StreamCounter,
+    rc_counter: StreamCounter,
+    motor_counter: StreamCounter,
+    // Attack state.
+    attack_launched: bool,
+    flood: Option<FloodDriver>,
+    spoof: Option<SpoofDriver>,
+    // Bookkeeping.
+    ids: TaskIds,
+    recorder: FlightRecorder,
+}
+
+impl Runtime {
+    fn build(cfg: ScenarioConfig, extra_rules: Vec<Box<dyn SecurityRule>>) -> Runtime {
+        let fw = &cfg.framework;
+
+        // --- Physical world -------------------------------------------------
+        let mut world = World::new(cfg.world, cfg.seed);
+        world.start_at_hover(cfg.hover);
+
+        // --- Machine ---------------------------------------------------------
+        let mut machine = Machine::new(MachineConfig {
+            n_cores: 4,
+            quantum: SimDuration::from_micros(50),
+            dram: fw.dram,
+        });
+        spawn_system_background(&mut machine);
+        if fw.protections.memguard {
+            machine.enable_memguard(MemGuardConfig::single_core(
+                4,
+                fw.cce_core,
+                fw.protections.memguard_budget,
+                &fw.dram,
+            ));
+        }
+
+        // --- Network + container ---------------------------------------------
+        let mut net = Network::new();
+        let host_ns = net.add_namespace("host");
+        let mut container = Container::create(
+            &mut machine,
+            &mut net,
+            host_ns,
+            ContainerConfig::cce(fw.cce_core),
+        );
+        container.expose_port(&mut net, host_ns, SENSOR_PORT);
+
+        let hce_motor_rx = net
+            .bind_with_capacity(host_ns, MOTOR_PORT, fw.rx_queue_capacity)
+            .expect("motor port free");
+        let hce_sensor_tx = net.bind(host_ns, 9001).expect("feeder port free");
+        if fw.protections.iptables {
+            net.add_rate_limit(
+                Addr { ns: host_ns, port: MOTOR_PORT },
+                fw.protections.iptables_pps,
+                fw.protections.iptables_burst,
+            );
+        }
+
+        // --- HCE tasks ---------------------------------------------------------
+        let hce_cores = rt_sched::task::CpuSet::from_cores(
+            (0..4usize).filter(|c| *c != fw.cce_core),
+        );
+        let sensor_period = SimDuration::from_hz(fw.rates.imu_hz);
+        let motor_period = SimDuration::from_hz(fw.rates.motor_hz);
+
+        let sensor_driver = machine.spawn(
+            TaskSpec::periodic_fifo("sensor-driver", fw.priorities.drivers, sensor_period, fw.costs.sensor_driver)
+                .with_affinity(hce_cores),
+            machine.root_cgroup(),
+        );
+        let motor_driver = machine.spawn(
+            TaskSpec::periodic_fifo("motor-driver", fw.priorities.drivers, motor_period, fw.costs.motor_driver)
+                .with_affinity(hce_cores)
+                .with_offset(SimDuration::from_micros(200)),
+            machine.root_cgroup(),
+        );
+
+        let params = *world.quad_params();
+        let t0 = SimTime::ZERO;
+        let mut safety_fc = FlightController::new(&params, ControlGains::safety());
+        safety_fc.initialize_hover(cfg.hover, 0.0, t0);
+        safety_fc.set_setpoint(Setpoint { position: cfg.hover, yaw: 0.0 });
+
+        let mut monitor = SecurityMonitor::new(&fw.thresholds);
+        for r in extra_rules {
+            monitor.add_rule(r);
+        }
+
+        let mut ids = TaskIds {
+            sensor_driver,
+            motor_driver,
+            monitor: None,
+            rx: None,
+            safety: None,
+            hce_stack: None,
+            cc_pipeline: None,
+            cc_rate: None,
+        };
+
+        let mut cce_fc = None;
+        let mut hce_fc = None;
+        let mut cce_motor_tx = None;
+        let mut cce_sensor_rx = None;
+
+        match cfg.pilot {
+            Pilot::CceSimplex => {
+                ids.safety = Some(machine.spawn(
+                    TaskSpec::periodic_fifo("safety-controller", fw.priorities.safety, motor_period, fw.costs.safety_controller)
+                        .with_affinity(hce_cores)
+                        .with_offset(SimDuration::from_micros(400)),
+                    machine.root_cgroup(),
+                ));
+                if fw.protections.monitor {
+                    ids.monitor = Some(machine.spawn(
+                        TaskSpec::periodic_fifo("security-monitor", fw.priorities.monitor, SimDuration::from_hz(100.0), fw.costs.monitor)
+                            .with_affinity(hce_cores),
+                        machine.root_cgroup(),
+                    ));
+                }
+                ids.rx = Some(machine.spawn(
+                    TaskSpec::sporadic_fifo("rx-thread", fw.priorities.rx_thread, fw.costs.rx_per_packet)
+                        .with_affinity(hce_cores),
+                    machine.root_cgroup(),
+                ));
+
+                // CCE: complex controller pipeline + rate loop.
+                let mut fc = FlightController::new(&params, ControlGains::complex());
+                fc.initialize_hover(cfg.hover, 0.0, t0);
+                fc.set_setpoint(Setpoint { position: cfg.hover, yaw: 0.0 });
+                cce_fc = Some(fc);
+                ids.cc_pipeline = Some(container.run_task(
+                    &mut machine,
+                    TaskSpec::periodic_fair("cce-pipeline", sensor_period, fw.costs.cce_pipeline),
+                ));
+                ids.cc_rate = Some(container.run_task(
+                    &mut machine,
+                    TaskSpec::periodic_fair("cce-rate-loop", motor_period, fw.costs.cce_rate_loop)
+                        .with_offset(SimDuration::from_micros(800)),
+                ));
+                cce_sensor_rx = Some(
+                    net.bind(container.netns(), SENSOR_PORT)
+                        .expect("sensor port free in container"),
+                );
+                cce_motor_tx =
+                    Some(net.bind(container.netns(), 9002).expect("cce tx port free"));
+            }
+            Pilot::HceDirect => {
+                // The trusted controller flies directly on the HCE.
+                let mut fc = FlightController::new(&params, ControlGains::complex());
+                fc.initialize_hover(cfg.hover, 0.0, t0);
+                fc.set_setpoint(Setpoint { position: cfg.hover, yaw: 0.0 });
+                hce_fc = Some(fc);
+                ids.hce_stack = Some(machine.spawn(
+                    TaskSpec::periodic_fifo("hce-flight-stack", 50, sensor_period, fw.costs.hce_flight_stack)
+                        .with_affinity(hce_cores)
+                        .with_offset(SimDuration::from_micros(600)),
+                    machine.root_cgroup(),
+                ));
+            }
+        }
+
+        let hover_pwm = cmd_to_pwm(params.hover_command());
+
+        Runtime {
+            cfg,
+            world,
+            machine,
+            net,
+            container,
+            host_ns,
+            hce_motor_rx,
+            hce_sensor_tx,
+            cce_motor_tx,
+            cce_sensor_rx,
+            hce_sender: Sender::new(1, 1),
+            cce_sender: Sender::new(2, 1),
+            hce_parser: Parser::new(),
+            cce_parser: Parser::new(),
+            safety_fc,
+            cce_fc,
+            hce_fc,
+            monitor,
+            cce_cmd_pwm: [hover_pwm; 4],
+            last_valid_output: None,
+            motor_seq: 0,
+            sensor_jobs: 0,
+            cce_rate_jobs: 0,
+            heartbeats_received: 0,
+            last_heartbeat: None,
+            imu_counter: StreamCounter::default(),
+            baro_counter: StreamCounter::default(),
+            gps_counter: StreamCounter::default(),
+            rc_counter: StreamCounter::default(),
+            motor_counter: StreamCounter::default(),
+            attack_launched: false,
+            flood: None,
+            spoof: None,
+            ids,
+            recorder: FlightRecorder::new(),
+        }
+    }
+
+    fn run(mut self) -> ScenarioResult {
+        let quantum = self.machine.config().quantum;
+        let end = SimTime::ZERO + self.cfg.duration;
+        let record_period = SimDuration::from_hz(self.cfg.record_hz);
+        let mut next_record = SimTime::ZERO;
+        let mut events: Vec<SchedEvent> = Vec::new();
+        let mut crash_deadline: Option<SimTime> = None;
+        let mut crash_marked = false;
+
+        while self.machine.now() < end {
+            events.clear();
+            self.machine.step(&mut events);
+            let now = self.machine.now();
+            self.world.advance_to(now);
+
+            for ev in events.drain(..) {
+                if let SchedEvent::JobCompleted { task, .. } = ev {
+                    self.dispatch(task, now);
+                }
+            }
+
+            if let Some(flood) = &mut self.flood {
+                flood.step(&mut self.net, now, quantum);
+            }
+            if let Some(spoof) = &mut self.spoof {
+                spoof.step(&mut self.net, now, quantum);
+            }
+            let deliveries = self.net.step(now);
+            for d in deliveries {
+                if d.socket == self.hce_motor_rx {
+                    if let Some(rx) = self.ids.rx {
+                        if self.machine.is_alive(rx) {
+                            self.machine.inject_job(rx, d.count);
+                        }
+                    }
+                }
+            }
+
+            self.maybe_launch_attack(now);
+
+            if now >= next_record {
+                self.record(now);
+                next_record = now + record_period;
+            }
+
+            if let Some(crash) = self.world.crash() {
+                if !crash_marked {
+                    self.recorder
+                        .mark(crash.time, format!("crash: {}", crash.kind));
+                    crash_marked = true;
+                    crash_deadline = Some(now + SimDuration::from_secs(1));
+                }
+            }
+            if crash_deadline.is_some_and(|d| now >= d) {
+                break;
+            }
+        }
+
+        self.finish()
+    }
+
+    fn dispatch(&mut self, task: TaskId, now: SimTime) {
+        let ids = &self.ids;
+        if task == ids.sensor_driver {
+            self.on_sensor_driver(now);
+        } else if task == ids.motor_driver {
+            self.on_motor_driver(now);
+        } else if Some(task) == ids.monitor {
+            self.on_monitor(now);
+        } else if Some(task) == ids.rx {
+            self.on_rx(now);
+        } else if Some(task) == ids.safety {
+            self.on_safety(now);
+        } else if Some(task) == ids.hce_stack {
+            self.on_hce_stack(now);
+        } else if Some(task) == ids.cc_pipeline {
+            self.on_cce_pipeline(now);
+        } else if Some(task) == ids.cc_rate {
+            self.on_cce_rate(now);
+        }
+    }
+
+    /// Sensor driver job: sample the devices, update the HCE view, feed the
+    /// local controllers, and forward the Table I streams to the CCE.
+    fn on_sensor_driver(&mut self, now: SimTime) {
+        self.sensor_jobs += 1;
+        let sensor_addr = Addr { ns: self.host_ns, port: SENSOR_PORT };
+
+        let imu = self.world.sample_imu();
+        self.safety_fc.on_imu(&imu);
+        if let Some(fc) = &mut self.hce_fc {
+            fc.on_imu(&imu);
+        }
+        let wire = self.hce_sender.encode(Message::Imu(imu_to_msg(&imu)));
+        self.imu_counter.record(wire.len());
+        let _ = self.net.send(self.hce_sensor_tx, sensor_addr, wire, now);
+
+        // Barometer + RC at 50 Hz (every 5th 250 Hz job).
+        if self.sensor_jobs.is_multiple_of(5) {
+            let baro = self.world.sample_baro();
+            self.safety_fc.on_baro(&baro);
+            if let Some(fc) = &mut self.hce_fc {
+                fc.on_baro(&baro);
+            }
+            let wire = self.hce_sender.encode(Message::Baro(baro_to_msg(&baro)));
+            self.baro_counter.record(wire.len());
+            let _ = self.net.send(self.hce_sensor_tx, sensor_addr, wire, now);
+
+            let rc = neutral_rc(now);
+            let wire = self.hce_sender.encode(Message::Rc(rc));
+            self.rc_counter.record(wire.len());
+            let _ = self.net.send(self.hce_sensor_tx, sensor_addr, wire, now);
+        }
+
+        // Positioning at 10 Hz (every 25th job).
+        if self.sensor_jobs.is_multiple_of(25) {
+            let fix = self.world.sample_position();
+            self.safety_fc.on_position_fix(&fix);
+            if let Some(fc) = &mut self.hce_fc {
+                fc.on_position_fix(&fix);
+            }
+            let wire = self.hce_sender.encode(Message::Gps(fix_to_msg(&fix)));
+            self.gps_counter.record(wire.len());
+            let _ = self.net.send(self.hce_sensor_tx, sensor_addr, wire, now);
+        }
+    }
+
+    /// Motor driver job: apply the selected controller's output.
+    fn on_motor_driver(&mut self, _now: SimTime) {
+        let pwm = match self.cfg.pilot {
+            Pilot::HceDirect => self
+                .hce_fc
+                .as_ref()
+                .map(|fc| fc.last_pwm())
+                .unwrap_or([1000; 4]),
+            Pilot::CceSimplex => match self.monitor.source() {
+                OutputSource::Complex => self.cce_cmd_pwm,
+                OutputSource::Safety => self.safety_fc.last_pwm(),
+            },
+        };
+        self.world.set_motor_pwm(pwm);
+    }
+
+    /// Security monitor job: evaluate the rules, act on violations.
+    fn on_monitor(&mut self, now: SimTime) {
+        let ctx = MonitorContext {
+            now,
+            last_valid_output: self.last_valid_output,
+            attitude_error: self.safety_fc.attitude_error(),
+            source: self.monitor.source(),
+        };
+        if self.monitor.evaluate(&ctx) {
+            // "the monitor kills the receiving thread on the HCE and
+            // switches to use the output from the safety controller".
+            if let Some(rx) = self.ids.rx {
+                self.machine.kill(rx);
+            }
+            self.safety_fc.reset_transients();
+            self.recorder.mark(now, "simplex switch to safety controller");
+        }
+    }
+
+    /// Rx-thread job: process exactly one datagram from the motor port.
+    fn on_rx(&mut self, now: SimTime) {
+        if let Some(pkt) = self.net.recv(self.hce_motor_rx) {
+            for frame in self.hce_parser.push(&pkt.payload) {
+                match frame.message {
+                    Message::Motor(m) if m.armed == 1 => {
+                        self.cce_cmd_pwm = m.pwm;
+                        self.last_valid_output = Some(now);
+                    }
+                    Message::Heartbeat(_) => {
+                        self.heartbeats_received += 1;
+                        self.last_heartbeat = Some(now);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Safety controller job (hot standby, 400 Hz).
+    fn on_safety(&mut self, now: SimTime) {
+        self.safety_fc.run_outer(now);
+        let _ = self.safety_fc.run_rate_loop(now);
+    }
+
+    /// HCE trusted-controller job (memory-DoS experiments).
+    fn on_hce_stack(&mut self, now: SimTime) {
+        if let Some(fc) = &mut self.hce_fc {
+            fc.run_outer(now);
+            let _ = fc.run_rate_loop(now);
+        }
+    }
+
+    /// CCE pipeline job: drain the sensor socket, feed the complex
+    /// controller, run the outer loops.
+    fn on_cce_pipeline(&mut self, now: SimTime) {
+        let Some(rx) = self.cce_sensor_rx else { return };
+        let Some(fc) = &mut self.cce_fc else { return };
+        for pkt in self.net.recv_all(rx) {
+            for frame in self.cce_parser.push(&pkt.payload) {
+                match frame.message {
+                    Message::Imu(m) => fc.on_imu(&msg_to_imu(&m)),
+                    Message::Baro(m) => fc.on_baro(&msg_to_baro(&m)),
+                    Message::Gps(m) => fc.on_position_fix(&msg_to_fix(&m)),
+                    _ => {}
+                }
+            }
+        }
+        fc.run_outer(now);
+    }
+
+    /// CCE rate-loop job: compute and transmit the motor output, plus a
+    /// liveness heartbeat once per second.
+    fn on_cce_rate(&mut self, now: SimTime) {
+        let Some(tx) = self.cce_motor_tx else { return };
+        let Some(fc) = &mut self.cce_fc else { return };
+        self.cce_rate_jobs += 1;
+        if self.cce_rate_jobs.is_multiple_of(400) {
+            let hb = Heartbeat {
+                custom_mode: 0,
+                vehicle_type: 2,  // MAV_TYPE_QUADROTOR
+                autopilot: 12,    // MAV_AUTOPILOT_PX4
+                base_mode: 0x80,  // armed
+                system_status: 4, // active
+                mavlink_version: 3,
+            };
+            let wire = self.cce_sender.encode(Message::Heartbeat(hb));
+            let _ = self.net.send(
+                tx,
+                Addr { ns: self.host_ns, port: MOTOR_PORT },
+                wire,
+                now,
+            );
+        }
+        let pwm = fc.run_rate_loop(now);
+        self.motor_seq += 1;
+        let msg = MotorOutput {
+            time_usec: now.as_micros(),
+            pwm,
+            seq: self.motor_seq,
+            armed: 1,
+        };
+        let wire = self.cce_sender.encode(Message::Motor(msg));
+        self.motor_counter.record(wire.len());
+        let _ = self.net.send(
+            tx,
+            Addr { ns: self.host_ns, port: MOTOR_PORT },
+            wire,
+            now,
+        );
+    }
+
+    fn maybe_launch_attack(&mut self, now: SimTime) {
+        if self.attack_launched {
+            return;
+        }
+        let Some(onset) = self.cfg.attack.onset() else { return };
+        if now < onset {
+            return;
+        }
+        self.attack_launched = true;
+        self.recorder.mark(now, "attack start");
+        match self.cfg.attack {
+            Attack::None => {}
+            Attack::MemoryHog { hog, .. } => {
+                hog.launch(&mut self.machine, &mut self.container);
+            }
+            Attack::KillComplex { .. } => {
+                for t in [self.ids.cc_pipeline, self.ids.cc_rate].into_iter().flatten() {
+                    self.machine.kill(t);
+                }
+            }
+            Attack::UdpFlood { flood, .. } => {
+                let driver = flood
+                    .launch(
+                        &mut self.machine,
+                        &mut self.net,
+                        &mut self.container,
+                        self.host_ns,
+                        40_000,
+                    )
+                    .expect("flood source port free");
+                self.flood = Some(driver);
+            }
+            Attack::CpuHog { hog, .. } => {
+                if self.cfg.framework.protections.cpu_isolation {
+                    hog.launch(&mut self.machine, &mut self.container);
+                } else {
+                    hog.launch_unconfined(&mut self.machine);
+                }
+            }
+            Attack::SpoofMotor { spoof, .. } => {
+                let driver = spoof
+                    .launch(
+                        &mut self.machine,
+                        &mut self.net,
+                        &mut self.container,
+                        self.host_ns,
+                        41_000,
+                    )
+                    .expect("spoof source port free");
+                self.spoof = Some(driver);
+            }
+        }
+    }
+
+    fn record(&mut self, now: SimTime) {
+        let (estimated, att_err) = match self.cfg.pilot {
+            Pilot::HceDirect => {
+                let fc = self.hce_fc.as_ref().expect("hce pilot has a controller");
+                (fc.position_estimate(), fc.attitude_error())
+            }
+            Pilot::CceSimplex => match self.monitor.source() {
+                OutputSource::Complex => (
+                    self.cce_fc
+                        .as_ref()
+                        .map(|fc| fc.position_estimate())
+                        .unwrap_or(self.safety_fc.position_estimate()),
+                    self.safety_fc.attitude_error(),
+                ),
+                OutputSource::Safety => (
+                    self.safety_fc.position_estimate(),
+                    self.safety_fc.attitude_error(),
+                ),
+            },
+        };
+        self.recorder.sample(
+            now,
+            self.cfg.hover,
+            estimated,
+            self.world.truth().position,
+            att_err,
+            self.monitor.source(),
+        );
+    }
+
+    fn finish(self) -> ScenarioResult {
+        let elapsed = self.machine.now().as_secs_f64();
+        let fw = &self.cfg.framework;
+        let streams = vec![
+            StreamReport {
+                name: "IMU",
+                direction: "HCE → CCE",
+                nominal_hz: fw.rates.imu_hz,
+                measured_hz: self.imu_counter.rate_hz(elapsed),
+                frame_bytes: self.imu_counter.mean_frame_size(),
+                port: SENSOR_PORT,
+            },
+            StreamReport {
+                name: "Barometer",
+                direction: "HCE → CCE",
+                nominal_hz: fw.rates.baro_hz,
+                measured_hz: self.baro_counter.rate_hz(elapsed),
+                frame_bytes: self.baro_counter.mean_frame_size(),
+                port: SENSOR_PORT,
+            },
+            StreamReport {
+                name: "GPS",
+                direction: "HCE → CCE",
+                nominal_hz: fw.rates.gps_hz,
+                measured_hz: self.gps_counter.rate_hz(elapsed),
+                frame_bytes: self.gps_counter.mean_frame_size(),
+                port: SENSOR_PORT,
+            },
+            StreamReport {
+                name: "RC",
+                direction: "HCE → CCE",
+                nominal_hz: fw.rates.rc_hz,
+                measured_hz: self.rc_counter.rate_hz(elapsed),
+                frame_bytes: self.rc_counter.mean_frame_size(),
+                port: SENSOR_PORT,
+            },
+            StreamReport {
+                name: "Motor Output",
+                direction: "CCE → HCE",
+                nominal_hz: fw.rates.motor_hz,
+                measured_hz: self.motor_counter.rate_hz(elapsed),
+                frame_bytes: self.motor_counter.mean_frame_size(),
+                port: MOTOR_PORT,
+            },
+        ];
+
+        let mut task_report = Vec::new();
+        let all_ids = [
+            Some(self.ids.sensor_driver),
+            Some(self.ids.motor_driver),
+            self.ids.monitor,
+            self.ids.rx,
+            self.ids.safety,
+            self.ids.hce_stack,
+            self.ids.cc_pipeline,
+            self.ids.cc_rate,
+        ];
+        for id in all_ids.into_iter().flatten() {
+            task_report.push((
+                self.machine.task_name(id).to_string(),
+                self.machine.task_stats(id),
+            ));
+        }
+
+        ScenarioResult {
+            crash: self.world.crash(),
+            switch_time: self.monitor.switch_time(),
+            monitor_events: self.monitor.events().to_vec(),
+            attack_onset: self.cfg.attack.onset(),
+            idle_rates: self.machine.idle_rates(),
+            streams,
+            hce_parser_stats: self.hce_parser.stats(),
+            rx_socket_stats: self.net.socket_stats(self.hce_motor_rx),
+            flood_sent: self.flood.as_ref().map(|f| f.sent()).unwrap_or(0),
+            heartbeats_received: self.heartbeats_received,
+            task_report,
+            telemetry: self.recorder,
+            config: self.cfg,
+        }
+    }
+}

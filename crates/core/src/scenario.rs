@@ -1,0 +1,288 @@
+//! Scenario definitions: the paper's experiments as data.
+//!
+//! Each figure of the evaluation section is a preset here; the
+//! [`crate::runner::Scenario`] executes them. All presets share one
+//! calibration (costs, γ, thresholds) — the differences between presets
+//! are exactly the differences between the paper's experiments: which
+//! attack runs, when, and which protections are enabled.
+
+use attacks::cpu_hog::CpuHog;
+use attacks::membw_hog::BandwidthHog;
+use attacks::spoof::MotorSpoof;
+use attacks::udp_flood::UdpFlood;
+use sim_core::time::{SimDuration, SimTime};
+use uav_dynamics::math::Vec3;
+use uav_dynamics::world::WorldConfig;
+
+use crate::config::FrameworkConfig;
+
+/// Who flies the drone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pilot {
+    /// The complex controller in the CCE flies; the safety controller is
+    /// hot standby behind the security monitor (Figures 6 and 7).
+    CceSimplex,
+    /// The trusted controller on the HCE flies directly and the container
+    /// only hosts the attacker — the paper's memory-DoS setup, where
+    /// "the Bandwidth task is the only process running inside the
+    /// container" (Figures 4 and 5).
+    HceDirect,
+}
+
+/// The attack of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Attack {
+    /// No attack (healthy baseline).
+    None,
+    /// Memory-bandwidth hog in the container.
+    MemoryHog {
+        /// Attack onset.
+        at: SimTime,
+        /// The hog profile.
+        hog: BandwidthHog,
+    },
+    /// UDP flood against the HCE motor port.
+    UdpFlood {
+        /// Attack onset.
+        at: SimTime,
+        /// Flood parameters.
+        flood: UdpFlood,
+    },
+    /// Kill the complex controller.
+    KillComplex {
+        /// Attack onset.
+        at: SimTime,
+    },
+    /// CPU hog (ablation experiment).
+    CpuHog {
+        /// Attack onset.
+        at: SimTime,
+        /// Hog parameters.
+        hog: CpuHog,
+    },
+    /// Protocol-valid hostile motor commands (extension beyond the
+    /// paper's DoS attacker; exercises the attitude-error rule).
+    SpoofMotor {
+        /// Attack onset.
+        at: SimTime,
+        /// Spoof parameters.
+        spoof: MotorSpoof,
+    },
+}
+
+impl Attack {
+    /// When the attack starts, if there is one.
+    pub fn onset(&self) -> Option<SimTime> {
+        match self {
+            Attack::None => None,
+            Attack::MemoryHog { at, .. }
+            | Attack::UdpFlood { at, .. }
+            | Attack::KillComplex { at }
+            | Attack::CpuHog { at, .. }
+            | Attack::SpoofMotor { at, .. } => Some(*at),
+        }
+    }
+}
+
+/// A complete scenario description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Framework configuration (rates, costs, protections, thresholds).
+    pub framework: FrameworkConfig,
+    /// Physical world configuration.
+    pub world: WorldConfig,
+    /// Who flies.
+    pub pilot: Pilot,
+    /// What attacks.
+    pub attack: Attack,
+    /// Flight duration.
+    pub duration: SimDuration,
+    /// Master random seed.
+    pub seed: u64,
+    /// Hover setpoint (NED), matching the paper's plots: hold at ~1 m.
+    pub hover: Vec3,
+    /// Telemetry sampling rate, Hz.
+    pub record_hz: f64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            framework: FrameworkConfig::default(),
+            world: WorldConfig::default(),
+            pilot: Pilot::CceSimplex,
+            attack: Attack::None,
+            duration: SimDuration::from_secs(30),
+            seed: 2019,
+            hover: Vec3::new(0.0, 0.6, -1.0),
+            record_hz: 50.0,
+        }
+    }
+}
+
+/// γ used by the memory-DoS scenarios. The library default (14) matches
+/// the mid-range of published single-hog victim slowdowns; the paper's
+/// testbed crashes outright, which on A53-class cores corresponds to the
+/// pessimistic end (shared-L2 pollution on top of bus contention). The
+/// calibration is documented in EXPERIMENTS.md and swept by the
+/// `ablation_memguard` bench.
+pub const MEM_ATTACK_GAMMA: f64 = 45.0;
+
+impl ScenarioConfig {
+    /// Figure 4: memory DoS with MemGuard **disabled** — the drone drifts
+    /// and crashes shortly after the attack starts (10 s).
+    pub fn fig4() -> Self {
+        let mut cfg = ScenarioConfig {
+            pilot: Pilot::HceDirect,
+            attack: Attack::MemoryHog {
+                at: SimTime::from_secs(10),
+                hog: BandwidthHog::isolbench(),
+            },
+            ..ScenarioConfig::default()
+        };
+        cfg.framework.protections.memguard = false;
+        cfg.framework.dram.contention_gamma = MEM_ATTACK_GAMMA;
+        cfg
+    }
+
+    /// Figure 5: the same attack with MemGuard **enabled** — the drone
+    /// oscillates briefly but remains stable.
+    pub fn fig5() -> Self {
+        let mut cfg = Self::fig4();
+        cfg.framework.protections.memguard = true;
+        cfg
+    }
+
+    /// Figure 6: the attacker kills the complex controller at 12 s; the
+    /// receive-interval rule trips and the safety controller recovers.
+    pub fn fig6() -> Self {
+        ScenarioConfig {
+            pilot: Pilot::CceSimplex,
+            attack: Attack::KillComplex {
+                at: SimTime::from_secs(12),
+            },
+            ..ScenarioConfig::default()
+        }
+    }
+
+    /// Figure 7: UDP flood against the motor port starting at 8 s; the
+    /// drone degrades until the attitude-error rule trips, then recovers.
+    pub fn fig7() -> Self {
+        ScenarioConfig {
+            pilot: Pilot::CceSimplex,
+            attack: Attack::UdpFlood {
+                at: SimTime::from_secs(8),
+                flood: UdpFlood::against_motor_port(),
+            },
+            ..ScenarioConfig::default()
+        }
+    }
+
+    /// A healthy baseline flight (no attack), used for Table I and as the
+    /// reference trajectory.
+    pub fn healthy() -> Self {
+        ScenarioConfig::default()
+    }
+
+    /// Extension experiment: command spoofing from the CCE at 10 s —
+    /// protocol-valid hostile motor output that only the attitude-error
+    /// rule can catch (the paper's Figure-7 detection mechanism). This
+    /// variant pairs a moderate attacker with an integrity-tuned attitude
+    /// rule (12° / 50 ms) and a higher hover, and the monitor wins: switch
+    /// and recovery.
+    pub fn spoof() -> Self {
+        let mut cfg = ScenarioConfig {
+            pilot: Pilot::CceSimplex,
+            attack: Attack::SpoofMotor {
+                at: SimTime::from_secs(10),
+                spoof: MotorSpoof::moderate(),
+            },
+            hover: uav_dynamics::math::Vec3::new(0.0, 0.6, -2.5),
+            ..ScenarioConfig::default()
+        };
+        cfg.framework.thresholds.max_attitude_error = 12f64.to_radians();
+        cfg.framework.thresholds.attitude_persistence = SimDuration::from_millis(50);
+        cfg
+    }
+
+    /// Extension experiment, worst case: a full-authority spoof (hard
+    /// roll) from a 1 m hover. The attitude rule fires at its configured
+    /// persistence, but the vehicle flips faster than the safety
+    /// controller can recover at that altitude — the classic Simplex
+    /// detection-latency limitation, documented in EXPERIMENTS.md.
+    pub fn spoof_violent() -> Self {
+        ScenarioConfig {
+            pilot: Pilot::CceSimplex,
+            attack: Attack::SpoofMotor {
+                at: SimTime::from_secs(10),
+                spoof: MotorSpoof::default(),
+            },
+            ..ScenarioConfig::default()
+        }
+    }
+
+    /// Overrides the seed (for replication studies).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Switches the positioning source from the lab's Vicon system to
+    /// consumer-GNSS accuracy — the "other types of unmanned vehicles /
+    /// outdoor" what-if the paper's conclusion gestures at.
+    pub fn with_gps_positioning(mut self) -> Self {
+        self.world.positioning = uav_dynamics::sensors::PositioningConfig::gps();
+        self
+    }
+
+    /// Overrides the duration.
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_and_fig5_differ_only_in_memguard() {
+        let a = ScenarioConfig::fig4();
+        let b = ScenarioConfig::fig5();
+        assert!(!a.framework.protections.memguard);
+        assert!(b.framework.protections.memguard);
+        let mut a2 = a.clone();
+        a2.framework.protections.memguard = true;
+        assert_eq!(a2, b, "no other difference is allowed");
+    }
+
+    #[test]
+    fn presets_use_paper_attack_times() {
+        assert_eq!(
+            ScenarioConfig::fig4().attack.onset(),
+            Some(SimTime::from_secs(10))
+        );
+        assert_eq!(
+            ScenarioConfig::fig6().attack.onset(),
+            Some(SimTime::from_secs(12))
+        );
+        assert_eq!(
+            ScenarioConfig::fig7().attack.onset(),
+            Some(SimTime::from_secs(8))
+        );
+        assert_eq!(ScenarioConfig::healthy().attack.onset(), None);
+    }
+
+    #[test]
+    fn figure_scenarios_run_30_seconds() {
+        for cfg in [
+            ScenarioConfig::fig4(),
+            ScenarioConfig::fig5(),
+            ScenarioConfig::fig6(),
+            ScenarioConfig::fig7(),
+        ] {
+            assert_eq!(cfg.duration, SimDuration::from_secs(30));
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Flight telemetry recording: the data behind the paper's figures.
+//!
+//! Figures 4–7 plot setpoint vs estimated X/Y/Z over a 30 s window. The
+//! [`FlightRecorder`] captures those signals (plus ground truth, attitude
+//! error and the active Simplex source) and renders the same CSV series the
+//! bench harness writes to `results/`.
+
+use sim_core::series::{SeriesBundle, TimeSeries};
+use sim_core::time::SimTime;
+use uav_dynamics::math::Vec3;
+
+use crate::monitor::OutputSource;
+
+/// A labelled instant (attack onset, Simplex switch, crash, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Marker {
+    /// When it happened.
+    pub time: SimTime,
+    /// What happened.
+    pub label: String,
+}
+
+/// Per-flight signal recorder.
+///
+/// # Examples
+///
+/// ```
+/// use containerdrone_core::telemetry::FlightRecorder;
+/// use containerdrone_core::monitor::OutputSource;
+/// use uav_dynamics::math::Vec3;
+/// use sim_core::time::SimTime;
+///
+/// let mut rec = FlightRecorder::new();
+/// rec.sample(SimTime::ZERO, Vec3::new(0.0, 0.6, -1.0), Vec3::ZERO,
+///            Vec3::ZERO, 0.05, OutputSource::Complex);
+/// assert_eq!(rec.series().rows(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    bundle: SeriesBundle,
+    markers: Vec<Marker>,
+}
+
+const COLUMNS: [&str; 11] = [
+    "x_sp", "y_sp", "z_sp", "x_est", "y_est", "z_est", "x_true", "y_true", "z_true",
+    "att_err_deg", "source",
+];
+
+impl FlightRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        FlightRecorder {
+            bundle: SeriesBundle::new(&COLUMNS),
+            markers: Vec::new(),
+        }
+    }
+
+    /// Records one telemetry row.
+    pub fn sample(
+        &mut self,
+        t: SimTime,
+        setpoint: Vec3,
+        estimated: Vec3,
+        truth: Vec3,
+        attitude_error: f64,
+        source: OutputSource,
+    ) {
+        self.bundle.push_row(
+            t,
+            &[
+                setpoint.x,
+                setpoint.y,
+                setpoint.z,
+                estimated.x,
+                estimated.y,
+                estimated.z,
+                truth.x,
+                truth.y,
+                truth.z,
+                attitude_error.to_degrees(),
+                match source {
+                    OutputSource::Complex => 0.0,
+                    OutputSource::Safety => 1.0,
+                },
+            ],
+        );
+    }
+
+    /// Adds a labelled marker.
+    pub fn mark(&mut self, time: SimTime, label: impl Into<String>) {
+        self.markers.push(Marker {
+            time,
+            label: label.into(),
+        });
+    }
+
+    /// The recorded markers.
+    pub fn markers(&self) -> &[Marker] {
+        &self.markers
+    }
+
+    /// The raw signal bundle.
+    pub fn series(&self) -> &SeriesBundle {
+        &self.bundle
+    }
+
+    /// A named signal, if recorded.
+    pub fn signal(&self, name: &str) -> Option<&TimeSeries> {
+        self.bundle.series(name)
+    }
+
+    /// Largest `|truth − setpoint|` on an axis (`"x"`, `"y"`, `"z"`) over
+    /// `[from, to)`. Panics on an unknown axis name.
+    pub fn max_tracking_error(&self, axis: &str, from: SimTime, to: SimTime) -> f64 {
+        let sp = self
+            .signal(&format!("{axis}_sp"))
+            .expect("axis must be x, y or z");
+        let tr = self
+            .signal(&format!("{axis}_true"))
+            .expect("axis must be x, y or z");
+        sp.iter()
+            .zip(tr.values())
+            .filter(|((t, _), _)| *t >= from && *t < to)
+            .map(|((_, s), v)| (v - s).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// CSV of all signals plus a trailing `# marker` comment block.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.bundle.to_csv();
+        for m in &self.markers {
+            out.push_str(&format!("# {:.3}s {}\n", m.time.as_secs_f64(), m.label));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimDuration;
+
+    fn recorder_with_ramp() -> FlightRecorder {
+        let mut rec = FlightRecorder::new();
+        let mut t = SimTime::ZERO;
+        for i in 0..100 {
+            let drift = i as f64 * 0.01;
+            rec.sample(
+                t,
+                Vec3::new(0.0, 0.6, -1.0),
+                Vec3::new(drift, 0.6, -1.0),
+                Vec3::new(drift, 0.6, -1.0),
+                0.02,
+                OutputSource::Complex,
+            );
+            t += SimDuration::from_millis(20);
+        }
+        rec
+    }
+
+    #[test]
+    fn tracking_error_is_measured_on_truth() {
+        let rec = recorder_with_ramp();
+        let err = rec.max_tracking_error("x", SimTime::ZERO, SimTime::from_secs(10));
+        assert!((err - 0.99).abs() < 1e-9);
+        let erry = rec.max_tracking_error("y", SimTime::ZERO, SimTime::from_secs(10));
+        assert!(erry < 1e-9);
+    }
+
+    #[test]
+    fn csv_contains_markers() {
+        let mut rec = recorder_with_ramp();
+        rec.mark(SimTime::from_secs(1), "attack");
+        let csv = rec.to_csv();
+        assert!(csv.starts_with("time_s,x_sp"));
+        assert!(csv.contains("# 1.000s attack"));
+    }
+
+    #[test]
+    #[should_panic(expected = "axis must be")]
+    fn unknown_axis_panics() {
+        let rec = recorder_with_ramp();
+        let _ = rec.max_tracking_error("w", SimTime::ZERO, SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,105 @@
+//! CRC-16/MCRF4XX — the checksum MAVLink v1 uses (X.25 polynomial 0x1021,
+//! reflected, initial value 0xFFFF, no final XOR).
+
+/// Streaming CRC-16/MCRF4XX accumulator.
+///
+/// # Examples
+///
+/// ```
+/// use mavlink_lite::crc::Crc16;
+///
+/// let mut crc = Crc16::new();
+/// crc.update(b"123456789");
+/// assert_eq!(crc.get(), 0x6F91); // published check value for CRC-16/MCRF4XX
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc16 {
+    value: u16,
+}
+
+impl Default for Crc16 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc16 {
+    /// Creates an accumulator with the MAVLink initial value `0xFFFF`.
+    pub const fn new() -> Self {
+        Crc16 { value: 0xFFFF }
+    }
+
+    /// Folds one byte into the checksum.
+    pub fn update_byte(&mut self, byte: u8) {
+        let mut tmp = byte ^ (self.value as u8);
+        tmp ^= tmp << 4;
+        self.value = (self.value >> 8)
+            ^ ((tmp as u16) << 8)
+            ^ ((tmp as u16) << 3)
+            ^ ((tmp as u16) >> 4);
+    }
+
+    /// Folds a slice of bytes into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.update_byte(b);
+        }
+    }
+
+    /// The current checksum value.
+    pub const fn get(self) -> u16 {
+        self.value
+    }
+}
+
+/// One-shot convenience: checksum of `bytes`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(mavlink_lite::crc::crc16(b"123456789"), 0x6F91);
+/// ```
+pub fn crc16(bytes: &[u8]) -> u16 {
+    let mut c = Crc16::new();
+    c.update(bytes);
+    c.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value_matches_specification() {
+        // CRC-16/MCRF4XX check value from the CRC RevEng catalogue.
+        assert_eq!(crc16(b"123456789"), 0x6F91);
+    }
+
+    #[test]
+    fn empty_input_yields_init() {
+        assert_eq!(crc16(b""), 0xFFFF);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data = b"the quick brown fox";
+        let mut c = Crc16::new();
+        for &b in data.iter() {
+            c.update_byte(b);
+        }
+        assert_eq!(c.get(), crc16(data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let data: Vec<u8> = (0u8..64).collect();
+        let base = crc16(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[i] ^= 1 << bit;
+                assert_ne!(crc16(&corrupted), base, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

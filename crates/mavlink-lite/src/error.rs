@@ -1,0 +1,72 @@
+//! Error types for encoding and decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a byte sequence failed to decode into a frame or message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The checksum did not match the frame contents.
+    BadCrc {
+        /// Checksum carried by the frame.
+        expected: u16,
+        /// Checksum computed over the received bytes.
+        actual: u16,
+    },
+    /// The payload length does not match the message's fixed length.
+    BadLength {
+        /// Message id whose payload was malformed.
+        msg_id: u8,
+        /// Length the message defines.
+        expected: usize,
+        /// Length actually received.
+        actual: usize,
+    },
+    /// The message id is not part of this dialect.
+    UnknownMessage {
+        /// The unrecognized id.
+        msg_id: u8,
+    },
+    /// The buffer ended before a complete frame was read.
+    Truncated,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadCrc { expected, actual } => {
+                write!(f, "checksum mismatch: frame carries {expected:#06x}, computed {actual:#06x}")
+            }
+            DecodeError::BadLength {
+                msg_id,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "message {msg_id} payload length {actual} does not match expected {expected}"
+            ),
+            DecodeError::UnknownMessage { msg_id } => {
+                write!(f, "unknown message id {msg_id}")
+            }
+            DecodeError::Truncated => write!(f, "buffer ended before a complete frame"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DecodeError::BadCrc {
+            expected: 0xABCD,
+            actual: 0x1234,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0xabcd") && s.contains("0x1234"), "{s}");
+        assert!(DecodeError::Truncated.to_string().contains("complete frame"));
+    }
+}

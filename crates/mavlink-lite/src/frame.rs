@@ -1,0 +1,258 @@
+//! MAVLink-v1-style framing.
+//!
+//! On-wire layout (all lengths in bytes):
+//!
+//! ```text
+//! +-----+-----+-----+-------+--------+-------+----------+-------+
+//! | STX | LEN | SEQ | SYSID | COMPID | MSGID | PAYLOAD  | CRC16 |
+//! |  1  |  1  |  1  |   1   |   1    |   1   | LEN      |   2   |
+//! +-----+-----+-----+-------+--------+-------+----------+-------+
+//! ```
+//!
+//! The CRC covers LEN..PAYLOAD (everything after STX) plus the dialect's
+//! per-message `CRC_EXTRA` byte, exactly as MAVLink v1 does, so frames from
+//! a different dialect are rejected even when their checksum is internally
+//! consistent.
+
+use bytes::{BufMut, BytesMut};
+
+use crate::crc::Crc16;
+use crate::error::DecodeError;
+use crate::messages::{crc_extra_for, Message};
+
+/// Start-of-frame marker (MAVLink v1 uses 0xFE).
+pub const STX: u8 = 0xFE;
+
+/// Frame overhead in bytes: 6 header bytes plus the 2-byte checksum.
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// A framed message with addressing metadata.
+///
+/// # Examples
+///
+/// ```
+/// use mavlink_lite::frame::Frame;
+/// use mavlink_lite::messages::{Heartbeat, Message};
+///
+/// let frame = Frame::new(7, 1, 1, Message::Heartbeat(Heartbeat::default()));
+/// let wire = frame.encode();
+/// let (decoded, used) = Frame::decode(&wire).unwrap();
+/// assert_eq!(used, wire.len());
+/// assert_eq!(decoded.message, frame.message);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Frame {
+    /// Per-sender sequence number, wrapping at 255.
+    pub seq: u8,
+    /// Sending system id.
+    pub sys_id: u8,
+    /// Sending component id.
+    pub comp_id: u8,
+    /// The carried message.
+    pub message: Message,
+}
+
+impl Frame {
+    /// Wraps `message` in a frame with the given addressing.
+    pub fn new(seq: u8, sys_id: u8, comp_id: u8, message: Message) -> Self {
+        Frame {
+            seq,
+            sys_id,
+            comp_id,
+            message,
+        }
+    }
+
+    /// Total on-wire size of this frame.
+    pub fn wire_len(&self) -> usize {
+        self.message.payload_len() + FRAME_OVERHEAD
+    }
+
+    /// Serializes the frame to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        buf.put_u8(STX);
+        buf.put_u8(self.message.payload_len() as u8);
+        buf.put_u8(self.seq);
+        buf.put_u8(self.sys_id);
+        buf.put_u8(self.comp_id);
+        buf.put_u8(self.message.msg_id());
+        self.message.encode_payload(&mut buf);
+
+        let mut crc = Crc16::new();
+        crc.update(&buf[1..]); // everything after STX
+        crc.update_byte(self.message.crc_extra());
+        buf.put_u16_le(crc.get());
+        buf.to_vec()
+    }
+
+    /// Parses one frame from the start of `bytes`.
+    ///
+    /// Returns the frame and the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// * [`DecodeError::Truncated`] if `bytes` does not begin with `STX` or
+    ///   is shorter than a complete frame,
+    /// * [`DecodeError::UnknownMessage`] for ids outside the dialect,
+    /// * [`DecodeError::BadCrc`] on checksum mismatch,
+    /// * [`DecodeError::BadLength`] if the length byte disagrees with the
+    ///   message's fixed payload length.
+    pub fn decode(bytes: &[u8]) -> Result<(Frame, usize), DecodeError> {
+        if bytes.len() < FRAME_OVERHEAD || bytes[0] != STX {
+            return Err(DecodeError::Truncated);
+        }
+        let len = bytes[1] as usize;
+        let total = len + FRAME_OVERHEAD;
+        if bytes.len() < total {
+            return Err(DecodeError::Truncated);
+        }
+        let seq = bytes[2];
+        let sys_id = bytes[3];
+        let comp_id = bytes[4];
+        let msg_id = bytes[5];
+        let crc_extra =
+            crc_extra_for(msg_id).ok_or(DecodeError::UnknownMessage { msg_id })?;
+
+        let mut crc = Crc16::new();
+        crc.update(&bytes[1..total - 2]);
+        crc.update_byte(crc_extra);
+        let actual = crc.get();
+        let expected = u16::from_le_bytes([bytes[total - 2], bytes[total - 1]]);
+        if actual != expected {
+            return Err(DecodeError::BadCrc { expected, actual });
+        }
+
+        let message = Message::decode(msg_id, &bytes[6..6 + len])?;
+        Ok((
+            Frame {
+                seq,
+                sys_id,
+                comp_id,
+                message,
+            },
+            total,
+        ))
+    }
+}
+
+/// A sending endpoint that stamps frames with a wrapping sequence number,
+/// as a MAVLink channel does.
+///
+/// # Examples
+///
+/// ```
+/// use mavlink_lite::frame::Sender;
+/// use mavlink_lite::messages::Heartbeat;
+///
+/// let mut tx = Sender::new(1, 1);
+/// let a = tx.frame(Heartbeat::default().into());
+/// let b = tx.frame(Heartbeat::default().into());
+/// assert_eq!(a.seq.wrapping_add(1), b.seq);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sender {
+    sys_id: u8,
+    comp_id: u8,
+    next_seq: u8,
+}
+
+impl Sender {
+    /// Creates a sender with the given addressing.
+    pub fn new(sys_id: u8, comp_id: u8) -> Self {
+        Sender {
+            sys_id,
+            comp_id,
+            next_seq: 0,
+        }
+    }
+
+    /// Wraps `message` in the next frame of this channel.
+    pub fn frame(&mut self, message: Message) -> Frame {
+        let f = Frame::new(self.next_seq, self.sys_id, self.comp_id, message);
+        self.next_seq = self.next_seq.wrapping_add(1);
+        f
+    }
+
+    /// Convenience: frame and serialize in one step.
+    pub fn encode(&mut self, message: Message) -> Vec<u8> {
+        self.frame(message).encode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{MotorOutput, RawImu};
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = RawImu {
+            time_usec: 999,
+            gyro: [1.0, 2.0, 3.0],
+            accel: [4.0, 5.0, 6.0],
+            mag: [7.0, 8.0, 9.0],
+        };
+        let frame = Frame::new(17, 3, 9, m.into());
+        let wire = frame.encode();
+        assert_eq!(wire.len(), 52, "IMU frame must be 52 bytes on the wire");
+        let (back, used) = Frame::decode(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn corrupted_byte_fails_crc() {
+        let frame = Frame::new(0, 1, 1, MotorOutput::default().into());
+        let mut wire = frame.encode();
+        wire[10] ^= 0x40;
+        match Frame::decode(&wire) {
+            Err(DecodeError::BadCrc { .. }) => {}
+            other => panic!("expected BadCrc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_crc_extra_is_rejected() {
+        // Re-checksum a valid frame with a different extra byte: simulates a
+        // frame from another dialect with the same msg id.
+        let frame = Frame::new(0, 1, 1, MotorOutput::default().into());
+        let mut wire = frame.encode();
+        let body_end = wire.len() - 2;
+        let mut crc = Crc16::new();
+        crc.update(&wire[1..body_end]);
+        crc.update_byte(0x55); // wrong extra
+        let bad = crc.get().to_le_bytes();
+        wire[body_end] = bad[0];
+        wire[body_end + 1] = bad[1];
+        assert!(matches!(Frame::decode(&wire), Err(DecodeError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn truncated_input_reports_truncated() {
+        let frame = Frame::new(0, 1, 1, MotorOutput::default().into());
+        let wire = frame.encode();
+        assert_eq!(Frame::decode(&wire[..5]), Err(DecodeError::Truncated));
+        assert_eq!(
+            Frame::decode(&wire[..wire.len() - 1]),
+            Err(DecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn non_stx_start_reports_truncated() {
+        let mut wire = Frame::new(0, 1, 1, MotorOutput::default().into()).encode();
+        wire[0] = 0x00;
+        assert_eq!(Frame::decode(&wire), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn sender_sequence_wraps() {
+        let mut tx = Sender::new(1, 1);
+        tx.next_seq = 255;
+        let a = tx.frame(MotorOutput::default().into());
+        let b = tx.frame(MotorOutput::default().into());
+        assert_eq!(a.seq, 255);
+        assert_eq!(b.seq, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! A lightweight MAVLink-v1-style protocol for the ContainerDrone
+//! reproduction.
+//!
+//! The paper's HCE and CCE exchange sensor data and actuator commands over
+//! UDP "following the Mavlink protocol" (§IV-D). This crate implements the
+//! protocol layer: [`crc`] (CRC-16/MCRF4XX), [`frame`] (v1 framing with
+//! per-message `CRC_EXTRA`), [`messages`] (the dialect of Table I, with
+//! on-wire sizes matching the paper exactly), and [`parser`] (a resyncing
+//! streaming decoder whose error counters feed the security monitor).
+//!
+//! # Examples
+//!
+//! ```
+//! use mavlink_lite::prelude::*;
+//!
+//! // HCE side: feeder thread frames an IMU sample.
+//! let mut tx = Sender::new(1, 1);
+//! let wire = tx.encode(RawImu { time_usec: 4000, ..Default::default() }.into());
+//! assert_eq!(wire.len(), 52); // Table I: IMU rows are 52 bytes
+//!
+//! // CCE side: complex controller parses the datagram.
+//! let mut rx = Parser::new();
+//! let frames = rx.push(&wire);
+//! assert!(matches!(frames[0].message, Message::Imu(_)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod error;
+pub mod frame;
+pub mod messages;
+pub mod parser;
+
+pub use error::DecodeError;
+pub use frame::{Frame, Sender, FRAME_OVERHEAD, STX};
+pub use messages::{
+    crc_extra_for, Heartbeat, Message, MessagePayload, MotorOutput, RawBaro, RawGps, RawImu,
+    RcChannels,
+};
+pub use parser::{Parser, ParserStats};
+
+/// Convenient glob import of the protocol types.
+pub mod prelude {
+    pub use crate::error::DecodeError;
+    pub use crate::frame::{Frame, Sender};
+    pub use crate::messages::{
+        Heartbeat, Message, MessagePayload, MotorOutput, RawBaro, RawGps, RawImu, RcChannels,
+    };
+    pub use crate::parser::{Parser, ParserStats};
+}

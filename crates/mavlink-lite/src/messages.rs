@@ -1,0 +1,546 @@
+//! The ContainerDrone message dialect.
+//!
+//! These are the five streams of Table I in the paper, plus a heartbeat.
+//! Payload layouts are chosen so the *on-wire frame size* (6-byte header +
+//! payload + 2-byte CRC) matches the sizes the paper reports:
+//!
+//! | Message        | Payload | On-wire | Paper (Table I) |
+//! |----------------|---------|---------|------------------|
+//! | [`RawImu`]     | 44 B    | 52 B    | 52 B @ 250 Hz    |
+//! | [`RawBaro`]    | 24 B    | 32 B    | 32 B @ 50 Hz     |
+//! | [`RawGps`]     | 36 B    | 44 B    | 44 B @ 10 Hz     |
+//! | [`RcChannels`] | 42 B    | 50 B    | 50 B @ 50 Hz     |
+//! | [`MotorOutput`]| 21 B    | 29 B    | 29 B @ 400 Hz    |
+//!
+//! All multi-byte fields are little-endian, as in MAVLink.
+
+use bytes::{Buf, BufMut};
+
+use crate::error::DecodeError;
+
+/// A message that can be carried as a frame payload.
+///
+/// Implementations define a fixed message id, a fixed payload length, and a
+/// dialect-specific `CRC_EXTRA` byte folded into the frame checksum (so
+/// receivers reject frames whose id/layout disagree with the dialect).
+pub trait MessagePayload: Sized {
+    /// Message id carried in the frame header.
+    const MSG_ID: u8;
+    /// Fixed payload length in bytes.
+    const LEN: usize;
+    /// Dialect byte folded into the checksum, as in MAVLink.
+    const CRC_EXTRA: u8;
+
+    /// Serializes the payload (exactly [`MessagePayload::LEN`] bytes) into `buf`.
+    fn encode_payload(&self, buf: &mut impl BufMut);
+
+    /// Parses the payload from `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::BadLength`] if `bytes.len() != Self::LEN`.
+    fn decode_payload(bytes: &[u8]) -> Result<Self, DecodeError>;
+}
+
+fn check_len<M: MessagePayload>(bytes: &[u8]) -> Result<(), DecodeError> {
+    if bytes.len() != M::LEN {
+        Err(DecodeError::BadLength {
+            msg_id: M::MSG_ID,
+            expected: M::LEN,
+            actual: bytes.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Inertial sample: body-frame angular rates, accelerations and magnetic
+/// field. Sent HCE → CCE at 250 Hz (Table I row 1).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RawImu {
+    /// Sample timestamp, microseconds of simulation time.
+    pub time_usec: u64,
+    /// Body-frame angular rate, rad/s.
+    pub gyro: [f32; 3],
+    /// Body-frame specific force, m/s².
+    pub accel: [f32; 3],
+    /// Body-frame magnetic field, gauss.
+    pub mag: [f32; 3],
+}
+
+impl MessagePayload for RawImu {
+    const MSG_ID: u8 = 105;
+    const LEN: usize = 44;
+    const CRC_EXTRA: u8 = 93;
+
+    fn encode_payload(&self, buf: &mut impl BufMut) {
+        buf.put_u64_le(self.time_usec);
+        for v in self.gyro.iter().chain(&self.accel).chain(&self.mag) {
+            buf.put_f32_le(*v);
+        }
+    }
+
+    fn decode_payload(mut bytes: &[u8]) -> Result<Self, DecodeError> {
+        check_len::<Self>(bytes)?;
+        let time_usec = bytes.get_u64_le();
+        let mut fields = [0f32; 9];
+        for f in &mut fields {
+            *f = bytes.get_f32_le();
+        }
+        Ok(RawImu {
+            time_usec,
+            gyro: [fields[0], fields[1], fields[2]],
+            accel: [fields[3], fields[4], fields[5]],
+            mag: [fields[6], fields[7], fields[8]],
+        })
+    }
+}
+
+/// Barometer sample. Sent HCE → CCE at 50 Hz (Table I row 2).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RawBaro {
+    /// Sample timestamp, microseconds of simulation time.
+    pub time_usec: u64,
+    /// Absolute pressure, hPa.
+    pub abs_pressure: f32,
+    /// Differential pressure, hPa (unused on a multirotor; kept for layout).
+    pub diff_pressure: f32,
+    /// Die temperature, °C.
+    pub temperature: f32,
+    /// Pressure altitude, m.
+    pub altitude: f32,
+}
+
+impl MessagePayload for RawBaro {
+    const MSG_ID: u8 = 29;
+    const LEN: usize = 24;
+    const CRC_EXTRA: u8 = 115;
+
+    fn encode_payload(&self, buf: &mut impl BufMut) {
+        buf.put_u64_le(self.time_usec);
+        buf.put_f32_le(self.abs_pressure);
+        buf.put_f32_le(self.diff_pressure);
+        buf.put_f32_le(self.temperature);
+        buf.put_f32_le(self.altitude);
+    }
+
+    fn decode_payload(mut bytes: &[u8]) -> Result<Self, DecodeError> {
+        check_len::<Self>(bytes)?;
+        Ok(RawBaro {
+            time_usec: bytes.get_u64_le(),
+            abs_pressure: bytes.get_f32_le(),
+            diff_pressure: bytes.get_f32_le(),
+            temperature: bytes.get_f32_le(),
+            altitude: bytes.get_f32_le(),
+        })
+    }
+}
+
+/// Position fix. In the paper's lab the "GPS" stream is actually Vicon
+/// motion-capture positioning forwarded in GPS form; we model the same.
+/// Sent HCE → CCE at 10 Hz (Table I row 3).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RawGps {
+    /// Sample timestamp, microseconds of simulation time.
+    pub time_usec: u64,
+    /// Latitude, degrees × 1e7.
+    pub lat: i32,
+    /// Longitude, degrees × 1e7.
+    pub lon: i32,
+    /// Altitude above the reference, millimetres.
+    pub alt_mm: i32,
+    /// North velocity, m/s.
+    pub vel_n: f32,
+    /// East velocity, m/s.
+    pub vel_e: f32,
+    /// Down velocity, m/s.
+    pub vel_d: f32,
+    /// Horizontal accuracy, cm.
+    pub eph_cm: u16,
+    /// Vertical accuracy, cm.
+    pub epv_cm: u16,
+}
+
+impl MessagePayload for RawGps {
+    const MSG_ID: u8 = 24;
+    const LEN: usize = 36;
+    const CRC_EXTRA: u8 = 24;
+
+    fn encode_payload(&self, buf: &mut impl BufMut) {
+        buf.put_u64_le(self.time_usec);
+        buf.put_i32_le(self.lat);
+        buf.put_i32_le(self.lon);
+        buf.put_i32_le(self.alt_mm);
+        buf.put_f32_le(self.vel_n);
+        buf.put_f32_le(self.vel_e);
+        buf.put_f32_le(self.vel_d);
+        buf.put_u16_le(self.eph_cm);
+        buf.put_u16_le(self.epv_cm);
+    }
+
+    fn decode_payload(mut bytes: &[u8]) -> Result<Self, DecodeError> {
+        check_len::<Self>(bytes)?;
+        Ok(RawGps {
+            time_usec: bytes.get_u64_le(),
+            lat: bytes.get_i32_le(),
+            lon: bytes.get_i32_le(),
+            alt_mm: bytes.get_i32_le(),
+            vel_n: bytes.get_f32_le(),
+            vel_e: bytes.get_f32_le(),
+            vel_d: bytes.get_f32_le(),
+            eph_cm: bytes.get_u16_le(),
+            epv_cm: bytes.get_u16_le(),
+        })
+    }
+}
+
+/// Radio-control input channels. Sent HCE → CCE at 50 Hz (Table I row 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RcChannels {
+    /// Sample timestamp, microseconds of simulation time.
+    pub time_usec: u64,
+    /// Channel values, PWM microseconds (1000–2000; 0 = unused).
+    pub channels: [u16; 16],
+    /// Number of valid channels.
+    pub chan_count: u8,
+    /// Receiver signal strength, 0–255.
+    pub rssi: u8,
+}
+
+impl Default for RcChannels {
+    fn default() -> Self {
+        RcChannels {
+            time_usec: 0,
+            channels: [0; 16],
+            chan_count: 0,
+            rssi: 255,
+        }
+    }
+}
+
+impl MessagePayload for RcChannels {
+    const MSG_ID: u8 = 65;
+    const LEN: usize = 42;
+    const CRC_EXTRA: u8 = 118;
+
+    fn encode_payload(&self, buf: &mut impl BufMut) {
+        buf.put_u64_le(self.time_usec);
+        for c in &self.channels {
+            buf.put_u16_le(*c);
+        }
+        buf.put_u8(self.chan_count);
+        buf.put_u8(self.rssi);
+    }
+
+    fn decode_payload(mut bytes: &[u8]) -> Result<Self, DecodeError> {
+        check_len::<Self>(bytes)?;
+        let time_usec = bytes.get_u64_le();
+        let mut channels = [0u16; 16];
+        for c in &mut channels {
+            *c = bytes.get_u16_le();
+        }
+        Ok(RcChannels {
+            time_usec,
+            channels,
+            chan_count: bytes.get_u8(),
+            rssi: bytes.get_u8(),
+        })
+    }
+}
+
+/// The complex controller's actuator command: one PWM value per motor.
+/// Sent CCE → HCE at 400 Hz (Table I row 5).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MotorOutput {
+    /// Command timestamp, microseconds of simulation time.
+    pub time_usec: u64,
+    /// Motor PWM commands, microseconds (1000–2000).
+    pub pwm: [u16; 4],
+    /// Monotonic command sequence number (detects gaps and replays).
+    pub seq: u32,
+    /// 1 if the vehicle should be armed.
+    pub armed: u8,
+}
+
+impl MessagePayload for MotorOutput {
+    const MSG_ID: u8 = 140;
+    const LEN: usize = 21;
+    const CRC_EXTRA: u8 = 181;
+
+    fn encode_payload(&self, buf: &mut impl BufMut) {
+        buf.put_u64_le(self.time_usec);
+        for p in &self.pwm {
+            buf.put_u16_le(*p);
+        }
+        buf.put_u32_le(self.seq);
+        buf.put_u8(self.armed);
+    }
+
+    fn decode_payload(mut bytes: &[u8]) -> Result<Self, DecodeError> {
+        check_len::<Self>(bytes)?;
+        let time_usec = bytes.get_u64_le();
+        let mut pwm = [0u16; 4];
+        for p in &mut pwm {
+            *p = bytes.get_u16_le();
+        }
+        Ok(MotorOutput {
+            time_usec,
+            pwm,
+            seq: bytes.get_u32_le(),
+            armed: bytes.get_u8(),
+        })
+    }
+}
+
+/// Liveness beacon exchanged between environments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Heartbeat {
+    /// Autopilot-specific mode bits.
+    pub custom_mode: u32,
+    /// Vehicle type (2 = quadrotor, matching MAV_TYPE_QUADROTOR).
+    pub vehicle_type: u8,
+    /// Autopilot identifier (12 = PX4, matching MAV_AUTOPILOT_PX4).
+    pub autopilot: u8,
+    /// Base mode flags.
+    pub base_mode: u8,
+    /// System status (3 = standby, 4 = active).
+    pub system_status: u8,
+    /// Protocol version (3 for MAVLink v1 dialects).
+    pub mavlink_version: u8,
+}
+
+impl MessagePayload for Heartbeat {
+    const MSG_ID: u8 = 0;
+    const LEN: usize = 9;
+    const CRC_EXTRA: u8 = 50;
+
+    fn encode_payload(&self, buf: &mut impl BufMut) {
+        buf.put_u32_le(self.custom_mode);
+        buf.put_u8(self.vehicle_type);
+        buf.put_u8(self.autopilot);
+        buf.put_u8(self.base_mode);
+        buf.put_u8(self.system_status);
+        buf.put_u8(self.mavlink_version);
+    }
+
+    fn decode_payload(mut bytes: &[u8]) -> Result<Self, DecodeError> {
+        check_len::<Self>(bytes)?;
+        Ok(Heartbeat {
+            custom_mode: bytes.get_u32_le(),
+            vehicle_type: bytes.get_u8(),
+            autopilot: bytes.get_u8(),
+            base_mode: bytes.get_u8(),
+            system_status: bytes.get_u8(),
+            mavlink_version: bytes.get_u8(),
+        })
+    }
+}
+
+/// Any message of the dialect, as decoded from a frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Message {
+    /// Inertial sample.
+    Imu(RawImu),
+    /// Barometer sample.
+    Baro(RawBaro),
+    /// Position fix.
+    Gps(RawGps),
+    /// RC input.
+    Rc(RcChannels),
+    /// Actuator command from the complex controller.
+    Motor(MotorOutput),
+    /// Liveness beacon.
+    Heartbeat(Heartbeat),
+}
+
+impl Message {
+    /// The message id this variant encodes to.
+    pub fn msg_id(&self) -> u8 {
+        match self {
+            Message::Imu(_) => RawImu::MSG_ID,
+            Message::Baro(_) => RawBaro::MSG_ID,
+            Message::Gps(_) => RawGps::MSG_ID,
+            Message::Rc(_) => RcChannels::MSG_ID,
+            Message::Motor(_) => MotorOutput::MSG_ID,
+            Message::Heartbeat(_) => Heartbeat::MSG_ID,
+        }
+    }
+
+    /// The dialect CRC byte of this variant.
+    pub fn crc_extra(&self) -> u8 {
+        crc_extra_for(self.msg_id()).expect("variants always have a crc extra")
+    }
+
+    /// The fixed payload length of this variant.
+    pub fn payload_len(&self) -> usize {
+        match self {
+            Message::Imu(_) => RawImu::LEN,
+            Message::Baro(_) => RawBaro::LEN,
+            Message::Gps(_) => RawGps::LEN,
+            Message::Rc(_) => RcChannels::LEN,
+            Message::Motor(_) => MotorOutput::LEN,
+            Message::Heartbeat(_) => Heartbeat::LEN,
+        }
+    }
+
+    /// Serializes just the payload bytes.
+    pub fn encode_payload(&self, buf: &mut impl BufMut) {
+        match self {
+            Message::Imu(m) => m.encode_payload(buf),
+            Message::Baro(m) => m.encode_payload(buf),
+            Message::Gps(m) => m.encode_payload(buf),
+            Message::Rc(m) => m.encode_payload(buf),
+            Message::Motor(m) => m.encode_payload(buf),
+            Message::Heartbeat(m) => m.encode_payload(buf),
+        }
+    }
+
+    /// Parses a payload for `msg_id`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnknownMessage`] for ids outside the dialect and
+    /// [`DecodeError::BadLength`] for malformed payloads.
+    pub fn decode(msg_id: u8, payload: &[u8]) -> Result<Message, DecodeError> {
+        match msg_id {
+            RawImu::MSG_ID => RawImu::decode_payload(payload).map(Message::Imu),
+            RawBaro::MSG_ID => RawBaro::decode_payload(payload).map(Message::Baro),
+            RawGps::MSG_ID => RawGps::decode_payload(payload).map(Message::Gps),
+            RcChannels::MSG_ID => RcChannels::decode_payload(payload).map(Message::Rc),
+            MotorOutput::MSG_ID => MotorOutput::decode_payload(payload).map(Message::Motor),
+            Heartbeat::MSG_ID => Heartbeat::decode_payload(payload).map(Message::Heartbeat),
+            other => Err(DecodeError::UnknownMessage { msg_id: other }),
+        }
+    }
+}
+
+macro_rules! impl_from_message {
+    ($($ty:ty => $variant:ident),* $(,)?) => {
+        $(impl From<$ty> for Message {
+            fn from(m: $ty) -> Message {
+                Message::$variant(m)
+            }
+        })*
+    };
+}
+
+impl_from_message!(
+    RawImu => Imu,
+    RawBaro => Baro,
+    RawGps => Gps,
+    RcChannels => Rc,
+    MotorOutput => Motor,
+    Heartbeat => Heartbeat,
+);
+
+/// The dialect CRC byte for a message id, if the id is known.
+pub fn crc_extra_for(msg_id: u8) -> Option<u8> {
+    match msg_id {
+        RawImu::MSG_ID => Some(RawImu::CRC_EXTRA),
+        RawBaro::MSG_ID => Some(RawBaro::CRC_EXTRA),
+        RawGps::MSG_ID => Some(RawGps::CRC_EXTRA),
+        RcChannels::MSG_ID => Some(RcChannels::CRC_EXTRA),
+        MotorOutput::MSG_ID => Some(MotorOutput::CRC_EXTRA),
+        Heartbeat::MSG_ID => Some(Heartbeat::CRC_EXTRA),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn payload_of(msg: &Message) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        msg.encode_payload(&mut buf);
+        buf.to_vec()
+    }
+
+    #[test]
+    fn payload_lengths_match_declared() {
+        let msgs: Vec<Message> = vec![
+            RawImu::default().into(),
+            RawBaro::default().into(),
+            RawGps::default().into(),
+            RcChannels::default().into(),
+            MotorOutput::default().into(),
+            Heartbeat::default().into(),
+        ];
+        for m in msgs {
+            assert_eq!(payload_of(&m).len(), m.payload_len(), "msg {}", m.msg_id());
+        }
+    }
+
+    #[test]
+    fn wire_sizes_match_table1() {
+        // Frame overhead is 6 header bytes + 2 CRC bytes.
+        assert_eq!(RawImu::LEN + 8, 52);
+        assert_eq!(RawBaro::LEN + 8, 32);
+        assert_eq!(RawGps::LEN + 8, 44);
+        assert_eq!(RcChannels::LEN + 8, 50);
+        assert_eq!(MotorOutput::LEN + 8, 29);
+    }
+
+    #[test]
+    fn imu_roundtrip_preserves_fields() {
+        let m = RawImu {
+            time_usec: 123_456_789,
+            gyro: [0.1, -0.2, 0.3],
+            accel: [-9.81, 0.02, 0.5],
+            mag: [0.2, -0.1, 0.4],
+        };
+        let bytes = payload_of(&Message::Imu(m));
+        let back = RawImu::decode_payload(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn motor_roundtrip_preserves_fields() {
+        let m = MotorOutput {
+            time_usec: 42,
+            pwm: [1000, 1500, 1700, 2000],
+            seq: 0xDEADBEEF,
+            armed: 1,
+        };
+        let bytes = payload_of(&Message::Motor(m));
+        assert_eq!(MotorOutput::decode_payload(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_length() {
+        let err = RawImu::decode_payload(&[0u8; 10]).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::BadLength {
+                msg_id: RawImu::MSG_ID,
+                expected: 44,
+                actual: 10
+            }
+        );
+    }
+
+    #[test]
+    fn decode_rejects_unknown_id() {
+        assert_eq!(
+            Message::decode(250, &[]),
+            Err(DecodeError::UnknownMessage { msg_id: 250 })
+        );
+    }
+
+    #[test]
+    fn msg_ids_are_unique() {
+        let ids = [
+            RawImu::MSG_ID,
+            RawBaro::MSG_ID,
+            RawGps::MSG_ID,
+            RcChannels::MSG_ID,
+            MotorOutput::MSG_ID,
+            Heartbeat::MSG_ID,
+        ];
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+}

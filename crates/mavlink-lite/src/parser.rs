@@ -1,0 +1,238 @@
+//! Streaming frame parser with resynchronization.
+//!
+//! UDP delivers whole datagrams, but a flooded channel mixes garbage
+//! datagrams with genuine frames, and the HCE receiving thread must find the
+//! valid frames without ever stalling on junk. [`Parser`] accepts arbitrary
+//! byte chunks, scans for `STX`, validates checksums, and counts everything
+//! it had to skip — the statistics feed the security monitor.
+
+use crate::error::DecodeError;
+use crate::frame::{Frame, FRAME_OVERHEAD, STX};
+
+/// Cumulative parser health counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParserStats {
+    /// Frames that decoded and passed the checksum.
+    pub frames_ok: u64,
+    /// Frames rejected by checksum.
+    pub crc_errors: u64,
+    /// Frames with an id outside the dialect.
+    pub unknown_messages: u64,
+    /// Bytes skipped while hunting for a start marker.
+    pub bytes_skipped: u64,
+}
+
+/// Incremental frame parser.
+///
+/// # Examples
+///
+/// ```
+/// use mavlink_lite::frame::Sender;
+/// use mavlink_lite::messages::Heartbeat;
+/// use mavlink_lite::parser::Parser;
+///
+/// let mut tx = Sender::new(1, 1);
+/// let mut p = Parser::new();
+/// let mut wire = vec![0xAA, 0x55]; // leading junk
+/// wire.extend(tx.encode(Heartbeat::default().into()));
+/// let frames = p.push(&wire);
+/// assert_eq!(frames.len(), 1);
+/// assert_eq!(p.stats().bytes_skipped, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Parser {
+    buf: Vec<u8>,
+    stats: ParserStats,
+}
+
+impl Parser {
+    /// Creates an empty parser.
+    pub fn new() -> Self {
+        Parser::default()
+    }
+
+    /// Feeds `bytes` to the parser and returns every complete, valid frame
+    /// found so far. Invalid spans are skipped and counted in
+    /// [`Parser::stats`].
+    pub fn push(&mut self, bytes: &[u8]) -> Vec<Frame> {
+        self.buf.extend_from_slice(bytes);
+        let mut frames = Vec::new();
+        let mut pos = 0usize;
+
+        loop {
+            // Hunt for the next start marker.
+            match self.buf[pos..].iter().position(|&b| b == STX) {
+                Some(offset) => {
+                    self.stats.bytes_skipped += offset as u64;
+                    pos += offset;
+                }
+                None => {
+                    self.stats.bytes_skipped += (self.buf.len() - pos) as u64;
+                    pos = self.buf.len();
+                    break;
+                }
+            }
+
+            match Frame::decode(&self.buf[pos..]) {
+                Ok((frame, used)) => {
+                    self.stats.frames_ok += 1;
+                    frames.push(frame);
+                    pos += used;
+                }
+                Err(DecodeError::Truncated) => {
+                    // Might complete with more input — but only if the
+                    // buffered tail could still be a frame; a lone STX at the
+                    // very end always waits.
+                    if self.could_complete(pos) {
+                        break;
+                    }
+                    // A full-length candidate failed structurally: skip the
+                    // STX byte and resync.
+                    self.stats.bytes_skipped += 1;
+                    pos += 1;
+                }
+                Err(DecodeError::BadCrc { .. }) => {
+                    self.stats.crc_errors += 1;
+                    self.stats.bytes_skipped += 1;
+                    pos += 1;
+                }
+                Err(DecodeError::UnknownMessage { .. }) => {
+                    self.stats.unknown_messages += 1;
+                    self.stats.bytes_skipped += 1;
+                    pos += 1;
+                }
+                Err(DecodeError::BadLength { .. }) => {
+                    self.stats.bytes_skipped += 1;
+                    pos += 1;
+                }
+            }
+        }
+
+        self.buf.drain(..pos);
+        frames
+    }
+
+    /// True when the bytes at `pos` form a valid prefix that may still grow
+    /// into a complete frame.
+    fn could_complete(&self, pos: usize) -> bool {
+        let tail = &self.buf[pos..];
+        if tail.len() < 2 {
+            return true; // just STX (or STX+LEN) so far
+        }
+        let total = tail[1] as usize + FRAME_OVERHEAD;
+        tail.len() < total
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> ParserStats {
+        self.stats
+    }
+
+    /// Bytes currently buffered awaiting more input.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Sender;
+    use crate::messages::{Heartbeat, Message, MotorOutput, RawImu};
+
+    fn motor_wire(seq_start: u8, n: usize) -> Vec<u8> {
+        let mut tx = Sender::new(1, 1);
+        for _ in 0..seq_start {
+            let _ = tx.frame(MotorOutput::default().into());
+        }
+        let mut out = Vec::new();
+        for i in 0..n {
+            out.extend(tx.encode(
+                MotorOutput {
+                    seq: i as u32,
+                    ..MotorOutput::default()
+                }
+                .into(),
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn parses_back_to_back_frames() {
+        let wire = motor_wire(0, 5);
+        let mut p = Parser::new();
+        let frames = p.push(&wire);
+        assert_eq!(frames.len(), 5);
+        assert_eq!(p.stats().frames_ok, 5);
+        assert_eq!(p.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn handles_arbitrary_chunking() {
+        let wire = motor_wire(0, 10);
+        // Feed one byte at a time.
+        let mut p = Parser::new();
+        let mut got = Vec::new();
+        for b in wire {
+            got.extend(p.push(&[b]));
+        }
+        assert_eq!(got.len(), 10);
+        assert_eq!(p.stats().crc_errors, 0);
+    }
+
+    #[test]
+    fn resyncs_after_garbage() {
+        let mut wire = vec![0x01, 0x02, STX, 0x03]; // junk including a fake STX
+        wire.extend(motor_wire(0, 2));
+        let mut p = Parser::new();
+        let frames = p.push(&wire);
+        assert_eq!(frames.len(), 2);
+        assert!(p.stats().bytes_skipped >= 4);
+    }
+
+    #[test]
+    fn corrupted_frame_does_not_block_following_frames() {
+        let mut wire = motor_wire(0, 3);
+        wire[12] ^= 0xFF; // corrupt the first frame's payload
+        let mut p = Parser::new();
+        let frames = p.push(&wire);
+        assert_eq!(frames.len(), 2);
+        assert!(p.stats().crc_errors >= 1);
+    }
+
+    #[test]
+    fn mixed_message_types_parse() {
+        let mut tx = Sender::new(1, 1);
+        let mut wire = Vec::new();
+        wire.extend(tx.encode(RawImu::default().into()));
+        wire.extend(tx.encode(Heartbeat::default().into()));
+        wire.extend(tx.encode(MotorOutput::default().into()));
+        let mut p = Parser::new();
+        let frames = p.push(&wire);
+        let kinds: Vec<u8> = frames.iter().map(|f| f.message.msg_id()).collect();
+        assert_eq!(kinds, vec![105, 0, 140]);
+        assert!(matches!(frames[1].message, Message::Heartbeat(_)));
+    }
+
+    #[test]
+    fn trailing_partial_frame_is_buffered() {
+        let wire = motor_wire(0, 1);
+        let mut p = Parser::new();
+        let cut = wire.len() - 4;
+        assert!(p.push(&wire[..cut]).is_empty());
+        assert!(p.pending_bytes() > 0);
+        let frames = p.push(&wire[cut..]);
+        assert_eq!(frames.len(), 1);
+    }
+
+    #[test]
+    fn pure_flood_garbage_yields_no_frames() {
+        // A flood datagram full of 0x00 — the parser must consume and move on.
+        let mut p = Parser::new();
+        let frames = p.push(&[0u8; 4096]);
+        assert!(frames.is_empty());
+        assert_eq!(p.stats().bytes_skipped, 4096);
+        assert_eq!(p.pending_bytes(), 0);
+    }
+}

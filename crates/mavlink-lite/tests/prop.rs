@@ -1,0 +1,139 @@
+//! Property-based tests for the protocol layer: arbitrary messages must
+//! survive framing, arbitrary corruption must never produce a bogus frame,
+//! and the parser must stay lossless under arbitrary chunking.
+
+use mavlink_lite::prelude::*;
+use proptest::prelude::*;
+
+fn arb_imu() -> impl Strategy<Value = RawImu> {
+    (
+        any::<u64>(),
+        prop::array::uniform3(-100.0f32..100.0),
+        prop::array::uniform3(-100.0f32..100.0),
+        prop::array::uniform3(-1.0f32..1.0),
+    )
+        .prop_map(|(time_usec, gyro, accel, mag)| RawImu {
+            time_usec,
+            gyro,
+            accel,
+            mag,
+        })
+}
+
+fn arb_motor() -> impl Strategy<Value = MotorOutput> {
+    (any::<u64>(), prop::array::uniform4(900u16..2100), any::<u32>(), 0u8..2)
+        .prop_map(|(time_usec, pwm, seq, armed)| MotorOutput {
+            time_usec,
+            pwm,
+            seq,
+            armed,
+        })
+}
+
+fn arb_gps() -> impl Strategy<Value = RawGps> {
+    (
+        any::<u64>(),
+        any::<i32>(),
+        any::<i32>(),
+        any::<i32>(),
+        -50.0f32..50.0,
+        -50.0f32..50.0,
+        -50.0f32..50.0,
+        any::<u16>(),
+        any::<u16>(),
+    )
+        .prop_map(
+            |(time_usec, lat, lon, alt_mm, vel_n, vel_e, vel_d, eph_cm, epv_cm)| RawGps {
+                time_usec,
+                lat,
+                lon,
+                alt_mm,
+                vel_n,
+                vel_e,
+                vel_d,
+                eph_cm,
+                epv_cm,
+            },
+        )
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        arb_imu().prop_map(Message::Imu),
+        arb_motor().prop_map(Message::Motor),
+        arb_gps().prop_map(Message::Gps),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn frame_roundtrip(msg in arb_message(), seq in any::<u8>(), sys in any::<u8>(), comp in any::<u8>()) {
+        let frame = Frame::new(seq, sys, comp, msg);
+        let wire = frame.encode();
+        let (back, used) = Frame::decode(&wire).unwrap();
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_yields_wrong_frame(
+        msg in arb_message(),
+        idx in 0usize..64,
+        flip in 1u8..=255,
+    ) {
+        let frame = Frame::new(1, 2, 3, msg);
+        let mut wire = frame.encode();
+        let idx = idx % wire.len();
+        wire[idx] ^= flip;
+        // Either the frame is rejected outright, or (if the corrupted byte
+        // was in a don't-care position there is none in this layout) it
+        // decodes to something different from silently matching by luck.
+        if let Ok((back, _)) = Frame::decode(&wire) {
+            prop_assert_ne!(back, frame, "corruption at byte {} accepted unchanged", idx);
+        }
+    }
+
+    #[test]
+    fn parser_recovers_all_frames_regardless_of_chunking(
+        msgs in prop::collection::vec(arb_message(), 1..20),
+        chunk in 1usize..97,
+        junk_prefix in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut tx = Sender::new(1, 1);
+        let mut wire = junk_prefix.clone();
+        for m in &msgs {
+            wire.extend(tx.encode(*m));
+        }
+        let mut parser = Parser::new();
+        let mut got = Vec::new();
+        for piece in wire.chunks(chunk) {
+            got.extend(parser.push(piece));
+        }
+        // Junk may contain STX and swallow at most a prefix of real frames,
+        // but once synchronized nothing may be lost. With junk drawn from
+        // arbitrary bytes the parser can mis-frame across the junk/real
+        // boundary; all frames after the first recovered one must be intact.
+        prop_assert!(got.len() <= msgs.len());
+        if junk_prefix.is_empty() {
+            prop_assert_eq!(got.len(), msgs.len());
+            for (f, m) in got.iter().zip(&msgs) {
+                prop_assert_eq!(&f.message, m);
+            }
+        } else if let Some(first) = got.first() {
+            let start = msgs.iter().position(|m| m == &first.message);
+            prop_assert!(start.is_some());
+            let start = start.unwrap();
+            for (f, m) in got.iter().zip(&msgs[start..]) {
+                prop_assert_eq!(&f.message, m);
+            }
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let mut parser = Parser::new();
+        let _ = parser.push(&bytes);
+        // Buffered remainder is bounded by one maximal frame candidate.
+        prop_assert!(parser.pending_bytes() <= 255 + 8);
+    }
+}

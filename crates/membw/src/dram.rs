@@ -1,0 +1,455 @@
+//! Shared DRAM bandwidth and contention model.
+//!
+//! The paper's memory DoS attack works because all four Cortex-A53 cores of
+//! the RPi3 share one LPDDR2 channel (and a small shared L2): a single
+//! `Bandwidth`-style hog inflates every other core's memory latency. We use
+//! the standard first-order model from the MemGuard / IsolBench literature:
+//!
+//! ```text
+//! dilation_i = 1 + m_i · γ · U_other_i
+//! ```
+//!
+//! where `m_i` is the fraction of task *i*'s execution that stalls on memory
+//! at baseline, `U_other_i` is the fraction of bus bandwidth consumed by
+//! *other* cores, and `γ` lumps together queueing delay, bank conflicts, and
+//! shared-cache pollution. On in-order A53-class parts with a hot hog,
+//! victim slowdowns up to ~10× are reported (DeepPicar; IsolBench), which
+//! corresponds to `γ ≈ 10–16` for memory-heavy victims.
+
+use sim_core::time::{SimDuration, SimTime};
+
+/// DRAM model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Usable bus bandwidth, cache lines (64 B) per second.
+    /// 15 M lines/s ≈ 960 MB/s, the practical streaming rate of the
+    /// RPi3's LPDDR2-900.
+    pub total_bandwidth: f64,
+    /// Latency-inflation sensitivity γ (see module docs).
+    pub contention_gamma: f64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            total_bandwidth: 15.0e6,
+            contention_gamma: 14.0,
+        }
+    }
+}
+
+/// Per-core memory demand for one scheduler quantum.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CoreDemand {
+    /// Cache-line fetch rate the running task would sustain unimpeded,
+    /// lines/s. Zero for an idle core.
+    pub bandwidth: f64,
+    /// Fraction of the task's execution that is memory-stalled at baseline
+    /// (`m` in the dilation formula), 0–1.
+    pub stall_fraction: f64,
+    /// `true` for bandwidth-bound streaming workloads (sequential reads or
+    /// writes with perfect prefetch, like IsolBench `Bandwidth`): their
+    /// progress degrades only by losing bus *share*, not by per-access
+    /// latency. Latency-bound tasks (pointer chasing, control code with
+    /// cache misses) instead suffer the γ dilation.
+    pub streaming: bool,
+}
+
+/// Outcome of one quantum for one core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreOutcome {
+    /// Useful execution progress as a fraction of wall time (1 = full
+    /// speed; 0.2 = 5× dilation; 0 = throttled by MemGuard).
+    pub progress: f64,
+    /// Cache lines actually transferred this quantum.
+    pub served_lines: f64,
+    /// `true` if MemGuard held the core stalled this quantum.
+    pub throttled: bool,
+}
+
+/// Cumulative per-core counters (the "performance counters" MemGuard reads).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PerfCounter {
+    /// Total cache lines transferred.
+    pub lines: f64,
+    /// Wall time spent throttled.
+    pub throttled_time: SimDuration,
+}
+
+/// MemGuard configuration: a per-core budget of cache lines per regulation
+/// period, matching the kernel module the paper deploys (§III-D).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemGuardConfig {
+    /// Regulation period (the paper's MemGuard uses 1 ms).
+    pub period: SimDuration,
+    /// Per-core budget, lines per period. `None` = unregulated core.
+    pub budgets: Vec<Option<f64>>,
+}
+
+impl MemGuardConfig {
+    /// Regulates only `core` to `bandwidth_fraction` of the bus, leaving
+    /// other cores (of `n_cores`) unregulated — the paper's deployment:
+    /// only the CCE core is budgeted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= n_cores` or the fraction is outside `(0, 1]`.
+    pub fn single_core(
+        n_cores: usize,
+        core: usize,
+        bandwidth_fraction: f64,
+        dram: &DramConfig,
+    ) -> Self {
+        assert!(core < n_cores, "core {core} out of range");
+        assert!(
+            bandwidth_fraction > 0.0 && bandwidth_fraction <= 1.0,
+            "fraction must be in (0,1]: {bandwidth_fraction}"
+        );
+        let period = SimDuration::from_millis(1);
+        let lines_per_period =
+            dram.total_bandwidth * bandwidth_fraction * period.as_secs_f64();
+        let mut budgets = vec![None; n_cores];
+        budgets[core] = Some(lines_per_period);
+        MemGuardConfig { period, budgets }
+    }
+}
+
+/// The shared memory system: DRAM bus plus optional MemGuard regulation.
+///
+/// # Examples
+///
+/// ```
+/// use membw::dram::{CoreDemand, DramConfig, MemorySystem};
+/// use sim_core::time::{SimDuration, SimTime};
+///
+/// let mut mem = MemorySystem::new(4, DramConfig::default());
+/// let quiet = CoreDemand { bandwidth: 0.2e6, stall_fraction: 0.3, streaming: false };
+/// let out = mem.quantum(SimTime::ZERO, SimDuration::from_micros(50), &[quiet; 4]);
+/// assert!(out[0].progress > 0.95); // light load: almost no dilation
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    config: DramConfig,
+    memguard: Option<MemGuardState>,
+    counters: Vec<PerfCounter>,
+    /// Served bandwidth per core in the previous quantum (lines/s); used to
+    /// compute contention with one quantum of lag, which keeps the model
+    /// explicit and stable.
+    prev_served: Vec<f64>,
+}
+
+#[derive(Debug, Clone)]
+struct MemGuardState {
+    config: MemGuardConfig,
+    used: Vec<f64>,
+    next_replenish: SimTime,
+    /// Number of throttle episodes per core.
+    throttle_events: Vec<u64>,
+}
+
+impl MemorySystem {
+    /// Creates an unregulated memory system for `n_cores` cores.
+    pub fn new(n_cores: usize, config: DramConfig) -> Self {
+        MemorySystem {
+            config,
+            memguard: None,
+            counters: vec![PerfCounter::default(); n_cores],
+            prev_served: vec![0.0; n_cores],
+        }
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// The DRAM parameters.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Installs MemGuard regulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget vector length differs from the core count.
+    pub fn enable_memguard(&mut self, config: MemGuardConfig) {
+        assert_eq!(
+            config.budgets.len(),
+            self.n_cores(),
+            "budget vector must cover every core"
+        );
+        let n = self.n_cores();
+        self.memguard = Some(MemGuardState {
+            next_replenish: SimTime::ZERO,
+            used: vec![0.0; n],
+            throttle_events: vec![0; n],
+            config,
+        });
+    }
+
+    /// Removes MemGuard regulation.
+    pub fn disable_memguard(&mut self) {
+        self.memguard = None;
+    }
+
+    /// `true` if MemGuard is active.
+    pub fn memguard_enabled(&self) -> bool {
+        self.memguard.is_some()
+    }
+
+    /// Per-core cumulative counters.
+    pub fn counters(&self) -> &[PerfCounter] {
+        &self.counters
+    }
+
+    /// Throttle episodes per core (0s when MemGuard is off).
+    pub fn throttle_events(&self) -> Vec<u64> {
+        match &self.memguard {
+            Some(s) => s.throttle_events.clone(),
+            None => vec![0; self.n_cores()],
+        }
+    }
+
+    /// Advances one scheduler quantum.
+    ///
+    /// `demands[i]` describes what the task currently running on core `i`
+    /// would consume; the returned outcome tells the scheduler how much
+    /// useful progress that task actually made.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demands.len()` differs from the core count.
+    pub fn quantum(
+        &mut self,
+        now: SimTime,
+        dt: SimDuration,
+        demands: &[CoreDemand],
+    ) -> Vec<CoreOutcome> {
+        assert_eq!(demands.len(), self.n_cores(), "one demand per core");
+        let dt_s = dt.as_secs_f64();
+
+        // MemGuard: replenish budgets at period boundaries.
+        if let Some(mg) = &mut self.memguard {
+            if now >= mg.next_replenish {
+                mg.used.iter_mut().for_each(|u| *u = 0.0);
+                mg.next_replenish = now + mg.config.period;
+            }
+        }
+
+        let total_prev: f64 = self.prev_served.iter().sum();
+        let mut outcomes = Vec::with_capacity(demands.len());
+        let mut served_now = vec![0.0; demands.len()];
+
+        for (i, d) in demands.iter().enumerate() {
+            // Throttle check (uses the budget *before* this quantum's
+            // accesses, as the real MemGuard interrupt does).
+            let throttled = match &self.memguard {
+                Some(mg) => match mg.config.budgets[i] {
+                    Some(budget) => mg.used[i] >= budget,
+                    None => false,
+                },
+                None => false,
+            };
+
+            if throttled {
+                self.counters[i].throttled_time += dt;
+                outcomes.push(CoreOutcome {
+                    progress: 0.0,
+                    served_lines: 0.0,
+                    throttled: true,
+                });
+                continue;
+            }
+
+            // Contention from other cores (previous quantum's served rates).
+            let others = (total_prev - self.prev_served[i]).max(0.0);
+            let u_other = (others / self.config.total_bandwidth).clamp(0.0, 1.0);
+            let progress = if d.streaming {
+                // Bandwidth-bound: slowed only by losing bus share.
+                let available = (self.config.total_bandwidth - others)
+                    .max(0.05 * self.config.total_bandwidth);
+                (available / d.bandwidth.max(1e-9)).min(1.0)
+            } else {
+                // Latency-bound: per-access latency inflates with others'
+                // traffic (queueing + bank conflicts + shared-cache
+                // pollution, lumped into γ).
+                1.0 / (1.0 + d.stall_fraction * self.config.contention_gamma * u_other)
+            };
+            let mut lines = d.bandwidth * dt_s * progress;
+
+            // MemGuard accounting: partial quantum until the budget runs out.
+            if let Some(mg) = &mut self.memguard {
+                if let Some(budget) = mg.config.budgets[i] {
+                    let remaining = (budget - mg.used[i]).max(0.0);
+                    if lines >= remaining {
+                        lines = remaining;
+                        mg.throttle_events[i] += 1;
+                    }
+                    mg.used[i] += lines;
+                }
+            }
+
+            self.counters[i].lines += lines;
+            served_now[i] = lines / dt_s;
+            outcomes.push(CoreOutcome {
+                progress,
+                served_lines: lines,
+                throttled: false,
+            });
+        }
+
+        self.prev_served = served_now;
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: SimDuration = SimDuration::from_micros(50);
+
+    fn idle() -> CoreDemand {
+        CoreDemand::default()
+    }
+
+    fn hog() -> CoreDemand {
+        CoreDemand {
+            bandwidth: 14.0e6,
+            stall_fraction: 0.95,
+            streaming: true,
+        }
+    }
+
+    fn victim(m: f64) -> CoreDemand {
+        CoreDemand {
+            bandwidth: 1.0e6,
+            stall_fraction: m,
+            streaming: false,
+        }
+    }
+
+    fn run(mem: &mut MemorySystem, demands: &[CoreDemand], quanta: usize) -> Vec<CoreOutcome> {
+        let mut t = SimTime::ZERO;
+        let mut last = Vec::new();
+        for _ in 0..quanta {
+            last = mem.quantum(t, DT, demands);
+            t += DT;
+        }
+        last
+    }
+
+    #[test]
+    fn no_contention_full_progress() {
+        let mut mem = MemorySystem::new(4, DramConfig::default());
+        let out = run(&mut mem, &[victim(0.5), idle(), idle(), idle()], 10);
+        assert!((out[0].progress - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hog_dilates_other_cores() {
+        let mut mem = MemorySystem::new(4, DramConfig::default());
+        let out = run(&mut mem, &[victim(0.7), idle(), idle(), hog()], 100);
+        // dilation ≈ 1 + 0.7·γ·U_hog; with γ=14 and the hog near saturation
+        // the victim should run at well under a quarter speed.
+        assert!(out[0].progress < 0.15, "progress {}", out[0].progress);
+        // Compute-bound tasks barely notice.
+        let mut mem2 = MemorySystem::new(4, DramConfig::default());
+        let out2 = run(&mut mem2, &[victim(0.05), idle(), idle(), hog()], 100);
+        assert!(out2[0].progress > 0.5, "progress {}", out2[0].progress);
+    }
+
+    #[test]
+    fn dilation_grows_with_stall_fraction() {
+        let mut prev = 1.1;
+        for m in [0.2, 0.4, 0.6, 0.8] {
+            let mut mem = MemorySystem::new(2, DramConfig::default());
+            let out = run(&mut mem, &[victim(m), hog()], 50);
+            assert!(out[0].progress < prev, "m={m}");
+            prev = out[0].progress;
+        }
+    }
+
+    #[test]
+    fn own_traffic_does_not_self_dilate() {
+        // A single busy core sees no contention from itself.
+        let mut mem = MemorySystem::new(2, DramConfig::default());
+        let out = run(&mut mem, &[hog(), idle()], 50);
+        assert!((out[0].progress - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memguard_budget_caps_served_lines_per_period() {
+        let dram = DramConfig::default();
+        let mut mem = MemorySystem::new(4, dram);
+        mem.enable_memguard(MemGuardConfig::single_core(4, 3, 0.05, &dram));
+        // Run exactly one period (1 ms = 20 quanta of 50 µs).
+        let demands = [idle(), idle(), idle(), hog()];
+        let mut served = 0.0;
+        let mut t = SimTime::ZERO;
+        for _ in 0..20 {
+            let out = mem.quantum(t, DT, &demands);
+            served += out[3].served_lines;
+            t += DT;
+        }
+        let budget = dram.total_bandwidth * 0.05 * 1e-3;
+        assert!(served <= budget + 1e-6, "served {served} > budget {budget}");
+        // The hog demands far more than the budget, so it must be pinned at it.
+        assert!(served > 0.99 * budget);
+    }
+
+    #[test]
+    fn memguard_throttles_then_replenishes() {
+        let dram = DramConfig::default();
+        let mut mem = MemorySystem::new(2, dram);
+        mem.enable_memguard(MemGuardConfig::single_core(2, 1, 0.02, &dram));
+        let demands = [idle(), hog()];
+        // Fill the first period: the hog exhausts 2% quickly, then stalls.
+        let mut t = SimTime::ZERO;
+        let mut throttled_seen = false;
+        for _ in 0..20 {
+            let out = mem.quantum(t, DT, &demands);
+            throttled_seen |= out[1].throttled;
+            t += DT;
+        }
+        assert!(throttled_seen, "hog must hit the budget within the period");
+        // First quantum of the next period: replenished, runs again.
+        let out = mem.quantum(t, DT, &demands);
+        assert!(!out[1].throttled);
+        assert!(out[1].served_lines > 0.0);
+    }
+
+    #[test]
+    fn memguard_protects_victims_from_hog() {
+        let dram = DramConfig::default();
+        // Unprotected baseline.
+        let mut un = MemorySystem::new(4, dram);
+        let base = run(&mut un, &[victim(0.7), idle(), idle(), hog()], 200);
+        // Protected.
+        let mut pro = MemorySystem::new(4, dram);
+        pro.enable_memguard(MemGuardConfig::single_core(4, 3, 0.05, &dram));
+        let prot = run(&mut pro, &[victim(0.7), idle(), idle(), hog()], 200);
+        assert!(
+            prot[0].progress > 0.8,
+            "victim must run near full speed under MemGuard, got {}",
+            prot[0].progress
+        );
+        assert!(prot[0].progress > 3.0 * base[0].progress);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut mem = MemorySystem::new(2, DramConfig::default());
+        run(&mut mem, &[victim(0.5), idle()], 100);
+        assert!(mem.counters()[0].lines > 0.0);
+        assert_eq!(mem.counters()[1].lines, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one demand per core")]
+    fn quantum_validates_demand_length() {
+        let mut mem = MemorySystem::new(4, DramConfig::default());
+        let _ = mem.quantum(SimTime::ZERO, DT, &[idle()]);
+    }
+}

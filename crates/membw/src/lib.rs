@@ -1,0 +1,39 @@
+//! Shared-memory bandwidth modelling and MemGuard for the ContainerDrone
+//! reproduction.
+//!
+//! Implements the substrate behind §III-D of the paper: a shared DRAM bus
+//! whose contention inflates victims' execution time, per-core performance
+//! counters, and the MemGuard bandwidth regulator (budget per period,
+//! throttle on exhaustion, replenish at the period boundary).
+//!
+//! # Examples
+//!
+//! ```
+//! use membw::prelude::*;
+//! use sim_core::time::{SimDuration, SimTime};
+//!
+//! let dram = DramConfig::default();
+//! let mut mem = MemorySystem::new(4, dram);
+//! // Regulate core 3 (the CCE core) to 5% of the bus.
+//! mem.enable_memguard(MemGuardConfig::single_core(4, 3, 0.05, &dram));
+//! let hog = CoreDemand { bandwidth: 14.0e6, stall_fraction: 0.95, streaming: true };
+//! let idle = CoreDemand::default();
+//! let out = mem.quantum(SimTime::ZERO, SimDuration::from_micros(50),
+//!                       &[idle, idle, idle, hog]);
+//! assert!(!out[3].throttled); // budget fresh at t=0
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dram;
+
+pub use dram::{
+    CoreDemand, CoreOutcome, DramConfig, MemGuardConfig, MemorySystem, PerfCounter,
+};
+
+/// Convenient glob import of the memory-system types.
+pub mod prelude {
+    pub use crate::dram::{
+        CoreDemand, CoreOutcome, DramConfig, MemGuardConfig, MemorySystem, PerfCounter,
+    };
+}

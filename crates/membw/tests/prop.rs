@@ -1,0 +1,110 @@
+//! Property-based tests for the memory system: budget enforcement,
+//! progress bounds, and contention monotonicity for arbitrary demand mixes.
+
+use membw::prelude::*;
+use proptest::prelude::*;
+use sim_core::time::{SimDuration, SimTime};
+
+fn arb_demand() -> impl Strategy<Value = CoreDemand> {
+    (0.0f64..15.0e6, 0.0f64..1.0, any::<bool>()).prop_map(
+        |(bandwidth, stall_fraction, streaming)| CoreDemand {
+            bandwidth,
+            stall_fraction,
+            streaming,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Progress is always in (0, 1] for unthrottled cores; served lines are
+    /// never negative and never exceed demand × dt.
+    #[test]
+    fn progress_and_lines_bounded(demands in prop::collection::vec(arb_demand(), 4)) {
+        let mut mem = MemorySystem::new(4, DramConfig::default());
+        let dt = SimDuration::from_micros(50);
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            let out = mem.quantum(t, dt, &demands);
+            for (o, d) in out.iter().zip(&demands) {
+                prop_assert!(o.progress > 0.0 && o.progress <= 1.0, "progress {}", o.progress);
+                prop_assert!(o.served_lines >= 0.0);
+                let max_lines = d.bandwidth * dt.as_secs_f64() + 1e-9;
+                prop_assert!(o.served_lines <= max_lines);
+                prop_assert!(!o.throttled, "no memguard, no throttling");
+            }
+            t += dt;
+        }
+    }
+
+    /// With MemGuard, a regulated core never exceeds its budget within any
+    /// regulation period, for arbitrary budgets and demands.
+    #[test]
+    fn memguard_budget_is_hard(
+        demands in prop::collection::vec(arb_demand(), 4),
+        budget_frac in 0.01f64..0.9,
+        regulated in 0usize..4,
+    ) {
+        let dram = DramConfig::default();
+        let mut mem = MemorySystem::new(4, dram);
+        mem.enable_memguard(MemGuardConfig::single_core(4, regulated, budget_frac, &dram));
+        let budget = dram.total_bandwidth * budget_frac * 1e-3;
+        let dt = SimDuration::from_micros(50);
+        let mut t = SimTime::ZERO;
+        for _period in 0..20 {
+            let mut served = 0.0;
+            for _ in 0..20 {
+                let out = mem.quantum(t, dt, &demands);
+                served += out[regulated].served_lines;
+                t += dt;
+            }
+            prop_assert!(
+                served <= budget * (1.0 + 1e-9),
+                "served {served} > budget {budget} in one period"
+            );
+        }
+    }
+
+    /// More traffic from other cores never speeds up a latency-bound task.
+    #[test]
+    fn contention_is_monotone(m in 0.05f64..1.0, extra_bw in 0.0f64..14.0e6) {
+        let run = |other_bw: f64| {
+            let mut mem = MemorySystem::new(2, DramConfig::default());
+            let demands = [
+                CoreDemand { bandwidth: 1.0e6, stall_fraction: m, streaming: false },
+                CoreDemand { bandwidth: other_bw, stall_fraction: 0.9, streaming: true },
+            ];
+            let dt = SimDuration::from_micros(50);
+            let mut t = SimTime::ZERO;
+            let mut last = 1.0;
+            for _ in 0..50 {
+                last = mem.quantum(t, dt, &demands)[0].progress;
+                t += dt;
+            }
+            last
+        };
+        let quiet = run(0.0);
+        let loud = run(extra_bw);
+        prop_assert!(loud <= quiet + 1e-12, "more contention sped victim up: {quiet} -> {loud}");
+    }
+
+    /// Perf counters equal the sum of served lines.
+    #[test]
+    fn counters_are_sums(demands in prop::collection::vec(arb_demand(), 4)) {
+        let mut mem = MemorySystem::new(4, DramConfig::default());
+        let dt = SimDuration::from_micros(50);
+        let mut t = SimTime::ZERO;
+        let mut sums = [0.0f64; 4];
+        for _ in 0..40 {
+            let out = mem.quantum(t, dt, &demands);
+            for (s, o) in sums.iter_mut().zip(&out) {
+                *s += o.served_lines;
+            }
+            t += dt;
+        }
+        for (s, c) in sums.iter().zip(mem.counters()) {
+            prop_assert!((s - c.lines).abs() < 1e-6);
+        }
+    }
+}

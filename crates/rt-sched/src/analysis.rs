@@ -1,0 +1,293 @@
+//! Fixed-priority response-time analysis (RTA).
+//!
+//! The paper closes with: "In the future, we plan to provide hard
+//! real-time proof and schedulability analysis for container drone." This
+//! module provides that analysis for the partitioned case (every task
+//! pinned to one core, as the ContainerDrone HCE deployment does): the
+//! classic Joseph–Pandya recurrence
+//!
+//! ```text
+//! R_i = C_i + Σ_{j ∈ hp(i) on the same core} ⌈R_i / T_j⌉ · C_j
+//! ```
+//!
+//! iterated to a fixed point, with an optional *memory-contention
+//! inflation* step that bounds C_i under a DoS hog using the same dilation
+//! model the simulator executes — so the analysis can certify the HCE
+//! schedulable (or prove it overloaded) under the Figure-4/5 attack, and
+//! the simulator's measured response times can be checked against the
+//! bounds (see the validation tests).
+
+use sim_core::time::SimDuration;
+
+use crate::task::Cost;
+
+/// One analyzable task: pinned, periodic, fixed-priority.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzedTask {
+    /// Display name.
+    pub name: String,
+    /// Core the task is pinned to.
+    pub core: usize,
+    /// Fixed priority (higher = more urgent), as in `SchedPolicy::Fifo`.
+    pub priority: u8,
+    /// Period (= implicit deadline).
+    pub period: SimDuration,
+    /// Cost model (the analysis uses `cpu`, `stall_fraction`).
+    pub cost: Cost,
+}
+
+/// Result of the analysis for one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskVerdict {
+    /// Task name.
+    pub name: String,
+    /// The WCET used (after any contention inflation).
+    pub wcet: SimDuration,
+    /// Worst-case response time, if the recurrence converged within the
+    /// deadline horizon.
+    pub response: Option<SimDuration>,
+    /// `true` if the worst-case response meets the period (deadline).
+    pub schedulable: bool,
+}
+
+/// Result of the analysis for a whole task set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisReport {
+    /// Per-task verdicts, in input order.
+    pub tasks: Vec<TaskVerdict>,
+    /// Per-core total utilization (with inflated WCETs).
+    pub core_utilization: Vec<f64>,
+}
+
+impl AnalysisReport {
+    /// `true` if every task meets its deadline.
+    pub fn all_schedulable(&self) -> bool {
+        self.tasks.iter().all(|t| t.schedulable)
+    }
+
+    /// Looks up a task's verdict by name.
+    pub fn task(&self, name: &str) -> Option<&TaskVerdict> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+}
+
+/// Bounds execution-time inflation under memory contention: the dilation
+/// model of [`membw`], evaluated at a worst-case other-core bus
+/// utilization `u_other` (e.g. 0.93 for an unthrottled streaming hog, or
+/// the MemGuard budget fraction when regulation is on).
+///
+/// # Examples
+///
+/// ```
+/// use rt_sched::analysis::inflate_wcet;
+/// use rt_sched::task::Cost;
+/// use sim_core::time::SimDuration;
+///
+/// let c = Cost::memory_bound(SimDuration::from_micros(1000), 2.0e6, 0.5);
+/// // γ = 14, hog at 93% of the bus: dilation 1 + 0.5·14·0.93 ≈ 7.5×.
+/// let inflated = inflate_wcet(&c, 14.0, 0.93);
+/// assert!(inflated > SimDuration::from_micros(7000));
+/// ```
+pub fn inflate_wcet(cost: &Cost, gamma: f64, u_other: f64) -> SimDuration {
+    let dilation = 1.0 + cost.stall_fraction * gamma * u_other.clamp(0.0, 1.0);
+    cost.cpu.mul_f64(dilation)
+}
+
+/// Runs partitioned RTA over `tasks`.
+///
+/// `contention`: optional `(gamma, u_other)` pair applying worst-case
+/// memory-contention inflation to every WCET before the analysis.
+///
+/// # Panics
+///
+/// Panics if `n_cores` is zero or any task references a core out of range.
+pub fn response_time_analysis(
+    tasks: &[AnalyzedTask],
+    n_cores: usize,
+    contention: Option<(f64, f64)>,
+) -> AnalysisReport {
+    assert!(n_cores > 0, "need at least one core");
+    for t in tasks {
+        assert!(t.core < n_cores, "task {} on core {} out of range", t.name, t.core);
+    }
+
+    let wcet = |t: &AnalyzedTask| match contention {
+        Some((gamma, u_other)) => inflate_wcet(&t.cost, gamma, u_other),
+        None => t.cost.cpu,
+    };
+
+    let mut core_utilization = vec![0.0f64; n_cores];
+    for t in tasks {
+        core_utilization[t.core] +=
+            wcet(t).as_secs_f64() / t.period.as_secs_f64();
+    }
+
+    let verdicts = tasks
+        .iter()
+        .map(|t| {
+            let c_i = wcet(t);
+            // Higher-priority interference on the same core. Equal
+            // priorities interfere both ways under FIFO tie-breaking, so
+            // count them conservatively as higher.
+            let interferers: Vec<(SimDuration, SimDuration)> = tasks
+                .iter()
+                .filter(|j| {
+                    j.core == t.core
+                        && !std::ptr::eq(*j, t)
+                        && j.priority >= t.priority
+                })
+                .map(|j| (wcet(j), j.period))
+                .collect();
+
+            // Fixed-point iteration, bounded by the deadline (period): an
+            // implicit-deadline task that cannot converge within its period
+            // is unschedulable.
+            let deadline = t.period;
+            let mut r = c_i;
+            let mut response = None;
+            for _ in 0..1000 {
+                let mut next = c_i;
+                for (cj, tj) in &interferers {
+                    let releases = r.as_nanos().div_ceil(tj.as_nanos().max(1));
+                    next += *cj * releases;
+                }
+                if next == r {
+                    response = Some(r);
+                    break;
+                }
+                if next > deadline {
+                    break; // diverged past the deadline
+                }
+                r = next;
+            }
+            let schedulable = response.is_some_and(|r| r <= deadline);
+            TaskVerdict {
+                name: t.name.clone(),
+                wcet: c_i,
+                response,
+                schedulable,
+            }
+        })
+        .collect();
+
+    AnalysisReport {
+        tasks: verdicts,
+        core_utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(name: &str, core: usize, prio: u8, period_us: u64, wcet_us: u64) -> AnalyzedTask {
+        AnalyzedTask {
+            name: name.into(),
+            core,
+            priority: prio,
+            period: SimDuration::from_micros(period_us),
+            cost: Cost::compute(SimDuration::from_micros(wcet_us)),
+        }
+    }
+
+    #[test]
+    fn single_task_response_is_its_wcet() {
+        let r = response_time_analysis(&[task("a", 0, 50, 10_000, 2_000)], 1, None);
+        assert!(r.all_schedulable());
+        assert_eq!(
+            r.task("a").unwrap().response,
+            Some(SimDuration::from_micros(2_000))
+        );
+        assert!((r.core_utilization[0] - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_liu_layland_example() {
+        // Two tasks: (C=1, T=4) high, (C=2, T=6) low — schedulable;
+        // R_low = 2 + ceil(R/4)·1 -> fixpoint 3 then 3... compute: start 2,
+        // next = 2 + ceil(2/4)=1 -> 3; next = 2 + ceil(3/4)=1 -> 3. R=3.
+        let r = response_time_analysis(
+            &[
+                task("hi", 0, 90, 4_000, 1_000),
+                task("lo", 0, 10, 6_000, 2_000),
+            ],
+            1,
+            None,
+        );
+        assert!(r.all_schedulable());
+        assert_eq!(
+            r.task("lo").unwrap().response,
+            Some(SimDuration::from_micros(3_000))
+        );
+    }
+
+    #[test]
+    fn overload_is_detected() {
+        let r = response_time_analysis(
+            &[
+                task("hi", 0, 90, 2_000, 1_500),
+                task("lo", 0, 10, 4_000, 1_500),
+            ],
+            1,
+            None,
+        );
+        assert!(!r.all_schedulable());
+        assert!(r.task("hi").unwrap().schedulable, "high task alone is fine");
+        assert!(!r.task("lo").unwrap().schedulable);
+    }
+
+    #[test]
+    fn different_cores_do_not_interfere() {
+        let r = response_time_analysis(
+            &[
+                task("a", 0, 90, 2_000, 1_500),
+                task("b", 1, 10, 2_000, 1_500),
+            ],
+            2,
+            None,
+        );
+        assert!(r.all_schedulable());
+        assert_eq!(
+            r.task("b").unwrap().response,
+            Some(SimDuration::from_micros(1_500))
+        );
+    }
+
+    #[test]
+    fn contention_inflation_can_break_schedulability() {
+        let mem_heavy = AnalyzedTask {
+            name: "stack".into(),
+            core: 0,
+            priority: 50,
+            period: SimDuration::from_micros(4_000),
+            cost: Cost::memory_bound(SimDuration::from_micros(1_600), 2.8e6, 0.9),
+        };
+        // Healthy: 40% utilization, schedulable.
+        let healthy = response_time_analysis(std::slice::from_ref(&mem_heavy), 1, None);
+        assert!(healthy.all_schedulable());
+        // Under an unthrottled hog (γ=45, U=0.93): WCET ≈ 38.7×, hopeless.
+        let attacked =
+            response_time_analysis(std::slice::from_ref(&mem_heavy), 1, Some((45.0, 0.93)));
+        assert!(!attacked.all_schedulable());
+        // Under MemGuard at a 2% budget the worst-case dilation (≈1.8×)
+        // provably fits the period.
+        let certified =
+            response_time_analysis(std::slice::from_ref(&mem_heavy), 1, Some((45.0, 0.02)));
+        assert!(certified.all_schedulable(), "{certified:?}");
+        // At a 5% budget the *worst-case sustained* bound just misses the
+        // deadline (dilation ≈3× ⇒ 4.84 ms > 4 ms) even though simulation
+        // shows zero misses: MemGuard confines the hog to short bursts, so
+        // the time-averaged dilation is ~1.1×. This is exactly the
+        // hard-real-time-vs-observed gap the paper's future-work section
+        // is about; the analysis is deliberately the conservative side.
+        let conservative =
+            response_time_analysis(std::slice::from_ref(&mem_heavy), 1, Some((45.0, 0.05)));
+        assert!(!conservative.all_schedulable());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_core() {
+        let _ = response_time_analysis(&[task("a", 3, 50, 1000, 100)], 2, None);
+    }
+}

@@ -1,0 +1,55 @@
+//! Multicore real-time scheduler simulation for the ContainerDrone
+//! reproduction.
+//!
+//! Models the paper's RPi3B software platform (§IV-B/C): Linux-like
+//! scheduling classes (`SCHED_FIFO`/`SCHED_RR` preempting a CFS-like fair
+//! class), per-task core affinity, cgroup cpusets with the Docker
+//! no-realtime restriction, sporadic servers for packet processing, and
+//! per-core utilization accounting (Table II). Task execution progresses at
+//! a rate governed by the shared [`membw`] memory system, which is how a
+//! memory-bandwidth DoS on one core stretches execution on every core.
+//!
+//! # Examples
+//!
+//! ```
+//! use rt_sched::prelude::*;
+//! use sim_core::time::{SimDuration, SimTime};
+//!
+//! let mut m = Machine::new(MachineConfig::default());
+//! // The paper's kernel drivers run at FIFO 90 (§IV-C).
+//! let root = m.root_cgroup();
+//! m.spawn(
+//!     TaskSpec::periodic_fifo("sensor-driver", 90, SimDuration::from_hz(250.0),
+//!                             Cost::compute(SimDuration::from_micros(150))),
+//!     root,
+//! );
+//! // The container cannot obtain RT priority (§III-C).
+//! let cce = m.add_cgroup(Cgroup::container("cce", CpuSet::single(3)));
+//! m.spawn(TaskSpec::busy_fair("complex", Cost::compute(SimDuration::from_secs(1))), cce);
+//! let mut events = Vec::new();
+//! m.step_until(SimTime::from_millis(10), &mut events);
+//! assert!(!events.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cgroup;
+pub mod machine;
+pub mod task;
+
+pub use analysis::{response_time_analysis, AnalysisReport, AnalyzedTask, TaskVerdict};
+pub use cgroup::{Cgroup, CgroupId};
+pub use machine::{CoreStats, Machine, MachineConfig, TaskStats};
+pub use task::{
+    Activation, Cost, CpuSet, OverrunPolicy, SchedEvent, SchedPolicy, TaskId, TaskSpec,
+};
+
+/// Convenient glob import of the scheduler types.
+pub mod prelude {
+    pub use crate::cgroup::{Cgroup, CgroupId};
+    pub use crate::machine::{CoreStats, Machine, MachineConfig, TaskStats};
+    pub use crate::task::{
+        Activation, Cost, CpuSet, OverrunPolicy, SchedEvent, SchedPolicy, TaskId, TaskSpec,
+    };
+}

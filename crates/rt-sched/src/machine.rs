@@ -1,0 +1,902 @@
+//! The multicore machine: a quantum-stepped scheduler over a shared memory
+//! system.
+//!
+//! Models the paper's RPi3B: four cores scheduled with Linux semantics
+//! (FIFO/RR real-time classes preempting a CFS-like fair class, affinity
+//! masks, cgroup cpusets) over one contended DRAM bus ([`membw`]). Task
+//! execution progresses at a rate set by the memory model, so a bandwidth
+//! hog on one core stretches the execution time of memory-heavy tasks on
+//! every core — the physical mechanism behind the paper's Figure 4.
+
+use std::collections::VecDeque;
+
+use membw::dram::{CoreDemand, DramConfig, MemGuardConfig, MemorySystem};
+use sim_core::time::{SimDuration, SimTime};
+
+use crate::cgroup::{Cgroup, CgroupId};
+use crate::task::{Activation, OverrunPolicy, SchedEvent, SchedPolicy, TaskId, TaskSpec};
+
+/// Machine-wide configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Number of CPU cores (the RPi3B has 4).
+    pub n_cores: usize,
+    /// Scheduler quantum; preemption and accounting granularity.
+    pub quantum: SimDuration,
+    /// DRAM model parameters.
+    pub dram: DramConfig,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            n_cores: 4,
+            quantum: SimDuration::from_micros(50),
+            dram: DramConfig::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    release: SimTime,
+    remaining: SimDuration,
+}
+
+#[derive(Debug, Clone)]
+struct Task {
+    spec: TaskSpec,
+    cgroup: CgroupId,
+    alive: bool,
+    jobs: VecDeque<Job>,
+    next_release: Option<SimTime>,
+    /// FIFO ordering key: tasks that became runnable earlier run first
+    /// within a priority level; RR rotation bumps it.
+    fifo_seq: u64,
+    vruntime: f64,
+    slice_used: SimDuration,
+    stats: TaskStats,
+}
+
+/// Per-task execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TaskStats {
+    /// Jobs completed.
+    pub completions: u64,
+    /// Periodic releases skipped due to overrun.
+    pub skips: u64,
+    /// Useful execution time accumulated (excludes memory stalls).
+    pub useful_time: SimDuration,
+    /// Wall time occupied on a core (includes stalls and throttling).
+    pub busy_time: SimDuration,
+    /// Sum of response times (release → completion) over all completions.
+    pub response_sum: SimDuration,
+    /// Largest observed response time.
+    pub response_max: SimDuration,
+}
+
+impl TaskStats {
+    /// Mean response time, if any job completed.
+    pub fn response_mean(&self) -> Option<SimDuration> {
+        if self.completions == 0 {
+            None
+        } else {
+            Some(self.response_sum / self.completions)
+        }
+    }
+}
+
+/// Per-core accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoreStats {
+    /// Wall time a task occupied the core.
+    pub busy: SimDuration,
+    /// Portion of `busy` during which MemGuard held the core stalled.
+    pub throttled: SimDuration,
+}
+
+/// The simulated multicore machine.
+///
+/// # Examples
+///
+/// ```
+/// use rt_sched::machine::{Machine, MachineConfig};
+/// use rt_sched::task::{Cost, TaskSpec};
+/// use sim_core::time::{SimDuration, SimTime};
+///
+/// let mut m = Machine::new(MachineConfig::default());
+/// let root = m.root_cgroup();
+/// m.spawn(
+///     TaskSpec::periodic_fifo("drv", 90, SimDuration::from_millis(4),
+///                             Cost::compute(SimDuration::from_micros(100))),
+///     root,
+/// );
+/// let mut events = Vec::new();
+/// m.step_until(SimTime::from_millis(20), &mut events);
+/// assert!(events.len() >= 4); // ~5 completions in 20 ms at 250 Hz
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: MachineConfig,
+    now: SimTime,
+    tasks: Vec<Task>,
+    cgroups: Vec<Cgroup>,
+    memory: MemorySystem,
+    cores: Vec<CoreStats>,
+    fifo_counter: u64,
+    started: SimTime,
+}
+
+impl Machine {
+    /// Creates a machine with the root cgroup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is 0 or the quantum is zero.
+    pub fn new(config: MachineConfig) -> Self {
+        assert!(config.n_cores > 0, "need at least one core");
+        assert!(config.quantum > SimDuration::ZERO, "quantum must be positive");
+        Machine {
+            now: SimTime::ZERO,
+            tasks: Vec::new(),
+            cgroups: vec![Cgroup::root()],
+            memory: MemorySystem::new(config.n_cores, config.dram),
+            cores: vec![CoreStats::default(); config.n_cores],
+            fifo_counter: 0,
+            started: SimTime::ZERO,
+            config,
+        }
+    }
+
+    /// Current machine time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The root cgroup id.
+    pub fn root_cgroup(&self) -> CgroupId {
+        CgroupId(0)
+    }
+
+    /// Registers a cgroup and returns its id.
+    pub fn add_cgroup(&mut self, cgroup: Cgroup) -> CgroupId {
+        let id = CgroupId(self.cgroups.len() as u32);
+        self.cgroups.push(cgroup);
+        id
+    }
+
+    /// Looks up a cgroup.
+    pub fn cgroup(&self, id: CgroupId) -> &Cgroup {
+        &self.cgroups[id.0 as usize]
+    }
+
+    /// Spawns a task in `cgroup`. The cgroup's restrictions apply: RT
+    /// requests are demoted in no-RT groups, affinity is intersected with
+    /// the cpuset.
+    pub fn spawn(&mut self, spec: TaskSpec, cgroup: CgroupId) -> TaskId {
+        let g = &self.cgroups[cgroup.0 as usize];
+        let mut spec = spec;
+        spec.policy = g.effective_policy(spec.policy);
+        spec.affinity = g.effective_affinity(spec.affinity);
+
+        let next_release = match spec.activation {
+            Activation::Periodic { offset, .. } => Some(self.now + offset),
+            _ => None,
+        };
+        let id = TaskId(self.tasks.len() as u32);
+        self.fifo_counter += 1;
+        // New fair tasks adopt the max vruntime so they don't starve others.
+        let vruntime = self
+            .tasks
+            .iter()
+            .filter(|t| t.alive && matches!(t.spec.policy, SchedPolicy::Fair { .. }))
+            .map(|t| t.vruntime)
+            .fold(0.0, f64::max);
+        self.tasks.push(Task {
+            spec,
+            cgroup,
+            alive: true,
+            jobs: VecDeque::new(),
+            next_release,
+            fifo_seq: self.fifo_counter,
+            vruntime,
+            slice_used: SimDuration::ZERO,
+            stats: TaskStats::default(),
+        });
+        id
+    }
+
+    /// Kills a task: it stops running and releasing jobs immediately.
+    /// Killing an already-dead task is a no-op.
+    pub fn kill(&mut self, id: TaskId) {
+        if let Some(t) = self.tasks.get_mut(id.index()) {
+            t.alive = false;
+            t.jobs.clear();
+        }
+    }
+
+    /// `true` if the task exists and has not been killed.
+    pub fn is_alive(&self, id: TaskId) -> bool {
+        self.tasks.get(id.index()).is_some_and(|t| t.alive)
+    }
+
+    /// Injects `count` jobs into a sporadic task (e.g. one per received
+    /// packet). Ignored for dead or non-sporadic tasks.
+    pub fn inject_job(&mut self, id: TaskId, count: usize) {
+        let now = self.now;
+        if let Some(t) = self.tasks.get_mut(id.index()) {
+            if t.alive && matches!(t.spec.activation, Activation::Sporadic) {
+                for _ in 0..count {
+                    t.jobs.push_back(Job {
+                        release: now,
+                        remaining: t.spec.cost.cpu,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Number of queued (unfinished) jobs of a task.
+    pub fn queued_jobs(&self, id: TaskId) -> usize {
+        self.tasks.get(id.index()).map_or(0, |t| t.jobs.len())
+    }
+
+    /// Per-task statistics.
+    pub fn task_stats(&self, id: TaskId) -> TaskStats {
+        self.tasks
+            .get(id.index())
+            .map(|t| t.stats)
+            .unwrap_or_default()
+    }
+
+    /// The task's display name.
+    pub fn task_name(&self, id: TaskId) -> &str {
+        &self.tasks[id.index()].spec.name
+    }
+
+    /// The cgroup a task was spawned into.
+    pub fn task_cgroup(&self, id: TaskId) -> CgroupId {
+        self.tasks[id.index()].cgroup
+    }
+
+    /// Per-core accounting since the last [`Machine::reset_accounting`].
+    pub fn core_stats(&self) -> &[CoreStats] {
+        &self.cores
+    }
+
+    /// Idle fraction of each core since the last accounting reset —
+    /// the measurement reported in the paper's Table II.
+    pub fn idle_rates(&self) -> Vec<f64> {
+        let elapsed = self.now.saturating_since(self.started).as_secs_f64();
+        if elapsed <= 0.0 {
+            return vec![1.0; self.config.n_cores];
+        }
+        self.cores
+            .iter()
+            .map(|c| (1.0 - c.busy.as_secs_f64() / elapsed).clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Clears per-core accounting (per-task stats are kept).
+    pub fn reset_accounting(&mut self) {
+        self.cores = vec![CoreStats::default(); self.config.n_cores];
+        self.started = self.now;
+    }
+
+    /// Access to the shared memory system (to enable MemGuard, read the
+    /// performance counters, …).
+    pub fn memory_mut(&mut self) -> &mut MemorySystem {
+        &mut self.memory
+    }
+
+    /// Read access to the shared memory system.
+    pub fn memory(&self) -> &MemorySystem {
+        &self.memory
+    }
+
+    /// Enables MemGuard with the given regulation config.
+    pub fn enable_memguard(&mut self, config: MemGuardConfig) {
+        self.memory.enable_memguard(config);
+    }
+
+    /// Advances exactly one quantum, appending events to `events`.
+    pub fn step(&mut self, events: &mut Vec<SchedEvent>) {
+        let dt = self.config.quantum;
+        self.release_due_jobs(events);
+
+        let assignment = self.assign_cores();
+
+        // Memory system: demands of the running tasks.
+        let mut demands = vec![CoreDemand::default(); self.config.n_cores];
+        for (core, slot) in assignment.iter().enumerate() {
+            if let Some(tid) = slot {
+                let cost = &self.tasks[tid.index()].spec.cost;
+                demands[core] = CoreDemand {
+                    bandwidth: cost.mem_bandwidth,
+                    stall_fraction: cost.stall_fraction,
+                    streaming: cost.streaming,
+                };
+            }
+        }
+        let outcomes = self.memory.quantum(self.now, dt, &demands);
+
+        let quantum_end = self.now + dt;
+        for (core, slot) in assignment.iter().enumerate() {
+            let Some(tid) = slot else { continue };
+            let task = &mut self.tasks[tid.index()];
+            let out = outcomes[core];
+
+            // Useful progress this quantum (zero while throttled).
+            let progress = dt.mul_f64(out.progress);
+
+            let (used_wall, finished) = {
+                let job = match task.jobs.front_mut() {
+                    Some(j) => j,
+                    None => {
+                        debug_assert!(
+                            matches!(task.spec.activation, Activation::Busy),
+                            "running task without a job must be Busy"
+                        );
+                        // Busy tasks consume the whole quantum.
+                        task.stats.useful_time += progress;
+                        task.stats.busy_time += dt;
+                        self.cores[core].busy += dt;
+                        if out.throttled {
+                            self.cores[core].throttled += dt;
+                        }
+                        task.vruntime +=
+                            dt.as_secs_f64() * vruntime_scale(&task.spec.policy);
+                        task.slice_used += dt;
+                        // Round-robin rotation applies to busy tasks too.
+                        if let SchedPolicy::RoundRobin { slice, .. } = task.spec.policy {
+                            if task.slice_used >= slice {
+                                task.slice_used = SimDuration::ZERO;
+                                self.fifo_counter += 1;
+                                task.fifo_seq = self.fifo_counter;
+                            }
+                        }
+                        continue;
+                    }
+                };
+                if progress >= job.remaining && out.progress > 0.0 {
+                    // Completes mid-quantum; credit only the wall time used.
+                    let wall =
+                        dt.mul_f64(job.remaining.as_secs_f64() / progress.as_secs_f64().max(1e-12));
+                    job.remaining = SimDuration::ZERO;
+                    (wall, true)
+                } else {
+                    job.remaining -= progress;
+                    (dt, false)
+                }
+            };
+
+            task.stats.busy_time += used_wall;
+            task.stats.useful_time += progress.min(task.spec.cost.cpu);
+            self.cores[core].busy += used_wall;
+            if out.throttled {
+                self.cores[core].throttled += used_wall;
+            }
+            task.vruntime += used_wall.as_secs_f64() * vruntime_scale(&task.spec.policy);
+            task.slice_used += used_wall;
+
+            if finished {
+                let job = task.jobs.pop_front().expect("finished job exists");
+                task.stats.completions += 1;
+                let response = quantum_end.saturating_since(job.release);
+                task.stats.response_sum += response;
+                task.stats.response_max = task.stats.response_max.max(response);
+                task.slice_used = SimDuration::ZERO;
+                events.push(SchedEvent::JobCompleted {
+                    task: *tid,
+                    release: job.release,
+                    completion: quantum_end,
+                });
+            }
+
+            // Round-robin rotation on slice expiry.
+            if let SchedPolicy::RoundRobin { slice, .. } = task.spec.policy {
+                if task.slice_used >= slice {
+                    task.slice_used = SimDuration::ZERO;
+                    self.fifo_counter += 1;
+                    task.fifo_seq = self.fifo_counter;
+                }
+            }
+        }
+
+        self.now = quantum_end;
+    }
+
+    /// Advances to `target`, appending events.
+    pub fn step_until(&mut self, target: SimTime, events: &mut Vec<SchedEvent>) {
+        while self.now + self.config.quantum <= target {
+            self.step(events);
+        }
+    }
+
+    fn release_due_jobs(&mut self, events: &mut Vec<SchedEvent>) {
+        let now = self.now;
+        for (idx, task) in self.tasks.iter_mut().enumerate() {
+            if !task.alive {
+                continue;
+            }
+            let Activation::Periodic { period, overrun, .. } = task.spec.activation else {
+                continue;
+            };
+            while let Some(release) = task.next_release {
+                if release > now {
+                    break;
+                }
+                task.next_release = Some(release + period);
+                if !task.jobs.is_empty() && overrun == OverrunPolicy::SkipRelease {
+                    task.stats.skips += 1;
+                    events.push(SchedEvent::ReleaseSkipped {
+                        task: TaskId(idx as u32),
+                        release,
+                    });
+                } else {
+                    task.jobs.push_back(Job {
+                        release,
+                        remaining: task.spec.cost.cpu,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Chooses which task runs on each core this quantum.
+    ///
+    /// Linux-like global semantics: all runnable RT tasks in
+    /// (priority desc, FIFO order) first, then fair tasks by vruntime.
+    /// Each task takes the first free core its affinity allows.
+    fn assign_cores(&self) -> Vec<Option<TaskId>> {
+        let mut runnable: Vec<(u32, u64, u64, TaskId)> = Vec::new();
+        for (idx, t) in self.tasks.iter().enumerate() {
+            if !t.alive {
+                continue;
+            }
+            let has_work = !t.jobs.is_empty() || matches!(t.spec.activation, Activation::Busy);
+            if !has_work {
+                continue;
+            }
+            // Sort key: RT before fair; higher priority first; then FIFO
+            // order (RT) or vruntime (fair).
+            let (class, prio, order) = match t.spec.policy {
+                SchedPolicy::Fifo { priority } | SchedPolicy::RoundRobin { priority, .. } => {
+                    (0u32, 255 - priority as u32, t.fifo_seq)
+                }
+                SchedPolicy::Fair { .. } => {
+                    // Quantize vruntime to nanoseconds for a stable total
+                    // order.
+                    (1u32, 0, (t.vruntime * 1e9) as u64)
+                }
+            };
+            runnable.push((class, prio as u64, order, TaskId(idx as u32)));
+        }
+        runnable.sort_unstable_by_key(|&(class, prio, order, id)| (class, prio, order, id));
+
+        let mut assignment: Vec<Option<TaskId>> = vec![None; self.config.n_cores];
+        for (_, _, _, tid) in runnable {
+            let affinity = self.tasks[tid.index()].spec.affinity;
+            for (core, slot) in assignment.iter_mut().enumerate() {
+                if slot.is_none() && affinity.contains(core) {
+                    *slot = Some(tid);
+                    break;
+                }
+            }
+        }
+        assignment
+    }
+}
+
+fn vruntime_scale(policy: &SchedPolicy) -> f64 {
+    match policy {
+        SchedPolicy::Fair { weight } => 1024.0 / (*weight).max(1) as f64,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Cost, CpuSet};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::default())
+    }
+
+    fn count_completions(events: &[SchedEvent], id: TaskId) -> usize {
+        events
+            .iter()
+            .filter(|e| matches!(e, SchedEvent::JobCompleted { task, .. } if *task == id))
+            .count()
+    }
+
+    #[test]
+    fn periodic_task_completes_every_period() {
+        let mut m = machine();
+        let root = m.root_cgroup();
+        let id = m.spawn(
+            TaskSpec::periodic_fifo(
+                "drv",
+                90,
+                SimDuration::from_millis(4),
+                Cost::compute(SimDuration::from_micros(100)),
+            ),
+            root,
+        );
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_secs(1), &mut ev);
+        let n = count_completions(&ev, id);
+        assert!((249..=251).contains(&n), "completions {n}");
+        assert_eq!(m.task_stats(id).skips, 0);
+    }
+
+    #[test]
+    fn higher_priority_preempts_on_shared_core() {
+        let mut m = Machine::new(MachineConfig {
+            n_cores: 1,
+            ..MachineConfig::default()
+        });
+        let root = m.root_cgroup();
+        // Low-priority long task + high-priority frequent task on one core.
+        let low = m.spawn(
+            TaskSpec::periodic_fifo(
+                "low",
+                10,
+                SimDuration::from_millis(100),
+                Cost::compute(SimDuration::from_millis(50)),
+            ),
+            root,
+        );
+        let high = m.spawn(
+            TaskSpec::periodic_fifo(
+                "high",
+                90,
+                SimDuration::from_millis(1),
+                Cost::compute(SimDuration::from_micros(200)),
+            ),
+            root,
+        );
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_millis(100), &mut ev);
+        // High-priority task must never miss: ~100 completions with tight
+        // response times.
+        let n_high = count_completions(&ev, high);
+        assert!((99..=101).contains(&n_high), "high completions {n_high}");
+        let high_stats = m.task_stats(high);
+        assert!(high_stats.response_max <= SimDuration::from_micros(300));
+        // The low task still makes progress in the gaps.
+        assert!(m.task_stats(low).useful_time > SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn affinity_confines_task() {
+        let mut m = machine();
+        let root = m.root_cgroup();
+        let id = m.spawn(
+            TaskSpec::busy_fair("hog", Cost::compute(SimDuration::from_secs(1)))
+                .with_affinity(CpuSet::single(3)),
+            root,
+        );
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_millis(100), &mut ev);
+        let stats = m.core_stats();
+        assert!(stats[3].busy >= SimDuration::from_millis(99));
+        for (c, stat) in stats.iter().enumerate().take(3) {
+            assert_eq!(stat.busy, SimDuration::ZERO, "core {c} must stay idle");
+        }
+        let _ = id;
+    }
+
+    #[test]
+    fn cgroup_demotes_rt_and_confines() {
+        let mut m = machine();
+        let cce = m.add_cgroup(Cgroup::container("cce", CpuSet::single(3)));
+        // Attacker asks for FIFO 99 on all cores; gets fair on core 3 only.
+        let attacker = m.spawn(
+            TaskSpec {
+                name: "attacker".into(),
+                policy: SchedPolicy::Fifo { priority: 99 },
+                affinity: CpuSet::ALL,
+                activation: Activation::Busy,
+                cost: Cost::compute(SimDuration::from_secs(1)),
+            },
+            cce,
+        );
+        let root = m.root_cgroup();
+        let victim = m.spawn(
+            TaskSpec::periodic_fifo(
+                "safety",
+                20,
+                SimDuration::from_micros(2500),
+                Cost::compute(SimDuration::from_micros(300)),
+            )
+            .with_affinity(CpuSet::single(3)),
+            root,
+        );
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_millis(200), &mut ev);
+        // The RT victim shares core 3 but always preempts the demoted
+        // attacker: no skips.
+        assert_eq!(m.task_stats(victim).skips, 0);
+        assert!(count_completions(&ev, victim) >= 79);
+        // The attacker still runs in the gaps.
+        assert!(m.task_stats(attacker).busy_time > SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn fair_tasks_share_a_core_evenly() {
+        let mut m = Machine::new(MachineConfig {
+            n_cores: 1,
+            ..MachineConfig::default()
+        });
+        let root = m.root_cgroup();
+        let a = m.spawn(
+            TaskSpec::busy_fair("a", Cost::compute(SimDuration::from_secs(1))),
+            root,
+        );
+        let b = m.spawn(
+            TaskSpec::busy_fair("b", Cost::compute(SimDuration::from_secs(1))),
+            root,
+        );
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_secs(1), &mut ev);
+        let ta = m.task_stats(a).busy_time.as_secs_f64();
+        let tb = m.task_stats(b).busy_time.as_secs_f64();
+        assert!((ta - tb).abs() < 0.02, "a {ta} b {tb}");
+    }
+
+    #[test]
+    fn fair_weights_bias_share() {
+        let mut m = Machine::new(MachineConfig {
+            n_cores: 1,
+            ..MachineConfig::default()
+        });
+        let root = m.root_cgroup();
+        let heavy = m.spawn(
+            TaskSpec {
+                name: "heavy".into(),
+                policy: SchedPolicy::Fair { weight: 3072 },
+                affinity: CpuSet::ALL,
+                activation: Activation::Busy,
+                cost: Cost::compute(SimDuration::from_secs(1)),
+            },
+            root,
+        );
+        let light = m.spawn(
+            TaskSpec::busy_fair("light", Cost::compute(SimDuration::from_secs(1))),
+            root,
+        );
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_secs(2), &mut ev);
+        let th = m.task_stats(heavy).busy_time.as_secs_f64();
+        let tl = m.task_stats(light).busy_time.as_secs_f64();
+        assert!((th / tl - 3.0).abs() < 0.2, "ratio {}", th / tl);
+    }
+
+    #[test]
+    fn overrun_skip_policy_reports_skips() {
+        let mut m = Machine::new(MachineConfig {
+            n_cores: 1,
+            ..MachineConfig::default()
+        });
+        let root = m.root_cgroup();
+        // Demand 150% of the core: every other release must skip.
+        let id = m.spawn(
+            TaskSpec::periodic_fifo(
+                "over",
+                50,
+                SimDuration::from_millis(2),
+                Cost::compute(SimDuration::from_millis(3)),
+            ),
+            root,
+        );
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_secs(1), &mut ev);
+        let st = m.task_stats(id);
+        assert!(st.skips > 100, "skips {}", st.skips);
+        assert!(st.completions > 100, "completions {}", st.completions);
+        // Effective rate collapses to ~333 Hz-worth of work at 500 Hz asks.
+        assert!(st.completions < 400);
+    }
+
+    #[test]
+    fn sporadic_jobs_run_on_injection() {
+        let mut m = machine();
+        let root = m.root_cgroup();
+        let rx = m.spawn(
+            TaskSpec::sporadic_fifo("rx", 30, Cost::compute(SimDuration::from_micros(15))),
+            root,
+        );
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_millis(10), &mut ev);
+        assert_eq!(count_completions(&ev, rx), 0);
+        m.inject_job(rx, 100);
+        assert_eq!(m.queued_jobs(rx), 100);
+        m.step_until(SimTime::from_millis(20), &mut ev);
+        assert_eq!(count_completions(&ev, rx), 100);
+        assert_eq!(m.queued_jobs(rx), 0);
+    }
+
+    #[test]
+    fn kill_stops_execution() {
+        let mut m = machine();
+        let root = m.root_cgroup();
+        let id = m.spawn(
+            TaskSpec::periodic_fifo(
+                "victim",
+                50,
+                SimDuration::from_millis(4),
+                Cost::compute(SimDuration::from_micros(100)),
+            ),
+            root,
+        );
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_millis(100), &mut ev);
+        let before = m.task_stats(id).completions;
+        assert!(before > 0);
+        m.kill(id);
+        assert!(!m.is_alive(id));
+        m.step_until(SimTime::from_millis(200), &mut ev);
+        assert_eq!(m.task_stats(id).completions, before);
+    }
+
+    #[test]
+    fn round_robin_rotates_equal_priority_tasks() {
+        // Two always-runnable RR tasks at the same priority on one core:
+        // unlike FIFO (where the first-queued task would monopolize), the
+        // slice rotation must share the core between them.
+        let mut m = Machine::new(MachineConfig {
+            n_cores: 1,
+            ..MachineConfig::default()
+        });
+        let root = m.root_cgroup();
+        let slice = SimDuration::from_millis(1);
+        let mk = |name: &str| TaskSpec {
+            name: name.into(),
+            policy: SchedPolicy::RoundRobin { priority: 50, slice },
+            affinity: CpuSet::ALL,
+            activation: Activation::Busy,
+            cost: Cost::compute(SimDuration::from_secs(1)),
+        };
+        let a = m.spawn(mk("rr-a"), root);
+        let b = m.spawn(mk("rr-b"), root);
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_secs(1), &mut ev);
+        let ta = m.task_stats(a).busy_time.as_secs_f64();
+        let tb = m.task_stats(b).busy_time.as_secs_f64();
+        assert!((ta - tb).abs() < 0.01, "rr share a {ta} b {tb}");
+        // A FIFO task set with the same shape starves the second task.
+        let mut m2 = Machine::new(MachineConfig {
+            n_cores: 1,
+            ..MachineConfig::default()
+        });
+        let root2 = m2.root_cgroup();
+        let fa = m2.spawn(
+            TaskSpec {
+                name: "fifo-a".into(),
+                policy: SchedPolicy::Fifo { priority: 50 },
+                affinity: CpuSet::ALL,
+                activation: Activation::Busy,
+                cost: Cost::compute(SimDuration::from_secs(1)),
+            },
+            root2,
+        );
+        let fb = m2.spawn(
+            TaskSpec {
+                name: "fifo-b".into(),
+                policy: SchedPolicy::Fifo { priority: 50 },
+                affinity: CpuSet::ALL,
+                activation: Activation::Busy,
+                cost: Cost::compute(SimDuration::from_secs(1)),
+            },
+            root2,
+        );
+        let mut ev2 = Vec::new();
+        m2.step_until(SimTime::from_secs(1), &mut ev2);
+        assert!(m2.task_stats(fa).busy_time > SimDuration::from_millis(990));
+        assert_eq!(m2.task_stats(fb).busy_time, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn task_cgroup_is_recorded() {
+        let mut m = machine();
+        let cce = m.add_cgroup(Cgroup::container("cce", CpuSet::single(3)));
+        let root = m.root_cgroup();
+        let a = m.spawn(
+            TaskSpec::busy_fair("in-cce", Cost::compute(SimDuration::from_secs(1))),
+            cce,
+        );
+        let b = m.spawn(
+            TaskSpec::busy_fair("in-root", Cost::compute(SimDuration::from_secs(1))),
+            root,
+        );
+        assert_eq!(m.task_cgroup(a), cce);
+        assert_eq!(m.task_cgroup(b), root);
+        assert_eq!(m.cgroup(m.task_cgroup(a)).name, "cce");
+    }
+
+    #[test]
+    fn idle_rates_reflect_load() {
+        let mut m = machine();
+        let root = m.root_cgroup();
+        // 10% periodic load pinned to core 0.
+        m.spawn(
+            TaskSpec::periodic_fifo(
+                "tick",
+                40,
+                SimDuration::from_millis(1),
+                Cost::compute(SimDuration::from_micros(100)),
+            )
+            .with_affinity(CpuSet::single(0)),
+            root,
+        );
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_secs(2), &mut ev);
+        let idle = m.idle_rates();
+        assert!((idle[0] - 0.9).abs() < 0.02, "core0 idle {}", idle[0]);
+        for (core, rate) in idle.iter().enumerate().skip(1) {
+            assert!(*rate > 0.999, "core {core} idle {rate}");
+        }
+    }
+
+    #[test]
+    fn memory_hog_slows_memory_heavy_victim_across_cores() {
+        // End-to-end check of the Fig-4 mechanism inside the scheduler: a
+        // busy bandwidth hog on core 3 stretches a memory-heavy periodic
+        // task on core 0 past its period.
+        let run = |with_hog: bool, with_memguard: bool| {
+            let mut m = machine();
+            if with_memguard {
+                let cfg = MemGuardConfig::single_core(4, 3, 0.05, &m.config().dram);
+                m.enable_memguard(cfg);
+            }
+            let root = m.root_cgroup();
+            let victim = m.spawn(
+                TaskSpec::periodic_fifo(
+                    "flight-stack",
+                    80,
+                    SimDuration::from_millis(4),
+                    Cost::memory_bound(SimDuration::from_micros(1200), 2.0e6, 0.8),
+                )
+                .with_affinity(CpuSet::single(0)),
+                root,
+            );
+            if with_hog {
+                m.spawn(
+                    TaskSpec::busy_fair(
+                        "bandwidth",
+                        Cost::streaming(SimDuration::from_secs(1), 14.0e6, 0.95),
+                    )
+                    .with_affinity(CpuSet::single(3)),
+                    root,
+                );
+            }
+            let mut ev = Vec::new();
+            m.step_until(SimTime::from_secs(1), &mut ev);
+            m.task_stats(victim)
+        };
+
+        let healthy = run(false, false);
+        assert_eq!(healthy.skips, 0, "no skips when healthy");
+
+        let attacked = run(true, false);
+        assert!(
+            attacked.skips > 100,
+            "hog must cause massive overruns, got {} skips",
+            attacked.skips
+        );
+
+        let protected = run(true, true);
+        assert!(
+            protected.skips < 10,
+            "MemGuard must prevent overruns, got {} skips",
+            protected.skips
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests for the scheduler: invariants that must hold for
+//! arbitrary task sets — work conservation, affinity confinement, priority
+//! dominance, and fair-share proportionality.
+
+use proptest::prelude::*;
+use rt_sched::prelude::*;
+use sim_core::time::{SimDuration, SimTime};
+
+fn machine(n_cores: usize) -> Machine {
+    Machine::new(MachineConfig {
+        n_cores,
+        ..MachineConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Total busy time across cores never exceeds wall time × cores, and
+    /// per-core busy never exceeds wall time.
+    #[test]
+    fn work_conservation(
+        n_tasks in 1usize..8,
+        periods_ms in prop::collection::vec(1u64..20, 8),
+        costs_us in prop::collection::vec(50u64..2000, 8),
+    ) {
+        let mut m = machine(4);
+        let root = m.root_cgroup();
+        for i in 0..n_tasks {
+            m.spawn(
+                TaskSpec::periodic_fifo(
+                    format!("t{i}"),
+                    (10 + i) as u8,
+                    SimDuration::from_millis(periods_ms[i]),
+                    Cost::compute(SimDuration::from_micros(costs_us[i])),
+                ),
+                root,
+            );
+        }
+        let mut ev = Vec::new();
+        let horizon = SimTime::from_millis(500);
+        m.step_until(horizon, &mut ev);
+        let wall = horizon.as_secs_f64();
+        let mut total = 0.0;
+        for c in m.core_stats() {
+            let busy = c.busy.as_secs_f64();
+            prop_assert!(busy <= wall + 1e-9, "core busy {busy} > wall {wall}");
+            total += busy;
+        }
+        prop_assert!(total <= 4.0 * wall + 1e-9);
+    }
+
+    /// A task pinned to one core never occupies any other core.
+    #[test]
+    fn affinity_confinement(core in 0usize..4, cost_us in 100u64..3000) {
+        let mut m = machine(4);
+        let root = m.root_cgroup();
+        m.spawn(
+            TaskSpec::periodic_fifo(
+                "pinned",
+                50,
+                SimDuration::from_millis(2),
+                Cost::compute(SimDuration::from_micros(cost_us)),
+            )
+            .with_affinity(CpuSet::single(core)),
+            root,
+        );
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_millis(200), &mut ev);
+        for (i, c) in m.core_stats().iter().enumerate() {
+            if i != core {
+                prop_assert_eq!(c.busy, SimDuration::ZERO, "core {} should be idle", i);
+            } else {
+                prop_assert!(c.busy > SimDuration::ZERO);
+            }
+        }
+    }
+
+    /// On a single core, a feasible high-priority FIFO task never misses,
+    /// regardless of what lower-priority load shares the core.
+    #[test]
+    fn rt_priority_dominance(
+        lo_cost_ms in 1u64..40,
+        hi_period_ms in 2u64..10,
+    ) {
+        let mut m = machine(1);
+        let root = m.root_cgroup();
+        // Low-priority load, possibly overloading the core on its own.
+        m.spawn(
+            TaskSpec::periodic_fifo(
+                "lo",
+                10,
+                SimDuration::from_millis(50),
+                Cost::compute(SimDuration::from_millis(lo_cost_ms)),
+            ),
+            root,
+        );
+        // High-priority task using at most 20% of the core.
+        let hi_cost = SimDuration::from_millis(hi_period_ms) .mul_f64(0.2);
+        let hi = m.spawn(
+            TaskSpec::periodic_fifo("hi", 90, SimDuration::from_millis(hi_period_ms),
+                Cost::compute(hi_cost)),
+            root,
+        );
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_secs(1), &mut ev);
+        prop_assert_eq!(m.task_stats(hi).skips, 0, "high-priority task skipped");
+        // Response time bounded by its own cost plus one quantum of
+        // blocking granularity.
+        let worst = m.task_stats(hi).response_max;
+        prop_assert!(
+            worst <= hi_cost + SimDuration::from_micros(100),
+            "worst response {} for cost {}",
+            worst,
+            hi_cost
+        );
+    }
+
+    /// Two always-runnable fair tasks on one core split it proportionally
+    /// to their weights.
+    #[test]
+    fn fair_share_proportionality(wa in 256u32..4096, wb in 256u32..4096) {
+        let mut m = machine(1);
+        let root = m.root_cgroup();
+        let mk = |w: u32, name: &str| TaskSpec {
+            name: name.to_string(),
+            policy: SchedPolicy::Fair { weight: w },
+            affinity: CpuSet::ALL,
+            activation: Activation::Busy,
+            cost: Cost::compute(SimDuration::from_secs(1)),
+        };
+        let a = m.spawn(mk(wa, "a"), root);
+        let b = m.spawn(mk(wb, "b"), root);
+        let mut ev = Vec::new();
+        m.step_until(SimTime::from_secs(2), &mut ev);
+        let ta = m.task_stats(a).busy_time.as_secs_f64();
+        let tb = m.task_stats(b).busy_time.as_secs_f64();
+        let expected = wa as f64 / wb as f64;
+        let actual = ta / tb;
+        prop_assert!(
+            (actual / expected - 1.0).abs() < 0.1,
+            "share ratio {actual} vs weight ratio {expected}"
+        );
+    }
+
+    /// Sporadic servers complete exactly as many jobs as were injected,
+    /// regardless of batching.
+    #[test]
+    fn sporadic_jobs_conserved(batches in prop::collection::vec(1usize..50, 1..10)) {
+        let mut m = machine(2);
+        let root = m.root_cgroup();
+        let rx = m.spawn(
+            TaskSpec::sporadic_fifo("rx", 30, Cost::compute(SimDuration::from_micros(20))),
+            root,
+        );
+        let mut ev = Vec::new();
+        let mut injected = 0usize;
+        for (i, batch) in batches.iter().enumerate() {
+            m.step_until(SimTime::from_millis((i as u64 + 1) * 10), &mut ev);
+            m.inject_job(rx, *batch);
+            injected += *batch;
+        }
+        m.step_until(SimTime::from_secs(2), &mut ev);
+        prop_assert_eq!(m.task_stats(rx).completions as usize, injected);
+        prop_assert_eq!(m.queued_jobs(rx), 0);
+    }
+
+    /// Periodic accounting: completions + skips never exceed the number of
+    /// releases the horizon allows.
+    #[test]
+    fn release_accounting(period_ms in 1u64..20, cost_us in 50u64..30_000) {
+        let mut m = machine(1);
+        let root = m.root_cgroup();
+        let t = m.spawn(
+            TaskSpec::periodic_fifo(
+                "t",
+                50,
+                SimDuration::from_millis(period_ms),
+                Cost::compute(SimDuration::from_micros(cost_us)),
+            ),
+            root,
+        );
+        let mut ev = Vec::new();
+        let horizon_ms = 400u64;
+        m.step_until(SimTime::from_millis(horizon_ms), &mut ev);
+        let st = m.task_stats(t);
+        let max_releases = horizon_ms / period_ms + 1;
+        prop_assert!(
+            st.completions + st.skips <= max_releases,
+            "completions {} + skips {} > releases {}",
+            st.completions,
+            st.skips,
+            max_releases
+        );
+    }
+}

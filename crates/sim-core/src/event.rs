@@ -1,0 +1,230 @@
+//! A deterministic time-ordered event queue.
+//!
+//! Components that act at irregular instants (attack onsets, scripted
+//! operator actions, one-shot timers) schedule payloads here; the main loop
+//! drains everything due at or before the current quantum boundary. Events
+//! at the same instant are delivered in insertion order, which keeps runs
+//! reproducible regardless of queue internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest time (then lowest
+        // sequence number) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-queue of `(SimTime, payload)` pairs with stable FIFO ordering for
+/// simultaneous events.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::event::EventQueue;
+/// use sim_core::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(5), "late");
+/// q.schedule(SimTime::from_millis(1), "early");
+/// let due: Vec<_> = q.pop_due(SimTime::from_millis(5)).map(|(_, e)| e).collect();
+/// assert_eq!(due, vec!["early", "late"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`. Returns a handle usable with
+    /// [`EventQueue::cancel`].
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // Lazy deletion: remember the id and skip it when popped.
+        self.cancelled.insert(id.0)
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The time of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Drains every event due at or before `now`, in time order (FIFO for
+    /// equal times).
+    pub fn pop_due(&mut self, now: SimTime) -> PopDue<'_, E> {
+        PopDue { queue: self, now }
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn pop_one_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        if self.heap.peek().is_some_and(|e| e.time <= now) {
+            let e = self.heap.pop().expect("peeked entry must exist");
+            Some((e.time, e.payload))
+        } else {
+            None
+        }
+    }
+}
+
+/// Iterator returned by [`EventQueue::pop_due`].
+#[derive(Debug)]
+pub struct PopDue<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: SimTime,
+}
+
+impl<E> Iterator for PopDue<'_, E> {
+    type Item = (SimTime, E);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.queue.pop_one_due(self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), 3);
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        let out: Vec<i32> = q.pop_due(SimTime::from_secs(1)).map(|(_, e)| e).collect();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let out: Vec<i32> = q.pop_due(t).map(|(_, e)| e).collect();
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn only_due_events_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(20), "b");
+        let out: Vec<&str> = q.pop_due(SimTime::from_millis(15)).map(|(_, e)| e).collect();
+        assert_eq!(out, vec!["a"]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cancel_suppresses_delivery() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule(SimTime::from_millis(1), "keep");
+        let drop = q.schedule(SimTime::from_millis(2), "drop");
+        assert!(q.cancel(drop));
+        assert!(!q.cancel(drop), "double cancel reports false");
+        let out: Vec<&str> = q.pop_due(SimTime::from_secs(1)).map(|(_, e)| e).collect();
+        assert_eq!(out, vec!["keep"]);
+        let _ = keep;
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), 1);
+        q.schedule(SimTime::from_millis(2), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), 1);
+        q.schedule(SimTime::from_millis(5), 2);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(5)));
+    }
+}

@@ -1,0 +1,49 @@
+//! Deterministic discrete-time simulation kernel for the ContainerDrone
+//! reproduction.
+//!
+//! This crate holds the foundations shared by every other crate in the
+//! workspace:
+//!
+//! * [`time`] — integer nanosecond [`SimTime`]/[`SimDuration`] so all
+//!   subsystems agree exactly on tick boundaries,
+//! * [`rng`] — an in-crate xoshiro256** PRNG with derived per-subsystem
+//!   streams, so a given seed reproduces a run bit-for-bit,
+//! * [`event`] — a stable, time-ordered event queue for scripted actions,
+//! * [`series`] — time-series recording and the trajectory metrics used to
+//!   compare runs against the paper's figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_core::prelude::*;
+//!
+//! let mut rng = Rng::derive(42, "demo");
+//! let mut log = TimeSeries::new("noise");
+//! let mut t = SimTime::ZERO;
+//! let dt = SimDuration::from_millis(10);
+//! while t < SimTime::from_millis(100) {
+//!     log.push(t, rng.normal(0.0, 1.0));
+//!     t += dt;
+//! }
+//! assert_eq!(log.len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod series;
+pub mod time;
+
+pub use event::{EventId, EventQueue};
+pub use rng::Rng;
+pub use series::{SeriesBundle, Stats, TimeSeries};
+pub use time::{SimDuration, SimTime};
+
+/// Convenient glob import of the kernel types.
+pub mod prelude {
+    pub use crate::event::{EventId, EventQueue};
+    pub use crate::rng::Rng;
+    pub use crate::series::{SeriesBundle, Stats, TimeSeries};
+    pub use crate::time::{SimDuration, SimTime};
+}

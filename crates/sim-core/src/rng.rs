@@ -1,0 +1,228 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator must produce bit-identical results for a given seed across
+//! platforms and across dependency upgrades, so we implement a small, fixed
+//! generator in-crate instead of relying on an external RNG whose stream may
+//! change between versions: [`SplitMix64`] for seeding and stream derivation,
+//! and [`Xoshiro256StarStar`] as the workhorse generator, with uniform and
+//! Gaussian helpers.
+
+/// SplitMix64 generator, used to expand a single `u64` master seed into the
+/// 256-bit state of [`Xoshiro256StarStar`] and to derive independent
+/// per-subsystem streams.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::rng::SplitMix64;
+/// let mut sm = SplitMix64::new(42);
+/// let a = sm.next_u64();
+/// let b = sm.next_u64();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next value in the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** 1.0 by Blackman and Vigna — a fast, high-quality,
+/// deterministic PRNG with a 256-bit state.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::rng::Rng;
+/// let mut rng = Rng::seed_from(7);
+/// let x = rng.uniform(0.0, 1.0);
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+/// The simulator's default RNG. Alias of [`Xoshiro256StarStar`].
+pub type Rng = Xoshiro256StarStar;
+
+impl Xoshiro256StarStar {
+    /// Seeds the generator by expanding `seed` through [`SplitMix64`],
+    /// as recommended by the xoshiro authors.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Xoshiro256StarStar { s }
+    }
+
+    /// Derives an independent stream for a named subsystem.
+    ///
+    /// Streams derived with different `salt` values from the same master
+    /// seed are statistically independent, which lets subsystems draw noise
+    /// without perturbing each other's sequences (adding a sensor does not
+    /// change the wind gusts).
+    pub fn derive(master_seed: u64, salt: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for b in salt.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::seed_from(master_seed ^ h)
+    }
+
+    /// Returns the next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniformly distributed float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits -> [0,1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniformly distributed float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// A uniformly distributed integer in `[0, n)` using Lemire rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn next_range(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        // Widening-multiply rejection sampling (unbiased).
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A standard normal (mean 0, std 1) sample via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Draw u1 in (0,1] to avoid ln(0).
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A normal sample with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "negative std dev: {std_dev}");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567 from the public-domain
+        // implementation by Sebastiano Vigna.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic() {
+        let mut a = Rng::seed_from(99);
+        let mut b = Rng::seed_from(99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        let mut a = Rng::derive(42, "imu");
+        let mut b = Rng::derive(42, "wind");
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = Rng::seed_from(5);
+        for _ in 0..10_000 {
+            let x = rng.uniform(-3.0, 7.0);
+            assert!((-3.0..7.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_range_is_unbiased_enough() {
+        let mut rng = Rng::seed_from(11);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            counts[rng.next_range(5) as usize] += 1;
+        }
+        for c in counts {
+            // Each bucket expects 10_000; allow 5% deviation.
+            assert!((9_500..10_500).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = Rng::seed_from(2024);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng::seed_from(1);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

@@ -1,0 +1,357 @@
+//! Time-series recording and trajectory metrics.
+//!
+//! The paper's evaluation figures are trajectory plots (setpoint vs estimated
+//! position over time). [`TimeSeries`] records sampled signals during a run;
+//! the metric helpers quantify the *shape* properties we assert in tests and
+//! report in EXPERIMENTS.md: maximum deviation, settling, oscillation, and
+//! divergence.
+
+use crate::time::SimTime;
+
+/// A sampled scalar signal: a sequence of `(time, value)` pairs in
+/// non-decreasing time order.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::series::TimeSeries;
+/// use sim_core::time::SimTime;
+///
+/// let mut s = TimeSeries::new("altitude");
+/// s.push(SimTime::from_millis(0), 0.0);
+/// s.push(SimTime::from_millis(100), 1.0);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.last_value(), Some(1.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    name: String,
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The series name (used as a CSV column header).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous sample's time.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(t >= last, "samples must be time-ordered: {t} < {last}");
+        }
+        self.times.push(t);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Sample times.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The most recent value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// Value at or immediately before `t` (sample-and-hold), if any sample
+    /// exists at or before `t`.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.times.partition_point(|&ts| ts <= t) {
+            0 => None,
+            n => Some(self.values[n - 1]),
+        }
+    }
+
+    /// Restricts to samples with `from <= t < to` and returns their values.
+    pub fn window(&self, from: SimTime, to: SimTime) -> &[f64] {
+        let lo = self.times.partition_point(|&ts| ts < from);
+        let hi = self.times.partition_point(|&ts| ts < to);
+        &self.values[lo..hi]
+    }
+
+    /// Maximum of `|value - reference|` over samples in `[from, to)`.
+    /// Returns `None` if the window is empty.
+    pub fn max_abs_deviation(&self, reference: f64, from: SimTime, to: SimTime) -> Option<f64> {
+        self.window(from, to)
+            .iter()
+            .map(|v| (v - reference).abs())
+            .fold(None, |acc, d| Some(acc.map_or(d, |a: f64| a.max(d))))
+    }
+
+    /// Root-mean-square of `value - reference` over samples in `[from, to)`.
+    pub fn rms_error(&self, reference: f64, from: SimTime, to: SimTime) -> Option<f64> {
+        let w = self.window(from, to);
+        if w.is_empty() {
+            return None;
+        }
+        let sum: f64 = w.iter().map(|v| (v - reference).powi(2)).sum();
+        Some((sum / w.len() as f64).sqrt())
+    }
+
+    /// The first time at which `|value - reference| > bound`, if ever.
+    pub fn first_excursion(&self, reference: f64, bound: f64) -> Option<SimTime> {
+        self.iter()
+            .find(|(_, v)| (v - reference).abs() > bound)
+            .map(|(t, _)| t)
+    }
+
+    /// `true` if, for every sample at or after `from`, `|value - reference|`
+    /// stays within `bound`.
+    pub fn settled_within(&self, reference: f64, bound: f64, from: SimTime) -> bool {
+        self.iter()
+            .filter(|(t, _)| *t >= from)
+            .all(|(_, v)| (v - reference).abs() <= bound)
+    }
+}
+
+/// A set of synchronized series sharing one time base — a figure's worth of
+/// signals (e.g. setpoint and estimated X/Y/Z).
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::series::SeriesBundle;
+/// use sim_core::time::SimTime;
+///
+/// let mut b = SeriesBundle::new(&["x_sp", "x_est"]);
+/// b.push_row(SimTime::from_millis(0), &[0.0, 0.01]);
+/// assert_eq!(b.series("x_est").unwrap().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SeriesBundle {
+    series: Vec<TimeSeries>,
+}
+
+impl SeriesBundle {
+    /// Creates a bundle with one empty series per name.
+    pub fn new(names: &[&str]) -> Self {
+        SeriesBundle {
+            series: names.iter().copied().map(TimeSeries::new).collect(),
+        }
+    }
+
+    /// Appends one sample to every series at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of series.
+    pub fn push_row(&mut self, t: SimTime, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.series.len(),
+            "row width must match series count"
+        );
+        for (s, &v) in self.series.iter_mut().zip(values) {
+            s.push(t, v);
+        }
+    }
+
+    /// Looks up a series by name.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.iter().find(|s| s.name() == name)
+    }
+
+    /// All series in insertion order.
+    pub fn all(&self) -> &[TimeSeries] {
+        &self.series
+    }
+
+    /// Number of rows (samples per series).
+    pub fn rows(&self) -> usize {
+        self.series.first().map_or(0, TimeSeries::len)
+    }
+
+    /// Renders the bundle as CSV with a leading `time_s` column.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s");
+        for s in &self.series {
+            out.push(',');
+            out.push_str(s.name());
+        }
+        out.push('\n');
+        let n = self.rows();
+        for i in 0..n {
+            let t = self.series[0].times()[i];
+            out.push_str(&format!("{:.4}", t.as_secs_f64()));
+            for s in &self.series {
+                out.push_str(&format!(",{:.6}", s.values()[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Summary statistics over a slice of samples.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Stats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty slice).
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest sample (0 for an empty slice).
+    pub min: f64,
+    /// Largest sample (0 for an empty slice).
+    pub max: f64,
+}
+
+impl Stats {
+    /// Computes statistics over `samples`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sim_core::series::Stats;
+    /// let s = Stats::of(&[1.0, 2.0, 3.0]);
+    /// assert_eq!(s.mean, 2.0);
+    /// assert_eq!(s.min, 1.0);
+    /// assert_eq!(s.max, 3.0);
+    /// ```
+    pub fn of(samples: &[f64]) -> Stats {
+        if samples.is_empty() {
+            return Stats::default();
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Stats {
+            count: samples.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn ramp() -> TimeSeries {
+        let mut s = TimeSeries::new("ramp");
+        for i in 0..100u64 {
+            s.push(SimTime::from_millis(i * 10), i as f64 * 0.1);
+        }
+        s
+    }
+
+    #[test]
+    fn value_at_holds_last_sample() {
+        let s = ramp();
+        assert_eq!(s.value_at(SimTime::from_millis(25)), Some(0.2));
+        assert_eq!(s.value_at(SimTime::from_millis(0)), Some(0.0));
+        let before = SimTime::ZERO;
+        let mut empty = TimeSeries::new("e");
+        assert_eq!(empty.value_at(before), None);
+        empty.push(SimTime::from_millis(5), 1.0);
+        assert_eq!(empty.value_at(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn window_bounds_are_half_open() {
+        let s = ramp();
+        let w = s.window(SimTime::from_millis(10), SimTime::from_millis(40));
+        assert_eq!(w.len(), 3); // samples at 10, 20, 30 ms
+    }
+
+    #[test]
+    fn max_abs_deviation_and_rms() {
+        let s = ramp();
+        let dev = s
+            .max_abs_deviation(0.0, SimTime::ZERO, SimTime::from_secs(10))
+            .unwrap();
+        assert!((dev - 9.9).abs() < 1e-9);
+        let rms = s.rms_error(0.0, SimTime::ZERO, SimTime::from_secs(10)).unwrap();
+        assert!(rms > 0.0 && rms < dev);
+    }
+
+    #[test]
+    fn first_excursion_finds_threshold_crossing() {
+        let s = ramp();
+        let t = s.first_excursion(0.0, 5.0).unwrap();
+        assert_eq!(t, SimTime::from_millis(510));
+        assert!(s.first_excursion(0.0, 100.0).is_none());
+    }
+
+    #[test]
+    fn settled_within_checks_tail() {
+        let mut s = TimeSeries::new("sig");
+        s.push(SimTime::from_secs(0), 5.0);
+        s.push(SimTime::from_secs(1), 0.05);
+        s.push(SimTime::from_secs(2), -0.02);
+        assert!(s.settled_within(0.0, 0.1, SimTime::from_secs(1)));
+        assert!(!s.settled_within(0.0, 0.1, SimTime::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn push_rejects_time_regression() {
+        let mut s = TimeSeries::new("bad");
+        s.push(SimTime::from_millis(10), 1.0);
+        s.push(SimTime::from_millis(5), 2.0);
+    }
+
+    #[test]
+    fn bundle_roundtrips_csv() {
+        let mut b = SeriesBundle::new(&["a", "b"]);
+        let mut t = SimTime::ZERO;
+        for i in 0..3 {
+            b.push_row(t, &[i as f64, -(i as f64)]);
+            t += SimDuration::from_millis(100);
+        }
+        let csv = b.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,a,b");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("0.1000,1.000000,-1.000000"));
+    }
+
+    #[test]
+    fn stats_of_constant_signal() {
+        let s = Stats::of(&[4.0; 8]);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.count, 8);
+    }
+}

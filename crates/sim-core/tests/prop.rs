@@ -1,0 +1,125 @@
+//! Property-based tests for the simulation kernel: event-queue ordering,
+//! RNG ranges, and time-series metric consistency.
+
+use proptest::prelude::*;
+use sim_core::prelude::*;
+use sim_core::rng::Rng as SimRng;
+
+proptest! {
+    /// Events always pop in non-decreasing time order with FIFO
+    /// tie-breaking, whatever the insertion order.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let popped: Vec<(SimTime, usize)> =
+            q.pop_due(SimTime::from_secs(10)).collect();
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn event_queue_cancellation(
+        times in prop::collection::vec(0u64..1000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.schedule(SimTime::from_nanos(t), i)))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in &ids {
+            if cancel_mask[*i % cancel_mask.len()] {
+                q.cancel(*id);
+            } else {
+                expected.push(*i);
+            }
+        }
+        let mut popped: Vec<usize> =
+            q.pop_due(SimTime::from_secs(1)).map(|(_, i)| i).collect();
+        popped.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// `next_range(n)` is always `< n`; `uniform` respects its bounds.
+    #[test]
+    fn rng_ranges(seed in any::<u64>(), n in 1u64..1_000_000, lo in -1e6f64..1e6) {
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_range(n) < n);
+            let hi = lo + 10.0;
+            let x = rng.uniform(lo, hi);
+            prop_assert!((lo..hi).contains(&x));
+            let f = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    /// Derived streams are reproducible and sensitive to the salt.
+    #[test]
+    fn rng_derivation(seed in any::<u64>()) {
+        let mut a1 = SimRng::derive(seed, "alpha");
+        let mut a2 = SimRng::derive(seed, "alpha");
+        let mut b = SimRng::derive(seed, "beta");
+        let va: Vec<u64> = (0..16).map(|_| a1.next_u64()).collect();
+        let va2: Vec<u64> = (0..16).map(|_| a2.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        prop_assert_eq!(&va, &va2);
+        prop_assert_ne!(&va, &vb);
+    }
+
+    /// Time-series metrics agree with brute-force recomputation.
+    #[test]
+    fn series_metrics_consistent(values in prop::collection::vec(-100.0f64..100.0, 1..200)) {
+        let mut s = TimeSeries::new("sig");
+        for (i, &v) in values.iter().enumerate() {
+            s.push(SimTime::from_millis(i as u64), v);
+        }
+        let from = SimTime::ZERO;
+        let to = SimTime::from_secs(10);
+        let dev = s.max_abs_deviation(0.0, from, to).unwrap();
+        let brute = values.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+        prop_assert!((dev - brute).abs() < 1e-12);
+
+        let rms = s.rms_error(0.0, from, to).unwrap();
+        let brute_rms =
+            (values.iter().map(|v| v * v).sum::<f64>() / values.len() as f64).sqrt();
+        prop_assert!((rms - brute_rms).abs() < 1e-9);
+        // RMS never exceeds the max deviation.
+        prop_assert!(rms <= dev + 1e-12);
+    }
+
+    /// `value_at` returns the sample-and-hold value.
+    #[test]
+    fn series_value_at_holds(values in prop::collection::vec(-10.0f64..10.0, 2..50), probe in 0usize..49) {
+        let mut s = TimeSeries::new("sig");
+        for (i, &v) in values.iter().enumerate() {
+            s.push(SimTime::from_millis(i as u64 * 10), v);
+        }
+        let idx = probe.min(values.len() - 1);
+        // Probe halfway between sample idx and idx+1: must hold sample idx.
+        let t = SimTime::from_millis(idx as u64 * 10 + 5);
+        prop_assert_eq!(s.value_at(t), Some(values[idx]));
+    }
+
+    /// SimTime/SimDuration arithmetic is consistent with integers.
+    #[test]
+    fn time_arithmetic(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let t = SimTime::from_nanos(a) + SimDuration::from_nanos(b);
+        prop_assert_eq!(t.as_nanos(), a + b);
+        prop_assert_eq!(t - SimTime::from_nanos(a), SimDuration::from_nanos(b));
+        let d = SimDuration::from_nanos(a.max(b)) - SimDuration::from_nanos(a.min(b));
+        prop_assert_eq!(d.as_nanos(), a.abs_diff(b));
+    }
+}

@@ -1,0 +1,232 @@
+//! Flight environment: wind, gusts, and the indoor flight cage.
+//!
+//! The paper flies inside a Vicon-equipped lab. Indoors there is little mean
+//! wind, but there *is* turbulence from the vehicle's own downwash and HVAC;
+//! we model it as an Ornstein–Uhlenbeck process so the controllers always
+//! have a disturbance to reject. Experiments can also script discrete gusts.
+
+use sim_core::rng::Rng;
+
+use crate::math::Vec3;
+
+/// Configuration of the wind model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindConfig {
+    /// Mean wind vector, m/s (≈ 0 indoors).
+    pub mean: Vec3,
+    /// Turbulence standard deviation per axis, m/s.
+    pub turbulence_std: f64,
+    /// Turbulence correlation time, s.
+    pub correlation_time: f64,
+}
+
+impl Default for WindConfig {
+    fn default() -> Self {
+        WindConfig {
+            mean: Vec3::ZERO,
+            turbulence_std: 0.12,
+            correlation_time: 1.5,
+        }
+    }
+}
+
+/// Ornstein–Uhlenbeck wind process with scripted gust support.
+///
+/// # Examples
+///
+/// ```
+/// use uav_dynamics::environment::{Wind, WindConfig};
+/// use sim_core::rng::Rng;
+///
+/// let mut wind = Wind::new(WindConfig::default(), Rng::derive(1, "wind"));
+/// let w = wind.step(0.002);
+/// assert!(w.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Wind {
+    config: WindConfig,
+    rng: Rng,
+    state: Vec3,
+    gust: Vec3,
+    gust_remaining: f64,
+}
+
+impl Wind {
+    /// Creates the wind process.
+    pub fn new(config: WindConfig, rng: Rng) -> Self {
+        Wind {
+            config,
+            rng,
+            state: config.mean,
+            gust: Vec3::ZERO,
+            gust_remaining: 0.0,
+        }
+    }
+
+    /// A dead-calm environment (for closed-form physics tests).
+    pub fn calm() -> Self {
+        Wind::new(
+            WindConfig {
+                mean: Vec3::ZERO,
+                turbulence_std: 0.0,
+                correlation_time: 1.0,
+            },
+            Rng::seed_from(0),
+        )
+    }
+
+    /// Injects a gust of `velocity` lasting `duration` seconds.
+    pub fn inject_gust(&mut self, velocity: Vec3, duration: f64) {
+        self.gust = velocity;
+        self.gust_remaining = duration.max(0.0);
+    }
+
+    /// Advances the process and returns the current wind vector.
+    pub fn step(&mut self, dt: f64) -> Vec3 {
+        let c = &self.config;
+        if c.turbulence_std > 0.0 {
+            // Exact OU discretization: x' = μ + (x−μ)e^{−dt/τ} + σ√(1−e^{−2dt/τ}) ξ.
+            let decay = (-dt / c.correlation_time).exp();
+            let diffusion = c.turbulence_std * (1.0 - decay * decay).sqrt();
+            let noise = Vec3::new(
+                self.rng.standard_normal(),
+                self.rng.standard_normal(),
+                self.rng.standard_normal() * 0.3, // vertical turbulence is weaker
+            );
+            self.state = c.mean + (self.state - c.mean) * decay + noise * diffusion;
+        } else {
+            self.state = c.mean;
+        }
+
+        let mut total = self.state;
+        if self.gust_remaining > 0.0 {
+            total += self.gust;
+            self.gust_remaining -= dt;
+        }
+        total
+    }
+
+    /// The current wind without advancing the process.
+    pub fn current(&self) -> Vec3 {
+        if self.gust_remaining > 0.0 {
+            self.state + self.gust
+        } else {
+            self.state
+        }
+    }
+}
+
+/// The indoor flight volume. Leaving it means hitting a wall or the net —
+/// a crash in every experiment of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightCage {
+    /// Half-extent in x (north), m.
+    pub half_x: f64,
+    /// Half-extent in y (east), m.
+    pub half_y: f64,
+    /// Ceiling height, m.
+    pub ceiling: f64,
+}
+
+impl Default for FlightCage {
+    fn default() -> Self {
+        // A motion-capture lab volume (~6 × 6 × 3.5 m).
+        FlightCage {
+            half_x: 3.0,
+            half_y: 3.0,
+            ceiling: 3.5,
+        }
+    }
+}
+
+impl FlightCage {
+    /// `true` if `position` (NED) is inside the cage.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uav_dynamics::environment::FlightCage;
+    /// use uav_dynamics::math::Vec3;
+    ///
+    /// let cage = FlightCage::default();
+    /// assert!(cage.contains(Vec3::new(0.0, 0.0, -1.0)));
+    /// assert!(!cage.contains(Vec3::new(9.0, 0.0, -1.0)));
+    /// ```
+    pub fn contains(&self, position: Vec3) -> bool {
+        position.x.abs() <= self.half_x
+            && position.y.abs() <= self.half_y
+            && -position.z <= self.ceiling
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::series::Stats;
+
+    #[test]
+    fn calm_wind_is_zero() {
+        let mut w = Wind::calm();
+        for _ in 0..100 {
+            assert_eq!(w.step(0.01), Vec3::ZERO);
+        }
+    }
+
+    #[test]
+    fn turbulence_statistics_match_config() {
+        let cfg = WindConfig {
+            mean: Vec3::new(1.0, 0.0, 0.0),
+            turbulence_std: 0.5,
+            correlation_time: 0.2,
+        };
+        let mut w = Wind::new(cfg, Rng::derive(42, "wind-test"));
+        let mut xs = Vec::new();
+        // Let the process mix, then sample.
+        for _ in 0..1000 {
+            w.step(0.01);
+        }
+        for _ in 0..50_000 {
+            xs.push(w.step(0.01).x);
+        }
+        let s = Stats::of(&xs);
+        assert!((s.mean - 1.0).abs() < 0.05, "mean {}", s.mean);
+        assert!((s.std_dev - 0.5).abs() < 0.1, "std {}", s.std_dev);
+    }
+
+    #[test]
+    fn gust_applies_for_duration_only() {
+        let mut w = Wind::calm();
+        w.inject_gust(Vec3::new(2.0, 0.0, 0.0), 0.5);
+        let during = w.step(0.01);
+        assert_eq!(during.x, 2.0);
+        for _ in 0..60 {
+            w.step(0.01);
+        }
+        assert_eq!(w.step(0.01), Vec3::ZERO);
+    }
+
+    #[test]
+    fn wind_is_deterministic_per_seed() {
+        let cfg = WindConfig::default();
+        let mut a = Wind::new(cfg, Rng::derive(7, "w"));
+        let mut b = Wind::new(cfg, Rng::derive(7, "w"));
+        for _ in 0..100 {
+            assert_eq!(a.step(0.002), b.step(0.002));
+        }
+    }
+
+    #[test]
+    fn cage_boundaries() {
+        let cage = FlightCage {
+            half_x: 2.0,
+            half_y: 3.0,
+            ceiling: 2.5,
+        };
+        assert!(cage.contains(Vec3::new(1.9, -2.9, -2.4)));
+        assert!(!cage.contains(Vec3::new(2.1, 0.0, -1.0)));
+        assert!(!cage.contains(Vec3::new(0.0, 3.1, -1.0)));
+        assert!(!cage.contains(Vec3::new(0.0, 0.0, -2.6)));
+        // On the ground inside the footprint is "inside".
+        assert!(cage.contains(Vec3::ZERO));
+    }
+}

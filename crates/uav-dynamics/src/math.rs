@@ -1,0 +1,551 @@
+//! Minimal 3-D vector / matrix / quaternion math for rigid-body simulation.
+//!
+//! Conventions follow PX4: **NED** world frame (x north, y east, z down) and
+//! **FRD** body frame (x forward, y right, z down). A positive `z` position
+//! is therefore *below* the origin; hovering at 1 m altitude is `z = -1`.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 3-component column vector.
+///
+/// # Examples
+///
+/// ```
+/// use uav_dynamics::math::Vec3;
+/// let v = Vec3::new(3.0, 4.0, 0.0);
+/// assert_eq!(v.norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component (north in NED, forward in FRD).
+    pub x: f64,
+    /// Y component (east in NED, right in FRD).
+    pub y: f64,
+    /// Z component (down in both frames).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Dot product.
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    /// Euclidean length.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared length (avoids the square root).
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Length of the horizontal (x, y) part.
+    pub fn norm_xy(self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Unit vector in this direction, or zero if the vector is (near) zero.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n < 1e-12 {
+            Vec3::ZERO
+        } else {
+            self / n
+        }
+    }
+
+    /// Component-wise clamp to `[-limit, limit]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is negative.
+    pub fn clamp_abs(self, limit: f64) -> Vec3 {
+        assert!(limit >= 0.0, "negative clamp limit");
+        Vec3 {
+            x: self.x.clamp(-limit, limit),
+            y: self.y.clamp(-limit, limit),
+            z: self.z.clamp(-limit, limit),
+        }
+    }
+
+    /// `true` if every component is finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Component-wise multiplication.
+    pub fn hadamard(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x * rhs.x, self.y * rhs.y, self.z * rhs.z)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, r: Vec3) -> Vec3 {
+        Vec3::new(self.x + r.x, self.y + r.y, self.z + r.z)
+    }
+}
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, r: Vec3) {
+        *self = *self + r;
+    }
+}
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, r: Vec3) -> Vec3 {
+        Vec3::new(self.x - r.x, self.y - r.y, self.z - r.z)
+    }
+}
+impl SubAssign for Vec3 {
+    fn sub_assign(&mut self, r: Vec3) {
+        *self = *self - r;
+    }
+}
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A 3×3 matrix in row-major order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    /// Rows of the matrix.
+    pub rows: [[f64; 3]; 3],
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// A diagonal matrix with the given entries.
+    pub const fn diag(a: f64, b: f64, c: f64) -> Mat3 {
+        Mat3 {
+            rows: [[a, 0.0, 0.0], [0.0, b, 0.0], [0.0, 0.0, c]],
+        }
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(self, v: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.rows[0][0] * v.x + self.rows[0][1] * v.y + self.rows[0][2] * v.z,
+            y: self.rows[1][0] * v.x + self.rows[1][1] * v.y + self.rows[1][2] * v.z,
+            z: self.rows[2][0] * v.x + self.rows[2][1] * v.y + self.rows[2][2] * v.z,
+        }
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(self) -> Mat3 {
+        let r = self.rows;
+        Mat3 {
+            rows: [
+                [r[0][0], r[1][0], r[2][0]],
+                [r[0][1], r[1][1], r[2][1]],
+                [r[0][2], r[1][2], r[2][2]],
+            ],
+        }
+    }
+
+    /// Inverse of a *diagonal* matrix (enough for inertia tensors here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has significant off-diagonal terms or a zero
+    /// diagonal entry.
+    pub fn diag_inverse(self) -> Mat3 {
+        let r = self.rows;
+        for (i, row) in r.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if i != j {
+                    assert!(v.abs() < 1e-12, "diag_inverse on non-diagonal matrix");
+                }
+            }
+        }
+        assert!(
+            r[0][0] != 0.0 && r[1][1] != 0.0 && r[2][2] != 0.0,
+            "diag_inverse of singular matrix"
+        );
+        Mat3::diag(1.0 / r[0][0], 1.0 / r[1][1], 1.0 / r[2][2])
+    }
+}
+
+/// A unit quaternion representing a rotation from body frame to world frame.
+///
+/// Scalar-first storage `(w, x, y, z)`, Hamilton convention — matching PX4.
+///
+/// # Examples
+///
+/// ```
+/// use uav_dynamics::math::{Quat, Vec3};
+/// use std::f64::consts::FRAC_PI_2;
+///
+/// // 90° yaw: body x-axis (forward) maps to world y-axis (east).
+/// let q = Quat::from_euler(0.0, 0.0, FRAC_PI_2);
+/// let world = q.rotate(Vec3::new(1.0, 0.0, 0.0));
+/// assert!((world.y - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f64,
+    /// Vector part x.
+    pub x: f64,
+    /// Vector part y.
+    pub y: f64,
+    /// Vector part z.
+    pub z: f64,
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Quat::IDENTITY
+    }
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a quaternion from components (not normalized).
+    pub const fn new(w: f64, x: f64, y: f64, z: f64) -> Self {
+        Quat { w, x, y, z }
+    }
+
+    /// Rotation of `angle` radians about `axis` (need not be unit length).
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Quat {
+        let axis = axis.normalized();
+        let (s, c) = (angle / 2.0).sin_cos();
+        Quat {
+            w: c,
+            x: axis.x * s,
+            y: axis.y * s,
+            z: axis.z * s,
+        }
+    }
+
+    /// Builds from aerospace Euler angles (roll φ about x, pitch θ about y,
+    /// yaw ψ about z, applied in Z-Y-X order).
+    pub fn from_euler(roll: f64, pitch: f64, yaw: f64) -> Quat {
+        let (sr, cr) = (roll / 2.0).sin_cos();
+        let (sp, cp) = (pitch / 2.0).sin_cos();
+        let (sy, cy) = (yaw / 2.0).sin_cos();
+        Quat {
+            w: cr * cp * cy + sr * sp * sy,
+            x: sr * cp * cy - cr * sp * sy,
+            y: cr * sp * cy + sr * cp * sy,
+            z: cr * cp * sy - sr * sp * cy,
+        }
+    }
+
+    /// Extracts aerospace Euler angles `(roll, pitch, yaw)`.
+    pub fn to_euler(self) -> (f64, f64, f64) {
+        let (w, x, y, z) = (self.w, self.x, self.y, self.z);
+        let roll = (2.0 * (w * x + y * z)).atan2(1.0 - 2.0 * (x * x + y * y));
+        let sinp = (2.0 * (w * y - z * x)).clamp(-1.0, 1.0);
+        let pitch = sinp.asin();
+        let yaw = (2.0 * (w * z + x * y)).atan2(1.0 - 2.0 * (y * y + z * z));
+        (roll, pitch, yaw)
+    }
+
+    /// Quaternion (Hamilton) product: `self ⊗ rhs`.
+    pub fn mul_quat(self, r: Quat) -> Quat {
+        Quat {
+            w: self.w * r.w - self.x * r.x - self.y * r.y - self.z * r.z,
+            x: self.w * r.x + self.x * r.w + self.y * r.z - self.z * r.y,
+            y: self.w * r.y - self.x * r.z + self.y * r.w + self.z * r.x,
+            z: self.w * r.z + self.x * r.y - self.y * r.x + self.z * r.w,
+        }
+    }
+
+    /// The inverse rotation (conjugate, assuming unit norm).
+    pub fn conjugate(self) -> Quat {
+        Quat {
+            w: self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
+    }
+
+    /// Quaternion norm.
+    pub fn norm(self) -> f64 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Rescales to unit length (returns identity for a degenerate input).
+    pub fn normalized(self) -> Quat {
+        let n = self.norm();
+        if n < 1e-12 {
+            return Quat::IDENTITY;
+        }
+        Quat {
+            w: self.w / n,
+            x: self.x / n,
+            y: self.y / n,
+            z: self.z / n,
+        }
+    }
+
+    /// Rotates a body-frame vector into the world frame.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        // v' = q ⊗ (0, v) ⊗ q*
+        let u = Vec3::new(self.x, self.y, self.z);
+        let s = self.w;
+        u * (2.0 * u.dot(v)) + v * (s * s - u.dot(u)) + u.cross(v) * (2.0 * s)
+    }
+
+    /// Rotates a world-frame vector into the body frame.
+    pub fn rotate_inverse(self, v: Vec3) -> Vec3 {
+        self.conjugate().rotate(v)
+    }
+
+    /// Integrates body angular velocity `omega` (rad/s) over `dt` seconds
+    /// and renormalizes: `q ← q ⊗ exp(ω dt / 2)`.
+    pub fn integrate(self, omega: Vec3, dt: f64) -> Quat {
+        let theta = omega * dt;
+        let angle = theta.norm();
+        let dq = if angle < 1e-10 {
+            Quat::new(1.0, theta.x / 2.0, theta.y / 2.0, theta.z / 2.0)
+        } else {
+            Quat::from_axis_angle(theta, angle)
+        };
+        self.mul_quat(dq).normalized()
+    }
+
+    /// The rotation matrix equivalent (body → world).
+    pub fn to_mat3(self) -> Mat3 {
+        let (w, x, y, z) = (self.w, self.x, self.y, self.z);
+        Mat3 {
+            rows: [
+                [
+                    1.0 - 2.0 * (y * y + z * z),
+                    2.0 * (x * y - w * z),
+                    2.0 * (x * z + w * y),
+                ],
+                [
+                    2.0 * (x * y + w * z),
+                    1.0 - 2.0 * (x * x + z * z),
+                    2.0 * (y * z - w * x),
+                ],
+                [
+                    2.0 * (x * z - w * y),
+                    2.0 * (y * z + w * x),
+                    1.0 - 2.0 * (x * x + y * y),
+                ],
+            ],
+        }
+    }
+
+    /// Shortest-path angle (radians) between two orientations.
+    pub fn angle_to(self, other: Quat) -> f64 {
+        let d = self.conjugate().mul_quat(other).normalized();
+        2.0 * d.w.abs().clamp(0.0, 1.0).acos()
+    }
+
+    /// `true` if every component is finite.
+    pub fn is_finite(self) -> bool {
+        self.w.is_finite() && self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+/// Wraps an angle to `(-π, π]`.
+///
+/// # Examples
+///
+/// ```
+/// use uav_dynamics::math::wrap_angle;
+/// use std::f64::consts::PI;
+/// assert!((wrap_angle(3.0 * PI) - PI).abs() < 1e-12);
+/// ```
+pub fn wrap_angle(a: f64) -> f64 {
+    let two_pi = std::f64::consts::TAU;
+    let mut x = a % two_pi;
+    if x > std::f64::consts::PI {
+        x -= two_pi;
+    } else if x <= -std::f64::consts::PI {
+        x += two_pi;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn vec_basics() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a.dot(b), 32.0);
+        assert_eq!(a.cross(b), Vec3::new(-3.0, 6.0, -3.0));
+        assert!((Vec3::new(1.0, 1.0, 1.0).norm() - 3f64.sqrt()).abs() < EPS);
+        assert_eq!(a.hadamard(b), Vec3::new(4.0, 10.0, 18.0));
+    }
+
+    #[test]
+    fn cross_product_is_orthogonal() {
+        let a = Vec3::new(0.3, -1.2, 2.0);
+        let b = Vec3::new(1.5, 0.4, -0.7);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < EPS);
+        assert!(c.dot(b).abs() < EPS);
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+        let v = Vec3::new(0.0, 3.0, 4.0).normalized();
+        assert!((v.norm() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn clamp_abs_bounds_components() {
+        let v = Vec3::new(5.0, -7.0, 0.5).clamp_abs(2.0);
+        assert_eq!(v, Vec3::new(2.0, -2.0, 0.5));
+    }
+
+    #[test]
+    fn mat3_identity_and_transpose() {
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Mat3::IDENTITY.mul_vec(v), v);
+        let m = Mat3 {
+            rows: [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]],
+        };
+        assert_eq!(m.transpose().rows[0], [1.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    fn diag_inverse_works() {
+        let m = Mat3::diag(2.0, 4.0, 8.0);
+        let inv = m.diag_inverse();
+        let v = Vec3::new(2.0, 4.0, 8.0);
+        assert_eq!(inv.mul_vec(v), Vec3::new(1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-diagonal")]
+    fn diag_inverse_rejects_full_matrix() {
+        let m = Mat3 {
+            rows: [[1.0, 0.5, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+        };
+        let _ = m.diag_inverse();
+    }
+
+    #[test]
+    fn euler_roundtrip() {
+        for &(r, p, y) in &[
+            (0.1, -0.2, 0.3),
+            (-FRAC_PI_4, 0.4, -2.0),
+            (0.0, 0.0, PI - 0.01),
+            (1.0, -1.2, 0.0),
+        ] {
+            let q = Quat::from_euler(r, p, y);
+            let (r2, p2, y2) = q.to_euler();
+            assert!((r - r2).abs() < 1e-9, "roll {r} vs {r2}");
+            assert!((p - p2).abs() < 1e-9, "pitch {p} vs {p2}");
+            assert!((y - y2).abs() < 1e-9, "yaw {y} vs {y2}");
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_length() {
+        let q = Quat::from_euler(0.3, -0.7, 1.9);
+        let v = Vec3::new(1.0, 2.0, -3.0);
+        assert!((q.rotate(v).norm() - v.norm()).abs() < EPS);
+    }
+
+    #[test]
+    fn rotate_then_inverse_is_identity() {
+        let q = Quat::from_euler(0.5, 0.2, -1.1);
+        let v = Vec3::new(-2.0, 0.4, 1.7);
+        let back = q.rotate_inverse(q.rotate(v));
+        assert!((back - v).norm() < EPS);
+    }
+
+    #[test]
+    fn quat_matches_matrix_rotation() {
+        let q = Quat::from_euler(0.4, -0.9, 2.2);
+        let v = Vec3::new(0.3, -1.0, 0.8);
+        let via_mat = q.to_mat3().mul_vec(v);
+        assert!((q.rotate(v) - via_mat).norm() < EPS);
+    }
+
+    #[test]
+    fn yaw_rotation_maps_forward_to_east() {
+        let q = Quat::from_euler(0.0, 0.0, FRAC_PI_2);
+        let east = q.rotate(Vec3::new(1.0, 0.0, 0.0));
+        assert!((east - Vec3::new(0.0, 1.0, 0.0)).norm() < EPS);
+    }
+
+    #[test]
+    fn integrate_constant_rate_accumulates_angle() {
+        // 1 rad/s about z for 1 s in 1000 steps = 1 rad yaw.
+        let mut q = Quat::IDENTITY;
+        for _ in 0..1000 {
+            q = q.integrate(Vec3::new(0.0, 0.0, 1.0), 0.001);
+        }
+        let (_, _, yaw) = q.to_euler();
+        assert!((yaw - 1.0).abs() < 1e-6, "yaw {yaw}");
+        assert!((q.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_to_measures_rotation_difference() {
+        let a = Quat::from_euler(0.0, 0.0, 0.0);
+        let b = Quat::from_euler(0.0, 0.0, FRAC_PI_2);
+        assert!((a.angle_to(b) - FRAC_PI_2).abs() < 1e-9);
+        assert!(a.angle_to(a) < 1e-9);
+    }
+
+    #[test]
+    fn wrap_angle_stays_in_range() {
+        for k in -10..=10 {
+            let a = 0.7 + k as f64 * std::f64::consts::TAU;
+            assert!((wrap_angle(a) - 0.7).abs() < 1e-9);
+        }
+        assert!((wrap_angle(-PI) - PI).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! Brushless motor + ESC model.
+//!
+//! Commands arrive as PWM microseconds (1000–2000), the convention the
+//! paper's `MotorOutput` stream uses. Thrust follows the command through a
+//! first-order lag — the dominant actuator dynamic a rate controller fights.
+
+/// PWM value that commands zero thrust.
+pub const PWM_MIN: u16 = 1000;
+/// PWM value that commands full thrust.
+pub const PWM_MAX: u16 = 2000;
+
+/// Converts a PWM command to a normalized thrust command in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use uav_dynamics::motor::pwm_to_cmd;
+/// assert_eq!(pwm_to_cmd(1000), 0.0);
+/// assert_eq!(pwm_to_cmd(1500), 0.5);
+/// assert_eq!(pwm_to_cmd(2300), 1.0); // clamped
+/// ```
+pub fn pwm_to_cmd(pwm: u16) -> f64 {
+    ((pwm as f64 - PWM_MIN as f64) / (PWM_MAX - PWM_MIN) as f64).clamp(0.0, 1.0)
+}
+
+/// Converts a normalized thrust command in `[0, 1]` to a PWM value.
+///
+/// # Examples
+///
+/// ```
+/// use uav_dynamics::motor::cmd_to_pwm;
+/// assert_eq!(cmd_to_pwm(0.0), 1000);
+/// assert_eq!(cmd_to_pwm(0.5), 1500);
+/// assert_eq!(cmd_to_pwm(1.2), 2000); // clamped
+/// ```
+pub fn cmd_to_pwm(cmd: f64) -> u16 {
+    let c = cmd.clamp(0.0, 1.0);
+    (PWM_MIN as f64 + c * (PWM_MAX - PWM_MIN) as f64).round() as u16
+}
+
+/// One motor: first-order thrust response `τ·Ṫ = T_cmd − T`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Motor {
+    /// Maximum steady-state thrust, newtons.
+    pub max_thrust: f64,
+    /// Thrust response time constant, seconds.
+    pub time_constant: f64,
+    thrust: f64,
+    command: f64,
+}
+
+impl Motor {
+    /// Creates a motor at zero thrust.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_thrust` or `time_constant` is not positive.
+    pub fn new(max_thrust: f64, time_constant: f64) -> Self {
+        assert!(max_thrust > 0.0, "max_thrust must be positive");
+        assert!(time_constant > 0.0, "time_constant must be positive");
+        Motor {
+            max_thrust,
+            time_constant,
+            thrust: 0.0,
+            command: 0.0,
+        }
+    }
+
+    /// Sets the normalized thrust command (clamped to `[0, 1]`).
+    pub fn set_command(&mut self, cmd: f64) {
+        self.command = cmd.clamp(0.0, 1.0);
+    }
+
+    /// Sets the command from a PWM value.
+    pub fn set_pwm(&mut self, pwm: u16) {
+        self.set_command(pwm_to_cmd(pwm));
+    }
+
+    /// Advances the lag dynamics by `dt` seconds.
+    pub fn step(&mut self, dt: f64) {
+        let target = self.command * self.max_thrust;
+        // Exact discretization of the first-order lag (stable for any dt).
+        let alpha = 1.0 - (-dt / self.time_constant).exp();
+        self.thrust += (target - self.thrust) * alpha;
+    }
+
+    /// Current thrust, newtons.
+    pub fn thrust(&self) -> f64 {
+        self.thrust
+    }
+
+    /// Current normalized command.
+    pub fn command(&self) -> f64 {
+        self.command
+    }
+
+    /// Forces the internal thrust state (used to start scenarios at hover).
+    pub fn set_thrust_state(&mut self, thrust: f64) {
+        self.thrust = thrust.clamp(0.0, self.max_thrust);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pwm_conversion_roundtrip() {
+        for pwm in [1000u16, 1250, 1500, 1750, 2000] {
+            assert_eq!(cmd_to_pwm(pwm_to_cmd(pwm)), pwm);
+        }
+    }
+
+    #[test]
+    fn thrust_approaches_command() {
+        let mut m = Motor::new(6.0, 0.02);
+        m.set_command(0.5);
+        for _ in 0..1000 {
+            m.step(0.001);
+        }
+        assert!((m.thrust() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lag_time_constant_is_respected() {
+        let mut m = Motor::new(10.0, 0.05);
+        m.set_command(1.0);
+        // After exactly one time constant, response = 1 - 1/e ≈ 63.2%.
+        let steps = 50;
+        for _ in 0..steps {
+            m.step(0.001);
+        }
+        let expected = 10.0 * (1.0 - (-1.0f64).exp());
+        assert!((m.thrust() - expected).abs() < 1e-6, "{}", m.thrust());
+    }
+
+    #[test]
+    fn command_is_clamped() {
+        let mut m = Motor::new(6.0, 0.02);
+        m.set_command(2.0);
+        assert_eq!(m.command(), 1.0);
+        m.set_command(-1.0);
+        assert_eq!(m.command(), 0.0);
+    }
+
+    #[test]
+    fn step_is_stable_for_large_dt() {
+        let mut m = Motor::new(6.0, 0.02);
+        m.set_command(1.0);
+        m.step(10.0); // dt >> tau must not overshoot
+        assert!(m.thrust() <= 6.0 + 1e-9);
+    }
+}

@@ -1,0 +1,441 @@
+//! Sensor models matching the Navio2 hat: IMU (gyro + accel + mag),
+//! barometer, and a Vicon-style indoor positioning source forwarded as GPS,
+//! exactly as the paper's testbed does ("a Vicon motion capture system is
+//! used to provide indoor positioning").
+//!
+//! Each sensor owns its noise stream and bias state; samples are taken when
+//! the HCE sensor-driver *task* runs, so scheduling delay directly becomes
+//! measurement latency.
+
+use sim_core::rng::Rng;
+use sim_core::time::SimTime;
+
+use crate::math::Vec3;
+use crate::quad::QuadState;
+
+/// One inertial sample in the FRD body frame.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ImuSample {
+    /// Sample time.
+    pub time: SimTime,
+    /// Angular rate, rad/s.
+    pub gyro: Vec3,
+    /// Specific force, m/s².
+    pub accel: Vec3,
+    /// Magnetic field, gauss.
+    pub mag: Vec3,
+}
+
+/// IMU noise/bias configuration (MPU9250-class defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImuConfig {
+    /// Gyro white-noise standard deviation, rad/s.
+    pub gyro_noise_std: f64,
+    /// Gyro bias magnitude drawn at startup, rad/s.
+    pub gyro_bias_std: f64,
+    /// Accelerometer white-noise standard deviation, m/s².
+    pub accel_noise_std: f64,
+    /// Accelerometer bias magnitude drawn at startup, m/s².
+    pub accel_bias_std: f64,
+    /// Magnetometer white-noise standard deviation, gauss.
+    pub mag_noise_std: f64,
+}
+
+impl Default for ImuConfig {
+    fn default() -> Self {
+        ImuConfig {
+            gyro_noise_std: 0.002,
+            gyro_bias_std: 0.005,
+            accel_noise_std: 0.05,
+            accel_bias_std: 0.05,
+            mag_noise_std: 0.005,
+        }
+    }
+}
+
+/// Simulated IMU.
+#[derive(Debug, Clone)]
+pub struct Imu {
+    config: ImuConfig,
+    rng: Rng,
+    gyro_bias: Vec3,
+    accel_bias: Vec3,
+    /// Earth magnetic field in the world frame, gauss (NED components).
+    field: Vec3,
+}
+
+impl Imu {
+    /// Creates an IMU, drawing fixed run-life biases from `rng`.
+    pub fn new(config: ImuConfig, mut rng: Rng) -> Self {
+        let gyro_bias = Vec3::new(
+            rng.normal(0.0, config.gyro_bias_std),
+            rng.normal(0.0, config.gyro_bias_std),
+            rng.normal(0.0, config.gyro_bias_std),
+        );
+        let accel_bias = Vec3::new(
+            rng.normal(0.0, config.accel_bias_std),
+            rng.normal(0.0, config.accel_bias_std),
+            rng.normal(0.0, config.accel_bias_std),
+        );
+        Imu {
+            config,
+            rng,
+            gyro_bias,
+            accel_bias,
+            field: Vec3::new(0.21, 0.0, 0.42), // mid-latitude field, gauss
+        }
+    }
+
+    /// Samples the IMU given the true vehicle state.
+    pub fn sample(&mut self, state: &QuadState, time: SimTime) -> ImuSample {
+        let c = &self.config;
+        let noise3 = |rng: &mut Rng, std: f64| {
+            Vec3::new(rng.normal(0.0, std), rng.normal(0.0, std), rng.normal(0.0, std))
+        };
+
+        let gyro = state.angular_velocity + self.gyro_bias + noise3(&mut self.rng, c.gyro_noise_std);
+
+        // `state.acceleration` is the world-frame specific force (all
+        // non-gravitational forces per unit mass) — exactly what an
+        // accelerometer measures once rotated into the body frame.
+        let f_body = state.attitude.rotate_inverse(state.acceleration);
+        let accel = f_body + self.accel_bias + noise3(&mut self.rng, c.accel_noise_std);
+
+        let mag =
+            state.attitude.rotate_inverse(self.field) + noise3(&mut self.rng, c.mag_noise_std);
+
+        ImuSample {
+            time,
+            gyro,
+            accel,
+            mag,
+        }
+    }
+}
+
+/// One barometer sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BaroSample {
+    /// Sample time.
+    pub time: SimTime,
+    /// Absolute pressure, hPa.
+    pub pressure_hpa: f64,
+    /// Temperature, °C.
+    pub temperature_c: f64,
+    /// Pressure altitude above the origin, m.
+    pub altitude: f64,
+}
+
+/// Barometer noise configuration (MS5611-class defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaroConfig {
+    /// Altitude white-noise standard deviation, m.
+    pub noise_std: f64,
+    /// Slow drift standard deviation, m, with ~30 s correlation.
+    pub drift_std: f64,
+}
+
+impl Default for BaroConfig {
+    fn default() -> Self {
+        BaroConfig {
+            noise_std: 0.08,
+            drift_std: 0.3,
+        }
+    }
+}
+
+/// Simulated barometer.
+#[derive(Debug, Clone)]
+pub struct Baro {
+    config: BaroConfig,
+    rng: Rng,
+    drift: f64,
+    last_time: Option<SimTime>,
+}
+
+impl Baro {
+    /// Creates a barometer.
+    pub fn new(config: BaroConfig, rng: Rng) -> Self {
+        Baro {
+            config,
+            rng,
+            drift: 0.0,
+            last_time: None,
+        }
+    }
+
+    /// Samples the barometer given the true state.
+    pub fn sample(&mut self, state: &QuadState, time: SimTime) -> BaroSample {
+        let dt = self
+            .last_time
+            .map(|t| time.saturating_since(t).as_secs_f64())
+            .unwrap_or(0.0);
+        self.last_time = Some(time);
+
+        // OU drift with 30 s correlation time.
+        let tau = 30.0;
+        let decay = (-dt / tau).exp();
+        let diffusion = self.config.drift_std * (1.0 - decay * decay).sqrt();
+        self.drift = self.drift * decay + self.rng.normal(0.0, diffusion.max(0.0));
+
+        let alt = state.altitude() + self.drift + self.rng.normal(0.0, self.config.noise_std);
+        // International standard atmosphere around sea level.
+        let pressure = 1013.25 * (1.0 - 2.25577e-5 * alt).powf(5.25588);
+        BaroSample {
+            time,
+            pressure_hpa: pressure,
+            temperature_c: 25.0,
+            altitude: alt,
+        }
+    }
+}
+
+/// One position fix (from the Vicon system, forwarded as GPS).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PositionFix {
+    /// Sample time.
+    pub time: SimTime,
+    /// Position in the local NED frame, m.
+    pub position: Vec3,
+    /// Velocity in the local NED frame, m/s.
+    pub velocity: Vec3,
+    /// Horizontal accuracy estimate, m.
+    pub h_accuracy: f64,
+    /// Vertical accuracy estimate, m.
+    pub v_accuracy: f64,
+}
+
+/// Positioning-source configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositioningConfig {
+    /// Position white-noise standard deviation, m
+    /// (millimetres for Vicon, decimetres for real GPS).
+    pub position_noise_std: f64,
+    /// Velocity white-noise standard deviation, m/s.
+    pub velocity_noise_std: f64,
+}
+
+impl PositioningConfig {
+    /// Vicon motion-capture accuracy (the paper's indoor setup).
+    pub fn vicon() -> Self {
+        PositioningConfig {
+            position_noise_std: 0.002,
+            velocity_noise_std: 0.01,
+        }
+    }
+
+    /// Consumer GNSS accuracy (for outdoor what-if runs).
+    pub fn gps() -> Self {
+        PositioningConfig {
+            position_noise_std: 0.4,
+            velocity_noise_std: 0.1,
+        }
+    }
+}
+
+/// Simulated positioning source.
+#[derive(Debug, Clone)]
+pub struct Positioning {
+    config: PositioningConfig,
+    rng: Rng,
+}
+
+impl Positioning {
+    /// Creates a positioning source.
+    pub fn new(config: PositioningConfig, rng: Rng) -> Self {
+        Positioning { config, rng }
+    }
+
+    /// Samples a fix from the true state.
+    pub fn sample(&mut self, state: &QuadState, time: SimTime) -> PositionFix {
+        let c = &self.config;
+        let p_noise = Vec3::new(
+            self.rng.normal(0.0, c.position_noise_std),
+            self.rng.normal(0.0, c.position_noise_std),
+            self.rng.normal(0.0, c.position_noise_std),
+        );
+        let v_noise = Vec3::new(
+            self.rng.normal(0.0, c.velocity_noise_std),
+            self.rng.normal(0.0, c.velocity_noise_std),
+            self.rng.normal(0.0, c.velocity_noise_std),
+        );
+        PositionFix {
+            time,
+            position: state.position + p_noise,
+            velocity: state.velocity + v_noise,
+            h_accuracy: c.position_noise_std * 2.0,
+            v_accuracy: c.position_noise_std * 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::Quat;
+    use crate::quad::GRAVITY;
+    use sim_core::series::Stats;
+
+    /// A vehicle at rest: the ground's normal force gives a specific force
+    /// of one g pointing up (−z in NED).
+    fn level_state() -> QuadState {
+        QuadState {
+            acceleration: Vec3::new(0.0, 0.0, -GRAVITY),
+            ..QuadState::default()
+        }
+    }
+
+    #[test]
+    fn imu_at_rest_measures_gravity_up() {
+        let mut imu = Imu::new(
+            ImuConfig {
+                gyro_noise_std: 0.0,
+                gyro_bias_std: 0.0,
+                accel_noise_std: 0.0,
+                accel_bias_std: 0.0,
+                mag_noise_std: 0.0,
+            },
+            Rng::seed_from(1),
+        );
+        let s = imu.sample(&level_state(), SimTime::ZERO);
+        // At rest, specific force points opposite gravity: (0,0,-g) in FRD.
+        assert!((s.accel.z + GRAVITY).abs() < 1e-9, "{:?}", s.accel);
+        assert!(s.accel.x.abs() < 1e-9 && s.accel.y.abs() < 1e-9);
+        assert_eq!(s.gyro, Vec3::ZERO);
+    }
+
+    #[test]
+    fn imu_rolled_90_measures_gravity_on_y() {
+        let mut imu = Imu::new(
+            ImuConfig {
+                gyro_noise_std: 0.0,
+                gyro_bias_std: 0.0,
+                accel_noise_std: 0.0,
+                accel_bias_std: 0.0,
+                mag_noise_std: 0.0,
+            },
+            Rng::seed_from(1),
+        );
+        let state = QuadState {
+            attitude: Quat::from_euler(std::f64::consts::FRAC_PI_2, 0.0, 0.0),
+            acceleration: Vec3::new(0.0, 0.0, -GRAVITY),
+            ..QuadState::default()
+        };
+        let s = imu.sample(&state, SimTime::ZERO);
+        // Rolled right 90°: body +y points down, so specific force is -g on y.
+        assert!((s.accel.y + GRAVITY).abs() < 1e-9, "{:?}", s.accel);
+        assert!(s.accel.z.abs() < 1e-9);
+    }
+
+    #[test]
+    fn gyro_noise_statistics() {
+        let cfg = ImuConfig {
+            gyro_noise_std: 0.01,
+            gyro_bias_std: 0.0,
+            ..ImuConfig::default()
+        };
+        let mut imu = Imu::new(cfg, Rng::seed_from(3));
+        let xs: Vec<f64> = (0..20_000)
+            .map(|i| imu.sample(&level_state(), SimTime::from_micros(i)).gyro.x)
+            .collect();
+        let s = Stats::of(&xs);
+        assert!(s.mean.abs() < 0.001, "mean {}", s.mean);
+        assert!((s.std_dev - 0.01).abs() < 0.002, "std {}", s.std_dev);
+    }
+
+    #[test]
+    fn bias_is_constant_within_a_run() {
+        let cfg = ImuConfig {
+            gyro_noise_std: 0.0,
+            gyro_bias_std: 0.01,
+            ..ImuConfig::default()
+        };
+        let mut imu = Imu::new(cfg, Rng::seed_from(9));
+        let a = imu.sample(&level_state(), SimTime::ZERO).gyro;
+        let b = imu.sample(&level_state(), SimTime::from_secs(10)).gyro;
+        assert_eq!(a, b);
+        assert!(a.norm() > 0.0, "bias should be nonzero for this seed");
+    }
+
+    #[test]
+    fn baro_tracks_altitude() {
+        let mut baro = Baro::new(
+            BaroConfig {
+                noise_std: 0.0,
+                drift_std: 0.0,
+            },
+            Rng::seed_from(4),
+        );
+        let state = QuadState {
+            position: Vec3::new(0.0, 0.0, -10.0),
+            ..QuadState::default()
+        };
+        let s = baro.sample(&state, SimTime::ZERO);
+        assert!((s.altitude - 10.0).abs() < 1e-9);
+        assert!(s.pressure_hpa < 1013.25);
+    }
+
+    #[test]
+    fn baro_pressure_decreases_with_altitude() {
+        let mut baro = Baro::new(
+            BaroConfig {
+                noise_std: 0.0,
+                drift_std: 0.0,
+            },
+            Rng::seed_from(4),
+        );
+        let low = baro
+            .sample(
+                &QuadState {
+                    position: Vec3::new(0.0, 0.0, -1.0),
+                    ..QuadState::default()
+                },
+                SimTime::ZERO,
+            )
+            .pressure_hpa;
+        let high = baro
+            .sample(
+                &QuadState {
+                    position: Vec3::new(0.0, 0.0, -100.0),
+                    ..QuadState::default()
+                },
+                SimTime::from_secs(1),
+            )
+            .pressure_hpa;
+        assert!(high < low);
+    }
+
+    #[test]
+    fn vicon_fix_is_millimetre_accurate() {
+        let mut pos = Positioning::new(PositioningConfig::vicon(), Rng::seed_from(5));
+        let state = QuadState {
+            position: Vec3::new(1.0, -2.0, -1.5),
+            velocity: Vec3::new(0.5, 0.0, 0.0),
+            ..QuadState::default()
+        };
+        let errs: Vec<f64> = (0..1000)
+            .map(|i| {
+                let f = pos.sample(&state, SimTime::from_millis(i * 100));
+                (f.position - state.position).norm()
+            })
+            .collect();
+        let s = Stats::of(&errs);
+        assert!(s.mean < 0.01, "mean fix error {}", s.mean);
+    }
+
+    #[test]
+    fn gps_is_noisier_than_vicon() {
+        let state = QuadState {
+            position: Vec3::new(1.0, 1.0, -2.0),
+            ..QuadState::default()
+        };
+        let sample_err = |cfg: PositioningConfig, seed| {
+            let mut p = Positioning::new(cfg, Rng::seed_from(seed));
+            let errs: Vec<f64> = (0..500)
+                .map(|i| (p.sample(&state, SimTime::from_millis(i)).position - state.position).norm())
+                .collect();
+            Stats::of(&errs).mean
+        };
+        assert!(sample_err(PositioningConfig::gps(), 6) > 10.0 * sample_err(PositioningConfig::vicon(), 6));
+    }
+}

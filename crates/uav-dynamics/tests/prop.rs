@@ -1,0 +1,126 @@
+//! Property-based tests for the dynamics crate: quaternion algebra,
+//! motor behaviour, and physics invariants under arbitrary inputs.
+
+use proptest::prelude::*;
+use uav_dynamics::math::{wrap_angle, Quat, Vec3};
+use uav_dynamics::motor::{cmd_to_pwm, pwm_to_cmd, Motor};
+use uav_dynamics::quad::{QuadParams, Quadrotor};
+
+fn arb_vec3() -> impl Strategy<Value = Vec3> {
+    (-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0)
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_quat() -> impl Strategy<Value = Quat> {
+    // Roll/pitch away from the ±90° pitch singularity for roundtrips.
+    (-3.0f64..3.0, -1.4f64..1.4, -3.0f64..3.0)
+        .prop_map(|(r, p, y)| Quat::from_euler(r, p, y))
+}
+
+proptest! {
+    /// Rotations preserve vector length and dot products (isometry).
+    #[test]
+    fn rotation_is_isometric(q in arb_quat(), a in arb_vec3(), b in arb_vec3()) {
+        let ra = q.rotate(a);
+        let rb = q.rotate(b);
+        prop_assert!((ra.norm() - a.norm()).abs() < 1e-9);
+        prop_assert!((ra.dot(rb) - a.dot(b)).abs() < 1e-6);
+    }
+
+    /// rotate ∘ rotate_inverse is the identity.
+    #[test]
+    fn rotation_roundtrip(q in arb_quat(), v in arb_vec3()) {
+        let back = q.rotate_inverse(q.rotate(v));
+        prop_assert!((back - v).norm() < 1e-9, "{back:?} vs {v:?}");
+    }
+
+    /// Euler → quaternion → Euler is the identity away from the pitch
+    /// singularity.
+    #[test]
+    fn euler_roundtrip(r in -3.0f64..3.0, p in -1.4f64..1.4, y in -3.0f64..3.0) {
+        let q = Quat::from_euler(r, p, y);
+        let (r2, p2, y2) = q.to_euler();
+        prop_assert!((wrap_angle(r - r2)).abs() < 1e-8, "roll {r} vs {r2}");
+        prop_assert!((p - p2).abs() < 1e-8, "pitch {p} vs {p2}");
+        prop_assert!((wrap_angle(y - y2)).abs() < 1e-8, "yaw {y} vs {y2}");
+    }
+
+    /// Quaternion integration keeps unit norm for any rate and step.
+    #[test]
+    fn integration_stays_normalized(
+        q in arb_quat(),
+        omega in arb_vec3(),
+        dt in 0.0f64..0.1,
+    ) {
+        let q2 = q.integrate(omega, dt);
+        prop_assert!((q2.norm() - 1.0).abs() < 1e-9);
+    }
+
+    /// angle_to is symmetric, zero on self, bounded by π.
+    #[test]
+    fn angle_metric_properties(a in arb_quat(), b in arb_quat()) {
+        prop_assert!(a.angle_to(a) < 1e-6);
+        let ab = a.angle_to(b);
+        let ba = b.angle_to(a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!((0.0..=std::f64::consts::PI + 1e-9).contains(&ab));
+    }
+
+    /// wrap_angle lands in (−π, π] and preserves the angle modulo 2π.
+    #[test]
+    fn wrap_angle_properties(a in -1000.0f64..1000.0) {
+        let w = wrap_angle(a);
+        prop_assert!(w > -std::f64::consts::PI - 1e-12);
+        prop_assert!(w <= std::f64::consts::PI + 1e-12);
+        prop_assert!(((a - w) / std::f64::consts::TAU).round() * std::f64::consts::TAU - (a - w) < 1e-9);
+    }
+
+    /// PWM conversion roundtrips within quantization and is monotone.
+    #[test]
+    fn pwm_conversion(pwm in 1000u16..=2000) {
+        let c = pwm_to_cmd(pwm);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(cmd_to_pwm(c).abs_diff(pwm) <= 1);
+        if pwm < 2000 {
+            prop_assert!(pwm_to_cmd(pwm + 1) >= c);
+        }
+    }
+
+    /// Motor thrust stays within [0, max] and converges toward the command
+    /// for any step pattern.
+    #[test]
+    fn motor_thrust_bounded(
+        cmds in prop::collection::vec(0.0f64..1.0, 1..50),
+        dt in 0.0001f64..0.05,
+    ) {
+        let mut m = Motor::new(6.0, 0.02);
+        for c in cmds {
+            m.set_command(c);
+            for _ in 0..20 {
+                m.step(dt);
+                prop_assert!(m.thrust() >= -1e-12 && m.thrust() <= 6.0 + 1e-12);
+            }
+        }
+    }
+
+    /// The airframe never produces NaN state for arbitrary motor commands,
+    /// and the attitude quaternion stays normalized.
+    #[test]
+    fn physics_stays_finite(
+        cmds in prop::collection::vec(prop::array::uniform4(0.0f64..1.0), 1..20),
+    ) {
+        let mut quad = Quadrotor::new(QuadParams::default());
+        quad.start_at_hover(Vec3::new(0.0, 0.0, -20.0));
+        for c in cmds {
+            quad.set_motor_commands(c);
+            for _ in 0..100 {
+                quad.step(0.001, Vec3::ZERO);
+            }
+            let s = quad.state();
+            prop_assert!(s.position.is_finite());
+            prop_assert!(s.velocity.is_finite());
+            prop_assert!(s.attitude.is_finite());
+            prop_assert!((s.attitude.norm() - 1.0).abs() < 1e-6);
+        }
+    }
+}

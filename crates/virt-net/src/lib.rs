@@ -1,0 +1,46 @@
+//! Virtual network stack for the ContainerDrone reproduction.
+//!
+//! Implements the communication substrate of §III-E/§IV-D: isolated
+//! namespaces joined by a docker0-style bridge link, UDP sockets with
+//! finite receive queues, Docker port mapping (hairpin NAT), and iptables
+//! token-bucket ingress rate limiting. Packet delivery notifications let
+//! the scheduler charge per-packet CPU cost to a receiving thread — the
+//! coupling a UDP flood exploits.
+//!
+//! # Examples
+//!
+//! ```
+//! use virt_net::prelude::*;
+//! use sim_core::time::SimTime;
+//!
+//! let mut net = Network::new();
+//! let host = net.add_namespace("host");
+//! let cce = net.add_namespace("cce");
+//! net.connect(host, cce, LinkConfig::default());
+//! // The HCE listens for motor output on 14600 (Table I).
+//! let rx = net.bind(host, 14600).unwrap();
+//! let tx = net.bind(cce, 40000).unwrap();
+//! net.add_rate_limit(Addr { ns: host, port: 14600 }, 2000.0, 100.0);
+//! net.send(tx, Addr { ns: host, port: 14600 }, vec![0; 29], SimTime::ZERO).unwrap();
+//! let deliveries = net.step(SimTime::from_millis(1));
+//! assert_eq!(deliveries.len(), 1);
+//! # let _ = rx;
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod filter;
+pub mod net;
+
+pub use filter::TokenBucket;
+pub use net::{
+    Addr, Delivery, LinkConfig, NetError, Network, NsId, Packet, SocketId, SocketStats,
+};
+
+/// Convenient glob import of the network types.
+pub mod prelude {
+    pub use crate::filter::TokenBucket;
+    pub use crate::net::{
+        Addr, Delivery, LinkConfig, NetError, Network, NsId, Packet, SocketId, SocketStats,
+    };
+}

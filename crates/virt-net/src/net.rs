@@ -1,0 +1,611 @@
+//! The virtual network: namespaces, links, UDP sockets, port mapping, and
+//! ingress rate limiting.
+//!
+//! Mirrors the paper's §IV-D topology: the CCE lives in "a sandboxed
+//! network space where it does not have access to the Internet and can only
+//! communicate with the HCE through a specified interface" (a docker0-style
+//! bridge), with "Docker's port mapping to expose container ports to host"
+//! (hairpin NAT via iptables rules).
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use sim_core::time::{SimDuration, SimTime};
+
+use crate::filter::TokenBucket;
+
+/// Identifies a network namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NsId(u32);
+
+/// Identifies a bound UDP socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SocketId(u32);
+
+/// A UDP endpoint: namespace + port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Addr {
+    /// Destination namespace.
+    pub ns: NsId,
+    /// Destination port.
+    pub port: u16,
+}
+
+/// A datagram in flight or in a receive queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Sender endpoint.
+    pub src: Addr,
+    /// Destination endpoint (after NAT).
+    pub dst: Addr,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// When the datagram was sent.
+    pub sent: SimTime,
+}
+
+/// Link characteristics between two namespaces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// One-way propagation + stack traversal latency.
+    pub latency: SimDuration,
+    /// Serialisation bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Transmit queue capacity, packets; overflow is dropped.
+    pub queue_capacity: usize,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        // A veth/bridge hop: microseconds of latency, ~1 Gb/s.
+        LinkConfig {
+            latency: SimDuration::from_micros(50),
+            bandwidth: 125.0e6,
+            queue_capacity: 512,
+        }
+    }
+}
+
+/// Per-socket statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SocketStats {
+    /// Datagrams delivered into the receive queue.
+    pub delivered: u64,
+    /// Datagrams dropped because the receive queue was full.
+    pub dropped_overflow: u64,
+    /// Datagrams dropped by an ingress rate limit.
+    pub dropped_ratelimit: u64,
+    /// Bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+/// Notification that packets reached a socket's receive queue during
+/// [`Network::step`]; the framework turns these into rx-thread jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// The receiving socket.
+    pub socket: SocketId,
+    /// Number of datagrams delivered this step.
+    pub count: usize,
+}
+
+#[derive(Debug)]
+struct Socket {
+    addr: Addr,
+    rx: VecDeque<Packet>,
+    rx_capacity: usize,
+    stats: SocketStats,
+}
+
+#[derive(Debug)]
+struct Link {
+    a: NsId,
+    b: NsId,
+    config: LinkConfig,
+    /// Packets queued for transmission, with the earliest time each may be
+    /// delivered (serialisation + latency), per direction.
+    queue_ab: VecDeque<(SimTime, Packet)>,
+    queue_ba: VecDeque<(SimTime, Packet)>,
+    /// Next instant the serialiser is free, per direction.
+    tx_free_ab: SimTime,
+    tx_free_ba: SimTime,
+    dropped_queue: u64,
+}
+
+/// The whole virtual network.
+///
+/// # Examples
+///
+/// ```
+/// use virt_net::net::{Addr, LinkConfig, Network};
+/// use sim_core::time::{SimDuration, SimTime};
+///
+/// let mut net = Network::new();
+/// let host = net.add_namespace("host");
+/// let cce = net.add_namespace("cce");
+/// net.connect(host, cce, LinkConfig::default());
+/// let rx = net.bind(cce, 14660).unwrap();
+/// let tx = net.bind(host, 5000).unwrap();
+/// net.send(tx, Addr { ns: cce, port: 14660 }, vec![1, 2, 3], SimTime::ZERO).unwrap();
+/// net.step(SimTime::from_millis(1));
+/// assert!(net.recv(rx).is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct Network {
+    namespaces: Vec<String>,
+    sockets: Vec<Socket>,
+    links: Vec<Link>,
+    /// DNAT rules: packets addressed to `key` are rewritten to `value`.
+    port_maps: HashMap<Addr, Addr>,
+    /// Ingress rate limits per destination endpoint.
+    rate_limits: HashMap<Addr, TokenBucket>,
+    now: SimTime,
+}
+
+/// Errors from socket operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// The port is already bound in this namespace.
+    PortInUse {
+        /// Conflicting namespace.
+        ns: NsId,
+        /// Conflicting port.
+        port: u16,
+    },
+    /// No route between the namespaces.
+    NoRoute {
+        /// Source namespace.
+        from: NsId,
+        /// Destination namespace.
+        to: NsId,
+    },
+    /// The socket id is stale.
+    BadSocket,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::PortInUse { ns, port } => {
+                write!(f, "port {port} already bound in namespace {}", ns.0)
+            }
+            NetError::NoRoute { from, to } => {
+                write!(f, "no route from namespace {} to {}", from.0, to.0)
+            }
+            NetError::BadSocket => write!(f, "socket does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Adds a namespace (a separate network stack).
+    pub fn add_namespace(&mut self, name: impl Into<String>) -> NsId {
+        let id = NsId(self.namespaces.len() as u32);
+        self.namespaces.push(name.into());
+        id
+    }
+
+    /// Connects two namespaces with a link (a veth pair over a bridge).
+    pub fn connect(&mut self, a: NsId, b: NsId, config: LinkConfig) {
+        self.links.push(Link {
+            a,
+            b,
+            config,
+            queue_ab: VecDeque::new(),
+            queue_ba: VecDeque::new(),
+            tx_free_ab: SimTime::ZERO,
+            tx_free_ba: SimTime::ZERO,
+            dropped_queue: 0,
+        });
+    }
+
+    /// Binds a UDP socket in `ns` on `port` with the default receive queue
+    /// (256 datagrams, like a small `SO_RCVBUF`).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::PortInUse`] if the port is taken in this namespace.
+    pub fn bind(&mut self, ns: NsId, port: u16) -> Result<SocketId, NetError> {
+        self.bind_with_capacity(ns, port, 256)
+    }
+
+    /// Binds with an explicit receive-queue capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::PortInUse`] if the port is taken in this namespace.
+    pub fn bind_with_capacity(
+        &mut self,
+        ns: NsId,
+        port: u16,
+        rx_capacity: usize,
+    ) -> Result<SocketId, NetError> {
+        let addr = Addr { ns, port };
+        if self.sockets.iter().any(|s| s.addr == addr) {
+            return Err(NetError::PortInUse { ns, port });
+        }
+        let id = SocketId(self.sockets.len() as u32);
+        self.sockets.push(Socket {
+            addr,
+            rx: VecDeque::new(),
+            rx_capacity,
+            stats: SocketStats::default(),
+        });
+        Ok(id)
+    }
+
+    /// Installs a DNAT rule: traffic to `from` is redirected to `to`
+    /// (Docker port mapping with hairpin NAT).
+    pub fn map_port(&mut self, from: Addr, to: Addr) {
+        self.port_maps.insert(from, to);
+    }
+
+    /// Installs an ingress rate limit (iptables `-m limit`) for traffic to
+    /// `dst`: at most `pps` packets/s with bursts of `burst`.
+    pub fn add_rate_limit(&mut self, dst: Addr, pps: f64, burst: f64) {
+        self.rate_limits.insert(dst, TokenBucket::new(pps, burst));
+    }
+
+    /// Removes the ingress rate limit on `dst`, if any.
+    pub fn remove_rate_limit(&mut self, dst: Addr) {
+        self.rate_limits.remove(&dst);
+    }
+
+    /// Sends a datagram from `socket` to `dst` at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadSocket`] for a stale socket id;
+    /// [`NetError::NoRoute`] if the namespaces are not linked.
+    pub fn send(
+        &mut self,
+        socket: SocketId,
+        dst: Addr,
+        payload: Vec<u8>,
+        now: SimTime,
+    ) -> Result<(), NetError> {
+        let src = self
+            .sockets
+            .get(socket.0 as usize)
+            .ok_or(NetError::BadSocket)?
+            .addr;
+        // DNAT before routing, as netfilter PREROUTING does.
+        let dst = self.port_maps.get(&dst).copied().unwrap_or(dst);
+
+        if src.ns == dst.ns {
+            // Loopback: deliver immediately on the next step.
+            let pkt = Packet {
+                src,
+                dst,
+                payload,
+                sent: now,
+            };
+            return self.deliver_local(pkt, now);
+        }
+
+        let link_idx = self
+            .links
+            .iter()
+            .position(|l| (l.a == src.ns && l.b == dst.ns) || (l.b == src.ns && l.a == dst.ns))
+            .ok_or(NetError::NoRoute {
+                from: src.ns,
+                to: dst.ns,
+            })?;
+
+        let link = &mut self.links[link_idx];
+        let forward = link.a == src.ns;
+        let (queue, tx_free) = if forward {
+            (&mut link.queue_ab, &mut link.tx_free_ab)
+        } else {
+            (&mut link.queue_ba, &mut link.tx_free_ba)
+        };
+
+        if queue.len() >= link.config.queue_capacity {
+            link.dropped_queue += 1;
+            return Ok(()); // UDP: silently dropped
+        }
+
+        // Serialisation: the transmitter is busy `len/bandwidth` per packet.
+        let ser = SimDuration::from_secs_f64(payload.len() as f64 / link.config.bandwidth);
+        let start = (*tx_free).max(now);
+        *tx_free = start + ser;
+        let arrival = *tx_free + link.config.latency;
+        queue.push_back((
+            arrival,
+            Packet {
+                src,
+                dst,
+                payload,
+                sent: now,
+            },
+        ));
+        Ok(())
+    }
+
+    fn deliver_local(&mut self, pkt: Packet, now: SimTime) -> Result<(), NetError> {
+        let dst = pkt.dst;
+        // Ingress rate limit.
+        if let Some(tb) = self.rate_limits.get_mut(&dst) {
+            if !tb.admit(now) {
+                if let Some(s) = self.sockets.iter_mut().find(|s| s.addr == dst) {
+                    s.stats.dropped_ratelimit += 1;
+                }
+                return Ok(());
+            }
+        }
+        if let Some(s) = self.sockets.iter_mut().find(|s| s.addr == dst) {
+            if s.rx.len() >= s.rx_capacity {
+                s.stats.dropped_overflow += 1;
+            } else {
+                s.stats.delivered += 1;
+                s.stats.bytes_delivered += pkt.payload.len() as u64;
+                s.rx.push_back(pkt);
+            }
+        }
+        // Unbound destination: datagram vanishes (ICMP unreachable ignored).
+        Ok(())
+    }
+
+    /// Advances the network to `target`, delivering due packets. Returns
+    /// one [`Delivery`] per socket that received datagrams.
+    pub fn step(&mut self, target: SimTime) -> Vec<Delivery> {
+        let mut delivered: HashMap<SocketId, usize> = HashMap::new();
+
+        for li in 0..self.links.len() {
+            for dir in 0..2 {
+                loop {
+                    let link = &mut self.links[li];
+                    let queue = if dir == 0 { &mut link.queue_ab } else { &mut link.queue_ba };
+                    match queue.front() {
+                        Some(&(arrival, _)) if arrival <= target => {
+                            let (arrival, pkt) = queue.pop_front().expect("peeked entry");
+                            let dst = pkt.dst;
+                            // Rate limit + receive-queue admission.
+                            let before: u64 = self
+                                .sockets
+                                .iter()
+                                .find(|s| s.addr == dst)
+                                .map(|s| s.stats.delivered)
+                                .unwrap_or(0);
+                            self.deliver_local(pkt, arrival).expect("local delivery");
+                            let after: u64 = self
+                                .sockets
+                                .iter()
+                                .find(|s| s.addr == dst)
+                                .map(|s| s.stats.delivered)
+                                .unwrap_or(0);
+                            if after > before {
+                                if let Some(idx) =
+                                    self.sockets.iter().position(|s| s.addr == dst)
+                                {
+                                    *delivered.entry(SocketId(idx as u32)).or_insert(0) += 1;
+                                }
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+
+        self.now = target;
+        let mut out: Vec<Delivery> = delivered
+            .into_iter()
+            .map(|(socket, count)| Delivery { socket, count })
+            .collect();
+        out.sort_by_key(|d| d.socket);
+        out
+    }
+
+    /// Pops the oldest datagram from a socket's receive queue.
+    pub fn recv(&mut self, socket: SocketId) -> Option<Packet> {
+        self.sockets.get_mut(socket.0 as usize)?.rx.pop_front()
+    }
+
+    /// Drains the entire receive queue of a socket.
+    pub fn recv_all(&mut self, socket: SocketId) -> Vec<Packet> {
+        match self.sockets.get_mut(socket.0 as usize) {
+            Some(s) => s.rx.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of datagrams waiting in a socket's receive queue.
+    pub fn rx_depth(&self, socket: SocketId) -> usize {
+        self.sockets.get(socket.0 as usize).map_or(0, |s| s.rx.len())
+    }
+
+    /// Statistics of a socket.
+    pub fn socket_stats(&self, socket: SocketId) -> SocketStats {
+        self.sockets
+            .get(socket.0 as usize)
+            .map(|s| s.stats)
+            .unwrap_or_default()
+    }
+
+    /// The endpoint a socket is bound to.
+    pub fn socket_addr(&self, socket: SocketId) -> Option<Addr> {
+        self.sockets.get(socket.0 as usize).map(|s| s.addr)
+    }
+
+    /// Total packets dropped on link transmit queues.
+    pub fn link_drops(&self) -> u64 {
+        self.links.iter().map(|l| l.dropped_queue).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Network, NsId, NsId) {
+        let mut net = Network::new();
+        let host = net.add_namespace("host");
+        let cce = net.add_namespace("cce");
+        net.connect(host, cce, LinkConfig::default());
+        (net, host, cce)
+    }
+
+    #[test]
+    fn datagram_arrives_after_latency() {
+        let (mut net, host, cce) = pair();
+        let rx = net.bind(cce, 14660).unwrap();
+        let tx = net.bind(host, 9000).unwrap();
+        net.send(tx, Addr { ns: cce, port: 14660 }, vec![0; 52], SimTime::ZERO)
+            .unwrap();
+        // Before the latency elapses: nothing.
+        assert!(net.step(SimTime::from_micros(10)).is_empty());
+        // After: exactly one delivery.
+        let deliveries = net.step(SimTime::from_micros(200));
+        assert_eq!(deliveries, vec![Delivery { socket: rx, count: 1 }]);
+        let pkt = net.recv(rx).unwrap();
+        assert_eq!(pkt.payload.len(), 52);
+        assert!(net.recv(rx).is_none());
+    }
+
+    #[test]
+    fn double_bind_fails() {
+        let (mut net, host, _) = pair();
+        net.bind(host, 14600).unwrap();
+        assert_eq!(
+            net.bind(host, 14600),
+            Err(NetError::PortInUse { ns: host, port: 14600 })
+        );
+    }
+
+    #[test]
+    fn no_route_is_reported() {
+        let mut net = Network::new();
+        let a = net.add_namespace("a");
+        let b = net.add_namespace("b"); // not connected
+        let tx = net.bind(a, 1).unwrap();
+        let err = net
+            .send(tx, Addr { ns: b, port: 2 }, vec![], SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, NetError::NoRoute { from: a, to: b });
+    }
+
+    #[test]
+    fn port_mapping_redirects() {
+        let (mut net, host, cce) = pair();
+        // Docker-style: host:14660 maps into the container.
+        net.map_port(
+            Addr { ns: host, port: 14660 },
+            Addr { ns: cce, port: 14660 },
+        );
+        let rx = net.bind(cce, 14660).unwrap();
+        let tx = net.bind(host, 9000).unwrap();
+        net.send(tx, Addr { ns: host, port: 14660 }, vec![1], SimTime::ZERO)
+            .unwrap();
+        net.step(SimTime::from_millis(1));
+        assert_eq!(net.socket_stats(rx).delivered, 1);
+    }
+
+    #[test]
+    fn receive_queue_overflows_under_flood() {
+        let (mut net, host, cce) = pair();
+        let rx = net.bind_with_capacity(host, 14600, 64).unwrap();
+        let tx = net.bind(cce, 9000).unwrap();
+        // Flood 1000 packets in one instant; link queue 512, rx queue 64.
+        for _ in 0..1000 {
+            net.send(tx, Addr { ns: host, port: 14600 }, vec![0; 64], SimTime::ZERO)
+                .unwrap();
+        }
+        net.step(SimTime::from_secs(1));
+        let stats = net.socket_stats(rx);
+        assert_eq!(stats.delivered, 64);
+        assert!(stats.dropped_overflow > 0);
+        assert!(net.link_drops() >= 1000 - 512 - 64);
+    }
+
+    #[test]
+    fn rate_limit_drops_excess() {
+        let (mut net, host, cce) = pair();
+        let rx = net.bind(host, 14600).unwrap();
+        let tx = net.bind(cce, 9000).unwrap();
+        net.add_rate_limit(Addr { ns: host, port: 14600 }, 100.0, 10.0);
+        // Offer 1000 packets spread over one second.
+        let mut t = SimTime::ZERO;
+        for _ in 0..1000 {
+            net.send(tx, Addr { ns: host, port: 14600 }, vec![0; 29], t)
+                .unwrap();
+            t += SimDuration::from_millis(1);
+            net.step(t);
+            // Drain rx so overflow never interferes with the rate limit.
+            let _ = net.recv_all(rx);
+        }
+        let stats = net.socket_stats(rx);
+        assert!(
+            (100..=140).contains(&(stats.delivered as i64)),
+            "delivered {}",
+            stats.delivered
+        );
+        assert!(stats.dropped_ratelimit >= 850, "{}", stats.dropped_ratelimit);
+    }
+
+    #[test]
+    fn bandwidth_serialisation_delays_bulk_traffic() {
+        let mut net = Network::new();
+        let a = net.add_namespace("a");
+        let b = net.add_namespace("b");
+        net.connect(
+            a,
+            b,
+            LinkConfig {
+                latency: SimDuration::ZERO,
+                bandwidth: 1.0e6, // 1 MB/s
+                queue_capacity: 1024,
+            },
+        );
+        let rx = net.bind(b, 1).unwrap();
+        let tx = net.bind(a, 2).unwrap();
+        // 100 × 10 kB = 1 MB: takes a full second to serialise.
+        for _ in 0..100 {
+            net.send(tx, Addr { ns: b, port: 1 }, vec![0; 10_000], SimTime::ZERO)
+                .unwrap();
+        }
+        net.step(SimTime::from_millis(500));
+        let halfway = net.socket_stats(rx).delivered;
+        assert!((45..=55).contains(&(halfway as i64)), "halfway {halfway}");
+        net.step(SimTime::from_secs(2));
+        assert_eq!(net.socket_stats(rx).delivered, 100);
+    }
+
+    #[test]
+    fn loopback_delivery_within_namespace() {
+        let (mut net, host, _) = pair();
+        let rx = net.bind(host, 7).unwrap();
+        let tx = net.bind(host, 8).unwrap();
+        net.send(tx, Addr { ns: host, port: 7 }, vec![9], SimTime::ZERO)
+            .unwrap();
+        // Loopback is immediate.
+        assert_eq!(net.socket_stats(rx).delivered, 1);
+    }
+
+    #[test]
+    fn deliveries_are_deterministic_and_sorted() {
+        let (mut net, host, cce) = pair();
+        let rx1 = net.bind(host, 1).unwrap();
+        let rx2 = net.bind(host, 2).unwrap();
+        let tx = net.bind(cce, 9).unwrap();
+        for port in [2u16, 1, 2, 1, 2] {
+            net.send(tx, Addr { ns: host, port }, vec![0], SimTime::ZERO)
+                .unwrap();
+        }
+        let d = net.step(SimTime::from_millis(1));
+        assert_eq!(
+            d,
+            vec![
+                Delivery { socket: rx1, count: 2 },
+                Delivery { socket: rx2, count: 3 }
+            ]
+        );
+    }
+}

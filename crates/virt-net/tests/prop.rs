@@ -1,0 +1,138 @@
+//! Property-based tests for the virtual network: packet conservation,
+//! rate-limit ceilings, and per-flow FIFO ordering under arbitrary traffic.
+
+use proptest::prelude::*;
+use sim_core::time::{SimDuration, SimTime};
+use virt_net::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every datagram sent is accounted for exactly once: delivered,
+    /// dropped by the rate limit, dropped by the receive queue, or dropped
+    /// at the link transmit queue.
+    #[test]
+    fn packet_conservation(
+        sends in prop::collection::vec((0u64..200_000, 1usize..200), 1..200),
+        rx_cap in 1usize..128,
+        limit in prop::option::of((50.0f64..2000.0, 1.0f64..64.0)),
+    ) {
+        let mut net = Network::new();
+        let host = net.add_namespace("host");
+        let cce = net.add_namespace("cce");
+        net.connect(host, cce, LinkConfig::default());
+        let rx = net.bind_with_capacity(host, 14600, rx_cap).unwrap();
+        let tx = net.bind(cce, 9000).unwrap();
+        if let Some((pps, burst)) = limit {
+            net.add_rate_limit(Addr { ns: host, port: 14600 }, pps, burst);
+        }
+
+        let mut sent = 0u64;
+        let mut order: Vec<(u64, usize)> = sends;
+        order.sort_by_key(|&(t, _)| t);
+        for (t_us, size) in order {
+            let t = SimTime::from_micros(t_us);
+            net.step(t);
+            net.send(tx, Addr { ns: host, port: 14600 }, vec![0u8; size], t).unwrap();
+            sent += 1;
+        }
+        net.step(SimTime::from_secs(10)); // drain everything
+        let stats = net.socket_stats(rx);
+        let accounted = stats.delivered
+            + stats.dropped_ratelimit
+            + stats.dropped_overflow
+            + net.link_drops();
+        prop_assert_eq!(accounted, sent, "conservation: {:?}", stats);
+        // Receive queue never exceeds its capacity.
+        prop_assert!(net.rx_depth(rx) <= rx_cap);
+    }
+
+    /// The token bucket never admits more than burst + rate × duration.
+    #[test]
+    fn rate_limit_ceiling(
+        pps in 100.0f64..5000.0,
+        burst in 1.0f64..100.0,
+        offered_per_ms in 1usize..40,
+    ) {
+        let mut net = Network::new();
+        let host = net.add_namespace("host");
+        let cce = net.add_namespace("cce");
+        net.connect(host, cce, LinkConfig::default());
+        let rx = net.bind_with_capacity(host, 1, 1_000_000).unwrap();
+        let tx = net.bind(cce, 2).unwrap();
+        net.add_rate_limit(Addr { ns: host, port: 1 }, pps, burst);
+
+        let duration_ms = 500u64;
+        for ms in 0..duration_ms {
+            let t = SimTime::from_millis(ms);
+            for _ in 0..offered_per_ms {
+                net.send(tx, Addr { ns: host, port: 1 }, vec![0u8; 32], t).unwrap();
+            }
+            net.step(t + SimDuration::from_micros(999));
+        }
+        net.step(SimTime::from_secs(5));
+        let delivered = net.socket_stats(rx).delivered as f64;
+        let ceiling = burst + pps * (duration_ms as f64 / 1000.0) + 1.0;
+        prop_assert!(
+            delivered <= ceiling,
+            "delivered {delivered} exceeds ceiling {ceiling}"
+        );
+    }
+
+    /// Datagrams of one flow arrive in the order they were sent.
+    #[test]
+    fn per_flow_fifo(count in 2usize..100, gap_us in 0u64..500) {
+        let mut net = Network::new();
+        let host = net.add_namespace("host");
+        let cce = net.add_namespace("cce");
+        net.connect(host, cce, LinkConfig::default());
+        let rx = net.bind_with_capacity(host, 1, 4096).unwrap();
+        let tx = net.bind(cce, 2).unwrap();
+        for i in 0..count {
+            let t = SimTime::from_micros(i as u64 * gap_us);
+            net.step(t);
+            net.send(
+                tx,
+                Addr { ns: host, port: 1 },
+                (i as u32).to_le_bytes().to_vec(),
+                t,
+            )
+            .unwrap();
+        }
+        net.step(SimTime::from_secs(10));
+        let mut prev = None;
+        while let Some(pkt) = net.recv(rx) {
+            let seq = u32::from_le_bytes(pkt.payload[..4].try_into().unwrap());
+            if let Some(p) = prev {
+                prop_assert!(seq > p, "out of order: {seq} after {p}");
+            }
+            prev = Some(seq);
+        }
+        prop_assert_eq!(prev, Some(count as u32 - 1));
+    }
+
+    /// Below-limit, below-capacity traffic is delivered losslessly.
+    #[test]
+    fn polite_traffic_is_lossless(count in 1usize..200) {
+        let mut net = Network::new();
+        let host = net.add_namespace("host");
+        let cce = net.add_namespace("cce");
+        net.connect(host, cce, LinkConfig::default());
+        let rx = net.bind_with_capacity(host, 1, 512).unwrap();
+        let tx = net.bind(cce, 2).unwrap();
+        net.add_rate_limit(Addr { ns: host, port: 1 }, 2000.0, 100.0);
+        for i in 0..count {
+            // 1 kHz offered against a 2 kHz limit; drain as we go.
+            let t = SimTime::from_millis(i as u64);
+            net.send(tx, Addr { ns: host, port: 1 }, vec![7u8; 29], t).unwrap();
+            net.step(t + SimDuration::from_micros(900));
+            let _ = net.recv_all(rx);
+        }
+        net.step(SimTime::from_secs(5));
+        let _ = net.recv_all(rx);
+        let stats = net.socket_stats(rx);
+        prop_assert_eq!(stats.delivered as usize, count);
+        prop_assert_eq!(stats.dropped_ratelimit, 0);
+        prop_assert_eq!(stats.dropped_overflow, 0);
+    }
+}

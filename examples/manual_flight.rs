@@ -1,0 +1,89 @@
+//! Flying the autopilot stack directly — the paper's experiment procedure:
+//! "the drone operator first flies the drone to a safe height in manual
+//! mode and then switches to position control mode."
+//!
+//! This bypasses the scenario runner and drives the flight controller and
+//! physics by hand, which is the entry point for anyone wanting to reuse
+//! the autopilot/dynamics crates standalone.
+//!
+//! ```text
+//! cargo run --release --example manual_flight
+//! ```
+
+use containerdrone::prelude::*;
+use containerdrone::sim::time::{SimDuration, SimTime};
+
+fn main() {
+    let mut world = World::new(WorldConfig::default(), 7);
+    let mut fc = FlightController::new(world.quad_params(), ControlGains::complex());
+
+    // Phase 1: manual (stabilized) takeoff — the operator pushes throttle
+    // slightly above hover and keeps the sticks level.
+    fc.set_sticks(StickInput {
+        roll: 0.0,
+        pitch: 0.0,
+        yaw_rate: 0.0,
+        thrust: world.quad_params().hover_command() * 1.18,
+    });
+
+    let dt = SimDuration::from_micros(250);
+    let sensor_period = SimDuration::from_hz(250.0);
+    let rate_period = SimDuration::from_hz(400.0);
+    let fix_period = SimDuration::from_hz(10.0);
+    let mut t = SimTime::ZERO;
+    let (mut next_sensor, mut next_rate, mut next_fix) = (t, t, t);
+    let mut switched = false;
+
+    while t < SimTime::from_secs(25) && world.crash().is_none() {
+        if t >= next_sensor {
+            fc.on_imu(&world.sample_imu());
+            fc.run_outer(t);
+            next_sensor += sensor_period;
+        }
+        if t >= next_fix {
+            fc.on_position_fix(&world.sample_position());
+            next_fix += fix_period;
+        }
+        if t >= next_rate {
+            world.set_motor_pwm(fc.run_rate_loop(t));
+            next_rate += rate_period;
+        }
+
+        // Phase 2: at a safe height, switch to position mode; PX4-style,
+        // the setpoint re-centres where the vehicle is.
+        if !switched && world.truth().altitude() > 1.0 {
+            fc.set_mode(FlightMode::Position);
+            switched = true;
+            println!(
+                "{:>5.2} s: switched to position mode at altitude {:.2} m",
+                t.as_secs_f64(),
+                world.truth().altitude()
+            );
+            // Phase 3: fly a small mission.
+            fc.set_mission(vec![
+                Waypoint { position: Vec3::new(1.5, 0.0, -1.5), yaw: 0.0, tolerance: 0.3 },
+                Waypoint { position: Vec3::new(1.5, 1.5, -2.0), yaw: 0.0, tolerance: 0.3 },
+                Waypoint { position: Vec3::new(0.0, 0.0, -1.0), yaw: 0.0, tolerance: 0.3 },
+            ]);
+        }
+
+        t += dt;
+        world.advance_to(t);
+        if t.as_millis().is_multiple_of(5000) && t.as_micros() % 1_000_000 < 250 {
+            let p = world.truth().position;
+            println!(
+                "{:>5.2} s: pos ({:+.2}, {:+.2}, {:+.2}), waypoint {}/3",
+                t.as_secs_f64(),
+                p.x,
+                p.y,
+                p.z,
+                fc.mission_progress()
+            );
+        }
+    }
+
+    assert!(world.crash().is_none(), "flight must not crash");
+    assert_eq!(fc.mission_progress(), 3, "mission must complete");
+    println!("mission complete, hovering at ({:+.2}, {:+.2}, {:+.2})",
+        world.truth().position.x, world.truth().position.y, world.truth().position.z);
+}

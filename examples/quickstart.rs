@@ -1,0 +1,49 @@
+//! Quickstart: assemble the ContainerDrone framework, fly a healthy
+//! 30-second hover, and inspect what the system did.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use containerdrone::prelude::*;
+use containerdrone::sim::time::SimTime;
+
+fn main() {
+    // The default scenario is the paper's setup: complex controller in the
+    // container flying in position mode, safety controller hot standby,
+    // all three protections (cpuset, MemGuard, iptables) enabled.
+    let config = ScenarioConfig::healthy();
+    println!(
+        "flying {}s hover at ({:.1}, {:.1}, {:.1}) NED, seed {}",
+        config.duration.as_secs_f64(),
+        config.hover.x,
+        config.hover.y,
+        config.hover.z,
+        config.seed
+    );
+
+    let result = Scenario::new(config).run();
+
+    println!("\n== outcome ==");
+    print!("{}", result.summary());
+
+    println!("== Table I streams (measured) ==");
+    for s in &result.streams {
+        println!(
+            "  {:<13} {:<9} {:6.1} Hz  {:3.0} B  port {}",
+            s.name, s.direction, s.measured_hz, s.frame_bytes, s.port
+        );
+    }
+
+    println!("\n== flight quality ==");
+    let dev = result.max_deviation(SimTime::from_secs(2), SimTime::from_secs(30));
+    println!("  max deviation from setpoint: {dev:.3} m");
+    for (name, stats) in &result.task_report {
+        println!(
+            "  {:<18} {:>6} jobs, {:>3} skips, worst response {}",
+            name, stats.completions, stats.skips, stats.response_max
+        );
+    }
+
+    assert!(!result.crashed());
+}

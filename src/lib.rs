@@ -1,0 +1,51 @@
+//! **ContainerDrone** — a container-based DoS-attack-resilient control
+//! framework for real-time UAV systems.
+//!
+//! Facade crate re-exporting the whole workspace. Reproduction of
+//! Chen, Feng, Wen, Liu and Sha, *"A Container-based DoS Attack-Resilient
+//! Control Framework for Real-Time UAV Systems"*, DATE 2019.
+//!
+//! | Crate | Role |
+//! |-------|------|
+//! | [`framework`] (`containerdrone-core`) | HCE/CCE assembly, security monitor, Simplex switching, scenarios |
+//! | [`autopilot`] | PX4-like cascaded flight control (complex + safety controllers) |
+//! | [`dynamics`] (`uav-dynamics`) | 6-DOF quadrotor, sensors, environment, crash detection |
+//! | [`protocol`] (`mavlink-lite`) | MAVLink-v1-style framing and the Table I message set |
+//! | [`sched`] (`rt-sched`) | Multicore RT scheduler with cgroups and accounting |
+//! | [`memory`] (`membw`) | Shared DRAM contention model + MemGuard |
+//! | [`network`] (`virt-net`) | Namespaced UDP stack with iptables-style rate limiting |
+//! | [`containers`] (`container-rt`) | Docker-like container runtime + QEMU-like VM model |
+//! | [`attacks`] | Memory hog, UDP flood, CPU hog, controller-kill attacks |
+//! | [`sim`] (`sim-core`) | Deterministic time, RNG, events, recording |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use containerdrone::prelude::*;
+//! use containerdrone::sim::time::SimDuration;
+//!
+//! let cfg = ScenarioConfig::healthy().with_duration(SimDuration::from_secs(2));
+//! let result = Scenario::new(cfg).run();
+//! assert!(!result.crashed());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use attacks;
+pub use autopilot;
+pub use container_rt as containers;
+pub use containerdrone_core as framework;
+pub use mavlink_lite as protocol;
+pub use membw as memory;
+pub use rt_sched as sched;
+pub use sim_core as sim;
+pub use uav_dynamics as dynamics;
+pub use virt_net as network;
+
+/// The most commonly used types across the workspace.
+pub mod prelude {
+    pub use attacks::prelude::*;
+    pub use autopilot::prelude::*;
+    pub use containerdrone_core::prelude::*;
+    pub use uav_dynamics::prelude::*;
+}

@@ -1,0 +1,148 @@
+//! End-to-end reproduction tests for the paper's Figures 4–7.
+//!
+//! Each test runs the exact scenario preset the bench harness uses and
+//! asserts the *shape* of the paper's result: who crashes, who recovers,
+//! which mechanism fires, and in which order.
+
+use containerdrone::framework::{OutputSource, Scenario, ScenarioConfig};
+use containerdrone::sim::time::SimTime;
+
+#[test]
+fn fig4_memory_attack_without_memguard_crashes() {
+    let result = Scenario::new(ScenarioConfig::fig4()).run();
+    let attack = result.attack_onset.expect("fig4 has an attack");
+
+    // Healthy before the attack.
+    let pre = result.max_deviation(SimTime::from_secs(2), attack);
+    assert!(pre < 0.2, "pre-attack deviation {pre} m");
+
+    // Crash after it — the paper's drone "crashes shortly after".
+    let crash = result.crash.expect("fig4 must crash");
+    assert!(crash.time > attack, "crash follows the attack");
+
+    // The flight stack was starved: massive overruns on the HCE pilot task.
+    let stack = result
+        .task_report
+        .iter()
+        .find(|(name, _)| name == "hce-flight-stack")
+        .expect("flight stack task exists");
+    assert!(stack.1.skips > 1000, "stack skips {}", stack.1.skips);
+}
+
+#[test]
+fn fig5_memory_attack_with_memguard_survives() {
+    let result = Scenario::new(ScenarioConfig::fig5()).run();
+    let attack = result.attack_onset.unwrap();
+
+    assert!(!result.crashed(), "MemGuard must keep the drone alive");
+    // "The drone oscillates for a short time but then managed to stabilize
+    // itself": bounded deviation throughout the attack.
+    let post = result.max_deviation(attack, SimTime::from_secs(30));
+    assert!(post < 0.5, "post-attack deviation {post} m");
+
+    // The flight stack keeps (essentially) its full rate.
+    let stack = result
+        .task_report
+        .iter()
+        .find(|(name, _)| name == "hce-flight-stack")
+        .unwrap();
+    assert!(stack.1.skips < 50, "stack skips {}", stack.1.skips);
+}
+
+#[test]
+fn fig4_vs_fig5_is_the_memguard_differential() {
+    // The scientific claim: same attack, same calibration, the only change
+    // is MemGuard — and it flips the outcome.
+    let without = Scenario::new(ScenarioConfig::fig4()).run();
+    let with = Scenario::new(ScenarioConfig::fig5()).run();
+    assert!(without.crashed());
+    assert!(!with.crashed());
+}
+
+#[test]
+fn fig6_controller_kill_triggers_interval_rule_and_recovery() {
+    let result = Scenario::new(ScenarioConfig::fig6()).run();
+    let attack = result.attack_onset.unwrap();
+
+    assert!(!result.crashed(), "safety controller must save the drone");
+
+    // The receive-interval rule fires (the paper: "detects that the output
+    // from CCE has not been received for some time").
+    let switch = result.switch_time.expect("simplex switch must happen");
+    assert!(switch > attack);
+    assert!(
+        switch < attack + containerdrone::sim::time::SimDuration::from_secs(1),
+        "detection within the interval threshold"
+    );
+    assert_eq!(result.monitor_events[0].rule, "receive-interval");
+
+    // Visible excursion while commands were stale, then recovery: the last
+    // five seconds are back near the setpoint.
+    let excursion = result.max_deviation(attack, switch + containerdrone::sim::time::SimDuration::from_secs(3));
+    assert!(excursion > 0.1, "kill must visibly disturb the drone, got {excursion}");
+    let settled = result.max_deviation(SimTime::from_secs(25), SimTime::from_secs(30));
+    assert!(settled < 0.25, "recovered deviation {settled} m");
+
+    // After the switch the safety controller owns the actuators.
+    let source = result
+        .telemetry
+        .signal("source")
+        .unwrap()
+        .value_at(SimTime::from_secs(29))
+        .unwrap();
+    assert_eq!(source, 1.0, "safety controller active at the end");
+}
+
+#[test]
+fn fig7_udp_flood_triggers_switch_and_recovery() {
+    let result = Scenario::new(ScenarioConfig::fig7()).run();
+    let attack = result.attack_onset.unwrap();
+
+    assert!(!result.crashed(), "drone recovers from the flood");
+    let switch = result.switch_time.expect("flood must trip the monitor");
+    assert!(switch > attack);
+
+    // The flood really flooded: far more packets offered than legitimate
+    // traffic, with drops at the rate limiter.
+    assert!(result.flood_sent > 10_000, "flood sent {}", result.flood_sent);
+    assert!(
+        result.rx_socket_stats.dropped_ratelimit > 1_000,
+        "iptables dropped {}",
+        result.rx_socket_stats.dropped_ratelimit
+    );
+
+    // Recovery at the end.
+    let settled = result.max_deviation(SimTime::from_secs(25), SimTime::from_secs(30));
+    assert!(settled < 0.25, "recovered deviation {settled} m");
+}
+
+#[test]
+fn healthy_flight_stays_on_station_with_complex_controller() {
+    let result = Scenario::new(ScenarioConfig::healthy()).run();
+    assert!(!result.crashed());
+    assert!(result.switch_time.is_none(), "no spurious failover");
+    let dev = result.max_deviation(SimTime::from_secs(2), SimTime::from_secs(30));
+    assert!(dev < 0.15, "healthy deviation {dev} m");
+    // The complex controller stays in charge throughout.
+    let source = result
+        .telemetry
+        .signal("source")
+        .unwrap()
+        .values()
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max);
+    assert_eq!(source, 0.0);
+    let _ = OutputSource::Complex; // (type used in assertions above)
+}
+
+#[test]
+fn fig6_excursion_is_larger_than_healthy_wobble() {
+    // The paper's Fig 6 shows a pronounced excursion between the kill and
+    // re-stabilization; make sure ours is distinguishable from noise.
+    let healthy = Scenario::new(ScenarioConfig::healthy()).run();
+    let fig6 = Scenario::new(ScenarioConfig::fig6()).run();
+    let h = healthy.max_deviation(SimTime::from_secs(10), SimTime::from_secs(20));
+    let k = fig6.max_deviation(SimTime::from_secs(12), SimTime::from_secs(20));
+    assert!(k > 3.0 * h, "kill excursion {k} vs healthy wobble {h}");
+}

@@ -1,0 +1,99 @@
+//! Ablation tests: each protection mechanism individually carries its
+//! weight (the design-choice validations DESIGN.md commits to).
+
+use containerdrone::attacks::CpuHog;
+use containerdrone::framework::{Attack, Scenario, ScenarioConfig};
+use containerdrone::sim::time::SimTime;
+
+#[test]
+fn cpu_hog_confined_by_container_is_harmless() {
+    let cfg = ScenarioConfig {
+        attack: Attack::CpuHog {
+            at: SimTime::from_secs(8),
+            hog: CpuHog::aggressive(),
+        },
+        ..ScenarioConfig::healthy()
+    };
+    let result = Scenario::new(cfg).run();
+    assert!(!result.crashed(), "confined CPU hog must not hurt the HCE");
+    // The safety/driver tasks never miss.
+    for (name, stats) in &result.task_report {
+        if name == "sensor-driver" || name == "motor-driver" || name == "safety-controller" {
+            assert_eq!(stats.skips, 0, "{name} skipped {} jobs", stats.skips);
+        }
+    }
+}
+
+#[test]
+fn cpu_hog_unconfined_with_rt_priority_starves_the_hce() {
+    // Ablation: drop the cpuset + no-RT restrictions. Four FIFO-95
+    // spinners outrank the FIFO-20 safety controller everywhere.
+    let mut cfg = ScenarioConfig {
+        attack: Attack::CpuHog {
+            at: SimTime::from_secs(8),
+            hog: CpuHog::aggressive(),
+        },
+        ..ScenarioConfig::healthy()
+    };
+    cfg.framework.protections.cpu_isolation = false;
+    let result = Scenario::new(cfg).run();
+    let safety = result
+        .task_report
+        .iter()
+        .find(|(n, _)| n == "safety-controller")
+        .expect("safety controller runs in simplex mode");
+    assert!(
+        safety.1.skips > 1000,
+        "unconfined RT hog must starve the safety controller, skips {}",
+        safety.1.skips
+    );
+}
+
+#[test]
+fn monitor_disabled_leaves_controller_kill_unanswered() {
+    // Ablation: without the security monitor, the fig6 attack leaves the
+    // vehicle on stale commands forever.
+    let mut cfg = ScenarioConfig::fig6();
+    cfg.framework.protections.monitor = false;
+    let result = Scenario::new(cfg).run();
+    assert!(result.switch_time.is_none(), "no monitor, no switch");
+    assert!(
+        result.crashed(),
+        "stale actuator commands must end in a crash without the monitor"
+    );
+}
+
+#[test]
+fn iptables_bounds_rx_thread_cpu_load() {
+    // With the rate limit, the rx thread processes at most ~iptables_pps
+    // jobs/s; without it, the full flood hits the CPU.
+    let with = Scenario::new(ScenarioConfig::fig7()).run();
+    let mut cfg = ScenarioConfig::fig7();
+    cfg.framework.protections.iptables = false;
+    let without = Scenario::new(cfg).run();
+
+    let rx_busy = |r: &containerdrone::framework::ScenarioResult| {
+        r.task_report
+            .iter()
+            .find(|(n, _)| n == "rx-thread")
+            .map(|(_, s)| s.busy_time)
+            .unwrap()
+    };
+    assert!(
+        rx_busy(&without) > rx_busy(&with) * 3,
+        "unlimited flood must cost far more rx CPU: {} vs {}",
+        rx_busy(&without),
+        rx_busy(&with)
+    );
+    // Both still survive thanks to the monitor — defense in depth.
+    assert!(!with.crashed() && !without.crashed());
+}
+
+#[test]
+fn flood_garbage_is_rejected_by_the_parser_not_the_controller() {
+    let result = Scenario::new(ScenarioConfig::fig7()).run();
+    // Every flood datagram that reached the rx thread was skipped as
+    // garbage; no frame ever decoded from attack bytes.
+    assert!(result.hce_parser_stats.bytes_skipped > 0);
+    assert_eq!(result.hce_parser_stats.crc_errors, 0, "zeros never fake a CRC");
+}

@@ -1,0 +1,70 @@
+//! Extension experiment: command spoofing — a protocol-valid attack that
+//! only the *attitude-error* rule can catch (the detection mechanism the
+//! paper reports for its Figure 7), plus the worst-case variant that
+//! demonstrates the Simplex detection-latency limitation.
+
+use containerdrone::framework::{Scenario, ScenarioConfig};
+use containerdrone::sim::time::{SimDuration, SimTime};
+
+#[test]
+fn spoofed_commands_trip_the_attitude_rule_and_recover() {
+    let result = Scenario::new(ScenarioConfig::spoof()).run();
+    let attack = result.attack_onset.unwrap();
+
+    // The forged frames are protocol-perfect: no CRC rejections, and the
+    // receive-interval rule has nothing to complain about.
+    assert_eq!(result.hce_parser_stats.crc_errors, 0);
+
+    // The hostile commands physically upset the vehicle; the monitor's
+    // *physical-state* rule catches it.
+    let switch = result.switch_time.expect("monitor must switch");
+    assert!(switch > attack);
+    assert_eq!(
+        result.monitor_events[0].rule, "attitude-error",
+        "only the attitude rule can see a protocol-valid attack: {:?}",
+        result.monitor_events
+    );
+
+    // Safety controller recovers the vehicle.
+    assert!(!result.crashed(), "safety controller must save the drone");
+    let settled = result.max_deviation(SimTime::from_secs(25), SimTime::from_secs(30));
+    assert!(settled < 0.3, "recovered deviation {settled}");
+
+    // And the upset was violent while it lasted.
+    let upset = result.max_deviation(attack, SimTime::from_secs(30));
+    assert!(upset > 0.2, "spoof must visibly upset the drone, got {upset}");
+}
+
+#[test]
+fn spoof_detection_is_faster_than_the_interval_timeout() {
+    // The attitude rule reacts before the 600 ms interval timeout ever
+    // could — the monitor's two rules complement each other.
+    let result = Scenario::new(ScenarioConfig::spoof()).run();
+    let attack = result.attack_onset.unwrap();
+    let switch = result.switch_time.unwrap();
+    let latency = switch.saturating_since(attack);
+    assert!(latency < SimDuration::from_millis(600), "latency {latency}");
+}
+
+#[test]
+fn violent_spoof_outruns_detection_latency() {
+    // The Simplex limitation: a full-authority spoof from a 1 m hover
+    // flips the vehicle faster than the stock attitude rule (20°, 250 ms
+    // persistence) can confirm a violation — the monitor *does* fire, but
+    // the crash precedes recovery. Detection must race physics.
+    let result = Scenario::new(ScenarioConfig::spoof_violent()).run();
+    assert!(result.crashed(), "worst-case spoof at low altitude crashes");
+    let crash = result.crash.unwrap();
+    assert_eq!(
+        result.monitor_events[0].rule, "attitude-error",
+        "the rule still detects the upset"
+    );
+    // The violation confirmation comes too late.
+    if let Some(switch) = result.switch_time {
+        assert!(
+            switch + SimDuration::from_millis(500) > crash.time,
+            "crash {} vs switch {switch}",
+            crash.time
+        );
+    }
+}

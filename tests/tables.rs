@@ -1,0 +1,102 @@
+//! End-to-end reproduction tests for the paper's Tables I and II.
+
+use containerdrone::containers::{spawn_system_background, Container, ContainerConfig, Vm, VmConfig};
+use containerdrone::framework::{Scenario, ScenarioConfig};
+use containerdrone::sched::{Machine, MachineConfig};
+use containerdrone::sim::time::{SimDuration, SimTime};
+use virt_net::net::Network;
+
+#[test]
+fn table1_stream_rates_sizes_and_ports() {
+    let result = Scenario::new(ScenarioConfig::healthy().with_duration(SimDuration::from_secs(10))).run();
+
+    // Expected rows straight from Table I of the paper.
+    let expected: &[(&str, f64, f64, u16)] = &[
+        ("IMU", 250.0, 52.0, 14660),
+        ("Barometer", 50.0, 32.0, 14660),
+        ("GPS", 10.0, 44.0, 14660),
+        ("RC", 50.0, 50.0, 14660),
+        ("Motor Output", 400.0, 29.0, 14600),
+    ];
+    for (name, rate, size, port) in expected {
+        let row = result
+            .streams
+            .iter()
+            .find(|s| s.name == *name)
+            .unwrap_or_else(|| panic!("stream {name} missing"));
+        assert!(
+            (row.measured_hz - rate).abs() / rate < 0.02,
+            "{name}: measured {} Hz vs nominal {rate} Hz",
+            row.measured_hz
+        );
+        assert_eq!(row.frame_bytes, *size, "{name} frame size");
+        assert_eq!(row.port, *port, "{name} port");
+    }
+}
+
+/// Measures per-core idle rates over 5 s after 1 s of warm-up, the way the
+/// paper's Table II does.
+fn measure_idle(setup: impl FnOnce(&mut Machine, &mut Network)) -> Vec<f64> {
+    let mut machine = Machine::new(MachineConfig::default());
+    let mut net = Network::new();
+    spawn_system_background(&mut machine);
+    setup(&mut machine, &mut net);
+    let mut ev = Vec::new();
+    machine.step_until(SimTime::from_secs(1), &mut ev);
+    machine.reset_accounting();
+    machine.step_until(SimTime::from_secs(6), &mut ev);
+    machine.idle_rates()
+}
+
+#[test]
+fn table2_idle_rate_ordering_native_container_vm() {
+    let native = measure_idle(|_, _| {});
+    let container = measure_idle(|m, n| {
+        let host = n.add_namespace("host");
+        let _c = Container::create(m, n, host, ContainerConfig::cce(3));
+    });
+    let vm = measure_idle(|m, _| {
+        Vm::start(m, VmConfig::default());
+    });
+
+    // Shape of Table II: container ≈ native ≫ VM, on every core.
+    for core in 0..4 {
+        assert!(
+            (native[core] - container[core]).abs() < 0.02,
+            "core {core}: container {} vs native {}",
+            container[core],
+            native[core]
+        );
+        assert!(
+            vm[core] < container[core] - 0.05,
+            "core {core}: vm {} must idle much less than container {}",
+            vm[core],
+            container[core]
+        );
+    }
+
+    // Calibrated magnitudes (paper: native 0.95/0.99/0.99/0.99,
+    // container 0.95/0.99/0.99/0.98, VM 0.86/0.83/0.81/0.77).
+    assert!((native[0] - 0.95).abs() < 0.02, "native cpu0 {}", native[0]);
+    assert!(native[1] > 0.98 && native[2] > 0.98 && native[3] > 0.98);
+    assert!(vm.iter().all(|&r| (0.70..0.92).contains(&r)), "vm idle {vm:?}");
+}
+
+#[test]
+fn table2_vm_overhead_exceeds_container_overhead_in_total() {
+    let native = measure_idle(|_, _| {});
+    let container = measure_idle(|m, n| {
+        let host = n.add_namespace("host");
+        let _c = Container::create(m, n, host, ContainerConfig::cce(3));
+    });
+    let vm = measure_idle(|m, _| {
+        Vm::start(m, VmConfig::default());
+    });
+    let total = |v: &[f64]| -> f64 { v.iter().sum() };
+    let container_cost = total(&native) - total(&container);
+    let vm_cost = total(&native) - total(&vm);
+    assert!(
+        vm_cost > 10.0 * container_cost.max(0.001),
+        "vm {vm_cost} vs container {container_cost}"
+    );
+}

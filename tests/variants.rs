@@ -1,0 +1,114 @@
+//! Variant flights: liveness heartbeats, GNSS-grade positioning, and
+//! threshold-sensitivity sweeps — robustness checks around the main
+//! reproduction.
+
+use containerdrone::framework::{Scenario, ScenarioConfig};
+use containerdrone::sim::time::{SimDuration, SimTime};
+
+#[test]
+fn healthy_flight_delivers_heartbeats() {
+    let result = Scenario::new(ScenarioConfig::healthy()).run();
+    // 1 Hz for 30 s, minus pipeline warm-up jitter.
+    assert!(
+        (27..=31).contains(&(result.heartbeats_received as i64)),
+        "heartbeats {}",
+        result.heartbeats_received
+    );
+}
+
+#[test]
+fn controller_kill_stops_heartbeats_too() {
+    let result = Scenario::new(ScenarioConfig::fig6()).run();
+    // Killed at 12 s: only ~12 heartbeats ever arrive.
+    assert!(
+        (10..=13).contains(&(result.heartbeats_received as i64)),
+        "heartbeats {}",
+        result.heartbeats_received
+    );
+}
+
+#[test]
+fn gnss_grade_positioning_still_hovers_but_wobbles_more() {
+    let vicon = Scenario::new(ScenarioConfig::healthy()).run();
+    let gps = Scenario::new(ScenarioConfig::healthy().with_gps_positioning()).run();
+    assert!(!gps.crashed(), "GNSS flight must stay up");
+    assert!(gps.switch_time.is_none(), "no spurious failover on noise");
+    let dev_vicon = vicon.max_deviation(SimTime::from_secs(2), SimTime::from_secs(30));
+    let dev_gps = gps.max_deviation(SimTime::from_secs(2), SimTime::from_secs(30));
+    assert!(
+        dev_gps > 2.0 * dev_vicon,
+        "GNSS noise must be visible: {dev_gps} vs Vicon {dev_vicon}"
+    );
+    assert!(dev_gps < 1.5, "but still bounded: {dev_gps}");
+}
+
+#[test]
+fn gnss_failover_detects_but_recovery_is_marginal() {
+    // Under GNSS-grade position noise the monitor still detects the kill
+    // and switches — but recovery from the handover transient with ±0.4 m
+    // fix noise exceeds the conservative safety envelope: the takeover
+    // wobble diverges. This is a *finding*, not a bug: position-hold
+    // failover at the paper's fidelity depends on the mocap-grade
+    // positioning its lab provides (documented in EXPERIMENTS.md).
+    let result = Scenario::new(ScenarioConfig::fig6().with_gps_positioning()).run();
+    let attack = result.attack_onset.unwrap();
+    let switch = result.switch_time.expect("detection is noise-independent");
+    assert!(switch > attack);
+    // Under GNSS wobble either rule can fire first: the stale-command
+    // upset may push the attitude error past its bound before the
+    // interval timeout elapses.
+    assert!(
+        ["receive-interval", "attitude-error"].contains(&result.monitor_events[0].rule.as_str()),
+        "unexpected rule {:?}",
+        result.monitor_events[0].rule
+    );
+    // Pre-attack flight under GNSS was healthy — the failure is confined
+    // to the post-switch recovery transient.
+    let pre = result.max_deviation(SimTime::from_secs(2), attack);
+    assert!(pre < 1.0, "pre-attack GNSS flight healthy, dev {pre}");
+}
+
+#[test]
+fn interval_threshold_trades_latency_for_excursion() {
+    // Sweep the receive-interval threshold on the fig6 attack: a larger
+    // threshold means a longer stale-command window and a bigger
+    // excursion (this is the sensitivity EXPERIMENTS.md discusses when
+    // comparing our 0.4 m excursion with the paper's ~4 m).
+    let mut excursions = Vec::new();
+    for ms in [200u64, 400, 800] {
+        let mut cfg = ScenarioConfig::fig6();
+        cfg.framework.thresholds.max_receive_interval = SimDuration::from_millis(ms);
+        // Disable the attitude rule so the interval rule alone determines
+        // the switch time in this sweep.
+        cfg.framework.thresholds.max_attitude_error = f64::INFINITY;
+        let r = Scenario::new(cfg).run();
+        assert!(!r.crashed(), "threshold {ms} ms crashed");
+        assert!(r.switch_time.is_some(), "threshold {ms} ms never switched");
+        let attack = r.attack_onset.unwrap();
+        excursions.push(r.max_deviation(attack, SimTime::from_secs(30)));
+    }
+    assert!(
+        excursions[0] < excursions[1] && excursions[1] < excursions[2],
+        "excursion must grow with the threshold: {excursions:?}"
+    );
+}
+
+#[test]
+fn memguard_budget_extremes_behave() {
+    // Tiny budget: protection plus almost no CCE bandwidth — still stable.
+    let mut tight = ScenarioConfig::fig5();
+    tight.framework.protections.memguard_budget = 0.01;
+    let r = Scenario::new(tight).run();
+    assert!(!r.crashed());
+
+    // Budget ≈ whole bus: regulation is vacuous, the attack goes through
+    // (equivalent to fig4's loss of control).
+    let mut vacuous = ScenarioConfig::fig5();
+    vacuous.framework.protections.memguard_budget = 0.95;
+    let r = Scenario::new(vacuous).run();
+    let dev = r.max_deviation(SimTime::from_secs(10), SimTime::from_secs(30));
+    assert!(
+        r.crashed() || dev > 1.0,
+        "a vacuous budget must not protect: dev {dev}"
+    );
+}
