@@ -16,34 +16,51 @@
 //! * [`cpu_hog`] — spin loops that try to monopolize CPU (§III-C defends
 //!   this by cpuset + priority restriction).
 //!
+//! Attacks compose into **timelines**: an [`script::AttackScript`] is an
+//! ordered schedule of `(SimTime, AttackEvent)` entries, so a single run
+//! can sequence and overlap any number of attacks. Armed attacks are
+//! driven generically through the [`driver::AttackDriver`] trait.
+//!
 //! # Examples
 //!
 //! ```
-//! use attacks::membw_hog::BandwidthHog;
+//! use attacks::prelude::*;
+//! use sim_core::time::SimTime;
 //!
-//! let hog = BandwidthHog::isolbench();
-//! assert!(hog.stall_fraction > 0.9); // almost pure memory traffic
+//! // Combine vectors the way the threat model allows: exhaust memory
+//! // bandwidth, then flood the channel, then kill the controller.
+//! let script = AttackScript::new()
+//!     .at(SimTime::from_secs(10), AttackEvent::MemoryHog(BandwidthHog::isolbench()))
+//!     .at(SimTime::from_secs(15), AttackEvent::UdpFlood(UdpFlood::against_motor_port()))
+//!     .at(SimTime::from_secs(20), AttackEvent::KillComplex);
+//! assert_eq!(script.len(), 3);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod cpu_hog;
+pub mod driver;
 pub mod kill;
 pub mod membw_hog;
+pub mod script;
 pub mod spoof;
 pub mod udp_flood;
 
 pub use cpu_hog::CpuHog;
+pub use driver::{AttackCtx, AttackDriver, TaskSetDriver};
 pub use kill::KillController;
 pub use membw_hog::BandwidthHog;
+pub use script::{AttackEvent, AttackScript, ScriptEntry};
 pub use spoof::{MotorSpoof, SpoofDriver};
 pub use udp_flood::{FloodDriver, UdpFlood};
 
 /// Convenient glob import of the attack types.
 pub mod prelude {
     pub use crate::cpu_hog::CpuHog;
+    pub use crate::driver::{AttackCtx, AttackDriver, TaskSetDriver};
     pub use crate::kill::KillController;
     pub use crate::membw_hog::BandwidthHog;
+    pub use crate::script::{AttackEvent, AttackScript, ScriptEntry};
     pub use crate::spoof::{MotorSpoof, SpoofDriver};
     pub use crate::udp_flood::{FloodDriver, UdpFlood};
 }

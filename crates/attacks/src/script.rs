@@ -1,0 +1,246 @@
+//! Composable attack timelines: an ordered schedule of attack events.
+//!
+//! The paper evaluates one attack per run; its threat model (and the
+//! resilient-control literature it sits in) assumes attackers that
+//! *combine and sequence* DoS vectors. An [`AttackScript`] captures that:
+//! an ordered list of `(SimTime, AttackEvent)` entries. Any number of
+//! attacks may run concurrently, the same attack kind may fire repeatedly,
+//! and a [`AttackEvent::CeaseFire`] entry ends the attack window.
+//!
+//! # Examples
+//!
+//! ```
+//! use attacks::prelude::*;
+//! use sim_core::time::SimTime;
+//!
+//! // Memory hog at 10 s, UDP flood on top at 15 s, then the attacker
+//! // kills the complex controller at 20 s.
+//! let script = AttackScript::new()
+//!     .at(SimTime::from_secs(10), AttackEvent::MemoryHog(BandwidthHog::isolbench()))
+//!     .at(SimTime::from_secs(15), AttackEvent::UdpFlood(UdpFlood::against_motor_port()))
+//!     .at(SimTime::from_secs(20), AttackEvent::KillComplex);
+//! assert_eq!(script.len(), 3);
+//! assert_eq!(script.first_onset(), Some(SimTime::from_secs(10)));
+//! ```
+
+use sim_core::time::SimTime;
+
+use crate::cpu_hog::CpuHog;
+use crate::driver::{AttackCtx, AttackDriver, TaskSetDriver};
+use crate::membw_hog::BandwidthHog;
+use crate::spoof::MotorSpoof;
+use crate::udp_flood::UdpFlood;
+
+/// One schedulable attack action. Pure data: `Clone + PartialEq`, so
+/// scenario configurations containing scripts stay comparable and
+/// campaign specs can be built from cartesian products.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackEvent {
+    /// Launch a memory-bandwidth hog in the container.
+    MemoryHog(BandwidthHog),
+    /// Launch a UDP flood against the HCE motor port.
+    UdpFlood(UdpFlood),
+    /// Kill the complex controller's tasks.
+    KillComplex,
+    /// Launch a CPU hog (confined by the container iff the CPU-isolation
+    /// protection is enabled).
+    CpuHog(CpuHog),
+    /// Launch protocol-valid hostile motor commands.
+    SpoofMotor(MotorSpoof),
+    /// Halt every attack armed so far (ends the attack window).
+    CeaseFire,
+}
+
+impl AttackEvent {
+    /// Short identifier, matching the armed driver's
+    /// [`AttackDriver::name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackEvent::MemoryHog(_) => "memory-hog",
+            AttackEvent::UdpFlood(_) => crate::udp_flood::FloodDriver::NAME,
+            AttackEvent::KillComplex => "kill-complex",
+            AttackEvent::CpuHog(_) => "cpu-hog",
+            AttackEvent::SpoofMotor(_) => "motor-spoof",
+            AttackEvent::CeaseFire => "cease-fire",
+        }
+    }
+
+    /// Arms the event: launches the attack against `ctx` and returns the
+    /// live driver. Returns `None` for [`AttackEvent::CeaseFire`], which
+    /// the runner handles by halting the already-armed drivers.
+    pub fn arm(&self, ctx: &mut AttackCtx<'_>) -> Option<Box<dyn AttackDriver>> {
+        match self {
+            AttackEvent::MemoryHog(hog) => {
+                let tasks = hog.launch(ctx.machine, ctx.container);
+                Some(Box::new(TaskSetDriver::new("memory-hog", tasks)))
+            }
+            AttackEvent::UdpFlood(flood) => {
+                let driver = flood
+                    .launch(
+                        ctx.machine,
+                        ctx.net,
+                        ctx.container,
+                        ctx.host_ns,
+                        ctx.src_port,
+                    )
+                    .expect("flood source port free");
+                Some(Box::new(driver))
+            }
+            AttackEvent::KillComplex => {
+                for &t in ctx.controller_tasks {
+                    ctx.machine.kill(t);
+                }
+                Some(Box::new(TaskSetDriver::new(
+                    "kill-complex",
+                    ctx.controller_tasks.to_vec(),
+                )))
+            }
+            AttackEvent::CpuHog(hog) => {
+                let tasks = if ctx.cpu_isolation {
+                    hog.launch(ctx.machine, ctx.container)
+                } else {
+                    hog.launch_unconfined(ctx.machine)
+                };
+                Some(Box::new(TaskSetDriver::new("cpu-hog", tasks)))
+            }
+            AttackEvent::SpoofMotor(spoof) => {
+                let driver = spoof
+                    .launch(
+                        ctx.machine,
+                        ctx.net,
+                        ctx.container,
+                        ctx.host_ns,
+                        ctx.src_port,
+                    )
+                    .expect("spoof source port free");
+                Some(Box::new(driver))
+            }
+            AttackEvent::CeaseFire => None,
+        }
+    }
+}
+
+/// One timeline entry: fire `event` at `at`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptEntry {
+    /// When the event fires.
+    pub at: SimTime,
+    /// What fires.
+    pub event: AttackEvent,
+}
+
+/// An ordered attack schedule.
+///
+/// Entries are kept sorted by time; entries sharing a timestamp fire in
+/// insertion order. The empty script is the healthy baseline.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AttackScript {
+    entries: Vec<ScriptEntry>,
+}
+
+impl AttackScript {
+    /// An empty timeline (no attack).
+    pub fn new() -> Self {
+        AttackScript::default()
+    }
+
+    /// Alias for [`AttackScript::new`] that reads well in scenario
+    /// definitions.
+    pub fn none() -> Self {
+        AttackScript::new()
+    }
+
+    /// A single-attack timeline — the paper's per-figure shape.
+    pub fn single(at: SimTime, event: AttackEvent) -> Self {
+        AttackScript::new().at(at, event)
+    }
+
+    /// Schedules `event` at `at` (chainable). Keeps the timeline sorted;
+    /// same-time entries preserve insertion order.
+    #[must_use]
+    pub fn at(mut self, at: SimTime, event: AttackEvent) -> Self {
+        self.entries.push(ScriptEntry { at, event });
+        // Stable sort: equal timestamps keep insertion order.
+        self.entries.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// The schedule, sorted by time.
+    pub fn entries(&self) -> &[ScriptEntry] {
+        &self.entries
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` for the healthy (attack-free) timeline.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Onset of the first actual attack (ignores bare `CeaseFire`
+    /// entries), `None` for a healthy timeline.
+    pub fn first_onset(&self) -> Option<SimTime> {
+        self.entries
+            .iter()
+            .find(|e| e.event != AttackEvent::CeaseFire)
+            .map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_sort_by_time_regardless_of_insertion_order() {
+        let script = AttackScript::new()
+            .at(SimTime::from_secs(20), AttackEvent::KillComplex)
+            .at(
+                SimTime::from_secs(10),
+                AttackEvent::MemoryHog(BandwidthHog::isolbench()),
+            )
+            .at(
+                SimTime::from_secs(15),
+                AttackEvent::UdpFlood(UdpFlood::against_motor_port()),
+            );
+        let times: Vec<u64> = script
+            .entries()
+            .iter()
+            .map(|e| e.at.as_micros() / 1_000_000)
+            .collect();
+        assert_eq!(times, [10, 15, 20]);
+    }
+
+    #[test]
+    fn same_time_entries_preserve_insertion_order() {
+        let t = SimTime::from_secs(5);
+        let script = AttackScript::new()
+            .at(t, AttackEvent::KillComplex)
+            .at(t, AttackEvent::CeaseFire);
+        assert_eq!(script.entries()[0].event, AttackEvent::KillComplex);
+        assert_eq!(script.entries()[1].event, AttackEvent::CeaseFire);
+    }
+
+    #[test]
+    fn first_onset_skips_cease_fire() {
+        let script = AttackScript::new()
+            .at(SimTime::from_secs(2), AttackEvent::CeaseFire)
+            .at(SimTime::from_secs(9), AttackEvent::KillComplex);
+        assert_eq!(script.first_onset(), Some(SimTime::from_secs(9)));
+        assert_eq!(AttackScript::none().first_onset(), None);
+        assert!(AttackScript::none().is_empty());
+    }
+
+    #[test]
+    fn event_names_are_stable_identifiers() {
+        assert_eq!(AttackEvent::KillComplex.name(), "kill-complex");
+        assert_eq!(
+            AttackEvent::UdpFlood(UdpFlood::against_motor_port()).name(),
+            "udp-flood"
+        );
+        assert_eq!(AttackEvent::CeaseFire.name(), "cease-fire");
+    }
+}

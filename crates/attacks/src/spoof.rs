@@ -11,6 +11,8 @@
 
 use container_rt::container::Container;
 use mavlink_lite::frame::Sender;
+
+use crate::driver::AttackDriver;
 use mavlink_lite::messages::{Message, MotorOutput};
 use rt_sched::machine::Machine;
 use rt_sched::task::{Cost, TaskId, TaskSpec};
@@ -66,15 +68,15 @@ impl MotorSpoof {
         let socket = net.bind(container.netns(), src_port)?;
         let task = container.run_task(
             machine,
-            TaskSpec::busy_fair(
-                "motor-spoofer",
-                Cost::compute(SimDuration::from_secs(1)),
-            ),
+            TaskSpec::busy_fair("motor-spoofer", Cost::compute(SimDuration::from_secs(1))),
         );
         Ok(SpoofDriver {
             socket,
             task,
-            target: Addr { ns: host_ns, port: 14600 },
+            target: Addr {
+                ns: host_ns,
+                port: 14600,
+            },
             pps: self.pps,
             pwm: self.pwm,
             // Forge the CCE's identity so the frames are indistinguishable.
@@ -82,6 +84,7 @@ impl MotorSpoof {
             seq: 1_000_000,
             carry: 0.0,
             sent: 0,
+            active: true,
         })
     }
 }
@@ -98,11 +101,15 @@ pub struct SpoofDriver {
     seq: u32,
     carry: f64,
     sent: u64,
+    active: bool,
 }
 
 impl SpoofDriver {
     /// Emits this quantum's worth of forged commands.
     pub fn step(&mut self, net: &mut Network, now: SimTime, dt: SimDuration) {
+        if !self.active {
+            return;
+        }
         self.carry += self.pps * dt.as_secs_f64();
         while self.carry >= 1.0 {
             self.carry -= 1.0;
@@ -127,6 +134,30 @@ impl SpoofDriver {
     /// The spoofer process's task id.
     pub fn task(&self) -> TaskId {
         self.task
+    }
+
+    /// Stops forging (e.g. when the attack window ends).
+    pub fn stop(&mut self, machine: &mut Machine) {
+        self.active = false;
+        machine.kill(self.task);
+    }
+}
+
+impl AttackDriver for SpoofDriver {
+    fn name(&self) -> &'static str {
+        "motor-spoof"
+    }
+
+    fn step(&mut self, net: &mut Network, now: SimTime, dt: SimDuration) {
+        SpoofDriver::step(self, net, now, dt);
+    }
+
+    fn halt(&mut self, machine: &mut Machine) {
+        self.stop(machine);
+    }
+
+    fn packets_sent(&self) -> u64 {
+        self.sent
     }
 }
 
@@ -170,6 +201,10 @@ mod tests {
             }
         }
         assert!(hostile > 100);
-        assert_eq!(parser.stats().crc_errors, 0, "forgeries are protocol-perfect");
+        assert_eq!(
+            parser.stats().crc_errors,
+            0,
+            "forgeries are protocol-perfect"
+        );
     }
 }

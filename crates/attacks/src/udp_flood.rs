@@ -12,6 +12,8 @@ use rt_sched::task::{Cost, TaskId, TaskSpec};
 use sim_core::time::{SimDuration, SimTime};
 use virt_net::net::{Addr, NetError, Network, NsId, SocketId};
 
+use crate::driver::AttackDriver;
+
 /// Flood parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UdpFlood {
@@ -87,6 +89,10 @@ pub struct FloodDriver {
 }
 
 impl FloodDriver {
+    /// Stable identifier shared by [`AttackDriver::name`], the timeline
+    /// event name and result aggregation.
+    pub const NAME: &'static str = "udp-flood";
+
     /// Emits this quantum's worth of flood packets.
     pub fn step(&mut self, net: &mut Network, now: SimTime, dt: SimDuration) {
         if !self.active {
@@ -115,6 +121,24 @@ impl FloodDriver {
     pub fn stop(&mut self, machine: &mut Machine) {
         self.active = false;
         machine.kill(self.task);
+    }
+}
+
+impl AttackDriver for FloodDriver {
+    fn name(&self) -> &'static str {
+        Self::NAME
+    }
+
+    fn step(&mut self, net: &mut Network, now: SimTime, dt: SimDuration) {
+        FloodDriver::step(self, net, now, dt);
+    }
+
+    fn halt(&mut self, machine: &mut Machine) {
+        self.stop(machine);
+    }
+
+    fn packets_sent(&self) -> u64 {
+        self.sent
     }
 }
 
@@ -147,7 +171,11 @@ mod tests {
             t += dt;
             net.step(t);
         }
-        assert!((4_990..=5_010).contains(&(driver.sent() as i64)), "{}", driver.sent());
+        assert!(
+            (4_990..=5_010).contains(&(driver.sent() as i64)),
+            "{}",
+            driver.sent()
+        );
         let stats = net.socket_stats(rx);
         // Most packets arrive (large rx buffer, no rate limit configured).
         assert!(stats.delivered > 4_000, "delivered {}", stats.delivered);

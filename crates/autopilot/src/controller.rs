@@ -16,7 +16,9 @@ use uav_dynamics::math::{wrap_angle, Quat, Vec3};
 use uav_dynamics::quad::{QuadParams, GRAVITY};
 use uav_dynamics::sensors::{BaroSample, ImuSample, PositionFix};
 
-use crate::estimator::{AttitudeFilter, AttitudeFilterConfig, PositionFilter, PositionFilterConfig};
+use crate::estimator::{
+    AttitudeFilter, AttitudeFilterConfig, PositionFilter, PositionFilterConfig,
+};
 use crate::mixer::{Mixer, MixerConfig, Wrench};
 use crate::pid::{Pid, PidConfig};
 

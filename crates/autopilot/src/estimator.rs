@@ -130,7 +130,12 @@ impl AttitudeFilter {
             let correction = down_meas.cross(down_pred) * (self.config.accel_gain * dt);
             self.attitude = self
                 .attitude
-                .mul_quat(Quat::new(1.0, correction.x / 2.0, correction.y / 2.0, correction.z / 2.0))
+                .mul_quat(Quat::new(
+                    1.0,
+                    correction.x / 2.0,
+                    correction.y / 2.0,
+                    correction.z / 2.0,
+                ))
                 .normalized();
         }
 
@@ -142,7 +147,12 @@ impl AttitudeFilter {
             let body_corr = self.attitude.rotate_inverse(correction);
             self.attitude = self
                 .attitude
-                .mul_quat(Quat::new(1.0, body_corr.x / 2.0, body_corr.y / 2.0, body_corr.z / 2.0))
+                .mul_quat(Quat::new(
+                    1.0,
+                    body_corr.x / 2.0,
+                    body_corr.y / 2.0,
+                    body_corr.z / 2.0,
+                ))
                 .normalized();
         }
     }
@@ -327,8 +337,8 @@ mod tests {
             }
             // True roll angle: integral of the sine.
             let secs = t as f64 / 1000.0;
-            let true_roll = (1.0 - (std::f64::consts::TAU * 2.0 * secs).cos())
-                / (std::f64::consts::PI * 2.0);
+            let true_roll =
+                (1.0 - (std::f64::consts::TAU * 2.0 * secs).cos()) / (std::f64::consts::PI * 2.0);
             let (roll, _, _) = f.attitude().to_euler();
             (roll - true_roll).abs()
         };
@@ -394,7 +404,11 @@ mod tests {
                 ..Default::default()
             });
         }
-        assert!((-f.position().z - 2.0).abs() < 0.05, "alt {}", -f.position().z);
+        assert!(
+            (-f.position().z - 2.0).abs() < 0.05,
+            "alt {}",
+            -f.position().z
+        );
     }
 
     #[test]

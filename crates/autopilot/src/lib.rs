@@ -36,12 +36,8 @@ pub mod estimator;
 pub mod mixer;
 pub mod pid;
 
-pub use controller::{
-    ControlGains, FlightController, FlightMode, Setpoint, StickInput, Waypoint,
-};
-pub use estimator::{
-    AttitudeFilter, AttitudeFilterConfig, PositionFilter, PositionFilterConfig,
-};
+pub use controller::{ControlGains, FlightController, FlightMode, Setpoint, StickInput, Waypoint};
+pub use estimator::{AttitudeFilter, AttitudeFilterConfig, PositionFilter, PositionFilterConfig};
 pub use mixer::{Mixer, MixerConfig, Wrench};
 pub use pid::{Pid, PidConfig};
 

@@ -71,7 +71,10 @@ impl Mixer {
     pub fn new(config: MixerConfig) -> Self {
         assert!(config.arm > 0.0, "arm must be positive");
         assert!(config.torque_coeff > 0.0, "torque_coeff must be positive");
-        assert!(config.motor_max_thrust > 0.0, "motor_max_thrust must be positive");
+        assert!(
+            config.motor_max_thrust > 0.0,
+            "motor_max_thrust must be positive"
+        );
         Mixer { config }
     }
 

@@ -120,8 +120,8 @@ impl Pid {
         }
 
         // Integrator with clamping anti-windup.
-        self.integral = (self.integral + c.ki * error * dt)
-            .clamp(-c.integral_limit, c.integral_limit);
+        self.integral =
+            (self.integral + c.ki * error * dt).clamp(-c.integral_limit, c.integral_limit);
 
         // Derivative on measurement, optionally low-passed.
         let raw_derivative = match self.last_measurement {
@@ -181,7 +181,10 @@ mod tests {
         for _ in 0..1000 {
             pid.update(1.0, 0.0, 0.01);
         }
-        assert!((pid.integral() - 0.5).abs() < 1e-12, "integral clamped at limit");
+        assert!(
+            (pid.integral() - 0.5).abs() < 1e-12,
+            "integral clamped at limit"
+        );
     }
 
     #[test]
@@ -218,7 +221,11 @@ mod tests {
             }
             peak
         };
-        assert!(run(3.0) < 0.05, "damped run should settle, got {}", run(3.0));
+        assert!(
+            run(3.0) < 0.05,
+            "damped run should settle, got {}",
+            run(3.0)
+        );
         assert!(run(0.0) > 0.5, "undamped run should keep oscillating");
     }
 

@@ -51,8 +51,7 @@ fn fly(
 
     let end = SimTime::from_secs(duration_s);
     let mut t = SimTime::ZERO;
-    let (mut next_sensor, mut next_outer, mut next_rate, mut next_fix) =
-        (t, t, t, t);
+    let (mut next_sensor, mut next_outer, mut next_rate, mut next_fix) = (t, t, t, t);
     let mut pending: Vec<(SimTime, [u16; 4])> = Vec::new();
 
     let mut max_xy_dev = 0.0f64;

@@ -12,14 +12,13 @@ fn bench_cpu_protection(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("cpu_protection", |b| {
         b.iter(|| {
-            let mut protected = ScenarioConfig {
-                attack: Attack::CpuHog {
-                    at: SimTime::from_secs(2),
-                    hog: CpuHog::aggressive(),
-                },
-                ..ScenarioConfig::healthy()
-            }
-            .with_duration(SimDuration::from_secs(8));
+            let mut protected = ScenarioConfig::builder()
+                .attack_at(
+                    SimTime::from_secs(2),
+                    AttackEvent::CpuHog(CpuHog::aggressive()),
+                )
+                .duration(SimDuration::from_secs(8))
+                .build();
             let mut unprotected = protected.clone();
             protected.framework.protections.cpu_isolation = true;
             unprotected.framework.protections.cpu_isolation = false;
@@ -49,10 +48,10 @@ fn bench_memguard_budget(c: &mut Criterion) {
             let mut devs = Vec::new();
             for budget in [0.02, 0.10, 0.35] {
                 let mut cfg = ScenarioConfig::fig5().with_duration(SimDuration::from_secs(8));
-                cfg.attack = Attack::MemoryHog {
-                    at: SimTime::from_secs(2),
-                    hog: attacks::membw_hog::BandwidthHog::isolbench(),
-                };
+                cfg.attacks = AttackScript::single(
+                    SimTime::from_secs(2),
+                    AttackEvent::MemoryHog(attacks::membw_hog::BandwidthHog::isolbench()),
+                );
                 cfg.framework.protections.memguard_budget = budget;
                 let r = Scenario::new(cfg).run();
                 devs.push(r.max_deviation(SimTime::from_secs(2), SimTime::from_secs(8)));

@@ -8,31 +8,15 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use sim_core::time::{SimDuration, SimTime};
 use std::hint::black_box;
 
-/// Shifts a scenario's attack earlier and trims the duration so the
-/// qualitative outcome still happens inside the benched window.
+/// Shifts every attack on a scenario's timeline to `attack_at` and trims
+/// the duration so the qualitative outcome still happens inside the
+/// benched window.
 fn shortened(mut cfg: ScenarioConfig, attack_at: u64, duration: u64) -> ScenarioConfig {
-    cfg.attack = match cfg.attack {
-        Attack::None => Attack::None,
-        Attack::MemoryHog { hog, .. } => Attack::MemoryHog {
-            at: SimTime::from_secs(attack_at),
-            hog,
-        },
-        Attack::UdpFlood { flood, .. } => Attack::UdpFlood {
-            at: SimTime::from_secs(attack_at),
-            flood,
-        },
-        Attack::KillComplex { .. } => Attack::KillComplex {
-            at: SimTime::from_secs(attack_at),
-        },
-        Attack::CpuHog { hog, .. } => Attack::CpuHog {
-            at: SimTime::from_secs(attack_at),
-            hog,
-        },
-        Attack::SpoofMotor { spoof, .. } => Attack::SpoofMotor {
-            at: SimTime::from_secs(attack_at),
-            spoof,
-        },
-    };
+    let mut script = AttackScript::new();
+    for entry in cfg.attacks.entries() {
+        script = script.at(SimTime::from_secs(attack_at), entry.event.clone());
+    }
+    cfg.attacks = script;
     cfg.with_duration(SimDuration::from_secs(duration))
 }
 

@@ -1,37 +1,63 @@
 //! Ablation A2 — communication protection: the Figure 7 flood with the
-//! iptables rate limit on vs off. The limit bounds the rx thread's CPU
-//! cost; the monitor provides defence in depth either way.
+//! iptables rate limit on vs off, run as one parallel campaign. The limit
+//! bounds the rx thread's CPU cost; the monitor provides defence in depth
+//! either way.
 
-use cd_bench::{ascii_table, write_result};
+use cd_bench::{ascii_table, write_result, CampaignSpec};
 use containerdrone_core::prelude::*;
 use sim_core::time::{SimDuration, SimTime};
 
-fn run(iptables: bool) -> Vec<String> {
+fn variant(iptables: bool) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::fig7();
     cfg.framework.protections.iptables = iptables;
-    let r = Scenario::new(cfg).run();
-    let rx_busy = r
-        .task_report
-        .iter()
-        .find(|(n, _)| n == "rx-thread")
-        .map(|(_, s)| s.busy_time)
-        .unwrap_or(SimDuration::ZERO);
-    vec![
-        if iptables { "on (paper)" } else { "off (ablation)" }.to_string(),
-        if r.crashed() { "yes" } else { "no" }.to_string(),
-        r.switch_time.map(|t| t.to_string()).unwrap_or("never".into()),
-        format!("{rx_busy}"),
-        r.rx_socket_stats.dropped_ratelimit.to_string(),
-        r.rx_socket_stats.dropped_overflow.to_string(),
-        format!("{:.3}", r.max_deviation(SimTime::from_secs(8), SimTime::from_secs(30))),
-    ]
+    cfg
 }
 
 fn main() {
     println!("Ablation — iptables rate limiting under the Figure-7 UDP flood\n");
+    let report = CampaignSpec::new("ablation_comm")
+        .variant("on (paper)", variant(true))
+        .variant("off (ablation)", variant(false))
+        .run();
+
+    let rows: Vec<Vec<String>> = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            let r = &o.result;
+            let rx_busy = r
+                .task_report
+                .iter()
+                .find(|(n, _)| n == "rx-thread")
+                .map(|(_, s)| s.busy_time)
+                .unwrap_or(SimDuration::ZERO);
+            vec![
+                o.label.clone(),
+                if r.crashed() { "yes" } else { "no" }.to_string(),
+                r.switch_time
+                    .map(|t| t.to_string())
+                    .unwrap_or("never".into()),
+                format!("{rx_busy}"),
+                r.rx_socket_stats.dropped_ratelimit.to_string(),
+                r.rx_socket_stats.dropped_overflow.to_string(),
+                format!(
+                    "{:.3}",
+                    r.max_deviation(SimTime::from_secs(8), SimTime::from_secs(30))
+                ),
+            ]
+        })
+        .collect();
     let table = ascii_table(
-        &["iptables", "crashed", "switch", "rx CPU time", "dropped (limit)", "dropped (queue)", "max dev (m)"],
-        &[run(true), run(false)],
+        &[
+            "iptables",
+            "crashed",
+            "switch",
+            "rx CPU time",
+            "dropped (limit)",
+            "dropped (queue)",
+            "max dev (m)",
+        ],
+        &rows,
     );
     print!("{table}");
     write_result("ablation_comm.txt", &table);

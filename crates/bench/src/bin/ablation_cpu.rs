@@ -1,47 +1,57 @@
 //! Ablation A1 — CPU protection (cgroup cpuset + no-RT): an aggressive CPU
 //! hog (4 spinners requesting FIFO 95) launched at 8 s, with the
-//! protection on vs off.
+//! protection on vs off. Both variants run as one parallel campaign.
 
 use attacks::cpu_hog::CpuHog;
-use cd_bench::{ascii_table, write_result};
+use cd_bench::{ascii_table, write_result, CampaignSpec};
 use containerdrone_core::prelude::*;
 use sim_core::time::SimTime;
 
-fn run(cpu_isolation: bool) -> (bool, u64, f64) {
-    let mut cfg = ScenarioConfig {
-        attack: Attack::CpuHog {
-            at: SimTime::from_secs(8),
-            hog: CpuHog::aggressive(),
-        },
-        ..ScenarioConfig::healthy()
-    };
-    cfg.framework.protections.cpu_isolation = cpu_isolation;
-    let r = Scenario::new(cfg).run();
-    let safety_skips = r
-        .task_report
-        .iter()
-        .find(|(n, _)| n == "safety-controller")
-        .map(|(_, s)| s.skips)
-        .unwrap_or(0);
-    let dev = r.max_deviation(SimTime::from_secs(8), SimTime::from_secs(30));
-    (r.crashed(), safety_skips, dev)
+fn variant(cpu_isolation: bool) -> ScenarioConfig {
+    ScenarioConfig::builder()
+        .attack_at(
+            SimTime::from_secs(8),
+            AttackEvent::CpuHog(CpuHog::aggressive()),
+        )
+        .cpu_isolation(cpu_isolation)
+        .build()
 }
 
 fn main() {
     println!("Ablation — CPU DoS protection (cpuset + priority restriction)\n");
-    let (crash_on, skips_on, dev_on) = run(true);
-    let (crash_off, skips_off, dev_off) = run(false);
+    let report = CampaignSpec::new("ablation_cpu")
+        .variant("on (paper)", variant(true))
+        .variant("off (ablation)", variant(false))
+        .run();
+
+    let rows: Vec<Vec<String>> = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            let safety_skips = o
+                .result
+                .task_report
+                .iter()
+                .find(|(n, _)| n == "safety-controller")
+                .map(|(_, s)| s.skips)
+                .unwrap_or(0);
+            vec![
+                o.label.clone(),
+                if o.result.crashed() { "yes" } else { "no" }.to_string(),
+                safety_skips.to_string(),
+                format!("{:.3}", o.max_deviation),
+            ]
+        })
+        .collect();
     let table = ascii_table(
-        &["protection", "crashed", "safety-controller skips", "max deviation (m)"],
         &[
-            vec!["on (paper)".into(), fmt(crash_on), skips_on.to_string(), format!("{dev_on:.3}")],
-            vec!["off (ablation)".into(), fmt(crash_off), skips_off.to_string(), format!("{dev_off:.3}")],
+            "protection",
+            "crashed",
+            "safety-controller skips",
+            "max deviation (m)",
         ],
+        &rows,
     );
     print!("{table}");
     write_result("ablation_cpu.txt", &table);
-}
-
-fn fmt(b: bool) -> String {
-    if b { "yes".into() } else { "no".into() }
 }

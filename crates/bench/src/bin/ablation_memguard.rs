@@ -1,33 +1,47 @@
 //! Ablation A4 — MemGuard budget sweep: how much bandwidth can the CCE be
 //! given before the Figure-4 attack destabilizes the HCE again? Sweeps the
-//! budget (fraction of the DRAM bus) under the fig5 scenario.
+//! budget (fraction of the DRAM bus) under the fig5 scenario as one
+//! parallel campaign.
 
-use cd_bench::{ascii_table, write_result};
+use cd_bench::{ascii_table, write_result, CampaignSpec};
 use containerdrone_core::prelude::*;
-use sim_core::time::SimTime;
 
 fn main() {
     println!("Ablation — MemGuard budget sweep under the memory-DoS attack\n");
-    let mut rows = Vec::new();
+    let mut spec = CampaignSpec::new("ablation_memguard");
     for budget in [0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.70, 0.90] {
         let mut cfg = ScenarioConfig::fig5();
         cfg.framework.protections.memguard_budget = budget;
-        let r = Scenario::new(cfg).run();
-        let stack = r
-            .task_report
-            .iter()
-            .find(|(n, _)| n == "hce-flight-stack")
-            .map(|(_, s)| s.skips)
-            .unwrap_or(0);
-        rows.push(vec![
-            format!("{:.0}%", budget * 100.0),
-            if r.crashed() { "yes" } else { "no" }.to_string(),
-            stack.to_string(),
-            format!("{:.3}", r.max_deviation(SimTime::from_secs(10), SimTime::from_secs(30))),
-        ]);
+        spec = spec.variant(format!("{:.0}%", budget * 100.0), cfg);
     }
+    let report = spec.run();
+
+    let rows: Vec<Vec<String>> = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            let stack = o
+                .result
+                .task_report
+                .iter()
+                .find(|(n, _)| n == "hce-flight-stack")
+                .map(|(_, s)| s.skips)
+                .unwrap_or(0);
+            vec![
+                o.label.clone(),
+                if o.result.crashed() { "yes" } else { "no" }.to_string(),
+                stack.to_string(),
+                format!("{:.3}", o.max_deviation),
+            ]
+        })
+        .collect();
     let table = ascii_table(
-        &["CCE budget", "crashed", "flight-stack skips", "max dev after attack (m)"],
+        &[
+            "CCE budget",
+            "crashed",
+            "flight-stack skips",
+            "max dev after attack (m)",
+        ],
         &rows,
     );
     print!("{table}");

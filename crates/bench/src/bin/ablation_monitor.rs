@@ -1,27 +1,45 @@
 //! Ablation A3 — the security monitor itself: the Figure 6 controller-kill
 //! attack with monitoring disabled ends in a crash; with it, recovery.
+//! Both variants run as one parallel campaign.
 
-use cd_bench::{ascii_table, write_result};
+use cd_bench::{ascii_table, write_result, CampaignSpec};
 use containerdrone_core::prelude::*;
 use sim_core::time::SimTime;
 
-fn run(monitor: bool) -> Vec<String> {
+fn variant(monitor: bool) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::fig6();
     cfg.framework.protections.monitor = monitor;
-    let r = Scenario::new(cfg).run();
-    vec![
-        if monitor { "on (paper)" } else { "off (ablation)" }.to_string(),
-        if r.crashed() { "yes" } else { "no" }.to_string(),
-        r.switch_time.map(|t| t.to_string()).unwrap_or("never".into()),
-        format!("{:.3}", r.max_deviation(SimTime::from_secs(12), SimTime::from_secs(30))),
-    ]
+    cfg
 }
 
 fn main() {
     println!("Ablation — security monitoring under the Figure-6 controller kill\n");
+    let report = CampaignSpec::new("ablation_monitor")
+        .variant("on (paper)", variant(true))
+        .variant("off (ablation)", variant(false))
+        .run();
+
+    let rows: Vec<Vec<String>> = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            let r = &o.result;
+            vec![
+                o.label.clone(),
+                if r.crashed() { "yes" } else { "no" }.to_string(),
+                r.switch_time
+                    .map(|t| t.to_string())
+                    .unwrap_or("never".into()),
+                format!(
+                    "{:.3}",
+                    r.max_deviation(SimTime::from_secs(12), SimTime::from_secs(30))
+                ),
+            ]
+        })
+        .collect();
     let table = ascii_table(
         &["monitor", "crashed", "switch", "max dev after kill (m)"],
-        &[run(true), run(false)],
+        &rows,
     );
     print!("{table}");
     write_result("ablation_monitor.txt", &table);

@@ -1,5 +1,11 @@
-//! Runs every table, figure and ablation harness in sequence, writing all
-//! artifacts to `results/`. This is the one-shot reproduction entry point:
+//! One-shot reproduction entry point: regenerates every artifact under
+//! `results/`.
+//!
+//! The figure scenarios run as a single parallel [`CampaignSpec`] (each
+//! outcome is narrated and written to its CSV, with the paper's
+//! qualitative expectation asserted); the remaining harnesses — tables,
+//! ablations, the spoof extension, replication, analysis, the campaign
+//! speedup bench — run as sibling binaries.
 //!
 //! ```text
 //! cargo run --release -p cd-bench --bin all
@@ -7,11 +13,85 @@
 
 use std::process::Command;
 
+use cd_bench::{narrate_figure, save_figure_csv, CampaignSpec};
+use containerdrone_core::prelude::*;
+
+/// Figure scenarios: label, config, CSV name, paper expectation, and the
+/// assertion that the qualitative outcome matches the paper.
+type Expectation = fn(&ScenarioResult) -> bool;
+
+fn figure_campaign() -> Vec<(
+    &'static str,
+    ScenarioConfig,
+    &'static str,
+    &'static str,
+    Expectation,
+)> {
+    vec![
+        (
+            "Figure 4 — memory DoS, MemGuard OFF",
+            ScenarioConfig::fig4(),
+            "fig4.csv",
+            "drift after attack onset, crash shortly after",
+            |r| r.crashed(),
+        ),
+        (
+            "Figure 5 — memory DoS, MemGuard ON",
+            ScenarioConfig::fig5(),
+            "fig5.csv",
+            "brief oscillation, remains stable",
+            |r| !r.crashed(),
+        ),
+        (
+            "Figure 6 — complex controller killed at 12 s",
+            ScenarioConfig::fig6(),
+            "fig6.csv",
+            "receive-interval rule trips; safety controller stabilizes the drone",
+            |r| !r.crashed() && r.switch_time.is_some(),
+        ),
+        (
+            "Figure 7 — UDP flood against port 14600 at 8 s",
+            ScenarioConfig::fig7(),
+            "fig7.csv",
+            "upset after attack onset; monitor switches; drone recovers",
+            |r| !r.crashed() && r.switch_time.is_some(),
+        ),
+    ]
+}
+
 fn main() {
+    let figures = figure_campaign();
+    let mut spec = CampaignSpec::new("figures");
+    for (label, cfg, _, _, _) in &figures {
+        spec = spec.variant(*label, cfg.clone());
+    }
+    let report = spec.run();
+    println!(
+        "═══ figure campaign: {} scenarios in {:.1}s wall on {} threads ═══\n",
+        report.outcomes.len(),
+        report.wall_clock.as_secs_f64(),
+        report.threads,
+    );
+    for (outcome, (label, _, csv, expectation, check)) in report.outcomes.iter().zip(&figures) {
+        narrate_figure(label, expectation, &outcome.result);
+        save_figure_csv(csv, &outcome.result);
+        assert!(
+            check(&outcome.result),
+            "{label}: outcome diverged from the paper"
+        );
+    }
+
     let bins = [
-        "table1", "table2", "fig4", "fig5", "fig6", "fig7",
-        "ablation_cpu", "ablation_comm", "ablation_monitor", "ablation_memguard",
-        "extension_spoof", "analysis", "replication",
+        "table1",
+        "table2",
+        "ablation_cpu",
+        "ablation_comm",
+        "ablation_monitor",
+        "ablation_memguard",
+        "extension_spoof",
+        "analysis",
+        "replication",
+        "campaign",
     ];
     for bin in bins {
         println!("═══ running {bin} ═══");

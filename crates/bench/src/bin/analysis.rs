@@ -57,9 +57,18 @@ fn main() {
 
     let cases = [
         ("healthy (no contention)", None),
-        ("under Bandwidth hog, no MemGuard (U_other=0.93)", Some((gamma, 0.93))),
-        ("under hog, MemGuard 2% budget (worst-case sustained)", Some((gamma, 0.02))),
-        ("under hog, MemGuard 5% budget (worst-case sustained)", Some((gamma, 0.05))),
+        (
+            "under Bandwidth hog, no MemGuard (U_other=0.93)",
+            Some((gamma, 0.93)),
+        ),
+        (
+            "under hog, MemGuard 2% budget (worst-case sustained)",
+            Some((gamma, 0.02)),
+        ),
+        (
+            "under hog, MemGuard 5% budget (worst-case sustained)",
+            Some((gamma, 0.05)),
+        ),
     ];
 
     println!("Response-time analysis of the HCE task set (γ = {gamma})\n");
@@ -71,13 +80,21 @@ fn main() {
                 label.to_string(),
                 v.name.clone(),
                 format!("{}", v.wcet),
-                v.response.map(|r| r.to_string()).unwrap_or("> deadline".into()),
+                v.response
+                    .map(|r| r.to_string())
+                    .unwrap_or("> deadline".into()),
                 if v.schedulable { "yes" } else { "NO" }.to_string(),
             ]);
         }
     }
     let table = ascii_table(
-        &["case", "task", "WCET (inflated)", "worst response", "schedulable"],
+        &[
+            "case",
+            "task",
+            "WCET (inflated)",
+            "worst response",
+            "schedulable",
+        ],
         &all_rows,
     );
     print!("{table}");

@@ -15,12 +15,17 @@ fn row(label: &str, r: &ScenarioResult) -> Vec<String> {
             .first()
             .map(|e| e.rule.clone())
             .unwrap_or_else(|| "-".into()),
-        r.switch_time.map(|t| t.to_string()).unwrap_or("never".into()),
+        r.switch_time
+            .map(|t| t.to_string())
+            .unwrap_or("never".into()),
         match &r.crash {
             Some(c) => format!("{} ({})", c.time, c.kind),
             None => "survived".into(),
         },
-        format!("{:.3}", r.max_deviation(SimTime::from_secs(25), SimTime::from_secs(30))),
+        format!(
+            "{:.3}",
+            r.max_deviation(SimTime::from_secs(25), SimTime::from_secs(30))
+        ),
     ]
 }
 
@@ -30,7 +35,13 @@ fn main() {
     let violent = Scenario::new(ScenarioConfig::spoof_violent()).run();
 
     let table = ascii_table(
-        &["variant", "detecting rule", "switch", "outcome", "final dev (m)"],
+        &[
+            "variant",
+            "detecting rule",
+            "switch",
+            "outcome",
+            "final dev (m)",
+        ],
         &[
             row("moderate spoof, 12°/50 ms rule, 2.5 m hover", &moderate),
             row("violent spoof, stock 20°/250 ms rule, 1 m hover", &violent),

@@ -1,55 +1,74 @@
 //! Replication study: every figure scenario across a seed panel, so the
 //! qualitative outcomes can be checked for seed-robustness at a glance.
+//! The 20-run panel executes as one parallel campaign.
 
-use cd_bench::{ascii_table, write_result};
+use cd_bench::{ascii_table, write_result, CampaignOutcome, CampaignSpec};
 use containerdrone_core::prelude::*;
-use sim_core::time::SimTime;
 
-fn outcome(cfg: ScenarioConfig) -> (String, String) {
-    let r = Scenario::new(cfg).run();
-    let out = match &r.crash {
+fn cell(o: &CampaignOutcome) -> String {
+    let out = match &o.result.crash {
         Some(c) => format!("crash {:.1}s", c.time.as_secs_f64()),
         None => {
-            let dev = r.max_deviation(
-                r.attack_onset.unwrap_or(SimTime::from_secs(2)),
-                SimTime::from_secs(30),
-            );
-            if dev > 2.0 {
-                format!("lost ctl ({dev:.1} m)")
+            if o.max_deviation > 2.0 {
+                format!("lost ctl ({:.1} m)", o.max_deviation)
             } else {
-                format!("stable ({dev:.2} m)")
+                format!("stable ({:.2} m)", o.max_deviation)
             }
         }
     };
-    let switch = r
+    let switch = o
+        .result
         .switch_time
         .map(|t| format!("{:.1}s", t.as_secs_f64()))
         .unwrap_or("-".into());
-    (out, switch)
+    format!("{out} / {switch}")
 }
 
 fn main() {
     let seeds = [2019u64, 7, 99, 12345, 777];
-    println!("Replication across seeds {seeds:?} (outcome / simplex switch)\n");
-    let mut rows = Vec::new();
-    for (name, mk) in [
-        ("fig4 (expected: crash or lost ctl)", ScenarioConfig::fig4 as fn() -> ScenarioConfig),
+    let scenarios = [
+        (
+            "fig4 (expected: crash or lost ctl)",
+            ScenarioConfig::fig4 as fn() -> ScenarioConfig,
+        ),
         ("fig5 (expected: stable)", ScenarioConfig::fig5),
         ("fig6 (expected: stable + switch)", ScenarioConfig::fig6),
         ("fig7 (expected: stable + switch)", ScenarioConfig::fig7),
-    ] {
-        let mut row = vec![name.to_string()];
+    ];
+    println!("Replication across seeds {seeds:?} (outcome / simplex switch)\n");
+
+    let mut spec = CampaignSpec::new("replication");
+    for (name, mk) in scenarios {
         for &seed in &seeds {
-            let (out, switch) = outcome(mk().with_seed(seed));
-            row.push(format!("{out} / {switch}"));
+            spec = spec.variant(format!("{name}@{seed}"), mk().with_seed(seed));
         }
-        rows.push(row);
     }
+    let report = spec.run();
+
+    // One table row per scenario, one column per seed (campaign outcomes
+    // keep spec order: scenario-major, seed-minor).
+    let rows: Vec<Vec<String>> = report
+        .outcomes
+        .chunks(seeds.len())
+        .map(|chunk| {
+            let name = chunk[0].label.split('@').next().unwrap_or("").to_string();
+            std::iter::once(name)
+                .chain(chunk.iter().map(cell))
+                .collect()
+        })
+        .collect();
     let headers: Vec<String> = std::iter::once("scenario".to_string())
         .chain(seeds.iter().map(|s| format!("seed {s}")))
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let table = ascii_table(&header_refs, &rows);
     print!("{table}");
+    println!(
+        "\n{} runs in {:.1}s wall ({} threads, {:.1}s cpu)",
+        report.outcomes.len(),
+        report.wall_clock.as_secs_f64(),
+        report.threads,
+        report.cpu_time().as_secs_f64(),
+    );
     write_result("replication.txt", &table);
 }

@@ -50,7 +50,13 @@ fn main() {
         .collect();
 
     let table = ascii_table(
-        &["Case", "CPU0 (paper)", "CPU1 (paper)", "CPU2 (paper)", "CPU3 (paper)"],
+        &[
+            "Case",
+            "CPU0 (paper)",
+            "CPU1 (paper)",
+            "CPU2 (paper)",
+            "CPU3 (paper)",
+        ],
         &rows,
     );
     println!("Table II — CPU idle rates, measured over 30 s (paper values in parentheses)\n");
@@ -59,7 +65,10 @@ fn main() {
 
     let mut csv = String::from("case,cpu0,cpu1,cpu2,cpu3\n");
     for ((name, _), m) in paper.iter().zip(measured) {
-        csv.push_str(&format!("{},{:.4},{:.4},{:.4},{:.4}\n", name, m[0], m[1], m[2], m[3]));
+        csv.push_str(&format!(
+            "{},{:.4},{:.4},{:.4},{:.4}\n",
+            name, m[0], m[1], m[2], m[3]
+        ));
     }
     write_result("table2.csv", &csv);
 }

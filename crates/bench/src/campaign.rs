@@ -1,0 +1,355 @@
+//! Campaign execution: run whole grids of scenarios across threads.
+//!
+//! A [`CampaignSpec`] is a list of labelled scenario variants — typically
+//! a cartesian product of attack timelines × protection settings × seeds
+//! built with [`CampaignSpec::product`]. [`CampaignSpec::run`] executes
+//! the variants on a worker pool of scoped threads (scenarios are
+//! independent, deterministic, share-nothing simulations, so they
+//! parallelise perfectly on multicore hosts) and aggregates every
+//! [`ScenarioResult`] into one [`CampaignReport`] with ASCII and CSV
+//! renderings.
+//!
+//! # Examples
+//!
+//! ```
+//! use cd_bench::campaign::CampaignSpec;
+//! use containerdrone_core::prelude::*;
+//! use sim_core::time::SimDuration;
+//!
+//! let short = ScenarioConfig::healthy().with_duration(SimDuration::from_secs(1));
+//! let report = CampaignSpec::new("smoke")
+//!     .variant("healthy-a", short.clone())
+//!     .variant("healthy-b", short.with_seed(7))
+//!     .run();
+//! assert_eq!(report.outcomes.len(), 2);
+//! assert!(!report.outcomes[0].result.crashed());
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use attacks::script::AttackScript;
+use containerdrone_core::runner::{Scenario, ScenarioResult};
+use containerdrone_core::scenario::ScenarioConfig;
+use containerdrone_core::Protections;
+use sim_core::time::SimTime;
+
+use crate::ascii_table;
+
+/// One labelled scenario in a campaign.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Human-readable variant label (shows up in report rows).
+    pub label: String,
+    /// The scenario to run.
+    pub config: ScenarioConfig,
+}
+
+/// A batch of scenario variants to execute.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Campaign name (report heading, CSV file stem).
+    pub name: String,
+    variants: Vec<Variant>,
+}
+
+impl CampaignSpec {
+    /// An empty campaign.
+    pub fn new(name: impl Into<String>) -> Self {
+        CampaignSpec {
+            name: name.into(),
+            variants: Vec::new(),
+        }
+    }
+
+    /// Adds one variant (chainable).
+    #[must_use]
+    pub fn variant(mut self, label: impl Into<String>, config: ScenarioConfig) -> Self {
+        self.variants.push(Variant {
+            label: label.into(),
+            config,
+        });
+        self
+    }
+
+    /// Builds the cartesian product `attacks × protections × seeds` over a
+    /// base configuration — the standard campaign shape. Labels compose as
+    /// `attack/protection/seed`.
+    pub fn product(
+        name: impl Into<String>,
+        base: &ScenarioConfig,
+        attacks: &[(&str, AttackScript)],
+        protections: &[(&str, Protections)],
+        seeds: &[u64],
+    ) -> Self {
+        let mut spec = CampaignSpec::new(name);
+        for (attack_label, script) in attacks {
+            for (prot_label, prot) in protections {
+                for &seed in seeds {
+                    let mut cfg = base.clone();
+                    cfg.attacks = script.clone();
+                    cfg.framework.protections = *prot;
+                    cfg.seed = seed;
+                    spec = spec.variant(format!("{attack_label}/{prot_label}/seed{seed}"), cfg);
+                }
+            }
+        }
+        spec
+    }
+
+    /// Number of variants.
+    pub fn len(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// `true` when no variants are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.variants.is_empty()
+    }
+
+    /// The scheduled variants.
+    pub fn variants(&self) -> &[Variant] {
+        &self.variants
+    }
+
+    /// Runs every variant on one worker per available core (capped at the
+    /// variant count).
+    pub fn run(self) -> CampaignReport {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        self.run_with_threads(threads)
+    }
+
+    /// Runs every variant serially on the calling thread (the baseline
+    /// the speedup bench compares against).
+    pub fn run_serial(self) -> CampaignReport {
+        self.run_with_threads(1)
+    }
+
+    /// Runs every variant on a pool of exactly `threads` workers.
+    ///
+    /// Variants are handed out through an atomic cursor, so the pool
+    /// stays busy even when run times are skewed (a crashing scenario
+    /// ends early; a 30 s stable flight does not). Outcomes keep variant
+    /// order regardless of completion order.
+    pub fn run_with_threads(self, threads: usize) -> CampaignReport {
+        let CampaignSpec { name, variants } = self;
+        let n = variants.len();
+        let threads = threads.clamp(1, n.max(1));
+        let started = Instant::now();
+
+        let mut slots: Vec<Mutex<Option<CampaignOutcome>>> = Vec::with_capacity(n);
+        slots.resize_with(n, || Mutex::new(None));
+        let cursor = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(variant) = variants.get(i) else {
+                        break;
+                    };
+                    let outcome = run_variant(variant);
+                    *slots[i].lock().expect("outcome slot") = Some(outcome);
+                });
+            }
+        });
+
+        let outcomes = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("outcome slot")
+                    .expect("every variant ran")
+            })
+            .collect();
+
+        CampaignReport {
+            name,
+            outcomes,
+            wall_clock: started.elapsed(),
+            threads,
+        }
+    }
+}
+
+fn run_variant(variant: &Variant) -> CampaignOutcome {
+    let started = Instant::now();
+    let config = variant.config.clone();
+    let end = SimTime::ZERO + config.duration;
+    let result = Scenario::new(config).run();
+    let from = result.attack_onset.unwrap_or(SimTime::from_secs(2));
+    CampaignOutcome {
+        label: variant.label.clone(),
+        seed: result.config.seed,
+        max_deviation: result.max_deviation(from, end),
+        run_time: started.elapsed(),
+        result,
+    }
+}
+
+/// One variant's outcome: the headline numbers plus the full result for
+/// downstream artifact writing.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// The variant's label.
+    pub label: String,
+    /// The seed it ran with.
+    pub seed: u64,
+    /// Max deviation from the setpoint between the first attack onset
+    /// (or 2 s, for healthy runs) and the end of the flight, metres.
+    pub max_deviation: f64,
+    /// Host wall-clock time this variant took.
+    pub run_time: Duration,
+    /// The full scenario result.
+    pub result: ScenarioResult,
+}
+
+impl CampaignOutcome {
+    /// Compact outcome classification: `crash`, `lost-ctl` or `stable`.
+    pub fn verdict(&self) -> &'static str {
+        if self.result.crashed() {
+            "crash"
+        } else if self.max_deviation > 2.0 {
+            "lost-ctl"
+        } else {
+            "stable"
+        }
+    }
+}
+
+/// Aggregated results of one campaign run.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// Per-variant outcomes, in spec order.
+    pub outcomes: Vec<CampaignOutcome>,
+    /// Wall-clock time for the whole batch.
+    pub wall_clock: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl CampaignReport {
+    /// Renders the standard outcome table.
+    pub fn ascii_table(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                vec![
+                    o.label.clone(),
+                    o.verdict().to_string(),
+                    o.result
+                        .switch_time
+                        .map(|t| format!("{:.1}s", t.as_secs_f64()))
+                        .unwrap_or_else(|| "-".into()),
+                    format!("{:.3}", o.max_deviation),
+                    format!("{:.2}s", o.run_time.as_secs_f64()),
+                ]
+            })
+            .collect();
+        ascii_table(
+            &["variant", "outcome", "switch", "max dev (m)", "run time"],
+            &rows,
+        )
+    }
+
+    /// Renders one CSV row per variant.
+    pub fn to_csv(&self) -> String {
+        let mut csv =
+            String::from("variant,seed,outcome,crashed,switch_s,max_deviation_m,run_time_s\n");
+        for o in &self.outcomes {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{:.4},{:.3}\n",
+                o.label,
+                o.seed,
+                o.verdict(),
+                o.result.crashed(),
+                o.result
+                    .switch_time
+                    .map(|t| format!("{:.3}", t.as_secs_f64()))
+                    .unwrap_or_default(),
+                o.max_deviation,
+                o.run_time.as_secs_f64(),
+            ));
+        }
+        csv
+    }
+
+    /// Sum of per-variant run times — what a serial execution would have
+    /// cost (up to scheduling noise).
+    pub fn cpu_time(&self) -> Duration {
+        self.outcomes.iter().map(|o| o.run_time).sum()
+    }
+
+    /// Looks an outcome up by label.
+    pub fn outcome(&self, label: &str) -> Option<&CampaignOutcome> {
+        self.outcomes.iter().find(|o| o.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimDuration;
+
+    fn short() -> ScenarioConfig {
+        ScenarioConfig::healthy().with_duration(SimDuration::from_secs(1))
+    }
+
+    #[test]
+    fn outcomes_keep_spec_order_under_parallelism() {
+        let mut spec = CampaignSpec::new("order");
+        for i in 0..6 {
+            spec = spec.variant(format!("v{i}"), short().with_seed(i));
+        }
+        let report = spec.run_with_threads(3);
+        let labels: Vec<&str> = report.outcomes.iter().map(|o| o.label.as_str()).collect();
+        assert_eq!(labels, ["v0", "v1", "v2", "v3", "v4", "v5"]);
+        assert_eq!(report.threads, 3);
+    }
+
+    #[test]
+    fn product_builds_the_full_grid() {
+        let base = short();
+        let spec = CampaignSpec::product(
+            "grid",
+            &base,
+            &[
+                ("none", AttackScript::none()),
+                ("also-none", AttackScript::none()),
+            ],
+            &[("stock", Protections::default())],
+            &[1, 2, 3],
+        );
+        assert_eq!(spec.len(), 6);
+        assert_eq!(spec.variants()[0].label, "none/stock/seed1");
+        assert_eq!(spec.variants()[5].config.seed, 3);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_variant_count() {
+        let report = CampaignSpec::new("tiny")
+            .variant("only", short())
+            .run_with_threads(64);
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn csv_and_table_cover_every_variant() {
+        let report = CampaignSpec::new("render")
+            .variant("a", short())
+            .variant("b", short().with_seed(5))
+            .run_serial();
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 3, "header + 2 rows");
+        assert!(csv.contains("a,2019,stable"));
+        assert!(report.ascii_table().contains("| b"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Campaign-layer integration tests: parallel execution determinism and
+//! grid semantics against real scenario runs.
+
+use cd_bench::CampaignSpec;
+use containerdrone_core::prelude::*;
+use sim_core::time::{SimDuration, SimTime};
+
+fn kill_at_2s(seed: u64) -> ScenarioConfig {
+    ScenarioConfig::builder()
+        .attack_at(SimTime::from_secs(2), AttackEvent::KillComplex)
+        .duration(SimDuration::from_secs(5))
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn identical_seeds_yield_identical_results_across_the_pool() {
+    // N copies of the same scenario spread over several workers must
+    // produce bit-identical telemetry: the simulations share nothing.
+    let n = 8;
+    let mut spec = CampaignSpec::new("determinism");
+    for i in 0..n {
+        spec = spec.variant(format!("copy{i}"), kill_at_2s(2019));
+    }
+    let report = spec.run_with_threads(4);
+    assert_eq!(report.outcomes.len(), n);
+    let reference = report.outcomes[0].result.telemetry.to_csv();
+    for o in &report.outcomes[1..] {
+        assert_eq!(
+            o.result.telemetry.to_csv(),
+            reference,
+            "{} diverged from copy0",
+            o.label
+        );
+    }
+    assert!(report
+        .outcomes
+        .iter()
+        .all(|o| o.result.switch_time.is_some()));
+}
+
+#[test]
+fn parallel_and_serial_execution_agree() {
+    let build = || {
+        CampaignSpec::new("agree")
+            .variant("kill-2019", kill_at_2s(2019))
+            .variant("kill-7", kill_at_2s(7))
+            .variant(
+                "healthy",
+                ScenarioConfig::healthy().with_duration(SimDuration::from_secs(3)),
+            )
+    };
+    let serial = build().run_serial();
+    let parallel = build().run_with_threads(3);
+    for (s, p) in serial.outcomes.iter().zip(&parallel.outcomes) {
+        assert_eq!(s.label, p.label);
+        assert_eq!(s.result.telemetry.to_csv(), p.result.telemetry.to_csv());
+        assert_eq!(s.result.switch_time, p.result.switch_time);
+    }
+}
+
+#[test]
+fn product_grid_runs_every_cell() {
+    let base = ScenarioConfig::builder()
+        .duration(SimDuration::from_secs(3))
+        .build();
+    let stock = Protections::default();
+    let mut no_monitor = stock;
+    no_monitor.monitor = false;
+    let spec = CampaignSpec::product(
+        "grid",
+        &base,
+        &[
+            ("none", AttackScript::none()),
+            (
+                "kill",
+                AttackScript::single(SimTime::from_secs(1), AttackEvent::KillComplex),
+            ),
+        ],
+        &[("stock", stock), ("no-monitor", no_monitor)],
+        &[2019, 7],
+    );
+    assert_eq!(spec.len(), 8);
+    let report = spec.run();
+
+    // Healthy cells never switch; killed cells switch only when the
+    // monitor protection is on.
+    for o in &report.outcomes {
+        let switched = o.result.switch_time.is_some();
+        let expected = o.label.starts_with("kill/stock");
+        assert_eq!(switched, expected, "{}: switch={switched}", o.label);
+    }
+}

@@ -151,10 +151,7 @@ impl Container {
     /// hairpin NAT): traffic to `host_ns:port` is redirected into the
     /// container.
     pub fn expose_port(&self, net: &mut Network, host_ns: NsId, port: u16) {
-        net.map_port(
-            Addr { ns: host_ns, port },
-            Addr { ns: self.ns, port },
-        );
+        net.map_port(Addr { ns: host_ns, port }, Addr { ns: self.ns, port });
     }
 
     /// Stops the container: kills every task inside (housekeeping on the
@@ -268,8 +265,16 @@ mod tests {
         c.expose_port(&mut net, host, 14660);
         let rx = net.bind(c.netns(), 14660).unwrap();
         let tx = net.bind(host, 9999).unwrap();
-        net.send(tx, Addr { ns: host, port: 14660 }, vec![0; 52], SimTime::ZERO)
-            .unwrap();
+        net.send(
+            tx,
+            Addr {
+                ns: host,
+                port: 14660,
+            },
+            vec![0; 52],
+            SimTime::ZERO,
+        )
+        .unwrap();
         net.step(SimTime::from_millis(1));
         assert_eq!(net.socket_stats(rx).delivered, 1);
         let _ = m;

@@ -103,28 +103,32 @@ pub fn spawn_system_background(machine: &mut Machine) -> Vec<TaskId> {
     let root = machine.root_cgroup();
     let mut ids = Vec::new();
     // Kernel housekeeping on CPU0 (~5%).
-    ids.push(machine.spawn(
-        TaskSpec::periodic_fifo(
-            "kworker/0",
-            40,
-            SimDuration::from_millis(10),
-            Cost::compute(SimDuration::from_micros(480)),
-        )
-        .with_affinity(CpuSet::single(0)),
-        root,
-    ));
-    // Light per-core ticks (~0.7% each).
-    for core in 1..machine.config().n_cores {
-        ids.push(machine.spawn(
+    ids.push(
+        machine.spawn(
             TaskSpec::periodic_fifo(
-                format!("tick/{core}"),
+                "kworker/0",
                 40,
                 SimDuration::from_millis(10),
-                Cost::compute(SimDuration::from_micros(70)),
+                Cost::compute(SimDuration::from_micros(480)),
             )
-            .with_affinity(CpuSet::single(core)),
+            .with_affinity(CpuSet::single(0)),
             root,
-        ));
+        ),
+    );
+    // Light per-core ticks (~0.7% each).
+    for core in 1..machine.config().n_cores {
+        ids.push(
+            machine.spawn(
+                TaskSpec::periodic_fifo(
+                    format!("tick/{core}"),
+                    40,
+                    SimDuration::from_millis(10),
+                    Cost::compute(SimDuration::from_micros(70)),
+                )
+                .with_affinity(CpuSet::single(core)),
+                root,
+            ),
+        );
     }
     ids
 }

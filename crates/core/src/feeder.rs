@@ -174,11 +174,7 @@ mod tests {
 
     #[test]
     fn gps_roundtrip_is_centimetre_accurate() {
-        for &(x, y, z) in &[
-            (0.0, 0.0, -1.0),
-            (2.5, -3.5, -2.0),
-            (-4.9, 4.9, -0.3),
-        ] {
+        for &(x, y, z) in &[(0.0, 0.0, -1.0), (2.5, -3.5, -2.0), (-4.9, 4.9, -0.3)] {
             let s = PositionFix {
                 time: SimTime::from_secs(5),
                 position: Vec3::new(x, y, z),

@@ -18,19 +18,46 @@
 //!
 //! # Quickstart
 //!
+//! Scenarios are assembled with [`ScenarioConfig::builder`]; attacks are
+//! scheduled on a composable timeline, so one run can sequence and
+//! overlap any number of them:
+//!
 //! ```
 //! use containerdrone_core::prelude::*;
-//! use sim_core::time::SimDuration;
+//! use sim_core::time::{SimDuration, SimTime};
 //!
-//! // A short healthy hover (the full figures run 30 s).
-//! let cfg = ScenarioConfig::healthy().with_duration(SimDuration::from_secs(2));
+//! // A short flight in which the attacker kills the complex controller
+//! // at 1 s — the monitor fails over to the safety controller.
+//! let cfg = ScenarioConfig::builder()
+//!     .pilot(Pilot::CceSimplex)
+//!     .attack_at(SimTime::from_secs(1), AttackEvent::KillComplex)
+//!     .duration(SimDuration::from_secs(3))
+//!     .build();
 //! let result = Scenario::new(cfg).run();
 //! assert!(!result.crashed());
+//! assert!(result.switch_time.is_some());
+//! ```
+//!
+//! Multi-attack timelines chain `attack_at` calls (or build an
+//! [`attacks::AttackScript`] directly):
+//!
+//! ```no_run
+//! use containerdrone_core::prelude::*;
+//! use sim_core::time::SimTime;
+//!
+//! let cfg = ScenarioConfig::builder()
+//!     .attack_at(SimTime::from_secs(10), AttackEvent::MemoryHog(BandwidthHog::isolbench()))
+//!     .attack_at(SimTime::from_secs(15), AttackEvent::UdpFlood(UdpFlood::against_motor_port()))
+//!     .attack_at(SimTime::from_secs(20), AttackEvent::KillComplex)
+//!     .build();
+//! let result = Scenario::new(cfg).run();
 //! ```
 //!
 //! The paper's experiments are presets: [`scenario::ScenarioConfig::fig4`]
-//! through [`scenario::ScenarioConfig::fig7`]; the `cd-bench` crate
-//! regenerates every table and figure from them.
+//! through [`scenario::ScenarioConfig::fig7`] — thin wrappers over the
+//! builder. The `cd-bench` crate regenerates every table and figure from
+//! them, and its `Campaign` layer fans whole scenario grids out across
+//! threads.
 
 #![warn(missing_docs)]
 
@@ -50,7 +77,10 @@ pub use monitor::{
     RuleVerdict, SecurityMonitor, SecurityRule,
 };
 pub use runner::{Scenario, ScenarioResult, StreamReport};
-pub use scenario::{Attack, Pilot, ScenarioConfig};
+pub use scenario::{Pilot, ScenarioBuilder, ScenarioConfig};
+
+// The attack-timeline vocabulary is part of the scenario API surface.
+pub use attacks::script::{AttackEvent, AttackScript, ScriptEntry};
 pub use telemetry::{FlightRecorder, Marker};
 
 /// Convenient glob import of the framework types.
@@ -60,6 +90,7 @@ pub mod prelude {
         MonitorContext, OutputSource, RuleVerdict, SecurityMonitor, SecurityRule,
     };
     pub use crate::runner::{Scenario, ScenarioResult, StreamReport};
-    pub use crate::scenario::{Attack, Pilot, ScenarioConfig};
+    pub use crate::scenario::{Pilot, ScenarioBuilder, ScenarioConfig};
     pub use crate::telemetry::FlightRecorder;
+    pub use attacks::prelude::*;
 }

@@ -1,0 +1,62 @@
+//! The attack-timeline engine: arms scheduled events at their onsets and
+//! advances every armed driver each quantum.
+//!
+//! This replaces the old single-shot attack dispatch: the runner no longer
+//! knows the attack kinds, only the [`AttackDriver`] contract, so the
+//! timeline may sequence and overlap any number of attacks.
+
+use attacks::driver::AttackCtx;
+use attacks::script::AttackEvent;
+use sim_core::time::{SimDuration, SimTime};
+
+use super::Runtime;
+
+impl Runtime {
+    /// Arms every script entry whose time has come, then steps all armed
+    /// drivers by one quantum.
+    pub(crate) fn step_attacks(&mut self, now: SimTime, quantum: SimDuration) {
+        while let Some(entry) = self.script.get(self.script_cursor) {
+            if now < entry.at {
+                break;
+            }
+            let event = entry.event.clone();
+            self.script_cursor += 1;
+            self.fire(now, &event);
+        }
+
+        for driver in &mut self.armed {
+            driver.step(&mut self.net, now, quantum);
+        }
+    }
+
+    /// Fires one timeline event: `CeaseFire` halts everything armed so
+    /// far; anything else arms a new driver.
+    fn fire(&mut self, now: SimTime, event: &AttackEvent) {
+        self.attack_log.push((now, event.name()));
+        if *event == AttackEvent::CeaseFire {
+            self.recorder.mark(now, "attack stop: cease-fire");
+            for driver in &mut self.armed {
+                driver.halt(&mut self.machine);
+            }
+            return;
+        }
+
+        self.recorder
+            .mark(now, format!("attack start: {}", event.name()));
+        let controller_tasks = self.ids.controller_tasks();
+        let src_port = self.next_src_port;
+        self.next_src_port += 1;
+        let mut ctx = AttackCtx {
+            machine: &mut self.machine,
+            net: &mut self.net,
+            container: &mut self.container,
+            host_ns: self.host_ns,
+            controller_tasks: &controller_tasks,
+            cpu_isolation: self.cfg.framework.protections.cpu_isolation,
+            src_port,
+        };
+        if let Some(driver) = event.arm(&mut ctx) {
+            self.armed.push(driver);
+        }
+    }
+}

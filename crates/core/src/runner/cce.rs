@@ -1,0 +1,79 @@
+//! Container Control Environment job handlers: the complex-controller
+//! pipeline and the 400 Hz rate loop feeding motor output back over the
+//! bridged UDP channel.
+
+use mavlink_lite::messages::{Heartbeat, Message, MotorOutput};
+use sim_core::time::SimTime;
+use virt_net::net::Addr;
+
+use crate::config::MOTOR_PORT;
+use crate::feeder::{msg_to_baro, msg_to_fix, msg_to_imu};
+
+use super::Runtime;
+
+impl Runtime {
+    /// CCE pipeline job: drain the sensor socket, feed the complex
+    /// controller, run the outer loops.
+    pub(crate) fn on_cce_pipeline(&mut self, now: SimTime) {
+        let Some(rx) = self.cce_sensor_rx else { return };
+        let Some(fc) = &mut self.cce_fc else { return };
+        for pkt in self.net.recv_all(rx) {
+            for frame in self.cce_parser.push(&pkt.payload) {
+                match frame.message {
+                    Message::Imu(m) => fc.on_imu(&msg_to_imu(&m)),
+                    Message::Baro(m) => fc.on_baro(&msg_to_baro(&m)),
+                    Message::Gps(m) => fc.on_position_fix(&msg_to_fix(&m)),
+                    _ => {}
+                }
+            }
+        }
+        fc.run_outer(now);
+    }
+
+    /// CCE rate-loop job: compute and transmit the motor output, plus a
+    /// liveness heartbeat once per second.
+    pub(crate) fn on_cce_rate(&mut self, now: SimTime) {
+        let Some(tx) = self.cce_motor_tx else { return };
+        let Some(fc) = &mut self.cce_fc else { return };
+        self.cce_rate_jobs += 1;
+        if self.cce_rate_jobs.is_multiple_of(400) {
+            let hb = Heartbeat {
+                custom_mode: 0,
+                vehicle_type: 2,  // MAV_TYPE_QUADROTOR
+                autopilot: 12,    // MAV_AUTOPILOT_PX4
+                base_mode: 0x80,  // armed
+                system_status: 4, // active
+                mavlink_version: 3,
+            };
+            let wire = self.cce_sender.encode(Message::Heartbeat(hb));
+            let _ = self.net.send(
+                tx,
+                Addr {
+                    ns: self.host_ns,
+                    port: MOTOR_PORT,
+                },
+                wire,
+                now,
+            );
+        }
+        let pwm = fc.run_rate_loop(now);
+        self.motor_seq += 1;
+        let msg = MotorOutput {
+            time_usec: now.as_micros(),
+            pwm,
+            seq: self.motor_seq,
+            armed: 1,
+        };
+        let wire = self.cce_sender.encode(Message::Motor(msg));
+        self.motor_counter.record(wire.len());
+        let _ = self.net.send(
+            tx,
+            Addr {
+                ns: self.host_ns,
+                port: MOTOR_PORT,
+            },
+            wire,
+            now,
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Host Control Environment job handlers: drivers, rx thread, security
+//! monitor, safety controller and the direct-pilot flight stack — plus the
+//! completion-dispatch switch connecting scheduler events to them.
+
+use rt_sched::task::TaskId;
+use sim_core::time::SimTime;
+use virt_net::net::Addr;
+
+use crate::config::SENSOR_PORT;
+use crate::feeder::{baro_to_msg, fix_to_msg, imu_to_msg, neutral_rc};
+use crate::monitor::{MonitorContext, OutputSource};
+use crate::scenario::Pilot;
+
+use mavlink_lite::messages::Message;
+
+use super::Runtime;
+
+impl Runtime {
+    /// Routes a completed job to its handler.
+    pub(crate) fn dispatch(&mut self, task: TaskId, now: SimTime) {
+        let ids = &self.ids;
+        if task == ids.sensor_driver {
+            self.on_sensor_driver(now);
+        } else if task == ids.motor_driver {
+            self.on_motor_driver(now);
+        } else if Some(task) == ids.monitor {
+            self.on_monitor(now);
+        } else if Some(task) == ids.rx {
+            self.on_rx(now);
+        } else if Some(task) == ids.safety {
+            self.on_safety(now);
+        } else if Some(task) == ids.hce_stack {
+            self.on_hce_stack(now);
+        } else if Some(task) == ids.cc_pipeline {
+            self.on_cce_pipeline(now);
+        } else if Some(task) == ids.cc_rate {
+            self.on_cce_rate(now);
+        }
+    }
+
+    /// Sensor driver job: sample the devices, update the HCE view, feed the
+    /// local controllers, and forward the Table I streams to the CCE.
+    pub(crate) fn on_sensor_driver(&mut self, now: SimTime) {
+        self.sensor_jobs += 1;
+        let sensor_addr = Addr {
+            ns: self.host_ns,
+            port: SENSOR_PORT,
+        };
+
+        let imu = self.world.sample_imu();
+        self.safety_fc.on_imu(&imu);
+        if let Some(fc) = &mut self.hce_fc {
+            fc.on_imu(&imu);
+        }
+        let wire = self.hce_sender.encode(Message::Imu(imu_to_msg(&imu)));
+        self.imu_counter.record(wire.len());
+        let _ = self.net.send(self.hce_sensor_tx, sensor_addr, wire, now);
+
+        // Barometer + RC at 50 Hz (every 5th 250 Hz job).
+        if self.sensor_jobs.is_multiple_of(5) {
+            let baro = self.world.sample_baro();
+            self.safety_fc.on_baro(&baro);
+            if let Some(fc) = &mut self.hce_fc {
+                fc.on_baro(&baro);
+            }
+            let wire = self.hce_sender.encode(Message::Baro(baro_to_msg(&baro)));
+            self.baro_counter.record(wire.len());
+            let _ = self.net.send(self.hce_sensor_tx, sensor_addr, wire, now);
+
+            let rc = neutral_rc(now);
+            let wire = self.hce_sender.encode(Message::Rc(rc));
+            self.rc_counter.record(wire.len());
+            let _ = self.net.send(self.hce_sensor_tx, sensor_addr, wire, now);
+        }
+
+        // Positioning at 10 Hz (every 25th job).
+        if self.sensor_jobs.is_multiple_of(25) {
+            let fix = self.world.sample_position();
+            self.safety_fc.on_position_fix(&fix);
+            if let Some(fc) = &mut self.hce_fc {
+                fc.on_position_fix(&fix);
+            }
+            let wire = self.hce_sender.encode(Message::Gps(fix_to_msg(&fix)));
+            self.gps_counter.record(wire.len());
+            let _ = self.net.send(self.hce_sensor_tx, sensor_addr, wire, now);
+        }
+    }
+
+    /// Motor driver job: apply the selected controller's output.
+    pub(crate) fn on_motor_driver(&mut self, _now: SimTime) {
+        let pwm = match self.cfg.pilot {
+            Pilot::HceDirect => self
+                .hce_fc
+                .as_ref()
+                .map(|fc| fc.last_pwm())
+                .unwrap_or([1000; 4]),
+            Pilot::CceSimplex => match self.monitor.source() {
+                OutputSource::Complex => self.cce_cmd_pwm,
+                OutputSource::Safety => self.safety_fc.last_pwm(),
+            },
+        };
+        self.world.set_motor_pwm(pwm);
+    }
+
+    /// Security monitor job: evaluate the rules, act on violations.
+    pub(crate) fn on_monitor(&mut self, now: SimTime) {
+        let ctx = MonitorContext {
+            now,
+            last_valid_output: self.last_valid_output,
+            attitude_error: self.safety_fc.attitude_error(),
+            source: self.monitor.source(),
+        };
+        if self.monitor.evaluate(&ctx) {
+            // "the monitor kills the receiving thread on the HCE and
+            // switches to use the output from the safety controller".
+            if let Some(rx) = self.ids.rx {
+                self.machine.kill(rx);
+            }
+            self.safety_fc.reset_transients();
+            self.recorder
+                .mark(now, "simplex switch to safety controller");
+        }
+    }
+
+    /// Rx-thread job: process exactly one datagram from the motor port.
+    pub(crate) fn on_rx(&mut self, now: SimTime) {
+        if let Some(pkt) = self.net.recv(self.hce_motor_rx) {
+            for frame in self.hce_parser.push(&pkt.payload) {
+                match frame.message {
+                    Message::Motor(m) if m.armed == 1 => {
+                        self.cce_cmd_pwm = m.pwm;
+                        self.last_valid_output = Some(now);
+                    }
+                    Message::Heartbeat(_) => {
+                        self.heartbeats_received += 1;
+                        self.last_heartbeat = Some(now);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Safety controller job (hot standby, 400 Hz).
+    pub(crate) fn on_safety(&mut self, now: SimTime) {
+        self.safety_fc.run_outer(now);
+        let _ = self.safety_fc.run_rate_loop(now);
+    }
+
+    /// HCE trusted-controller job (memory-DoS experiments).
+    pub(crate) fn on_hce_stack(&mut self, now: SimTime) {
+        if let Some(fc) = &mut self.hce_fc {
+            fc.run_outer(now);
+            let _ = fc.run_rate_loop(now);
+        }
+    }
+}

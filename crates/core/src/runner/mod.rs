@@ -1,0 +1,185 @@
+//! The co-simulation runner: machine + network + physics + controllers.
+//!
+//! [`Scenario::run`] assembles the full ContainerDrone system of Figure 2 —
+//! HCE tasks on the host (drivers, rx thread, security monitor, safety
+//! controller), CCE tasks in the container (complex-controller pipeline and
+//! rate loop), the bridged UDP channel of Table I — and advances everything
+//! in lock-step at the scheduler quantum. Job completions trigger the
+//! corresponding framework actions, so every scheduling delay, memory
+//! stall, dropped packet and parser resync propagates into flight quality
+//! exactly the way it does on the paper's testbed.
+//!
+//! The runner is organised by subsystem:
+//!
+//! | Module | Responsibility |
+//! |--------|----------------|
+//! | [`assembly`] | Building the machine, network, container and task set |
+//! | [`hce`] | Host-side job handlers (drivers, rx, monitor, safety) |
+//! | [`cce`] | Container-side job handlers (pipeline, rate loop) |
+//! | [`attack`] | The attack-timeline cursor and armed-driver loop |
+//! | [`report`] | Telemetry sampling and the end-of-run [`ScenarioResult`] |
+//!
+//! Attacks are *data* ([`attacks::AttackScript`]): the main loop arms
+//! each scheduled event at its onset and thereafter steps every armed
+//! [`attacks::AttackDriver`] generically, so a run may contain any number
+//! of concurrent and sequenced attacks.
+
+pub mod assembly;
+pub mod attack;
+pub mod cce;
+pub mod hce;
+pub mod report;
+
+use attacks::driver::AttackDriver;
+use attacks::script::ScriptEntry;
+use autopilot::controller::FlightController;
+use container_rt::container::Container;
+use mavlink_lite::frame::Sender;
+use mavlink_lite::parser::Parser;
+use rt_sched::machine::Machine;
+use rt_sched::task::SchedEvent;
+use sim_core::time::{SimDuration, SimTime};
+use uav_dynamics::world::World;
+use virt_net::net::{Network, NsId, SocketId};
+
+use crate::feeder::StreamCounter;
+use crate::monitor::{SecurityMonitor, SecurityRule};
+use crate::scenario::ScenarioConfig;
+use crate::telemetry::FlightRecorder;
+
+pub use assembly::TaskIds;
+pub use report::{ScenarioResult, StreamReport};
+
+/// An executable scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    config: ScenarioConfig,
+}
+
+impl Scenario {
+    /// Wraps a configuration.
+    pub fn new(config: ScenarioConfig) -> Self {
+        Scenario { config }
+    }
+
+    /// Runs the scenario to completion (or 1 s past a crash) and returns
+    /// the collected results.
+    pub fn run(self) -> ScenarioResult {
+        Runtime::build(self.config, Vec::new()).run()
+    }
+
+    /// Runs with additional custom security rules installed in the monitor
+    /// (see the `custom_rule` example).
+    pub fn run_with_rules(self, rules: Vec<Box<dyn SecurityRule>>) -> ScenarioResult {
+        Runtime::build(self.config, rules).run()
+    }
+}
+
+/// The live state of one scenario run. Built by [`assembly`], advanced by
+/// [`Runtime::run`], torn down into a [`ScenarioResult`] by [`report`].
+pub(crate) struct Runtime {
+    pub(crate) cfg: ScenarioConfig,
+    pub(crate) world: World,
+    pub(crate) machine: Machine,
+    pub(crate) net: Network,
+    pub(crate) container: Container,
+    pub(crate) host_ns: NsId,
+    // Sockets.
+    pub(crate) hce_motor_rx: SocketId,
+    pub(crate) hce_sensor_tx: SocketId,
+    pub(crate) cce_motor_tx: Option<SocketId>,
+    pub(crate) cce_sensor_rx: Option<SocketId>,
+    // Protocol state.
+    pub(crate) hce_sender: Sender,
+    pub(crate) cce_sender: Sender,
+    pub(crate) hce_parser: Parser,
+    pub(crate) cce_parser: Parser,
+    // Controllers.
+    pub(crate) safety_fc: FlightController,
+    pub(crate) cce_fc: Option<FlightController>,
+    pub(crate) hce_fc: Option<FlightController>,
+    pub(crate) monitor: SecurityMonitor,
+    // Simplex actuation state.
+    pub(crate) cce_cmd_pwm: [u16; 4],
+    pub(crate) last_valid_output: Option<SimTime>,
+    pub(crate) motor_seq: u32,
+    // Feeder state.
+    pub(crate) sensor_jobs: u64,
+    pub(crate) cce_rate_jobs: u64,
+    pub(crate) heartbeats_received: u64,
+    pub(crate) last_heartbeat: Option<SimTime>,
+    pub(crate) imu_counter: StreamCounter,
+    pub(crate) baro_counter: StreamCounter,
+    pub(crate) gps_counter: StreamCounter,
+    pub(crate) rc_counter: StreamCounter,
+    pub(crate) motor_counter: StreamCounter,
+    // Attack-timeline state.
+    pub(crate) script: Vec<ScriptEntry>,
+    pub(crate) script_cursor: usize,
+    pub(crate) armed: Vec<Box<dyn AttackDriver>>,
+    pub(crate) attack_log: Vec<(SimTime, &'static str)>,
+    pub(crate) next_src_port: u16,
+    // Bookkeeping.
+    pub(crate) ids: TaskIds,
+    pub(crate) recorder: FlightRecorder,
+}
+
+impl Runtime {
+    /// The main lock-step loop: scheduler quantum by quantum, dispatching
+    /// completed jobs, stepping armed attacks and the network, recording
+    /// telemetry, and stopping 1 s after a crash.
+    fn run(mut self) -> ScenarioResult {
+        let quantum = self.machine.config().quantum;
+        let end = SimTime::ZERO + self.cfg.duration;
+        let record_period = SimDuration::from_hz(self.cfg.record_hz);
+        let mut next_record = SimTime::ZERO;
+        let mut events: Vec<SchedEvent> = Vec::new();
+        let mut crash_deadline: Option<SimTime> = None;
+        let mut crash_marked = false;
+
+        while self.machine.now() < end {
+            events.clear();
+            self.machine.step(&mut events);
+            let now = self.machine.now();
+            self.world.advance_to(now);
+
+            for ev in events.drain(..) {
+                if let SchedEvent::JobCompleted { task, .. } = ev {
+                    self.dispatch(task, now);
+                }
+            }
+
+            self.step_attacks(now, quantum);
+
+            let deliveries = self.net.step(now);
+            for d in deliveries {
+                if d.socket == self.hce_motor_rx {
+                    if let Some(rx) = self.ids.rx {
+                        if self.machine.is_alive(rx) {
+                            self.machine.inject_job(rx, d.count);
+                        }
+                    }
+                }
+            }
+
+            if now >= next_record {
+                self.record(now);
+                next_record = now + record_period;
+            }
+
+            if let Some(crash) = self.world.crash() {
+                if !crash_marked {
+                    self.recorder
+                        .mark(crash.time, format!("crash: {}", crash.kind));
+                    crash_marked = true;
+                    crash_deadline = Some(now + SimDuration::from_secs(1));
+                }
+            }
+            if crash_deadline.is_some_and(|d| now >= d) {
+                break;
+            }
+        }
+
+        self.finish()
+    }
+}

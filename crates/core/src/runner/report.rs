@@ -1,0 +1,239 @@
+//! Telemetry sampling during the run and the end-of-run report: stream
+//! statistics, task accounting, monitor events and the flight record.
+
+use mavlink_lite::parser::ParserStats;
+use rt_sched::machine::TaskStats;
+use sim_core::time::SimTime;
+use uav_dynamics::crash::Crash;
+use virt_net::net::SocketStats;
+
+use crate::config::{MOTOR_PORT, SENSOR_PORT};
+use crate::monitor::{MonitorEvent, OutputSource};
+use crate::scenario::{Pilot, ScenarioConfig};
+use crate::telemetry::FlightRecorder;
+
+use super::Runtime;
+
+/// One row of the Table I report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// Stream name (IMU, Barometer, …).
+    pub name: &'static str,
+    /// "HCE → CCE" or "CCE → HCE".
+    pub direction: &'static str,
+    /// Nominal rate from the configuration, Hz.
+    pub nominal_hz: f64,
+    /// Measured rate over the run, Hz.
+    pub measured_hz: f64,
+    /// On-wire frame size, bytes.
+    pub frame_bytes: f64,
+    /// Destination UDP port.
+    pub port: u16,
+}
+
+/// Everything a scenario run produces.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// The configuration that produced this result.
+    pub config: ScenarioConfig,
+    /// Recorded flight signals (the figure data).
+    pub telemetry: FlightRecorder,
+    /// The crash, if the flight ended in one.
+    pub crash: Option<Crash>,
+    /// When the Simplex switch to the safety controller happened.
+    pub switch_time: Option<SimTime>,
+    /// Monitor rule violations.
+    pub monitor_events: Vec<MonitorEvent>,
+    /// Onset of the first attack (None for healthy runs).
+    pub attack_onset: Option<SimTime>,
+    /// Every timeline event that fired, in firing order.
+    pub attack_log: Vec<(SimTime, &'static str)>,
+    /// Per-core idle fractions over the run.
+    pub idle_rates: Vec<f64>,
+    /// Measured Table I stream statistics.
+    pub streams: Vec<StreamReport>,
+    /// HCE motor-port parser statistics (flood garbage shows up here).
+    pub hce_parser_stats: ParserStats,
+    /// HCE motor-socket statistics (drops show up here).
+    pub rx_socket_stats: SocketStats,
+    /// Packets offered by flood attacks, if any.
+    pub flood_sent: u64,
+    /// Datagrams offered by all network-borne attacks combined.
+    pub attack_packets: u64,
+    /// CCE liveness heartbeats received by the HCE (1 Hz when healthy).
+    pub heartbeats_received: u64,
+    /// Per-task scheduler statistics (name, stats).
+    pub task_report: Vec<(String, TaskStats)>,
+}
+
+impl ScenarioResult {
+    /// `true` if the vehicle crashed.
+    pub fn crashed(&self) -> bool {
+        self.crash.is_some()
+    }
+
+    /// Largest distance between truth and the hover setpoint over
+    /// `[from, to)`, metres.
+    pub fn max_deviation(&self, from: SimTime, to: SimTime) -> f64 {
+        ["x", "y", "z"]
+            .iter()
+            .map(|a| self.telemetry.max_tracking_error(a, from, to))
+            .fold(0.0, f64::max)
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "outcome: {}\n",
+            match &self.crash {
+                Some(c) => format!("CRASHED at {} ({})", c.time, c.kind),
+                None => "stable".to_string(),
+            }
+        ));
+        if let Some(at) = self.attack_onset {
+            s.push_str(&format!("attack onset: {at}\n"));
+        }
+        for (at, name) in &self.attack_log {
+            s.push_str(&format!("attack event at {at}: {name}\n"));
+        }
+        match self.switch_time {
+            Some(t) => s.push_str(&format!("simplex switch: {t}\n")),
+            None => s.push_str("simplex switch: never\n"),
+        }
+        for ev in &self.monitor_events {
+            s.push_str(&format!(
+                "violation [{}] at {}: {}\n",
+                ev.rule, ev.time, ev.detail
+            ));
+        }
+        let idle: Vec<String> = self.idle_rates.iter().map(|r| format!("{r:.2}")).collect();
+        s.push_str(&format!("idle rates: [{}]\n", idle.join(", ")));
+        s
+    }
+}
+
+impl Runtime {
+    /// Samples the telemetry signals at the configured record rate.
+    pub(crate) fn record(&mut self, now: SimTime) {
+        let (estimated, att_err) = match self.cfg.pilot {
+            Pilot::HceDirect => {
+                let fc = self.hce_fc.as_ref().expect("hce pilot has a controller");
+                (fc.position_estimate(), fc.attitude_error())
+            }
+            Pilot::CceSimplex => match self.monitor.source() {
+                OutputSource::Complex => (
+                    self.cce_fc
+                        .as_ref()
+                        .map(|fc| fc.position_estimate())
+                        .unwrap_or(self.safety_fc.position_estimate()),
+                    self.safety_fc.attitude_error(),
+                ),
+                OutputSource::Safety => (
+                    self.safety_fc.position_estimate(),
+                    self.safety_fc.attitude_error(),
+                ),
+            },
+        };
+        self.recorder.sample(
+            now,
+            self.cfg.hover,
+            estimated,
+            self.world.truth().position,
+            att_err,
+            self.monitor.source(),
+        );
+    }
+
+    /// Tears the run down into a [`ScenarioResult`].
+    pub(crate) fn finish(self) -> ScenarioResult {
+        let elapsed = self.machine.now().as_secs_f64();
+        let fw = &self.cfg.framework;
+        let streams = vec![
+            StreamReport {
+                name: "IMU",
+                direction: "HCE → CCE",
+                nominal_hz: fw.rates.imu_hz,
+                measured_hz: self.imu_counter.rate_hz(elapsed),
+                frame_bytes: self.imu_counter.mean_frame_size(),
+                port: SENSOR_PORT,
+            },
+            StreamReport {
+                name: "Barometer",
+                direction: "HCE → CCE",
+                nominal_hz: fw.rates.baro_hz,
+                measured_hz: self.baro_counter.rate_hz(elapsed),
+                frame_bytes: self.baro_counter.mean_frame_size(),
+                port: SENSOR_PORT,
+            },
+            StreamReport {
+                name: "GPS",
+                direction: "HCE → CCE",
+                nominal_hz: fw.rates.gps_hz,
+                measured_hz: self.gps_counter.rate_hz(elapsed),
+                frame_bytes: self.gps_counter.mean_frame_size(),
+                port: SENSOR_PORT,
+            },
+            StreamReport {
+                name: "RC",
+                direction: "HCE → CCE",
+                nominal_hz: fw.rates.rc_hz,
+                measured_hz: self.rc_counter.rate_hz(elapsed),
+                frame_bytes: self.rc_counter.mean_frame_size(),
+                port: SENSOR_PORT,
+            },
+            StreamReport {
+                name: "Motor Output",
+                direction: "CCE → HCE",
+                nominal_hz: fw.rates.motor_hz,
+                measured_hz: self.motor_counter.rate_hz(elapsed),
+                frame_bytes: self.motor_counter.mean_frame_size(),
+                port: MOTOR_PORT,
+            },
+        ];
+
+        let mut task_report = Vec::new();
+        let all_ids = [
+            Some(self.ids.sensor_driver),
+            Some(self.ids.motor_driver),
+            self.ids.monitor,
+            self.ids.rx,
+            self.ids.safety,
+            self.ids.hce_stack,
+            self.ids.cc_pipeline,
+            self.ids.cc_rate,
+        ];
+        for id in all_ids.into_iter().flatten() {
+            task_report.push((
+                self.machine.task_name(id).to_string(),
+                self.machine.task_stats(id),
+            ));
+        }
+
+        let flood_sent = self
+            .armed
+            .iter()
+            .filter(|d| d.name() == attacks::udp_flood::FloodDriver::NAME)
+            .map(|d| d.packets_sent())
+            .sum();
+        let attack_packets = self.armed.iter().map(|d| d.packets_sent()).sum();
+
+        ScenarioResult {
+            crash: self.world.crash(),
+            switch_time: self.monitor.switch_time(),
+            monitor_events: self.monitor.events().to_vec(),
+            attack_onset: self.cfg.attacks.first_onset(),
+            attack_log: self.attack_log,
+            idle_rates: self.machine.idle_rates(),
+            streams,
+            hce_parser_stats: self.hce_parser.stats(),
+            rx_socket_stats: self.net.socket_stats(self.hce_motor_rx),
+            flood_sent,
+            attack_packets,
+            heartbeats_received: self.heartbeats_received,
+            task_report,
+            telemetry: self.recorder,
+            config: self.cfg,
+        }
+    }
+}

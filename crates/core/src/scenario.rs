@@ -1,20 +1,23 @@
 //! Scenario definitions: the paper's experiments as data.
 //!
-//! Each figure of the evaluation section is a preset here; the
-//! [`crate::runner::Scenario`] executes them. All presets share one
-//! calibration (costs, γ, thresholds) — the differences between presets
-//! are exactly the differences between the paper's experiments: which
-//! attack runs, when, and which protections are enabled.
+//! A scenario is described by a [`ScenarioConfig`], normally assembled
+//! through [`ScenarioConfig::builder`]. Attacks are scheduled on a
+//! composable [`AttackScript`] timeline — any number of attacks, with
+//! independent onsets, per run. The paper's figures are presets
+//! ([`ScenarioConfig::fig4`] … [`ScenarioConfig::fig7`]), kept as thin
+//! wrappers over the builder; all presets share one calibration (costs,
+//! γ, thresholds) and differ exactly where the paper's experiments
+//! differ: which attacks run, when, and which protections are enabled.
 
-use attacks::cpu_hog::CpuHog;
 use attacks::membw_hog::BandwidthHog;
+use attacks::script::{AttackEvent, AttackScript};
 use attacks::spoof::MotorSpoof;
 use attacks::udp_flood::UdpFlood;
 use sim_core::time::{SimDuration, SimTime};
 use uav_dynamics::math::Vec3;
 use uav_dynamics::world::WorldConfig;
 
-use crate::config::FrameworkConfig;
+use crate::config::{FrameworkConfig, Protections};
 
 /// Who flies the drone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,61 +32,6 @@ pub enum Pilot {
     HceDirect,
 }
 
-/// The attack of a scenario.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Attack {
-    /// No attack (healthy baseline).
-    None,
-    /// Memory-bandwidth hog in the container.
-    MemoryHog {
-        /// Attack onset.
-        at: SimTime,
-        /// The hog profile.
-        hog: BandwidthHog,
-    },
-    /// UDP flood against the HCE motor port.
-    UdpFlood {
-        /// Attack onset.
-        at: SimTime,
-        /// Flood parameters.
-        flood: UdpFlood,
-    },
-    /// Kill the complex controller.
-    KillComplex {
-        /// Attack onset.
-        at: SimTime,
-    },
-    /// CPU hog (ablation experiment).
-    CpuHog {
-        /// Attack onset.
-        at: SimTime,
-        /// Hog parameters.
-        hog: CpuHog,
-    },
-    /// Protocol-valid hostile motor commands (extension beyond the
-    /// paper's DoS attacker; exercises the attitude-error rule).
-    SpoofMotor {
-        /// Attack onset.
-        at: SimTime,
-        /// Spoof parameters.
-        spoof: MotorSpoof,
-    },
-}
-
-impl Attack {
-    /// When the attack starts, if there is one.
-    pub fn onset(&self) -> Option<SimTime> {
-        match self {
-            Attack::None => None,
-            Attack::MemoryHog { at, .. }
-            | Attack::UdpFlood { at, .. }
-            | Attack::KillComplex { at }
-            | Attack::CpuHog { at, .. }
-            | Attack::SpoofMotor { at, .. } => Some(*at),
-        }
-    }
-}
-
 /// A complete scenario description.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
@@ -93,8 +41,8 @@ pub struct ScenarioConfig {
     pub world: WorldConfig,
     /// Who flies.
     pub pilot: Pilot,
-    /// What attacks.
-    pub attack: Attack,
+    /// The attack timeline (empty = healthy run).
+    pub attacks: AttackScript,
     /// Flight duration.
     pub duration: SimDuration,
     /// Master random seed.
@@ -111,7 +59,7 @@ impl Default for ScenarioConfig {
             framework: FrameworkConfig::default(),
             world: WorldConfig::default(),
             pilot: Pilot::CceSimplex,
-            attack: Attack::None,
+            attacks: AttackScript::none(),
             duration: SimDuration::from_secs(30),
             seed: 2019,
             hover: Vec3::new(0.0, 0.6, -1.0),
@@ -128,54 +76,183 @@ impl Default for ScenarioConfig {
 /// `ablation_memguard` bench.
 pub const MEM_ATTACK_GAMMA: f64 = 45.0;
 
+/// Fluent assembly of a [`ScenarioConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use containerdrone_core::prelude::*;
+/// use sim_core::time::SimTime;
+///
+/// let cfg = ScenarioConfig::builder()
+///     .pilot(Pilot::CceSimplex)
+///     .attack_at(SimTime::from_secs(12), AttackEvent::KillComplex)
+///     .build();
+/// assert_eq!(cfg, ScenarioConfig::fig6());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioBuilder {
+    cfg: ScenarioConfig,
+}
+
+impl ScenarioBuilder {
+    /// Selects the pilot mode.
+    #[must_use]
+    pub fn pilot(mut self, pilot: Pilot) -> Self {
+        self.cfg.pilot = pilot;
+        self
+    }
+
+    /// Schedules an attack event on the timeline (repeatable; events may
+    /// overlap and sequence freely).
+    #[must_use]
+    pub fn attack_at(mut self, at: SimTime, event: AttackEvent) -> Self {
+        self.cfg.attacks = self.cfg.attacks.at(at, event);
+        self
+    }
+
+    /// Replaces the whole attack timeline.
+    #[must_use]
+    pub fn script(mut self, script: AttackScript) -> Self {
+        self.cfg.attacks = script;
+        self
+    }
+
+    /// Replaces the protection switches wholesale.
+    #[must_use]
+    pub fn protections(mut self, protections: Protections) -> Self {
+        self.cfg.framework.protections = protections;
+        self
+    }
+
+    /// Toggles MemGuard regulation of the CCE core.
+    #[must_use]
+    pub fn memguard(mut self, on: bool) -> Self {
+        self.cfg.framework.protections.memguard = on;
+        self
+    }
+
+    /// Toggles the iptables rate limit on the motor port.
+    #[must_use]
+    pub fn iptables(mut self, on: bool) -> Self {
+        self.cfg.framework.protections.iptables = on;
+        self
+    }
+
+    /// Toggles the security monitor (rules + Simplex switching).
+    #[must_use]
+    pub fn monitor(mut self, on: bool) -> Self {
+        self.cfg.framework.protections.monitor = on;
+        self
+    }
+
+    /// Toggles CPU isolation (container cpuset + RT-priority denial).
+    #[must_use]
+    pub fn cpu_isolation(mut self, on: bool) -> Self {
+        self.cfg.framework.protections.cpu_isolation = on;
+        self
+    }
+
+    /// Sets the DRAM contention factor γ (memory-DoS calibration).
+    #[must_use]
+    pub fn contention_gamma(mut self, gamma: f64) -> Self {
+        self.cfg.framework.dram.contention_gamma = gamma;
+        self
+    }
+
+    /// Replaces the full framework configuration.
+    #[must_use]
+    pub fn framework(mut self, framework: FrameworkConfig) -> Self {
+        self.cfg.framework = framework;
+        self
+    }
+
+    /// Replaces the physical-world configuration.
+    #[must_use]
+    pub fn world(mut self, world: WorldConfig) -> Self {
+        self.cfg.world = world;
+        self
+    }
+
+    /// Sets the flight duration.
+    #[must_use]
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.cfg.duration = duration;
+        self
+    }
+
+    /// Sets the master random seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the hover setpoint (NED).
+    #[must_use]
+    pub fn hover(mut self, hover: Vec3) -> Self {
+        self.cfg.hover = hover;
+        self
+    }
+
+    /// Sets the telemetry sampling rate.
+    #[must_use]
+    pub fn record_hz(mut self, hz: f64) -> Self {
+        self.cfg.record_hz = hz;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> ScenarioConfig {
+        self.cfg
+    }
+}
+
 impl ScenarioConfig {
+    /// Starts a fluent builder from the default (healthy) configuration.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
     /// Figure 4: memory DoS with MemGuard **disabled** — the drone drifts
     /// and crashes shortly after the attack starts (10 s).
     pub fn fig4() -> Self {
-        let mut cfg = ScenarioConfig {
-            pilot: Pilot::HceDirect,
-            attack: Attack::MemoryHog {
-                at: SimTime::from_secs(10),
-                hog: BandwidthHog::isolbench(),
-            },
-            ..ScenarioConfig::default()
-        };
-        cfg.framework.protections.memguard = false;
-        cfg.framework.dram.contention_gamma = MEM_ATTACK_GAMMA;
-        cfg
+        ScenarioConfig::builder()
+            .pilot(Pilot::HceDirect)
+            .attack_at(
+                SimTime::from_secs(10),
+                AttackEvent::MemoryHog(BandwidthHog::isolbench()),
+            )
+            .memguard(false)
+            .contention_gamma(MEM_ATTACK_GAMMA)
+            .build()
     }
 
     /// Figure 5: the same attack with MemGuard **enabled** — the drone
     /// oscillates briefly but remains stable.
     pub fn fig5() -> Self {
-        let mut cfg = Self::fig4();
-        cfg.framework.protections.memguard = true;
-        cfg
+        ScenarioBuilder { cfg: Self::fig4() }.memguard(true).build()
     }
 
     /// Figure 6: the attacker kills the complex controller at 12 s; the
     /// receive-interval rule trips and the safety controller recovers.
     pub fn fig6() -> Self {
-        ScenarioConfig {
-            pilot: Pilot::CceSimplex,
-            attack: Attack::KillComplex {
-                at: SimTime::from_secs(12),
-            },
-            ..ScenarioConfig::default()
-        }
+        ScenarioConfig::builder()
+            .pilot(Pilot::CceSimplex)
+            .attack_at(SimTime::from_secs(12), AttackEvent::KillComplex)
+            .build()
     }
 
     /// Figure 7: UDP flood against the motor port starting at 8 s; the
     /// drone degrades until the attitude-error rule trips, then recovers.
     pub fn fig7() -> Self {
-        ScenarioConfig {
-            pilot: Pilot::CceSimplex,
-            attack: Attack::UdpFlood {
-                at: SimTime::from_secs(8),
-                flood: UdpFlood::against_motor_port(),
-            },
-            ..ScenarioConfig::default()
-        }
+        ScenarioConfig::builder()
+            .pilot(Pilot::CceSimplex)
+            .attack_at(
+                SimTime::from_secs(8),
+                AttackEvent::UdpFlood(UdpFlood::against_motor_port()),
+            )
+            .build()
     }
 
     /// A healthy baseline flight (no attack), used for Table I and as the
@@ -191,15 +268,14 @@ impl ScenarioConfig {
     /// rule (12° / 50 ms) and a higher hover, and the monitor wins: switch
     /// and recovery.
     pub fn spoof() -> Self {
-        let mut cfg = ScenarioConfig {
-            pilot: Pilot::CceSimplex,
-            attack: Attack::SpoofMotor {
-                at: SimTime::from_secs(10),
-                spoof: MotorSpoof::moderate(),
-            },
-            hover: uav_dynamics::math::Vec3::new(0.0, 0.6, -2.5),
-            ..ScenarioConfig::default()
-        };
+        let mut cfg = ScenarioConfig::builder()
+            .pilot(Pilot::CceSimplex)
+            .attack_at(
+                SimTime::from_secs(10),
+                AttackEvent::SpoofMotor(MotorSpoof::moderate()),
+            )
+            .hover(Vec3::new(0.0, 0.6, -2.5))
+            .build();
         cfg.framework.thresholds.max_attitude_error = 12f64.to_radians();
         cfg.framework.thresholds.attitude_persistence = SimDuration::from_millis(50);
         cfg
@@ -211,17 +287,17 @@ impl ScenarioConfig {
     /// controller can recover at that altitude — the classic Simplex
     /// detection-latency limitation, documented in EXPERIMENTS.md.
     pub fn spoof_violent() -> Self {
-        ScenarioConfig {
-            pilot: Pilot::CceSimplex,
-            attack: Attack::SpoofMotor {
-                at: SimTime::from_secs(10),
-                spoof: MotorSpoof::default(),
-            },
-            ..ScenarioConfig::default()
-        }
+        ScenarioConfig::builder()
+            .pilot(Pilot::CceSimplex)
+            .attack_at(
+                SimTime::from_secs(10),
+                AttackEvent::SpoofMotor(MotorSpoof::default()),
+            )
+            .build()
     }
 
     /// Overrides the seed (for replication studies).
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -230,12 +306,14 @@ impl ScenarioConfig {
     /// Switches the positioning source from the lab's Vicon system to
     /// consumer-GNSS accuracy — the "other types of unmanned vehicles /
     /// outdoor" what-if the paper's conclusion gestures at.
+    #[must_use]
     pub fn with_gps_positioning(mut self) -> Self {
         self.world.positioning = uav_dynamics::sensors::PositioningConfig::gps();
         self
     }
 
     /// Overrides the duration.
+    #[must_use]
     pub fn with_duration(mut self, duration: SimDuration) -> Self {
         self.duration = duration;
         self
@@ -260,18 +338,18 @@ mod tests {
     #[test]
     fn presets_use_paper_attack_times() {
         assert_eq!(
-            ScenarioConfig::fig4().attack.onset(),
+            ScenarioConfig::fig4().attacks.first_onset(),
             Some(SimTime::from_secs(10))
         );
         assert_eq!(
-            ScenarioConfig::fig6().attack.onset(),
+            ScenarioConfig::fig6().attacks.first_onset(),
             Some(SimTime::from_secs(12))
         );
         assert_eq!(
-            ScenarioConfig::fig7().attack.onset(),
+            ScenarioConfig::fig7().attacks.first_onset(),
             Some(SimTime::from_secs(8))
         );
-        assert_eq!(ScenarioConfig::healthy().attack.onset(), None);
+        assert_eq!(ScenarioConfig::healthy().attacks.first_onset(), None);
     }
 
     #[test]
@@ -284,5 +362,23 @@ mod tests {
         ] {
             assert_eq!(cfg.duration, SimDuration::from_secs(30));
         }
+    }
+
+    #[test]
+    fn builder_composes_multi_attack_timelines() {
+        let cfg = ScenarioConfig::builder()
+            .attack_at(SimTime::from_secs(15), AttackEvent::KillComplex)
+            .attack_at(
+                SimTime::from_secs(10),
+                AttackEvent::MemoryHog(BandwidthHog::isolbench()),
+            )
+            .build();
+        assert_eq!(cfg.attacks.len(), 2);
+        assert_eq!(cfg.attacks.first_onset(), Some(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn builder_defaults_equal_healthy_preset() {
+        assert_eq!(ScenarioConfig::builder().build(), ScenarioConfig::healthy());
     }
 }

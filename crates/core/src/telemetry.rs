@@ -42,8 +42,17 @@ pub struct FlightRecorder {
 }
 
 const COLUMNS: [&str; 11] = [
-    "x_sp", "y_sp", "z_sp", "x_est", "y_est", "z_est", "x_true", "y_true", "z_true",
-    "att_err_deg", "source",
+    "x_sp",
+    "y_sp",
+    "z_sp",
+    "x_est",
+    "y_est",
+    "z_est",
+    "x_true",
+    "y_true",
+    "z_true",
+    "att_err_deg",
+    "source",
 ];
 
 impl FlightRecorder {

@@ -3,7 +3,6 @@
 //! complement the full 30 s reproductions under `/tests`.
 
 use containerdrone_core::prelude::*;
-use containerdrone_core::scenario::Attack;
 use sim_core::time::{SimDuration, SimTime};
 
 fn short(cfg: ScenarioConfig) -> ScenarioResult {
@@ -23,7 +22,10 @@ fn cce_simplex_mode_spawns_the_full_task_set() {
         "cce-pipeline",
         "cce-rate-loop",
     ] {
-        assert!(names.contains(&expected), "missing task {expected}: {names:?}");
+        assert!(
+            names.contains(&expected),
+            "missing task {expected}: {names:?}"
+        );
     }
     assert!(!names.contains(&"hce-flight-stack"));
 }
@@ -33,7 +35,10 @@ fn hce_direct_mode_spawns_the_pilot_stack_only() {
     let r = short(ScenarioConfig::fig4());
     let names: Vec<&str> = r.task_report.iter().map(|(n, _)| n.as_str()).collect();
     assert!(names.contains(&"hce-flight-stack"));
-    assert!(!names.contains(&"cce-pipeline"), "no CCE controller in fig4/5 mode");
+    assert!(
+        !names.contains(&"cce-pipeline"),
+        "no CCE controller in fig4/5 mode"
+    );
     assert!(!names.contains(&"rx-thread"));
 }
 
@@ -81,16 +86,14 @@ fn monitor_disabled_spawns_no_monitor_task() {
 #[test]
 fn attack_before_end_of_short_run_is_launched() {
     let mut cfg = ScenarioConfig::fig6();
-    cfg.attack = Attack::KillComplex {
-        at: SimTime::from_secs(1),
-    };
+    cfg.attacks = AttackScript::single(SimTime::from_secs(1), AttackEvent::KillComplex);
     let r = short(cfg);
     assert_eq!(r.attack_onset, Some(SimTime::from_secs(1)));
     assert!(r
         .telemetry
         .markers()
         .iter()
-        .any(|m| m.label == "attack start"));
+        .any(|m| m.label == "attack start: kill-complex"));
     // 3 s run: kill at 1 s, switch by ~1.6 s.
     assert!(r.switch_time.is_some());
 }
@@ -101,7 +104,11 @@ fn stream_rates_scale_with_duration() {
     let imu = r.streams.iter().find(|s| s.name == "IMU").unwrap();
     assert!((imu.measured_hz - 250.0).abs() < 5.0, "{}", imu.measured_hz);
     let motor = r.streams.iter().find(|s| s.name == "Motor Output").unwrap();
-    assert!((motor.measured_hz - 400.0).abs() < 8.0, "{}", motor.measured_hz);
+    assert!(
+        (motor.measured_hz - 400.0).abs() < 8.0,
+        "{}",
+        motor.measured_hz
+    );
 }
 
 #[test]

@@ -33,10 +33,8 @@ impl Crc16 {
     pub fn update_byte(&mut self, byte: u8) {
         let mut tmp = byte ^ (self.value as u8);
         tmp ^= tmp << 4;
-        self.value = (self.value >> 8)
-            ^ ((tmp as u16) << 8)
-            ^ ((tmp as u16) << 3)
-            ^ ((tmp as u16) >> 4);
+        self.value =
+            (self.value >> 8) ^ ((tmp as u16) << 8) ^ ((tmp as u16) << 3) ^ ((tmp as u16) >> 4);
     }
 
     /// Folds a slice of bytes into the checksum.

@@ -35,7 +35,10 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::BadCrc { expected, actual } => {
-                write!(f, "checksum mismatch: frame carries {expected:#06x}, computed {actual:#06x}")
+                write!(
+                    f,
+                    "checksum mismatch: frame carries {expected:#06x}, computed {actual:#06x}"
+                )
             }
             DecodeError::BadLength {
                 msg_id,
@@ -67,6 +70,8 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("0xabcd") && s.contains("0x1234"), "{s}");
-        assert!(DecodeError::Truncated.to_string().contains("complete frame"));
+        assert!(DecodeError::Truncated
+            .to_string()
+            .contains("complete frame"));
     }
 }

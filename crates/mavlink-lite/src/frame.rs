@@ -111,8 +111,7 @@ impl Frame {
         let sys_id = bytes[3];
         let comp_id = bytes[4];
         let msg_id = bytes[5];
-        let crc_extra =
-            crc_extra_for(msg_id).ok_or(DecodeError::UnknownMessage { msg_id })?;
+        let crc_extra = crc_extra_for(msg_id).ok_or(DecodeError::UnknownMessage { msg_id })?;
 
         let mut crc = Crc16::new();
         crc.update(&bytes[1..total - 2]);
@@ -225,7 +224,10 @@ mod tests {
         let bad = crc.get().to_le_bytes();
         wire[body_end] = bad[0];
         wire[body_end + 1] = bad[1];
-        assert!(matches!(Frame::decode(&wire), Err(DecodeError::BadCrc { .. })));
+        assert!(matches!(
+            Frame::decode(&wire),
+            Err(DecodeError::BadCrc { .. })
+        ));
     }
 
     #[test]

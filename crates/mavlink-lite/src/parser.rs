@@ -147,13 +147,15 @@ mod tests {
         }
         let mut out = Vec::new();
         for i in 0..n {
-            out.extend(tx.encode(
-                MotorOutput {
-                    seq: i as u32,
-                    ..MotorOutput::default()
-                }
-                .into(),
-            ));
+            out.extend(
+                tx.encode(
+                    MotorOutput {
+                        seq: i as u32,
+                        ..MotorOutput::default()
+                    }
+                    .into(),
+                ),
+            );
         }
         out
     }

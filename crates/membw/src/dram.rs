@@ -106,8 +106,7 @@ impl MemGuardConfig {
             "fraction must be in (0,1]: {bandwidth_fraction}"
         );
         let period = SimDuration::from_millis(1);
-        let lines_per_period =
-            dram.total_bandwidth * bandwidth_fraction * period.as_secs_f64();
+        let lines_per_period = dram.total_bandwidth * bandwidth_fraction * period.as_secs_f64();
         let mut budgets = vec![None; n_cores];
         budgets[core] = Some(lines_per_period);
         MemGuardConfig { period, budgets }
@@ -267,8 +266,8 @@ impl MemorySystem {
             let u_other = (others / self.config.total_bandwidth).clamp(0.0, 1.0);
             let progress = if d.streaming {
                 // Bandwidth-bound: slowed only by losing bus share.
-                let available = (self.config.total_bandwidth - others)
-                    .max(0.05 * self.config.total_bandwidth);
+                let available =
+                    (self.config.total_bandwidth - others).max(0.05 * self.config.total_bandwidth);
                 (available / d.bandwidth.max(1e-9)).min(1.0)
             } else {
                 // Latency-bound: per-access latency inflates with others'

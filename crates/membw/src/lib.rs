@@ -27,9 +27,7 @@
 
 pub mod dram;
 
-pub use dram::{
-    CoreDemand, CoreOutcome, DramConfig, MemGuardConfig, MemorySystem, PerfCounter,
-};
+pub use dram::{CoreDemand, CoreOutcome, DramConfig, MemGuardConfig, MemorySystem, PerfCounter};
 
 /// Convenient glob import of the memory-system types.
 pub mod prelude {

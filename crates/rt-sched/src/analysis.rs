@@ -108,7 +108,12 @@ pub fn response_time_analysis(
 ) -> AnalysisReport {
     assert!(n_cores > 0, "need at least one core");
     for t in tasks {
-        assert!(t.core < n_cores, "task {} on core {} out of range", t.name, t.core);
+        assert!(
+            t.core < n_cores,
+            "task {} on core {} out of range",
+            t.name,
+            t.core
+        );
     }
 
     let wcet = |t: &AnalyzedTask| match contention {
@@ -118,8 +123,7 @@ pub fn response_time_analysis(
 
     let mut core_utilization = vec![0.0f64; n_cores];
     for t in tasks {
-        core_utilization[t.core] +=
-            wcet(t).as_secs_f64() / t.period.as_secs_f64();
+        core_utilization[t.core] += wcet(t).as_secs_f64() / t.period.as_secs_f64();
     }
 
     let verdicts = tasks
@@ -131,11 +135,7 @@ pub fn response_time_analysis(
             // count them conservatively as higher.
             let interferers: Vec<(SimDuration, SimDuration)> = tasks
                 .iter()
-                .filter(|j| {
-                    j.core == t.core
-                        && !std::ptr::eq(*j, t)
-                        && j.priority >= t.priority
-                })
+                .filter(|j| j.core == t.core && !std::ptr::eq(*j, t) && j.priority >= t.priority)
                 .map(|j| (wcet(j), j.period))
                 .collect();
 

@@ -82,7 +82,10 @@ mod tests {
         let root = Cgroup::root();
         let p = SchedPolicy::Fifo { priority: 50 };
         assert_eq!(root.effective_policy(p), p);
-        assert_eq!(root.effective_affinity(CpuSet::single(2)), CpuSet::single(2));
+        assert_eq!(
+            root.effective_affinity(CpuSet::single(2)),
+            CpuSet::single(2)
+        );
     }
 
     #[test]

@@ -135,7 +135,10 @@ impl Machine {
     /// Panics if `n_cores` is 0 or the quantum is zero.
     pub fn new(config: MachineConfig) -> Self {
         assert!(config.n_cores > 0, "need at least one core");
-        assert!(config.quantum > SimDuration::ZERO, "quantum must be positive");
+        assert!(
+            config.quantum > SimDuration::ZERO,
+            "quantum must be positive"
+        );
         Machine {
             now: SimTime::ZERO,
             tasks: Vec::new(),
@@ -349,8 +352,7 @@ impl Machine {
                         if out.throttled {
                             self.cores[core].throttled += dt;
                         }
-                        task.vruntime +=
-                            dt.as_secs_f64() * vruntime_scale(&task.spec.policy);
+                        task.vruntime += dt.as_secs_f64() * vruntime_scale(&task.spec.policy);
                         task.slice_used += dt;
                         // Round-robin rotation applies to busy tasks too.
                         if let SchedPolicy::RoundRobin { slice, .. } = task.spec.policy {
@@ -424,7 +426,10 @@ impl Machine {
             if !task.alive {
                 continue;
             }
-            let Activation::Periodic { period, overrun, .. } = task.spec.activation else {
+            let Activation::Periodic {
+                period, overrun, ..
+            } = task.spec.activation
+            else {
                 continue;
             };
             while let Some(release) = task.next_release {
@@ -759,7 +764,10 @@ mod tests {
         let slice = SimDuration::from_millis(1);
         let mk = |name: &str| TaskSpec {
             name: name.into(),
-            policy: SchedPolicy::RoundRobin { priority: 50, slice },
+            policy: SchedPolicy::RoundRobin {
+                priority: 50,
+                slice,
+            },
             affinity: CpuSet::ALL,
             activation: Activation::Busy,
             cost: Cost::compute(SimDuration::from_secs(1)),

@@ -254,11 +254,7 @@ impl TaskSpec {
     }
 
     /// A periodic fair-class (best-effort) task.
-    pub fn periodic_fair(
-        name: impl Into<String>,
-        period: SimDuration,
-        cost: Cost,
-    ) -> TaskSpec {
+    pub fn periodic_fair(name: impl Into<String>, period: SimDuration, cost: Cost) -> TaskSpec {
         TaskSpec {
             name: name.into(),
             policy: SchedPolicy::Fair { weight: 1024 },
@@ -388,7 +384,11 @@ mod tests {
         .with_offset(SimDuration::from_micros(500))
         .with_overrun(OverrunPolicy::Queue);
         match t.activation {
-            Activation::Periodic { period, offset, overrun } => {
+            Activation::Periodic {
+                period,
+                offset,
+                overrun,
+            } => {
                 assert_eq!(period, SimDuration::from_millis(4));
                 assert_eq!(offset, SimDuration::from_micros(500));
                 assert_eq!(overrun, OverrunPolicy::Queue);

@@ -192,7 +192,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_millis(10), "a");
         q.schedule(SimTime::from_millis(20), "b");
-        let out: Vec<&str> = q.pop_due(SimTime::from_millis(15)).map(|(_, e)| e).collect();
+        let out: Vec<&str> = q
+            .pop_due(SimTime::from_millis(15))
+            .map(|(_, e)| e)
+            .collect();
         assert_eq!(out, vec!["a"]);
         assert_eq!(q.len(), 1);
     }

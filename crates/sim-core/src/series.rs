@@ -302,7 +302,9 @@ mod tests {
             .max_abs_deviation(0.0, SimTime::ZERO, SimTime::from_secs(10))
             .unwrap();
         assert!((dev - 9.9).abs() < 1e-9);
-        let rms = s.rms_error(0.0, SimTime::ZERO, SimTime::from_secs(10)).unwrap();
+        let rms = s
+            .rms_error(0.0, SimTime::ZERO, SimTime::from_secs(10))
+            .unwrap();
         assert!(rms > 0.0 && rms < dev);
     }
 

@@ -125,9 +125,7 @@ impl CrashDetector {
                     return self.latch(CrashKind::GroundImpact, time);
                 }
             }
-        } else if state.velocity.z > self.config.max_touchdown_speed
-            && state.position.z > -0.15
-        {
+        } else if state.velocity.z > self.config.max_touchdown_speed && state.position.z > -0.15 {
             // Descending fast right above the ground: impact is unavoidable.
             return self.latch(CrashKind::GroundImpact, time);
         }
@@ -236,7 +234,9 @@ mod tests {
             ..QuadState::default()
         };
         assert!(det.check(&state, false, SimTime::from_millis(0)).is_none());
-        assert!(det.check(&state, false, SimTime::from_millis(100)).is_none());
+        assert!(det
+            .check(&state, false, SimTime::from_millis(100))
+            .is_none());
         let c = det.check(&state, false, SimTime::from_millis(350)).unwrap();
         assert_eq!(c.kind, CrashKind::LossOfControl);
     }
@@ -251,9 +251,15 @@ mod tests {
         };
         assert!(det.check(&tilted, false, SimTime::from_millis(0)).is_none());
         // Recovers before the persistence window elapses.
-        assert!(det.check(&hover_state(), false, SimTime::from_millis(200)).is_none());
-        assert!(det.check(&tilted, false, SimTime::from_millis(400)).is_none());
-        assert!(det.check(&hover_state(), false, SimTime::from_millis(600)).is_none());
+        assert!(det
+            .check(&hover_state(), false, SimTime::from_millis(200))
+            .is_none());
+        assert!(det
+            .check(&tilted, false, SimTime::from_millis(400))
+            .is_none());
+        assert!(det
+            .check(&hover_state(), false, SimTime::from_millis(600))
+            .is_none());
     }
 
     #[test]
@@ -265,7 +271,9 @@ mod tests {
         };
         let first = det.check(&out, false, SimTime::from_secs(1)).unwrap();
         // Later healthy states still report the original crash.
-        let again = det.check(&hover_state(), false, SimTime::from_secs(5)).unwrap();
+        let again = det
+            .check(&hover_state(), false, SimTime::from_secs(5))
+            .unwrap();
         assert_eq!(first, again);
     }
 }

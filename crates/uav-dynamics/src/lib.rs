@@ -54,8 +54,6 @@ pub mod prelude {
     pub use crate::math::{wrap_angle, Mat3, Quat, Vec3};
     pub use crate::motor::{cmd_to_pwm, pwm_to_cmd, PWM_MAX, PWM_MIN};
     pub use crate::quad::{QuadParams, QuadState, Quadrotor, GRAVITY};
-    pub use crate::sensors::{
-        BaroSample, ImuConfig, ImuSample, PositionFix, PositioningConfig,
-    };
+    pub use crate::sensors::{BaroSample, ImuConfig, ImuSample, PositionFix, PositioningConfig};
     pub use crate::world::{World, WorldConfig};
 }

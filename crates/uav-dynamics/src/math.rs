@@ -27,7 +27,11 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a vector from components.
     pub const fn new(x: f64, y: f64, z: f64) -> Self {
@@ -244,7 +248,12 @@ impl Default for Quat {
 
 impl Quat {
     /// The identity rotation.
-    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a quaternion from components (not normalized).
     pub const fn new(w: f64, x: f64, y: f64, z: f64) -> Self {

@@ -220,14 +220,19 @@ impl Quadrotor {
             .inertia_inv
             .mul_vec(torque - self.state.angular_velocity.cross(i_omega));
         self.state.angular_velocity += omega_dot * dt;
-        self.state.attitude = self.state.attitude.integrate(self.state.angular_velocity, dt);
+        self.state.attitude = self
+            .state
+            .attitude
+            .integrate(self.state.angular_velocity, dt);
 
         // Linear dynamics.
-        let thrust_world = self.state.attitude.rotate(Vec3::new(0.0, 0.0, -total_thrust));
+        let thrust_world = self
+            .state
+            .attitude
+            .rotate(Vec3::new(0.0, 0.0, -total_thrust));
         let airspeed = self.state.velocity - wind;
         let drag = -airspeed * self.params.linear_drag;
-        let accel =
-            Vec3::new(0.0, 0.0, GRAVITY) + (thrust_world + drag) / self.params.mass;
+        let accel = Vec3::new(0.0, 0.0, GRAVITY) + (thrust_world + drag) / self.params.mass;
         self.state.acceleration = accel - Vec3::new(0.0, 0.0, GRAVITY);
 
         self.state.velocity += accel * dt;

@@ -90,10 +90,15 @@ impl Imu {
     pub fn sample(&mut self, state: &QuadState, time: SimTime) -> ImuSample {
         let c = &self.config;
         let noise3 = |rng: &mut Rng, std: f64| {
-            Vec3::new(rng.normal(0.0, std), rng.normal(0.0, std), rng.normal(0.0, std))
+            Vec3::new(
+                rng.normal(0.0, std),
+                rng.normal(0.0, std),
+                rng.normal(0.0, std),
+            )
         };
 
-        let gyro = state.angular_velocity + self.gyro_bias + noise3(&mut self.rng, c.gyro_noise_std);
+        let gyro =
+            state.angular_velocity + self.gyro_bias + noise3(&mut self.rng, c.gyro_noise_std);
 
         // `state.acceleration` is the world-frame specific force (all
         // non-gravitational forces per unit mass) — exactly what an
@@ -432,10 +437,15 @@ mod tests {
         let sample_err = |cfg: PositioningConfig, seed| {
             let mut p = Positioning::new(cfg, Rng::seed_from(seed));
             let errs: Vec<f64> = (0..500)
-                .map(|i| (p.sample(&state, SimTime::from_millis(i)).position - state.position).norm())
+                .map(|i| {
+                    (p.sample(&state, SimTime::from_millis(i)).position - state.position).norm()
+                })
                 .collect();
             Stats::of(&errs).mean
         };
-        assert!(sample_err(PositioningConfig::gps(), 6) > 10.0 * sample_err(PositioningConfig::vicon(), 6));
+        assert!(
+            sample_err(PositioningConfig::gps(), 6)
+                > 10.0 * sample_err(PositioningConfig::vicon(), 6)
+        );
     }
 }

@@ -33,9 +33,7 @@ pub mod filter;
 pub mod net;
 
 pub use filter::TokenBucket;
-pub use net::{
-    Addr, Delivery, LinkConfig, NetError, Network, NsId, Packet, SocketId, SocketStats,
-};
+pub use net::{Addr, Delivery, LinkConfig, NetError, Network, NsId, Packet, SocketId, SocketStats};
 
 /// Convenient glob import of the network types.
 pub mod prelude {

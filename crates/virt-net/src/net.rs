@@ -362,7 +362,11 @@ impl Network {
             for dir in 0..2 {
                 loop {
                     let link = &mut self.links[li];
-                    let queue = if dir == 0 { &mut link.queue_ab } else { &mut link.queue_ba };
+                    let queue = if dir == 0 {
+                        &mut link.queue_ab
+                    } else {
+                        &mut link.queue_ba
+                    };
                     match queue.front() {
                         Some(&(arrival, _)) if arrival <= target => {
                             let (arrival, pkt) = queue.pop_front().expect("peeked entry");
@@ -382,9 +386,7 @@ impl Network {
                                 .map(|s| s.stats.delivered)
                                 .unwrap_or(0);
                             if after > before {
-                                if let Some(idx) =
-                                    self.sockets.iter().position(|s| s.addr == dst)
-                                {
+                                if let Some(idx) = self.sockets.iter().position(|s| s.addr == dst) {
                                     *delivered.entry(SocketId(idx as u32)).or_insert(0) += 1;
                                 }
                             }
@@ -419,7 +421,9 @@ impl Network {
 
     /// Number of datagrams waiting in a socket's receive queue.
     pub fn rx_depth(&self, socket: SocketId) -> usize {
-        self.sockets.get(socket.0 as usize).map_or(0, |s| s.rx.len())
+        self.sockets
+            .get(socket.0 as usize)
+            .map_or(0, |s| s.rx.len())
     }
 
     /// Statistics of a socket.
@@ -458,13 +462,27 @@ mod tests {
         let (mut net, host, cce) = pair();
         let rx = net.bind(cce, 14660).unwrap();
         let tx = net.bind(host, 9000).unwrap();
-        net.send(tx, Addr { ns: cce, port: 14660 }, vec![0; 52], SimTime::ZERO)
-            .unwrap();
+        net.send(
+            tx,
+            Addr {
+                ns: cce,
+                port: 14660,
+            },
+            vec![0; 52],
+            SimTime::ZERO,
+        )
+        .unwrap();
         // Before the latency elapses: nothing.
         assert!(net.step(SimTime::from_micros(10)).is_empty());
         // After: exactly one delivery.
         let deliveries = net.step(SimTime::from_micros(200));
-        assert_eq!(deliveries, vec![Delivery { socket: rx, count: 1 }]);
+        assert_eq!(
+            deliveries,
+            vec![Delivery {
+                socket: rx,
+                count: 1
+            }]
+        );
         let pkt = net.recv(rx).unwrap();
         assert_eq!(pkt.payload.len(), 52);
         assert!(net.recv(rx).is_none());
@@ -476,7 +494,10 @@ mod tests {
         net.bind(host, 14600).unwrap();
         assert_eq!(
             net.bind(host, 14600),
-            Err(NetError::PortInUse { ns: host, port: 14600 })
+            Err(NetError::PortInUse {
+                ns: host,
+                port: 14600
+            })
         );
     }
 
@@ -497,13 +518,27 @@ mod tests {
         let (mut net, host, cce) = pair();
         // Docker-style: host:14660 maps into the container.
         net.map_port(
-            Addr { ns: host, port: 14660 },
-            Addr { ns: cce, port: 14660 },
+            Addr {
+                ns: host,
+                port: 14660,
+            },
+            Addr {
+                ns: cce,
+                port: 14660,
+            },
         );
         let rx = net.bind(cce, 14660).unwrap();
         let tx = net.bind(host, 9000).unwrap();
-        net.send(tx, Addr { ns: host, port: 14660 }, vec![1], SimTime::ZERO)
-            .unwrap();
+        net.send(
+            tx,
+            Addr {
+                ns: host,
+                port: 14660,
+            },
+            vec![1],
+            SimTime::ZERO,
+        )
+        .unwrap();
         net.step(SimTime::from_millis(1));
         assert_eq!(net.socket_stats(rx).delivered, 1);
     }
@@ -515,8 +550,16 @@ mod tests {
         let tx = net.bind(cce, 9000).unwrap();
         // Flood 1000 packets in one instant; link queue 512, rx queue 64.
         for _ in 0..1000 {
-            net.send(tx, Addr { ns: host, port: 14600 }, vec![0; 64], SimTime::ZERO)
-                .unwrap();
+            net.send(
+                tx,
+                Addr {
+                    ns: host,
+                    port: 14600,
+                },
+                vec![0; 64],
+                SimTime::ZERO,
+            )
+            .unwrap();
         }
         net.step(SimTime::from_secs(1));
         let stats = net.socket_stats(rx);
@@ -530,12 +573,27 @@ mod tests {
         let (mut net, host, cce) = pair();
         let rx = net.bind(host, 14600).unwrap();
         let tx = net.bind(cce, 9000).unwrap();
-        net.add_rate_limit(Addr { ns: host, port: 14600 }, 100.0, 10.0);
+        net.add_rate_limit(
+            Addr {
+                ns: host,
+                port: 14600,
+            },
+            100.0,
+            10.0,
+        );
         // Offer 1000 packets spread over one second.
         let mut t = SimTime::ZERO;
         for _ in 0..1000 {
-            net.send(tx, Addr { ns: host, port: 14600 }, vec![0; 29], t)
-                .unwrap();
+            net.send(
+                tx,
+                Addr {
+                    ns: host,
+                    port: 14600,
+                },
+                vec![0; 29],
+                t,
+            )
+            .unwrap();
             t += SimDuration::from_millis(1);
             net.step(t);
             // Drain rx so overflow never interferes with the rate limit.
@@ -547,7 +605,11 @@ mod tests {
             "delivered {}",
             stats.delivered
         );
-        assert!(stats.dropped_ratelimit >= 850, "{}", stats.dropped_ratelimit);
+        assert!(
+            stats.dropped_ratelimit >= 850,
+            "{}",
+            stats.dropped_ratelimit
+        );
     }
 
     #[test]
@@ -603,8 +665,14 @@ mod tests {
         assert_eq!(
             d,
             vec![
-                Delivery { socket: rx1, count: 2 },
-                Delivery { socket: rx2, count: 3 }
+                Delivery {
+                    socket: rx1,
+                    count: 2
+                },
+                Delivery {
+                    socket: rx2,
+                    count: 3
+                }
             ]
         );
     }

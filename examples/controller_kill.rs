@@ -15,7 +15,12 @@ fn main() {
     println!("timeline:");
     println!("  12.0 s  attacker kills the complex controller (CCE)");
     for ev in &result.monitor_events {
-        println!("  {:>6.1} s  rule '{}' fires: {}", ev.time.as_secs_f64(), ev.rule, ev.detail);
+        println!(
+            "  {:>6.1} s  rule '{}' fires: {}",
+            ev.time.as_secs_f64(),
+            ev.rule,
+            ev.detail
+        );
     }
     for m in result.telemetry.markers() {
         println!("  {:>6.1} s  {}", m.time.as_secs_f64(), m.label);

@@ -48,7 +48,10 @@ fn main() {
     let b = baseline.switch_time.unwrap();
     let c = custom.switch_time.unwrap();
     println!("stock rules switch at   {b}");
-    println!("custom rule switches at {c} (rule: {})", custom.monitor_events[0].rule);
+    println!(
+        "custom rule switches at {c} (rule: {})",
+        custom.monitor_events[0].rule
+    );
     println!(
         "excursion: {:.3} m (stock) vs {:.3} m (custom)",
         baseline.max_deviation(SimTime::from_secs(12), SimTime::from_secs(30)),

@@ -61,9 +61,21 @@ fn main() {
             );
             // Phase 3: fly a small mission.
             fc.set_mission(vec![
-                Waypoint { position: Vec3::new(1.5, 0.0, -1.5), yaw: 0.0, tolerance: 0.3 },
-                Waypoint { position: Vec3::new(1.5, 1.5, -2.0), yaw: 0.0, tolerance: 0.3 },
-                Waypoint { position: Vec3::new(0.0, 0.0, -1.0), yaw: 0.0, tolerance: 0.3 },
+                Waypoint {
+                    position: Vec3::new(1.5, 0.0, -1.5),
+                    yaw: 0.0,
+                    tolerance: 0.3,
+                },
+                Waypoint {
+                    position: Vec3::new(1.5, 1.5, -2.0),
+                    yaw: 0.0,
+                    tolerance: 0.3,
+                },
+                Waypoint {
+                    position: Vec3::new(0.0, 0.0, -1.0),
+                    yaw: 0.0,
+                    tolerance: 0.3,
+                },
             ]);
         }
 
@@ -84,6 +96,10 @@ fn main() {
 
     assert!(world.crash().is_none(), "flight must not crash");
     assert_eq!(fc.mission_progress(), 3, "mission must complete");
-    println!("mission complete, hovering at ({:+.2}, {:+.2}, {:+.2})",
-        world.truth().position.x, world.truth().position.y, world.truth().position.z);
+    println!(
+        "mission complete, hovering at ({:+.2}, {:+.2}, {:+.2})",
+        world.truth().position.x,
+        world.truth().position.y,
+        world.truth().position.z
+    );
 }

@@ -27,7 +27,10 @@ fn main() {
     report("MemGuard OFF (Figure 4)", &unprotected);
 
     let protected = Scenario::new(ScenarioConfig::fig5()).run();
-    report("MemGuard ON, CCE core budgeted to 5% of the bus (Figure 5)", &protected);
+    report(
+        "MemGuard ON, CCE core budgeted to 5% of the bus (Figure 5)",
+        &protected,
+    );
 
     assert!(unprotected.crashed(), "unprotected flight must crash");
     assert!(!protected.crashed(), "protected flight must survive");

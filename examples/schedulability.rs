@@ -39,7 +39,10 @@ fn main() {
 
     for (label, contention) in [
         ("healthy", None),
-        ("memory DoS, unprotected (γ=45, hog at 93% of the bus)", Some((45.0, 0.93))),
+        (
+            "memory DoS, unprotected (γ=45, hog at 93% of the bus)",
+            Some((45.0, 0.93)),
+        ),
         ("memory DoS, MemGuard 2% budget", Some((45.0, 0.02))),
     ] {
         let report = response_time_analysis(&tasks, 2, contention);

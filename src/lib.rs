@@ -20,14 +20,34 @@
 //!
 //! # Quickstart
 //!
+//! Scenarios are assembled with [`framework::ScenarioConfig::builder`]
+//! and attacks are scheduled on a composable timeline — one run can
+//! sequence and overlap any number of attack vectors:
+//!
 //! ```
 //! use containerdrone::prelude::*;
-//! use containerdrone::sim::time::SimDuration;
+//! use containerdrone::sim::time::{SimDuration, SimTime};
 //!
+//! // Healthy 2 s hover.
 //! let cfg = ScenarioConfig::healthy().with_duration(SimDuration::from_secs(2));
 //! let result = Scenario::new(cfg).run();
 //! assert!(!result.crashed());
+//!
+//! // Composed attack campaign: controller kill at 1 s on top of a UDP
+//! // flood from 0.5 s — the monitor fails over to the safety controller.
+//! let cfg = ScenarioConfig::builder()
+//!     .attack_at(SimTime::from_millis(500), AttackEvent::UdpFlood(UdpFlood::against_motor_port()))
+//!     .attack_at(SimTime::from_secs(1), AttackEvent::KillComplex)
+//!     .duration(SimDuration::from_secs(3))
+//!     .build();
+//! let result = Scenario::new(cfg).run();
+//! assert!(result.switch_time.is_some());
 //! ```
+//!
+//! The paper's experiments remain one-liner presets
+//! ([`framework::ScenarioConfig::fig4`] … `fig7`), and the `cd-bench`
+//! crate's `Campaign` layer fans whole grids of scenario variants
+//! (attacks × protections × seeds) out across worker threads.
 
 #![warn(missing_docs)]
 

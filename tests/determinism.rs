@@ -40,7 +40,10 @@ fn memguard_differential_holds_across_seeds() {
         );
         assert!(!fig5.crashed(), "fig5 must survive for seed {seed}");
         let fig5_dev = fig5.max_deviation(SimTime::from_secs(10), SimTime::from_secs(30));
-        assert!(fig5_dev < 0.5, "fig5 must hold station for seed {seed} ({fig5_dev})");
+        assert!(
+            fig5_dev < 0.5,
+            "fig5 must hold station for seed {seed} ({fig5_dev})"
+        );
     }
 }
 

@@ -78,8 +78,14 @@ fn fig6_controller_kill_triggers_interval_rule_and_recovery() {
 
     // Visible excursion while commands were stale, then recovery: the last
     // five seconds are back near the setpoint.
-    let excursion = result.max_deviation(attack, switch + containerdrone::sim::time::SimDuration::from_secs(3));
-    assert!(excursion > 0.1, "kill must visibly disturb the drone, got {excursion}");
+    let excursion = result.max_deviation(
+        attack,
+        switch + containerdrone::sim::time::SimDuration::from_secs(3),
+    );
+    assert!(
+        excursion > 0.1,
+        "kill must visibly disturb the drone, got {excursion}"
+    );
     let settled = result.max_deviation(SimTime::from_secs(25), SimTime::from_secs(30));
     assert!(settled < 0.25, "recovered deviation {settled} m");
 
@@ -104,7 +110,11 @@ fn fig7_udp_flood_triggers_switch_and_recovery() {
 
     // The flood really flooded: far more packets offered than legitimate
     // traffic, with drops at the rate limiter.
-    assert!(result.flood_sent > 10_000, "flood sent {}", result.flood_sent);
+    assert!(
+        result.flood_sent > 10_000,
+        "flood sent {}",
+        result.flood_sent
+    );
     assert!(
         result.rx_socket_stats.dropped_ratelimit > 1_000,
         "iptables dropped {}",

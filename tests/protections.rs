@@ -1,19 +1,18 @@
 //! Ablation tests: each protection mechanism individually carries its
 //! weight (the design-choice validations DESIGN.md commits to).
 
-use containerdrone::attacks::CpuHog;
-use containerdrone::framework::{Attack, Scenario, ScenarioConfig};
+use containerdrone::attacks::{AttackEvent, CpuHog};
+use containerdrone::framework::{Scenario, ScenarioConfig};
 use containerdrone::sim::time::SimTime;
 
 #[test]
 fn cpu_hog_confined_by_container_is_harmless() {
-    let cfg = ScenarioConfig {
-        attack: Attack::CpuHog {
-            at: SimTime::from_secs(8),
-            hog: CpuHog::aggressive(),
-        },
-        ..ScenarioConfig::healthy()
-    };
+    let cfg = ScenarioConfig::builder()
+        .attack_at(
+            SimTime::from_secs(8),
+            AttackEvent::CpuHog(CpuHog::aggressive()),
+        )
+        .build();
     let result = Scenario::new(cfg).run();
     assert!(!result.crashed(), "confined CPU hog must not hurt the HCE");
     // The safety/driver tasks never miss.
@@ -28,14 +27,13 @@ fn cpu_hog_confined_by_container_is_harmless() {
 fn cpu_hog_unconfined_with_rt_priority_starves_the_hce() {
     // Ablation: drop the cpuset + no-RT restrictions. Four FIFO-95
     // spinners outrank the FIFO-20 safety controller everywhere.
-    let mut cfg = ScenarioConfig {
-        attack: Attack::CpuHog {
-            at: SimTime::from_secs(8),
-            hog: CpuHog::aggressive(),
-        },
-        ..ScenarioConfig::healthy()
-    };
-    cfg.framework.protections.cpu_isolation = false;
+    let cfg = ScenarioConfig::builder()
+        .attack_at(
+            SimTime::from_secs(8),
+            AttackEvent::CpuHog(CpuHog::aggressive()),
+        )
+        .cpu_isolation(false)
+        .build();
     let result = Scenario::new(cfg).run();
     let safety = result
         .task_report
@@ -95,5 +93,8 @@ fn flood_garbage_is_rejected_by_the_parser_not_the_controller() {
     // Every flood datagram that reached the rx thread was skipped as
     // garbage; no frame ever decoded from attack bytes.
     assert!(result.hce_parser_stats.bytes_skipped > 0);
-    assert_eq!(result.hce_parser_stats.crc_errors, 0, "zeros never fake a CRC");
+    assert_eq!(
+        result.hce_parser_stats.crc_errors, 0,
+        "zeros never fake a CRC"
+    );
 }

@@ -32,7 +32,10 @@ fn spoofed_commands_trip_the_attitude_rule_and_recover() {
 
     // And the upset was violent while it lasted.
     let upset = result.max_deviation(attack, SimTime::from_secs(30));
-    assert!(upset > 0.2, "spoof must visibly upset the drone, got {upset}");
+    assert!(
+        upset > 0.2,
+        "spoof must visibly upset the drone, got {upset}"
+    );
 }
 
 #[test]

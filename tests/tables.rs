@@ -1,6 +1,8 @@
 //! End-to-end reproduction tests for the paper's Tables I and II.
 
-use containerdrone::containers::{spawn_system_background, Container, ContainerConfig, Vm, VmConfig};
+use containerdrone::containers::{
+    spawn_system_background, Container, ContainerConfig, Vm, VmConfig,
+};
 use containerdrone::framework::{Scenario, ScenarioConfig};
 use containerdrone::sched::{Machine, MachineConfig};
 use containerdrone::sim::time::{SimDuration, SimTime};
@@ -8,7 +10,8 @@ use virt_net::net::Network;
 
 #[test]
 fn table1_stream_rates_sizes_and_ports() {
-    let result = Scenario::new(ScenarioConfig::healthy().with_duration(SimDuration::from_secs(10))).run();
+    let result =
+        Scenario::new(ScenarioConfig::healthy().with_duration(SimDuration::from_secs(10))).run();
 
     // Expected rows straight from Table I of the paper.
     let expected: &[(&str, f64, f64, u16)] = &[
@@ -79,7 +82,10 @@ fn table2_idle_rate_ordering_native_container_vm() {
     // container 0.95/0.99/0.99/0.98, VM 0.86/0.83/0.81/0.77).
     assert!((native[0] - 0.95).abs() < 0.02, "native cpu0 {}", native[0]);
     assert!(native[1] > 0.98 && native[2] > 0.98 && native[3] > 0.98);
-    assert!(vm.iter().all(|&r| (0.70..0.92).contains(&r)), "vm idle {vm:?}");
+    assert!(
+        vm.iter().all(|&r| (0.70..0.92).contains(&r)),
+        "vm idle {vm:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,182 @@
+//! Multi-attack timeline tests: composed attack campaigns in one run,
+//! builder/preset equivalence, and attack-window (cease-fire) semantics.
+
+use containerdrone::prelude::*;
+use containerdrone::sim::time::{SimDuration, SimTime};
+
+/// The ISSUE's canonical composed campaign: memory hog at 10 s, UDP flood
+/// layered on at 15 s, controller kill at 20 s — one flight.
+fn hog_flood_kill() -> ScenarioConfig {
+    ScenarioConfig::builder()
+        .pilot(Pilot::CceSimplex)
+        .attack_at(
+            SimTime::from_secs(10),
+            AttackEvent::MemoryHog(BandwidthHog::isolbench()),
+        )
+        .attack_at(
+            SimTime::from_secs(15),
+            AttackEvent::UdpFlood(UdpFlood::against_motor_port()),
+        )
+        .attack_at(SimTime::from_secs(20), AttackEvent::KillComplex)
+        .build()
+}
+
+#[test]
+fn hog_flood_kill_campaign_fails_over_in_order() {
+    let result = Scenario::new(hog_flood_kill()).run();
+
+    // All three attacks fired, in schedule order.
+    let log: Vec<&str> = result.attack_log.iter().map(|(_, n)| *n).collect();
+    assert_eq!(log, ["memory-hog", "udp-flood", "kill-complex"]);
+    assert_eq!(result.attack_log[0].0, SimTime::from_secs(10));
+    assert_eq!(result.attack_log[2].0, SimTime::from_secs(20));
+    assert_eq!(result.attack_onset, Some(SimTime::from_secs(10)));
+
+    // MemGuard + iptables ride out the first two vectors: no switch
+    // before the kill.
+    let switch = result.switch_time.expect("the kill must force a failover");
+    assert!(
+        switch > SimTime::from_secs(20),
+        "premature switch at {switch}"
+    );
+    assert!(
+        switch < SimTime::from_secs(21),
+        "detection within the interval threshold, got {switch}"
+    );
+    assert_eq!(result.monitor_events[0].rule, "receive-interval");
+
+    // The flood really ran (5 s × 20 kpps offered) and the safety
+    // controller recovers the vehicle.
+    assert!(
+        result.flood_sent > 50_000,
+        "flood sent {}",
+        result.flood_sent
+    );
+    assert!(
+        !result.crashed(),
+        "the protected flight survives the campaign"
+    );
+    let settled = result.max_deviation(SimTime::from_secs(27), SimTime::from_secs(30));
+    assert!(settled < 1.0, "recovered deviation {settled} m");
+}
+
+#[test]
+fn concurrent_attacks_of_different_kinds_overlap() {
+    // Flood and spoof simultaneously: both network attacks arm, bind
+    // distinct source ports, and both deliver packets.
+    let cfg = ScenarioConfig::builder()
+        .attack_at(
+            SimTime::from_secs(2),
+            AttackEvent::UdpFlood(UdpFlood::against_motor_port()),
+        )
+        .attack_at(
+            SimTime::from_secs(2),
+            AttackEvent::SpoofMotor(MotorSpoof::moderate()),
+        )
+        .duration(SimDuration::from_secs(5))
+        .build();
+    let result = Scenario::new(cfg).run();
+    assert_eq!(result.attack_log.len(), 2);
+    assert!(
+        result.attack_packets > result.flood_sent,
+        "spoof datagrams count on top of the flood: {} vs {}",
+        result.attack_packets,
+        result.flood_sent
+    );
+}
+
+#[test]
+fn cease_fire_ends_the_attack_window() {
+    // Flood for 2 s, then cease fire: the offered packet count stays
+    // near 2 s worth instead of running to the end of the flight.
+    let flood = UdpFlood::against_motor_port();
+    let cfg = ScenarioConfig::builder()
+        .attack_at(SimTime::from_secs(2), AttackEvent::UdpFlood(flood))
+        .attack_at(SimTime::from_secs(4), AttackEvent::CeaseFire)
+        .duration(SimDuration::from_secs(10))
+        .build();
+    let result = Scenario::new(cfg).run();
+    let expected = (flood.pps * 2.0) as u64;
+    assert!(
+        result.flood_sent <= expected + flood.pps as u64 / 100,
+        "flood kept firing after cease-fire: {} > ~{expected}",
+        result.flood_sent
+    );
+    assert!(
+        result.flood_sent > expected / 2,
+        "flood ran at all: {}",
+        result.flood_sent
+    );
+    let log: Vec<&str> = result.attack_log.iter().map(|(_, n)| *n).collect();
+    assert_eq!(log, ["udp-flood", "cease-fire"]);
+}
+
+#[test]
+fn repeated_attacks_of_the_same_kind_schedule_independently() {
+    // Two kill events: the second finds the controller already dead and
+    // is harmless; the timeline still records both firings.
+    let cfg = ScenarioConfig::builder()
+        .attack_at(SimTime::from_secs(2), AttackEvent::KillComplex)
+        .attack_at(SimTime::from_secs(3), AttackEvent::KillComplex)
+        .duration(SimDuration::from_secs(6))
+        .build();
+    let result = Scenario::new(cfg).run();
+    assert_eq!(result.attack_log.len(), 2);
+    assert!(result.switch_time.is_some());
+}
+
+// ── Builder / preset equivalence ────────────────────────────────────────
+
+#[test]
+fn fig6_preset_equals_builder_form() {
+    let built = ScenarioConfig::builder()
+        .pilot(Pilot::CceSimplex)
+        .attack_at(SimTime::from_secs(12), AttackEvent::KillComplex)
+        .build();
+    assert_eq!(built, ScenarioConfig::fig6());
+}
+
+#[test]
+fn fig4_preset_equals_builder_form() {
+    let built = ScenarioConfig::builder()
+        .pilot(Pilot::HceDirect)
+        .attack_at(
+            SimTime::from_secs(10),
+            AttackEvent::MemoryHog(BandwidthHog::isolbench()),
+        )
+        .memguard(false)
+        .contention_gamma(containerdrone::framework::scenario::MEM_ATTACK_GAMMA)
+        .build();
+    assert_eq!(built, ScenarioConfig::fig4());
+}
+
+#[test]
+fn fig7_preset_equals_builder_form() {
+    let built = ScenarioConfig::builder()
+        .pilot(Pilot::CceSimplex)
+        .attack_at(
+            SimTime::from_secs(8),
+            AttackEvent::UdpFlood(UdpFlood::against_motor_port()),
+        )
+        .build();
+    assert_eq!(built, ScenarioConfig::fig7());
+}
+
+#[test]
+fn healthy_preset_equals_empty_builder() {
+    assert_eq!(ScenarioConfig::builder().build(), ScenarioConfig::healthy());
+    assert!(ScenarioConfig::healthy().attacks.is_empty());
+}
+
+#[test]
+fn builder_and_preset_runs_are_bit_identical() {
+    // Equivalent configs must replay identically, not just compare equal.
+    let preset = ScenarioConfig::fig6().with_duration(SimDuration::from_secs(14));
+    let built = ScenarioConfig::builder()
+        .attack_at(SimTime::from_secs(12), AttackEvent::KillComplex)
+        .duration(SimDuration::from_secs(14))
+        .build();
+    let a = Scenario::new(preset).run();
+    let b = Scenario::new(built).run();
+    assert_eq!(a.telemetry.to_csv(), b.telemetry.to_csv());
+}
