@@ -120,7 +120,10 @@ impl SpoofDriver {
                 seq: self.seq,
                 armed: 1,
             };
-            let wire = self.sender.encode(Message::Motor(msg));
+            // Each forgery differs (sequence numbers), so the pooled
+            // per-sender buffer is re-encoded rather than shared.
+            let mut wire = net.take_buf();
+            self.sender.encode_into(Message::Motor(msg), &mut wire);
             let _ = net.send(self.socket, self.target, wire, now);
             self.sent += 1;
         }

@@ -67,7 +67,9 @@ impl UdpFlood {
                 port: self.target_port,
             },
             pps: self.pps,
-            payload: self.payload,
+            // Garbage payload: zeros never parse as a MAVLink frame. One
+            // shared buffer serves every flood packet (fan-out fast-path).
+            payload: vec![0u8; self.payload].into(),
             carry: 0.0,
             sent: 0,
             active: true,
@@ -82,7 +84,7 @@ pub struct FloodDriver {
     task: TaskId,
     target: Addr,
     pps: f64,
-    payload: usize,
+    payload: std::rc::Rc<[u8]>,
     carry: f64,
     sent: u64,
     active: bool,
@@ -93,17 +95,20 @@ impl FloodDriver {
     /// event name and result aggregation.
     pub const NAME: &'static str = "udp-flood";
 
-    /// Emits this quantum's worth of flood packets.
+    /// Emits this quantum's worth of flood packets as one counted batch.
     pub fn step(&mut self, net: &mut Network, now: SimTime, dt: SimDuration) {
         if !self.active {
             return;
         }
         self.carry += self.pps * dt.as_secs_f64();
+        let mut count = 0u64;
         while self.carry >= 1.0 {
             self.carry -= 1.0;
-            // Garbage payload: zeros never parse as a MAVLink frame.
-            let _ = net.send(self.socket, self.target, vec![0u8; self.payload], now);
-            self.sent += 1;
+            count += 1;
+        }
+        if count > 0 {
+            let _ = net.send_shared(self.socket, self.target, &self.payload, count, now);
+            self.sent += count;
         }
     }
 

@@ -1,0 +1,303 @@
+//! The perf harness: the BENCH trajectory artifact.
+//!
+//! Runs a fixed scenario matrix — healthy, the four paper figures, and the
+//! 16-variant campaign grid (serial and parallel) — and records wall time,
+//! simulated steps/sec, offered packets/sec, and peak RSS as
+//! `BENCH_<n>.json` at the workspace root. Every future PR appends a new
+//! `BENCH_<n>.json` measured by this same harness, so speedups (and
+//! regressions) stay comparable across the project's history.
+//!
+//! ```text
+//! cargo run --release -p cd-bench --bin perf                  # full matrix
+//! cargo run --release -p cd-bench --bin perf -- --smoke       # CI smoke
+//! cargo run --release -p cd-bench --bin perf -- \
+//!     --baseline BENCH_base.json --out BENCH_2.json           # with speedups
+//! ```
+//!
+//! `--smoke` shrinks every scenario to 2 s and prints the JSON to stdout
+//! without touching the repository — it exists so CI can prove the harness
+//! still builds and runs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cd_bench::CampaignSpec;
+use containerdrone_core::prelude::*;
+use containerdrone_core::runner::Scenario;
+use sim_core::time::{SimDuration, SimTime};
+
+/// One measured scenario.
+struct Measurement {
+    name: String,
+    wall_s: f64,
+    sim_s: f64,
+    steps: u64,
+    packets: u64,
+}
+
+impl Measurement {
+    fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / self.wall_s.max(1e-9)
+    }
+
+    fn packets_per_sec(&self) -> f64 {
+        self.packets as f64 / self.wall_s.max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"wall_s\":{:.4},\"sim_s\":{:.2},\"steps\":{},\"steps_per_sec\":{:.0},\"packets\":{},\"packets_per_sec\":{:.0}}}",
+            self.name,
+            self.wall_s,
+            self.sim_s,
+            self.steps,
+            self.steps_per_sec(),
+            self.packets,
+            self.packets_per_sec(),
+        )
+    }
+}
+
+/// Times `work` (which reports `(steps, packets)`) `repeat` times and
+/// keeps the fastest run — every iteration repeats identical
+/// deterministic work, so best-of discards only host noise.
+fn measure(name: &str, repeat: usize, mut work: impl FnMut() -> (u64, u64)) -> Measurement {
+    let quantum_s = containerdrone_core::config::SCHED_QUANTUM.as_secs_f64();
+    let mut best: Option<Measurement> = None;
+    for _ in 0..repeat.max(1) {
+        let started = Instant::now();
+        let (steps, packets) = work();
+        let wall_s = started.elapsed().as_secs_f64();
+        let m = Measurement {
+            name: name.to_string(),
+            wall_s,
+            sim_s: steps as f64 * quantum_s,
+            steps,
+            packets,
+        };
+        if best.as_ref().is_none_or(|b| m.wall_s < b.wall_s) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one run")
+}
+
+fn run_scenario(name: &str, cfg: ScenarioConfig, repeat: usize) -> Measurement {
+    measure(name, repeat, || {
+        let result = Scenario::new(cfg.clone()).run();
+        (result.sim_steps, result.net_packets_sent)
+    })
+}
+
+/// The campaign bin's 16-variant grid (attacks × protections × seeds).
+fn campaign_spec(duration: SimDuration, seeds: &[u64]) -> CampaignSpec {
+    let base = ScenarioConfig::builder().duration(duration).build();
+    let kill_only = AttackScript::single(SimTime::from_secs(3), AttackEvent::KillComplex);
+    let hog_then_kill = AttackScript::new()
+        .at(
+            SimTime::from_secs(3),
+            AttackEvent::MemoryHog(BandwidthHog::isolbench()),
+        )
+        .at(SimTime::from_secs(6), AttackEvent::KillComplex);
+    let stock = Protections::default();
+    let mut no_monitor = stock;
+    no_monitor.monitor = false;
+    CampaignSpec::product(
+        "perf-campaign",
+        &base,
+        &[("kill", kill_only), ("hog+kill", hog_then_kill)],
+        &[("stock", stock), ("no-monitor", no_monitor)],
+        seeds,
+    )
+}
+
+fn measure_campaign(
+    name: &str,
+    duration: SimDuration,
+    seeds: &[u64],
+    parallel: bool,
+    repeat: usize,
+) -> Measurement {
+    measure(name, repeat, || {
+        let spec = campaign_spec(duration, seeds);
+        let report = if parallel {
+            spec.run()
+        } else {
+            spec.run_serial()
+        };
+        let steps = report.outcomes.iter().map(|o| o.result.sim_steps).sum();
+        let packets = report
+            .outcomes
+            .iter()
+            .map(|o| o.result.net_packets_sent)
+            .sum();
+        (steps, packets)
+    })
+}
+
+/// Peak resident set size in kB from `/proc/self/status` (0 when
+/// unavailable — non-Linux hosts).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Pulls `steps_per_sec` for `name` out of a previously written BENCH json
+/// (good enough for the files this harness writes; not a general parser).
+fn baseline_steps_per_sec(json: &str, name: &str) -> Option<f64> {
+    let key = format!("\"name\":\"{name}\"");
+    let obj_start = json.find(&key)?;
+    let tail = &json[obj_start..];
+    let field = "\"steps_per_sec\":";
+    let at = tail.find(field)? + field.len();
+    let rest = &tail[at..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// The scenario object for `name` from a previously written BENCH json.
+fn existing_entry(json: &str, name: &str) -> Option<String> {
+    let key = format!("{{\"name\":\"{name}\"");
+    let start = json.find(&key)?;
+    let end = start + json[start..].find('}')?;
+    Some(json[start..=end].to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag_value("--out");
+    let baseline_path = flag_value("--baseline");
+    let repeat: usize = flag_value("--repeat")
+        .map(|v| v.parse().expect("--repeat takes a count"))
+        .unwrap_or(if smoke { 1 } else { 3 });
+
+    let fig_duration = if smoke {
+        SimDuration::from_secs(2)
+    } else {
+        SimDuration::from_secs(30)
+    };
+    let campaign_duration = if smoke {
+        SimDuration::from_secs(2)
+    } else {
+        SimDuration::from_secs(10)
+    };
+    let seeds: &[u64] = if smoke {
+        &[2019]
+    } else {
+        &[2019, 7, 99, 12345]
+    };
+
+    println!(
+        "perf harness — fixed matrix{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let scenarios: [(&str, ScenarioConfig); 5] = [
+        ("healthy", ScenarioConfig::healthy()),
+        ("fig4-membw-crash", ScenarioConfig::fig4()),
+        ("fig5-membw-memguard", ScenarioConfig::fig5()),
+        ("fig6-controller-kill", ScenarioConfig::fig6()),
+        ("fig7-udp-flood", ScenarioConfig::fig7()),
+    ];
+
+    let mut measurements = Vec::new();
+    for (name, cfg) in scenarios {
+        let m = run_scenario(name, cfg.with_duration(fig_duration), repeat);
+        println!(
+            "  {:<22} {:>7.3}s wall  {:>9.0} steps/s  {:>9.0} pkts/s",
+            m.name,
+            m.wall_s,
+            m.steps_per_sec(),
+            m.packets_per_sec()
+        );
+        measurements.push(m);
+    }
+    for (name, parallel) in [("campaign16-serial", false), ("campaign16-parallel", true)] {
+        let m = measure_campaign(name, campaign_duration, seeds, parallel, repeat);
+        println!(
+            "  {:<22} {:>7.3}s wall  {:>9.0} steps/s  {:>9.0} pkts/s",
+            m.name,
+            m.wall_s,
+            m.steps_per_sec(),
+            m.packets_per_sec()
+        );
+        measurements.push(m);
+    }
+
+    let baseline = baseline_path
+        .map(|p| std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read baseline {p}: {e}")));
+
+    // --merge: keep the better of (this run, what the out file already
+    // holds) per scenario. Each run repeats identical deterministic work,
+    // so best-of across interleaved invocations cancels host CPU phase
+    // noise — the methodology for the committed BENCH numbers.
+    let merge = args.iter().any(|a| a == "--merge");
+    let previous = match (&out_path, merge) {
+        (Some(p), true) => std::fs::read_to_string(p).ok(),
+        _ => None,
+    };
+    let entries: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            if let Some(prev) = &previous {
+                if let (Some(old), Some(old_entry)) = (
+                    baseline_steps_per_sec(prev, &m.name),
+                    existing_entry(prev, &m.name),
+                ) {
+                    if old > m.steps_per_sec() {
+                        return old_entry;
+                    }
+                }
+            }
+            m.json()
+        })
+        .collect();
+
+    let mut json = String::from("{\n  \"harness\": \"cd-bench perf\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"peak_rss_kb\": {},", peak_rss_kb());
+    json.push_str("  \"scenarios\": [\n");
+    for (i, entry) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(json, "    {entry}{comma}");
+    }
+    json.push_str("  ]");
+    if let Some(base) = &baseline {
+        json.push_str(",\n  \"speedup_vs_baseline\": {\n");
+        let mut rows = Vec::new();
+        for (m, entry) in measurements.iter().zip(&entries) {
+            let now = baseline_steps_per_sec(entry, &m.name).unwrap_or_else(|| m.steps_per_sec());
+            if let Some(before) = baseline_steps_per_sec(base, &m.name) {
+                rows.push(format!("    \"{}\": {:.2}", m.name, now / before.max(1e-9)));
+            }
+        }
+        json.push_str(&rows.join(",\n"));
+        json.push_str("\n  }");
+    }
+    json.push_str("\n}\n");
+
+    if smoke && out_path.is_none() {
+        println!("{json}");
+        println!("smoke run OK (no file written)");
+        return;
+    }
+
+    let path = out_path
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json").to_string());
+    std::fs::write(&path, &json).expect("write BENCH json");
+    println!("wrote {path}");
+}

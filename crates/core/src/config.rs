@@ -10,6 +10,10 @@ use sim_core::time::SimDuration;
 pub const SENSOR_PORT: u16 = 14660;
 /// UDP port on which the HCE receives motor output (Table I).
 pub const MOTOR_PORT: u16 = 14600;
+/// The scheduler quantum every scenario runs at; shared with the perf
+/// harness so steps ↔ simulated-time conversions can never drift from
+/// the machine the runner actually builds.
+pub const SCHED_QUANTUM: SimDuration = SimDuration::from_micros(50);
 
 /// Stream cadences of Table I.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -76,7 +76,7 @@ pub use monitor::{
     AttitudeErrorRule, MonitorContext, MonitorEvent, OutputSource, ReceiveIntervalRule,
     RuleVerdict, SecurityMonitor, SecurityRule,
 };
-pub use runner::{Scenario, ScenarioResult, StreamReport};
+pub use runner::{RunningScenario, Scenario, ScenarioResult, StreamReport};
 pub use scenario::{Pilot, ScenarioBuilder, ScenarioConfig};
 
 // The attack-timeline vocabulary is part of the scenario API surface.
@@ -89,7 +89,7 @@ pub mod prelude {
     pub use crate::monitor::{
         MonitorContext, OutputSource, RuleVerdict, SecurityMonitor, SecurityRule,
     };
-    pub use crate::runner::{Scenario, ScenarioResult, StreamReport};
+    pub use crate::runner::{RunningScenario, Scenario, ScenarioResult, StreamReport};
     pub use crate::scenario::{Pilot, ScenarioBuilder, ScenarioConfig};
     pub use crate::telemetry::FlightRecorder;
     pub use attacks::prelude::*;

@@ -68,7 +68,7 @@ impl Runtime {
         // --- Machine ---------------------------------------------------------
         let mut machine = Machine::new(MachineConfig {
             n_cores: 4,
-            quantum: SimDuration::from_micros(50),
+            quantum: crate::config::SCHED_QUANTUM,
             dram: fw.dram,
         });
         spawn_system_background(&mut machine);
@@ -262,6 +262,10 @@ impl Runtime {
 
         let hover_pwm = cmd_to_pwm(params.hover_command());
         let script = cfg.attacks.entries().to_vec();
+        // Pre-size the telemetry store for the whole flight so recording
+        // never reallocates mid-run.
+        let expected_rows = (cfg.duration.as_secs_f64() * cfg.record_hz).ceil() as usize + 2;
+        let recorder = FlightRecorder::with_capacity(expected_rows);
 
         Runtime {
             cfg,
@@ -300,7 +304,9 @@ impl Runtime {
             attack_log: Vec::new(),
             next_src_port: ATTACK_SRC_PORT_BASE,
             ids,
-            recorder: FlightRecorder::new(),
+            recorder,
+            steps: 0,
+            frame_scratch: Vec::new(),
         }
     }
 }

@@ -17,8 +17,12 @@ impl Runtime {
     pub(crate) fn on_cce_pipeline(&mut self, now: SimTime) {
         let Some(rx) = self.cce_sensor_rx else { return };
         let Some(fc) = &mut self.cce_fc else { return };
-        for pkt in self.net.recv_all(rx) {
-            for frame in self.cce_parser.push(&pkt.payload) {
+        let mut frames = std::mem::take(&mut self.frame_scratch);
+        while let Some(pkt) = self.net.recv(rx) {
+            frames.clear();
+            self.cce_parser.push_into(&pkt.payload, &mut frames);
+            self.net.recycle(pkt);
+            for frame in &frames {
                 match frame.message {
                     Message::Imu(m) => fc.on_imu(&msg_to_imu(&m)),
                     Message::Baro(m) => fc.on_baro(&msg_to_baro(&m)),
@@ -27,6 +31,7 @@ impl Runtime {
                 }
             }
         }
+        self.frame_scratch = frames;
         fc.run_outer(now);
     }
 
@@ -45,7 +50,9 @@ impl Runtime {
                 system_status: 4, // active
                 mavlink_version: 3,
             };
-            let wire = self.cce_sender.encode(Message::Heartbeat(hb));
+            let mut wire = self.net.take_buf();
+            self.cce_sender
+                .encode_into(Message::Heartbeat(hb), &mut wire);
             let _ = self.net.send(
                 tx,
                 Addr {
@@ -64,7 +71,8 @@ impl Runtime {
             seq: self.motor_seq,
             armed: 1,
         };
-        let wire = self.cce_sender.encode(Message::Motor(msg));
+        let mut wire = self.net.take_buf();
+        self.cce_sender.encode_into(Message::Motor(msg), &mut wire);
         self.motor_counter.record(wire.len());
         let _ = self.net.send(
             tx,

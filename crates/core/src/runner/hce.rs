@@ -52,7 +52,9 @@ impl Runtime {
         if let Some(fc) = &mut self.hce_fc {
             fc.on_imu(&imu);
         }
-        let wire = self.hce_sender.encode(Message::Imu(imu_to_msg(&imu)));
+        let mut wire = self.net.take_buf();
+        self.hce_sender
+            .encode_into(Message::Imu(imu_to_msg(&imu)), &mut wire);
         self.imu_counter.record(wire.len());
         let _ = self.net.send(self.hce_sensor_tx, sensor_addr, wire, now);
 
@@ -63,12 +65,15 @@ impl Runtime {
             if let Some(fc) = &mut self.hce_fc {
                 fc.on_baro(&baro);
             }
-            let wire = self.hce_sender.encode(Message::Baro(baro_to_msg(&baro)));
+            let mut wire = self.net.take_buf();
+            self.hce_sender
+                .encode_into(Message::Baro(baro_to_msg(&baro)), &mut wire);
             self.baro_counter.record(wire.len());
             let _ = self.net.send(self.hce_sensor_tx, sensor_addr, wire, now);
 
             let rc = neutral_rc(now);
-            let wire = self.hce_sender.encode(Message::Rc(rc));
+            let mut wire = self.net.take_buf();
+            self.hce_sender.encode_into(Message::Rc(rc), &mut wire);
             self.rc_counter.record(wire.len());
             let _ = self.net.send(self.hce_sensor_tx, sensor_addr, wire, now);
         }
@@ -80,7 +85,9 @@ impl Runtime {
             if let Some(fc) = &mut self.hce_fc {
                 fc.on_position_fix(&fix);
             }
-            let wire = self.hce_sender.encode(Message::Gps(fix_to_msg(&fix)));
+            let mut wire = self.net.take_buf();
+            self.hce_sender
+                .encode_into(Message::Gps(fix_to_msg(&fix)), &mut wire);
             self.gps_counter.record(wire.len());
             let _ = self.net.send(self.hce_sensor_tx, sensor_addr, wire, now);
         }
@@ -125,7 +132,11 @@ impl Runtime {
     /// Rx-thread job: process exactly one datagram from the motor port.
     pub(crate) fn on_rx(&mut self, now: SimTime) {
         if let Some(pkt) = self.net.recv(self.hce_motor_rx) {
-            for frame in self.hce_parser.push(&pkt.payload) {
+            let mut frames = std::mem::take(&mut self.frame_scratch);
+            frames.clear();
+            self.hce_parser.push_into(&pkt.payload, &mut frames);
+            self.net.recycle(pkt);
+            for frame in &frames {
                 match frame.message {
                     Message::Motor(m) if m.armed == 1 => {
                         self.cce_cmd_pwm = m.pwm;
@@ -138,6 +149,7 @@ impl Runtime {
                     _ => {}
                 }
             }
+            self.frame_scratch = frames;
         }
     }
 

@@ -34,7 +34,7 @@ use attacks::driver::AttackDriver;
 use attacks::script::ScriptEntry;
 use autopilot::controller::FlightController;
 use container_rt::container::Container;
-use mavlink_lite::frame::Sender;
+use mavlink_lite::frame::{Frame, Sender};
 use mavlink_lite::parser::Parser;
 use rt_sched::machine::Machine;
 use rt_sched::task::SchedEvent;
@@ -65,13 +65,149 @@ impl Scenario {
     /// Runs the scenario to completion (or 1 s past a crash) and returns
     /// the collected results.
     pub fn run(self) -> ScenarioResult {
-        Runtime::build(self.config, Vec::new()).run()
+        self.start().run_to_end()
     }
 
     /// Runs with additional custom security rules installed in the monitor
     /// (see the `custom_rule` example).
     pub fn run_with_rules(self, rules: Vec<Box<dyn SecurityRule>>) -> ScenarioResult {
-        Runtime::build(self.config, rules).run()
+        self.start_with_rules(rules).run_to_end()
+    }
+
+    /// Builds the full system and returns it paused at t = 0, ready to be
+    /// advanced incrementally (see [`RunningScenario`]).
+    pub fn start(self) -> RunningScenario {
+        self.start_with_rules(Vec::new())
+    }
+
+    /// [`Scenario::start`] with additional custom security rules.
+    pub fn start_with_rules(self, rules: Vec<Box<dyn SecurityRule>>) -> RunningScenario {
+        RunningScenario::build(self.config, rules)
+    }
+}
+
+/// A scenario mid-flight: the incremental counterpart to
+/// [`Scenario::run`].
+///
+/// Useful for stepping a simulation from a debugger, interleaving it with
+/// external stimuli, or measuring a steady-state window in isolation (the
+/// allocation-regression test does exactly that).
+///
+/// # Examples
+///
+/// ```
+/// use containerdrone_core::prelude::*;
+/// use containerdrone_core::runner::Scenario;
+/// use sim_core::time::{SimDuration, SimTime};
+///
+/// let cfg = ScenarioConfig::healthy().with_duration(SimDuration::from_secs(2));
+/// let mut run = Scenario::new(cfg).start();
+/// run.advance_to(SimTime::from_secs(1));
+/// assert!(run.now() >= SimTime::from_secs(1));
+/// let result = run.finish();
+/// assert!(!result.crashed());
+/// ```
+pub struct RunningScenario {
+    rt: Runtime,
+    end: SimTime,
+    record_period: SimDuration,
+    next_record: SimTime,
+    events: Vec<SchedEvent>,
+    crash_deadline: Option<SimTime>,
+    crash_marked: bool,
+    finished: bool,
+}
+
+impl RunningScenario {
+    fn build(config: ScenarioConfig, rules: Vec<Box<dyn SecurityRule>>) -> Self {
+        let end = SimTime::ZERO + config.duration;
+        let record_period = SimDuration::from_hz(config.record_hz);
+        let rt = Runtime::build(config, rules);
+        RunningScenario {
+            rt,
+            end,
+            record_period,
+            next_record: SimTime::ZERO,
+            events: Vec::new(),
+            crash_deadline: None,
+            crash_marked: false,
+            finished: false,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.rt.machine.now()
+    }
+
+    /// Advances one scheduler quantum: machine, physics, job dispatch,
+    /// armed attacks, network, telemetry. Returns `false` once the flight
+    /// is over (duration reached, or 1 s past a crash) without advancing.
+    pub fn step(&mut self) -> bool {
+        if self.finished || self.rt.machine.now() >= self.end {
+            return false;
+        }
+        let quantum = self.rt.machine.config().quantum;
+        self.events.clear();
+        self.rt.machine.step(&mut self.events);
+        self.rt.steps += 1;
+        let now = self.rt.machine.now();
+        self.rt.world.advance_to(now);
+
+        for i in 0..self.events.len() {
+            if let SchedEvent::JobCompleted { task, .. } = self.events[i] {
+                self.rt.dispatch(task, now);
+            }
+        }
+
+        self.rt.step_attacks(now, quantum);
+
+        let deliveries = self.rt.net.step(now);
+        for d in deliveries {
+            if d.socket == self.rt.hce_motor_rx {
+                if let Some(rx) = self.rt.ids.rx {
+                    if self.rt.machine.is_alive(rx) {
+                        self.rt.machine.inject_job(rx, d.count);
+                    }
+                }
+            }
+        }
+
+        if now >= self.next_record {
+            self.rt.record(now);
+            self.next_record = now + self.record_period;
+        }
+
+        if let Some(crash) = self.rt.world.crash() {
+            if !self.crash_marked {
+                self.rt
+                    .recorder
+                    .mark(crash.time, format!("crash: {}", crash.kind));
+                self.crash_marked = true;
+                self.crash_deadline = Some(now + SimDuration::from_secs(1));
+            }
+        }
+        if self.crash_deadline.is_some_and(|d| now >= d) {
+            self.finished = true;
+        }
+        true
+    }
+
+    /// Advances until `target` (or the end of the flight, whichever comes
+    /// first).
+    pub fn advance_to(&mut self, target: SimTime) {
+        while self.rt.machine.now() < target && self.step() {}
+    }
+
+    /// Runs the remainder of the flight and tears down into the result.
+    pub fn run_to_end(mut self) -> ScenarioResult {
+        while self.step() {}
+        self.finish()
+    }
+
+    /// Tears the run down into a [`ScenarioResult`] at the current time.
+    pub fn finish(self) -> ScenarioResult {
+        self.rt.finish()
     }
 }
 
@@ -122,64 +258,7 @@ pub(crate) struct Runtime {
     // Bookkeeping.
     pub(crate) ids: TaskIds,
     pub(crate) recorder: FlightRecorder,
-}
-
-impl Runtime {
-    /// The main lock-step loop: scheduler quantum by quantum, dispatching
-    /// completed jobs, stepping armed attacks and the network, recording
-    /// telemetry, and stopping 1 s after a crash.
-    fn run(mut self) -> ScenarioResult {
-        let quantum = self.machine.config().quantum;
-        let end = SimTime::ZERO + self.cfg.duration;
-        let record_period = SimDuration::from_hz(self.cfg.record_hz);
-        let mut next_record = SimTime::ZERO;
-        let mut events: Vec<SchedEvent> = Vec::new();
-        let mut crash_deadline: Option<SimTime> = None;
-        let mut crash_marked = false;
-
-        while self.machine.now() < end {
-            events.clear();
-            self.machine.step(&mut events);
-            let now = self.machine.now();
-            self.world.advance_to(now);
-
-            for ev in events.drain(..) {
-                if let SchedEvent::JobCompleted { task, .. } = ev {
-                    self.dispatch(task, now);
-                }
-            }
-
-            self.step_attacks(now, quantum);
-
-            let deliveries = self.net.step(now);
-            for d in deliveries {
-                if d.socket == self.hce_motor_rx {
-                    if let Some(rx) = self.ids.rx {
-                        if self.machine.is_alive(rx) {
-                            self.machine.inject_job(rx, d.count);
-                        }
-                    }
-                }
-            }
-
-            if now >= next_record {
-                self.record(now);
-                next_record = now + record_period;
-            }
-
-            if let Some(crash) = self.world.crash() {
-                if !crash_marked {
-                    self.recorder
-                        .mark(crash.time, format!("crash: {}", crash.kind));
-                    crash_marked = true;
-                    crash_deadline = Some(now + SimDuration::from_secs(1));
-                }
-            }
-            if crash_deadline.is_some_and(|d| now >= d) {
-                break;
-            }
-        }
-
-        self.finish()
-    }
+    pub(crate) steps: u64,
+    /// Scratch for decoded frames, reused across every received datagram.
+    pub(crate) frame_scratch: Vec<Frame>,
 }

@@ -62,6 +62,12 @@ pub struct ScenarioResult {
     pub attack_packets: u64,
     /// CCE liveness heartbeats received by the HCE (1 Hz when healthy).
     pub heartbeats_received: u64,
+    /// Scheduler quanta executed by the run loop (the perf harness's
+    /// steps/sec denominator is wall time; this is the numerator).
+    pub sim_steps: u64,
+    /// Total datagrams offered to the virtual network over the run
+    /// (legitimate streams and attack traffic combined).
+    pub net_packets_sent: u64,
     /// Per-task scheduler statistics (name, stats).
     pub task_report: Vec<(String, TaskStats)>,
 }
@@ -231,6 +237,8 @@ impl Runtime {
             flood_sent,
             attack_packets,
             heartbeats_received: self.heartbeats_received,
+            sim_steps: self.steps,
+            net_packets_sent: self.net.packets_sent(),
             task_report,
             telemetry: self.recorder,
             config: self.cfg,

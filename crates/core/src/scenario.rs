@@ -330,7 +330,7 @@ mod tests {
         let b = ScenarioConfig::fig5();
         assert!(!a.framework.protections.memguard);
         assert!(b.framework.protections.memguard);
-        let mut a2 = a.clone();
+        let mut a2 = a;
         a2.framework.protections.memguard = true;
         assert_eq!(a2, b, "no other difference is allowed");
     }

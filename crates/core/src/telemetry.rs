@@ -64,6 +64,14 @@ impl FlightRecorder {
         }
     }
 
+    /// Creates a recorder pre-sized for `rows` samples (duration × sample
+    /// rate), so steady-state recording never allocates.
+    pub fn with_capacity(rows: usize) -> Self {
+        let mut rec = FlightRecorder::new();
+        rec.bundle.reserve(rows);
+        rec
+    }
+
     /// Records one telemetry row.
     pub fn sample(
         &mut self,

@@ -1,0 +1,70 @@
+//! Allocation regression test: after warmup, the simulation hot loop must
+//! run entirely out of reused scratch state — pooled packet buffers,
+//! incrementally maintained ready queues, pre-sized telemetry vectors.
+//!
+//! A counting global allocator measures exactly one simulated second of
+//! the healthy scenario in steady state and demands **zero** heap
+//! allocations. If any future change sneaks a per-tick allocation back
+//! into the machine/network/runner path, this test names the regression
+//! immediately.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use containerdrone_core::runner::Scenario;
+use containerdrone_core::scenario::ScenarioConfig;
+use sim_core::time::SimTime;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+#[test]
+fn healthy_steady_state_allocates_nothing() {
+    let mut run = Scenario::new(ScenarioConfig::healthy()).start();
+
+    // Warmup: scratch vectors grow to steady-state capacity, the packet
+    // pool fills, the parser buffers settle.
+    run.advance_to(SimTime::from_secs(3));
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(before > 0, "counter must have registered setup allocations");
+    run.advance_to(SimTime::from_secs(4)); // one simulated second
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state loop allocated {} times in one simulated second",
+        after - before
+    );
+
+    // The run is still healthy, not silently degenerate.
+    let result = run.finish();
+    assert!(!result.crashed());
+    assert!(result.sim_steps >= 4 * 20_000, "4 s at 50 µs quanta");
+}

@@ -14,7 +14,7 @@
 //! a different dialect are rejected even when their checksum is internally
 //! consistent.
 
-use bytes::{BufMut, BytesMut};
+use bytes::BufMut;
 
 use crate::crc::Crc16;
 use crate::error::DecodeError;
@@ -70,20 +70,30 @@ impl Frame {
 
     /// Serializes the frame to bytes.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = BytesMut::with_capacity(self.wire_len());
-        buf.put_u8(STX);
-        buf.put_u8(self.message.payload_len() as u8);
-        buf.put_u8(self.seq);
-        buf.put_u8(self.sys_id);
-        buf.put_u8(self.comp_id);
-        buf.put_u8(self.message.msg_id());
-        self.message.encode_payload(&mut buf);
+        let mut buf = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serializes the frame by appending to `out` — the allocation-free
+    /// encode path: callers hand in a reusable scratch/pooled buffer.
+    /// Returns the number of bytes written.
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        out.reserve(self.wire_len());
+        out.put_u8(STX);
+        out.put_u8(self.message.payload_len() as u8);
+        out.put_u8(self.seq);
+        out.put_u8(self.sys_id);
+        out.put_u8(self.comp_id);
+        out.put_u8(self.message.msg_id());
+        self.message.encode_payload(out);
 
         let mut crc = Crc16::new();
-        crc.update(&buf[1..]); // everything after STX
+        crc.update(&out[start + 1..]); // everything after STX
         crc.update_byte(self.message.crc_extra());
-        buf.put_u16_le(crc.get());
-        buf.to_vec()
+        out.put_u16_le(crc.get());
+        out.len() - start
     }
 
     /// Parses one frame from the start of `bytes`.
@@ -176,6 +186,12 @@ impl Sender {
     /// Convenience: frame and serialize in one step.
     pub fn encode(&mut self, message: Message) -> Vec<u8> {
         self.frame(message).encode()
+    }
+
+    /// Frame and serialize by appending to `out` (the allocation-free
+    /// path). Returns the number of bytes written.
+    pub fn encode_into(&mut self, message: Message, out: &mut Vec<u8>) -> usize {
+        self.frame(message).encode_into(out)
     }
 }
 

@@ -55,67 +55,87 @@ impl Parser {
     /// found so far. Invalid spans are skipped and counted in
     /// [`Parser::stats`].
     pub fn push(&mut self, bytes: &[u8]) -> Vec<Frame> {
-        self.buf.extend_from_slice(bytes);
         let mut frames = Vec::new();
-        let mut pos = 0usize;
+        self.push_into(bytes, &mut frames);
+        frames
+    }
 
+    /// Like [`Parser::push`], but appends the decoded frames to a
+    /// caller-provided buffer — the allocation-free parse path for hot
+    /// loops that reuse one scratch `Vec` across packets.
+    pub fn push_into(&mut self, bytes: &[u8], frames: &mut Vec<Frame>) {
+        if self.buf.is_empty() {
+            // Fast path (the overwhelmingly common whole-datagram case):
+            // scan the input in place and only buffer an incomplete tail,
+            // skipping the copy-in/drain-out round trip.
+            let pos = Self::scan(&mut self.stats, bytes, frames);
+            if pos < bytes.len() {
+                self.buf.extend_from_slice(&bytes[pos..]);
+            }
+            return;
+        }
+        self.buf.extend_from_slice(bytes);
+        let pos = Self::scan(&mut self.stats, &self.buf, frames);
+        self.buf.drain(..pos);
+    }
+
+    /// Scans `data` for frames, updating `stats` and pushing decoded
+    /// frames. Returns the index of the first byte that may still grow
+    /// into a complete frame (== `data.len()` when fully consumed).
+    fn scan(stats: &mut ParserStats, data: &[u8], frames: &mut Vec<Frame>) -> usize {
+        let mut pos = 0usize;
         loop {
             // Hunt for the next start marker.
-            match self.buf[pos..].iter().position(|&b| b == STX) {
+            match data[pos..].iter().position(|&b| b == STX) {
                 Some(offset) => {
-                    self.stats.bytes_skipped += offset as u64;
+                    stats.bytes_skipped += offset as u64;
                     pos += offset;
                 }
                 None => {
-                    self.stats.bytes_skipped += (self.buf.len() - pos) as u64;
-                    pos = self.buf.len();
-                    break;
+                    stats.bytes_skipped += (data.len() - pos) as u64;
+                    return data.len();
                 }
             }
 
-            match Frame::decode(&self.buf[pos..]) {
+            match Frame::decode(&data[pos..]) {
                 Ok((frame, used)) => {
-                    self.stats.frames_ok += 1;
+                    stats.frames_ok += 1;
                     frames.push(frame);
                     pos += used;
                 }
                 Err(DecodeError::Truncated) => {
                     // Might complete with more input — but only if the
-                    // buffered tail could still be a frame; a lone STX at the
-                    // very end always waits.
-                    if self.could_complete(pos) {
-                        break;
+                    // remaining tail could still be a frame; a lone STX at
+                    // the very end always waits.
+                    if Self::could_complete(&data[pos..]) {
+                        return pos;
                     }
                     // A full-length candidate failed structurally: skip the
                     // STX byte and resync.
-                    self.stats.bytes_skipped += 1;
+                    stats.bytes_skipped += 1;
                     pos += 1;
                 }
                 Err(DecodeError::BadCrc { .. }) => {
-                    self.stats.crc_errors += 1;
-                    self.stats.bytes_skipped += 1;
+                    stats.crc_errors += 1;
+                    stats.bytes_skipped += 1;
                     pos += 1;
                 }
                 Err(DecodeError::UnknownMessage { .. }) => {
-                    self.stats.unknown_messages += 1;
-                    self.stats.bytes_skipped += 1;
+                    stats.unknown_messages += 1;
+                    stats.bytes_skipped += 1;
                     pos += 1;
                 }
                 Err(DecodeError::BadLength { .. }) => {
-                    self.stats.bytes_skipped += 1;
+                    stats.bytes_skipped += 1;
                     pos += 1;
                 }
             }
         }
-
-        self.buf.drain(..pos);
-        frames
     }
 
-    /// True when the bytes at `pos` form a valid prefix that may still grow
-    /// into a complete frame.
-    fn could_complete(&self, pos: usize) -> bool {
-        let tail = &self.buf[pos..];
+    /// True when `tail` forms a valid prefix that may still grow into a
+    /// complete frame.
+    fn could_complete(tail: &[u8]) -> bool {
         if tail.len() < 2 {
             return true; // just STX (or STX+LEN) so far
         }

@@ -135,6 +135,11 @@ pub struct MemorySystem {
     /// compute contention with one quantum of lag, which keeps the model
     /// explicit and stable.
     prev_served: Vec<f64>,
+    /// Scratch for the quantum being computed (swapped into `prev_served`
+    /// at the end of each quantum — no per-quantum allocation).
+    served_scratch: Vec<f64>,
+    /// Scratch backing the slice returned by [`MemorySystem::quantum`].
+    outcomes: Vec<CoreOutcome>,
 }
 
 #[derive(Debug, Clone)]
@@ -154,6 +159,8 @@ impl MemorySystem {
             memguard: None,
             counters: vec![PerfCounter::default(); n_cores],
             prev_served: vec![0.0; n_cores],
+            served_scratch: vec![0.0; n_cores],
+            outcomes: Vec::with_capacity(n_cores),
         }
     }
 
@@ -224,7 +231,7 @@ impl MemorySystem {
         now: SimTime,
         dt: SimDuration,
         demands: &[CoreDemand],
-    ) -> Vec<CoreOutcome> {
+    ) -> &[CoreOutcome] {
         assert_eq!(demands.len(), self.n_cores(), "one demand per core");
         let dt_s = dt.as_secs_f64();
 
@@ -237,8 +244,10 @@ impl MemorySystem {
         }
 
         let total_prev: f64 = self.prev_served.iter().sum();
-        let mut outcomes = Vec::with_capacity(demands.len());
-        let mut served_now = vec![0.0; demands.len()];
+        self.outcomes.clear();
+        let outcomes = &mut self.outcomes;
+        self.served_scratch.iter_mut().for_each(|s| *s = 0.0);
+        let served_now = &mut self.served_scratch;
 
         for (i, d) in demands.iter().enumerate() {
             // Throttle check (uses the budget *before* this quantum's
@@ -257,6 +266,19 @@ impl MemorySystem {
                     progress: 0.0,
                     served_lines: 0.0,
                     throttled: true,
+                });
+                continue;
+            }
+
+            // Compute-only demand (idle core or pure-CPU task): progress
+            // is exactly 1 and no lines move, so skip the contention math.
+            // Identical to the general path: stall_fraction 0 ⇒ no
+            // dilation, bandwidth 0 ⇒ zero lines served.
+            if d.bandwidth == 0.0 && d.stall_fraction == 0.0 && !d.streaming {
+                outcomes.push(CoreOutcome {
+                    progress: 1.0,
+                    served_lines: 0.0,
+                    throttled: false,
                 });
                 continue;
             }
@@ -298,8 +320,8 @@ impl MemorySystem {
             });
         }
 
-        self.prev_served = served_now;
-        outcomes
+        std::mem::swap(&mut self.prev_served, &mut self.served_scratch);
+        &self.outcomes
     }
 }
 
@@ -333,7 +355,7 @@ mod tests {
         let mut t = SimTime::ZERO;
         let mut last = Vec::new();
         for _ in 0..quanta {
-            last = mem.quantum(t, DT, demands);
+            last = mem.quantum(t, DT, demands).to_vec();
             t += DT;
         }
         last

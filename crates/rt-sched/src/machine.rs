@@ -55,7 +55,99 @@ struct Task {
     fifo_seq: u64,
     vruntime: f64,
     slice_used: SimDuration,
+    /// `true` while the task sits in the machine's ready queues. Kept in
+    /// sync at every transition (release, injection, completion, kill) so
+    /// dispatch never rescans the task table.
+    ready: bool,
     stats: TaskStats,
+}
+
+/// Incrementally maintained ready queues — the replacement for the old
+/// per-dispatch sort over every runnable task. Dispatch order is identical
+/// to the sort it replaced: real-time tasks by (priority descending, FIFO
+/// sequence ascending), then fair tasks by (vruntime, id).
+#[derive(Debug, Clone)]
+struct ReadyQueues {
+    /// RT buckets indexed by `255 - priority` (bucket order = priority
+    /// descending), each kept sorted ascending by FIFO sequence number.
+    rt: Vec<Vec<(u64, TaskId)>>,
+    /// Occupancy bitmap over `rt`: bit `b` of word `b / 64` is set iff
+    /// bucket `b` is non-empty, so dispatch skips straight to occupied
+    /// priority levels instead of scanning all 256.
+    occupied: [u64; 4],
+    /// Runnable fair tasks, unordered; ordered by vruntime at dispatch.
+    fair: Vec<TaskId>,
+}
+
+impl ReadyQueues {
+    fn new() -> Self {
+        ReadyQueues {
+            rt: vec![Vec::new(); 256],
+            occupied: [0; 4],
+            fair: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, policy: &SchedPolicy, fifo_seq: u64, id: TaskId) {
+        match policy {
+            SchedPolicy::Fifo { priority } | SchedPolicy::RoundRobin { priority, .. } => {
+                let b = 255 - *priority as usize;
+                let bucket = &mut self.rt[b];
+                let pos = bucket.partition_point(|&(seq, _)| seq < fifo_seq);
+                bucket.insert(pos, (fifo_seq, id));
+                self.occupied[b / 64] |= 1 << (b % 64);
+            }
+            SchedPolicy::Fair { .. } => self.fair.push(id),
+        }
+    }
+
+    fn remove(&mut self, policy: &SchedPolicy, fifo_seq: u64, id: TaskId) {
+        match policy {
+            SchedPolicy::Fifo { priority } | SchedPolicy::RoundRobin { priority, .. } => {
+                let b = 255 - *priority as usize;
+                let bucket = &mut self.rt[b];
+                let pos = bucket.partition_point(|&(seq, _)| seq < fifo_seq);
+                debug_assert!(
+                    bucket
+                        .get(pos)
+                        .is_some_and(|&(s, i)| s == fifo_seq && i == id),
+                    "ready-queue entry must exist on removal"
+                );
+                bucket.remove(pos);
+                if bucket.is_empty() {
+                    self.occupied[b / 64] &= !(1 << (b % 64));
+                }
+            }
+            SchedPolicy::Fair { .. } => {
+                if let Some(pos) = self.fair.iter().position(|&t| t == id) {
+                    self.fair.swap_remove(pos);
+                }
+            }
+        }
+    }
+
+    /// RR slice expiry: the task moves to the back of its priority level.
+    fn reposition(&mut self, policy: &SchedPolicy, old_seq: u64, new_seq: u64, id: TaskId) {
+        self.remove(policy, old_seq, id);
+        self.insert(policy, new_seq, id);
+    }
+
+    /// Visits every ready RT task in dispatch order (priority descending,
+    /// FIFO sequence ascending); the callback returns `false` to stop.
+    fn for_each_rt(&self, mut f: impl FnMut(TaskId) -> bool) {
+        for (word_idx, &word) in self.occupied.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = word_idx * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                for &(_, tid) in &self.rt[b] {
+                    if !f(tid) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Per-task execution statistics.
@@ -125,6 +217,19 @@ pub struct Machine {
     cores: Vec<CoreStats>,
     fifo_counter: u64,
     started: SimTime,
+    ready: ReadyQueues,
+    /// Scratch: the per-core assignment computed each quantum.
+    assignment: Vec<Option<TaskId>>,
+    /// Scratch: fair tasks ordered by (quantized vruntime, id) at dispatch.
+    fair_scratch: Vec<(u64, u32)>,
+    /// Scratch: per-core memory demands handed to the memory system.
+    demands: Vec<CoreDemand>,
+    /// Earliest pending periodic release; quanta before it skip the
+    /// release scan entirely (releases are ~10× rarer than quanta).
+    next_release_hint: SimTime,
+    /// Indices of periodic tasks, so the release scan touches nothing
+    /// else. Kills are filtered by the `alive` flag at scan time.
+    periodic_tasks: Vec<u32>,
 }
 
 impl Machine {
@@ -147,6 +252,12 @@ impl Machine {
             cores: vec![CoreStats::default(); config.n_cores],
             fifo_counter: 0,
             started: SimTime::ZERO,
+            ready: ReadyQueues::new(),
+            assignment: Vec::with_capacity(config.n_cores),
+            fair_scratch: Vec::new(),
+            demands: Vec::with_capacity(config.n_cores),
+            next_release_hint: SimTime::MAX,
+            periodic_tasks: Vec::new(),
             config,
         }
     }
@@ -200,6 +311,16 @@ impl Machine {
             .filter(|t| t.alive && matches!(t.spec.policy, SchedPolicy::Fair { .. }))
             .map(|t| t.vruntime)
             .fold(0.0, f64::max);
+        // Busy tasks are always runnable; everything else becomes ready on
+        // its first release/injection.
+        let ready = matches!(spec.activation, Activation::Busy);
+        if ready {
+            self.ready.insert(&spec.policy, self.fifo_counter, id);
+        }
+        if let Some(release) = next_release {
+            self.next_release_hint = self.next_release_hint.min(release);
+            self.periodic_tasks.push(id.0);
+        }
         self.tasks.push(Task {
             spec,
             cgroup,
@@ -209,6 +330,7 @@ impl Machine {
             fifo_seq: self.fifo_counter,
             vruntime,
             slice_used: SimDuration::ZERO,
+            ready,
             stats: TaskStats::default(),
         });
         id
@@ -220,6 +342,10 @@ impl Machine {
         if let Some(t) = self.tasks.get_mut(id.index()) {
             t.alive = false;
             t.jobs.clear();
+            if t.ready {
+                t.ready = false;
+                self.ready.remove(&t.spec.policy, t.fifo_seq, id);
+            }
         }
     }
 
@@ -239,6 +365,10 @@ impl Machine {
                         release: now,
                         remaining: t.spec.cost.cpu,
                     });
+                }
+                if count > 0 && !t.ready {
+                    t.ready = true;
+                    self.ready.insert(&t.spec.policy, t.fifo_seq, id);
                 }
             }
         }
@@ -312,24 +442,26 @@ impl Machine {
         let dt = self.config.quantum;
         self.release_due_jobs(events);
 
-        let assignment = self.assign_cores();
+        self.assign_cores();
 
         // Memory system: demands of the running tasks.
-        let mut demands = vec![CoreDemand::default(); self.config.n_cores];
-        for (core, slot) in assignment.iter().enumerate() {
+        self.demands.clear();
+        self.demands
+            .resize(self.config.n_cores, CoreDemand::default());
+        for (core, slot) in self.assignment.iter().enumerate() {
             if let Some(tid) = slot {
                 let cost = &self.tasks[tid.index()].spec.cost;
-                demands[core] = CoreDemand {
+                self.demands[core] = CoreDemand {
                     bandwidth: cost.mem_bandwidth,
                     stall_fraction: cost.stall_fraction,
                     streaming: cost.streaming,
                 };
             }
         }
-        let outcomes = self.memory.quantum(self.now, dt, &demands);
+        let outcomes = self.memory.quantum(self.now, dt, &self.demands);
 
         let quantum_end = self.now + dt;
-        for (core, slot) in assignment.iter().enumerate() {
+        for (core, slot) in self.assignment.iter().enumerate() {
             let Some(tid) = slot else { continue };
             let task = &mut self.tasks[tid.index()];
             let out = outcomes[core];
@@ -355,13 +487,12 @@ impl Machine {
                         task.vruntime += dt.as_secs_f64() * vruntime_scale(&task.spec.policy);
                         task.slice_used += dt;
                         // Round-robin rotation applies to busy tasks too.
-                        if let SchedPolicy::RoundRobin { slice, .. } = task.spec.policy {
-                            if task.slice_used >= slice {
-                                task.slice_used = SimDuration::ZERO;
-                                self.fifo_counter += 1;
-                                task.fifo_seq = self.fifo_counter;
-                            }
-                        }
+                        rotate_rr_on_slice_expiry(
+                            task,
+                            &mut self.fifo_counter,
+                            &mut self.ready,
+                            *tid,
+                        );
                         continue;
                     }
                 };
@@ -398,16 +529,16 @@ impl Machine {
                     release: job.release,
                     completion: quantum_end,
                 });
+                // Out of work: leave the ready queues until the next
+                // release or injection.
+                if task.jobs.is_empty() && task.ready {
+                    task.ready = false;
+                    self.ready.remove(&task.spec.policy, task.fifo_seq, *tid);
+                }
             }
 
             // Round-robin rotation on slice expiry.
-            if let SchedPolicy::RoundRobin { slice, .. } = task.spec.policy {
-                if task.slice_used >= slice {
-                    task.slice_used = SimDuration::ZERO;
-                    self.fifo_counter += 1;
-                    task.fifo_seq = self.fifo_counter;
-                }
-            }
+            rotate_rr_on_slice_expiry(task, &mut self.fifo_counter, &mut self.ready, *tid);
         }
 
         self.now = quantum_end;
@@ -422,7 +553,14 @@ impl Machine {
 
     fn release_due_jobs(&mut self, events: &mut Vec<SchedEvent>) {
         let now = self.now;
-        for (idx, task) in self.tasks.iter_mut().enumerate() {
+        if now < self.next_release_hint {
+            return; // nothing due: quanta outnumber releases ~10:1
+        }
+        let mut hint = SimTime::MAX;
+        let ready = &mut self.ready;
+        for &idx in &self.periodic_tasks {
+            let idx = idx as usize;
+            let task = &mut self.tasks[idx];
             if !task.alive {
                 continue;
             }
@@ -448,53 +586,74 @@ impl Machine {
                         release,
                         remaining: task.spec.cost.cpu,
                     });
+                    if !task.ready {
+                        task.ready = true;
+                        ready.insert(&task.spec.policy, task.fifo_seq, TaskId(idx as u32));
+                    }
                 }
             }
+            if let Some(release) = task.next_release {
+                hint = hint.min(release);
+            }
         }
+        self.next_release_hint = hint;
     }
 
-    /// Chooses which task runs on each core this quantum.
+    /// Chooses which task runs on each core this quantum, into the reused
+    /// `assignment` scratch.
     ///
     /// Linux-like global semantics: all runnable RT tasks in
     /// (priority desc, FIFO order) first, then fair tasks by vruntime.
-    /// Each task takes the first free core its affinity allows.
-    fn assign_cores(&self) -> Vec<Option<TaskId>> {
-        let mut runnable: Vec<(u32, u64, u64, TaskId)> = Vec::new();
-        for (idx, t) in self.tasks.iter().enumerate() {
-            if !t.alive {
-                continue;
-            }
-            let has_work = !t.jobs.is_empty() || matches!(t.spec.activation, Activation::Busy);
-            if !has_work {
-                continue;
-            }
-            // Sort key: RT before fair; higher priority first; then FIFO
-            // order (RT) or vruntime (fair).
-            let (class, prio, order) = match t.spec.policy {
-                SchedPolicy::Fifo { priority } | SchedPolicy::RoundRobin { priority, .. } => {
-                    (0u32, 255 - priority as u32, t.fifo_seq)
-                }
-                SchedPolicy::Fair { .. } => {
-                    // Quantize vruntime to nanoseconds for a stable total
-                    // order.
-                    (1u32, 0, (t.vruntime * 1e9) as u64)
-                }
-            };
-            runnable.push((class, prio as u64, order, TaskId(idx as u32)));
-        }
-        runnable.sort_unstable_by_key(|&(class, prio, order, id)| (class, prio, order, id));
+    /// Each task takes the first free core its affinity allows. The RT
+    /// order comes straight off the incrementally maintained buckets; only
+    /// the (few) runnable fair tasks are ordered at dispatch time, because
+    /// vruntime moves every quantum.
+    fn assign_cores(&mut self) {
+        let n_cores = self.config.n_cores;
+        let tasks = &self.tasks;
+        let assignment = &mut self.assignment;
+        assignment.clear();
+        assignment.resize(n_cores, None);
+        // Bit `i` set = core `i` still free; "first free core the affinity
+        // allows" is one AND + trailing_zeros.
+        let mut free_mask: u64 = if n_cores >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << n_cores) - 1
+        };
 
-        let mut assignment: Vec<Option<TaskId>> = vec![None; self.config.n_cores];
-        for (_, _, _, tid) in runnable {
-            let affinity = self.tasks[tid.index()].spec.affinity;
-            for (core, slot) in assignment.iter_mut().enumerate() {
-                if slot.is_none() && affinity.contains(core) {
-                    *slot = Some(tid);
+        let mut place = |tid: TaskId, free_mask: &mut u64| {
+            let allowed = tasks[tid.index()].spec.affinity.bits() & *free_mask;
+            if allowed != 0 {
+                let core = allowed.trailing_zeros() as usize;
+                assignment[core] = Some(tid);
+                *free_mask &= !(1 << core);
+            }
+        };
+
+        self.ready.for_each_rt(|tid| {
+            place(tid, &mut free_mask);
+            free_mask != 0
+        });
+
+        if free_mask != 0 && !self.ready.fair.is_empty() {
+            self.fair_scratch.clear();
+            for &id in &self.ready.fair {
+                // Quantize vruntime to nanoseconds for a stable total
+                // order (id breaks exact ties).
+                let key = (tasks[id.index()].vruntime * 1e9) as u64;
+                self.fair_scratch.push((key, id.0));
+            }
+            if self.fair_scratch.len() > 1 {
+                self.fair_scratch.sort_unstable();
+            }
+            for &(_, raw) in &self.fair_scratch {
+                place(TaskId(raw), &mut free_mask);
+                if free_mask == 0 {
                     break;
                 }
             }
         }
-        assignment
     }
 }
 
@@ -502,6 +661,29 @@ fn vruntime_scale(policy: &SchedPolicy) -> f64 {
     match policy {
         SchedPolicy::Fair { weight } => 1024.0 / (*weight).max(1) as f64,
         _ => 0.0,
+    }
+}
+
+/// Round-robin slice expiry: reset the slice, move the task behind its
+/// priority peers (new FIFO sequence number + ready-queue reposition).
+/// One shared implementation for the busy-task and job-carrying branches
+/// of [`Machine::step`], so the bucket bookkeeping cannot drift.
+fn rotate_rr_on_slice_expiry(
+    task: &mut Task,
+    fifo_counter: &mut u64,
+    ready: &mut ReadyQueues,
+    tid: TaskId,
+) {
+    if let SchedPolicy::RoundRobin { slice, .. } = task.spec.policy {
+        if task.slice_used >= slice {
+            task.slice_used = SimDuration::ZERO;
+            *fifo_counter += 1;
+            let old_seq = task.fifo_seq;
+            task.fifo_seq = *fifo_counter;
+            if task.ready {
+                ready.reposition(&task.spec.policy, old_seq, task.fifo_seq, tid);
+            }
+        }
     }
 }
 

@@ -27,6 +27,12 @@ impl CpuSet {
     /// All cores allowed.
     pub const ALL: CpuSet = CpuSet(u64::MAX);
 
+    /// The raw bitmask (bit `i` = core `i` allowed); lets the dispatcher
+    /// pick the first free allowed core with one `trailing_zeros`.
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
     /// The empty set.
     pub const NONE: CpuSet = CpuSet(0);
 

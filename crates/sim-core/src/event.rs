@@ -65,6 +65,11 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    /// Sequence numbers scheduled, not yet delivered, not cancelled.
+    pending: std::collections::HashSet<u64>,
+    /// Lazily deleted entries still sitting in the heap. Every id in here
+    /// is in the heap; ids leave the set the moment their entry pops (or
+    /// when compaction rebuilds the heap), so the set can never leak.
     cancelled: std::collections::HashSet<u64>,
 }
 
@@ -80,6 +85,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            pending: std::collections::HashSet::new(),
             cancelled: std::collections::HashSet::new(),
         }
     }
@@ -90,22 +96,32 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, payload });
+        self.pending.insert(seq);
         EventId(seq)
     }
 
-    /// Cancels a previously scheduled event. Returns `true` if the event was
-    /// still pending.
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending (ids of already-delivered or already-cancelled
+    /// events report `false` and change nothing).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
+        if !self.pending.remove(&id.0) {
             return false;
         }
-        // Lazy deletion: remember the id and skip it when popped.
-        self.cancelled.insert(id.0)
+        // Lazy deletion: remember the id and skip it when popped …
+        self.cancelled.insert(id.0);
+        // … unless cancelled entries dominate the heap, in which case a
+        // one-off O(n) compaction keeps pop cost proportional to *live*
+        // events.
+        if self.cancelled.len() > self.heap.len() / 2 && self.cancelled.len() > 16 {
+            let cancelled = std::mem::take(&mut self.cancelled);
+            self.heap.retain(|e| !cancelled.contains(&e.seq));
+        }
+        true
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.pending.len()
     }
 
     /// `true` if no events are pending.
@@ -125,6 +141,13 @@ impl<E> EventQueue<E> {
         PopDue { queue: self, now }
     }
 
+    /// Entries physically held by the heap (live + lazily cancelled);
+    /// exposed for the compaction tests.
+    #[cfg(test)]
+    fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
+
     fn skip_cancelled(&mut self) {
         while let Some(top) = self.heap.peek() {
             if self.cancelled.remove(&top.seq) {
@@ -139,6 +162,7 @@ impl<E> EventQueue<E> {
         self.skip_cancelled();
         if self.heap.peek().is_some_and(|e| e.time <= now) {
             let e = self.heap.pop().expect("peeked entry must exist");
+            self.pending.remove(&e.seq);
             Some((e.time, e.payload))
         } else {
             None
@@ -229,5 +253,58 @@ mod tests {
         q.schedule(SimTime::from_millis(5), 2);
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn cancelling_a_delivered_event_is_a_clean_no_op() {
+        // Regression: this used to poison the cancelled set forever and
+        // corrupt len() for the rest of the queue's life.
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), "a");
+        q.schedule(SimTime::from_millis(10), "b");
+        let delivered: Vec<&str> = q.pop_due(SimTime::from_millis(5)).map(|(_, e)| e).collect();
+        assert_eq!(delivered, vec!["a"]);
+        assert!(!q.cancel(a), "already delivered: cancel reports false");
+        assert_eq!(q.len(), 1, "len unaffected by the stale cancel");
+        let rest: Vec<&str> = q.pop_due(SimTime::from_secs(1)).map(|(_, e)| e).collect();
+        assert_eq!(rest, vec!["b"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn popped_entries_leave_the_cancelled_set() {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for i in 0..10 {
+            ids.push(q.schedule(SimTime::from_millis(i), i));
+        }
+        for id in &ids[..5] {
+            assert!(q.cancel(*id));
+        }
+        let out: Vec<u64> = q.pop_due(SimTime::from_secs(1)).map(|(_, e)| e).collect();
+        assert_eq!(out, vec![5, 6, 7, 8, 9]);
+        assert!(q.is_empty());
+        assert_eq!(q.heap_len(), 0, "no lazily-cancelled residue");
+    }
+
+    #[test]
+    fn mass_cancellation_compacts_the_heap() {
+        let mut q = EventQueue::new();
+        let ids: Vec<EventId> = (0..100)
+            .map(|i| q.schedule(SimTime::from_millis(i), i))
+            .collect();
+        // Cancel 90 of 100 without ever popping: lazily deleted entries
+        // would otherwise dominate the heap.
+        for id in &ids[..90] {
+            assert!(q.cancel(*id));
+        }
+        assert_eq!(q.len(), 10);
+        assert!(
+            q.heap_len() < 60,
+            "compaction must purge dead entries, heap still holds {}",
+            q.heap_len()
+        );
+        let out: Vec<u64> = q.pop_due(SimTime::from_secs(1)).map(|(_, e)| e).collect();
+        assert_eq!(out, (90..100).collect::<Vec<_>>());
     }
 }

@@ -45,12 +45,22 @@ impl TimeSeries {
         &self.name
     }
 
+    /// Reserves capacity for at least `additional` more samples, so a
+    /// fixed-duration recording loop never reallocates.
+    pub fn reserve(&mut self, additional: usize) {
+        self.times.reserve(additional);
+        self.values.reserve(additional);
+    }
+
     /// Appends a sample.
     ///
     /// # Panics
     ///
-    /// Panics if `t` precedes the previous sample's time.
+    /// In debug builds, panics if `t` precedes the previous sample's time
+    /// (release builds skip the per-sample check — this is the hottest
+    /// recording path in the simulator).
     pub fn push(&mut self, t: SimTime, value: f64) {
+        #[cfg(debug_assertions)]
         if let Some(&last) = self.times.last() {
             assert!(t >= last, "samples must be time-ordered: {t} < {last}");
         }
@@ -162,6 +172,13 @@ impl SeriesBundle {
     pub fn new(names: &[&str]) -> Self {
         SeriesBundle {
             series: names.iter().copied().map(TimeSeries::new).collect(),
+        }
+    }
+
+    /// Reserves capacity for `additional` more rows in every series.
+    pub fn reserve(&mut self, additional: usize) {
+        for s in &mut self.series {
+            s.reserve(additional);
         }
     }
 
@@ -326,7 +343,10 @@ mod tests {
         assert!(!s.settled_within(0.0, 0.1, SimTime::ZERO));
     }
 
+    /// The ordering assert is compiled out of release builds (hot path);
+    /// the guard below keeps the should_panic test debug-only.
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "time-ordered")]
     fn push_rejects_time_regression() {
         let mut s = TimeSeries::new("bad");

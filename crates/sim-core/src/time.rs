@@ -11,6 +11,30 @@ use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 /// Number of nanoseconds in one second.
 pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 
+/// `x.round() as u64` for non-negative `x`, without the libm `round` call
+/// (the baseline x86-64 target lowers `f64::round` to a library call, and
+/// this sits on the per-packet/per-quantum hot path).
+///
+/// Bit-identical to `x.round() as u64` for every `x < 2^53`: the integer
+/// part of such an `x` converts to `f64` exactly, so the fractional
+/// remainder is computed exactly and the half-away-from-zero tie-break
+/// matches `round`. Values at or above 2^53 (≈ 104 simulated days in
+/// nanoseconds) fall back to `round`.
+#[inline]
+fn round_nonneg_to_u64(x: f64) -> u64 {
+    debug_assert!(x >= 0.0);
+    if x < 9_007_199_254_740_992.0 {
+        let t = x as u64;
+        if x - t as f64 >= 0.5 {
+            t + 1
+        } else {
+            t
+        }
+    } else {
+        x.round() as u64
+    }
+}
+
 /// An instant in simulation time, in nanoseconds since the start of the run.
 ///
 /// # Examples
@@ -69,9 +93,10 @@ impl SimTime {
     /// # Panics
     ///
     /// Panics if `secs` is negative or not finite.
+    #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
         assert!(secs.is_finite() && secs >= 0.0, "invalid time: {secs}");
-        SimTime((secs * NANOS_PER_SEC as f64).round() as u64)
+        SimTime(round_nonneg_to_u64(secs * NANOS_PER_SEC as f64))
     }
 
     /// Nanoseconds since the start of the run.
@@ -90,12 +115,14 @@ impl SimTime {
     }
 
     /// Seconds since the start of the run as a float.
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / NANOS_PER_SEC as f64
     }
 
     /// The span from `earlier` to `self`, saturating to zero if `earlier`
     /// is actually later.
+    #[inline]
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
@@ -147,9 +174,10 @@ impl SimDuration {
     /// # Panics
     ///
     /// Panics if `secs` is negative or not finite.
+    #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
         assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs}");
-        SimDuration((secs * NANOS_PER_SEC as f64).round() as u64)
+        SimDuration(round_nonneg_to_u64(secs * NANOS_PER_SEC as f64))
     }
 
     /// The period of a cycle repeating at `hz` hertz.
@@ -159,7 +187,7 @@ impl SimDuration {
     /// Panics if `hz` is not strictly positive and finite.
     pub fn from_hz(hz: f64) -> Self {
         assert!(hz.is_finite() && hz > 0.0, "invalid frequency: {hz}");
-        SimDuration((NANOS_PER_SEC as f64 / hz).round() as u64)
+        SimDuration(round_nonneg_to_u64(NANOS_PER_SEC as f64 / hz))
     }
 
     /// Length in nanoseconds.
@@ -178,6 +206,7 @@ impl SimDuration {
     }
 
     /// Length in seconds as a float.
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / NANOS_PER_SEC as f64
     }
@@ -202,12 +231,13 @@ impl SimDuration {
     /// # Panics
     ///
     /// Panics if `factor` is negative or not finite.
+    #[inline]
     pub fn mul_f64(self, factor: f64) -> SimDuration {
         assert!(
             factor.is_finite() && factor >= 0.0,
             "invalid factor: {factor}"
         );
-        SimDuration((self.0 as f64 * factor).round() as u64)
+        SimDuration(round_nonneg_to_u64(self.0 as f64 * factor))
     }
 
     /// The smaller of two durations.
@@ -333,6 +363,36 @@ impl fmt::Display for SimDuration {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[allow(clippy::excessive_precision)] // the edge cases need every digit
+    fn fast_round_matches_libm_round() {
+        // Ties, near-ties, representability edges, and the 2^53 fallback.
+        let cases = [
+            0.0,
+            0.25,
+            0.5,
+            0.49999999999999994, // largest f64 < 0.5
+            0.9999999999999999,
+            1.5,
+            2.5,
+            1234.4999999999999,
+            1234.5,
+            1e9,
+            123_456_789.500_000_1,
+            4_503_599_627_370_495.5, // 2^52 - 0.5
+            9_007_199_254_740_991.0, // 2^53 - 1
+            9_007_199_254_740_993.0, // above the exact-integer range
+            1.8e18,
+        ];
+        for &x in &cases {
+            assert_eq!(
+                round_nonneg_to_u64(x),
+                x.round() as u64,
+                "mismatch for {x:e}"
+            );
+        }
+    }
 
     #[test]
     fn time_roundtrips_units() {

@@ -49,6 +49,9 @@ pub struct Wind {
     state: Vec3,
     gust: Vec3,
     gust_remaining: f64,
+    /// Memo of the OU discretization coefficients for the last `dt`
+    /// (fixed-step integration makes `exp`/`sqrt` per step redundant).
+    ou_memo: Option<(f64, f64, f64)>,
 }
 
 impl Wind {
@@ -60,6 +63,7 @@ impl Wind {
             state: config.mean,
             gust: Vec3::ZERO,
             gust_remaining: 0.0,
+            ou_memo: None,
         }
     }
 
@@ -86,8 +90,18 @@ impl Wind {
         let c = &self.config;
         if c.turbulence_std > 0.0 {
             // Exact OU discretization: x' = μ + (x−μ)e^{−dt/τ} + σ√(1−e^{−2dt/τ}) ξ.
-            let decay = (-dt / c.correlation_time).exp();
-            let diffusion = c.turbulence_std * (1.0 - decay * decay).sqrt();
+            // The coefficients depend only on `dt`, which fixed-step
+            // integration holds constant: memoize them instead of paying
+            // `exp` + `sqrt` every step.
+            let (decay, diffusion) = match self.ou_memo {
+                Some((memo_dt, decay, diffusion)) if memo_dt == dt => (decay, diffusion),
+                _ => {
+                    let decay = (-dt / c.correlation_time).exp();
+                    let diffusion = c.turbulence_std * (1.0 - decay * decay).sqrt();
+                    self.ou_memo = Some((dt, decay, diffusion));
+                    (decay, diffusion)
+                }
+            };
             let noise = Vec3::new(
                 self.rng.standard_normal(),
                 self.rng.standard_normal(),

@@ -9,10 +9,48 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
 
 use sim_core::time::{SimDuration, SimTime};
 
 use crate::filter::TokenBucket;
+
+/// A trivial multiply-mix hasher for the per-packet [`Addr`] lookups.
+///
+/// `Addr` is 6 meaningful bytes of simulation-internal state, so SipHash's
+/// DoS resistance buys nothing here while costing real time on every
+/// datagram (these maps are probed several times per packet). The mix is
+/// the 64-bit SplitMix64 finalizer — deterministic across runs and
+/// platforms.
+#[derive(Debug, Default)]
+pub struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 ^= u64::from(v);
+        self.0 = self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_u16(&mut self, v: u16) {
+        self.write_u32(u32::from(v));
+    }
+
+    fn finish(&self) -> u64 {
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+type AddrMap<V> = HashMap<Addr, V, BuildHasherDefault<AddrHasher>>;
 
 /// Identifies a network namespace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,6 +69,51 @@ pub struct Addr {
     pub port: u16,
 }
 
+/// A datagram payload.
+///
+/// The steady-state simulation loop never allocates for payloads: owned
+/// buffers cycle through the [`Network`]'s free-list pool (reclaim them
+/// with [`Network::recycle`] after receiving), and flood traffic fans a
+/// single shared buffer out across thousands of packets at the cost of a
+/// reference-count bump each.
+#[derive(Debug, Clone)]
+pub enum PacketBuf {
+    /// An exclusively owned buffer, returned to the pool on recycle.
+    Owned(Vec<u8>),
+    /// An immutable buffer shared between many packets (flood fan-out).
+    Shared(Rc<[u8]>),
+}
+
+impl PacketBuf {
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            PacketBuf::Owned(v) => v,
+            PacketBuf::Shared(a) => a,
+        }
+    }
+}
+
+impl std::ops::Deref for PacketBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for PacketBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for PacketBuf {
+    fn from(v: Vec<u8>) -> Self {
+        PacketBuf::Owned(v)
+    }
+}
+
 /// A datagram in flight or in a receive queue.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Packet {
@@ -39,7 +122,7 @@ pub struct Packet {
     /// Destination endpoint (after NAT).
     pub dst: Addr,
     /// Payload bytes.
-    pub payload: Vec<u8>,
+    pub payload: PacketBuf,
     /// When the datagram was sent.
     pub sent: SimTime,
 }
@@ -94,6 +177,10 @@ struct Socket {
     addr: Addr,
     rx: VecDeque<Packet>,
     rx_capacity: usize,
+    /// Ingress rate limit, held on the socket so per-packet delivery pays
+    /// a single address lookup (limits on unbound endpoints wait in
+    /// `Network::rate_limits` until something binds).
+    rate_limit: Option<TokenBucket>,
     stats: SocketStats,
 }
 
@@ -110,6 +197,46 @@ struct Link {
     tx_free_ab: SimTime,
     tx_free_ba: SimTime,
     dropped_queue: u64,
+}
+
+impl Link {
+    /// Transmit-side admission for one packet: capacity check, serialiser
+    /// advance, enqueue with the computed arrival time. The single
+    /// per-packet path shared by [`Network::send`] and
+    /// [`Network::send_shared`], so the two can never drift apart.
+    /// Returns the payload on a queue-full drop (for recycling).
+    fn enqueue(
+        &mut self,
+        forward: bool,
+        src: Addr,
+        dst: Addr,
+        payload: PacketBuf,
+        ser: SimDuration,
+        now: SimTime,
+    ) -> Option<PacketBuf> {
+        let (queue, tx_free) = if forward {
+            (&mut self.queue_ab, &mut self.tx_free_ab)
+        } else {
+            (&mut self.queue_ba, &mut self.tx_free_ba)
+        };
+        if queue.len() >= self.config.queue_capacity {
+            self.dropped_queue += 1;
+            return Some(payload); // UDP: silently dropped
+        }
+        let start = (*tx_free).max(now);
+        *tx_free = start + ser;
+        let arrival = *tx_free + self.config.latency;
+        queue.push_back((
+            arrival,
+            Packet {
+                src,
+                dst,
+                payload,
+                sent: now,
+            },
+        ));
+        None
+    }
 }
 
 /// The whole virtual network.
@@ -136,9 +263,27 @@ pub struct Network {
     sockets: Vec<Socket>,
     links: Vec<Link>,
     /// DNAT rules: packets addressed to `key` are rewritten to `value`.
-    port_maps: HashMap<Addr, Addr>,
-    /// Ingress rate limits per destination endpoint.
-    rate_limits: HashMap<Addr, TokenBucket>,
+    port_maps: AddrMap<Addr>,
+    /// Ingress rate limits configured for endpoints nothing is bound to
+    /// (yet); moved onto the socket at bind time.
+    rate_limits: AddrMap<TokenBucket>,
+    /// Bound endpoint → index into `sockets` (kept in sync with binds).
+    addr_index: AddrMap<u32>,
+    /// Free list of recycled payload buffers.
+    pool: Vec<Vec<u8>>,
+    /// Scratch: per-socket datagrams delivered during the current step.
+    delivered_counts: Vec<usize>,
+    /// Scratch: socket indices with non-zero `delivered_counts`.
+    touched: Vec<u32>,
+    /// Scratch: the deliveries returned by the last [`Network::step`].
+    deliveries: Vec<Delivery>,
+    /// One-entry memo over `addr_index` — consecutive packets overwhelmingly
+    /// share a destination (a flood targets one port), so most deliveries
+    /// skip the hash probe. Invalidated on bind.
+    memo: Option<(Addr, u32)>,
+    /// Total datagrams offered via [`Network::send`] (including ones later
+    /// dropped by queues or rate limits).
+    total_sent: u64,
     now: SimTime,
 }
 
@@ -228,14 +373,18 @@ impl Network {
         rx_capacity: usize,
     ) -> Result<SocketId, NetError> {
         let addr = Addr { ns, port };
-        if self.sockets.iter().any(|s| s.addr == addr) {
+        if self.addr_index.contains_key(&addr) {
             return Err(NetError::PortInUse { ns, port });
         }
         let id = SocketId(self.sockets.len() as u32);
+        self.addr_index.insert(addr, id.0);
+        self.memo = None;
+        self.delivered_counts.push(0);
         self.sockets.push(Socket {
             addr,
             rx: VecDeque::new(),
             rx_capacity,
+            rate_limit: self.rate_limits.remove(&addr),
             stats: SocketStats::default(),
         });
         Ok(id)
@@ -250,15 +399,53 @@ impl Network {
     /// Installs an ingress rate limit (iptables `-m limit`) for traffic to
     /// `dst`: at most `pps` packets/s with bursts of `burst`.
     pub fn add_rate_limit(&mut self, dst: Addr, pps: f64, burst: f64) {
-        self.rate_limits.insert(dst, TokenBucket::new(pps, burst));
+        let bucket = TokenBucket::new(pps, burst);
+        match self.addr_index.get(&dst) {
+            Some(&i) => self.sockets[i as usize].rate_limit = Some(bucket),
+            None => {
+                self.rate_limits.insert(dst, bucket);
+            }
+        }
     }
 
     /// Removes the ingress rate limit on `dst`, if any.
     pub fn remove_rate_limit(&mut self, dst: Addr) {
-        self.rate_limits.remove(&dst);
+        match self.addr_index.get(&dst) {
+            Some(&i) => self.sockets[i as usize].rate_limit = None,
+            None => {
+                self.rate_limits.remove(&dst);
+            }
+        }
+    }
+
+    /// Takes a cleared payload buffer from the free-list pool (allocating
+    /// only when the pool is empty). Fill it, then pass it to
+    /// [`Network::send`]; buffers return to the pool via
+    /// [`Network::recycle`] or when the network drops the packet.
+    pub fn take_buf(&mut self) -> Vec<u8> {
+        // 64 bytes covers every mavlink-lite frame, so recycled buffers
+        // never need to regrow mid-flight.
+        self.pool.pop().unwrap_or_else(|| Vec::with_capacity(64))
+    }
+
+    /// Returns a received packet's buffer to the pool. Shared payloads
+    /// just drop their reference.
+    pub fn recycle(&mut self, pkt: Packet) {
+        self.recycle_buf(pkt.payload);
+    }
+
+    fn recycle_buf(&mut self, buf: PacketBuf) {
+        if let PacketBuf::Owned(mut v) = buf {
+            v.clear();
+            self.pool.push(v);
+        }
     }
 
     /// Sends a datagram from `socket` to `dst` at time `now`.
+    ///
+    /// Accepts anything convertible to a [`PacketBuf`]: a plain `Vec<u8>`
+    /// (typically from [`Network::take_buf`]) or a pre-built
+    /// [`PacketBuf::Shared`].
     ///
     /// # Errors
     ///
@@ -268,18 +455,23 @@ impl Network {
         &mut self,
         socket: SocketId,
         dst: Addr,
-        payload: Vec<u8>,
+        payload: impl Into<PacketBuf>,
         now: SimTime,
     ) -> Result<(), NetError> {
-        let src = self
-            .sockets
-            .get(socket.0 as usize)
-            .ok_or(NetError::BadSocket)?
-            .addr;
+        let payload = payload.into();
+        let src = match self.sockets.get(socket.0 as usize) {
+            Some(s) => s.addr,
+            None => {
+                // Pooled buffers return to the pool even on caller error.
+                self.recycle_buf(payload);
+                return Err(NetError::BadSocket);
+            }
+        };
         // DNAT before routing, as netfilter PREROUTING does.
         let dst = self.port_maps.get(&dst).copied().unwrap_or(dst);
 
         if src.ns == dst.ns {
+            self.total_sent += 1;
             // Loopback: deliver immediately on the next step.
             let pkt = Packet {
                 src,
@@ -287,9 +479,78 @@ impl Network {
                 payload,
                 sent: now,
             };
-            return self.deliver_local(pkt, now);
+            self.deliver_local(pkt, now, false);
+            return Ok(());
         }
 
+        let link_idx = match self
+            .links
+            .iter()
+            .position(|l| (l.a == src.ns && l.b == dst.ns) || (l.b == src.ns && l.a == dst.ns))
+        {
+            Some(i) => i,
+            None => {
+                self.recycle_buf(payload);
+                return Err(NetError::NoRoute {
+                    from: src.ns,
+                    to: dst.ns,
+                });
+            }
+        };
+
+        self.total_sent += 1;
+        let link = &mut self.links[link_idx];
+        let forward = link.a == src.ns;
+        // Serialisation: the transmitter is busy `len/bandwidth` per packet.
+        let ser = SimDuration::from_secs_f64(payload.len() as f64 / link.config.bandwidth);
+        if let Some(payload) = link.enqueue(forward, src, dst, payload, ser, now) {
+            self.recycle_buf(payload);
+        }
+        Ok(())
+    }
+
+    /// The flood fast-path: offers `count` copies of one shared payload in
+    /// a single call. Semantically identical to calling [`Network::send`]
+    /// `count` times with equal bytes, but the only per-packet cost is a
+    /// reference-count bump — no allocation, no payload copy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::send`].
+    pub fn send_shared(
+        &mut self,
+        socket: SocketId,
+        dst: Addr,
+        payload: &Rc<[u8]>,
+        count: u64,
+        now: SimTime,
+    ) -> Result<(), NetError> {
+        if count == 0 {
+            return Ok(());
+        }
+        let src = self
+            .sockets
+            .get(socket.0 as usize)
+            .ok_or(NetError::BadSocket)?
+            .addr;
+        let dst = self.port_maps.get(&dst).copied().unwrap_or(dst);
+        if src.ns == dst.ns {
+            for _ in 0..count {
+                self.total_sent += 1;
+                let pkt = Packet {
+                    src,
+                    dst,
+                    payload: PacketBuf::Shared(Rc::clone(payload)),
+                    sent: now,
+                };
+                self.deliver_local(pkt, now, false);
+            }
+            return Ok(());
+        }
+
+        // Route, direction and serialisation time are invariant across the
+        // batch: resolve them once, then the per-packet work is a capacity
+        // check, two time additions and a refcount bump.
         let link_idx = self
             .links
             .iter()
@@ -298,66 +559,75 @@ impl Network {
                 from: src.ns,
                 to: dst.ns,
             })?;
-
+        self.total_sent += count;
         let link = &mut self.links[link_idx];
         let forward = link.a == src.ns;
-        let (queue, tx_free) = if forward {
-            (&mut link.queue_ab, &mut link.tx_free_ab)
-        } else {
-            (&mut link.queue_ba, &mut link.tx_free_ba)
-        };
-
-        if queue.len() >= link.config.queue_capacity {
-            link.dropped_queue += 1;
-            return Ok(()); // UDP: silently dropped
-        }
-
-        // Serialisation: the transmitter is busy `len/bandwidth` per packet.
         let ser = SimDuration::from_secs_f64(payload.len() as f64 / link.config.bandwidth);
-        let start = (*tx_free).max(now);
-        *tx_free = start + ser;
-        let arrival = *tx_free + link.config.latency;
-        queue.push_back((
-            arrival,
-            Packet {
+
+        for _ in 0..count {
+            // A dropped shared payload is just a refcount decrement.
+            let _ = link.enqueue(
+                forward,
                 src,
                 dst,
-                payload,
-                sent: now,
-            },
-        ));
+                PacketBuf::Shared(Rc::clone(payload)),
+                ser,
+                now,
+            );
+        }
         Ok(())
     }
 
-    fn deliver_local(&mut self, pkt: Packet, now: SimTime) -> Result<(), NetError> {
+    /// Delivers one packet to its destination socket (rate limit, then
+    /// receive-queue admission), recycling the payload on any drop.
+    /// `notify` adds the delivery to the current step's [`Delivery`] list
+    /// (true for link traffic; loopback sends deliver silently, as the
+    /// rx-thread wakeup path never saw them pre-refactor either).
+    fn deliver_local(&mut self, pkt: Packet, now: SimTime, notify: bool) {
         let dst = pkt.dst;
+        let i = match self.memo {
+            Some((addr, i)) if addr == dst => i,
+            _ => {
+                let Some(&i) = self.addr_index.get(&dst) else {
+                    // Unbound destination: datagram vanishes (ICMP
+                    // unreachable ignored).
+                    self.recycle_buf(pkt.payload);
+                    return;
+                };
+                self.memo = Some((dst, i));
+                i
+            }
+        };
+        let s = &mut self.sockets[i as usize];
         // Ingress rate limit.
-        if let Some(tb) = self.rate_limits.get_mut(&dst) {
+        if let Some(tb) = &mut s.rate_limit {
             if !tb.admit(now) {
-                if let Some(s) = self.sockets.iter_mut().find(|s| s.addr == dst) {
-                    s.stats.dropped_ratelimit += 1;
+                s.stats.dropped_ratelimit += 1;
+                self.recycle_buf(pkt.payload);
+                return;
+            }
+        }
+        if s.rx.len() >= s.rx_capacity {
+            s.stats.dropped_overflow += 1;
+            self.recycle_buf(pkt.payload);
+        } else {
+            s.stats.delivered += 1;
+            s.stats.bytes_delivered += pkt.payload.len() as u64;
+            s.rx.push_back(pkt);
+            if notify {
+                if self.delivered_counts[i as usize] == 0 {
+                    self.touched.push(i);
                 }
-                return Ok(());
+                self.delivered_counts[i as usize] += 1;
             }
         }
-        if let Some(s) = self.sockets.iter_mut().find(|s| s.addr == dst) {
-            if s.rx.len() >= s.rx_capacity {
-                s.stats.dropped_overflow += 1;
-            } else {
-                s.stats.delivered += 1;
-                s.stats.bytes_delivered += pkt.payload.len() as u64;
-                s.rx.push_back(pkt);
-            }
-        }
-        // Unbound destination: datagram vanishes (ICMP unreachable ignored).
-        Ok(())
     }
 
     /// Advances the network to `target`, delivering due packets. Returns
-    /// one [`Delivery`] per socket that received datagrams.
-    pub fn step(&mut self, target: SimTime) -> Vec<Delivery> {
-        let mut delivered: HashMap<SocketId, usize> = HashMap::new();
-
+    /// one [`Delivery`] per socket that received datagrams, sorted by
+    /// socket id; the slice is backed by scratch storage reused across
+    /// steps.
+    pub fn step(&mut self, target: SimTime) -> &[Delivery] {
         for li in 0..self.links.len() {
             for dir in 0..2 {
                 loop {
@@ -370,26 +640,7 @@ impl Network {
                     match queue.front() {
                         Some(&(arrival, _)) if arrival <= target => {
                             let (arrival, pkt) = queue.pop_front().expect("peeked entry");
-                            let dst = pkt.dst;
-                            // Rate limit + receive-queue admission.
-                            let before: u64 = self
-                                .sockets
-                                .iter()
-                                .find(|s| s.addr == dst)
-                                .map(|s| s.stats.delivered)
-                                .unwrap_or(0);
-                            self.deliver_local(pkt, arrival).expect("local delivery");
-                            let after: u64 = self
-                                .sockets
-                                .iter()
-                                .find(|s| s.addr == dst)
-                                .map(|s| s.stats.delivered)
-                                .unwrap_or(0);
-                            if after > before {
-                                if let Some(idx) = self.sockets.iter().position(|s| s.addr == dst) {
-                                    *delivered.entry(SocketId(idx as u32)).or_insert(0) += 1;
-                                }
-                            }
+                            self.deliver_local(pkt, arrival, true);
                         }
                         _ => break,
                     }
@@ -398,12 +649,17 @@ impl Network {
         }
 
         self.now = target;
-        let mut out: Vec<Delivery> = delivered
-            .into_iter()
-            .map(|(socket, count)| Delivery { socket, count })
-            .collect();
-        out.sort_by_key(|d| d.socket);
-        out
+        self.touched.sort_unstable();
+        self.deliveries.clear();
+        for &i in &self.touched {
+            self.deliveries.push(Delivery {
+                socket: SocketId(i),
+                count: self.delivered_counts[i as usize],
+            });
+            self.delivered_counts[i as usize] = 0;
+        }
+        self.touched.clear();
+        &self.deliveries
     }
 
     /// Pops the oldest datagram from a socket's receive queue.
@@ -442,6 +698,11 @@ impl Network {
     /// Total packets dropped on link transmit queues.
     pub fn link_drops(&self) -> u64 {
         self.links.iter().map(|l| l.dropped_queue).sum()
+    }
+
+    /// Total datagrams offered to the network since creation.
+    pub fn packets_sent(&self) -> u64 {
+        self.total_sent
     }
 }
 
