@@ -1,0 +1,271 @@
+//! Fleet-level attack placement: *which vehicle* gets *which timeline*.
+//!
+//! A single-vehicle [`AttackScript`](crate::script::AttackScript) says
+//! *when* each attack fires; in a shared airspace the attacker also
+//! chooses *where*. A [`FleetScript`] is an ordered schedule of
+//! `(SimTime, FleetTarget, AttackEvent)` entries which
+//! [`FleetScript::compile`] lowers into one plain per-vehicle
+//! `AttackScript` each — the fleet runner stays completely generic and the
+//! per-vehicle timeline machinery is reused unchanged.
+//!
+//! Three placement strategies cover the swarm-DoS literature's shapes:
+//!
+//! * [`FleetTarget::Vehicle`] — a *per-victim* strike on one vehicle;
+//! * [`FleetTarget::Broadcast`] — every vehicle at once (a jammer in
+//!   range of the whole formation);
+//! * [`FleetTarget::Rolling`] — a *rolling victim*: the attack moves to
+//!   the next vehicle every `period`, the classic evasion pattern against
+//!   per-victim detection and the moving-target shape studied for UAV
+//!   swarm networks.
+//!
+//! # Examples
+//!
+//! ```
+//! use attacks::prelude::*;
+//! use sim_core::time::{SimDuration, SimTime};
+//!
+//! // Flood that hops to the next vehicle every 2 s, plus a targeted
+//! // controller kill on vehicle 1.
+//! let script = FleetScript::new()
+//!     .at(
+//!         SimTime::from_secs(2),
+//!         FleetTarget::Rolling { period: SimDuration::from_secs(2) },
+//!         AttackEvent::UdpFlood(UdpFlood::against_motor_port()),
+//!     )
+//!     .at(SimTime::from_secs(5), FleetTarget::Vehicle(1), AttackEvent::KillComplex);
+//! let per_vehicle = script.compile(5, SimTime::from_secs(10));
+//! assert_eq!(per_vehicle.len(), 5);
+//! assert!(!per_vehicle[0].is_empty(), "rolling flood visits vehicle 0 first");
+//! ```
+
+use sim_core::time::{SimDuration, SimTime};
+
+use crate::script::{AttackEvent, AttackScript};
+
+/// Where a fleet-level attack lands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetTarget {
+    /// One specific vehicle. Indices wrap modulo the fleet size at
+    /// compile time, so a timeline written for a 25-vehicle fleet still
+    /// attacks *somebody* when swept down to N = 1.
+    Vehicle(usize),
+    /// Every vehicle simultaneously.
+    Broadcast,
+    /// A rolling victim: starting with vehicle 0 at the entry's onset,
+    /// the attack is armed against the next vehicle (mod fleet size)
+    /// every `period`, with a `CeaseFire` ending each window. Note that
+    /// `CeaseFire` halts *all* armed attacks on the outgoing victim, as
+    /// the per-vehicle timeline semantics define.
+    Rolling {
+        /// How long each victim stays under attack.
+        period: SimDuration,
+    },
+}
+
+/// One fleet-timeline entry: fire `event` against `target` at `at`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetEntry {
+    /// When the event fires (rolling targets: when the first window
+    /// opens).
+    pub at: SimTime,
+    /// Which vehicle(s) it lands on.
+    pub target: FleetTarget,
+    /// What fires.
+    pub event: AttackEvent,
+}
+
+/// An ordered fleet-level attack schedule.
+///
+/// Entries are kept sorted by onset; entries sharing a timestamp keep
+/// insertion order. The empty script is the healthy fleet.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetScript {
+    entries: Vec<FleetEntry>,
+}
+
+impl FleetScript {
+    /// An empty fleet timeline (no attack anywhere).
+    pub fn new() -> Self {
+        FleetScript::default()
+    }
+
+    /// Alias for [`FleetScript::new`] that reads well in campaign specs.
+    pub fn none() -> Self {
+        FleetScript::new()
+    }
+
+    /// Schedules `event` against `target` at `at` (chainable).
+    #[must_use]
+    pub fn at(mut self, at: SimTime, target: FleetTarget, event: AttackEvent) -> Self {
+        self.entries.push(FleetEntry { at, target, event });
+        self.entries.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// The schedule, sorted by onset.
+    pub fn entries(&self) -> &[FleetEntry] {
+        &self.entries
+    }
+
+    /// Number of scheduled fleet events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` for the healthy (attack-free) fleet timeline.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lowers the fleet schedule into one per-vehicle [`AttackScript`]
+    /// for a fleet of `n_vehicles` flying until `end`.
+    ///
+    /// Rolling targets expand into their full window sequence here, so
+    /// the result is pure data: deterministic, comparable, and directly
+    /// consumable by the per-vehicle runner.
+    pub fn compile(&self, n_vehicles: usize, end: SimTime) -> Vec<AttackScript> {
+        let mut scripts = vec![AttackScript::new(); n_vehicles];
+        if n_vehicles == 0 {
+            return scripts;
+        }
+        let add = |scripts: &mut Vec<AttackScript>, v: usize, at: SimTime, ev: AttackEvent| {
+            scripts[v] = std::mem::take(&mut scripts[v]).at(at, ev);
+        };
+        for entry in &self.entries {
+            match entry.target {
+                FleetTarget::Vehicle(i) => {
+                    add(&mut scripts, i % n_vehicles, entry.at, entry.event.clone());
+                }
+                FleetTarget::Broadcast => {
+                    for v in 0..n_vehicles {
+                        add(&mut scripts, v, entry.at, entry.event.clone());
+                    }
+                }
+                FleetTarget::Rolling { period } => {
+                    assert!(
+                        period > SimDuration::ZERO,
+                        "rolling-victim period must be positive"
+                    );
+                    let mut t = entry.at;
+                    let mut k = 0usize;
+                    while t < end {
+                        let victim = k % n_vehicles;
+                        add(&mut scripts, victim, t, entry.event.clone());
+                        let window_end = t + period;
+                        if window_end < end {
+                            add(&mut scripts, victim, window_end, AttackEvent::CeaseFire);
+                        }
+                        t = window_end;
+                        k += 1;
+                    }
+                }
+            }
+        }
+        scripts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udp_flood::UdpFlood;
+
+    fn flood() -> AttackEvent {
+        AttackEvent::UdpFlood(UdpFlood::against_motor_port())
+    }
+
+    #[test]
+    fn per_victim_and_broadcast_place_events() {
+        let script = FleetScript::new()
+            .at(SimTime::from_secs(3), FleetTarget::Vehicle(2), flood())
+            .at(
+                SimTime::from_secs(5),
+                FleetTarget::Broadcast,
+                AttackEvent::KillComplex,
+            );
+        let per = script.compile(4, SimTime::from_secs(10));
+        assert_eq!(per[2].len(), 2, "victim gets flood + broadcast kill");
+        for (v, s) in per.iter().enumerate() {
+            assert!(
+                s.entries()
+                    .iter()
+                    .any(|e| e.event == AttackEvent::KillComplex),
+                "vehicle {v} missing the broadcast kill"
+            );
+        }
+        assert_eq!(per[0].len(), 1);
+    }
+
+    #[test]
+    fn vehicle_index_wraps_modulo_fleet_size() {
+        let script = FleetScript::new().at(SimTime::from_secs(1), FleetTarget::Vehicle(7), flood());
+        let per = script.compile(3, SimTime::from_secs(5));
+        assert_eq!(per[1].len(), 1, "7 mod 3 = 1");
+        assert!(per[0].is_empty() && per[2].is_empty());
+        let single = script.compile(1, SimTime::from_secs(5));
+        assert_eq!(single[0].len(), 1, "N=1 still gets attacked");
+    }
+
+    #[test]
+    fn rolling_victim_rotates_with_cease_fire_windows() {
+        let script = FleetScript::new().at(
+            SimTime::from_secs(2),
+            FleetTarget::Rolling {
+                period: SimDuration::from_secs(2),
+            },
+            flood(),
+        );
+        let per = script.compile(3, SimTime::from_secs(10));
+        // Windows: v0@[2,4), v1@[4,6), v2@[6,8), v0@[8,10).
+        let onsets = |s: &AttackScript| {
+            s.entries()
+                .iter()
+                .filter(|e| e.event != AttackEvent::CeaseFire)
+                .map(|e| e.at.as_micros() / 1_000_000)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(onsets(&per[0]), [2, 8]);
+        assert_eq!(onsets(&per[1]), [4]);
+        assert_eq!(onsets(&per[2]), [6]);
+        // Every window except ones truncated by the end of flight closes
+        // with a cease-fire.
+        let ceases = per
+            .iter()
+            .flat_map(|s| s.entries())
+            .filter(|e| e.event == AttackEvent::CeaseFire)
+            .count();
+        assert_eq!(ceases, 3, "the final window is open-ended");
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let script = FleetScript::new()
+            .at(
+                SimTime::from_secs(2),
+                FleetTarget::Rolling {
+                    period: SimDuration::from_millis(1500),
+                },
+                flood(),
+            )
+            .at(
+                SimTime::from_secs(3),
+                FleetTarget::Broadcast,
+                AttackEvent::KillComplex,
+            );
+        assert_eq!(
+            script.compile(25, SimTime::from_secs(30)),
+            script.compile(25, SimTime::from_secs(30))
+        );
+    }
+
+    #[test]
+    fn empty_fleet_compiles_to_nothing() {
+        assert!(FleetScript::none().is_empty());
+        assert_eq!(
+            FleetScript::none().compile(3, SimTime::from_secs(1)).len(),
+            3
+        );
+        let script = FleetScript::new().at(SimTime::ZERO, FleetTarget::Broadcast, flood());
+        assert!(script.compile(0, SimTime::from_secs(1)).is_empty());
+    }
+}

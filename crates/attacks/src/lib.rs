@@ -19,7 +19,11 @@
 //! Attacks compose into **timelines**: an [`script::AttackScript`] is an
 //! ordered schedule of `(SimTime, AttackEvent)` entries, so a single run
 //! can sequence and overlap any number of attacks. Armed attacks are
-//! driven generically through the [`driver::AttackDriver`] trait.
+//! driven generically through the [`driver::AttackDriver`] trait. At the
+//! fleet level, a [`fleet::FleetScript`] additionally chooses *which
+//! vehicle* each timeline entry lands on (per-victim, broadcast, or
+//! rolling-victim placement) and compiles down to plain per-vehicle
+//! `AttackScript`s.
 //!
 //! # Examples
 //!
@@ -40,6 +44,7 @@
 
 pub mod cpu_hog;
 pub mod driver;
+pub mod fleet;
 pub mod kill;
 pub mod membw_hog;
 pub mod script;
@@ -48,6 +53,7 @@ pub mod udp_flood;
 
 pub use cpu_hog::CpuHog;
 pub use driver::{AttackCtx, AttackDriver, TaskSetDriver};
+pub use fleet::{FleetEntry, FleetScript, FleetTarget};
 pub use kill::KillController;
 pub use membw_hog::BandwidthHog;
 pub use script::{AttackEvent, AttackScript, ScriptEntry};
@@ -58,6 +64,7 @@ pub use udp_flood::{FloodDriver, UdpFlood};
 pub mod prelude {
     pub use crate::cpu_hog::CpuHog;
     pub use crate::driver::{AttackCtx, AttackDriver, TaskSetDriver};
+    pub use crate::fleet::{FleetEntry, FleetScript, FleetTarget};
     pub use crate::kill::KillController;
     pub use crate::membw_hog::BandwidthHog;
     pub use crate::script::{AttackEvent, AttackScript, ScriptEntry};

@@ -3,7 +3,7 @@
 //! bounds the rx thread's CPU cost; the monitor provides defence in depth
 //! either way.
 
-use cd_bench::{ascii_table, write_result, CampaignSpec};
+use cd_bench::{ascii_table, emit_table, CampaignSpec};
 use containerdrone_core::prelude::*;
 use sim_core::time::{SimDuration, SimTime};
 
@@ -59,6 +59,5 @@ fn main() {
         ],
         &rows,
     );
-    print!("{table}");
-    write_result("ablation_comm.txt", &table);
+    emit_table("ablation_comm", &table);
 }

@@ -3,7 +3,7 @@
 //! protection on vs off. Both variants run as one parallel campaign.
 
 use attacks::cpu_hog::CpuHog;
-use cd_bench::{ascii_table, write_result, CampaignSpec};
+use cd_bench::{ascii_table, emit_table, CampaignSpec};
 use containerdrone_core::prelude::*;
 use sim_core::time::SimTime;
 
@@ -52,6 +52,5 @@ fn main() {
         ],
         &rows,
     );
-    print!("{table}");
-    write_result("ablation_cpu.txt", &table);
+    emit_table("ablation_cpu", &table);
 }

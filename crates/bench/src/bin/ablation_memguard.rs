@@ -3,7 +3,7 @@
 //! budget (fraction of the DRAM bus) under the fig5 scenario as one
 //! parallel campaign.
 
-use cd_bench::{ascii_table, write_result, CampaignSpec};
+use cd_bench::{ascii_table, emit_table, CampaignSpec};
 use containerdrone_core::prelude::*;
 
 fn main() {
@@ -44,6 +44,5 @@ fn main() {
         ],
         &rows,
     );
-    print!("{table}");
-    write_result("ablation_memguard.txt", &table);
+    emit_table("ablation_memguard", &table);
 }

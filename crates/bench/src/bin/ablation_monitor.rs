@@ -2,7 +2,7 @@
 //! attack with monitoring disabled ends in a crash; with it, recovery.
 //! Both variants run as one parallel campaign.
 
-use cd_bench::{ascii_table, write_result, CampaignSpec};
+use cd_bench::{ascii_table, emit_table, CampaignSpec};
 use containerdrone_core::prelude::*;
 use sim_core::time::SimTime;
 
@@ -41,6 +41,5 @@ fn main() {
         &["monitor", "crashed", "switch", "max dev after kill (m)"],
         &rows,
     );
-    print!("{table}");
-    write_result("ablation_monitor.txt", &table);
+    emit_table("ablation_monitor", &table);
 }

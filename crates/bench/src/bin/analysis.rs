@@ -2,7 +2,7 @@
 //! paper's stated future work ("hard real-time proof and schedulability
 //! analysis"), applied to the exact task set this reproduction simulates.
 
-use cd_bench::{ascii_table, write_result};
+use cd_bench::{ascii_table, emit_table};
 use containerdrone_core::config::{FrameworkConfig, TaskCosts};
 use rt_sched::analysis::{response_time_analysis, AnalyzedTask};
 use sim_core::time::SimDuration;
@@ -97,11 +97,10 @@ fn main() {
         ],
         &all_rows,
     );
-    print!("{table}");
+    emit_table("analysis_rta", &table);
     println!("\nNote: the analysis bounds *sustained* worst-case contention. MemGuard");
     println!("confines the hog to one burst per 1 ms period, so simulation shows the");
     println!("5% case running without a single miss — the gap between certified and");
     println!("observed behaviour is exactly what the paper's future-work hard-real-time");
     println!("analysis would have to close.");
-    write_result("analysis_rta.txt", &table);
 }

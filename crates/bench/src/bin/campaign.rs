@@ -11,31 +11,12 @@
 //! ```
 
 use cd_bench::{write_result, CampaignSpec};
-use containerdrone_core::prelude::*;
-use sim_core::time::{SimDuration, SimTime};
+use sim_core::time::SimDuration;
 
 fn spec() -> CampaignSpec {
-    let base = ScenarioConfig::builder()
-        .duration(SimDuration::from_secs(10))
-        .build();
-
-    let kill_only = AttackScript::single(SimTime::from_secs(3), AttackEvent::KillComplex);
-    let hog_then_kill = AttackScript::new()
-        .at(
-            SimTime::from_secs(3),
-            AttackEvent::MemoryHog(BandwidthHog::isolbench()),
-        )
-        .at(SimTime::from_secs(6), AttackEvent::KillComplex);
-
-    let stock = Protections::default();
-    let mut no_monitor = stock;
-    no_monitor.monitor = false;
-
-    CampaignSpec::product(
+    cd_bench::standard_grid(
         "campaign",
-        &base,
-        &[("kill", kill_only), ("hog+kill", hog_then_kill)],
-        &[("stock", stock), ("no-monitor", no_monitor)],
+        SimDuration::from_secs(10),
         &[2019, 7, 99, 12345],
     )
 }

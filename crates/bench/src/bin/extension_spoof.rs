@@ -4,7 +4,7 @@
 //! (monitor wins: switch + recovery), and a full-authority spoof from a
 //! 1 m hover (physics wins: the Simplex detection latency is outrun).
 
-use cd_bench::{ascii_table, save_figure_csv, write_result};
+use cd_bench::{ascii_table, emit_table, save_figure_csv};
 use containerdrone_core::prelude::*;
 use sim_core::time::SimTime;
 
@@ -47,11 +47,10 @@ fn main() {
             row("violent spoof, stock 20°/250 ms rule, 1 m hover", &violent),
         ],
     );
-    print!("{table}");
+    emit_table("extension_spoof", &table);
     println!("\nThe moderate case shows the attitude-error rule catching an attack");
     println!("that is invisible to CRC checks, iptables and the interval rule.");
     println!("The violent case shows the Simplex limitation: detection latency");
     println!("must race physics, and a full-authority attacker at low altitude wins.");
-    write_result("extension_spoof.txt", &table);
     save_figure_csv("extension_spoof.csv", &moderate);
 }

@@ -1,0 +1,98 @@
+//! Fleet campaign: shared-airspace scaling and resilience in one sweep.
+//!
+//! Sweeps fleet size N ∈ {1, 5, 25, 100} against three fleet timelines —
+//! healthy, a rolling-victim UDP flood, and a mixed campaign (rolling
+//! flood + targeted memory hog + targeted controller kill) — and reports
+//! per-cell crash/switch/deadline-miss outcomes plus the steps/sec
+//! scaling of the co-simulation itself. Per-vehicle rows for every cell
+//! land in `results/fleet_campaign.csv`.
+//!
+//! ```text
+//! cargo run --release -p cd-bench --bin fleet              # full sweep
+//! cargo run --release -p cd-bench --bin fleet -- --smoke   # CI smoke
+//! ```
+
+use std::fmt::Write as _;
+
+use attacks::fleet::FleetScript;
+use cd_bench::cli::Args;
+use cd_bench::{ascii_table, emit_table, write_result};
+use cd_fleet::{Fleet, FleetConfig};
+use containerdrone_core::scenario::ScenarioConfig;
+use sim_core::time::SimDuration;
+
+/// The three fleet timelines of the sweep (shared with the perf
+/// harness's fleet rows via [`cd_bench::fleet_timelines`]).
+fn timelines() -> Vec<(&'static str, FleetScript)> {
+    vec![
+        ("healthy", FleetScript::none()),
+        ("flood", cd_bench::fleet_timelines::rolling_flood()),
+        ("mixed", cd_bench::fleet_timelines::mixed()),
+    ]
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("--smoke");
+    // Smoke keeps the flights just long enough (3 s) that the rolling
+    // flood's 2 s onset actually fires.
+    let (sizes, duration): (&[usize], SimDuration) = if smoke {
+        (&[1, 5], SimDuration::from_secs(3))
+    } else {
+        (&[1, 5, 25, 100], SimDuration::from_secs(8))
+    };
+    println!(
+        "Fleet campaign — N ∈ {sizes:?} × {{healthy, flood, mixed}}, {}s flights{}\n",
+        duration.as_secs_f64(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let base = ScenarioConfig::healthy().with_duration(duration);
+    let mut rows = Vec::new();
+    let mut csv = format!("timeline,n,{}\n", cd_fleet::FleetReport::CSV_HEADER);
+    for (label, script) in timelines() {
+        for &n in sizes {
+            let cfg = FleetConfig::new(base.clone(), n).with_script(script.clone());
+            let report = Fleet::new(cfg).run();
+            let wall = report.wall_clock.as_secs_f64();
+            let steps_per_sec = report.sim_steps as f64 / wall.max(1e-9);
+            rows.push(vec![
+                label.to_string(),
+                n.to_string(),
+                report.crashes().to_string(),
+                report.switches().to_string(),
+                report.total_deadline_skips().to_string(),
+                report
+                    .outcomes
+                    .iter()
+                    .filter(|o| o.verdict() == "stable")
+                    .count()
+                    .to_string(),
+                format!("{:.2}", wall),
+                format!("{:.2e}", steps_per_sec),
+                report.net_packets.to_string(),
+            ]);
+            // Per-vehicle rows, prefixed with the cell coordinates.
+            for line in report.to_csv().lines().skip(1) {
+                let _ = writeln!(csv, "{label},{n},{line}");
+            }
+        }
+    }
+
+    let table = ascii_table(
+        &[
+            "timeline",
+            "N",
+            "crashes",
+            "switches",
+            "deadline skips",
+            "stable",
+            "wall (s)",
+            "steps/s",
+            "packets",
+        ],
+        &rows,
+    );
+    emit_table("fleet_campaign", &table);
+    write_result("fleet_campaign.csv", &csv);
+}

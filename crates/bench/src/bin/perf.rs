@@ -21,10 +21,10 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use cd_bench::CampaignSpec;
+use cd_bench::cli::Args;
 use containerdrone_core::prelude::*;
 use containerdrone_core::runner::Scenario;
-use sim_core::time::{SimDuration, SimTime};
+use sim_core::time::SimDuration;
 
 /// One measured scenario.
 struct Measurement {
@@ -89,26 +89,24 @@ fn run_scenario(name: &str, cfg: ScenarioConfig, repeat: usize) -> Measurement {
     })
 }
 
-/// The campaign bin's 16-variant grid (attacks × protections × seeds).
-fn campaign_spec(duration: SimDuration, seeds: &[u64]) -> CampaignSpec {
-    let base = ScenarioConfig::builder().duration(duration).build();
-    let kill_only = AttackScript::single(SimTime::from_secs(3), AttackEvent::KillComplex);
-    let hog_then_kill = AttackScript::new()
-        .at(
-            SimTime::from_secs(3),
-            AttackEvent::MemoryHog(BandwidthHog::isolbench()),
-        )
-        .at(SimTime::from_secs(6), AttackEvent::KillComplex);
-    let stock = Protections::default();
-    let mut no_monitor = stock;
-    no_monitor.monitor = false;
-    CampaignSpec::product(
-        "perf-campaign",
-        &base,
-        &[("kill", kill_only), ("hog+kill", hog_then_kill)],
-        &[("stock", stock), ("no-monitor", no_monitor)],
-        seeds,
-    )
+/// One fleet matrix cell: `n` vehicles under the shared "mixed"
+/// timeline ([`cd_bench::fleet_timelines::mixed`] — the same cell the
+/// `fleet` campaign bin reports).
+fn fleet_config(n: usize, duration: SimDuration) -> cd_fleet::FleetConfig {
+    cd_fleet::FleetConfig::new(ScenarioConfig::healthy().with_duration(duration), n)
+        .with_script(cd_bench::fleet_timelines::mixed())
+}
+
+fn measure_fleet(name: &str, n: usize, duration: SimDuration, repeat: usize) -> Measurement {
+    let mut m = measure(name, repeat, || {
+        let report = cd_fleet::Fleet::new(fleet_config(n, duration)).run();
+        (report.sim_steps, report.net_packets)
+    });
+    // `steps` sums quanta over every vehicle machine (the throughput
+    // numerator), but simulated time is the *airspace* clock — one
+    // flight's duration, not N of them.
+    m.sim_s = duration.as_secs_f64();
+    m
 }
 
 fn measure_campaign(
@@ -119,7 +117,7 @@ fn measure_campaign(
     repeat: usize,
 ) -> Measurement {
     measure(name, repeat, || {
-        let spec = campaign_spec(duration, seeds);
+        let spec = cd_bench::standard_grid("perf-campaign", duration, seeds);
         let report = if parallel {
             spec.run()
         } else {
@@ -171,19 +169,11 @@ fn existing_entry(json: &str, name: &str) -> Option<String> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let flag_value = |flag: &str| {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-    let out_path = flag_value("--out");
-    let baseline_path = flag_value("--baseline");
-    let repeat: usize = flag_value("--repeat")
-        .map(|v| v.parse().expect("--repeat takes a count"))
-        .unwrap_or(if smoke { 1 } else { 3 });
+    let args = Args::parse();
+    let smoke = args.has("--smoke");
+    let out_path = args.value("--out").map(str::to_string);
+    let baseline_path = args.value("--baseline").map(str::to_string);
+    let repeat: usize = args.parsed("--repeat").unwrap_or(if smoke { 1 } else { 3 });
 
     let fig_duration = if smoke {
         SimDuration::from_secs(2)
@@ -237,6 +227,29 @@ fn main() {
         );
         measurements.push(m);
     }
+    // Fleet scaling rows: shared-airspace co-simulation under the mixed
+    // attack timeline. Steps/sec here counts quanta summed over every
+    // vehicle machine, so flat numbers across N mean linear scaling.
+    // Smoke keeps fleet flights at 3 s so the mixed timeline's 2 s
+    // rolling-flood onset actually fires (a 2 s flight ends exactly at
+    // the onset and would measure a healthy fleet under the "mixed"
+    // label).
+    let fleet_duration = if smoke {
+        SimDuration::from_secs(3)
+    } else {
+        SimDuration::from_secs(5)
+    };
+    for n in [1usize, 5, 25, 100] {
+        let m = measure_fleet(&format!("fleet-n{n}-mixed"), n, fleet_duration, repeat);
+        println!(
+            "  {:<22} {:>7.3}s wall  {:>9.0} steps/s  {:>9.0} pkts/s",
+            m.name,
+            m.wall_s,
+            m.steps_per_sec(),
+            m.packets_per_sec()
+        );
+        measurements.push(m);
+    }
 
     let baseline = baseline_path
         .map(|p| std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read baseline {p}: {e}")));
@@ -245,7 +258,7 @@ fn main() {
     // holds) per scenario. Each run repeats identical deterministic work,
     // so best-of across interleaved invocations cancels host CPU phase
     // noise — the methodology for the committed BENCH numbers.
-    let merge = args.iter().any(|a| a == "--merge");
+    let merge = args.has("--merge");
     let previous = match (&out_path, merge) {
         (Some(p), true) => std::fs::read_to_string(p).ok(),
         _ => None,
@@ -296,8 +309,10 @@ fn main() {
         return;
     }
 
+    // Default to the *current* PR's artifact so a bare invocation can
+    // never clobber a committed prior-PR BENCH file.
     let path = out_path
-        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json").to_string());
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_3.json").to_string());
     std::fs::write(&path, &json).expect("write BENCH json");
     println!("wrote {path}");
 }

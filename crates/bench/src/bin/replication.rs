@@ -2,7 +2,7 @@
 //! qualitative outcomes can be checked for seed-robustness at a glance.
 //! The 20-run panel executes as one parallel campaign.
 
-use cd_bench::{ascii_table, write_result, CampaignOutcome, CampaignSpec};
+use cd_bench::{ascii_table, emit_table, CampaignOutcome, CampaignSpec};
 use containerdrone_core::prelude::*;
 
 fn cell(o: &CampaignOutcome) -> String {
@@ -62,7 +62,6 @@ fn main() {
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let table = ascii_table(&header_refs, &rows);
-    print!("{table}");
     println!(
         "\n{} runs in {:.1}s wall ({} threads, {:.1}s cpu)",
         report.outcomes.len(),
@@ -70,5 +69,5 @@ fn main() {
         report.threads,
         report.cpu_time().as_secs_f64(),
     );
-    write_result("replication.txt", &table);
+    emit_table("replication", &table);
 }

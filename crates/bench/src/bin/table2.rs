@@ -2,7 +2,7 @@
 //! idle rates for (a) no container nor VM, (b) one QEMU VM, (c) one Docker
 //! container, measured from the simulated scheduler's accounting.
 
-use cd_bench::{ascii_table, write_result};
+use cd_bench::{ascii_table, emit_table, write_result};
 use container_rt::prelude::*;
 use rt_sched::prelude::*;
 use sim_core::time::SimTime;
@@ -60,8 +60,7 @@ fn main() {
         &rows,
     );
     println!("Table II — CPU idle rates, measured over 30 s (paper values in parentheses)\n");
-    print!("{table}");
-    write_result("table2.txt", &table);
+    emit_table("table2", &table);
 
     let mut csv = String::from("case,cpu0,cpu1,cpu2,cpu3\n");
     for ((name, _), m) in paper.iter().zip(measured) {

@@ -1,0 +1,82 @@
+//! Minimal shared argument parsing for the `cd-bench` binaries.
+//!
+//! Every bin takes the same shape of command line — boolean switches
+//! (`--smoke`, `--merge`) and valued flags (`--out X`, `--repeat 3`) —
+//! and used to hand-roll the scanning. This module is the one copy.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// The binary's arguments (everything after the program name).
+#[derive(Debug, Clone)]
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn parse() -> Self {
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Builds from an explicit vector (tests).
+    pub fn from_vec(raw: Vec<String>) -> Self {
+        Args { raw }
+    }
+
+    /// `true` if the boolean switch is present.
+    pub fn has(&self, flag: &str) -> bool {
+        self.raw.iter().any(|a| a == flag)
+    }
+
+    /// The value following a `--flag value` pair, if present.
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Parses the value of `--flag value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message when the value does not parse —
+    /// these are developer-facing harness binaries, not a public CLI.
+    pub fn parsed<T>(&self, flag: &str) -> Option<T>
+    where
+        T: FromStr,
+        T::Err: Display,
+    {
+        self.value(flag)
+            .map(|v| v.parse().unwrap_or_else(|e| panic!("{flag} {v}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_vec(s.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn switches_and_values_parse() {
+        let a = args(&["--smoke", "--repeat", "5", "--out", "B.json"]);
+        assert!(a.has("--smoke"));
+        assert!(!a.has("--merge"));
+        assert_eq!(a.value("--out"), Some("B.json"));
+        assert_eq!(a.parsed::<usize>("--repeat"), Some(5));
+        assert_eq!(a.parsed::<usize>("--missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--repeat")]
+    fn bad_value_panics_with_the_flag_name() {
+        let _ = args(&["--repeat", "many"]).parsed::<usize>("--repeat");
+    }
+}

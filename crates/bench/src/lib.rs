@@ -23,6 +23,7 @@ use containerdrone_core::runner::ScenarioResult;
 use sim_core::time::SimTime;
 
 pub mod campaign;
+pub mod cli;
 
 pub use campaign::{CampaignOutcome, CampaignReport, CampaignSpec};
 
@@ -101,6 +102,94 @@ pub fn write_result(name: &str, content: &str) {
     let path = results_dir().join(name);
     std::fs::write(&path, content).expect("write result file");
     println!("wrote {}", path.display());
+}
+
+/// Prints a rendered table and persists it as `results/<stem>.txt` — the
+/// standard tail of every ablation/analysis binary.
+pub fn emit_table(stem: &str, table: &str) {
+    print!("{table}");
+    write_result(&format!("{stem}.txt"), table);
+}
+
+/// The standard fleet timelines shared by the `fleet` campaign bin and
+/// the perf harness's fleet rows, so both always measure the same cells.
+pub mod fleet_timelines {
+    use attacks::fleet::{FleetScript, FleetTarget};
+    use attacks::membw_hog::BandwidthHog;
+    use attacks::script::AttackEvent;
+    use attacks::udp_flood::UdpFlood;
+    use sim_core::time::{SimDuration, SimTime};
+
+    /// A UDP flood that hops to the next vehicle every second, starting
+    /// at 2 s.
+    pub fn rolling_flood() -> FleetScript {
+        FleetScript::new().at(
+            SimTime::from_secs(2),
+            FleetTarget::Rolling {
+                period: SimDuration::from_secs(1),
+            },
+            AttackEvent::UdpFlood(UdpFlood::against_motor_port()),
+        )
+    }
+
+    /// The rolling flood plus two targeted strikes: a memory hog on
+    /// vehicle 10 at 3 s and a controller kill on vehicle 20 at 4 s.
+    ///
+    /// The strike targets sit outside the flood's first rotation windows
+    /// so that, at N ≥ 25, the rolling `CeaseFire`s do not clip the hog
+    /// (a `CeaseFire` halts *every* armed attack on its vehicle). On
+    /// small fleets the modulo wrap folds the strikes onto early rotation
+    /// victims and the hog runs only until that vehicle's next window
+    /// boundary — an inherent property of attacking a small fleet with
+    /// overlapping placements, not a measurement artifact.
+    pub fn mixed() -> FleetScript {
+        rolling_flood()
+            .at(
+                SimTime::from_secs(3),
+                FleetTarget::Vehicle(10),
+                AttackEvent::MemoryHog(BandwidthHog::isolbench()),
+            )
+            .at(
+                SimTime::from_secs(4),
+                FleetTarget::Vehicle(20),
+                AttackEvent::KillComplex,
+            )
+    }
+}
+
+/// The standard campaign grid shared by the `campaign` speedup bin and
+/// the perf harness: attacks × protections × seeds over a healthy base,
+/// with half the variants scheduling **two** attacks (memory hog at 3 s,
+/// then controller kill at 6 s) in a single run.
+pub fn standard_grid(
+    name: &str,
+    duration: sim_core::time::SimDuration,
+    seeds: &[u64],
+) -> CampaignSpec {
+    use attacks::membw_hog::BandwidthHog;
+    use attacks::script::{AttackEvent, AttackScript};
+    use containerdrone_core::scenario::ScenarioConfig;
+    use containerdrone_core::Protections;
+    use sim_core::time::SimTime;
+
+    let base = ScenarioConfig::builder().duration(duration).build();
+    let kill_only = AttackScript::single(SimTime::from_secs(3), AttackEvent::KillComplex);
+    let hog_then_kill = AttackScript::new()
+        .at(
+            SimTime::from_secs(3),
+            AttackEvent::MemoryHog(BandwidthHog::isolbench()),
+        )
+        .at(SimTime::from_secs(6), AttackEvent::KillComplex);
+    let stock = Protections::default();
+    let mut no_monitor = stock;
+    no_monitor.monitor = false;
+    CampaignSpec::product(
+        name,
+        &base,
+        &[("kill", kill_only), ("hog+kill", hog_then_kill)],
+        &[("stock", stock), ("no-monitor", no_monitor)],
+        seeds,
+    )
 }
 
 /// Prints the standard figure narration: outcome, switch, events, and the

@@ -58,7 +58,11 @@ impl TaskIds {
 const ATTACK_SRC_PORT_BASE: u16 = 40_000;
 
 impl Runtime {
-    pub(crate) fn build(cfg: ScenarioConfig, extra_rules: Vec<Box<dyn SecurityRule>>) -> Runtime {
+    pub(crate) fn build(
+        cfg: ScenarioConfig,
+        extra_rules: Vec<Box<dyn SecurityRule>>,
+        net: &mut Network,
+    ) -> Runtime {
         let fw = &cfg.framework;
 
         // --- Physical world -------------------------------------------------
@@ -82,15 +86,16 @@ impl Runtime {
         }
 
         // --- Network + container ---------------------------------------------
-        let mut net = Network::new();
+        // The network is borrowed, not owned: a fleet shares one airspace
+        // across many vehicles, each building its own namespaces into it.
         let host_ns = net.add_namespace("host");
         let mut container = Container::create(
             &mut machine,
-            &mut net,
+            net,
             host_ns,
             ContainerConfig::cce(fw.cce_core),
         );
-        container.expose_port(&mut net, host_ns, SENSOR_PORT);
+        container.expose_port(net, host_ns, SENSOR_PORT);
 
         let hce_motor_rx = net
             .bind_with_capacity(host_ns, MOTOR_PORT, fw.rx_queue_capacity)
@@ -271,7 +276,6 @@ impl Runtime {
             cfg,
             world,
             machine,
-            net,
             container,
             host_ns,
             hce_motor_rx,

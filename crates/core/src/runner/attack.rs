@@ -8,30 +8,31 @@
 use attacks::driver::AttackCtx;
 use attacks::script::AttackEvent;
 use sim_core::time::{SimDuration, SimTime};
+use virt_net::net::Network;
 
 use super::Runtime;
 
 impl Runtime {
     /// Arms every script entry whose time has come, then steps all armed
     /// drivers by one quantum.
-    pub(crate) fn step_attacks(&mut self, now: SimTime, quantum: SimDuration) {
+    pub(crate) fn step_attacks(&mut self, now: SimTime, quantum: SimDuration, net: &mut Network) {
         while let Some(entry) = self.script.get(self.script_cursor) {
             if now < entry.at {
                 break;
             }
             let event = entry.event.clone();
             self.script_cursor += 1;
-            self.fire(now, &event);
+            self.fire(now, &event, net);
         }
 
         for driver in &mut self.armed {
-            driver.step(&mut self.net, now, quantum);
+            driver.step(net, now, quantum);
         }
     }
 
     /// Fires one timeline event: `CeaseFire` halts everything armed so
     /// far; anything else arms a new driver.
-    fn fire(&mut self, now: SimTime, event: &AttackEvent) {
+    fn fire(&mut self, now: SimTime, event: &AttackEvent, net: &mut Network) {
         self.attack_log.push((now, event.name()));
         if *event == AttackEvent::CeaseFire {
             self.recorder.mark(now, "attack stop: cease-fire");
@@ -48,7 +49,7 @@ impl Runtime {
         self.next_src_port += 1;
         let mut ctx = AttackCtx {
             machine: &mut self.machine,
-            net: &mut self.net,
+            net,
             container: &mut self.container,
             host_ns: self.host_ns,
             controller_tasks: &controller_tasks,

@@ -4,7 +4,7 @@
 
 use mavlink_lite::messages::{Heartbeat, Message, MotorOutput};
 use sim_core::time::SimTime;
-use virt_net::net::Addr;
+use virt_net::net::{Addr, Network};
 
 use crate::config::MOTOR_PORT;
 use crate::feeder::{msg_to_baro, msg_to_fix, msg_to_imu};
@@ -14,14 +14,14 @@ use super::Runtime;
 impl Runtime {
     /// CCE pipeline job: drain the sensor socket, feed the complex
     /// controller, run the outer loops.
-    pub(crate) fn on_cce_pipeline(&mut self, now: SimTime) {
+    pub(crate) fn on_cce_pipeline(&mut self, now: SimTime, net: &mut Network) {
         let Some(rx) = self.cce_sensor_rx else { return };
         let Some(fc) = &mut self.cce_fc else { return };
         let mut frames = std::mem::take(&mut self.frame_scratch);
-        while let Some(pkt) = self.net.recv(rx) {
+        while let Some(pkt) = net.recv(rx) {
             frames.clear();
             self.cce_parser.push_into(&pkt.payload, &mut frames);
-            self.net.recycle(pkt);
+            net.recycle(pkt);
             for frame in &frames {
                 match frame.message {
                     Message::Imu(m) => fc.on_imu(&msg_to_imu(&m)),
@@ -37,7 +37,7 @@ impl Runtime {
 
     /// CCE rate-loop job: compute and transmit the motor output, plus a
     /// liveness heartbeat once per second.
-    pub(crate) fn on_cce_rate(&mut self, now: SimTime) {
+    pub(crate) fn on_cce_rate(&mut self, now: SimTime, net: &mut Network) {
         let Some(tx) = self.cce_motor_tx else { return };
         let Some(fc) = &mut self.cce_fc else { return };
         self.cce_rate_jobs += 1;
@@ -50,10 +50,10 @@ impl Runtime {
                 system_status: 4, // active
                 mavlink_version: 3,
             };
-            let mut wire = self.net.take_buf();
+            let mut wire = net.take_buf();
             self.cce_sender
                 .encode_into(Message::Heartbeat(hb), &mut wire);
-            let _ = self.net.send(
+            let _ = net.send(
                 tx,
                 Addr {
                     ns: self.host_ns,
@@ -71,10 +71,10 @@ impl Runtime {
             seq: self.motor_seq,
             armed: 1,
         };
-        let mut wire = self.net.take_buf();
+        let mut wire = net.take_buf();
         self.cce_sender.encode_into(Message::Motor(msg), &mut wire);
         self.motor_counter.record(wire.len());
-        let _ = self.net.send(
+        let _ = net.send(
             tx,
             Addr {
                 ns: self.host_ns,

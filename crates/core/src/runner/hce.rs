@@ -4,7 +4,7 @@
 
 use rt_sched::task::TaskId;
 use sim_core::time::SimTime;
-use virt_net::net::Addr;
+use virt_net::net::{Addr, Network};
 
 use crate::config::SENSOR_PORT;
 use crate::feeder::{baro_to_msg, fix_to_msg, imu_to_msg, neutral_rc};
@@ -16,31 +16,32 @@ use mavlink_lite::messages::Message;
 use super::Runtime;
 
 impl Runtime {
-    /// Routes a completed job to its handler.
-    pub(crate) fn dispatch(&mut self, task: TaskId, now: SimTime) {
+    /// Routes a completed job to its handler. Handlers that touch the
+    /// wire borrow the (possibly fleet-shared) network.
+    pub(crate) fn dispatch(&mut self, task: TaskId, now: SimTime, net: &mut Network) {
         let ids = &self.ids;
         if task == ids.sensor_driver {
-            self.on_sensor_driver(now);
+            self.on_sensor_driver(now, net);
         } else if task == ids.motor_driver {
             self.on_motor_driver(now);
         } else if Some(task) == ids.monitor {
             self.on_monitor(now);
         } else if Some(task) == ids.rx {
-            self.on_rx(now);
+            self.on_rx(now, net);
         } else if Some(task) == ids.safety {
             self.on_safety(now);
         } else if Some(task) == ids.hce_stack {
             self.on_hce_stack(now);
         } else if Some(task) == ids.cc_pipeline {
-            self.on_cce_pipeline(now);
+            self.on_cce_pipeline(now, net);
         } else if Some(task) == ids.cc_rate {
-            self.on_cce_rate(now);
+            self.on_cce_rate(now, net);
         }
     }
 
     /// Sensor driver job: sample the devices, update the HCE view, feed the
     /// local controllers, and forward the Table I streams to the CCE.
-    pub(crate) fn on_sensor_driver(&mut self, now: SimTime) {
+    pub(crate) fn on_sensor_driver(&mut self, now: SimTime, net: &mut Network) {
         self.sensor_jobs += 1;
         let sensor_addr = Addr {
             ns: self.host_ns,
@@ -52,11 +53,11 @@ impl Runtime {
         if let Some(fc) = &mut self.hce_fc {
             fc.on_imu(&imu);
         }
-        let mut wire = self.net.take_buf();
+        let mut wire = net.take_buf();
         self.hce_sender
             .encode_into(Message::Imu(imu_to_msg(&imu)), &mut wire);
         self.imu_counter.record(wire.len());
-        let _ = self.net.send(self.hce_sensor_tx, sensor_addr, wire, now);
+        let _ = net.send(self.hce_sensor_tx, sensor_addr, wire, now);
 
         // Barometer + RC at 50 Hz (every 5th 250 Hz job).
         if self.sensor_jobs.is_multiple_of(5) {
@@ -65,17 +66,17 @@ impl Runtime {
             if let Some(fc) = &mut self.hce_fc {
                 fc.on_baro(&baro);
             }
-            let mut wire = self.net.take_buf();
+            let mut wire = net.take_buf();
             self.hce_sender
                 .encode_into(Message::Baro(baro_to_msg(&baro)), &mut wire);
             self.baro_counter.record(wire.len());
-            let _ = self.net.send(self.hce_sensor_tx, sensor_addr, wire, now);
+            let _ = net.send(self.hce_sensor_tx, sensor_addr, wire, now);
 
             let rc = neutral_rc(now);
-            let mut wire = self.net.take_buf();
+            let mut wire = net.take_buf();
             self.hce_sender.encode_into(Message::Rc(rc), &mut wire);
             self.rc_counter.record(wire.len());
-            let _ = self.net.send(self.hce_sensor_tx, sensor_addr, wire, now);
+            let _ = net.send(self.hce_sensor_tx, sensor_addr, wire, now);
         }
 
         // Positioning at 10 Hz (every 25th job).
@@ -85,11 +86,11 @@ impl Runtime {
             if let Some(fc) = &mut self.hce_fc {
                 fc.on_position_fix(&fix);
             }
-            let mut wire = self.net.take_buf();
+            let mut wire = net.take_buf();
             self.hce_sender
                 .encode_into(Message::Gps(fix_to_msg(&fix)), &mut wire);
             self.gps_counter.record(wire.len());
-            let _ = self.net.send(self.hce_sensor_tx, sensor_addr, wire, now);
+            let _ = net.send(self.hce_sensor_tx, sensor_addr, wire, now);
         }
     }
 
@@ -130,12 +131,12 @@ impl Runtime {
     }
 
     /// Rx-thread job: process exactly one datagram from the motor port.
-    pub(crate) fn on_rx(&mut self, now: SimTime) {
-        if let Some(pkt) = self.net.recv(self.hce_motor_rx) {
+    pub(crate) fn on_rx(&mut self, now: SimTime, net: &mut Network) {
+        if let Some(pkt) = net.recv(self.hce_motor_rx) {
             let mut frames = std::mem::take(&mut self.frame_scratch);
             frames.clear();
             self.hce_parser.push_into(&pkt.payload, &mut frames);
-            self.net.recycle(pkt);
+            net.recycle(pkt);
             for frame in &frames {
                 match frame.message {
                     Message::Motor(m) if m.armed == 1 => {

@@ -23,6 +23,16 @@
 //! each scheduled event at its onset and thereafter steps every armed
 //! [`attacks::AttackDriver`] generically, so a run may contain any number
 //! of concurrent and sequenced attacks.
+//!
+//! # One vehicle vs many
+//!
+//! Per-vehicle state (machine, container, controllers, monitor, recorder)
+//! lives in a [`VehicleInstance`]; the virtual [`Network`] is **not** part
+//! of it. A single-vehicle [`RunningScenario`] owns a private network and
+//! one instance; the `cd-fleet` crate instead builds many instances
+//! against one shared "airspace" network and interleaves them on a common
+//! quantum clock, which is what makes shared-airspace fleet co-simulation
+//! possible without duplicating any of the per-vehicle logic.
 
 pub mod assembly;
 pub mod attack;
@@ -40,7 +50,7 @@ use rt_sched::machine::Machine;
 use rt_sched::task::SchedEvent;
 use sim_core::time::{SimDuration, SimTime};
 use uav_dynamics::world::World;
-use virt_net::net::{Network, NsId, SocketId};
+use virt_net::net::{Delivery, Network, NsId, SocketId};
 
 use crate::feeder::StreamCounter;
 use crate::monitor::{SecurityMonitor, SecurityRule};
@@ -82,7 +92,9 @@ impl Scenario {
 
     /// [`Scenario::start`] with additional custom security rules.
     pub fn start_with_rules(self, rules: Vec<Box<dyn SecurityRule>>) -> RunningScenario {
-        RunningScenario::build(self.config, rules)
+        let mut net = Network::new();
+        let vehicle = VehicleInstance::build(self.config, rules, &mut net);
+        RunningScenario { net, vehicle }
     }
 }
 
@@ -108,6 +120,67 @@ impl Scenario {
 /// assert!(!result.crashed());
 /// ```
 pub struct RunningScenario {
+    net: Network,
+    vehicle: VehicleInstance,
+}
+
+impl RunningScenario {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.vehicle.now()
+    }
+
+    /// Advances one scheduler quantum: machine, physics, job dispatch,
+    /// armed attacks, network, telemetry. Returns `false` once the flight
+    /// is over (duration reached, or 1 s past a crash) without advancing.
+    pub fn step(&mut self) -> bool {
+        if !self.vehicle.advance(&mut self.net) {
+            return false;
+        }
+        let deliveries = self.net.step(self.vehicle.now());
+        for &d in deliveries {
+            self.vehicle.on_delivery(d);
+        }
+        self.vehicle.post_step();
+        true
+    }
+
+    /// Advances until `target` (or the end of the flight, whichever comes
+    /// first).
+    pub fn advance_to(&mut self, target: SimTime) {
+        while self.vehicle.now() < target && self.step() {}
+    }
+
+    /// Runs the remainder of the flight and tears down into the result.
+    pub fn run_to_end(mut self) -> ScenarioResult {
+        while self.step() {}
+        self.finish()
+    }
+
+    /// Tears the run down into a [`ScenarioResult`] at the current time.
+    pub fn finish(self) -> ScenarioResult {
+        self.vehicle.finish(&self.net)
+    }
+}
+
+/// One vehicle's complete simulation state — everything *except* the
+/// network it flies against.
+///
+/// [`RunningScenario`] wraps exactly one instance over a private network;
+/// the `cd-fleet` crate steps many instances against one shared airspace.
+/// The stepping protocol per scheduler quantum is:
+///
+/// 1. [`VehicleInstance::advance`] — machine, physics, job dispatch and
+///    armed attacks (traffic is *offered* to the network here);
+/// 2. one [`Network::step`] on whoever owns the network;
+/// 3. [`VehicleInstance::on_delivery`] for each delivery to a socket this
+///    vehicle owns;
+/// 4. [`VehicleInstance::post_step`] — telemetry sampling and crash
+///    bookkeeping.
+///
+/// With a single vehicle this is byte-for-byte the classic
+/// [`RunningScenario::step`]; the fleet equivalence test pins that.
+pub struct VehicleInstance {
     rt: Runtime,
     end: SimTime,
     record_period: SimDuration,
@@ -118,12 +191,19 @@ pub struct RunningScenario {
     finished: bool,
 }
 
-impl RunningScenario {
-    fn build(config: ScenarioConfig, rules: Vec<Box<dyn SecurityRule>>) -> Self {
+impl VehicleInstance {
+    /// Builds the full per-vehicle system (machine, container, task set,
+    /// controllers) inside `net`: namespaces, links and sockets are
+    /// created in the shared network, everything else is private.
+    pub fn build(
+        config: ScenarioConfig,
+        rules: Vec<Box<dyn SecurityRule>>,
+        net: &mut Network,
+    ) -> Self {
         let end = SimTime::ZERO + config.duration;
         let record_period = SimDuration::from_hz(config.record_hz);
-        let rt = Runtime::build(config, rules);
-        RunningScenario {
+        let rt = Runtime::build(config, rules, net);
+        VehicleInstance {
             rt,
             end,
             record_period,
@@ -135,16 +215,46 @@ impl RunningScenario {
         }
     }
 
-    /// Current simulation time.
+    /// Current simulation time of this vehicle's machine.
     pub fn now(&self) -> SimTime {
         self.rt.machine.now()
     }
 
-    /// Advances one scheduler quantum: machine, physics, job dispatch,
-    /// armed attacks, network, telemetry. Returns `false` once the flight
-    /// is over (duration reached, or 1 s past a crash) without advancing.
-    pub fn step(&mut self) -> bool {
-        if self.finished || self.rt.machine.now() >= self.end {
+    /// `true` once the flight is over (duration reached, or 1 s past a
+    /// crash).
+    pub fn done(&self) -> bool {
+        self.finished || self.rt.machine.now() >= self.end
+    }
+
+    /// `true` if the vehicle has crashed.
+    pub fn crashed(&self) -> bool {
+        self.rt.world.crash().is_some()
+    }
+
+    /// Ground-truth position (NED, metres) — what a telemetry downlink
+    /// reports to a ground station.
+    pub fn position(&self) -> [f64; 3] {
+        let p = self.rt.world.truth().position;
+        [p.x, p.y, p.z]
+    }
+
+    /// The namespace of this vehicle's host network stack.
+    pub fn host_ns(&self) -> NsId {
+        self.rt.host_ns
+    }
+
+    /// The HCE motor-port socket — deliveries to it must be routed back
+    /// via [`VehicleInstance::on_delivery`].
+    pub fn motor_rx(&self) -> SocketId {
+        self.rt.hce_motor_rx
+    }
+
+    /// Phase 1 of a quantum: machine, physics, completed-job dispatch and
+    /// armed attacks. Returns `false` once the flight is over, without
+    /// advancing. The caller must follow up with one [`Network::step`],
+    /// route the deliveries, and call [`VehicleInstance::post_step`].
+    pub fn advance(&mut self, net: &mut Network) -> bool {
+        if self.done() {
             return false;
         }
         let quantum = self.rt.machine.config().quantum;
@@ -156,23 +266,31 @@ impl RunningScenario {
 
         for i in 0..self.events.len() {
             if let SchedEvent::JobCompleted { task, .. } = self.events[i] {
-                self.rt.dispatch(task, now);
+                self.rt.dispatch(task, now, net);
             }
         }
 
-        self.rt.step_attacks(now, quantum);
+        self.rt.step_attacks(now, quantum, net);
+        true
+    }
 
-        let deliveries = self.rt.net.step(now);
-        for d in deliveries {
-            if d.socket == self.rt.hce_motor_rx {
-                if let Some(rx) = self.rt.ids.rx {
-                    if self.rt.machine.is_alive(rx) {
-                        self.rt.machine.inject_job(rx, d.count);
-                    }
+    /// Phase 3 of a quantum: reacts to datagrams the network delivered to
+    /// one of this vehicle's sockets (motor-port traffic wakes the rx
+    /// thread). Deliveries to sockets this vehicle does not own are
+    /// ignored.
+    pub fn on_delivery(&mut self, d: Delivery) {
+        if d.socket == self.rt.hce_motor_rx {
+            if let Some(rx) = self.rt.ids.rx {
+                if self.rt.machine.is_alive(rx) {
+                    self.rt.machine.inject_job(rx, d.count);
                 }
             }
         }
+    }
 
+    /// Phase 4 of a quantum: telemetry sampling and crash bookkeeping.
+    pub fn post_step(&mut self) {
+        let now = self.rt.machine.now();
         if now >= self.next_record {
             self.rt.record(now);
             self.next_record = now + self.record_period;
@@ -190,34 +308,23 @@ impl RunningScenario {
         if self.crash_deadline.is_some_and(|d| now >= d) {
             self.finished = true;
         }
-        true
     }
 
-    /// Advances until `target` (or the end of the flight, whichever comes
-    /// first).
-    pub fn advance_to(&mut self, target: SimTime) {
-        while self.rt.machine.now() < target && self.step() {}
-    }
-
-    /// Runs the remainder of the flight and tears down into the result.
-    pub fn run_to_end(mut self) -> ScenarioResult {
-        while self.step() {}
-        self.finish()
-    }
-
-    /// Tears the run down into a [`ScenarioResult`] at the current time.
-    pub fn finish(self) -> ScenarioResult {
-        self.rt.finish()
+    /// Tears the vehicle down into a [`ScenarioResult`], reading its
+    /// socket statistics from `net`.
+    pub fn finish(self, net: &Network) -> ScenarioResult {
+        self.rt.finish(net)
     }
 }
 
-/// The live state of one scenario run. Built by [`assembly`], advanced by
-/// [`Runtime::run`], torn down into a [`ScenarioResult`] by [`report`].
+/// The live state of one vehicle. Built by [`assembly`], advanced by
+/// [`VehicleInstance::advance`], torn down into a [`ScenarioResult`] by
+/// [`report`]. Deliberately network-free: every method that touches the
+/// wire borrows the (possibly shared) [`Network`].
 pub(crate) struct Runtime {
     pub(crate) cfg: ScenarioConfig,
     pub(crate) world: World,
     pub(crate) machine: Machine,
-    pub(crate) net: Network,
     pub(crate) container: Container,
     pub(crate) host_ns: NsId,
     // Sockets.

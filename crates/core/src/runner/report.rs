@@ -5,6 +5,7 @@ use mavlink_lite::parser::ParserStats;
 use rt_sched::machine::TaskStats;
 use sim_core::time::SimTime;
 use uav_dynamics::crash::Crash;
+use virt_net::net::Network;
 use virt_net::net::SocketStats;
 
 use crate::config::{MOTOR_PORT, SENSOR_PORT};
@@ -66,7 +67,10 @@ pub struct ScenarioResult {
     /// steps/sec denominator is wall time; this is the numerator).
     pub sim_steps: u64,
     /// Total datagrams offered to the virtual network over the run
-    /// (legitimate streams and attack traffic combined).
+    /// (legitimate streams and attack traffic combined). This counter is
+    /// network-global: in a fleet run it is the whole shared airspace's
+    /// total (including GCS telemetry), identical across vehicles — use
+    /// per-socket stats for per-vehicle traffic analysis.
     pub net_packets_sent: u64,
     /// Per-task scheduler statistics (name, stats).
     pub task_report: Vec<(String, TaskStats)>,
@@ -151,8 +155,9 @@ impl Runtime {
         );
     }
 
-    /// Tears the run down into a [`ScenarioResult`].
-    pub(crate) fn finish(self) -> ScenarioResult {
+    /// Tears the run down into a [`ScenarioResult`], reading socket-level
+    /// statistics from the (possibly fleet-shared) network.
+    pub(crate) fn finish(self, net: &Network) -> ScenarioResult {
         let elapsed = self.machine.now().as_secs_f64();
         let fw = &self.cfg.framework;
         let streams = vec![
@@ -233,12 +238,12 @@ impl Runtime {
             idle_rates: self.machine.idle_rates(),
             streams,
             hce_parser_stats: self.hce_parser.stats(),
-            rx_socket_stats: self.net.socket_stats(self.hce_motor_rx),
+            rx_socket_stats: net.socket_stats(self.hce_motor_rx),
             flood_sent,
             attack_packets,
             heartbeats_received: self.heartbeats_received,
             sim_steps: self.steps,
-            net_packets_sent: self.net.packets_sent(),
+            net_packets_sent: net.packets_sent(),
             task_report,
             telemetry: self.recorder,
             config: self.cfg,

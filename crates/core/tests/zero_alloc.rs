@@ -3,17 +3,23 @@
 //! incrementally maintained ready queues, pre-sized telemetry vectors.
 //!
 //! A counting global allocator measures exactly one simulated second of
-//! the healthy scenario in steady state and demands **zero** heap
-//! allocations. If any future change sneaks a per-tick allocation back
-//! into the machine/network/runner path, this test names the regression
-//! immediately.
+//! steady state — once for the healthy scenario and once under the
+//! Figure 7 UDP flood (locking in the shared-payload flood fast-path) —
+//! and demands **zero** heap allocations. If any future change sneaks a
+//! per-tick allocation back into the machine/network/runner path, these
+//! tests name the regression immediately.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use containerdrone_core::runner::Scenario;
 use containerdrone_core::scenario::ScenarioConfig;
 use sim_core::time::SimTime;
+
+/// The allocation counter is process-global, so the two measurement
+/// windows must never overlap: each test serializes on this lock.
+static MEASUREMENT: Mutex<()> = Mutex::new(());
 
 struct CountingAllocator;
 
@@ -45,6 +51,7 @@ static COUNTER: CountingAllocator = CountingAllocator;
 
 #[test]
 fn healthy_steady_state_allocates_nothing() {
+    let _window = MEASUREMENT.lock().expect("serialize measurement");
     let mut run = Scenario::new(ScenarioConfig::healthy()).start();
 
     // Warmup: scratch vectors grow to steady-state capacity, the packet
@@ -67,4 +74,47 @@ fn healthy_steady_state_allocates_nothing() {
     let result = run.finish();
     assert!(!result.crashed());
     assert!(result.sim_steps >= 4 * 20_000, "4 s at 50 µs quanta");
+}
+
+/// The flood fast-path counterpart: one simulated second of the Figure 7
+/// UDP flood in steady state must also be allocation-free. The warmup is
+/// pool-aware — it runs well past the 8 s attack onset and the Simplex
+/// switch, so the link queues have grown to their flood depth, the
+/// receive queue has filled to capacity, the shared flood payload is
+/// armed, and the one-off switch/violation records have been written.
+#[test]
+fn udp_flood_steady_state_allocates_nothing() {
+    let _window = MEASUREMENT.lock().expect("serialize measurement");
+    let mut run = Scenario::new(ScenarioConfig::fig7()).start();
+
+    // fig7: flood onset at 8 s, monitor switch shortly after. By 12 s the
+    // attack has been in steady state for seconds.
+    run.advance_to(SimTime::from_secs(12));
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(before > 0, "counter must have registered setup allocations");
+    run.advance_to(SimTime::from_secs(13)); // one simulated flood second
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "flood steady-state loop allocated {} times in one simulated second",
+        after - before
+    );
+
+    // The window really was under attack and the framework really did
+    // its thing — not a silently degenerate run.
+    let result = run.finish();
+    assert!(!result.crashed());
+    assert!(result.switch_time.is_some(), "monitor never switched");
+    assert!(
+        result.flood_sent > 4 * 20_000,
+        "flood offered only {} packets",
+        result.flood_sent
+    );
+    assert!(
+        result.rx_socket_stats.dropped_ratelimit > 0,
+        "iptables limit never engaged"
+    );
 }

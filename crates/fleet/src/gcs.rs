@@ -1,0 +1,194 @@
+//! The ground control station: one telemetry endpoint per vehicle on a
+//! shared GCS namespace, each behind its own ingress rate limit.
+//!
+//! The GCS is a *network peer*, not a flight computer: it owns no
+//! scheduler and no physics, only sockets in the shared airspace. Every
+//! poll tick the fleet runner downlinks one telemetry datagram per
+//! still-flying vehicle over that vehicle's radio uplink; the GCS drains
+//! its sockets
+//! each quantum and keeps a per-vehicle [`GcsView`]. Per-client rate
+//! limits on the GCS ports mean a misbehaving (or spoofed) vehicle that
+//! floods the uplink cannot starve the other clients' telemetry — the
+//! fleet-scale analogue of the paper's iptables defence.
+
+use containerdrone_core::runner::VehicleInstance;
+use sim_core::time::SimTime;
+use virt_net::net::{Addr, LinkConfig, Network, NsId, SocketId};
+
+/// First GCS-side telemetry port; vehicle `i` reports to `base + i`.
+pub const GCS_PORT_BASE: u16 = 15_000;
+
+/// Port bound in each vehicle's host namespace for the telemetry uplink.
+pub const UPLINK_SRC_PORT: u16 = 9_050;
+
+/// On-wire size of one telemetry datagram (see [`encode_telemetry`]).
+pub const TELEMETRY_BYTES: usize = 15;
+
+/// Ground-station configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GcsConfig {
+    /// Telemetry downlink rate per vehicle, Hz.
+    pub poll_hz: f64,
+    /// Ingress rate limit per vehicle port, packets/s (0 disables).
+    pub per_client_pps: f64,
+    /// Burst allowance of the per-client limit, packets.
+    pub per_client_burst: f64,
+    /// Radio-uplink link characteristics (vehicle host ↔ GCS).
+    pub uplink: LinkConfig,
+}
+
+impl Default for GcsConfig {
+    fn default() -> Self {
+        GcsConfig {
+            poll_hz: 10.0,
+            per_client_pps: 50.0,
+            per_client_burst: 10.0,
+            // A telemetry radio, not a veth pair: milliseconds of latency
+            // and modest bandwidth.
+            uplink: LinkConfig {
+                latency: sim_core::time::SimDuration::from_millis(2),
+                bandwidth: 2.0e6,
+                queue_capacity: 64,
+            },
+        }
+    }
+}
+
+/// What the GCS currently believes about one vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GcsView {
+    /// Telemetry datagrams received from this vehicle.
+    pub packets: u64,
+    /// Telemetry datagrams dropped by this client's ingress rate limit.
+    pub dropped_ratelimit: u64,
+    /// Send timestamp of the freshest telemetry datagram received — the
+    /// time the vehicle *reported*, not the (latency-delayed) arrival.
+    pub last_seen: Option<SimTime>,
+    /// Last reported position (NED, metres).
+    pub last_position: [f64; 3],
+    /// Whether the vehicle has reported itself crashed.
+    pub crashed: bool,
+}
+
+/// Encodes one telemetry datagram: vehicle index (u16 LE), crashed flag
+/// (u8), position as 3 × f32 LE.
+pub fn encode_telemetry(buf: &mut Vec<u8>, vehicle: u16, crashed: bool, position: [f64; 3]) {
+    buf.extend_from_slice(&vehicle.to_le_bytes());
+    buf.push(u8::from(crashed));
+    for p in position {
+        buf.extend_from_slice(&(p as f32).to_le_bytes());
+    }
+}
+
+/// Decodes a telemetry datagram; `None` for malformed payloads.
+pub fn decode_telemetry(payload: &[u8]) -> Option<(u16, bool, [f64; 3])> {
+    if payload.len() != TELEMETRY_BYTES {
+        return None;
+    }
+    let vehicle = u16::from_le_bytes([payload[0], payload[1]]);
+    let crashed = payload[2] != 0;
+    let mut position = [0.0; 3];
+    for (i, p) in position.iter_mut().enumerate() {
+        let at = 3 + 4 * i;
+        *p = f64::from(f32::from_le_bytes(
+            payload[at..at + 4].try_into().expect("4-byte slice"),
+        ));
+    }
+    Some((vehicle, crashed, position))
+}
+
+/// The ground-station node in the shared airspace.
+#[derive(Debug)]
+pub struct GroundStation {
+    ns: NsId,
+    /// GCS-side receive socket per vehicle.
+    rx: Vec<SocketId>,
+    /// Vehicle-side transmit socket per vehicle (bound in the vehicle's
+    /// host namespace).
+    tx: Vec<SocketId>,
+    views: Vec<GcsView>,
+}
+
+impl GroundStation {
+    /// Builds the GCS into the shared network: its namespace, one radio
+    /// uplink per vehicle, one rate-limited telemetry port per vehicle.
+    pub fn build(net: &mut Network, vehicles: &[VehicleInstance], cfg: &GcsConfig) -> Self {
+        let ns = net.add_namespace("gcs");
+        let mut rx = Vec::with_capacity(vehicles.len());
+        let mut tx = Vec::with_capacity(vehicles.len());
+        for (i, vehicle) in vehicles.iter().enumerate() {
+            net.connect(vehicle.host_ns(), ns, cfg.uplink);
+            let port = GCS_PORT_BASE + i as u16;
+            let sock = net.bind(ns, port).expect("gcs telemetry port free");
+            if cfg.per_client_pps > 0.0 {
+                net.add_rate_limit(Addr { ns, port }, cfg.per_client_pps, cfg.per_client_burst);
+            }
+            rx.push(sock);
+            tx.push(
+                net.bind(vehicle.host_ns(), UPLINK_SRC_PORT)
+                    .expect("uplink source port free"),
+            );
+        }
+        GroundStation {
+            ns,
+            rx,
+            tx,
+            views: vec![GcsView::default(); vehicles.len()],
+        }
+    }
+
+    /// The GCS namespace.
+    pub fn netns(&self) -> NsId {
+        self.ns
+    }
+
+    /// Downlinks one telemetry datagram per still-flying vehicle.
+    pub fn poll(&mut self, net: &mut Network, vehicles: &[VehicleInstance], now: SimTime) {
+        for (i, vehicle) in vehicles.iter().enumerate() {
+            if vehicle.done() {
+                continue;
+            }
+            let mut buf = net.take_buf();
+            encode_telemetry(&mut buf, i as u16, vehicle.crashed(), vehicle.position());
+            let dst = Addr {
+                ns: self.ns,
+                port: GCS_PORT_BASE + i as u16,
+            };
+            let _ = net.send(self.tx[i], dst, buf, now);
+        }
+    }
+
+    /// Drains every GCS socket, updating the per-vehicle views.
+    pub fn drain(&mut self, net: &mut Network) {
+        for (i, &sock) in self.rx.iter().enumerate() {
+            while let Some(pkt) = net.recv(sock) {
+                if let Some((vehicle, crashed, position)) = decode_telemetry(&pkt.payload) {
+                    // Telemetry self-identifies; trust the socket, check
+                    // the payload agrees (spoof detection hook).
+                    if usize::from(vehicle) == i {
+                        let view = &mut self.views[i];
+                        view.packets += 1;
+                        view.last_seen = Some(pkt.sent);
+                        view.last_position = position;
+                        view.crashed = crashed;
+                    }
+                }
+                net.recycle(pkt);
+            }
+        }
+    }
+
+    /// Current per-vehicle views.
+    pub fn views(&self) -> &[GcsView] {
+        &self.views
+    }
+
+    /// Tears the GCS down into its final views, folding in the per-client
+    /// rate-limit drop counters from the network.
+    pub fn finish(mut self, net: &Network) -> Vec<GcsView> {
+        for (view, &sock) in self.views.iter_mut().zip(&self.rx) {
+            view.dropped_ratelimit = net.socket_stats(sock).dropped_ratelimit;
+        }
+        self.views
+    }
+}

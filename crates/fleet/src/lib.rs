@@ -1,0 +1,376 @@
+//! **cd-fleet** — shared-airspace multi-UAV co-simulation.
+//!
+//! The paper evaluates one container-hosted UAV under DoS; its threat
+//! model — a compromised network peer flooding the companion computer —
+//! is inherently multi-node. This crate opens that axis: N independent
+//! [`VehicleInstance`]s (each a full machine + container + controller
+//! stack) fly against **one** shared [`Network`] "airspace" with a ground
+//! control station node that polls telemetry from every vehicle over
+//! rate-limited radio uplinks. Fleet-level attack campaigns place the
+//! existing attack timelines per-victim, broadcast, or rolling-victim
+//! via [`attacks::fleet::FleetScript`].
+//!
+//! Every vehicle steps on the common scheduler quantum, and the shared
+//! network advances exactly once per quantum — so an N = 1 fleet run is
+//! *byte-for-byte* identical to the classic single-vehicle
+//! [`Scenario`](containerdrone_core::runner::Scenario) run (the
+//! equivalence test pins this against the golden Figure 4 CSV).
+//!
+//! # Examples
+//!
+//! ```
+//! use cd_fleet::{Fleet, FleetConfig};
+//! use containerdrone_core::prelude::*;
+//! use sim_core::time::SimDuration;
+//!
+//! let base = ScenarioConfig::healthy().with_duration(SimDuration::from_secs(2));
+//! let report = Fleet::new(FleetConfig::new(base, 3)).run();
+//! assert_eq!(report.outcomes.len(), 3);
+//! assert!(report.outcomes.iter().all(|o| !o.result.crashed()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gcs;
+
+use std::time::{Duration, Instant};
+
+use attacks::fleet::FleetScript;
+use containerdrone_core::config::SCHED_QUANTUM;
+use containerdrone_core::runner::{ScenarioResult, VehicleInstance};
+use containerdrone_core::scenario::ScenarioConfig;
+use sim_core::time::{SimDuration, SimTime};
+use virt_net::net::{Delivery, Network, SocketId};
+
+pub use gcs::{GcsConfig, GcsView, GroundStation};
+
+/// A fleet scenario: one per-vehicle base configuration replicated N
+/// times into a shared airspace, plus fleet-level attack placement and a
+/// ground station.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The per-vehicle scenario. Vehicle `i` flies this configuration
+    /// with seed `base.seed + i`, so vehicle 0 reproduces the
+    /// single-vehicle run exactly and the rest decorrelate.
+    pub base: ScenarioConfig,
+    /// Number of vehicles sharing the airspace.
+    pub n_vehicles: usize,
+    /// Fleet-level attack placement, compiled onto the per-vehicle
+    /// timelines on top of whatever `base.attacks` already schedules.
+    pub script: FleetScript,
+    /// Ground-station configuration.
+    pub gcs: GcsConfig,
+}
+
+impl FleetConfig {
+    /// A healthy fleet of `n_vehicles` flying `base`.
+    pub fn new(base: ScenarioConfig, n_vehicles: usize) -> Self {
+        FleetConfig {
+            base,
+            n_vehicles,
+            script: FleetScript::none(),
+            gcs: GcsConfig::default(),
+        }
+    }
+
+    /// Replaces the fleet attack script.
+    #[must_use]
+    pub fn with_script(mut self, script: FleetScript) -> Self {
+        self.script = script;
+        self
+    }
+
+    /// Replaces the ground-station configuration.
+    #[must_use]
+    pub fn with_gcs(mut self, gcs: GcsConfig) -> Self {
+        self.gcs = gcs;
+        self
+    }
+}
+
+/// A fleet mid-flight: N vehicles interleaved on one quantum clock over
+/// one shared network.
+pub struct Fleet {
+    net: Network,
+    vehicles: Vec<VehicleInstance>,
+    gcs: GroundStation,
+    /// Sorted `(motor-rx socket, vehicle index)` for delivery routing.
+    rx_owner: Vec<(SocketId, usize)>,
+    now: SimTime,
+    end_of_flight: SimTime,
+    next_poll: SimTime,
+    poll_period: SimDuration,
+    /// Scratch: which vehicles advanced this quantum.
+    advanced: Vec<bool>,
+    /// Scratch: this quantum's deliveries, copied out of the network.
+    deliveries: Vec<Delivery>,
+}
+
+impl Fleet {
+    /// Builds the whole airspace: N vehicle instances, the compiled
+    /// per-vehicle attack timelines, the GCS node and its uplinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty fleet (`n_vehicles == 0`).
+    pub fn new(config: FleetConfig) -> Self {
+        assert!(config.n_vehicles > 0, "a fleet needs at least one vehicle");
+        let end_of_flight = SimTime::ZERO + config.base.duration;
+        let per_vehicle = config.script.compile(config.n_vehicles, end_of_flight);
+
+        let mut net = Network::new();
+        let mut vehicles = Vec::with_capacity(config.n_vehicles);
+        for (i, extra) in per_vehicle.into_iter().enumerate() {
+            let mut cfg = config.base.clone();
+            cfg.seed = cfg.seed.wrapping_add(i as u64);
+            for entry in extra.entries() {
+                cfg.attacks = cfg.attacks.at(entry.at, entry.event.clone());
+            }
+            vehicles.push(VehicleInstance::build(cfg, Vec::new(), &mut net));
+        }
+        let gcs = GroundStation::build(&mut net, &vehicles, &config.gcs);
+
+        let mut rx_owner: Vec<(SocketId, usize)> = vehicles
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.motor_rx(), i))
+            .collect();
+        rx_owner.sort_unstable();
+
+        let n = vehicles.len();
+        Fleet {
+            net,
+            vehicles,
+            gcs,
+            rx_owner,
+            now: SimTime::ZERO,
+            end_of_flight,
+            next_poll: SimTime::ZERO,
+            poll_period: SimDuration::from_hz(config.gcs.poll_hz),
+            advanced: vec![false; n],
+            deliveries: Vec::new(),
+        }
+    }
+
+    /// Current fleet time (the common quantum clock).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The vehicles, in index order.
+    pub fn vehicles(&self) -> &[VehicleInstance] {
+        &self.vehicles
+    }
+
+    /// The ground station.
+    pub fn gcs(&self) -> &GroundStation {
+        &self.gcs
+    }
+
+    /// Advances the whole airspace by one scheduler quantum:
+    ///
+    /// 1. every still-flying vehicle advances (machine, physics, job
+    ///    dispatch, armed attacks);
+    /// 2. the GCS downlink fires if a poll tick is due;
+    /// 3. the shared network advances once, and deliveries are routed to
+    ///    the vehicle owning the receiving socket (or drained by the
+    ///    GCS);
+    /// 4. the advanced vehicles run their telemetry/crash bookkeeping.
+    ///
+    /// Returns `false` — without advancing — once every vehicle has
+    /// finished.
+    pub fn step(&mut self) -> bool {
+        let mut any = false;
+        for (i, vehicle) in self.vehicles.iter_mut().enumerate() {
+            let stepped = vehicle.advance(&mut self.net);
+            self.advanced[i] = stepped;
+            any |= stepped;
+        }
+        if !any {
+            return false;
+        }
+        self.now += SCHED_QUANTUM;
+
+        if self.now >= self.next_poll {
+            self.gcs.poll(&mut self.net, &self.vehicles, self.now);
+            self.next_poll += self.poll_period;
+        }
+
+        self.deliveries.clear();
+        self.deliveries.extend_from_slice(self.net.step(self.now));
+        for i in 0..self.deliveries.len() {
+            let d = self.deliveries[i];
+            if let Ok(at) = self.rx_owner.binary_search_by_key(&d.socket, |&(s, _)| s) {
+                let owner = self.rx_owner[at].1;
+                if self.advanced[owner] {
+                    self.vehicles[owner].on_delivery(d);
+                }
+            }
+        }
+        self.gcs.drain(&mut self.net);
+
+        for (i, vehicle) in self.vehicles.iter_mut().enumerate() {
+            if self.advanced[i] {
+                vehicle.post_step();
+            }
+        }
+        true
+    }
+
+    /// Runs the fleet to completion and tears it down into the report.
+    pub fn run(mut self) -> FleetReport {
+        let started = Instant::now();
+        while self.step() {}
+        let mut report = self.finish();
+        report.wall_clock = started.elapsed();
+        report
+    }
+
+    /// Tears the fleet down into a [`FleetReport`] at the current time
+    /// (`wall_clock` is left zero; [`Fleet::run`] fills it).
+    pub fn finish(self) -> FleetReport {
+        let Fleet {
+            net,
+            vehicles,
+            gcs,
+            now,
+            end_of_flight,
+            ..
+        } = self;
+        let views = gcs.finish(&net);
+        let outcomes: Vec<VehicleOutcome> = vehicles
+            .into_iter()
+            .zip(views)
+            .enumerate()
+            .map(|(index, (vehicle, gcs_view))| {
+                let result = vehicle.finish(&net);
+                let from = result.attack_onset.unwrap_or(SimTime::from_secs(2));
+                let max_deviation = result.max_deviation(from, end_of_flight);
+                let deadline_skips = result
+                    .task_report
+                    .iter()
+                    .map(|(_, stats)| stats.skips)
+                    .sum();
+                VehicleOutcome {
+                    index,
+                    seed: result.config.seed,
+                    max_deviation,
+                    deadline_skips,
+                    gcs: gcs_view,
+                    result,
+                }
+            })
+            .collect();
+        FleetReport {
+            sim_steps: outcomes.iter().map(|o| o.result.sim_steps).sum(),
+            net_packets: net.packets_sent(),
+            duration: now,
+            wall_clock: Duration::ZERO,
+            outcomes,
+        }
+    }
+}
+
+/// One vehicle's end-of-flight outcome inside a fleet run.
+#[derive(Debug)]
+pub struct VehicleOutcome {
+    /// The vehicle's index in the fleet.
+    pub index: usize,
+    /// The seed it flew with (`base.seed + index`).
+    pub seed: u64,
+    /// Max deviation from the hover setpoint between the first attack
+    /// onset (or 2 s, when unattacked) and the end of flight, metres.
+    pub max_deviation: f64,
+    /// Periodic releases skipped across the vehicle's task set — the
+    /// fleet-level deadline-miss indicator.
+    pub deadline_skips: u64,
+    /// What the ground station last knew about this vehicle.
+    pub gcs: GcsView,
+    /// The full per-vehicle result.
+    pub result: ScenarioResult,
+}
+
+impl VehicleOutcome {
+    /// Compact outcome classification: `crash`, `lost-ctl` or `stable`.
+    pub fn verdict(&self) -> &'static str {
+        if self.result.crashed() {
+            "crash"
+        } else if self.max_deviation > 2.0 {
+            "lost-ctl"
+        } else {
+            "stable"
+        }
+    }
+}
+
+/// Aggregated results of one fleet run.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Per-vehicle outcomes, in vehicle order.
+    pub outcomes: Vec<VehicleOutcome>,
+    /// Scheduler quanta executed, summed over all vehicle machines (the
+    /// fleet steps/sec numerator).
+    pub sim_steps: u64,
+    /// Datagrams offered to the shared airspace (streams, attacks and
+    /// telemetry combined).
+    pub net_packets: u64,
+    /// Fleet clock at teardown.
+    pub duration: SimTime,
+    /// Host wall-clock time of the run (zero unless produced by
+    /// [`Fleet::run`]).
+    pub wall_clock: Duration,
+}
+
+impl FleetReport {
+    /// Column list of [`FleetReport::to_csv`], exposed so downstream
+    /// artifact writers that prefix extra columns stay in lockstep.
+    pub const CSV_HEADER: &'static str = "vehicle,seed,outcome,crashed,switch_s,\
+         max_deviation_m,deadline_skips,gcs_packets,gcs_dropped,gcs_last_seen_s";
+
+    /// Number of vehicles that crashed.
+    pub fn crashes(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.result.crashed()).count()
+    }
+
+    /// Number of vehicles whose monitor performed the Simplex switch.
+    pub fn switches(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.result.switch_time.is_some())
+            .count()
+    }
+
+    /// Deadline skips summed over the fleet.
+    pub fn total_deadline_skips(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.deadline_skips).sum()
+    }
+
+    /// One CSV row per vehicle — the fleet-campaign artifact shape, and
+    /// the determinism witness (two same-seed runs must render
+    /// identically).
+    pub fn to_csv(&self) -> String {
+        let mut csv = format!("{}\n", Self::CSV_HEADER);
+        for o in &self.outcomes {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{:.4},{},{},{},{}\n",
+                o.index,
+                o.seed,
+                o.verdict(),
+                o.result.crashed(),
+                o.result
+                    .switch_time
+                    .map(|t| format!("{:.3}", t.as_secs_f64()))
+                    .unwrap_or_default(),
+                o.max_deviation,
+                o.deadline_skips,
+                o.gcs.packets,
+                o.gcs.dropped_ratelimit,
+                o.gcs
+                    .last_seen
+                    .map(|t| format!("{:.3}", t.as_secs_f64()))
+                    .unwrap_or_default(),
+            ));
+        }
+        csv
+    }
+}

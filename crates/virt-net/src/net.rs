@@ -269,6 +269,11 @@ pub struct Network {
     rate_limits: AddrMap<TokenBucket>,
     /// Bound endpoint → index into `sockets` (kept in sync with binds).
     addr_index: AddrMap<u32>,
+    /// Normalized namespace pair → index into `links`. A single-vehicle
+    /// topology has two links and a linear scan is fine; a 100-vehicle
+    /// fleet airspace has hundreds (host↔container per vehicle plus a GCS
+    /// uplink each), so per-packet routing must be O(1).
+    route_index: HashMap<(u32, u32), u32, BuildHasherDefault<AddrHasher>>,
     /// Free list of recycled payload buffers.
     pool: Vec<Vec<u8>>,
     /// Scratch: per-socket datagrams delivered during the current step.
@@ -338,7 +343,12 @@ impl Network {
     }
 
     /// Connects two namespaces with a link (a veth pair over a bridge).
+    /// A second link between the same pair is inert (the first keeps
+    /// carrying the traffic, as with the former first-match routing).
     pub fn connect(&mut self, a: NsId, b: NsId, config: LinkConfig) {
+        self.route_index
+            .entry(Self::route_key(a, b))
+            .or_insert(self.links.len() as u32);
         self.links.push(Link {
             a,
             b,
@@ -349,6 +359,32 @@ impl Network {
             tx_free_ba: SimTime::ZERO,
             dropped_queue: 0,
         });
+    }
+
+    /// Normalized key for the route index (links are bidirectional).
+    fn route_key(a: NsId, b: NsId) -> (u32, u32) {
+        if a.0 <= b.0 {
+            (a.0, b.0)
+        } else {
+            (b.0, a.0)
+        }
+    }
+
+    /// The index of the link carrying traffic between `a` and `b`, if any.
+    fn route(&self, a: NsId, b: NsId) -> Option<usize> {
+        self.route_index
+            .get(&Self::route_key(a, b))
+            .map(|&i| i as usize)
+    }
+
+    /// `true` when a link directly connects the two namespaces.
+    pub fn connected(&self, a: NsId, b: NsId) -> bool {
+        self.route(a, b).is_some()
+    }
+
+    /// Number of namespaces created so far.
+    pub fn namespace_count(&self) -> usize {
+        self.namespaces.len()
     }
 
     /// Binds a UDP socket in `ns` on `port` with the default receive queue
@@ -483,11 +519,7 @@ impl Network {
             return Ok(());
         }
 
-        let link_idx = match self
-            .links
-            .iter()
-            .position(|l| (l.a == src.ns && l.b == dst.ns) || (l.b == src.ns && l.a == dst.ns))
-        {
+        let link_idx = match self.route(src.ns, dst.ns) {
             Some(i) => i,
             None => {
                 self.recycle_buf(payload);
@@ -501,6 +533,10 @@ impl Network {
         self.total_sent += 1;
         let link = &mut self.links[link_idx];
         let forward = link.a == src.ns;
+        debug_assert!(
+            (link.a == src.ns && link.b == dst.ns) || (link.b == src.ns && link.a == dst.ns),
+            "route index returned a link not connecting the endpoints"
+        );
         // Serialisation: the transmitter is busy `len/bandwidth` per packet.
         let ser = SimDuration::from_secs_f64(payload.len() as f64 / link.config.bandwidth);
         if let Some(payload) = link.enqueue(forward, src, dst, payload, ser, now) {
@@ -551,14 +587,10 @@ impl Network {
         // Route, direction and serialisation time are invariant across the
         // batch: resolve them once, then the per-packet work is a capacity
         // check, two time additions and a refcount bump.
-        let link_idx = self
-            .links
-            .iter()
-            .position(|l| (l.a == src.ns && l.b == dst.ns) || (l.b == src.ns && l.a == dst.ns))
-            .ok_or(NetError::NoRoute {
-                from: src.ns,
-                to: dst.ns,
-            })?;
+        let link_idx = self.route(src.ns, dst.ns).ok_or(NetError::NoRoute {
+            from: src.ns,
+            to: dst.ns,
+        })?;
         self.total_sent += count;
         let link = &mut self.links[link_idx];
         let forward = link.a == src.ns;
@@ -909,6 +941,56 @@ mod tests {
         net.send(tx, Addr { ns: host, port: 7 }, vec![9], SimTime::ZERO)
             .unwrap();
         // Loopback is immediate.
+        assert_eq!(net.socket_stats(rx).delivered, 1);
+    }
+
+    #[test]
+    fn multi_tenant_routing_scales_past_two_namespaces() {
+        // A miniature fleet airspace: 8 vehicles (host+container each)
+        // plus one GCS namespace with an uplink per vehicle.
+        let mut net = Network::new();
+        let gcs = net.add_namespace("gcs");
+        let mut rxs = Vec::new();
+        for v in 0..8u16 {
+            let host = net.add_namespace(format!("host-{v}"));
+            let cont = net.add_namespace(format!("cce-{v}"));
+            net.connect(host, cont, LinkConfig::default());
+            net.connect(host, gcs, LinkConfig::default());
+            assert!(net.connected(host, cont));
+            assert!(net.connected(gcs, host));
+            assert!(!net.connected(gcs, cont), "no transitive routes");
+            let rx = net.bind(gcs, 15_000 + v).unwrap();
+            let tx = net.bind(host, 9100).unwrap();
+            net.send(
+                tx,
+                Addr {
+                    ns: gcs,
+                    port: 15_000 + v,
+                },
+                vec![v as u8],
+                SimTime::ZERO,
+            )
+            .unwrap();
+            rxs.push(rx);
+        }
+        assert_eq!(net.namespace_count(), 17);
+        net.step(SimTime::from_millis(1));
+        for (v, rx) in rxs.iter().enumerate() {
+            let pkt = net.recv(*rx).expect("uplink datagram routed");
+            assert_eq!(pkt.payload.as_slice(), [v as u8]);
+        }
+    }
+
+    #[test]
+    fn duplicate_link_is_inert() {
+        let (mut net, host, cce) = pair();
+        // A second link between the same pair must not shadow the first.
+        net.connect(host, cce, LinkConfig::default());
+        let rx = net.bind(cce, 5).unwrap();
+        let tx = net.bind(host, 6).unwrap();
+        net.send(tx, Addr { ns: cce, port: 5 }, vec![1, 2], SimTime::ZERO)
+            .unwrap();
+        net.step(SimTime::from_millis(1));
         assert_eq!(net.socket_stats(rx).delivered, 1);
     }
 

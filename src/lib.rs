@@ -15,7 +15,8 @@
 //! | [`memory`] (`membw`) | Shared DRAM contention model + MemGuard |
 //! | [`network`] (`virt-net`) | Namespaced UDP stack with iptables-style rate limiting |
 //! | [`containers`] (`container-rt`) | Docker-like container runtime + QEMU-like VM model |
-//! | [`attacks`] | Memory hog, UDP flood, CPU hog, controller-kill attacks |
+//! | [`attacks`] | Memory hog, UDP flood, CPU hog, controller-kill attacks + fleet placement |
+//! | [`fleet`] (`cd-fleet`) | Shared-airspace multi-UAV co-simulation with a GCS node |
 //! | [`sim`] (`sim-core`) | Deterministic time, RNG, events, recording |
 //!
 //! # Quickstart
@@ -53,6 +54,7 @@
 
 pub use attacks;
 pub use autopilot;
+pub use cd_fleet as fleet;
 pub use container_rt as containers;
 pub use containerdrone_core as framework;
 pub use mavlink_lite as protocol;
