@@ -41,8 +41,9 @@ pub struct AttackCtx<'a> {
 /// Implemented by all five attack families; the runner drives armed
 /// attacks generically through this trait, which is what makes the
 /// timeline composable — adding a sixth attack kind touches no runner
-/// code.
-pub trait AttackDriver: std::fmt::Debug {
+/// code. `Send` is a supertrait because a fleet executor moves whole
+/// vehicles (armed attacks included) onto worker threads.
+pub trait AttackDriver: std::fmt::Debug + Send {
     /// Short identifier used in markers, logs and reports.
     fn name(&self) -> &'static str;
 

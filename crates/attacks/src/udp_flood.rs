@@ -6,6 +6,8 @@
 //! receive queue, each delivered datagram costs rx-thread CPU, and the
 //! parser must skip the garbage.
 
+use std::sync::{Arc, Mutex};
+
 use container_rt::container::Container;
 use rt_sched::machine::Machine;
 use rt_sched::task::{Cost, TaskId, TaskSpec};
@@ -13,6 +15,22 @@ use sim_core::time::{SimDuration, SimTime};
 use virt_net::net::{Addr, NetError, Network, NsId, SocketId};
 
 use crate::driver::AttackDriver;
+
+/// Hands out the all-zero flood buffer for `len`-byte payloads from a
+/// process-global cache, so every armed flooder of a given size — across
+/// all vehicles of a fleet, on any thread — shares one allocation instead
+/// of carrying its own. Flood payloads are garbage by design ("zeros
+/// never parse as a MAVLink frame"), so sharing loses nothing.
+pub fn shared_flood_payload(len: usize) -> Arc<[u8]> {
+    static CACHE: Mutex<Vec<(usize, Arc<[u8]>)>> = Mutex::new(Vec::new());
+    let mut cache = CACHE.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some((_, payload)) = cache.iter().find(|(l, _)| *l == len) {
+        return Arc::clone(payload);
+    }
+    let payload: Arc<[u8]> = vec![0u8; len].into();
+    cache.push((len, Arc::clone(&payload)));
+    payload
+}
 
 /// Flood parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,8 +86,9 @@ impl UdpFlood {
             },
             pps: self.pps,
             // Garbage payload: zeros never parse as a MAVLink frame. One
-            // shared buffer serves every flood packet (fan-out fast-path).
-            payload: vec![0u8; self.payload].into(),
+            // shared buffer serves every flood packet (fan-out fast-path)
+            // and every flooder instance (fleet-wide cache).
+            payload: shared_flood_payload(self.payload),
             carry: 0.0,
             sent: 0,
             active: true,
@@ -84,7 +103,7 @@ pub struct FloodDriver {
     task: TaskId,
     target: Addr,
     pps: f64,
-    payload: std::rc::Rc<[u8]>,
+    payload: Arc<[u8]>,
     carry: f64,
     sent: u64,
     active: bool,

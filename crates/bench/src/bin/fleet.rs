@@ -8,9 +8,14 @@
 //! land in `results/fleet_campaign.csv`.
 //!
 //! ```text
-//! cargo run --release -p cd-bench --bin fleet              # full sweep
-//! cargo run --release -p cd-bench --bin fleet -- --smoke   # CI smoke
+//! cargo run --release -p cd-bench --bin fleet                        # full sweep
+//! cargo run --release -p cd-bench --bin fleet -- --smoke             # CI smoke
+//! cargo run --release -p cd-bench --bin fleet -- --threads 4 --big   # sharded, N up to 1000
 //! ```
+//!
+//! `--threads T` runs every cell on the sharded parallel executor (the
+//! reports are byte-identical at any thread count); `--big` appends the
+//! swarm-scale N = 1000 cell to the sweep.
 
 use std::fmt::Write as _;
 
@@ -34,15 +39,19 @@ fn timelines() -> Vec<(&'static str, FleetScript)> {
 fn main() {
     let args = Args::parse();
     let smoke = args.has("--smoke");
+    let threads: usize = args.parsed("--threads").unwrap_or(1);
     // Smoke keeps the flights just long enough (3 s) that the rolling
     // flood's 2 s onset actually fires.
-    let (sizes, duration): (&[usize], SimDuration) = if smoke {
-        (&[1, 5], SimDuration::from_secs(3))
+    let (mut sizes, duration): (Vec<usize>, SimDuration) = if smoke {
+        (vec![1, 5], SimDuration::from_secs(3))
     } else {
-        (&[1, 5, 25, 100], SimDuration::from_secs(8))
+        (vec![1, 5, 25, 100], SimDuration::from_secs(8))
     };
+    if args.has("--big") {
+        sizes.push(1000);
+    }
     println!(
-        "Fleet campaign — N ∈ {sizes:?} × {{healthy, flood, mixed}}, {}s flights{}\n",
+        "Fleet campaign — N ∈ {sizes:?} × {{healthy, flood, mixed}}, {}s flights, {threads} thread(s){}\n",
         duration.as_secs_f64(),
         if smoke { " (smoke)" } else { "" }
     );
@@ -51,8 +60,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = format!("timeline,n,{}\n", cd_fleet::FleetReport::CSV_HEADER);
     for (label, script) in timelines() {
-        for &n in sizes {
-            let cfg = FleetConfig::new(base.clone(), n).with_script(script.clone());
+        for &n in &sizes {
+            let cfg = FleetConfig::new(base.clone(), n)
+                .with_script(script.clone())
+                .with_threads(threads);
             let report = Fleet::new(cfg).run();
             let wall = report.wall_clock.as_secs_f64();
             let steps_per_sec = report.sim_steps as f64 / wall.max(1e-9);

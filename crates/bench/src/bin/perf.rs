@@ -33,6 +33,11 @@ struct Measurement {
     sim_s: f64,
     steps: u64,
     packets: u64,
+    /// Process peak RSS (kB) sampled right after this row ran. The
+    /// high-water mark is process-monotone, so each row's figure is an
+    /// upper bound on its own footprint; rows run in ascending fleet
+    /// size, which keeps the bound tight for the rows that matter.
+    rss_kb: u64,
 }
 
 impl Measurement {
@@ -46,7 +51,7 @@ impl Measurement {
 
     fn json(&self) -> String {
         format!(
-            "{{\"name\":\"{}\",\"wall_s\":{:.4},\"sim_s\":{:.2},\"steps\":{},\"steps_per_sec\":{:.0},\"packets\":{},\"packets_per_sec\":{:.0}}}",
+            "{{\"name\":\"{}\",\"wall_s\":{:.4},\"sim_s\":{:.2},\"steps\":{},\"steps_per_sec\":{:.0},\"packets\":{},\"packets_per_sec\":{:.0},\"peak_rss_kb\":{}}}",
             self.name,
             self.wall_s,
             self.sim_s,
@@ -54,6 +59,7 @@ impl Measurement {
             self.steps_per_sec(),
             self.packets,
             self.packets_per_sec(),
+            self.rss_kb,
         )
     }
 }
@@ -74,12 +80,15 @@ fn measure(name: &str, repeat: usize, mut work: impl FnMut() -> (u64, u64)) -> M
             sim_s: steps as f64 * quantum_s,
             steps,
             packets,
+            rss_kb: 0,
         };
         if best.as_ref().is_none_or(|b| m.wall_s < b.wall_s) {
             best = Some(m);
         }
     }
-    best.expect("at least one run")
+    let mut best = best.expect("at least one run");
+    best.rss_kb = peak_rss_kb();
+    best
 }
 
 fn run_scenario(name: &str, cfg: ScenarioConfig, repeat: usize) -> Measurement {
@@ -91,15 +100,22 @@ fn run_scenario(name: &str, cfg: ScenarioConfig, repeat: usize) -> Measurement {
 
 /// One fleet matrix cell: `n` vehicles under the shared "mixed"
 /// timeline ([`cd_bench::fleet_timelines::mixed`] — the same cell the
-/// `fleet` campaign bin reports).
-fn fleet_config(n: usize, duration: SimDuration) -> cd_fleet::FleetConfig {
+/// `fleet` campaign bin reports), on a `threads`-wide executor.
+fn fleet_config(n: usize, duration: SimDuration, threads: usize) -> cd_fleet::FleetConfig {
     cd_fleet::FleetConfig::new(ScenarioConfig::healthy().with_duration(duration), n)
         .with_script(cd_bench::fleet_timelines::mixed())
+        .with_threads(threads)
 }
 
-fn measure_fleet(name: &str, n: usize, duration: SimDuration, repeat: usize) -> Measurement {
+fn measure_fleet(
+    name: &str,
+    n: usize,
+    duration: SimDuration,
+    threads: usize,
+    repeat: usize,
+) -> Measurement {
     let mut m = measure(name, repeat, || {
-        let report = cd_fleet::Fleet::new(fleet_config(n, duration)).run();
+        let report = cd_fleet::Fleet::new(fleet_config(n, duration, threads)).run();
         (report.sim_steps, report.net_packets)
     });
     // `steps` sums quanta over every vehicle machine (the throughput
@@ -168,12 +184,25 @@ fn existing_entry(json: &str, name: &str) -> Option<String> {
     Some(json[start..=end].to_string())
 }
 
+/// The `peak_rss_kb` recorded inside one rendered scenario entry.
+fn entry_rss_kb(entry: &str) -> Option<u64> {
+    let field = "\"peak_rss_kb\":";
+    let at = entry.find(field)? + field.len();
+    let rest = &entry[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
 fn main() {
     let args = Args::parse();
     let smoke = args.has("--smoke");
     let out_path = args.value("--out").map(str::to_string);
     let baseline_path = args.value("--baseline").map(str::to_string);
     let repeat: usize = args.parsed("--repeat").unwrap_or(if smoke { 1 } else { 3 });
+    // Executor width for the `-par` fleet rows. Parallelism is a
+    // determinism-preserving optimisation, so any value is valid; it only
+    // buys wall-clock time when the host actually has the cores.
+    let threads: usize = args.parsed("--threads").unwrap_or(4);
 
     let fig_duration = if smoke {
         SimDuration::from_secs(2)
@@ -240,7 +269,7 @@ fn main() {
         SimDuration::from_secs(5)
     };
     for n in [1usize, 5, 25, 100] {
-        let m = measure_fleet(&format!("fleet-n{n}-mixed"), n, fleet_duration, repeat);
+        let m = measure_fleet(&format!("fleet-n{n}-mixed"), n, fleet_duration, 1, repeat);
         println!(
             "  {:<22} {:>7.3}s wall  {:>9.0} steps/s  {:>9.0} pkts/s",
             m.name,
@@ -250,18 +279,49 @@ fn main() {
         );
         measurements.push(m);
     }
+    // Sharded-executor rows: the same mixed timeline on a worker pool.
+    // N = 1000 is the swarm-scale cell that pooled per-vehicle memory
+    // opened up; its per-row peak RSS is the footprint witness. Smoke
+    // exercises the parallel merge path on a small fleet only.
+    let par_sizes: &[usize] = if smoke { &[5] } else { &[100, 1000] };
+    for &n in par_sizes {
+        let m = measure_fleet(
+            &format!("fleet-n{n}-mixed-par"),
+            n,
+            fleet_duration,
+            threads,
+            repeat,
+        );
+        println!(
+            "  {:<22} {:>7.3}s wall  {:>9.0} steps/s  {:>9.0} pkts/s  (threads={threads}, rss {} MB)",
+            m.name,
+            m.wall_s,
+            m.steps_per_sec(),
+            m.packets_per_sec(),
+            m.rss_kb / 1024,
+        );
+        measurements.push(m);
+    }
 
     let baseline = baseline_path
         .map(|p| std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read baseline {p}: {e}")));
 
+    // Default to the *current* PR's artifact so a bare invocation can
+    // never clobber a committed prior-PR BENCH file.
+    let out_file = out_path
+        .clone()
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_4.json").to_string());
+
     // --merge: keep the better of (this run, what the out file already
     // holds) per scenario. Each run repeats identical deterministic work,
     // so best-of across interleaved invocations cancels host CPU phase
-    // noise — the methodology for the committed BENCH numbers.
+    // noise — the methodology for the committed BENCH numbers. Reads the
+    // resolved path, so merging works with the default output file too.
     let merge = args.has("--merge");
-    let previous = match (&out_path, merge) {
-        (Some(p), true) => std::fs::read_to_string(p).ok(),
-        _ => None,
+    let previous = if merge {
+        std::fs::read_to_string(&out_file).ok()
+    } else {
+        None
     };
     let entries: Vec<String> = measurements
         .iter()
@@ -282,7 +342,14 @@ fn main() {
 
     let mut json = String::from("{\n  \"harness\": \"cd-bench perf\",\n");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
-    let _ = writeln!(json, "  \"peak_rss_kb\": {},", peak_rss_kb());
+    // The top-level peak must cover the merged rows too: --merge can keep
+    // a row measured by an earlier, heavier invocation, whose recorded
+    // footprint then exceeds this process's own high-water mark.
+    let peak = entries
+        .iter()
+        .filter_map(|e| entry_rss_kb(e))
+        .fold(peak_rss_kb(), u64::max);
+    let _ = writeln!(json, "  \"peak_rss_kb\": {peak},");
     json.push_str("  \"scenarios\": [\n");
     for (i, entry) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
@@ -309,10 +376,6 @@ fn main() {
         return;
     }
 
-    // Default to the *current* PR's artifact so a bare invocation can
-    // never clobber a committed prior-PR BENCH file.
-    let path = out_path
-        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_3.json").to_string());
-    std::fs::write(&path, &json).expect("write BENCH json");
-    println!("wrote {path}");
+    std::fs::write(&out_file, &json).expect("write BENCH json");
+    println!("wrote {out_file}");
 }

@@ -47,7 +47,7 @@ pub enum RuleVerdict {
 }
 
 /// A pluggable security rule.
-pub trait SecurityRule: std::fmt::Debug {
+pub trait SecurityRule: std::fmt::Debug + Send {
     /// Short identifier for reports.
     fn name(&self) -> &str;
     /// Evaluates the rule.

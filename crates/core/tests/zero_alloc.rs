@@ -8,6 +8,11 @@
 //! and demands **zero** heap allocations. If any future change sneaks a
 //! per-tick allocation back into the machine/network/runner path, these
 //! tests name the regression immediately.
+//!
+//! The fleet-level twin of this gate lives in
+//! `crates/fleet/tests/zero_alloc.rs` (it must sit in the `cd-fleet`
+//! crate, which depends on this one): same counting allocator, measuring
+//! a flooded multi-vehicle fleet's per-quantum step.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -2,23 +2,32 @@
 //! shared GCS namespace, each behind its own ingress rate limit.
 //!
 //! The GCS is a *network peer*, not a flight computer: it owns no
-//! scheduler and no physics, only sockets in the shared airspace. Every
-//! poll tick the fleet runner downlinks one telemetry datagram per
-//! still-flying vehicle over that vehicle's radio uplink; the GCS drains
-//! its sockets
-//! each quantum and keeps a per-vehicle [`GcsView`]. Per-client rate
-//! limits on the GCS ports mean a misbehaving (or spoofed) vehicle that
-//! floods the uplink cannot starve the other clients' telemetry — the
-//! fleet-scale analogue of the paper's iptables defence.
+//! scheduler and no physics, only sockets in the shared **airspace**
+//! network — the radio medium every vehicle's telemetry crosses. Each
+//! vehicle gets a tiny `radio-<i>` namespace in the airspace (its radio
+//! modem) linked to the GCS; the fleet runner downlinks one telemetry
+//! datagram per still-flying vehicle over that uplink on every poll tick,
+//! and the GCS drains its sockets and keeps a per-vehicle [`GcsView`].
+//! Per-client rate limits on the GCS ports mean a misbehaving (or
+//! spoofed) vehicle that floods the uplink cannot starve the other
+//! clients' telemetry — the fleet-scale analogue of the paper's iptables
+//! defence.
+//!
+//! Polling reads [`VehicleSnapshot`]s rather than the vehicles
+//! themselves: the sharded executor advances vehicles on worker threads
+//! and hands the main thread a snapshot per vehicle (captured at the poll
+//! quantum, in vehicle-index order), so the airspace sees exactly the
+//! same traffic no matter how many threads produced it.
 
-use containerdrone_core::runner::VehicleInstance;
 use sim_core::time::SimTime;
 use virt_net::net::{Addr, LinkConfig, Network, NsId, SocketId};
+
+use containerdrone_core::runner::VehicleInstance;
 
 /// First GCS-side telemetry port; vehicle `i` reports to `base + i`.
 pub const GCS_PORT_BASE: u16 = 15_000;
 
-/// Port bound in each vehicle's host namespace for the telemetry uplink.
+/// Port bound in each vehicle's radio namespace for the telemetry uplink.
 pub const UPLINK_SRC_PORT: u16 = 9_050;
 
 /// On-wire size of one telemetry datagram (see [`encode_telemetry`]).
@@ -33,7 +42,7 @@ pub struct GcsConfig {
     pub per_client_pps: f64,
     /// Burst allowance of the per-client limit, packets.
     pub per_client_burst: f64,
-    /// Radio-uplink link characteristics (vehicle host ↔ GCS).
+    /// Radio-uplink link characteristics (vehicle radio ↔ GCS).
     pub uplink: LinkConfig,
 }
 
@@ -50,6 +59,42 @@ impl Default for GcsConfig {
                 bandwidth: 2.0e6,
                 queue_capacity: 64,
             },
+        }
+    }
+}
+
+/// What the fleet loop knows about one vehicle at a poll tick — the
+/// hand-off between the (possibly off-thread) vehicle shards and the
+/// main-thread airspace. Captured after the vehicle's `advance` for the
+/// poll quantum, before its `post_step`, so every thread count sees the
+/// same bytes on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VehicleSnapshot {
+    /// The vehicle's flight is over (duration reached, or 1 s past a
+    /// crash); finished vehicles stop reporting.
+    pub done: bool,
+    /// The vehicle reports itself crashed.
+    pub crashed: bool,
+    /// Ground-truth position (NED, metres).
+    pub position: [f64; 3],
+}
+
+impl VehicleSnapshot {
+    /// Snapshot of a still-flying vehicle.
+    pub fn of(vehicle: &VehicleInstance) -> Self {
+        VehicleSnapshot {
+            done: vehicle.done(),
+            crashed: vehicle.crashed(),
+            position: vehicle.position(),
+        }
+    }
+
+    /// Snapshot of a vehicle that already finished its flight.
+    pub fn finished(vehicle: &VehicleInstance) -> Self {
+        VehicleSnapshot {
+            done: true,
+            crashed: vehicle.crashed(),
+            position: vehicle.position(),
         }
     }
 }
@@ -104,20 +149,22 @@ pub struct GroundStation {
     /// GCS-side receive socket per vehicle.
     rx: Vec<SocketId>,
     /// Vehicle-side transmit socket per vehicle (bound in the vehicle's
-    /// host namespace).
+    /// radio namespace).
     tx: Vec<SocketId>,
     views: Vec<GcsView>,
 }
 
 impl GroundStation {
-    /// Builds the GCS into the shared network: its namespace, one radio
-    /// uplink per vehicle, one rate-limited telemetry port per vehicle.
-    pub fn build(net: &mut Network, vehicles: &[VehicleInstance], cfg: &GcsConfig) -> Self {
+    /// Builds the GCS into the airspace network: its namespace, one radio
+    /// namespace + uplink per vehicle, one rate-limited telemetry port
+    /// per vehicle.
+    pub fn build(net: &mut Network, n_vehicles: usize, cfg: &GcsConfig) -> Self {
         let ns = net.add_namespace("gcs");
-        let mut rx = Vec::with_capacity(vehicles.len());
-        let mut tx = Vec::with_capacity(vehicles.len());
-        for (i, vehicle) in vehicles.iter().enumerate() {
-            net.connect(vehicle.host_ns(), ns, cfg.uplink);
+        let mut rx = Vec::with_capacity(n_vehicles);
+        let mut tx = Vec::with_capacity(n_vehicles);
+        for i in 0..n_vehicles {
+            let radio = net.add_namespace(format!("radio-{i}"));
+            net.connect(radio, ns, cfg.uplink);
             let port = GCS_PORT_BASE + i as u16;
             let sock = net.bind(ns, port).expect("gcs telemetry port free");
             if cfg.per_client_pps > 0.0 {
@@ -125,7 +172,7 @@ impl GroundStation {
             }
             rx.push(sock);
             tx.push(
-                net.bind(vehicle.host_ns(), UPLINK_SRC_PORT)
+                net.bind(radio, UPLINK_SRC_PORT)
                     .expect("uplink source port free"),
             );
         }
@@ -133,7 +180,7 @@ impl GroundStation {
             ns,
             rx,
             tx,
-            views: vec![GcsView::default(); vehicles.len()],
+            views: vec![GcsView::default(); n_vehicles],
         }
     }
 
@@ -142,14 +189,16 @@ impl GroundStation {
         self.ns
     }
 
-    /// Downlinks one telemetry datagram per still-flying vehicle.
-    pub fn poll(&mut self, net: &mut Network, vehicles: &[VehicleInstance], now: SimTime) {
-        for (i, vehicle) in vehicles.iter().enumerate() {
-            if vehicle.done() {
+    /// Downlinks one telemetry datagram per still-flying vehicle, in
+    /// vehicle-index order (the deterministic merge order of the sharded
+    /// executor).
+    pub fn poll(&mut self, net: &mut Network, fleet: &[VehicleSnapshot], now: SimTime) {
+        for (i, snapshot) in fleet.iter().enumerate() {
+            if snapshot.done {
                 continue;
             }
             let mut buf = net.take_buf();
-            encode_telemetry(&mut buf, i as u16, vehicle.crashed(), vehicle.position());
+            encode_telemetry(&mut buf, i as u16, snapshot.crashed, snapshot.position);
             let dst = Addr {
                 ns: self.ns,
                 port: GCS_PORT_BASE + i as u16,

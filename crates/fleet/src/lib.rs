@@ -4,17 +4,40 @@
 //! model — a compromised network peer flooding the companion computer —
 //! is inherently multi-node. This crate opens that axis: N independent
 //! [`VehicleInstance`]s (each a full machine + container + controller
-//! stack) fly against **one** shared [`Network`] "airspace" with a ground
-//! control station node that polls telemetry from every vehicle over
-//! rate-limited radio uplinks. Fleet-level attack campaigns place the
-//! existing attack timelines per-victim, broadcast, or rolling-victim
-//! via [`attacks::fleet::FleetScript`].
+//! stack) fly on the common scheduler quantum against a ground control
+//! station that polls telemetry from every vehicle over rate-limited
+//! radio uplinks. Fleet-level attack campaigns place the existing attack
+//! timelines per-victim, broadcast, or rolling-victim via
+//! [`attacks::fleet::FleetScript`].
 //!
-//! Every vehicle steps on the common scheduler quantum, and the shared
-//! network advances exactly once per quantum — so an N = 1 fleet run is
-//! *byte-for-byte* identical to the classic single-vehicle
-//! [`Scenario`](containerdrone_core::runner::Scenario) run (the
-//! equivalence test pins this against the golden Figure 4 CSV).
+//! # Two networks: bridge and airspace
+//!
+//! Each vehicle owns a private **bridge** [`Network`] — its host↔container
+//! veth pair, where all of its sensor, motor and attack traffic lives
+//! (on the paper's testbed this bridge physically exists *inside* the
+//! vehicle's companion computer). The fleet shares one **airspace**
+//! [`Network`] — the radio medium — holding the GCS namespace and one
+//! radio namespace per vehicle. The split is what makes the fleet
+//! shardable: vehicles touch only their own bridge, so shards advance on
+//! worker threads without synchronisation, while all cross-vehicle
+//! traffic crosses the airspace exactly once per quantum on the
+//! coordinating thread, in stable vehicle-index order.
+//!
+//! # Sharded parallel execution
+//!
+//! [`FleetConfig::with_threads`] runs the fleet on a scoped-thread worker
+//! pool: vehicles are partitioned into contiguous shards, each shard runs
+//! its vehicles' `advance`/`post_step` phases batch-wise up to the next
+//! GCS poll boundary, and the main thread merges the per-vehicle
+//! [`VehicleSnapshot`]s into the shared airspace step. Because each
+//! vehicle's trajectory is a pure function of its own config and bridge,
+//! and the airspace merge order is pinned to vehicle indices, a parallel
+//! run at **any** thread count is byte-for-byte identical to the serial
+//! run — the determinism tests enforce it.
+//!
+//! An N = 1 fleet run remains *byte-for-byte* identical to the classic
+//! single-vehicle [`Scenario`](containerdrone_core::runner::Scenario) run
+//! (the equivalence test pins this against the golden Figure 4 CSV).
 //!
 //! # Examples
 //!
@@ -24,7 +47,7 @@
 //! use sim_core::time::SimDuration;
 //!
 //! let base = ScenarioConfig::healthy().with_duration(SimDuration::from_secs(2));
-//! let report = Fleet::new(FleetConfig::new(base, 3)).run();
+//! let report = Fleet::new(FleetConfig::new(base, 3).with_threads(2)).run();
 //! assert_eq!(report.outcomes.len(), 3);
 //! assert!(report.outcomes.iter().all(|o| !o.result.crashed()));
 //! ```
@@ -40,13 +63,13 @@ use containerdrone_core::config::SCHED_QUANTUM;
 use containerdrone_core::runner::{ScenarioResult, VehicleInstance};
 use containerdrone_core::scenario::ScenarioConfig;
 use sim_core::time::{SimDuration, SimTime};
-use virt_net::net::{Delivery, Network, SocketId};
+use virt_net::net::Network;
 
-pub use gcs::{GcsConfig, GcsView, GroundStation};
+pub use gcs::{GcsConfig, GcsView, GroundStation, VehicleSnapshot};
 
 /// A fleet scenario: one per-vehicle base configuration replicated N
-/// times into a shared airspace, plus fleet-level attack placement and a
-/// ground station.
+/// times, plus fleet-level attack placement, a ground station, and the
+/// executor's thread count.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// The per-vehicle scenario. Vehicle `i` flies this configuration
@@ -60,16 +83,21 @@ pub struct FleetConfig {
     pub script: FleetScript,
     /// Ground-station configuration.
     pub gcs: GcsConfig,
+    /// Worker threads for [`Fleet::run`] (1 = fully serial). Any value
+    /// produces byte-identical reports; more threads only buy wall-clock
+    /// time on multicore hosts.
+    pub threads: usize,
 }
 
 impl FleetConfig {
-    /// A healthy fleet of `n_vehicles` flying `base`.
+    /// A healthy fleet of `n_vehicles` flying `base`, serial executor.
     pub fn new(base: ScenarioConfig, n_vehicles: usize) -> Self {
         FleetConfig {
             base,
             n_vehicles,
             script: FleetScript::none(),
             gcs: GcsConfig::default(),
+            threads: 1,
         }
     }
 
@@ -86,29 +114,98 @@ impl FleetConfig {
         self.gcs = gcs;
         self
     }
+
+    /// Sets the executor's worker-thread count (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
 }
 
-/// A fleet mid-flight: N vehicles interleaved on one quantum clock over
-/// one shared network.
-pub struct Fleet {
+/// One vehicle plus the private bridge network it flies against. The
+/// unit of sharding: a slot never touches anything outside itself while
+/// advancing, so disjoint slots advance on different threads freely.
+struct VehicleSlot {
     net: Network,
-    vehicles: Vec<VehicleInstance>,
+    vehicle: VehicleInstance,
+}
+
+/// Advances one vehicle quantum-by-quantum until it finishes or reaches
+/// `target` (a poll boundary), leaving in `snap` the snapshot the GCS
+/// poll at `target` must see: captured after the vehicle's `advance` for
+/// that quantum, before its `post_step` — the same interleaving the
+/// quantum-stepped serial loop produces.
+fn run_slot_to(slot: &mut VehicleSlot, target: SimTime, snap: &mut VehicleSnapshot) {
+    let VehicleSlot { net, vehicle } = slot;
+    loop {
+        if !vehicle.advance(net) {
+            *snap = VehicleSnapshot::finished(vehicle);
+            return;
+        }
+        let now = vehicle.now();
+        let at_target = now >= target;
+        if at_target {
+            *snap = VehicleSnapshot::of(vehicle);
+        }
+        let deliveries = net.step(now);
+        for &d in deliveries {
+            vehicle.on_delivery(d);
+        }
+        vehicle.post_step();
+        if at_target {
+            return;
+        }
+    }
+}
+
+/// Runs every slot up to `target`, sharded over `threads` scoped worker
+/// threads (contiguous vehicle ranges). Slots are disjoint, so the only
+/// synchronisation is the scope join; snapshots land in vehicle-index
+/// order regardless of which thread wrote them.
+fn run_shards(
+    slots: &mut [VehicleSlot],
+    snapshots: &mut [VehicleSnapshot],
+    target: SimTime,
+    threads: usize,
+) {
+    if threads <= 1 || slots.len() <= 1 {
+        for (slot, snap) in slots.iter_mut().zip(snapshots.iter_mut()) {
+            run_slot_to(slot, target, snap);
+        }
+        return;
+    }
+    let shard = slots.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (slot_shard, snap_shard) in slots.chunks_mut(shard).zip(snapshots.chunks_mut(shard)) {
+            scope.spawn(move || {
+                for (slot, snap) in slot_shard.iter_mut().zip(snap_shard.iter_mut()) {
+                    run_slot_to(slot, target, snap);
+                }
+            });
+        }
+    });
+}
+
+/// A fleet mid-flight: N vehicles on one quantum clock, each over its
+/// private bridge network, sharing the airspace network with the GCS.
+pub struct Fleet {
+    slots: Vec<VehicleSlot>,
+    airspace: Network,
     gcs: GroundStation,
-    /// Sorted `(motor-rx socket, vehicle index)` for delivery routing.
-    rx_owner: Vec<(SocketId, usize)>,
+    /// Per-vehicle snapshots captured at the latest poll boundary.
+    snapshots: Vec<VehicleSnapshot>,
     now: SimTime,
     end_of_flight: SimTime,
     next_poll: SimTime,
     poll_period: SimDuration,
-    /// Scratch: which vehicles advanced this quantum.
-    advanced: Vec<bool>,
-    /// Scratch: this quantum's deliveries, copied out of the network.
-    deliveries: Vec<Delivery>,
+    threads: usize,
 }
 
 impl Fleet {
-    /// Builds the whole airspace: N vehicle instances, the compiled
-    /// per-vehicle attack timelines, the GCS node and its uplinks.
+    /// Builds the whole fleet: N vehicle instances over private bridge
+    /// networks, the compiled per-vehicle attack timelines, the airspace
+    /// with the GCS node and its radio uplinks.
     ///
     /// # Panics
     ///
@@ -118,37 +215,31 @@ impl Fleet {
         let end_of_flight = SimTime::ZERO + config.base.duration;
         let per_vehicle = config.script.compile(config.n_vehicles, end_of_flight);
 
-        let mut net = Network::new();
-        let mut vehicles = Vec::with_capacity(config.n_vehicles);
+        let mut slots = Vec::with_capacity(config.n_vehicles);
         for (i, extra) in per_vehicle.into_iter().enumerate() {
             let mut cfg = config.base.clone();
             cfg.seed = cfg.seed.wrapping_add(i as u64);
             for entry in extra.entries() {
                 cfg.attacks = cfg.attacks.at(entry.at, entry.event.clone());
             }
-            vehicles.push(VehicleInstance::build(cfg, Vec::new(), &mut net));
+            let mut net = Network::new();
+            let vehicle = VehicleInstance::build(cfg, Vec::new(), &mut net);
+            slots.push(VehicleSlot { net, vehicle });
         }
-        let gcs = GroundStation::build(&mut net, &vehicles, &config.gcs);
+        let mut airspace = Network::new();
+        let gcs = GroundStation::build(&mut airspace, config.n_vehicles, &config.gcs);
 
-        let mut rx_owner: Vec<(SocketId, usize)> = vehicles
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (v.motor_rx(), i))
-            .collect();
-        rx_owner.sort_unstable();
-
-        let n = vehicles.len();
+        let n = slots.len();
         Fleet {
-            net,
-            vehicles,
+            slots,
+            airspace,
             gcs,
-            rx_owner,
+            snapshots: vec![VehicleSnapshot::default(); n],
             now: SimTime::ZERO,
             end_of_flight,
             next_poll: SimTime::ZERO,
             poll_period: SimDuration::from_hz(config.gcs.poll_hz),
-            advanced: vec![false; n],
-            deliveries: Vec::new(),
+            threads: config.threads.max(1),
         }
     }
 
@@ -157,9 +248,14 @@ impl Fleet {
         self.now
     }
 
-    /// The vehicles, in index order.
-    pub fn vehicles(&self) -> &[VehicleInstance] {
-        &self.vehicles
+    /// Number of vehicles in the fleet.
+    pub fn n_vehicles(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// One vehicle, by index.
+    pub fn vehicle(&self, index: usize) -> &VehicleInstance {
+        &self.slots[index].vehicle
     }
 
     /// The ground station.
@@ -170,80 +266,125 @@ impl Fleet {
     /// Advances the whole airspace by one scheduler quantum:
     ///
     /// 1. every still-flying vehicle advances (machine, physics, job
-    ///    dispatch, armed attacks);
-    /// 2. the GCS downlink fires if a poll tick is due;
-    /// 3. the shared network advances once, and deliveries are routed to
-    ///    the vehicle owning the receiving socket (or drained by the
-    ///    GCS);
-    /// 4. the advanced vehicles run their telemetry/crash bookkeeping.
+    ///    dispatch, armed attacks), steps its bridge network and runs its
+    ///    telemetry/crash bookkeeping;
+    /// 2. if a poll tick is due, the GCS downlink fires from the
+    ///    per-vehicle snapshots, in vehicle-index order;
+    /// 3. the airspace advances once and the GCS drains its sockets.
     ///
     /// Returns `false` — without advancing — once every vehicle has
-    /// finished.
+    /// finished. [`Fleet::run`] batches this loop between poll
+    /// boundaries (and across worker threads) without changing a byte of
+    /// the outcome; `step` stays the incremental, debugger-friendly way
+    /// to drive a fleet.
     pub fn step(&mut self) -> bool {
+        let target = self.now + SCHED_QUANTUM;
+        let poll_due = target >= self.next_poll;
         let mut any = false;
-        for (i, vehicle) in self.vehicles.iter_mut().enumerate() {
-            let stepped = vehicle.advance(&mut self.net);
-            self.advanced[i] = stepped;
-            any |= stepped;
+        for (slot, snap) in self.slots.iter_mut().zip(self.snapshots.iter_mut()) {
+            let VehicleSlot { net, vehicle } = slot;
+            if vehicle.advance(net) {
+                any = true;
+                if poll_due {
+                    *snap = VehicleSnapshot::of(vehicle);
+                }
+                let deliveries = net.step(vehicle.now());
+                for &d in deliveries {
+                    vehicle.on_delivery(d);
+                }
+                vehicle.post_step();
+            } else if poll_due {
+                *snap = VehicleSnapshot::finished(vehicle);
+            }
         }
         if !any {
             return false;
         }
-        self.now += SCHED_QUANTUM;
-
-        if self.now >= self.next_poll {
-            self.gcs.poll(&mut self.net, &self.vehicles, self.now);
+        self.now = target;
+        if poll_due {
+            self.gcs.poll(&mut self.airspace, &self.snapshots, self.now);
             self.next_poll += self.poll_period;
         }
-
-        self.deliveries.clear();
-        self.deliveries.extend_from_slice(self.net.step(self.now));
-        for i in 0..self.deliveries.len() {
-            let d = self.deliveries[i];
-            if let Ok(at) = self.rx_owner.binary_search_by_key(&d.socket, |&(s, _)| s) {
-                let owner = self.rx_owner[at].1;
-                if self.advanced[owner] {
-                    self.vehicles[owner].on_delivery(d);
-                }
-            }
-        }
-        self.gcs.drain(&mut self.net);
-
-        for (i, vehicle) in self.vehicles.iter_mut().enumerate() {
-            if self.advanced[i] {
-                vehicle.post_step();
-            }
-        }
+        self.airspace.step(self.now);
+        self.gcs.drain(&mut self.airspace);
         true
     }
 
-    /// Runs the fleet to completion and tears it down into the report.
+    /// Runs the fleet to completion on the configured executor and tears
+    /// it down into the report.
     pub fn run(mut self) -> FleetReport {
         let started = Instant::now();
-        while self.step() {}
+        self.run_to_end();
         let mut report = self.finish();
         report.wall_clock = started.elapsed();
         report
+    }
+
+    /// The batch executor behind [`Fleet::run`]: between GCS poll
+    /// boundaries the vehicles are entirely independent, so each shard
+    /// runs vehicle-at-a-time batches (cache-friendly: one vehicle's
+    /// whole working set stays hot for thousands of quanta) and the
+    /// threads only meet at poll boundaries. Byte-identical to looping
+    /// [`Fleet::step`]: the per-vehicle work is the same pure function,
+    /// snapshots are captured at the same interleaving point, and the
+    /// airspace admits every packet at its own arrival time, so stepping
+    /// it once per batch delivers exactly what per-quantum stepping
+    /// would.
+    fn run_to_end(&mut self) {
+        let threads = self.threads.clamp(1, self.slots.len());
+        loop {
+            // The next poll boundary: the first quantum boundary past
+            // `now` at which the poll is due.
+            let mut target = self.now + SCHED_QUANTUM;
+            while target < self.next_poll {
+                target += SCHED_QUANTUM;
+            }
+            run_shards(&mut self.slots, &mut self.snapshots, target, threads);
+            let furthest = self
+                .slots
+                .iter()
+                .map(|s| s.vehicle.now())
+                .max()
+                .unwrap_or(self.now);
+            if furthest <= self.now {
+                break; // every vehicle had already finished
+            }
+            self.now = furthest;
+            if furthest == target {
+                // At least one vehicle was still flying at the poll
+                // quantum, so the quantum-stepped loop would have fired
+                // the poll there too.
+                self.gcs.poll(&mut self.airspace, &self.snapshots, target);
+                self.next_poll += self.poll_period;
+            }
+            self.airspace.step(self.now);
+            self.gcs.drain(&mut self.airspace);
+            if furthest < target {
+                break; // the whole fleet finished before the boundary
+            }
+        }
     }
 
     /// Tears the fleet down into a [`FleetReport`] at the current time
     /// (`wall_clock` is left zero; [`Fleet::run`] fills it).
     pub fn finish(self) -> FleetReport {
         let Fleet {
-            net,
-            vehicles,
+            slots,
+            airspace,
             gcs,
             now,
             end_of_flight,
             ..
         } = self;
-        let views = gcs.finish(&net);
-        let outcomes: Vec<VehicleOutcome> = vehicles
+        let views = gcs.finish(&airspace);
+        let mut net_packets = airspace.packets_sent();
+        let outcomes: Vec<VehicleOutcome> = slots
             .into_iter()
             .zip(views)
             .enumerate()
-            .map(|(index, (vehicle, gcs_view))| {
-                let result = vehicle.finish(&net);
+            .map(|(index, (slot, gcs_view))| {
+                net_packets += slot.net.packets_sent();
+                let result = slot.vehicle.finish(&slot.net);
                 let from = result.attack_onset.unwrap_or(SimTime::from_secs(2));
                 let max_deviation = result.max_deviation(from, end_of_flight);
                 let deadline_skips = result
@@ -263,7 +404,7 @@ impl Fleet {
             .collect();
         FleetReport {
             sim_steps: outcomes.iter().map(|o| o.result.sim_steps).sum(),
-            net_packets: net.packets_sent(),
+            net_packets,
             duration: now,
             wall_clock: Duration::ZERO,
             outcomes,
@@ -311,8 +452,8 @@ pub struct FleetReport {
     /// Scheduler quanta executed, summed over all vehicle machines (the
     /// fleet steps/sec numerator).
     pub sim_steps: u64,
-    /// Datagrams offered to the shared airspace (streams, attacks and
-    /// telemetry combined).
+    /// Datagrams offered to the bridge and airspace networks combined
+    /// (streams, attacks and telemetry).
     pub net_packets: u64,
     /// Fleet clock at teardown.
     pub duration: SimTime,
@@ -346,8 +487,8 @@ impl FleetReport {
     }
 
     /// One CSV row per vehicle — the fleet-campaign artifact shape, and
-    /// the determinism witness (two same-seed runs must render
-    /// identically).
+    /// the determinism witness (two same-seed runs, at any thread counts,
+    /// must render identically).
     pub fn to_csv(&self) -> String {
         let mut csv = format!("{}\n", Self::CSV_HEADER);
         for o in &self.outcomes {
@@ -372,5 +513,19 @@ impl FleetReport {
             ));
         }
         csv
+    }
+}
+
+#[cfg(test)]
+mod send_bounds {
+    use super::*;
+
+    /// The sharded executor moves whole vehicle slots (instance + bridge
+    /// network, armed attacks included) onto scoped worker threads.
+    #[test]
+    fn vehicle_slot_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<VehicleSlot>();
+        assert_send::<VehicleSnapshot>();
     }
 }

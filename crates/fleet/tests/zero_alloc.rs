@@ -1,0 +1,94 @@
+//! Fleet-level allocation regression gate — the multi-vehicle
+//! counterpart of `crates/core/tests/zero_alloc.rs`.
+//!
+//! A counting global allocator measures one simulated second of fleet
+//! steady state *under flood* and demands **zero** heap allocations per
+//! quantum once the pools are warm: pooled packet buffers and the shared
+//! flood payload on every bridge network, run-length-encoded flood
+//! bursts in the link queues, the airspace buffer pool feeding the GCS
+//! downlink, pre-sized recorders, and the reused core assignment in
+//! every vehicle's scheduler. N = 1000 fleet sweeps are only affordable
+//! because this property holds.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cd_fleet::{Fleet, FleetConfig};
+use containerdrone_core::scenario::ScenarioConfig;
+use sim_core::time::SimTime;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+fn advance_to(fleet: &mut Fleet, target: SimTime) {
+    while fleet.now() < target && fleet.step() {}
+}
+
+/// One simulated second of a 3-vehicle fleet in Figure-7 flood steady
+/// state must not allocate at all. The warmup is pool-aware: it runs
+/// well past the 8 s flood onset and the Simplex switches, so the link
+/// queues carry their steady burst load, the GCS pools are primed by
+/// dozens of poll/drain cycles, and the one-off switch/violation records
+/// have been written.
+#[test]
+fn fleet_flood_steady_state_allocates_nothing() {
+    // fig7 for every vehicle: a static timeline, so no fleet-script
+    // rotation re-arms attacks (and allocates) inside the window.
+    let mut fleet = Fleet::new(FleetConfig::new(ScenarioConfig::fig7(), 3));
+    advance_to(&mut fleet, SimTime::from_secs(12));
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(before > 0, "counter must have registered setup allocations");
+    advance_to(&mut fleet, SimTime::from_secs(13)); // one simulated second
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "fleet steady-state step allocated {} times in one simulated second",
+        after - before
+    );
+
+    // The window really was a flooded, GCS-polled fleet — not a silently
+    // degenerate run.
+    let report = fleet.finish();
+    assert_eq!(report.crashes(), 0);
+    assert_eq!(report.switches(), 3, "every monitor must have switched");
+    for o in &report.outcomes {
+        assert!(
+            o.result.flood_sent > 4 * 20_000,
+            "vehicle {} unflooded",
+            o.index
+        );
+        assert!(
+            o.gcs.packets > 0,
+            "vehicle {} never reached the GCS",
+            o.index
+        );
+    }
+}

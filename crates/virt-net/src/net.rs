@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use sim_core::time::{SimDuration, SimTime};
 
@@ -75,13 +75,16 @@ pub struct Addr {
 /// buffers cycle through the [`Network`]'s free-list pool (reclaim them
 /// with [`Network::recycle`] after receiving), and flood traffic fans a
 /// single shared buffer out across thousands of packets at the cost of a
-/// reference-count bump each.
+/// reference-count bump each. Shared payloads are `Arc`s (not `Rc`s) so a
+/// `Network` — and everything holding packets — can move across threads;
+/// a fleet executor shards vehicles over a worker pool and one flood
+/// buffer may then be referenced from many shard networks at once.
 #[derive(Debug, Clone)]
 pub enum PacketBuf {
     /// An exclusively owned buffer, returned to the pool on recycle.
     Owned(Vec<u8>),
     /// An immutable buffer shared between many packets (flood fan-out).
-    Shared(Rc<[u8]>),
+    Shared(Arc<[u8]>),
 }
 
 impl PacketBuf {
@@ -184,27 +187,71 @@ struct Socket {
     stats: SocketStats,
 }
 
+/// One transmit-queue entry. A flood quantum's worth of identical packets
+/// is stored run-length-encoded as a single [`Queued::Burst`]: the
+/// arrivals form an arithmetic progression (one serialisation time apart),
+/// so enqueueing is O(1) per quantum instead of O(1) per packet, and the
+/// queue holds one entry where it used to hold hundreds.
+#[derive(Debug)]
+enum Queued {
+    /// An individually sent packet, delivered at `arrival`.
+    One { arrival: SimTime, pkt: Packet },
+    /// `remaining` identical packets arriving `stride` apart from
+    /// `next_arrival` on (the run-length-encoded flood fast-path).
+    Burst {
+        next_arrival: SimTime,
+        stride: SimDuration,
+        remaining: u64,
+        src: Addr,
+        dst: Addr,
+        payload: Arc<[u8]>,
+        sent: SimTime,
+    },
+}
+
+impl Queued {
+    /// Arrival time of the entry's earliest undelivered packet.
+    fn next_arrival(&self) -> SimTime {
+        match self {
+            Queued::One { arrival, .. } => *arrival,
+            Queued::Burst { next_arrival, .. } => *next_arrival,
+        }
+    }
+}
+
+/// One direction of a link: the transmit queue plus its serialiser state.
+/// `queued_packets` counts *packets* (a burst entry counts as its
+/// `remaining`), which is what the queue capacity limits.
+#[derive(Debug, Default)]
+struct LinkDir {
+    queue: VecDeque<Queued>,
+    tx_free: SimTime,
+    queued_packets: usize,
+}
+
 #[derive(Debug)]
 struct Link {
     a: NsId,
     b: NsId,
     config: LinkConfig,
-    /// Packets queued for transmission, with the earliest time each may be
-    /// delivered (serialisation + latency), per direction.
-    queue_ab: VecDeque<(SimTime, Packet)>,
-    queue_ba: VecDeque<(SimTime, Packet)>,
-    /// Next instant the serialiser is free, per direction.
-    tx_free_ab: SimTime,
-    tx_free_ba: SimTime,
+    ab: LinkDir,
+    ba: LinkDir,
     dropped_queue: u64,
 }
 
 impl Link {
+    fn dir_mut(&mut self, forward: bool) -> &mut LinkDir {
+        if forward {
+            &mut self.ab
+        } else {
+            &mut self.ba
+        }
+    }
+
     /// Transmit-side admission for one packet: capacity check, serialiser
-    /// advance, enqueue with the computed arrival time. The single
-    /// per-packet path shared by [`Network::send`] and
-    /// [`Network::send_shared`], so the two can never drift apart.
-    /// Returns the payload on a queue-full drop (for recycling).
+    /// advance, enqueue with the computed arrival time. The per-packet
+    /// path used by [`Network::send`]. Returns the payload on a
+    /// queue-full drop (for recycling).
     fn enqueue(
         &mut self,
         forward: bool,
@@ -214,28 +261,127 @@ impl Link {
         ser: SimDuration,
         now: SimTime,
     ) -> Option<PacketBuf> {
-        let (queue, tx_free) = if forward {
-            (&mut self.queue_ab, &mut self.tx_free_ab)
-        } else {
-            (&mut self.queue_ba, &mut self.tx_free_ba)
-        };
-        if queue.len() >= self.config.queue_capacity {
+        let capacity = self.config.queue_capacity;
+        let latency = self.config.latency;
+        let dir = self.dir_mut(forward);
+        if dir.queued_packets >= capacity {
             self.dropped_queue += 1;
             return Some(payload); // UDP: silently dropped
         }
-        let start = (*tx_free).max(now);
-        *tx_free = start + ser;
-        let arrival = *tx_free + self.config.latency;
-        queue.push_back((
+        let start = dir.tx_free.max(now);
+        dir.tx_free = start + ser;
+        let arrival = dir.tx_free + latency;
+        dir.queued_packets += 1;
+        dir.queue.push_back(Queued::One {
             arrival,
-            Packet {
+            pkt: Packet {
                 src,
                 dst,
                 payload,
                 sent: now,
             },
-        ));
+        });
         None
+    }
+
+    /// Batch admission for `count` identical shared-payload packets — the
+    /// run-length-encoded counterpart of calling [`Link::enqueue`] `count`
+    /// times. Packet-for-packet identical semantics: admission is capped
+    /// by the remaining queue capacity, only admitted packets advance the
+    /// serialiser, and the arrivals are the same arithmetic progression
+    /// the per-packet loop would have produced.
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_burst(
+        &mut self,
+        forward: bool,
+        src: Addr,
+        dst: Addr,
+        payload: &Arc<[u8]>,
+        count: u64,
+        ser: SimDuration,
+        now: SimTime,
+    ) {
+        if count == 1 {
+            // A single-packet "burst" (a 20 kpps flood at 50 µs quanta
+            // emits exactly one per quantum) gains nothing from the RLE
+            // entry; take the plain path — same wire semantics, cheaper
+            // dequeue. A dropped shared payload is just a refcount drop.
+            let _ = self.enqueue(
+                forward,
+                src,
+                dst,
+                PacketBuf::Shared(Arc::clone(payload)),
+                ser,
+                now,
+            );
+            return;
+        }
+        let capacity = self.config.queue_capacity;
+        let latency = self.config.latency;
+        let queued = if forward { &self.ab } else { &self.ba }.queued_packets;
+        let space = capacity.saturating_sub(queued) as u64;
+        let admitted = count.min(space);
+        self.dropped_queue += count - admitted;
+        if admitted == 0 {
+            return;
+        }
+        let dir = self.dir_mut(forward);
+        let start = dir.tx_free.max(now);
+        dir.tx_free = start + ser * admitted;
+        dir.queued_packets += admitted as usize;
+        dir.queue.push_back(Queued::Burst {
+            next_arrival: start + ser + latency,
+            stride: ser,
+            remaining: admitted,
+            src,
+            dst,
+            payload: Arc::clone(payload),
+            sent: now,
+        });
+    }
+
+    /// Pops the next due packet (arrival ≤ `target`) from one direction,
+    /// if any. Bursts shed one packet at a time, so delivery order and
+    /// per-packet admission (rate limits, receive-queue overflow) are
+    /// exactly what the expanded queue would have seen.
+    fn pop_due(&mut self, forward: bool, target: SimTime) -> Option<(SimTime, Packet)> {
+        let dir = self.dir_mut(forward);
+        let front = dir.queue.front_mut()?;
+        if front.next_arrival() > target {
+            return None;
+        }
+        dir.queued_packets -= 1;
+        match front {
+            Queued::One { .. } => {
+                let Some(Queued::One { arrival, pkt }) = dir.queue.pop_front() else {
+                    unreachable!("front entry just matched One");
+                };
+                Some((arrival, pkt))
+            }
+            Queued::Burst {
+                next_arrival,
+                stride,
+                remaining,
+                src,
+                dst,
+                payload,
+                sent,
+            } => {
+                let arrival = *next_arrival;
+                let pkt = Packet {
+                    src: *src,
+                    dst: *dst,
+                    payload: PacketBuf::Shared(Arc::clone(payload)),
+                    sent: *sent,
+                };
+                *next_arrival = arrival + *stride;
+                *remaining -= 1;
+                if *remaining == 0 {
+                    dir.queue.pop_front();
+                }
+                Some((arrival, pkt))
+            }
+        }
     }
 }
 
@@ -353,10 +499,8 @@ impl Network {
             a,
             b,
             config,
-            queue_ab: VecDeque::new(),
-            queue_ba: VecDeque::new(),
-            tx_free_ab: SimTime::ZERO,
-            tx_free_ba: SimTime::ZERO,
+            ab: LinkDir::default(),
+            ba: LinkDir::default(),
             dropped_queue: 0,
         });
     }
@@ -557,7 +701,7 @@ impl Network {
         &mut self,
         socket: SocketId,
         dst: Addr,
-        payload: &Rc<[u8]>,
+        payload: &Arc<[u8]>,
         count: u64,
         now: SimTime,
     ) -> Result<(), NetError> {
@@ -576,7 +720,7 @@ impl Network {
                 let pkt = Packet {
                     src,
                     dst,
-                    payload: PacketBuf::Shared(Rc::clone(payload)),
+                    payload: PacketBuf::Shared(Arc::clone(payload)),
                     sent: now,
                 };
                 self.deliver_local(pkt, now, false);
@@ -585,8 +729,8 @@ impl Network {
         }
 
         // Route, direction and serialisation time are invariant across the
-        // batch: resolve them once, then the per-packet work is a capacity
-        // check, two time additions and a refcount bump.
+        // batch: resolve them once, then the whole quantum's flood is one
+        // run-length-encoded queue entry — O(1) regardless of `count`.
         let link_idx = self.route(src.ns, dst.ns).ok_or(NetError::NoRoute {
             from: src.ns,
             to: dst.ns,
@@ -595,18 +739,7 @@ impl Network {
         let link = &mut self.links[link_idx];
         let forward = link.a == src.ns;
         let ser = SimDuration::from_secs_f64(payload.len() as f64 / link.config.bandwidth);
-
-        for _ in 0..count {
-            // A dropped shared payload is just a refcount decrement.
-            let _ = link.enqueue(
-                forward,
-                src,
-                dst,
-                PacketBuf::Shared(Rc::clone(payload)),
-                ser,
-                now,
-            );
-        }
+        link.enqueue_burst(forward, src, dst, payload, count, ser, now);
         Ok(())
     }
 
@@ -662,20 +795,8 @@ impl Network {
     pub fn step(&mut self, target: SimTime) -> &[Delivery] {
         for li in 0..self.links.len() {
             for dir in 0..2 {
-                loop {
-                    let link = &mut self.links[li];
-                    let queue = if dir == 0 {
-                        &mut link.queue_ab
-                    } else {
-                        &mut link.queue_ba
-                    };
-                    match queue.front() {
-                        Some(&(arrival, _)) if arrival <= target => {
-                            let (arrival, pkt) = queue.pop_front().expect("peeked entry");
-                            self.deliver_local(pkt, arrival, true);
-                        }
-                        _ => break,
-                    }
+                while let Some((arrival, pkt)) = self.links[li].pop_due(dir == 0, target) {
+                    self.deliver_local(pkt, arrival, true);
                 }
             }
         }
@@ -992,6 +1113,104 @@ mod tests {
             .unwrap();
         net.step(SimTime::from_millis(1));
         assert_eq!(net.socket_stats(rx).delivered, 1);
+    }
+
+    /// The RLE burst fast-path must be packet-for-packet identical to the
+    /// per-packet loop it replaced: same arrivals, same capacity drops,
+    /// same serialiser state afterwards.
+    #[test]
+    fn shared_burst_matches_per_packet_sends() {
+        let build = || {
+            let mut net = Network::new();
+            let a = net.add_namespace("a");
+            let b = net.add_namespace("b");
+            net.connect(
+                a,
+                b,
+                LinkConfig {
+                    latency: SimDuration::from_micros(10),
+                    bandwidth: 1.0e6,
+                    queue_capacity: 300,
+                },
+            );
+            let rx = net.bind_with_capacity(b, 1, 10_000).unwrap();
+            let tx = net.bind(a, 2).unwrap();
+            (net, a, b, rx, tx)
+        };
+        let payload: Arc<[u8]> = vec![7u8; 100].into();
+        let dst = |b| Addr { ns: b, port: 1 };
+
+        // Reference: 500 individual sends of equal bytes (200 dropped at
+        // the 300-packet queue).
+        let (mut reference, _, b1, rx1, tx1) = build();
+        for _ in 0..500 {
+            reference
+                .send(tx1, dst(b1), payload.to_vec(), SimTime::ZERO)
+                .unwrap();
+        }
+        // Burst: the same 500 packets as one RLE entry.
+        let (mut burst, _, b2, rx2, tx2) = build();
+        burst
+            .send_shared(tx2, dst(b2), &payload, 500, SimTime::ZERO)
+            .unwrap();
+
+        assert_eq!(reference.link_drops(), 200);
+        assert_eq!(burst.link_drops(), 200);
+        // Halfway through the serialisation window both must have
+        // delivered the same prefix...
+        let t_half = SimTime::from_millis(15);
+        reference.step(t_half);
+        burst.step(t_half);
+        assert_eq!(
+            reference.socket_stats(rx1).delivered,
+            burst.socket_stats(rx2).delivered,
+        );
+        assert!(burst.socket_stats(rx2).delivered > 0);
+        // ...and at the end, all 300 admitted packets with equal bytes.
+        let t_end = SimTime::from_secs(1);
+        reference.step(t_end);
+        burst.step(t_end);
+        assert_eq!(reference.socket_stats(rx1), burst.socket_stats(rx2));
+        assert_eq!(burst.socket_stats(rx2).delivered, 300);
+        while let Some(p) = reference.recv(rx1) {
+            let q = burst.recv(rx2).expect("burst delivered fewer packets");
+            assert_eq!(p.payload, q.payload);
+            assert_eq!(p.sent, q.sent);
+        }
+        assert!(burst.recv(rx2).is_none());
+    }
+
+    /// Individually sent packets behind a burst keep FIFO arrival order —
+    /// the flood and the genuine motor stream share one link direction.
+    #[test]
+    fn burst_interleaves_with_single_sends_in_fifo_order() {
+        let (mut net, host, cce) = pair();
+        let rx = net.bind_with_capacity(host, 14600, 1024).unwrap();
+        let tx = net.bind(cce, 9000).unwrap();
+        let flood: Arc<[u8]> = vec![0u8; 64].into();
+        let dst = Addr {
+            ns: host,
+            port: 14600,
+        };
+        net.send_shared(tx, dst, &flood, 5, SimTime::ZERO).unwrap();
+        net.send(tx, dst, vec![1u8; 64], SimTime::ZERO).unwrap();
+        net.send_shared(tx, dst, &flood, 3, SimTime::ZERO).unwrap();
+        net.step(SimTime::from_millis(1));
+        let mut seen = Vec::new();
+        while let Some(pkt) = net.recv(rx) {
+            seen.push(pkt.payload.as_slice()[0]);
+        }
+        assert_eq!(seen, [0, 0, 0, 0, 0, 1, 0, 0, 0]);
+    }
+
+    /// A fleet executor moves shard networks onto worker threads, so the
+    /// whole `Network` (packets, pools, bursts included) must be `Send`.
+    #[test]
+    fn network_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Network>();
+        assert_send::<Packet>();
+        assert_send::<PacketBuf>();
     }
 
     #[test]

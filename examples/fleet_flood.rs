@@ -24,7 +24,14 @@ fn main() {
         AttackEvent::UdpFlood(UdpFlood::against_motor_port()),
     );
     let base = ScenarioConfig::healthy().with_duration(SimDuration::from_secs(12));
-    let report = Fleet::new(FleetConfig::new(base, 5).with_script(script)).run();
+    // Two worker threads shard the fleet; the report is byte-identical
+    // to a serial run (drop `.with_threads` and compare, if you like).
+    let report = Fleet::new(
+        FleetConfig::new(base, 5)
+            .with_script(script)
+            .with_threads(2),
+    )
+    .run();
 
     println!(
         "5-UAV fleet, rolling flood — {} sim-steps across the fleet in {:.2}s wall\n",

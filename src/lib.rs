@@ -16,7 +16,7 @@
 //! | [`network`] (`virt-net`) | Namespaced UDP stack with iptables-style rate limiting |
 //! | [`containers`] (`container-rt`) | Docker-like container runtime + QEMU-like VM model |
 //! | [`attacks`] | Memory hog, UDP flood, CPU hog, controller-kill attacks + fleet placement |
-//! | [`fleet`] (`cd-fleet`) | Shared-airspace multi-UAV co-simulation with a GCS node |
+//! | [`fleet`] (`cd-fleet`) | Multi-UAV co-simulation: sharded parallel executor, GCS airspace |
 //! | [`sim`] (`sim-core`) | Deterministic time, RNG, events, recording |
 //!
 //! # Quickstart
