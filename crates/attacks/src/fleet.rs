@@ -18,6 +18,19 @@
 //!   per-victim detection and the moving-target shape studied for UAV
 //!   swarm networks.
 //!
+//! Two further targets place attacks on an attacker that is **not onboard
+//! any vehicle** — a hostile peer namespace that joined the airspace:
+//!
+//! * [`FleetTarget::GcsUplink`] — flood a vehicle's telemetry port on the
+//!   ground station, crowding its genuine downlink out of the per-client
+//!   ingress budget;
+//! * [`FleetTarget::SwarmJam`] — jam a vehicle's V2V coordination port,
+//!   starving it of neighbor broadcasts.
+//!
+//! These compile into [`AttackerEntry`]s via
+//! [`FleetScript::compile_attackers`]; the fleet runner lowers them onto
+//! external attacker nodes instead of per-vehicle timelines.
+//!
 //! # Examples
 //!
 //! ```
@@ -60,6 +73,49 @@ pub enum FleetTarget {
         /// How long each victim stays under attack.
         period: SimDuration,
     },
+    /// An *external* attacker floods vehicle `i`'s telemetry uplink port
+    /// on the ground station (index wraps modulo the fleet size). Only
+    /// network-emitting events ([`AttackEvent::UdpFlood`]) and
+    /// [`AttackEvent::CeaseFire`] are valid here — an off-board node has
+    /// no victim CPU or memory to exhaust.
+    GcsUplink(usize),
+    /// An *external* attacker jams vehicle `i`'s V2V swarm port (index
+    /// wraps modulo the fleet size). Same event restrictions as
+    /// [`FleetTarget::GcsUplink`].
+    SwarmJam(usize),
+}
+
+/// Where an *external* attacker's traffic lands — the resolved (wrapped)
+/// form of [`FleetTarget::GcsUplink`] / [`FleetTarget::SwarmJam`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackerTarget {
+    /// Vehicle `i`'s telemetry port on the ground station.
+    GcsUplink(usize),
+    /// Vehicle `i`'s V2V swarm port on its radio namespace.
+    SwarmJam(usize),
+}
+
+impl AttackerTarget {
+    /// The victim vehicle's index.
+    pub fn vehicle(self) -> usize {
+        match self {
+            AttackerTarget::GcsUplink(v) | AttackerTarget::SwarmJam(v) => v,
+        }
+    }
+}
+
+/// One compiled attacker-node timeline entry: fire `event` against
+/// `target` at `at`, from an off-board hostile namespace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackerEntry {
+    /// When the event fires (the runner quantises arming to its merge
+    /// boundaries, so this is a not-before time).
+    pub at: SimTime,
+    /// Which endpoint the traffic lands on.
+    pub target: AttackerTarget,
+    /// What fires: a flood, or a cease-fire ending the armed attacks
+    /// aimed at `target`.
+    pub event: AttackEvent,
 }
 
 /// One fleet-timeline entry: fire `event` against `target` at `at`.
@@ -117,8 +173,61 @@ impl FleetScript {
         self.entries.is_empty()
     }
 
+    /// `true` when the script schedules at least one event on an
+    /// *external* attacker node ([`FleetTarget::GcsUplink`] /
+    /// [`FleetTarget::SwarmJam`]).
+    pub fn has_attacker_entries(&self) -> bool {
+        self.entries.iter().any(|e| {
+            matches!(
+                e.target,
+                FleetTarget::GcsUplink(_) | FleetTarget::SwarmJam(_)
+            )
+        })
+    }
+
+    /// Lowers the *external-attacker* side of the schedule into a flat,
+    /// onset-sorted list of [`AttackerEntry`]s for a fleet of
+    /// `n_vehicles`. Vehicle indices wrap modulo the fleet size, exactly
+    /// as [`FleetTarget::Vehicle`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an attacker-targeted entry carries an event an off-board
+    /// node cannot perform (anything other than a flood or a cease-fire):
+    /// external attackers only touch the wire.
+    pub fn compile_attackers(&self, n_vehicles: usize) -> Vec<AttackerEntry> {
+        if n_vehicles == 0 {
+            return Vec::new();
+        }
+        self.entries
+            .iter()
+            .filter_map(|entry| {
+                let target = match entry.target {
+                    FleetTarget::GcsUplink(v) => AttackerTarget::GcsUplink(v % n_vehicles),
+                    FleetTarget::SwarmJam(v) => AttackerTarget::SwarmJam(v % n_vehicles),
+                    _ => return None,
+                };
+                assert!(
+                    matches!(
+                        entry.event,
+                        AttackEvent::UdpFlood(_) | AttackEvent::CeaseFire
+                    ),
+                    "external attacker nodes can only emit network traffic, not {}",
+                    entry.event.name()
+                );
+                Some(AttackerEntry {
+                    at: entry.at,
+                    target,
+                    event: entry.event.clone(),
+                })
+            })
+            .collect()
+    }
+
     /// Lowers the fleet schedule into one per-vehicle [`AttackScript`]
-    /// for a fleet of `n_vehicles` flying until `end`.
+    /// for a fleet of `n_vehicles` flying until `end`. Attacker-node
+    /// entries are not per-vehicle and are skipped here — they lower via
+    /// [`FleetScript::compile_attackers`] instead.
     ///
     /// Rolling targets expand into their full window sequence here, so
     /// the result is pure data: deterministic, comparable, and directly
@@ -133,6 +242,7 @@ impl FleetScript {
         };
         for entry in &self.entries {
             match entry.target {
+                FleetTarget::GcsUplink(_) | FleetTarget::SwarmJam(_) => {}
                 FleetTarget::Vehicle(i) => {
                     add(&mut scripts, i % n_vehicles, entry.at, entry.event.clone());
                 }
@@ -256,6 +366,47 @@ mod tests {
             script.compile(25, SimTime::from_secs(30)),
             script.compile(25, SimTime::from_secs(30))
         );
+    }
+
+    #[test]
+    fn attacker_targets_compile_off_the_vehicle_timelines() {
+        let script = FleetScript::new()
+            .at(SimTime::from_secs(2), FleetTarget::GcsUplink(7), flood())
+            .at(SimTime::from_secs(3), FleetTarget::SwarmJam(1), flood())
+            .at(
+                SimTime::from_secs(4),
+                FleetTarget::GcsUplink(7),
+                AttackEvent::CeaseFire,
+            )
+            .at(SimTime::from_secs(5), FleetTarget::Vehicle(0), flood());
+        assert!(script.has_attacker_entries());
+
+        // Vehicle timelines see only the per-victim strike...
+        let per = script.compile(5, SimTime::from_secs(10));
+        assert_eq!(per[0].len(), 1);
+        assert!(per.iter().skip(1).all(AttackScript::is_empty));
+
+        // ...and the attacker schedule gets the rest, wrapped mod N.
+        let attacker = script.compile_attackers(5);
+        assert_eq!(attacker.len(), 3);
+        assert_eq!(attacker[0].target, AttackerTarget::GcsUplink(2));
+        assert_eq!(attacker[0].target.vehicle(), 2);
+        assert_eq!(attacker[1].target, AttackerTarget::SwarmJam(1));
+        assert_eq!(attacker[2].event, AttackEvent::CeaseFire);
+        assert!(FleetScript::none().compile_attackers(5).is_empty());
+        assert!(script.compile_attackers(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "only emit network traffic")]
+    fn non_network_events_cannot_target_the_attacker_node() {
+        FleetScript::new()
+            .at(
+                SimTime::from_secs(1),
+                FleetTarget::GcsUplink(0),
+                AttackEvent::KillComplex,
+            )
+            .compile_attackers(3);
     }
 
     #[test]

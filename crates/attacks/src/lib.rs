@@ -53,21 +53,21 @@ pub mod udp_flood;
 
 pub use cpu_hog::CpuHog;
 pub use driver::{AttackCtx, AttackDriver, TaskSetDriver};
-pub use fleet::{FleetEntry, FleetScript, FleetTarget};
+pub use fleet::{AttackerEntry, AttackerTarget, FleetEntry, FleetScript, FleetTarget};
 pub use kill::KillController;
 pub use membw_hog::BandwidthHog;
 pub use script::{AttackEvent, AttackScript, ScriptEntry};
 pub use spoof::{MotorSpoof, SpoofDriver};
-pub use udp_flood::{FloodDriver, UdpFlood};
+pub use udp_flood::{FloodDriver, FloodEmitter, UdpFlood};
 
 /// Convenient glob import of the attack types.
 pub mod prelude {
     pub use crate::cpu_hog::CpuHog;
     pub use crate::driver::{AttackCtx, AttackDriver, TaskSetDriver};
-    pub use crate::fleet::{FleetEntry, FleetScript, FleetTarget};
+    pub use crate::fleet::{AttackerEntry, AttackerTarget, FleetEntry, FleetScript, FleetTarget};
     pub use crate::kill::KillController;
     pub use crate::membw_hog::BandwidthHog;
     pub use crate::script::{AttackEvent, AttackScript, ScriptEntry};
     pub use crate::spoof::{MotorSpoof, SpoofDriver};
-    pub use crate::udp_flood::{FloodDriver, UdpFlood};
+    pub use crate::udp_flood::{FloodDriver, FloodEmitter, UdpFlood};
 }

@@ -78,30 +78,32 @@ impl UdpFlood {
             ),
         );
         Ok(FloodDriver {
-            socket,
+            emitter: FloodEmitter::new(
+                socket,
+                Addr {
+                    ns: host_ns,
+                    port: self.target_port,
+                },
+                self.pps,
+                // Garbage payload: zeros never parse as a MAVLink frame.
+                // One shared buffer serves every flood packet (fan-out
+                // fast-path) and every flooder instance (fleet-wide
+                // cache).
+                shared_flood_payload(self.payload),
+            ),
             task,
-            target: Addr {
-                ns: host_ns,
-                port: self.target_port,
-            },
-            pps: self.pps,
-            // Garbage payload: zeros never parse as a MAVLink frame. One
-            // shared buffer serves every flood packet (fan-out fast-path)
-            // and every flooder instance (fleet-wide cache).
-            payload: shared_flood_payload(self.payload),
-            carry: 0.0,
-            sent: 0,
-            active: true,
         })
     }
 }
 
-/// Drives an active flood: call [`FloodDriver::step`] every quantum.
+/// The emission kernel shared by every flooder — onboard
+/// ([`FloodDriver`]) or off-board (a fleet attacker node): paces `pps`
+/// against a fractional carry accumulator and fans one shared payload
+/// out per step through the [`Network::send_shared`] fast-path.
 #[derive(Debug)]
-pub struct FloodDriver {
+pub struct FloodEmitter {
     socket: SocketId,
-    task: TaskId,
-    target: Addr,
+    dst: Addr,
     pps: f64,
     payload: Arc<[u8]>,
     carry: f64,
@@ -109,12 +111,22 @@ pub struct FloodDriver {
     active: bool,
 }
 
-impl FloodDriver {
-    /// Stable identifier shared by [`AttackDriver::name`], the timeline
-    /// event name and result aggregation.
-    pub const NAME: &'static str = "udp-flood";
+impl FloodEmitter {
+    /// A live emitter offering `pps` copies of `payload` per second from
+    /// `socket` to `dst`.
+    pub fn new(socket: SocketId, dst: Addr, pps: f64, payload: Arc<[u8]>) -> Self {
+        FloodEmitter {
+            socket,
+            dst,
+            pps,
+            payload,
+            carry: 0.0,
+            sent: 0,
+            active: true,
+        }
+    }
 
-    /// Emits this quantum's worth of flood packets as one counted batch.
+    /// Emits `dt`'s worth of flood packets as one counted batch.
     pub fn step(&mut self, net: &mut Network, now: SimTime, dt: SimDuration) {
         if !self.active {
             return;
@@ -126,7 +138,7 @@ impl FloodDriver {
             count += 1;
         }
         if count > 0 {
-            let _ = net.send_shared(self.socket, self.target, &self.payload, count, now);
+            let _ = net.send_shared(self.socket, self.dst, &self.payload, count, now);
             self.sent += count;
         }
     }
@@ -136,14 +148,43 @@ impl FloodDriver {
         self.sent
     }
 
+    /// Stops emitting (idempotent).
+    pub fn stop(&mut self) {
+        self.active = false;
+    }
+}
+
+/// Drives an active flood: call [`FloodDriver::step`] every quantum.
+#[derive(Debug)]
+pub struct FloodDriver {
+    emitter: FloodEmitter,
+    task: TaskId,
+}
+
+impl FloodDriver {
+    /// Stable identifier shared by [`AttackDriver::name`], the timeline
+    /// event name and result aggregation.
+    pub const NAME: &'static str = "udp-flood";
+
+    /// Emits this quantum's worth of flood packets as one counted batch.
+    pub fn step(&mut self, net: &mut Network, now: SimTime, dt: SimDuration) {
+        self.emitter.step(net, now, dt);
+    }
+
+    /// Total packets offered so far.
+    pub fn sent(&self) -> u64 {
+        self.emitter.sent()
+    }
+
     /// The flooding process's task id (killable).
     pub fn task(&self) -> TaskId {
         self.task
     }
 
-    /// Stops emitting (e.g. when the attack window ends).
+    /// Stops emitting and kills the flooding process (e.g. when the
+    /// attack window ends).
     pub fn stop(&mut self, machine: &mut Machine) {
-        self.active = false;
+        self.emitter.stop();
         machine.kill(self.task);
     }
 }
@@ -162,7 +203,7 @@ impl AttackDriver for FloodDriver {
     }
 
     fn packets_sent(&self) -> u64 {
-        self.sent
+        self.emitter.sent()
     }
 }
 

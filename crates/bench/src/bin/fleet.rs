@@ -1,11 +1,13 @@
 //! Fleet campaign: shared-airspace scaling and resilience in one sweep.
 //!
-//! Sweeps fleet size N ∈ {1, 5, 25, 100} against three fleet timelines —
-//! healthy, a rolling-victim UDP flood, and a mixed campaign (rolling
-//! flood + targeted memory hog + targeted controller kill) — and reports
-//! per-cell crash/switch/deadline-miss outcomes plus the steps/sec
-//! scaling of the co-simulation itself. Per-vehicle rows for every cell
-//! land in `results/fleet_campaign.csv`.
+//! Sweeps fleet size N ∈ {1, 5, 25, 100} against four fleet timelines:
+//! healthy, a rolling-victim UDP flood, a mixed campaign (rolling flood
+//! plus targeted memory hog plus targeted controller kill), and the
+//! adversarial-airspace swarm-jam campaign (V2V coordination streams
+//! with external attacker nodes flooding a GCS uplink and jamming swarm
+//! ports). Reports per-cell crash/switch/deadline-miss outcomes plus
+//! the steps/sec scaling of the co-simulation itself. Per-vehicle rows
+//! for every cell land in `results/fleet_campaign.csv`.
 //!
 //! ```text
 //! cargo run --release -p cd-bench --bin fleet                        # full sweep
@@ -22,17 +24,21 @@ use std::fmt::Write as _;
 use attacks::fleet::FleetScript;
 use cd_bench::cli::Args;
 use cd_bench::{ascii_table, emit_table, write_result};
-use cd_fleet::{Fleet, FleetConfig};
+use cd_fleet::{Fleet, FleetConfig, SwarmConfig};
 use containerdrone_core::scenario::ScenarioConfig;
 use sim_core::time::SimDuration;
 
-/// The three fleet timelines of the sweep (shared with the perf
-/// harness's fleet rows via [`cd_bench::fleet_timelines`]).
-fn timelines() -> Vec<(&'static str, FleetScript)> {
+/// The four fleet timelines of the sweep (shared with the perf
+/// harness's fleet rows via [`cd_bench::fleet_timelines`]), plus
+/// whether the cell flies V2V coordination streams — the swarm-jam
+/// campaign needs a swarm to jam (the same cell
+/// [`cd_bench::swarm_fleet_config`] assembles for the perf rows).
+fn timelines() -> Vec<(&'static str, FleetScript, bool)> {
     vec![
-        ("healthy", FleetScript::none()),
-        ("flood", cd_bench::fleet_timelines::rolling_flood()),
-        ("mixed", cd_bench::fleet_timelines::mixed()),
+        ("healthy", FleetScript::none(), false),
+        ("flood", cd_bench::fleet_timelines::rolling_flood(), false),
+        ("mixed", cd_bench::fleet_timelines::mixed(), false),
+        ("swarm-jam", cd_bench::fleet_timelines::swarm_jam(), true),
     ]
 }
 
@@ -51,7 +57,7 @@ fn main() {
         sizes.push(1000);
     }
     println!(
-        "Fleet campaign — N ∈ {sizes:?} × {{healthy, flood, mixed}}, {}s flights, {threads} thread(s){}\n",
+        "Fleet campaign — N ∈ {sizes:?} × {{healthy, flood, mixed, swarm-jam}}, {}s flights, {threads} thread(s){}\n",
         duration.as_secs_f64(),
         if smoke { " (smoke)" } else { "" }
     );
@@ -59,11 +65,14 @@ fn main() {
     let base = ScenarioConfig::healthy().with_duration(duration);
     let mut rows = Vec::new();
     let mut csv = format!("timeline,n,{}\n", cd_fleet::FleetReport::CSV_HEADER);
-    for (label, script) in timelines() {
+    for (label, script, swarm) in timelines() {
         for &n in &sizes {
-            let cfg = FleetConfig::new(base.clone(), n)
+            let mut cfg = FleetConfig::new(base.clone(), n)
                 .with_script(script.clone())
                 .with_threads(threads);
+            if swarm {
+                cfg = cfg.with_swarm(SwarmConfig::default());
+            }
             let report = Fleet::new(cfg).run();
             let wall = report.wall_clock.as_secs_f64();
             let steps_per_sec = report.sim_steps as f64 / wall.max(1e-9);
@@ -82,6 +91,7 @@ fn main() {
                 format!("{:.2}", wall),
                 format!("{:.2e}", steps_per_sec),
                 report.net_packets.to_string(),
+                report.attacker_packets.to_string(),
             ]);
             // Per-vehicle rows, prefixed with the cell coordinates.
             for line in report.to_csv().lines().skip(1) {
@@ -101,6 +111,7 @@ fn main() {
             "wall (s)",
             "steps/s",
             "packets",
+            "attacker pkts",
         ],
         &rows,
     );

@@ -302,6 +302,31 @@ fn main() {
         );
         measurements.push(m);
     }
+    // Adversarial-airspace rows: V2V swarm streams plus external
+    // attacker nodes ([`cd_bench::swarm_fleet_config`] — the same cell
+    // the fleet bin's swarm-jam timeline runs). Measures the airspace
+    // merge under hostile load: swarm broadcast fan-out, attacker flood
+    // bursts, and the token buckets absorbing them.
+    let swarm_sizes: &[usize] = if smoke { &[5] } else { &[25, 100] };
+    for &n in swarm_sizes {
+        let m = measure(&format!("fleet-n{n}-swarm-jam"), repeat, || {
+            let base = ScenarioConfig::healthy().with_duration(fleet_duration);
+            let report = cd_fleet::Fleet::new(cd_bench::swarm_fleet_config(base, n)).run();
+            (report.sim_steps, report.net_packets)
+        });
+        let m = Measurement {
+            sim_s: fleet_duration.as_secs_f64(),
+            ..m
+        };
+        println!(
+            "  {:<22} {:>7.3}s wall  {:>9.0} steps/s  {:>9.0} pkts/s",
+            m.name,
+            m.wall_s,
+            m.steps_per_sec(),
+            m.packets_per_sec(),
+        );
+        measurements.push(m);
+    }
 
     let baseline = baseline_path
         .map(|p| std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read baseline {p}: {e}")));
@@ -310,7 +335,7 @@ fn main() {
     // never clobber a committed prior-PR BENCH file.
     let out_file = out_path
         .clone()
-        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_4.json").to_string());
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_5.json").to_string());
 
     // --merge: keep the better of (this run, what the out file already
     // holds) per scenario. Each run repeats identical deterministic work,

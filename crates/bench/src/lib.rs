@@ -155,6 +155,49 @@ pub mod fleet_timelines {
                 AttackEvent::KillComplex,
             )
     }
+
+    /// The adversarial-airspace campaign: external attacker nodes jam
+    /// two swarm ports (vehicles 0 and 10, 2 s and 2.5 s) and flood one
+    /// GCS uplink (vehicle 5 at 2 s, cease-fire at 4.5 s), over a fleet
+    /// flying V2V coordination streams. Requires a fleet configured
+    /// `.with_swarm(..)` — [`super::swarm_fleet_config`] assembles the
+    /// whole cell.
+    pub fn swarm_jam() -> FleetScript {
+        FleetScript::new()
+            .at(
+                SimTime::from_secs(2),
+                FleetTarget::SwarmJam(0),
+                AttackEvent::UdpFlood(UdpFlood::against_motor_port()),
+            )
+            .at(
+                SimTime::from_millis(2500),
+                FleetTarget::SwarmJam(10),
+                AttackEvent::UdpFlood(UdpFlood::against_motor_port()),
+            )
+            .at(
+                SimTime::from_secs(2),
+                FleetTarget::GcsUplink(5),
+                AttackEvent::UdpFlood(UdpFlood::against_motor_port()),
+            )
+            .at(
+                SimTime::from_millis(4500),
+                FleetTarget::GcsUplink(5),
+                AttackEvent::CeaseFire,
+            )
+    }
+}
+
+/// The standard swarm-jam fleet cell shared by the `fleet` campaign bin
+/// and the perf harness's `fleet-*-swarm-jam` rows: `n` vehicles flying
+/// ring-topology V2V streams under the
+/// [`fleet_timelines::swarm_jam`] external-attacker campaign.
+pub fn swarm_fleet_config(
+    base: containerdrone_core::scenario::ScenarioConfig,
+    n: usize,
+) -> cd_fleet::FleetConfig {
+    cd_fleet::FleetConfig::new(base, n)
+        .with_script(fleet_timelines::swarm_jam())
+        .with_swarm(cd_fleet::SwarmConfig::default())
 }
 
 /// The standard campaign grid shared by the `campaign` speedup bin and

@@ -1,0 +1,164 @@
+//! The shared airspace as a first-class topology: the radio medium every
+//! cross-vehicle datagram crosses.
+//!
+//! PR 4 split the fleet's traffic into per-vehicle **bridge** networks
+//! plus one shared **airspace** network, but the airspace itself was
+//! hard-wired inside the ground station: exactly one GCS namespace and
+//! one `radio-<i>` namespace per vehicle. [`Airspace`] generalises that
+//! into an adversarial network — a topology *owner* that any peer can
+//! join:
+//!
+//! * the ground station binds its telemetry ports against radios the
+//!   airspace created (not ones it owns privately);
+//! * [`SwarmLink`](crate::swarm::SwarmLink) wires radio↔radio V2V links
+//!   on a ring/mesh topology and binds coordination ports on the radios;
+//! * [`AttackerNode`](crate::attacker::AttackerNode)s join as *hostile*
+//!   peer namespaces with routed links to the GCS and into radio range of
+//!   the formation.
+//!
+//! Everything the airspace carries is merged on the coordinating thread
+//! in stable vehicle-index order, which is why the sharded executor stays
+//! byte-identical at any thread count no matter how many tenants join.
+
+use virt_net::net::{LinkConfig, Network, NsId};
+
+/// The shared radio-medium network plus its topology registry.
+#[derive(Debug)]
+pub struct Airspace {
+    net: Network,
+    gcs_ns: NsId,
+    radios: Vec<NsId>,
+}
+
+impl Airspace {
+    /// Builds the base airspace for `n_vehicles`: the GCS namespace and
+    /// one `radio-<i>` namespace per vehicle, each with a telemetry
+    /// uplink to the GCS of the given characteristics.
+    ///
+    /// Namespace and link creation order is pinned (GCS first, then the
+    /// radios in vehicle-index order) — ids feed the deterministic
+    /// per-packet routing, so the order is part of the byte-identical
+    /// contract.
+    pub fn build(n_vehicles: usize, uplink: LinkConfig) -> Self {
+        let mut net = Network::new();
+        let gcs_ns = net.add_namespace("gcs");
+        let radios = (0..n_vehicles)
+            .map(|i| {
+                let radio = net.add_namespace(format!("radio-{i}"));
+                net.connect(radio, gcs_ns, uplink);
+                radio
+            })
+            .collect();
+        Airspace {
+            net,
+            gcs_ns,
+            radios,
+        }
+    }
+
+    /// The underlying network.
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// The underlying network, mutably.
+    pub fn net_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Consumes the airspace into its network (fleet teardown).
+    pub fn into_net(self) -> Network {
+        self.net
+    }
+
+    /// The ground station's namespace.
+    pub fn gcs_ns(&self) -> NsId {
+        self.gcs_ns
+    }
+
+    /// Every vehicle's radio namespace, in vehicle-index order.
+    pub fn radios(&self) -> &[NsId] {
+        &self.radios
+    }
+
+    /// Vehicle `i`'s radio namespace.
+    pub fn radio(&self, i: usize) -> NsId {
+        self.radios[i]
+    }
+
+    /// Number of vehicles the airspace was built for.
+    pub fn n_vehicles(&self) -> usize {
+        self.radios.len()
+    }
+
+    /// Adds a V2V link between two vehicles' radios (swarm topologies).
+    /// A duplicate connection is inert, as [`Network::connect`] defines.
+    pub fn connect_radios(&mut self, i: usize, j: usize, link: LinkConfig) {
+        let (a, b) = (self.radios[i], self.radios[j]);
+        self.net.connect(a, b, link);
+    }
+
+    /// Admits an arbitrary peer namespace into the airspace with routed
+    /// links to the GCS (when `gcs_link` is given) and to every radio in
+    /// `radio_range` — the generalised join that attacker nodes (or any
+    /// future tenant: relays, decoys, observers) use.
+    pub fn join_peer(
+        &mut self,
+        name: impl Into<String>,
+        gcs_link: Option<LinkConfig>,
+        radio_range: impl IntoIterator<Item = (usize, LinkConfig)>,
+    ) -> NsId {
+        let ns = self.net.add_namespace(name);
+        if let Some(link) = gcs_link {
+            self.net.connect(ns, self.gcs_ns, link);
+        }
+        for (i, link) in radio_range {
+            self.net.connect(ns, self.radios[i], link);
+        }
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_airspace_matches_the_classic_topology() {
+        let air = Airspace::build(3, LinkConfig::default());
+        assert_eq!(air.n_vehicles(), 3);
+        assert_eq!(air.net().namespace_count(), 4);
+        assert_eq!(air.net().namespace_name(air.gcs_ns()), "gcs");
+        for i in 0..3 {
+            assert_eq!(air.net().namespace_name(air.radio(i)), format!("radio-{i}"));
+            assert!(air.net().connected(air.radio(i), air.gcs_ns()));
+        }
+        assert!(!air.net().connected(air.radio(0), air.radio(1)));
+    }
+
+    #[test]
+    fn peers_join_with_routed_links() {
+        let mut air = Airspace::build(4, LinkConfig::default());
+        let hostile = air.join_peer(
+            "attacker-0",
+            Some(LinkConfig::default()),
+            (0..4).map(|i| (i, LinkConfig::default())),
+        );
+        assert_eq!(air.net().namespace_name(hostile), "attacker-0");
+        assert!(air.net().connected(hostile, air.gcs_ns()));
+        for i in 0..4 {
+            assert!(air.net().connected(hostile, air.radio(i)));
+        }
+        // A link-less observer is also a valid peer.
+        let observer = air.join_peer("observer", None, []);
+        assert!(air.net().neighbors(observer).is_empty());
+    }
+
+    #[test]
+    fn v2v_links_connect_radios() {
+        let mut air = Airspace::build(3, LinkConfig::default());
+        air.connect_radios(0, 1, LinkConfig::default());
+        assert!(air.net().connected(air.radio(0), air.radio(1)));
+        assert!(!air.net().connected(air.radio(1), air.radio(2)));
+    }
+}

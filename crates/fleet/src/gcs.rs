@@ -3,15 +3,20 @@
 //!
 //! The GCS is a *network peer*, not a flight computer: it owns no
 //! scheduler and no physics, only sockets in the shared **airspace**
-//! network — the radio medium every vehicle's telemetry crosses. Each
-//! vehicle gets a tiny `radio-<i>` namespace in the airspace (its radio
-//! modem) linked to the GCS; the fleet runner downlinks one telemetry
-//! datagram per still-flying vehicle over that uplink on every poll tick,
-//! and the GCS drains its sockets and keeps a per-vehicle [`GcsView`].
-//! Per-client rate limits on the GCS ports mean a misbehaving (or
-//! spoofed) vehicle that floods the uplink cannot starve the other
-//! clients' telemetry — the fleet-scale analogue of the paper's iptables
-//! defence.
+//! network — the radio medium every vehicle's telemetry crosses. The
+//! [`Airspace`] owns the topology (the GCS namespace and one `radio-<i>`
+//! namespace per vehicle, linked by telemetry uplinks); the GCS binds one
+//! rate-limited telemetry port per vehicle against it. The fleet runner
+//! downlinks one telemetry datagram per still-flying vehicle over that
+//! uplink on every poll tick, and the GCS drains its sockets and keeps a
+//! per-vehicle [`GcsView`]. Per-client rate limits on the GCS ports mean
+//! a misbehaving (or spoofed) vehicle — or an *external*
+//! [`AttackerNode`](crate::attacker::AttackerNode) flooding the uplink
+//! port from a hostile airspace namespace — cannot starve the other
+//! clients' telemetry: the fleet-scale analogue of the paper's iptables
+//! defence. Datagrams that pass the bucket but fail to decode (or claim
+//! the wrong vehicle id) are counted per client as `malformed`, the
+//! GCS-side evidence of injection.
 //!
 //! Polling reads [`VehicleSnapshot`]s rather than the vehicles
 //! themselves: the sharded executor advances vehicles on worker threads
@@ -23,6 +28,8 @@ use sim_core::time::SimTime;
 use virt_net::net::{Addr, LinkConfig, Network, NsId, SocketId};
 
 use containerdrone_core::runner::VehicleInstance;
+
+use crate::airspace::Airspace;
 
 /// First GCS-side telemetry port; vehicle `i` reports to `base + i`.
 pub const GCS_PORT_BASE: u16 = 15_000;
@@ -106,6 +113,11 @@ pub struct GcsView {
     pub packets: u64,
     /// Telemetry datagrams dropped by this client's ingress rate limit.
     pub dropped_ratelimit: u64,
+    /// Datagrams on this client's port that passed the rate limit but
+    /// failed to decode, or decoded with a mismatched vehicle id —
+    /// injected garbage or spoofing, not radio noise (the virtual links
+    /// never corrupt payloads).
+    pub malformed: u64,
     /// Send timestamp of the freshest telemetry datagram received — the
     /// time the vehicle *reported*, not the (latency-delayed) arrival.
     pub last_seen: Option<SimTime>,
@@ -126,18 +138,22 @@ pub fn encode_telemetry(buf: &mut Vec<u8>, vehicle: u16, crashed: bool, position
 }
 
 /// Decodes a telemetry datagram; `None` for malformed payloads.
+///
+/// Hostile airspace nodes can inject arbitrary bytes onto telemetry and
+/// swarm ports, so this is a hard trust boundary: truncated, oversized
+/// and garbage payloads must all come back `None` — there is no panic
+/// path (the length check is a single fixed-size conversion, and every
+/// field read stays inside it by construction).
 pub fn decode_telemetry(payload: &[u8]) -> Option<(u16, bool, [f64; 3])> {
-    if payload.len() != TELEMETRY_BYTES {
-        return None;
-    }
-    let vehicle = u16::from_le_bytes([payload[0], payload[1]]);
-    let crashed = payload[2] != 0;
+    let bytes: &[u8; TELEMETRY_BYTES] = payload.try_into().ok()?;
+    let vehicle = u16::from_le_bytes([bytes[0], bytes[1]]);
+    let crashed = bytes[2] != 0;
     let mut position = [0.0; 3];
     for (i, p) in position.iter_mut().enumerate() {
         let at = 3 + 4 * i;
-        *p = f64::from(f32::from_le_bytes(
-            payload[at..at + 4].try_into().expect("4-byte slice"),
-        ));
+        let mut word = [0u8; 4];
+        word.copy_from_slice(&bytes[at..at + 4]);
+        *p = f64::from(f32::from_le_bytes(word));
     }
     Some((vehicle, crashed, position))
 }
@@ -155,16 +171,18 @@ pub struct GroundStation {
 }
 
 impl GroundStation {
-    /// Builds the GCS into the airspace network: its namespace, one radio
-    /// namespace + uplink per vehicle, one rate-limited telemetry port
-    /// per vehicle.
-    pub fn build(net: &mut Network, n_vehicles: usize, cfg: &GcsConfig) -> Self {
-        let ns = net.add_namespace("gcs");
+    /// Binds the GCS's telemetry endpoints against an [`Airspace`]: one
+    /// rate-limited telemetry port per vehicle on the GCS namespace, one
+    /// uplink source port per radio. The airspace owns the topology; the
+    /// GCS is just its first tenant.
+    pub fn build(air: &mut Airspace, cfg: &GcsConfig) -> Self {
+        let n_vehicles = air.n_vehicles();
+        let ns = air.gcs_ns();
         let mut rx = Vec::with_capacity(n_vehicles);
         let mut tx = Vec::with_capacity(n_vehicles);
         for i in 0..n_vehicles {
-            let radio = net.add_namespace(format!("radio-{i}"));
-            net.connect(radio, ns, cfg.uplink);
+            let radio = air.radio(i);
+            let net = air.net_mut();
             let port = GCS_PORT_BASE + i as u16;
             let sock = net.bind(ns, port).expect("gcs telemetry port free");
             if cfg.per_client_pps > 0.0 {
@@ -207,20 +225,24 @@ impl GroundStation {
         }
     }
 
-    /// Drains every GCS socket, updating the per-vehicle views.
+    /// Drains every GCS socket, updating the per-vehicle views. Anything
+    /// that fails the decode — or self-identifies as the wrong vehicle —
+    /// counts as `malformed`: with hostile nodes on the airspace, garbage
+    /// on a telemetry port is evidence, not noise.
     pub fn drain(&mut self, net: &mut Network) {
         for (i, &sock) in self.rx.iter().enumerate() {
             while let Some(pkt) = net.recv(sock) {
-                if let Some((vehicle, crashed, position)) = decode_telemetry(&pkt.payload) {
+                match decode_telemetry(&pkt.payload) {
                     // Telemetry self-identifies; trust the socket, check
                     // the payload agrees (spoof detection hook).
-                    if usize::from(vehicle) == i {
+                    Some((vehicle, crashed, position)) if usize::from(vehicle) == i => {
                         let view = &mut self.views[i];
                         view.packets += 1;
                         view.last_seen = Some(pkt.sent);
                         view.last_position = position;
                         view.crashed = crashed;
                     }
+                    _ => self.views[i].malformed += 1,
                 }
                 net.recycle(pkt);
             }
@@ -239,5 +261,92 @@ impl GroundStation {
             view.dropped_ratelimit = net.socket_stats(sock).dropped_ratelimit;
         }
         self.views
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_roundtrips() {
+        let mut buf = Vec::new();
+        encode_telemetry(&mut buf, 7, true, [1.5, -2.25, -0.5]);
+        assert_eq!(buf.len(), TELEMETRY_BYTES);
+        let (vehicle, crashed, position) = decode_telemetry(&buf).expect("valid datagram");
+        assert_eq!(vehicle, 7);
+        assert!(crashed);
+        assert_eq!(position, [1.5, -2.25, -0.5]);
+    }
+
+    /// Fuzz-style decode hardening: hostile nodes inject arbitrary bytes
+    /// onto the telemetry ports, so every length from empty to well past
+    /// the frame size, filled with adversarial byte patterns, must decode
+    /// to `None` (when mis-sized) or a finite-field tuple — and never
+    /// panic.
+    #[test]
+    fn decode_survives_truncated_oversized_and_garbage_payloads() {
+        // Deterministic LCG so the "fuzz" corpus is reproducible.
+        let mut state = 0x2019_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        for len in 0..=4 * TELEMETRY_BYTES {
+            for _ in 0..16 {
+                let payload: Vec<u8> = (0..len).map(|_| next()).collect();
+                let decoded = decode_telemetry(&payload);
+                if len == TELEMETRY_BYTES {
+                    // Exactly-sized garbage decodes (the id check in
+                    // `drain` is what rejects impostors) but every field
+                    // must come out without panicking — NaN included,
+                    // since f32 garbage may be NaN.
+                    let (_, _, position) = decoded.expect("sized payload decodes");
+                    assert_eq!(position.len(), 3);
+                } else {
+                    assert_eq!(decoded, None, "len {len} must be rejected");
+                }
+            }
+        }
+        // The flood payload shape hostile nodes actually send.
+        assert_eq!(decode_telemetry(&[0u8; 64]), None);
+        assert_eq!(decode_telemetry(&[]), None);
+    }
+
+    /// `drain` books garbage and wrong-id datagrams as malformed instead
+    /// of corrupting the per-vehicle views.
+    #[test]
+    fn drain_counts_injected_garbage_as_malformed() {
+        let mut air = Airspace::build(2, LinkConfig::default());
+        let mut gcs = GroundStation::build(
+            &mut air,
+            &GcsConfig {
+                per_client_pps: 0.0, // no limit: let everything through
+                ..GcsConfig::default()
+            },
+        );
+        let hostile = air.join_peer("attacker-0", Some(LinkConfig::default()), []);
+        let net = air.net_mut();
+        let tx = net.bind(hostile, 4_000).unwrap();
+        let dst = Addr {
+            ns: gcs.netns(),
+            port: GCS_PORT_BASE,
+        };
+        // Garbage, a wrong-id spoof, and one genuine datagram.
+        net.send(tx, dst, vec![0u8; 64], SimTime::ZERO).unwrap();
+        let mut spoof = Vec::new();
+        encode_telemetry(&mut spoof, 1, false, [9.0, 9.0, 9.0]); // claims vehicle 1 on port 0
+        net.send(tx, dst, spoof, SimTime::ZERO).unwrap();
+        let mut genuine = Vec::new();
+        encode_telemetry(&mut genuine, 0, false, [0.0, 0.0, -1.0]);
+        net.send(tx, dst, genuine, SimTime::ZERO).unwrap();
+        net.step(SimTime::from_millis(50));
+        gcs.drain(net);
+        let view = gcs.views()[0];
+        assert_eq!(view.malformed, 2);
+        assert_eq!(view.packets, 1);
+        assert_eq!(view.last_position, [0.0, 0.0, -1.0]);
     }
 }

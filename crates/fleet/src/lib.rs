@@ -15,25 +15,35 @@
 //! Each vehicle owns a private **bridge** [`Network`] — its host↔container
 //! veth pair, where all of its sensor, motor and attack traffic lives
 //! (on the paper's testbed this bridge physically exists *inside* the
-//! vehicle's companion computer). The fleet shares one **airspace**
-//! [`Network`] — the radio medium — holding the GCS namespace and one
-//! radio namespace per vehicle. The split is what makes the fleet
-//! shardable: vehicles touch only their own bridge, so shards advance on
-//! worker threads without synchronisation, while all cross-vehicle
-//! traffic crosses the airspace exactly once per quantum on the
-//! coordinating thread, in stable vehicle-index order.
+//! vehicle's companion computer). The fleet shares one [`Airspace`] —
+//! the radio medium — a first-class adversarial network holding the GCS
+//! namespace, one radio namespace per vehicle, and any peer that joins:
+//! the V2V [`SwarmLink`] wires radio↔radio coordination links on a
+//! ring/mesh [`SwarmTopology`], and hostile [`AttackerNode`]s join with
+//! routed links into radio range to flood GCS uplinks
+//! ([`FleetTarget::GcsUplink`](attacks::fleet::FleetTarget)) or jam the
+//! swarm streams ([`FleetTarget::SwarmJam`](attacks::fleet::FleetTarget)).
+//! The split is what makes the fleet shardable: vehicles touch only their
+//! own bridge, so shards advance on worker threads without
+//! synchronisation, while all cross-vehicle traffic crosses the airspace
+//! on the coordinating thread, in stable vehicle-index order.
 //!
 //! # Sharded parallel execution
 //!
 //! [`FleetConfig::with_threads`] runs the fleet on a scoped-thread worker
-//! pool: vehicles are partitioned into contiguous shards, each shard runs
-//! its vehicles' `advance`/`post_step` phases batch-wise up to the next
-//! GCS poll boundary, and the main thread merges the per-vehicle
-//! [`VehicleSnapshot`]s into the shared airspace step. Because each
-//! vehicle's trajectory is a pure function of its own config and bridge,
-//! and the airspace merge order is pinned to vehicle indices, a parallel
-//! run at **any** thread count is byte-for-byte identical to the serial
-//! run — the determinism tests enforce it.
+//! pool: vehicles are assigned to shards by the configured [`Partition`]
+//! — [`Partition::LoadBalanced`] by default, which weighs each vehicle
+//! by its observed per-batch step cost (attacked vehicles are hot) and
+//! spreads the heavy ones across threads — each shard runs its vehicles'
+//! `advance`/`post_step` phases batch-wise up to the next GCS poll
+//! boundary, and the main thread merges the per-vehicle
+//! [`VehicleSnapshot`]s into the shared airspace step (GCS downlink,
+//! swarm broadcast round, attacker turns — in that pinned order).
+//! Because each vehicle's trajectory is a pure function of its own
+//! config and bridge, and the airspace merge order is pinned to vehicle
+//! indices, a parallel run at **any** thread count under **either**
+//! partition is byte-for-byte identical to the serial run — the
+//! determinism tests enforce it.
 //!
 //! An N = 1 fleet run remains *byte-for-byte* identical to the classic
 //! single-vehicle [`Scenario`](containerdrone_core::runner::Scenario) run
@@ -54,7 +64,10 @@
 
 #![warn(missing_docs)]
 
+pub mod airspace;
+pub mod attacker;
 pub mod gcs;
+pub mod swarm;
 
 use std::time::{Duration, Instant};
 
@@ -65,7 +78,10 @@ use containerdrone_core::scenario::ScenarioConfig;
 use sim_core::time::{SimDuration, SimTime};
 use virt_net::net::Network;
 
+pub use airspace::Airspace;
+pub use attacker::{AttackerConfig, AttackerNode};
 pub use gcs::{GcsConfig, GcsView, GroundStation, VehicleSnapshot};
+pub use swarm::{SwarmConfig, SwarmLink, SwarmTopology, SwarmView};
 
 /// A fleet scenario: one per-vehicle base configuration replicated N
 /// times, plus fleet-level attack placement, a ground station, and the
@@ -80,13 +96,44 @@ pub struct FleetConfig {
     pub n_vehicles: usize,
     /// Fleet-level attack placement, compiled onto the per-vehicle
     /// timelines on top of whatever `base.attacks` already schedules.
+    /// [`FleetTarget::GcsUplink`](attacks::fleet::FleetTarget) and
+    /// [`FleetTarget::SwarmJam`](attacks::fleet::FleetTarget) entries
+    /// compile onto external [`AttackerNode`]s instead.
     pub script: FleetScript,
     /// Ground-station configuration.
     pub gcs: GcsConfig,
+    /// V2V swarm coordination streams (`None` = no swarm traffic — the
+    /// classic GCS-only airspace).
+    pub swarm: Option<SwarmConfig>,
+    /// External-attacker configuration (nodes spawn only when the script
+    /// actually schedules attacker entries).
+    pub attacker: AttackerConfig,
     /// Worker threads for [`Fleet::run`] (1 = fully serial). Any value
     /// produces byte-identical reports; more threads only buy wall-clock
     /// time on multicore hosts.
     pub threads: usize,
+    /// How vehicles are assigned to worker threads. Any strategy produces
+    /// byte-identical reports; the choice only moves wall-clock time.
+    pub partition: Partition,
+}
+
+/// Shard-assignment strategy for the parallel executor.
+///
+/// The executor's determinism does not depend on the partition — vehicle
+/// work is a pure per-vehicle function and the airspace merge happens in
+/// vehicle-index order regardless — so this is purely a wall-clock knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Partition {
+    /// Contiguous index ranges, one per thread (the PR 4 scheme). Even
+    /// only when per-vehicle cost is even; an attack campaign focused on
+    /// a few victims leaves most threads idle while one grinds.
+    Contiguous,
+    /// Weighs each vehicle by its observed per-batch step cost (EWMA of
+    /// measured wall time) and assigns greedily, heaviest first, to the
+    /// least-loaded thread — attacked vehicles are hot, so they spread
+    /// across threads instead of clustering in one contiguous shard.
+    #[default]
+    LoadBalanced,
 }
 
 impl FleetConfig {
@@ -97,7 +144,10 @@ impl FleetConfig {
             n_vehicles,
             script: FleetScript::none(),
             gcs: GcsConfig::default(),
+            swarm: None,
+            attacker: AttackerConfig::default(),
             threads: 1,
+            partition: Partition::default(),
         }
     }
 
@@ -115,10 +165,31 @@ impl FleetConfig {
         self
     }
 
+    /// Enables V2V swarm coordination streams.
+    #[must_use]
+    pub fn with_swarm(mut self, swarm: SwarmConfig) -> Self {
+        self.swarm = Some(swarm);
+        self
+    }
+
+    /// Replaces the external-attacker configuration.
+    #[must_use]
+    pub fn with_attacker(mut self, attacker: AttackerConfig) -> Self {
+        self.attacker = attacker;
+        self
+    }
+
     /// Sets the executor's worker-thread count (clamped to ≥ 1).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the shard-assignment strategy.
+    #[must_use]
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partition = partition;
         self
     }
 }
@@ -159,28 +230,124 @@ fn run_slot_to(slot: &mut VehicleSlot, target: SimTime, snap: &mut VehicleSnapsh
     }
 }
 
+/// [`run_slot_to`] plus cost observation: folds the measured wall time
+/// of this batch into the vehicle's cost estimate (EWMA, so the balance
+/// follows a rolling victim instead of averaging over the whole
+/// history). The estimate feeds [`Partition::LoadBalanced`] and nothing
+/// else — it never touches simulation state, so the nondeterminism of
+/// wall-clock measurement cannot leak into the report.
+fn run_slot_timed(
+    slot: &mut VehicleSlot,
+    target: SimTime,
+    snap: &mut VehicleSnapshot,
+    cost: &mut f64,
+) {
+    let started = Instant::now();
+    run_slot_to(slot, target, snap);
+    let observed = started.elapsed().as_secs_f64();
+    *cost = if *cost == 0.0 {
+        observed
+    } else {
+        0.5 * *cost + 0.5 * observed
+    };
+}
+
+/// Assigns vehicle indices to at most `threads` bins. Contiguous: equal
+/// index ranges. Load-balanced: greedy longest-processing-time — visit
+/// vehicles heaviest-first (by observed cost) and give each to the
+/// currently lightest bin, so a campaign that concentrates attacks on a
+/// few victims spreads those hot vehicles across threads.
+fn assign_shards(costs: &[f64], threads: usize, partition: Partition) -> Vec<Vec<usize>> {
+    let n = costs.len();
+    match partition {
+        Partition::Contiguous => {
+            let shard = n.div_ceil(threads);
+            (0..n)
+                .collect::<Vec<_>>()
+                .chunks(shard)
+                .map(<[usize]>::to_vec)
+                .collect()
+        }
+        Partition::LoadBalanced => {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                costs[b]
+                    .partial_cmp(&costs[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            let mut loads = vec![0.0f64; threads];
+            let mut bins: Vec<Vec<usize>> = vec![Vec::new(); threads];
+            for i in order {
+                let lightest = loads
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, x), (_, y)| x.total_cmp(y))
+                    .map(|(k, _)| k)
+                    .expect("threads >= 1");
+                bins[lightest].push(i);
+                // A floor keeps all-zero first-round costs spreading
+                // round-robin instead of piling into bin 0.
+                loads[lightest] += costs[i].max(1e-9);
+            }
+            // Ascending index order within a bin: batches stay
+            // cache-friendly and the walk order is reproducible.
+            for bin in &mut bins {
+                bin.sort_unstable();
+            }
+            bins.retain(|b| !b.is_empty());
+            bins
+        }
+    }
+}
+
 /// Runs every slot up to `target`, sharded over `threads` scoped worker
-/// threads (contiguous vehicle ranges). Slots are disjoint, so the only
-/// synchronisation is the scope join; snapshots land in vehicle-index
-/// order regardless of which thread wrote them.
+/// threads under the configured [`Partition`]. Slots are disjoint, so
+/// the only synchronisation is the scope join; snapshots land in
+/// vehicle-index order regardless of which thread wrote them — the
+/// partition decides *where* a vehicle computes, never *what*, so the
+/// report is partition- and thread-count-independent by construction.
 fn run_shards(
     slots: &mut [VehicleSlot],
     snapshots: &mut [VehicleSnapshot],
+    costs: &mut [f64],
     target: SimTime,
     threads: usize,
+    partition: Partition,
 ) {
     if threads <= 1 || slots.len() <= 1 {
-        for (slot, snap) in slots.iter_mut().zip(snapshots.iter_mut()) {
-            run_slot_to(slot, target, snap);
+        for ((slot, snap), cost) in slots
+            .iter_mut()
+            .zip(snapshots.iter_mut())
+            .zip(costs.iter_mut())
+        {
+            run_slot_timed(slot, target, snap, cost);
         }
         return;
     }
-    let shard = slots.len().div_ceil(threads);
+    let bins = assign_shards(costs, threads, partition);
+    // Split the disjoint `&mut` cells out of the slices and deal them to
+    // their bins — safe non-contiguous sharding, no index arithmetic on
+    // raw pointers.
+    let mut cells: Vec<Option<(&mut VehicleSlot, &mut VehicleSnapshot, &mut f64)>> = slots
+        .iter_mut()
+        .zip(snapshots.iter_mut())
+        .zip(costs.iter_mut())
+        .map(|((slot, snap), cost)| Some((slot, snap, cost)))
+        .collect();
+    let work: Vec<Vec<_>> = bins
+        .iter()
+        .map(|bin| {
+            bin.iter()
+                .map(|&i| cells[i].take().expect("bins are disjoint"))
+                .collect()
+        })
+        .collect();
     std::thread::scope(|scope| {
-        for (slot_shard, snap_shard) in slots.chunks_mut(shard).zip(snapshots.chunks_mut(shard)) {
+        for batch in work {
             scope.spawn(move || {
-                for (slot, snap) in slot_shard.iter_mut().zip(snap_shard.iter_mut()) {
-                    run_slot_to(slot, target, snap);
+                for (slot, snap, cost) in batch {
+                    run_slot_timed(slot, target, snap, cost);
                 }
             });
         }
@@ -188,28 +355,38 @@ fn run_shards(
 }
 
 /// A fleet mid-flight: N vehicles on one quantum clock, each over its
-/// private bridge network, sharing the airspace network with the GCS.
+/// private bridge network, sharing the [`Airspace`] with the GCS, the
+/// swarm coordination fabric and any hostile attacker nodes.
 pub struct Fleet {
     slots: Vec<VehicleSlot>,
-    airspace: Network,
+    airspace: Airspace,
     gcs: GroundStation,
+    swarm: Option<SwarmLink>,
+    attackers: Vec<AttackerNode>,
     /// Per-vehicle snapshots captured at the latest poll boundary.
     snapshots: Vec<VehicleSnapshot>,
+    /// Observed per-batch step cost per vehicle (load-balancing weights).
+    costs: Vec<f64>,
     now: SimTime,
     end_of_flight: SimTime,
     next_poll: SimTime,
     poll_period: SimDuration,
     threads: usize,
+    partition: Partition,
 }
 
 impl Fleet {
     /// Builds the whole fleet: N vehicle instances over private bridge
-    /// networks, the compiled per-vehicle attack timelines, the airspace
-    /// with the GCS node and its radio uplinks.
+    /// networks, the compiled per-vehicle attack timelines, and the
+    /// airspace with its tenants — the GCS and its radio uplinks, the
+    /// V2V swarm fabric (when configured), and one attacker node per
+    /// populated attacker partition (when the script schedules external
+    /// attacks).
     ///
     /// # Panics
     ///
-    /// Panics on an empty fleet (`n_vehicles == 0`).
+    /// Panics on an empty fleet (`n_vehicles == 0`), and on a script
+    /// that jams swarm ports of a fleet with no swarm configured.
     pub fn new(config: FleetConfig) -> Self {
         assert!(config.n_vehicles > 0, "a fleet needs at least one vehicle");
         let end_of_flight = SimTime::ZERO + config.base.duration;
@@ -226,20 +403,55 @@ impl Fleet {
             let vehicle = VehicleInstance::build(cfg, Vec::new(), &mut net);
             slots.push(VehicleSlot { net, vehicle });
         }
-        let mut airspace = Network::new();
-        let gcs = GroundStation::build(&mut airspace, config.n_vehicles, &config.gcs);
+        let mut airspace = Airspace::build(config.n_vehicles, config.gcs.uplink);
+        let gcs = GroundStation::build(&mut airspace, &config.gcs);
+        let swarm = config
+            .swarm
+            .as_ref()
+            .map(|sc| SwarmLink::build(&mut airspace, sc));
+
+        let attacker_entries = config.script.compile_attackers(config.n_vehicles);
+        assert!(
+            swarm.is_some()
+                || attacker_entries
+                    .iter()
+                    .all(|e| !matches!(e.target, attacks::fleet::AttackerTarget::SwarmJam(_))),
+            "SwarmJam targets need with_swarm(..): there is no V2V stream to jam"
+        );
+        let mut attackers = Vec::new();
+        if !attacker_entries.is_empty() {
+            let nodes = config.attacker.nodes.max(1);
+            let mut per_node = vec![Vec::new(); nodes];
+            for entry in attacker_entries {
+                per_node[entry.target.vehicle() % nodes].push(entry);
+            }
+            for (k, entries) in per_node.into_iter().enumerate() {
+                if !entries.is_empty() {
+                    attackers.push(AttackerNode::build(
+                        &mut airspace,
+                        k,
+                        entries,
+                        &config.attacker,
+                    ));
+                }
+            }
+        }
 
         let n = slots.len();
         Fleet {
             slots,
             airspace,
             gcs,
+            swarm,
+            attackers,
             snapshots: vec![VehicleSnapshot::default(); n],
+            costs: vec![0.0; n],
             now: SimTime::ZERO,
             end_of_flight,
             next_poll: SimTime::ZERO,
             poll_period: SimDuration::from_hz(config.gcs.poll_hz),
             threads: config.threads.max(1),
+            partition: config.partition,
         }
     }
 
@@ -263,20 +475,45 @@ impl Fleet {
         &self.gcs
     }
 
+    /// The shared airspace topology (GCS, radios, and every peer that
+    /// joined) — the inspection surface for tests and tooling that audit
+    /// who is on the radio medium and how they are wired.
+    pub fn airspace(&self) -> &Airspace {
+        &self.airspace
+    }
+
+    /// The V2V swarm fabric, when configured.
+    pub fn swarm(&self) -> Option<&SwarmLink> {
+        self.swarm.as_ref()
+    }
+
+    /// The external attacker nodes spawned from the fleet script.
+    pub fn attackers(&self) -> &[AttackerNode] {
+        &self.attackers
+    }
+
     /// Advances the whole airspace by one scheduler quantum:
     ///
     /// 1. every still-flying vehicle advances (machine, physics, job
     ///    dispatch, armed attacks), steps its bridge network and runs its
     ///    telemetry/crash bookkeeping;
-    /// 2. if a poll tick is due, the GCS downlink fires from the
-    ///    per-vehicle snapshots, in vehicle-index order;
-    /// 3. the airspace advances once and the GCS drains its sockets.
+    /// 2. if a poll tick is due, the merge boundary fires from the
+    ///    per-vehicle snapshots, in vehicle-index order: GCS downlink,
+    ///    swarm broadcast round, then the attacker nodes' turns;
+    /// 3. the airspace advances once and the GCS and swarm drain their
+    ///    sockets.
     ///
     /// Returns `false` — without advancing — once every vehicle has
     /// finished. [`Fleet::run`] batches this loop between poll
     /// boundaries (and across worker threads) without changing a byte of
-    /// the outcome; `step` stays the incremental, debugger-friendly way
-    /// to drive a fleet.
+    /// the outcome for single-source ports; `step` stays the
+    /// incremental, debugger-friendly way to drive a fleet. When a
+    /// rate-limited port is fed by several links at once (an external
+    /// attacker sharing a telemetry or swarm port with genuine traffic),
+    /// the per-quantum schedule orders same-window bucket admissions by
+    /// arrival rather than by link, so view counters may differ
+    /// microscopically from [`Fleet::run`]'s — each schedule is
+    /// individually deterministic (see `run_to_end`).
     pub fn step(&mut self) -> bool {
         let target = self.now + SCHED_QUANTUM;
         let poll_due = target >= self.next_poll;
@@ -302,12 +539,37 @@ impl Fleet {
         }
         self.now = target;
         if poll_due {
-            self.gcs.poll(&mut self.airspace, &self.snapshots, self.now);
+            self.merge_boundary(target);
             self.next_poll += self.poll_period;
         }
-        self.airspace.step(self.now);
-        self.gcs.drain(&mut self.airspace);
+        self.settle_airspace();
         true
+    }
+
+    /// Everything that happens *at* a poll boundary, in its pinned
+    /// deterministic order: the GCS downlink fires from the snapshots,
+    /// the swarm broadcasts its round, and the attacker nodes take their
+    /// turn — all on the coordinating thread, all in vehicle-index (and
+    /// attacker-index) order, so the wire traffic is identical under any
+    /// thread count and any shard partition.
+    fn merge_boundary(&mut self, now: SimTime) {
+        self.gcs.poll(self.airspace.net_mut(), &self.snapshots, now);
+        if let Some(swarm) = &mut self.swarm {
+            swarm.exchange(self.airspace.net_mut(), &self.snapshots, now);
+        }
+        for node in &mut self.attackers {
+            node.tick(self.airspace.net_mut(), now);
+        }
+    }
+
+    /// Advances the airspace to the fleet clock and drains every
+    /// coordinating-thread consumer (GCS views, swarm neighbor tables).
+    fn settle_airspace(&mut self) {
+        self.airspace.net_mut().step(self.now);
+        self.gcs.drain(self.airspace.net_mut());
+        if let Some(swarm) = &mut self.swarm {
+            swarm.drain(self.airspace.net_mut(), &self.snapshots);
+        }
     }
 
     /// Runs the fleet to completion on the configured executor and tears
@@ -325,11 +587,20 @@ impl Fleet {
     /// runs vehicle-at-a-time batches (cache-friendly: one vehicle's
     /// whole working set stays hot for thousands of quanta) and the
     /// threads only meet at poll boundaries. Byte-identical to looping
-    /// [`Fleet::step`]: the per-vehicle work is the same pure function,
-    /// snapshots are captured at the same interleaving point, and the
-    /// airspace admits every packet at its own arrival time, so stepping
-    /// it once per batch delivers exactly what per-quantum stepping
-    /// would.
+    /// [`Fleet::step`] for single-source ports: the per-vehicle work is
+    /// the same pure function, snapshots are captured at the same
+    /// interleaving point, and the airspace admits every packet at its
+    /// own arrival time, so stepping it once per batch delivers exactly
+    /// what per-quantum stepping would (the quantum-vs-batch test pins
+    /// this on the mixed campaign). One caveat: when *several* links
+    /// feed one rate-limited port — an attacker flooding the uplink a
+    /// radio also reports on — the admission order within a window
+    /// follows link order under batch stepping but arrival order under
+    /// quantum stepping, so the two schedules may book a boundary packet
+    /// to different counters. Each schedule is individually
+    /// deterministic, and every thread count and partition runs this
+    /// batch executor, so the byte-identical guarantee across executor
+    /// configurations is unaffected.
     fn run_to_end(&mut self) {
         let threads = self.threads.clamp(1, self.slots.len());
         loop {
@@ -339,7 +610,14 @@ impl Fleet {
             while target < self.next_poll {
                 target += SCHED_QUANTUM;
             }
-            run_shards(&mut self.slots, &mut self.snapshots, target, threads);
+            run_shards(
+                &mut self.slots,
+                &mut self.snapshots,
+                &mut self.costs,
+                target,
+                threads,
+                self.partition,
+            );
             let furthest = self
                 .slots
                 .iter()
@@ -354,11 +632,10 @@ impl Fleet {
                 // At least one vehicle was still flying at the poll
                 // quantum, so the quantum-stepped loop would have fired
                 // the poll there too.
-                self.gcs.poll(&mut self.airspace, &self.snapshots, target);
+                self.merge_boundary(target);
                 self.next_poll += self.poll_period;
             }
-            self.airspace.step(self.now);
-            self.gcs.drain(&mut self.airspace);
+            self.settle_airspace();
             if furthest < target {
                 break; // the whole fleet finished before the boundary
             }
@@ -372,17 +649,26 @@ impl Fleet {
             slots,
             airspace,
             gcs,
+            swarm,
+            attackers,
             now,
             end_of_flight,
             ..
         } = self;
-        let views = gcs.finish(&airspace);
-        let mut net_packets = airspace.packets_sent();
+        let net = airspace.net();
+        let views = gcs.finish(net);
+        let swarm_views = match swarm {
+            Some(link) => link.finish(net),
+            None => vec![SwarmView::default(); slots.len()],
+        };
+        let attacker_packets: u64 = attackers.iter().map(AttackerNode::packets_sent).sum();
+        let mut net_packets = net.packets_sent();
         let outcomes: Vec<VehicleOutcome> = slots
             .into_iter()
             .zip(views)
+            .zip(swarm_views)
             .enumerate()
-            .map(|(index, (slot, gcs_view))| {
+            .map(|(index, ((slot, gcs_view), swarm_view))| {
                 net_packets += slot.net.packets_sent();
                 let result = slot.vehicle.finish(&slot.net);
                 let from = result.attack_onset.unwrap_or(SimTime::from_secs(2));
@@ -398,6 +684,7 @@ impl Fleet {
                     max_deviation,
                     deadline_skips,
                     gcs: gcs_view,
+                    swarm: swarm_view,
                     result,
                 }
             })
@@ -405,6 +692,7 @@ impl Fleet {
         FleetReport {
             sim_steps: outcomes.iter().map(|o| o.result.sim_steps).sum(),
             net_packets,
+            attacker_packets,
             duration: now,
             wall_clock: Duration::ZERO,
             outcomes,
@@ -427,6 +715,9 @@ pub struct VehicleOutcome {
     pub deadline_skips: u64,
     /// What the ground station last knew about this vehicle.
     pub gcs: GcsView,
+    /// What this vehicle's radio learned from the V2V coordination
+    /// stream (all-default when the fleet flies without a swarm).
+    pub swarm: SwarmView,
     /// The full per-vehicle result.
     pub result: ScenarioResult,
 }
@@ -455,6 +746,9 @@ pub struct FleetReport {
     /// Datagrams offered to the bridge and airspace networks combined
     /// (streams, attacks and telemetry).
     pub net_packets: u64,
+    /// Datagrams offered by external attacker nodes (a subset of
+    /// `net_packets` — the hostile share of the airspace load).
+    pub attacker_packets: u64,
     /// Fleet clock at teardown.
     pub duration: SimTime,
     /// Host wall-clock time of the run (zero unless produced by
@@ -466,7 +760,8 @@ impl FleetReport {
     /// Column list of [`FleetReport::to_csv`], exposed so downstream
     /// artifact writers that prefix extra columns stay in lockstep.
     pub const CSV_HEADER: &'static str = "vehicle,seed,outcome,crashed,switch_s,\
-         max_deviation_m,deadline_skips,gcs_packets,gcs_dropped,gcs_last_seen_s";
+         max_deviation_m,deadline_skips,gcs_packets,gcs_dropped,gcs_malformed,\
+         gcs_last_seen_s,swarm_rx,swarm_jam_drops,swarm_min_sep_m";
 
     /// Number of vehicles that crashed.
     pub fn crashes(&self) -> usize {
@@ -493,7 +788,7 @@ impl FleetReport {
         let mut csv = format!("{}\n", Self::CSV_HEADER);
         for o in &self.outcomes {
             csv.push_str(&format!(
-                "{},{},{},{},{},{:.4},{},{},{},{}\n",
+                "{},{},{},{},{},{:.4},{},{},{},{},{},{},{},{}\n",
                 o.index,
                 o.seed,
                 o.verdict(),
@@ -506,9 +801,16 @@ impl FleetReport {
                 o.deadline_skips,
                 o.gcs.packets,
                 o.gcs.dropped_ratelimit,
+                o.gcs.malformed,
                 o.gcs
                     .last_seen
                     .map(|t| format!("{:.3}", t.as_secs_f64()))
+                    .unwrap_or_default(),
+                o.swarm.rx_msgs,
+                o.swarm.dropped_jam,
+                o.swarm
+                    .min_separation
+                    .map(|d| format!("{d:.3}"))
                     .unwrap_or_default(),
             ));
         }

@@ -1,0 +1,376 @@
+//! Vehicle-to-vehicle swarm coordination streams — the second DoS
+//! surface the airspace carries.
+//!
+//! Real swarms do not only talk to a ground station: vehicles broadcast
+//! their position to formation neighbors so each can hold separation.
+//! [`SwarmLink`] wires radio↔radio links on a [`SwarmTopology`] (ring or
+//! mesh), binds one coordination port per radio, and exchanges periodic
+//! neighbor-position datagrams at the fleet's poll boundaries — the same
+//! deterministic merge point as the GCS downlink, so the sharded executor
+//! stays byte-identical at any thread count.
+//!
+//! The stream is also an *attack surface*: a hostile airspace peer that
+//! floods a radio's swarm port
+//! ([`FleetTarget::SwarmJam`](attacks::fleet::FleetTarget)) pressures
+//! the port's ingress budget. The per-port token bucket bounds what the
+//! jammer lands — genuine neighbor broadcasts arrive early in each
+//! refill window and survive — and the per-vehicle [`SwarmView`] makes
+//! the pressure measurable (received vs jam-dropped vs garbage).
+//!
+//! Broadcast emission is quantised to poll boundaries: a poll tick emits
+//! at most one broadcast round, so effective rates above the GCS poll
+//! rate clamp to it. That quantisation is what keeps the V2V traffic on
+//! the coordinating thread — and therefore independent of sharding.
+
+use sim_core::time::{SimDuration, SimTime};
+use virt_net::net::{Addr, LinkConfig, Network, NsId, SocketId};
+
+use crate::airspace::Airspace;
+use crate::gcs::{decode_telemetry, encode_telemetry, VehicleSnapshot};
+
+/// Port bound on every radio namespace for incoming V2V broadcasts.
+pub const SWARM_RX_PORT: u16 = 9_060;
+
+/// Port bound on every radio namespace for outgoing V2V broadcasts.
+pub const SWARM_TX_PORT: u16 = 9_061;
+
+/// Which neighbors each vehicle exchanges coordination traffic with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwarmTopology {
+    /// Each vehicle talks to its two ring neighbors (`i ± 1 mod N`).
+    Ring,
+    /// Each vehicle talks to the `degree` nearest indices on each side
+    /// (`Mesh { degree: 1 }` is the ring).
+    Mesh {
+        /// Neighbor reach on each side of the index ring.
+        degree: usize,
+    },
+}
+
+impl SwarmTopology {
+    /// Vehicle `i`'s neighbor set in an `n`-vehicle fleet: sorted,
+    /// deduplicated, never containing `i` itself.
+    pub fn neighbors(self, i: usize, n: usize) -> Vec<usize> {
+        let degree = match self {
+            SwarmTopology::Ring => 1,
+            SwarmTopology::Mesh { degree } => degree,
+        };
+        let mut out = Vec::new();
+        for d in 1..=degree {
+            if d >= n {
+                break;
+            }
+            out.push((i + d) % n);
+            out.push((i + n - d) % n);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&j| j != i);
+        out
+    }
+}
+
+/// Swarm coordination-stream configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwarmConfig {
+    /// Neighbor topology.
+    pub topology: SwarmTopology,
+    /// Broadcast rate per vehicle, Hz (quantised to GCS poll boundaries;
+    /// rates above the poll rate clamp to it).
+    pub broadcast_hz: f64,
+    /// Ingress rate limit per swarm rx port, packets/s (0 disables) —
+    /// the defence that bounds a jammer's impact.
+    pub per_port_pps: f64,
+    /// Burst allowance of the per-port limit, packets.
+    pub per_port_burst: f64,
+    /// Radio↔radio V2V link characteristics.
+    pub link: LinkConfig,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig {
+            topology: SwarmTopology::Ring,
+            broadcast_hz: 10.0,
+            per_port_pps: 100.0,
+            per_port_burst: 20.0,
+            // The V2V radio: same class of medium as the GCS uplink.
+            link: LinkConfig {
+                latency: SimDuration::from_millis(2),
+                bandwidth: 2.0e6,
+                queue_capacity: 64,
+            },
+        }
+    }
+}
+
+/// Last reported position + report time of one tracked neighbor.
+type NeighborTrack = Option<([f64; 3], SimTime)>;
+
+/// What one vehicle's radio learned from the coordination stream.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SwarmView {
+    /// Valid neighbor broadcasts received.
+    pub rx_msgs: u64,
+    /// Datagrams on the swarm port that failed to decode or claimed a
+    /// non-neighbor sender — jam garbage that got past the rate limit.
+    pub rx_garbage: u64,
+    /// Datagrams dropped at the swarm port by the ingress rate limit or
+    /// receive-queue overflow — the jammer's measurable footprint.
+    pub dropped_jam: u64,
+    /// Send timestamp of the freshest neighbor broadcast received.
+    pub last_heard: Option<SimTime>,
+    /// Smallest distance (m) between this vehicle and a neighbor's
+    /// reported position, over the whole flight — the separation metric
+    /// the coordination stream exists to maintain.
+    pub min_separation: Option<f64>,
+}
+
+/// The fleet's V2V coordination fabric: per-radio sockets, neighbor
+/// tables, and the per-vehicle views.
+#[derive(Debug)]
+pub struct SwarmLink {
+    rx: Vec<SocketId>,
+    tx: Vec<SocketId>,
+    /// Radio namespace per vehicle (broadcast destinations).
+    radios: Vec<NsId>,
+    /// Out-neighbors per vehicle (symmetric, sorted).
+    neighbors: Vec<Vec<usize>>,
+    views: Vec<SwarmView>,
+    /// Per (vehicle, in-neighbor slot) track — slot k of vehicle i
+    /// tracks `neighbors[i][k]`.
+    tracked: Vec<Vec<NeighborTrack>>,
+    next_tick: SimTime,
+    period: SimDuration,
+}
+
+impl SwarmLink {
+    /// Wires the V2V topology into the airspace (radio↔radio links in
+    /// `(i, j)` order with `i < j`) and binds the coordination ports.
+    pub fn build(air: &mut Airspace, cfg: &SwarmConfig) -> Self {
+        let n = air.n_vehicles();
+        let neighbors: Vec<Vec<usize>> = (0..n).map(|i| cfg.topology.neighbors(i, n)).collect();
+        for (i, nbrs) in neighbors.iter().enumerate() {
+            for &j in nbrs {
+                if i < j {
+                    air.connect_radios(i, j, cfg.link);
+                }
+            }
+        }
+        let mut rx = Vec::with_capacity(n);
+        let mut tx = Vec::with_capacity(n);
+        for i in 0..n {
+            let radio = air.radio(i);
+            let net = air.net_mut();
+            let sock = net.bind(radio, SWARM_RX_PORT).expect("swarm rx port free");
+            if cfg.per_port_pps > 0.0 {
+                net.add_rate_limit(
+                    Addr {
+                        ns: radio,
+                        port: SWARM_RX_PORT,
+                    },
+                    cfg.per_port_pps,
+                    cfg.per_port_burst,
+                );
+            }
+            rx.push(sock);
+            tx.push(net.bind(radio, SWARM_TX_PORT).expect("swarm tx port free"));
+        }
+        SwarmLink {
+            rx,
+            tx,
+            radios: air.radios().to_vec(),
+            tracked: neighbors.iter().map(|n| vec![None; n.len()]).collect(),
+            neighbors,
+            views: vec![SwarmView::default(); n],
+            next_tick: SimTime::ZERO,
+            period: SimDuration::from_hz(cfg.broadcast_hz),
+        }
+    }
+
+    /// Vehicle `i`'s neighbor set.
+    pub fn neighbors_of(&self, i: usize) -> &[usize] {
+        &self.neighbors[i]
+    }
+
+    /// Current per-vehicle views.
+    pub fn views(&self) -> &[SwarmView] {
+        &self.views
+    }
+
+    /// Emits one broadcast round if due: every still-flying vehicle, in
+    /// vehicle-index order, sends its position snapshot to each neighbor
+    /// (sorted order). Called at poll boundaries on the coordinating
+    /// thread — the deterministic merge point.
+    pub fn exchange(&mut self, net: &mut Network, fleet: &[VehicleSnapshot], now: SimTime) {
+        if now < self.next_tick {
+            return;
+        }
+        while self.next_tick <= now {
+            self.next_tick += self.period;
+        }
+        for (i, snapshot) in fleet.iter().enumerate() {
+            if snapshot.done {
+                continue;
+            }
+            for &j in &self.neighbors[i] {
+                let mut buf = net.take_buf();
+                encode_telemetry(&mut buf, i as u16, snapshot.crashed, snapshot.position);
+                let dst = Addr {
+                    ns: self.radios[j],
+                    port: SWARM_RX_PORT,
+                };
+                let _ = net.send(self.tx[i], dst, buf, now);
+            }
+        }
+    }
+
+    /// Drains every swarm port (vehicle-index order), updating neighbor
+    /// tables and separation statistics against the current snapshots.
+    // An index loop, not an iterator chain: the body needs disjoint
+    // `&mut` access to views/tracked while reading neighbors/rx.
+    #[allow(clippy::needless_range_loop)]
+    pub fn drain(&mut self, net: &mut Network, fleet: &[VehicleSnapshot]) {
+        for i in 0..self.rx.len() {
+            while let Some(pkt) = net.recv(self.rx[i]) {
+                let decoded = decode_telemetry(&pkt.payload);
+                match decoded {
+                    Some((sender, _crashed, position))
+                        if self.neighbors[i].contains(&(sender as usize)) =>
+                    {
+                        let view = &mut self.views[i];
+                        view.rx_msgs += 1;
+                        view.last_heard = Some(pkt.sent);
+                        let slot = self.neighbors[i]
+                            .iter()
+                            .position(|&j| j == sender as usize)
+                            .expect("sender is a neighbor");
+                        self.tracked[i][slot] = Some((position, pkt.sent));
+                        let own = fleet[i].position;
+                        let d2 = (own[0] - position[0]).powi(2)
+                            + (own[1] - position[1]).powi(2)
+                            + (own[2] - position[2]).powi(2);
+                        let dist = d2.sqrt();
+                        view.min_separation = Some(match view.min_separation {
+                            Some(m) => m.min(dist),
+                            None => dist,
+                        });
+                    }
+                    _ => self.views[i].rx_garbage += 1,
+                }
+                net.recycle(pkt);
+            }
+        }
+    }
+
+    /// Last tracked position report from `neighbor` as seen by `vehicle`,
+    /// if any broadcast has been heard.
+    pub fn tracked_position(&self, vehicle: usize, neighbor: usize) -> Option<([f64; 3], SimTime)> {
+        let slot = self.neighbors[vehicle]
+            .iter()
+            .position(|&j| j == neighbor)?;
+        self.tracked[vehicle][slot]
+    }
+
+    /// Tears the swarm fabric down into its final views, folding in the
+    /// per-port drop counters (rate limit + overflow = jam footprint).
+    pub fn finish(mut self, net: &Network) -> Vec<SwarmView> {
+        for (view, &sock) in self.views.iter_mut().zip(&self.rx) {
+            let stats = net.socket_stats(sock);
+            view.dropped_jam = stats.dropped_ratelimit + stats.dropped_overflow;
+        }
+        self.views
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_neighbors_wrap_and_dedup() {
+        assert_eq!(SwarmTopology::Ring.neighbors(0, 5), vec![1, 4]);
+        assert_eq!(SwarmTopology::Ring.neighbors(4, 5), vec![0, 3]);
+        assert_eq!(SwarmTopology::Ring.neighbors(0, 2), vec![1]);
+        assert!(SwarmTopology::Ring.neighbors(0, 1).is_empty());
+    }
+
+    #[test]
+    fn mesh_degree_widens_the_neighborhood() {
+        let mesh = SwarmTopology::Mesh { degree: 2 };
+        assert_eq!(mesh.neighbors(0, 6), vec![1, 2, 4, 5]);
+        assert_eq!(mesh.neighbors(3, 6), vec![1, 2, 4, 5]);
+        // Degree ≥ N/2 saturates into the full graph minus self.
+        let full = SwarmTopology::Mesh { degree: 10 };
+        assert_eq!(full.neighbors(1, 4), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn exchange_routes_broadcasts_to_ring_neighbors_only() {
+        let mut air = Airspace::build(4, LinkConfig::default());
+        let mut swarm = SwarmLink::build(&mut air, &SwarmConfig::default());
+        assert!(air.net().connected(air.radio(0), air.radio(1)));
+        assert!(!air.net().connected(air.radio(0), air.radio(2)));
+
+        let snaps: Vec<VehicleSnapshot> = (0..4)
+            .map(|i| VehicleSnapshot {
+                done: false,
+                crashed: false,
+                position: [i as f64, 0.0, -1.0],
+            })
+            .collect();
+        let t = SimTime::from_millis(100);
+        swarm.exchange(air.net_mut(), &snaps, t);
+        air.net_mut().step(t + SimDuration::from_millis(10));
+        swarm.drain(air.net_mut(), &snaps);
+
+        for i in 0..4 {
+            let view = swarm.views()[i];
+            assert_eq!(view.rx_msgs, 2, "vehicle {i} heard both ring neighbors");
+            assert_eq!(view.rx_garbage, 0);
+            assert_eq!(view.last_heard, Some(t));
+            // Ring distance 1 (neighbor i±1) except across the 0↔3 wrap.
+            let sep = view.min_separation.expect("separation tracked");
+            assert!((sep - 1.0).abs() < 1e-9, "vehicle {i} min sep {sep}");
+        }
+        let (pos, at) = swarm.tracked_position(1, 2).expect("1 tracked 2");
+        assert_eq!(pos, [2.0, 0.0, -1.0]);
+        assert_eq!(at, t);
+        assert_eq!(swarm.tracked_position(0, 2), None, "not a neighbor");
+    }
+
+    #[test]
+    fn finished_vehicles_stop_broadcasting() {
+        let mut air = Airspace::build(3, LinkConfig::default());
+        let mut swarm = SwarmLink::build(&mut air, &SwarmConfig::default());
+        let mut snaps = vec![VehicleSnapshot::default(); 3];
+        snaps[1].done = true;
+        let t = SimTime::from_millis(100);
+        swarm.exchange(air.net_mut(), &snaps, t);
+        air.net_mut().step(t + SimDuration::from_millis(10));
+        swarm.drain(air.net_mut(), &snaps);
+        assert_eq!(swarm.views()[0].rx_msgs, 1, "only vehicle 2 broadcast");
+        assert_eq!(swarm.views()[1].rx_msgs, 2, "the silent one still hears");
+    }
+
+    #[test]
+    fn broadcast_rate_is_quantised_to_the_tick_clock() {
+        let mut air = Airspace::build(2, LinkConfig::default());
+        let cfg = SwarmConfig {
+            broadcast_hz: 5.0, // 200 ms period against 100 ms poll ticks
+            ..SwarmConfig::default()
+        };
+        let mut swarm = SwarmLink::build(&mut air, &cfg);
+        let snaps = vec![VehicleSnapshot::default(); 2];
+        let mut sent_rounds = 0u32;
+        for tick in 0..10u64 {
+            let t = SimTime::from_millis(tick * 100);
+            let before = air.net().packets_sent();
+            swarm.exchange(air.net_mut(), &snaps, t);
+            if air.net().packets_sent() > before {
+                sent_rounds += 1;
+            }
+        }
+        assert_eq!(sent_rounds, 5, "every other 100 ms tick broadcasts");
+    }
+}

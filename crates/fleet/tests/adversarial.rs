@@ -1,0 +1,236 @@
+//! Behaviour of the adversarial airspace: external attacker nodes are
+//! *bounded* by the same token-bucket defences that bound onboard
+//! attackers, and their damage stays confined to the victim endpoint.
+
+use attacks::fleet::{FleetScript, FleetTarget};
+use attacks::script::AttackEvent;
+use attacks::udp_flood::UdpFlood;
+use cd_fleet::{AttackerConfig, Fleet, FleetConfig, SwarmConfig, SwarmTopology};
+use containerdrone_core::scenario::ScenarioConfig;
+use sim_core::time::{SimDuration, SimTime};
+
+fn base(secs: u64) -> ScenarioConfig {
+    ScenarioConfig::healthy().with_duration(SimDuration::from_secs(secs))
+}
+
+fn flood() -> AttackEvent {
+    AttackEvent::UdpFlood(UdpFlood::against_motor_port())
+}
+
+/// A 20 kpps uplink flood against one vehicle's GCS telemetry port: the
+/// per-client token bucket bounds what the attacker lands, the victim is
+/// still heard, and every other client's telemetry is untouched —
+/// byte-for-byte the same views as an attack-free run.
+#[test]
+fn gcs_uplink_flood_saturation_is_bounded_by_the_token_bucket() {
+    let victim = 1usize;
+    let script = FleetScript::new().at(
+        SimTime::from_secs(1),
+        FleetTarget::GcsUplink(victim),
+        flood(),
+    );
+    let attacked = Fleet::new(FleetConfig::new(base(4), 4).with_script(script)).run();
+    let baseline = Fleet::new(FleetConfig::new(base(4), 4)).run();
+
+    assert!(
+        attacked.attacker_packets > 50_000,
+        "the flood barely fired: {}",
+        attacked.attacker_packets
+    );
+    let v = &attacked.outcomes[victim];
+    // The bucket admits at most pps * window + burst datagrams in total
+    // (genuine + garbage); with the default 50 pps / 10 burst over a 4 s
+    // flight that is a hard ceiling of 210.
+    let landed = v.gcs.packets + v.gcs.malformed;
+    assert!(
+        landed <= 210,
+        "token bucket failed to bound attacker impact: {landed} datagrams landed"
+    );
+    assert!(v.gcs.malformed > 0, "no flood garbage was even observed");
+    assert!(
+        v.gcs.packets > 0,
+        "the victim's genuine telemetry was fully starved"
+    );
+    assert!(
+        v.gcs.dropped_ratelimit > 50_000,
+        "the flood was not absorbed by the rate limit: {} drops",
+        v.gcs.dropped_ratelimit
+    );
+    // Collateral check: the other clients' views are *identical* to an
+    // attack-free fleet — per-client buckets isolate the blast radius.
+    for i in (0..4).filter(|&i| i != victim) {
+        assert_eq!(
+            attacked.outcomes[i].gcs, baseline.outcomes[i].gcs,
+            "vehicle {i}'s telemetry view was perturbed by an attack on vehicle {victim}"
+        );
+        assert_eq!(attacked.outcomes[i].gcs.malformed, 0);
+    }
+}
+
+/// Jamming one vehicle's V2V port: the per-port token bucket absorbs the
+/// 20 kpps jam (drops counted as the jammer's footprint), the garbage
+/// that lands stays inside the bucket's budget, the victim keeps hearing
+/// its neighbors — and the rest of the ring is untouched. The V2V
+/// analogue of the paper's iptables defence.
+#[test]
+fn swarm_jam_is_bounded_and_confined_to_the_jammed_port() {
+    let victim = 2usize;
+    let script = FleetScript::new().at(
+        SimTime::from_secs(1),
+        FleetTarget::SwarmJam(victim),
+        flood(),
+    );
+    let cfg = |script: FleetScript| {
+        FleetConfig::new(base(4), 5)
+            .with_script(script)
+            .with_swarm(SwarmConfig::default())
+    };
+    let jammed = Fleet::new(cfg(script)).run();
+    let baseline = Fleet::new(cfg(FleetScript::none())).run();
+
+    let v = &jammed.outcomes[victim];
+    assert!(v.swarm.dropped_jam > 10_000, "jam never pressured the port");
+    // Jam garbage that got past the bucket is bounded by its budget:
+    // pps * jam window + burst = 100 * 3 + 20.
+    assert!(
+        v.swarm.rx_garbage > 0 && v.swarm.rx_garbage <= 320,
+        "jam garbage outside the bucket budget: {}",
+        v.swarm.rx_garbage
+    );
+    // Genuine coordination survives: neighbor broadcasts arrive early in
+    // each refill window, so the bucket defence keeps nearly all of them.
+    assert!(
+        v.swarm.rx_msgs * 10 >= baseline.outcomes[victim].swarm.rx_msgs * 8,
+        "the jam starved the victim's V2V stream despite the rate limit: {} vs {}",
+        v.swarm.rx_msgs,
+        baseline.outcomes[victim].swarm.rx_msgs
+    );
+    for i in (0..5).filter(|&i| i != victim) {
+        assert_eq!(
+            jammed.outcomes[i].swarm, baseline.outcomes[i].swarm,
+            "vehicle {i}'s swarm view was perturbed by a jam on vehicle {victim}"
+        );
+    }
+    // The vehicles themselves (physics, control, telemetry) are fully
+    // untouched by a pure airspace attack.
+    for (a, b) in jammed.outcomes.iter().zip(&baseline.outcomes) {
+        assert_eq!(
+            a.result.telemetry.to_csv(),
+            b.result.telemetry.to_csv(),
+            "vehicle {} flight perturbed by V2V jamming",
+            a.index
+        );
+    }
+}
+
+/// A healthy swarm on a mesh topology: everyone hears `2 * degree`
+/// neighbors, tracks separations, and the GCS sees no malformed traffic.
+#[test]
+fn mesh_swarm_coordinates_without_attacks() {
+    let cfg = FleetConfig::new(base(2), 6).with_swarm(SwarmConfig {
+        topology: SwarmTopology::Mesh { degree: 2 },
+        ..SwarmConfig::default()
+    });
+    let report = Fleet::new(cfg).run();
+    for o in &report.outcomes {
+        assert!(
+            o.swarm.rx_msgs >= 4 * 10,
+            "vehicle {} heard only {} broadcasts",
+            o.index,
+            o.swarm.rx_msgs
+        );
+        assert_eq!(o.swarm.rx_garbage, 0);
+        assert_eq!(o.swarm.dropped_jam, 0);
+        assert!(o.swarm.last_heard.is_some());
+        // All six hover around the same setpoint with decorrelated noise:
+        // separations are small but tracked.
+        let sep = o.swarm.min_separation.expect("separation tracked");
+        assert!(sep < 1.0, "vehicle {} separation {sep}", o.index);
+        assert_eq!(o.gcs.malformed, 0);
+    }
+    assert_eq!(report.attacker_packets, 0);
+}
+
+/// Attacker entries spread across multiple hostile namespaces by victim
+/// (`victim % nodes`), every populated node joins the airspace and
+/// fires, and the multi-node campaign is deterministic run-to-run. Node
+/// count is real topology — two transmitters mean two links with their
+/// own serialisers — so reports legitimately differ from the single-node
+/// assignment, but never between identical runs.
+#[test]
+fn multiple_attacker_nodes_split_the_campaign_deterministically() {
+    let config = || {
+        let script = FleetScript::new()
+            .at(SimTime::from_secs(1), FleetTarget::GcsUplink(0), flood())
+            .at(SimTime::from_secs(1), FleetTarget::GcsUplink(1), flood())
+            .at(
+                SimTime::from_secs(2),
+                FleetTarget::GcsUplink(0),
+                AttackEvent::CeaseFire,
+            );
+        FleetConfig::new(base(3), 3)
+            .with_script(script)
+            .with_attacker(AttackerConfig {
+                nodes: 2,
+                ..AttackerConfig::default()
+            })
+    };
+    let single = Fleet::new(
+        FleetConfig::new(base(3), 3).with_script(FleetScript::new().at(
+            SimTime::from_secs(1),
+            FleetTarget::GcsUplink(0),
+            flood(),
+        )),
+    );
+    assert_eq!(single.attackers().len(), 1, "one node by default");
+
+    let fleet = Fleet::new(config());
+    assert_eq!(
+        fleet.attackers().len(),
+        2,
+        "victims 0 and 1 get separate nodes"
+    );
+    // The hostile peers are auditable from the topology alone: find them
+    // by name and check how they were wired into radio range.
+    let air = fleet.airspace();
+    let hostile_link = AttackerConfig::default().link;
+    for name in ["attacker-0", "attacker-1"] {
+        let ns = air
+            .net()
+            .find_namespace(name)
+            .unwrap_or_else(|| panic!("{name} never joined the airspace"));
+        assert_eq!(air.net().link_config(ns, air.gcs_ns()), Some(hostile_link));
+        for v in 0..3 {
+            assert_eq!(air.net().link_config(ns, air.radio(v)), Some(hostile_link));
+        }
+    }
+    assert_eq!(air.net().find_namespace("attacker-2"), None);
+    let a = fleet.run();
+    let b = Fleet::new(config()).run();
+    assert_eq!(
+        a.to_csv(),
+        b.to_csv(),
+        "multi-node campaign not deterministic"
+    );
+    assert_eq!(a.attacker_packets, b.attacker_packets);
+    // Both victims' ports saw hostile pressure from their own node.
+    for victim in [0usize, 1] {
+        assert!(
+            a.outcomes[victim].gcs.dropped_ratelimit > 1_000,
+            "vehicle {victim}'s node never fired"
+        );
+    }
+    assert_eq!(
+        a.outcomes[2].gcs.malformed, 0,
+        "unattacked client untouched"
+    );
+}
+
+/// Jamming a fleet that has no swarm configured is a misconfiguration,
+/// caught at build time.
+#[test]
+#[should_panic(expected = "SwarmJam targets need with_swarm")]
+fn swarm_jam_without_a_swarm_is_rejected() {
+    let script = FleetScript::new().at(SimTime::from_secs(1), FleetTarget::SwarmJam(0), flood());
+    let _ = Fleet::new(FleetConfig::new(base(2), 2).with_script(script));
+}

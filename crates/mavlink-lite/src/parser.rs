@@ -63,20 +63,50 @@ impl Parser {
     /// Like [`Parser::push`], but appends the decoded frames to a
     /// caller-provided buffer — the allocation-free parse path for hot
     /// loops that reuse one scratch `Vec` across packets.
+    ///
+    /// The input slice is scanned in place wherever possible: with an
+    /// empty reassembly buffer the whole chunk parses zero-copy, and a
+    /// pending partial frame absorbs only the bytes it can still need
+    /// before the remainder of the chunk goes back to the in-place scan.
+    /// A flooded channel thus never pays a copy-in/drain-out round trip
+    /// for whole datagrams just because one earlier datagram split a
+    /// frame.
     pub fn push_into(&mut self, bytes: &[u8], frames: &mut Vec<Frame>) {
-        if self.buf.is_empty() {
-            // Fast path (the overwhelmingly common whole-datagram case):
-            // scan the input in place and only buffer an incomplete tail,
-            // skipping the copy-in/drain-out round trip.
+        let mut bytes = bytes;
+        // Settle the pending prefix first. `needed` bounds how many bytes
+        // the buffered candidate can still absorb before it either
+        // decodes or fails structurally, so the copy stays at frame-tail
+        // size; each round consumes input, so this terminates.
+        while !self.buf.is_empty() && !bytes.is_empty() {
+            let take = Self::needed(&self.buf).min(bytes.len());
+            self.buf.extend_from_slice(&bytes[..take]);
+            bytes = &bytes[take..];
+            let pos = Self::scan(&mut self.stats, &self.buf, frames);
+            self.buf.drain(..pos);
+        }
+        if !bytes.is_empty() {
+            // Zero-copy path (the overwhelmingly common whole-datagram
+            // case): scan the input in place and only buffer an
+            // incomplete tail, skipping the copy-in/drain-out round trip.
             let pos = Self::scan(&mut self.stats, bytes, frames);
             if pos < bytes.len() {
                 self.buf.extend_from_slice(&bytes[pos..]);
             }
-            return;
         }
-        self.buf.extend_from_slice(bytes);
-        let pos = Self::scan(&mut self.stats, &self.buf, frames);
-        self.buf.drain(..pos);
+    }
+
+    /// Upper bound on the bytes the buffered prefix still needs before
+    /// [`Parser::scan`] can settle it: enough to read the LEN byte, then
+    /// enough to complete the LEN-declared frame. The buffer only ever
+    /// holds a tail [`Parser::could_complete`] approved, so the bound is
+    /// positive.
+    fn needed(buf: &[u8]) -> usize {
+        if buf.len() < 2 {
+            return 2 - buf.len();
+        }
+        (buf[1] as usize + FRAME_OVERHEAD)
+            .saturating_sub(buf.len())
+            .max(1)
     }
 
     /// Scans `data` for frames, updating `stats` and pushing decoded
@@ -246,6 +276,75 @@ mod tests {
         assert!(p.pending_bytes() > 0);
         let frames = p.push(&wire[cut..]);
         assert_eq!(frames.len(), 1);
+    }
+
+    /// The always-buffer reference implementation the zero-copy path
+    /// replaced: copy every chunk into the reassembly buffer, scan the
+    /// buffer, drain the consumed prefix.
+    fn push_buffered(p: &mut Parser, bytes: &[u8], frames: &mut Vec<Frame>) {
+        p.buf.extend_from_slice(bytes);
+        let pos = Parser::scan(&mut p.stats, &p.buf, frames);
+        p.buf.drain(..pos);
+    }
+
+    /// The zero-copy scan path must be observationally identical to the
+    /// buffered reference for *every* chunking of a hostile byte stream:
+    /// same frames, same statistics, same pending tail. The corpus mixes
+    /// garbage runs (with embedded fake STX bytes), valid frames,
+    /// CRC-corrupted frames and flood zeros; the chunk sizes come from a
+    /// deterministic LCG so failures reproduce.
+    #[test]
+    fn zero_copy_path_is_equivalent_to_the_buffered_path() {
+        let mut wire = vec![0x00, STX, 0x03, 0xFF]; // junk with a fake STX
+        wire.extend(motor_wire(0, 3));
+        wire.extend([0u8; 40]); // flood garbage
+        let mut corrupted = motor_wire(3, 2);
+        corrupted[10] ^= 0xA5; // CRC failure mid-stream
+        wire.extend(corrupted);
+        wire.extend(motor_wire(5, 2));
+        wire.extend([STX]); // lone trailing start marker
+
+        let mut state = 7u64;
+        let mut next = move |bound: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize % bound + 1
+        };
+        for trial in 0..200 {
+            let mut fast = Parser::new();
+            let mut slow = Parser::new();
+            let mut fast_frames = Vec::new();
+            let mut slow_frames = Vec::new();
+            let mut rest: &[u8] = &wire;
+            while !rest.is_empty() {
+                let take = next(17).min(rest.len());
+                fast.push_into(&rest[..take], &mut fast_frames);
+                push_buffered(&mut slow, &rest[..take], &mut slow_frames);
+                assert_eq!(fast.stats(), slow.stats(), "trial {trial}");
+                rest = &rest[take..];
+            }
+            assert_eq!(fast_frames.len(), slow_frames.len(), "trial {trial}");
+            assert_eq!(fast_frames, slow_frames, "trial {trial}");
+            assert_eq!(fast.pending_bytes(), slow.pending_bytes());
+            assert_eq!(fast.buf, slow.buf, "pending tails diverged");
+            assert_eq!(fast_frames.len(), 7 - 1, "one frame was corrupted");
+            assert!(fast.stats().crc_errors >= 1);
+        }
+    }
+
+    #[test]
+    fn pending_frame_absorbs_only_what_it_needs() {
+        // A split frame followed by a whole datagram in one chunk: the
+        // pending tail completes from the chunk head and the rest must
+        // parse without a trip through the reassembly buffer.
+        let wire = motor_wire(0, 2);
+        let frame_len = wire.len() / 2;
+        let mut p = Parser::new();
+        assert!(p.push(&wire[..frame_len - 3]).is_empty());
+        assert_eq!(p.pending_bytes(), frame_len - 3);
+        let frames = p.push(&wire[frame_len - 3..]);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(p.pending_bytes(), 0, "nothing left buffered");
+        assert_eq!(p.stats().frames_ok, 2);
     }
 
     #[test]

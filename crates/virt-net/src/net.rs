@@ -531,6 +531,53 @@ impl Network {
         self.namespaces.len()
     }
 
+    /// The name a namespace was created with.
+    pub fn namespace_name(&self, ns: NsId) -> &str {
+        &self.namespaces[ns.0 as usize]
+    }
+
+    /// Looks a namespace up by name (first match in creation order).
+    ///
+    /// The audit surface for topologies that let arbitrary peers join —
+    /// a fleet airspace admitting attacker nodes, say: tests and tooling
+    /// find a tenant by name and then inspect its wiring with
+    /// [`Network::neighbors`] / [`Network::link_config`].
+    pub fn find_namespace(&self, name: &str) -> Option<NsId> {
+        self.namespaces
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NsId(i as u32))
+    }
+
+    /// Every namespace directly linked to `ns`, in link-creation order.
+    /// Duplicate links report their peer once.
+    ///
+    /// This is the radio-range view of a peer: a jammer in the airspace
+    /// can reach exactly its neighbors, and a swarm topology audit walks
+    /// these lists.
+    pub fn neighbors(&self, ns: NsId) -> Vec<NsId> {
+        let mut out = Vec::new();
+        for link in &self.links {
+            let peer = if link.a == ns {
+                link.b
+            } else if link.b == ns {
+                link.a
+            } else {
+                continue;
+            };
+            if !out.contains(&peer) {
+                out.push(peer);
+            }
+        }
+        out
+    }
+
+    /// The characteristics of the link carrying traffic between `a` and
+    /// `b`, if they are connected.
+    pub fn link_config(&self, a: NsId, b: NsId) -> Option<LinkConfig> {
+        self.route(a, b).map(|i| self.links[i].config)
+    }
+
     /// Binds a UDP socket in `ns` on `port` with the default receive queue
     /// (256 datagrams, like a small `SO_RCVBUF`).
     ///
@@ -1100,6 +1147,44 @@ mod tests {
             let pkt = net.recv(*rx).expect("uplink datagram routed");
             assert_eq!(pkt.payload.as_slice(), [v as u8]);
         }
+    }
+
+    #[test]
+    fn topology_introspection_tracks_arbitrary_peers() {
+        // An airspace where peers beyond the original two tenants join
+        // late: radios, a GCS, and a hostile node linked into radio range.
+        let mut net = Network::new();
+        let gcs = net.add_namespace("gcs");
+        let r0 = net.add_namespace("radio-0");
+        let r1 = net.add_namespace("radio-1");
+        net.connect(r0, gcs, LinkConfig::default());
+        net.connect(r1, gcs, LinkConfig::default());
+        net.connect(r0, r1, LinkConfig::default()); // V2V link
+        let hostile = net.add_namespace("attacker-0");
+        let radio_link = LinkConfig {
+            latency: SimDuration::from_millis(2),
+            bandwidth: 2.0e6,
+            queue_capacity: 64,
+        };
+        net.connect(hostile, gcs, radio_link);
+        net.connect(hostile, r1, radio_link);
+
+        assert_eq!(net.namespace_name(hostile), "attacker-0");
+        assert_eq!(net.find_namespace("radio-1"), Some(r1));
+        assert_eq!(net.find_namespace("radio-7"), None);
+        assert_eq!(net.neighbors(gcs), vec![r0, r1, hostile]);
+        assert_eq!(net.neighbors(hostile), vec![gcs, r1]);
+        assert_eq!(net.neighbors(r0), vec![gcs, r1]);
+        assert_eq!(net.link_config(hostile, gcs), Some(radio_link));
+        assert_eq!(net.link_config(hostile, r0), None);
+    }
+
+    #[test]
+    fn neighbors_reports_duplicate_links_once() {
+        let (mut net, host, cce) = pair();
+        net.connect(host, cce, LinkConfig::default()); // inert duplicate
+        assert_eq!(net.neighbors(host), vec![cce]);
+        assert_eq!(net.neighbors(cce), vec![host]);
     }
 
     #[test]

@@ -15,8 +15,8 @@
 //! | [`memory`] (`membw`) | Shared DRAM contention model + MemGuard |
 //! | [`network`] (`virt-net`) | Namespaced UDP stack with iptables-style rate limiting |
 //! | [`containers`] (`container-rt`) | Docker-like container runtime + QEMU-like VM model |
-//! | [`attacks`] | Memory hog, UDP flood, CPU hog, controller-kill attacks + fleet placement |
-//! | [`fleet`] (`cd-fleet`) | Multi-UAV co-simulation: sharded parallel executor, GCS airspace |
+//! | [`attacks`] | Memory hog, UDP flood, CPU hog, controller-kill attacks + fleet/attacker-node placement |
+//! | [`fleet`] (`cd-fleet`) | Multi-UAV co-simulation: load-balanced sharded executor, adversarial airspace (GCS, V2V swarm streams, attacker nodes) |
 //! | [`sim`] (`sim-core`) | Deterministic time, RNG, events, recording |
 //!
 //! # Quickstart
