@@ -67,6 +67,7 @@ impl Measurement {
 /// Times `work` (which reports `(steps, packets)`) `repeat` times and
 /// keeps the fastest run — every iteration repeats identical
 /// deterministic work, so best-of discards only host noise.
+#[allow(clippy::disallowed_methods)] // wall time is the measurement here
 fn measure(name: &str, repeat: usize, mut work: impl FnMut() -> (u64, u64)) -> Measurement {
     let quantum_s = containerdrone_core::config::SCHED_QUANTUM.as_secs_f64();
     let mut best: Option<Measurement> = None;

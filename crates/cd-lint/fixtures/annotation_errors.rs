@@ -1,0 +1,13 @@
+// Fixture: malformed annotations are findings themselves.
+
+// cd-lint: allow(wall_clock)
+fn missing_justification() {}
+
+// cd-lint: allow(made_up_rule) -- justification for a rule that does not exist
+fn unknown_rule() {}
+
+// cd-lint: frobnicate(wall_clock) -- not a directive
+fn unknown_verb() {}
+
+// cd-lint: deny(wall_clock)
+fn only_panic_paths_is_region_scoped() {}

@@ -1,0 +1,19 @@
+// Fixture: a booked-error decode path, an allow with a bound proof,
+// and a region end after which unwrap is legal again.
+
+// cd-lint: deny(panic_paths)
+pub fn decode(payload: &[u8]) -> Option<u8> {
+    let first = payload.first().copied()?;
+    let rest = payload.get(1..)?;
+    let mut sum = first;
+    for b in rest {
+        sum = sum.wrapping_add(*b);
+    }
+    let fixed: [u8; 2] = [first, sum];
+    Some(fixed[0]) // cd-lint: allow(panic_paths) -- const index into a fixed-size array: compile-checked
+}
+// cd-lint: end(panic_paths)
+
+pub fn outside_the_region(v: Option<u8>) -> u8 {
+    v.unwrap()
+}

@@ -1,0 +1,15 @@
+// Fixture: every forbidden construct inside a deny region fires.
+// cd-lint: deny(panic_paths)
+
+pub fn decode(payload: &[u8]) -> u8 {
+    let first = payload[0];
+    let second = *payload.get(1).unwrap();
+    let third = *payload.get(2).expect("third byte");
+    if first > 10 {
+        panic!("bad header");
+    }
+    match second {
+        0 => unreachable!("zero is filtered upstream"),
+        _ => first.wrapping_add(second).wrapping_add(third),
+    }
+}

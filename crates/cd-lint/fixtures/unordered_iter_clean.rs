@@ -1,0 +1,36 @@
+// Fixture: lookups, ordered containers, look-alike names and audited
+// iteration all stay quiet.
+use std::collections::{BTreeMap, HashMap};
+
+struct Clean {
+    routes: HashMap<u32, u32>,
+    ordered: BTreeMap<u32, u32>,
+}
+
+impl Clean {
+    fn lookups_are_fine(&self) -> Option<u32> {
+        self.routes.get(&7).copied()
+    }
+
+    fn inserts_are_fine(&mut self) {
+        self.routes.insert(1, 2);
+        let _ = self.routes.contains_key(&1);
+    }
+
+    fn btree_iteration_is_ordered(&self) -> u32 {
+        self.ordered.values().sum()
+    }
+
+    fn slices_are_ordered(items: &[u32]) -> u32 {
+        items.iter().sum()
+    }
+
+    fn audited(&self) -> u64 {
+        let mut n = 0u64;
+        // cd-lint: allow(unordered_iter) -- commutative count: order cannot reach observable state
+        for _ in self.routes.values() {
+            n += 1;
+        }
+        n
+    }
+}

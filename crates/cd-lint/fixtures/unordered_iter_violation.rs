@@ -1,0 +1,35 @@
+// Fixture: hash-ordered iteration through fields, aliases and locals.
+use std::collections::{HashMap, HashSet};
+
+type Index = HashMap<u32, u32>;
+
+struct Table {
+    routes: HashMap<(u32, u32), u32>,
+    seen: HashSet<u64>,
+    by_alias: Index,
+}
+
+impl Table {
+    fn for_loop_leaks_order(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (_k, v) in &self.routes {
+            out.push(*v);
+        }
+        out
+    }
+
+    fn method_iteration_leaks_order(&self) -> usize {
+        self.seen.iter().count()
+    }
+
+    fn alias_is_still_a_hash_map(&self) -> usize {
+        self.by_alias.values().count()
+    }
+}
+
+fn local_binding() {
+    let pending = HashSet::new();
+    for p in &pending {
+        let _: &u64 = p;
+    }
+}

@@ -1,0 +1,33 @@
+// Fixture: SAFETY discharges in every accepted position; unsafe fn
+// declarations need none.
+static mut COUNTER: u64 = 0;
+
+pub fn above() {
+    // SAFETY: single-threaded fixture; no concurrent access exists.
+    unsafe {
+        COUNTER += 1;
+    }
+}
+
+pub fn trailing() {
+    unsafe { COUNTER += 1 } // SAFETY: same single-threaded guarantee.
+}
+
+pub fn multi_line_comment_above() {
+    // The obligation can take several comment lines to state.
+    // SAFETY: still single-threaded; the counter is a plain integer
+    // with no invariants beyond its own value.
+    unsafe {
+        COUNTER += 1;
+    }
+}
+
+pub struct Wrapper(*mut u8);
+
+/* SAFETY: the raw pointer is only dereferenced on the owning thread;
+   sending the wrapper moves ownership wholesale. */
+unsafe impl Send for Wrapper {}
+
+/// An `unsafe fn` *declares* an obligation rather than discharging
+/// one, so no SAFETY comment is demanded at the signature.
+pub unsafe fn requires_caller_proof() {}

@@ -1,0 +1,12 @@
+// Fixture: naked unsafe block and unsafe impl both fire.
+static mut COUNTER: u64 = 0;
+
+pub fn bump() {
+    unsafe {
+        COUNTER += 1;
+    }
+}
+
+pub struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,12 @@
+// Fixture: justified allows on their own line and trailing a statement.
+use std::time::Instant;
+
+fn cost_probe() -> f64 {
+    // cd-lint: allow(wall_clock) -- cost-only EWMA observation, never feeds the report
+    let started = Instant::now();
+    started.elapsed().as_secs_f64()
+}
+
+fn trailing() {
+    let _t = Instant::now(); // cd-lint: allow(wall_clock) -- diagnostic field, excluded from report comparisons
+}

@@ -1,0 +1,16 @@
+// Fixture: both forbidden clock reads fire; strings and comments do not.
+use std::time::{Instant, SystemTime};
+
+fn bad_instant() -> f64 {
+    let started = Instant::now();
+    started.elapsed().as_secs_f64()
+}
+
+fn bad_system_time() {
+    let _ = SystemTime::now();
+}
+
+fn false_positives_stay_quiet() {
+    let _msg = "Instant::now() in a string is prose, not a clock read";
+    // Instant::now() in a comment is prose too.
+}

@@ -1,0 +1,357 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The build environment has no crates.io registry, so there is no `syn`
+//! to lean on; the rules only need a faithful *token* stream, not a
+//! syntax tree. What the scanner must get exactly right are the classic
+//! false-positive traps: string literals (`"Instant::now()"` in a test
+//! string is not a clock read), raw strings with arbitrary `#` fences,
+//! byte strings, char literals versus lifetimes (`'a'` versus `'a`),
+//! line comments, and *nested* block comments. Comments are not
+//! discarded — they carry the `cd-lint:` annotation grammar and the
+//! `SAFETY:` contracts the rules enforce — so they come out in a
+//! separate side channel with line spans.
+
+/// What kind of token a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `[`, …).
+    Punct,
+    /// Any literal: string, raw string, byte string, char, number.
+    Literal,
+    /// A lifetime (`'a`, `'static`, `'_`), *not* a char literal.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// The token's text (for literals, the raw source spelling).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block) with its line span and raw text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Raw text including the `//` / `/* */` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub start_line: u32,
+    /// 1-based line the comment ends on (block comments may span lines).
+    pub end_line: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order. Comments, whitespace and literal
+    /// *contents* never appear here.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// `true` if any token starts on `line`.
+    pub fn line_has_tokens(&self, line: u32) -> bool {
+        // Tokens are in source order; a binary search keeps the rule
+        // passes cheap even on large files.
+        self.tokens.binary_search_by_key(&line, |t| t.line).is_ok()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Unterminated constructs are
+/// tolerated (the remainder of the file is swallowed into the open
+/// literal/comment): a lint must never panic on the code it audits.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Advances one char, tracking newlines.
+    fn bump(&mut self) {
+        if self.peek(0) == Some('\n') {
+            self.line += 1;
+        }
+        self.i += 1;
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                _ if c.is_whitespace() => self.bump(),
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.char_or_lifetime(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                _ => {
+                    self.push(TokKind::Punct, c.to_string(), self.line);
+                    self.bump();
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.i, self.line);
+        while self.peek(0).is_some_and(|c| c != '\n') {
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text: self.chars[start..self.i].iter().collect(),
+            start_line: line,
+            end_line: line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let (start, start_line) = (self.i, self.line);
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 && self.peek(0).is_some() {
+            if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text: self.chars[start..self.i].iter().collect(),
+            start_line,
+            end_line: self.line,
+        });
+    }
+
+    /// A plain `"…"` string, with escape handling (`\"` does not end it).
+    fn string_literal(&mut self) {
+        let (start, line) = (self.i, self.line);
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump();
+                self.bump(); // the escaped char (ok if it was the last)
+            } else if c == '"' {
+                self.bump();
+                break;
+            } else {
+                self.bump();
+            }
+        }
+        self.literal_from(start, line);
+    }
+
+    /// A raw string `r"…"` / `r#"…"#` with `hashes` fence characters;
+    /// called with `self.i` at the opening quote.
+    fn raw_string_body(&mut self, hashes: usize) {
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                // A quote only closes when followed by the full fence.
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some('#') {
+                        self.bump();
+                        continue 'outer;
+                    }
+                }
+                self.bump(); // quote
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// `'a` (lifetime) versus `'a'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) {
+        let (start, line) = (self.i, self.line);
+        match self.peek(1) {
+            // Escaped char literal: '\n', '\u{1F600}', '\\', '\''.
+            Some('\\') => {
+                self.bump(); // '
+                self.bump(); // backslash
+                if self.peek(0) == Some('u') && self.peek(1) == Some('{') {
+                    while self.peek(0).is_some_and(|c| c != '}') {
+                        self.bump();
+                    }
+                }
+                self.bump(); // escape body (or '}')
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.literal_from(start, line);
+            }
+            // Plain char literal: exactly one char then a closing quote.
+            Some(_) if self.peek(2) == Some('\'') => {
+                self.bump();
+                self.bump();
+                self.bump();
+                self.literal_from(start, line);
+            }
+            // Otherwise a lifetime: consume the label.
+            _ => {
+                self.bump(); // '
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                let text: String = self.chars[start..self.i].iter().collect();
+                self.push(TokKind::Lifetime, text, line);
+            }
+        }
+    }
+
+    /// Numbers need no precision beyond "don't eat a quote": digits,
+    /// alphanumerics (hex, suffixes, exponents) and a single embedded
+    /// `.` when followed by a digit (`1.5` yes, `1..5` and `1.max()` no).
+    fn number(&mut self) {
+        let (start, line) = (self.i, self.line);
+        let mut seen_dot = false;
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                self.bump();
+            } else if c == '.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                seen_dot = true;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.literal_from(start, line);
+    }
+
+    /// An identifier — unless it is one of the literal prefixes `r`, `b`,
+    /// `br` directly followed by a (raw) string or char, or a raw
+    /// identifier `r#name`.
+    fn ident_or_prefixed_literal(&mut self) {
+        let (start, line) = (self.i, self.line);
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+
+        match (text.as_str(), self.peek(0)) {
+            // b'x' byte char literal.
+            ("b", Some('\'')) => {
+                self.char_byte_tail(start, line);
+            }
+            // r"…" / b"…" / br"…" plain-quoted literal.
+            ("r" | "b" | "br", Some('"')) => {
+                if text == "r" || text == "br" {
+                    self.raw_string_body(0);
+                } else {
+                    self.string_literal_tail();
+                }
+                self.literal_from(start, line);
+            }
+            // r#…: raw string r#"…"# or raw identifier r#keyword.
+            ("r" | "br", Some('#')) => {
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.raw_string_body(hashes);
+                    self.literal_from(start, line);
+                } else if text == "r" && hashes == 1 && self.peek(1).is_some_and(is_ident_start) {
+                    // Raw identifier: emit the name without the r# prefix
+                    // so `r#type` and `type` match the same rules.
+                    self.bump(); // '#'
+                    let name_start = self.i;
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    let name: String = self.chars[name_start..self.i].iter().collect();
+                    self.push(TokKind::Ident, name, line);
+                } else {
+                    self.push(TokKind::Ident, text, line);
+                }
+            }
+            _ => self.push(TokKind::Ident, text, line),
+        }
+    }
+
+    /// The `'x'` tail of a `b'x'` byte literal (escapes included).
+    fn char_byte_tail(&mut self, start: usize, line: u32) {
+        self.bump(); // '
+        if self.peek(0) == Some('\\') {
+            self.bump();
+            self.bump();
+        } else {
+            self.bump();
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+        self.literal_from(start, line);
+    }
+
+    /// The `"…"` tail of a `b"…"` byte string (escapes included);
+    /// called with `self.i` at the opening quote.
+    fn string_literal_tail(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump();
+                self.bump();
+            } else if c == '"' {
+                self.bump();
+                break;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    fn literal_from(&mut self, start: usize, line: u32) {
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::Literal, text, line);
+    }
+}

@@ -1,0 +1,88 @@
+//! `cd-lint` — workspace determinism-and-robustness lints.
+//!
+//! The framework's load-bearing guarantee is that reports are
+//! byte-identical across thread counts and shard partitions (the
+//! ROADMAP "Determinism invariant"). The equivalence tests enforce it
+//! *dynamically* — they catch a hazard only when it happens to fire.
+//! This crate enforces the hazard *classes* statically, with a
+//! hand-rolled token scanner (the build environment has no registry,
+//! so no `syn`) and a small rule engine; see [`rules`] for the rule
+//! catalogue and the `// cd-lint: allow(<rule>) -- <justification>`
+//! annotation grammar.
+//!
+//! Shipped three ways: the `cd-lint` binary (rustc-style diagnostics,
+//! non-zero exit), the workspace test `tests/lint_clean.rs` (Tier-1
+//! itself fails on violations), and a CI step.
+
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use rules::{lint_source, Finding, Policy, Rule, SIM_CRATE_DIRS};
+
+/// Directory names never descended into: build output, VCS state, and
+/// cd-lint's own rule fixtures (which contain violations on purpose).
+const SKIP_DIRS: &[&str] = &["target", ".git", "results"];
+
+/// Every `.rs` file the lint covers, workspace-relative and sorted —
+/// the walk order (and therefore the diagnostic order) is deterministic.
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files);
+    files.sort();
+    files
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || (name == "fixtures" && dir.ends_with("cd-lint")) {
+                continue;
+            }
+            walk(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+/// Lints the whole workspace rooted at `root`. Findings come back
+/// sorted by file then line.
+pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rel in workspace_files(root) {
+        let rel_str = rel
+            .to_str()
+            .map(|s| s.replace('\\', "/"))
+            .unwrap_or_default();
+        let Ok(src) = fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        findings.extend(lint_source(&rel_str, &src, Policy::for_path(&rel_str)));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+/// Renders findings the way the binary prints them — shared with the
+/// workspace test so a red `tests/lint_clean.rs` shows the same
+/// diagnostics `cargo run -p cd-lint` would.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out
+}

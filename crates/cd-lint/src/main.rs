@@ -1,0 +1,52 @@
+//! The `cd-lint` binary: lints the workspace, prints rustc-style
+//! diagnostics, exits non-zero on findings.
+//!
+//! ```text
+//! cargo run --release -p cd-lint            # lint the enclosing workspace
+//! cargo run --release -p cd-lint -- <path>  # lint an explicit root
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => find_workspace_root(),
+    };
+    let files = cd_lint::workspace_files(&root);
+    let findings = cd_lint::lint_workspace(&root);
+    if findings.is_empty() {
+        println!(
+            "cd-lint: clean ({} files scanned under {})",
+            files.len(),
+            root.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    print!("{}", cd_lint::render(&findings));
+    eprintln!(
+        "cd-lint: {} finding(s) across {} files scanned",
+        findings.len(),
+        files.len()
+    );
+    ExitCode::FAILURE
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]`; falls back to `.` so an explicit path is
+/// never required inside the repo.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

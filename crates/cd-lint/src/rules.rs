@@ -1,0 +1,673 @@
+//! The rule engine: repo-specific determinism and robustness invariants.
+//!
+//! Four rules, each enforcing a piece of the workspace's load-bearing
+//! guarantee — reports byte-identical across thread counts and shard
+//! partitions — or the hardening discipline around hostile inputs:
+//!
+//! * **`wall_clock`** — `Instant::now` / `SystemTime::now` are forbidden
+//!   in simulation crates. Wall time is nondeterministic; a single read
+//!   feeding simulation state silently breaks the byte-identical
+//!   invariant in a way the equivalence tests only catch if the hazard
+//!   happens to fire under test.
+//! * **`unordered_iter`** — iterating a `HashMap`/`HashSet` is forbidden
+//!   in simulation crates: default-hasher iteration order is
+//!   unspecified, so any fold into observable state is a determinism
+//!   hazard. Lookups (`get`/`contains`/`insert`) are fine.
+//! * **`panic_paths`** — regions opted in with a
+//!   `// cd-lint: deny(panic_paths)` comment (hostile-input decode
+//!   paths) forbid `unwrap`, `expect`, `panic!`, `unreachable!`,
+//!   `todo!`, `unimplemented!` and slice indexing: garbage on the wire
+//!   must book an error, never abort the vehicle.
+//! * **`unsafe_hygiene`** — every `unsafe` block and `unsafe impl`
+//!   needs an adjacent `// SAFETY:` comment stating the obligation.
+//!
+//! Any site may be exempted with an annotation comment carrying a
+//! justification, e.g. `// cd-lint: allow(wall_clock) -- cost-only EWMA,
+//! never feeds the report`. The justification is mandatory: an `allow`
+//! without one is itself a finding, which is what keeps exemptions
+//! auditable instead of accumulating silently.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
+
+/// Crate directories (under `crates/`) whose `src/` trees are simulation
+/// code: everything that can feed a report. `cd-bench` (measures wall
+/// time on purpose) and `bytes-shim`/`cd-lint` (no sim state) are out.
+pub const SIM_CRATE_DIRS: &[&str] = &[
+    "virt-net",
+    "rt-sched",
+    "sim-core",
+    "mavlink-lite",
+    "attacks",
+    "core",
+    "fleet",
+    "uav-dynamics",
+    "membw",
+    "container-rt",
+    "autopilot",
+];
+
+/// Rule identifiers, also the names the annotation grammar accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock reads in sim crates.
+    WallClock,
+    /// Hash-order iteration in sim crates.
+    UnorderedIter,
+    /// Panic-capable constructs inside `deny(panic_paths)` regions.
+    PanicPaths,
+    /// `unsafe` without a `// SAFETY:` comment.
+    UnsafeHygiene,
+    /// A malformed or unjustified `cd-lint:` annotation.
+    Annotation,
+}
+
+impl Rule {
+    /// The rule's name as written in annotations and diagnostics.
+    pub fn key(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall_clock",
+            Rule::UnorderedIter => "unordered_iter",
+            Rule::PanicPaths => "panic_paths",
+            Rule::UnsafeHygiene => "unsafe_hygiene",
+            Rule::Annotation => "annotation",
+        }
+    }
+
+    fn from_key(key: &str) -> Option<Rule> {
+        Some(match key {
+            "wall_clock" => Rule::WallClock,
+            "unordered_iter" => Rule::UnorderedIter,
+            "panic_paths" => Rule::PanicPaths,
+            "unsafe_hygiene" => Rule::UnsafeHygiene,
+            _ => return None,
+        })
+    }
+}
+
+/// Which rule families apply to a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Policy {
+    /// Simulation source: `wall_clock` and `unordered_iter` apply.
+    pub sim: bool,
+}
+
+impl Policy {
+    /// Classifies a workspace-relative path (`crates/<dir>/src/…`).
+    /// Only `src/` trees of sim crates get the determinism rules —
+    /// tests may legitimately time things out or probe hash maps;
+    /// `panic_paths` (opt-in) and `unsafe_hygiene` apply everywhere.
+    pub fn for_path(rel_path: &str) -> Policy {
+        let mut parts = rel_path.split('/');
+        let sim = parts.next() == Some("crates")
+            && parts.next().is_some_and(|d| SIM_CRATE_DIRS.contains(&d))
+            && parts.next() == Some("src");
+        Policy { sim }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error[{}]: {}\n  --> {}:{}",
+            self.rule.key(),
+            self.message,
+            self.file,
+            self.line
+        )
+    }
+}
+
+/// The marker every annotation comment starts with (after the `//`).
+const MARKER: &str = "cd-lint:";
+
+#[derive(Debug)]
+enum Directive {
+    Allow { rule: Rule },
+    Deny,
+    End,
+}
+
+/// Parses one comment into a directive, if it opens with the marker.
+/// Only a comment whose text *begins* with the marker (after the
+/// `//`/`/*`/`!` punctuation) is a directive — prose that merely
+/// mentions the marker mid-sentence, e.g. backtick-quoted grammar in a
+/// doc comment, is an ordinary comment. `Err` is a malformed
+/// annotation (reported as a finding); `Ok(None)` is an ordinary
+/// comment.
+fn parse_directive(comment: &str) -> Result<Option<Directive>, String> {
+    let body = comment.trim_start_matches(['/', '*', '!']).trim_start();
+    let Some(rest) = body.strip_prefix(MARKER) else {
+        return Ok(None);
+    };
+    let rest = rest.trim();
+    let (verb, rest) = match rest.find('(') {
+        Some(p) => (&rest[..p], &rest[p + 1..]),
+        None => {
+            return Err(format!(
+                "expected `allow(…)`, `deny(…)` or `end(…)`, got `{rest}`"
+            ))
+        }
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `(` in annotation".to_string());
+    };
+    let rule_key = rest[..close].trim();
+    let Some(rule) = Rule::from_key(rule_key) else {
+        return Err(format!(
+            "unknown rule `{rule_key}` (rules: wall_clock, unordered_iter, panic_paths, unsafe_hygiene)"
+        ));
+    };
+    let tail = rest[close + 1..].trim();
+    match verb.trim() {
+        "allow" => {
+            let justified = tail
+                .strip_prefix("--")
+                .is_some_and(|j| !j.trim().is_empty());
+            if !justified {
+                return Err(format!(
+                    "allow({rule_key}) requires a justification: `-- <why this site is exempt>`",
+                    rule_key = rule.key()
+                ));
+            }
+            Ok(Some(Directive::Allow { rule }))
+        }
+        "deny" | "end" => {
+            if rule != Rule::PanicPaths {
+                return Err(format!(
+                    "only panic_paths is region-scoped; `{}({rule_key})` is not a directive",
+                    verb.trim()
+                ));
+            }
+            if verb.trim() == "deny" {
+                Ok(Some(Directive::Deny))
+            } else {
+                Ok(Some(Directive::End))
+            }
+        }
+        other => Err(format!("unknown directive `{other}` (allow/deny/end)")),
+    }
+}
+
+/// Per-file annotation state derived from the comments.
+struct Annotations {
+    /// rule -> lines findings are exempt on.
+    allowed: BTreeMap<Rule, BTreeSet<u32>>,
+    /// Inclusive line ranges where panic_paths is active.
+    deny_panic: Vec<(u32, u32)>,
+    /// Malformed annotations, reported as findings.
+    errors: Vec<(u32, String)>,
+}
+
+impl Annotations {
+    fn collect(lexed: &Lexed) -> Annotations {
+        let mut allowed: BTreeMap<Rule, BTreeSet<u32>> = BTreeMap::new();
+        let mut deny_starts: Vec<u32> = Vec::new();
+        let mut ends: Vec<u32> = Vec::new();
+        let mut errors = Vec::new();
+
+        for c in &lexed.comments {
+            match parse_directive(&c.text) {
+                Ok(None) => {}
+                Ok(Some(Directive::Allow { rule })) => {
+                    allowed
+                        .entry(rule)
+                        .or_default()
+                        .insert(applies_to_line(lexed, c));
+                }
+                Ok(Some(Directive::Deny)) => deny_starts.push(c.start_line),
+                Ok(Some(Directive::End)) => ends.push(c.start_line),
+                Err(msg) => errors.push((c.start_line, msg)),
+            }
+        }
+
+        // Pair each deny with the first end after it (or EOF).
+        let mut deny_panic = Vec::new();
+        let mut ends = ends.into_iter().peekable();
+        for start in deny_starts {
+            while ends.peek().is_some_and(|&e| e < start) {
+                ends.next();
+            }
+            let stop = ends.next().unwrap_or(u32::MAX);
+            deny_panic.push((start, stop));
+        }
+
+        Annotations {
+            allowed,
+            deny_panic,
+            errors,
+        }
+    }
+
+    fn is_allowed(&self, rule: Rule, line: u32) -> bool {
+        self.allowed
+            .get(&rule)
+            .is_some_and(|lines| lines.contains(&line))
+    }
+
+    fn in_panic_region(&self, line: u32) -> bool {
+        self.deny_panic.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+}
+
+/// The line an `allow` annotation exempts: its own line when it trails
+/// code, otherwise the next line that has code on it.
+fn applies_to_line(lexed: &Lexed, c: &Comment) -> u32 {
+    if lexed.line_has_tokens(c.start_line) {
+        return c.start_line;
+    }
+    lexed
+        .tokens
+        .iter()
+        .map(|t| t.line)
+        .find(|&l| l > c.end_line)
+        .unwrap_or(c.start_line)
+}
+
+/// Lints one file's source. `rel_path` is used for diagnostics and (via
+/// [`Policy::for_path`] in the workspace walker) scoping; here the
+/// caller supplies the policy directly so fixtures can exercise both.
+pub fn lint_source(rel_path: &str, src: &str, policy: Policy) -> Vec<Finding> {
+    let lexed = lex(src);
+    let notes = Annotations::collect(&lexed);
+    let mut findings = Vec::new();
+
+    for (line, msg) in &notes.errors {
+        findings.push(Finding {
+            file: rel_path.to_string(),
+            line: *line,
+            rule: Rule::Annotation,
+            message: msg.clone(),
+        });
+    }
+
+    if policy.sim {
+        wall_clock(rel_path, &lexed, &notes, &mut findings);
+        unordered_iter(rel_path, &lexed, &notes, &mut findings);
+    }
+    panic_paths(rel_path, &lexed, &notes, &mut findings);
+    unsafe_hygiene(rel_path, &lexed, &notes, &mut findings);
+
+    findings.sort_by_key(|a| (a.line, a.rule));
+    findings
+}
+
+fn is_punct(t: &Tok, c: char) -> bool {
+    t.kind == TokKind::Punct && t.text.len() == 1 && t.text.starts_with(c)
+}
+
+fn is_ident(t: &Tok, name: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == name
+}
+
+/// `Instant::now` / `SystemTime::now` call paths.
+fn wall_clock(file: &str, lexed: &Lexed, notes: &Annotations, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len().saturating_sub(3) {
+        let clock = toks[i].kind == TokKind::Ident
+            && (toks[i].text == "Instant" || toks[i].text == "SystemTime");
+        if clock
+            && is_punct(&toks[i + 1], ':')
+            && is_punct(&toks[i + 2], ':')
+            && is_ident(&toks[i + 3], "now")
+        {
+            let line = toks[i].line;
+            if notes.is_allowed(Rule::WallClock, line) {
+                continue;
+            }
+            out.push(Finding {
+                file: file.to_string(),
+                line,
+                rule: Rule::WallClock,
+                message: format!(
+                    "`{}::now` in simulation code: wall time is nondeterministic and must \
+                     never feed a report (cost-only uses: `// cd-lint: allow(wall_clock) -- <why>`)",
+                    toks[i].text
+                ),
+            });
+        }
+    }
+}
+
+/// Iteration methods whose order is the hasher's, not the program's.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+];
+
+/// Collects names bound to `HashMap`/`HashSet` types in this file:
+/// type aliases, field/param declarations (`name: HashMap<…>`) and
+/// let-bindings (`let name = HashMap::new()`), then flags iteration
+/// over those names. Name-based and file-local on purpose: with no
+/// type inference available, matching declared names inside the same
+/// file catches every hazard class the workspace actually has, without
+/// chasing cross-crate types.
+fn unordered_iter(file: &str, lexed: &Lexed, notes: &Annotations, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    let mut hash_types: BTreeSet<String> = ["HashMap", "HashSet"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+
+    // Pass 0: type aliases onto hash types (`type AddrMap<V> = HashMap<…>;`).
+    for i in 0..toks.len() {
+        if is_ident(&toks[i], "type") && toks.get(i + 1).map(|t| t.kind) == Some(TokKind::Ident) {
+            let name = toks[i + 1].text.clone();
+            let mut j = i + 2;
+            let mut aliased = false;
+            while j < toks.len() && !is_punct(&toks[j], ';') {
+                if toks[j].kind == TokKind::Ident && hash_types.contains(&toks[j].text) {
+                    aliased = true;
+                }
+                j += 1;
+            }
+            if aliased {
+                hash_types.insert(name);
+            }
+        }
+    }
+
+    // Pass 1: names declared with a hash type.
+    let mut hash_named: BTreeSet<String> = BTreeSet::new();
+    for i in 0..toks.len() {
+        // `name: <type containing a hash type>` — struct fields, fn
+        // params, let ascriptions, struct-literal fields initialized
+        // from a hash constructor.
+        if toks[i].kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| is_punct(t, ':'))
+            && !toks.get(i + 2).is_some_and(|t| is_punct(t, ':'))
+            && !(i > 0 && is_punct(&toks[i - 1], ':'))
+        {
+            let mut angle = 0i32;
+            let mut j = i + 2;
+            while j < toks.len() {
+                let t = &toks[j];
+                if is_punct(t, '<') {
+                    angle += 1;
+                } else if is_punct(t, '>') {
+                    angle -= 1;
+                } else if angle <= 0
+                    && (is_punct(t, ',')
+                        || is_punct(t, ';')
+                        || is_punct(t, '=')
+                        || is_punct(t, '{')
+                        || is_punct(t, ')'))
+                {
+                    break;
+                } else if t.kind == TokKind::Ident && hash_types.contains(&t.text) {
+                    hash_named.insert(toks[i].text.clone());
+                    break;
+                }
+                j += 1;
+            }
+        }
+        // `let [mut] name = <expr containing a hash constructor>;`
+        if is_ident(&toks[i], "let") {
+            let mut k = i + 1;
+            if toks.get(k).is_some_and(|t| is_ident(t, "mut")) {
+                k += 1;
+            }
+            if toks.get(k).map(|t| t.kind) != Some(TokKind::Ident) {
+                continue;
+            }
+            let name = toks[k].text.clone();
+            let mut j = k + 1;
+            while j < toks.len() && !is_punct(&toks[j], ';') {
+                if toks[j].kind == TokKind::Ident && hash_types.contains(&toks[j].text) {
+                    hash_named.insert(name.clone());
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+
+    let flag = |line: u32, name: &str, how: &str, out: &mut Vec<Finding>| {
+        if notes.is_allowed(Rule::UnorderedIter, line) {
+            return;
+        }
+        out.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: Rule::UnorderedIter,
+            message: format!(
+                "{how} over hash-ordered `{name}`: iteration order is the hasher's, so any \
+                 fold into observable state breaks the byte-identical invariant (sort the keys, \
+                 use a BTreeMap, or `// cd-lint: allow(unordered_iter) -- <order-independence proof>`)"
+            ),
+        });
+    };
+
+    // Pass 2a: `name.iter()` / `.values()` / … method iteration.
+    for i in 1..toks.len() {
+        if is_punct(&toks[i], '.')
+            && toks.get(i + 1).is_some_and(|t| {
+                t.kind == TokKind::Ident && ITER_METHODS.contains(&t.text.as_str())
+            })
+            && toks.get(i + 2).is_some_and(|t| is_punct(t, '('))
+            && toks[i - 1].kind == TokKind::Ident
+            && hash_named.contains(&toks[i - 1].text)
+        {
+            flag(toks[i + 1].line, &toks[i - 1].text, "method iteration", out);
+        }
+    }
+
+    // Pass 2b: `for pat in [&][mut] [self.]name {` loop iteration.
+    for i in 0..toks.len() {
+        if !is_ident(&toks[i], "for") {
+            continue;
+        }
+        // Find the matching `in` at bracket depth 0 (patterns may nest).
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let in_at = loop {
+            match toks.get(j) {
+                None => break None,
+                Some(t) if is_punct(t, '(') || is_punct(t, '[') => depth += 1,
+                Some(t) if is_punct(t, ')') || is_punct(t, ']') => depth -= 1,
+                Some(t) if depth == 0 && is_ident(t, "in") => break Some(j),
+                Some(t) if depth == 0 && is_punct(t, '{') => break None,
+                Some(_) => {}
+            }
+            j += 1;
+        };
+        let Some(in_at) = in_at else { continue };
+        // The loop expression: tokens up to the body `{` at depth 0.
+        let mut expr: Vec<&Tok> = Vec::new();
+        let mut depth = 0i32;
+        let mut j = in_at + 1;
+        while let Some(t) = toks.get(j) {
+            if depth == 0 && is_punct(t, '{') {
+                break;
+            }
+            if is_punct(t, '(') || is_punct(t, '[') {
+                depth += 1;
+            } else if is_punct(t, ')') || is_punct(t, ']') {
+                depth -= 1;
+            }
+            expr.push(t);
+            j += 1;
+        }
+        // Match (&)(mut)(self.)?name exactly — anything fancier either
+        // shows up as a method call (pass 2a) or is out of scope.
+        let mut e: &[&Tok] = &expr;
+        while e
+            .first()
+            .is_some_and(|t| is_punct(t, '&') || is_ident(t, "mut"))
+        {
+            e = &e[1..];
+        }
+        let name = match e {
+            [one] if one.kind == TokKind::Ident => &one.text,
+            [s, dot, f]
+                if is_ident(s, "self") && is_punct(dot, '.') && f.kind == TokKind::Ident =>
+            {
+                &f.text
+            }
+            _ => continue,
+        };
+        if hash_named.contains(name) {
+            flag(toks[in_at].line, name, "`for` loop", out);
+        }
+    }
+}
+
+/// Panic-capable constructs inside `deny(panic_paths)` regions.
+fn panic_paths(file: &str, lexed: &Lexed, notes: &Annotations, out: &mut Vec<Finding>) {
+    if notes.deny_panic.is_empty() {
+        return;
+    }
+    let toks = &lexed.tokens;
+    let flag = |line: u32, what: String, out: &mut Vec<Finding>| {
+        if !notes.in_panic_region(line) || notes.is_allowed(Rule::PanicPaths, line) {
+            return;
+        }
+        out.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: Rule::PanicPaths,
+            message: format!(
+                "{what} in a deny(panic_paths) region: hostile input must book an error, \
+                 never panic (return an error/None, or `// cd-lint: allow(panic_paths) -- <bound proof>`)"
+            ),
+        });
+    };
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // `.unwrap()` / `.expect(`.
+        if is_punct(t, '.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| is_ident(n, "unwrap") || is_ident(n, "expect"))
+            && toks.get(i + 2).is_some_and(|n| is_punct(n, '('))
+        {
+            flag(toks[i + 1].line, format!("`.{}(…)`", toks[i + 1].text), out);
+        }
+        // `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+        if t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+            && toks.get(i + 1).is_some_and(|n| is_punct(n, '!'))
+        {
+            flag(t.line, format!("`{}!`", t.text), out);
+        }
+        // Index expressions: `[` directly after an expression tail
+        // (identifier, `)`, `]` or a literal). Array *types* and
+        // literals follow `:`/`<`/`=`/`(`/`,`/`&` and stay clean.
+        if is_punct(t, '[') && i > 0 {
+            let prev = &toks[i - 1];
+            let indexes = matches!(prev.kind, TokKind::Ident | TokKind::Literal)
+                || is_punct(prev, ')')
+                || is_punct(prev, ']');
+            // Keywords before `[` mean a fresh array expression.
+            let keyword = prev.kind == TokKind::Ident
+                && matches!(
+                    prev.text.as_str(),
+                    "return" | "in" | "else" | "match" | "mut" | "let" | "ref" | "if"
+                );
+            if indexes && !keyword {
+                flag(t.line, "slice/array indexing".to_string(), out);
+            }
+        }
+    }
+}
+
+/// `unsafe` blocks and impls need an adjacent `// SAFETY:` comment.
+fn unsafe_hygiene(file: &str, lexed: &Lexed, notes: &Annotations, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if !is_ident(&toks[i], "unsafe") {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        let what = if is_punct(next, '{') {
+            "unsafe block"
+        } else if is_ident(next, "impl") {
+            "unsafe impl"
+        } else {
+            // `unsafe fn` / `unsafe trait` / `unsafe extern` are
+            // declarations of obligations, not discharges of them.
+            continue;
+        };
+        let line = toks[i].line;
+        if has_safety_comment(lexed, line) || notes.is_allowed(Rule::UnsafeHygiene, line) {
+            continue;
+        }
+        out.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: Rule::UnsafeHygiene,
+            message: format!(
+                "{what} without a `// SAFETY:` comment: state the obligation the caller \
+                 discharges, directly above or on the same line"
+            ),
+        });
+    }
+}
+
+/// A `SAFETY:` comment counts when it is on the same line as the
+/// `unsafe`, or in the contiguous run of comment-only lines directly
+/// above it.
+fn has_safety_comment(lexed: &Lexed, unsafe_line: u32) -> bool {
+    let covers = |line: u32| -> Option<bool> {
+        let mut any = false;
+        for c in &lexed.comments {
+            if c.start_line <= line && line <= c.end_line {
+                any = true;
+                if c.text.contains("SAFETY:") {
+                    return Some(true);
+                }
+            }
+        }
+        if any {
+            Some(false)
+        } else {
+            None
+        }
+    };
+    // Trailing on the same line.
+    if covers(unsafe_line) == Some(true) {
+        return true;
+    }
+    // Walk up through comment-only lines.
+    let mut line = unsafe_line.saturating_sub(1);
+    while line >= 1 {
+        if lexed.line_has_tokens(line) {
+            return false;
+        }
+        match covers(line) {
+            Some(true) => return true,
+            Some(false) => {}
+            None => return false, // blank line: not adjacent any more
+        }
+        line -= 1;
+    }
+    false
+}

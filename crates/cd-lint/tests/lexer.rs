@@ -1,0 +1,171 @@
+//! Lexer unit tests: the classic false-positive traps. A lint built on
+//! a token scanner is only as trustworthy as its handling of raw
+//! strings, nested comments and char-versus-lifetime quotes — each test
+//! here is a way a naive scanner would have mis-lexed real code.
+
+use cd_lint::lexer::{lex, TokKind};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn string_contents_are_not_tokens() {
+    // The trap the wall_clock rule would otherwise fall into: a string
+    // (or format template) mentioning the forbidden path.
+    let src = r#"let msg = "Instant::now() is forbidden"; call(msg);"#;
+    let ids = idents(src);
+    assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+    assert!(!ids.contains(&"now".to_string()));
+    assert!(ids.contains(&"call".to_string()));
+}
+
+#[test]
+fn escaped_quotes_do_not_end_strings() {
+    let src = r#"let s = "he said \"Instant::now\" loudly"; after();"#;
+    let ids = idents(src);
+    assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+    assert!(ids.contains(&"after".to_string()));
+}
+
+#[test]
+fn raw_strings_with_fences() {
+    // A raw string containing a quote and a would-be terminator.
+    let src = r###"let s = r#"quote " and Instant::now() inside"#; tail();"###;
+    let ids = idents(src);
+    assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+    assert!(ids.contains(&"tail".to_string()));
+}
+
+#[test]
+fn raw_string_multi_hash_fence() {
+    let src = r####"let s = r##"inner "# not the end, HashMap"##; done();"####;
+    let ids = idents(src);
+    assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+    assert!(ids.contains(&"done".to_string()));
+}
+
+#[test]
+fn byte_strings_and_byte_chars() {
+    let src = r#"let a = b"Instant"; let c = b'x'; let d = b'\n'; keep();"#;
+    let ids = idents(src);
+    assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+    assert!(!ids.contains(&"x".to_string()));
+    assert!(ids.contains(&"keep".to_string()));
+}
+
+#[test]
+fn line_comments_are_captured_not_tokenized() {
+    let src = "// Instant::now() in prose\nlet x = 1;";
+    let lexed = lex(src);
+    assert!(!idents(src).contains(&"Instant".to_string()));
+    assert_eq!(lexed.comments.len(), 1);
+    assert!(lexed.comments[0].text.contains("Instant::now"));
+    assert_eq!(lexed.comments[0].start_line, 1);
+}
+
+#[test]
+fn nested_block_comments() {
+    // Rust block comments nest; a scanner that stops at the first `*/`
+    // would resume lexing inside the comment.
+    let src = "/* outer /* inner */ still comment: Instant::now() */ let x = 1; after();";
+    let lexed = lex(src);
+    let ids = idents(src);
+    assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+    assert!(ids.contains(&"after".to_string()));
+    assert_eq!(lexed.comments.len(), 1);
+    assert!(lexed.comments[0].text.contains("still comment"));
+}
+
+#[test]
+fn block_comment_line_spans() {
+    let src = "let a = 1;\n/* SAFETY: spans\n   two lines */\nunsafe { op() }";
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 1);
+    assert_eq!(lexed.comments[0].start_line, 2);
+    assert_eq!(lexed.comments[0].end_line, 3);
+    // The `unsafe` token lands on line 4.
+    let unsafe_tok = lexed
+        .tokens
+        .iter()
+        .find(|t| t.text == "unsafe")
+        .expect("unsafe token");
+    assert_eq!(unsafe_tok.line, 4);
+}
+
+#[test]
+fn char_literals_versus_lifetimes() {
+    // 'a' is a char; 'a (in a generic) is a lifetime; '\'' is an
+    // escaped char. A confused scanner would swallow code after a
+    // lifetime looking for a closing quote.
+    let src = "fn f<'a>(x: &'a str) { let c = 'y'; let q = '\\''; let n = '\\n'; tail(); }";
+    let lexed = lex(src);
+    let lifetimes: Vec<_> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text.clone())
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'a"]);
+    assert!(idents(src).contains(&"tail".to_string()));
+    let chars = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Literal && t.text.starts_with('\''))
+        .count();
+    assert_eq!(chars, 3, "three char literals");
+}
+
+#[test]
+fn static_lifetime_and_loop_labels() {
+    let src = "fn f(x: &'static str) { 'outer: loop { break 'outer; } } done();";
+    let lexed = lex(src);
+    let lifetimes: Vec<_> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text.clone())
+        .collect();
+    assert_eq!(lifetimes, vec!["'static", "'outer", "'outer"]);
+    assert!(idents(src).contains(&"done".to_string()));
+}
+
+#[test]
+fn raw_identifiers_lex_as_their_name() {
+    let src = "let r#type = 1; use_it(r#type);";
+    let ids = idents(src);
+    assert_eq!(ids.iter().filter(|s| s.as_str() == "type").count(), 2);
+}
+
+#[test]
+fn numbers_do_not_eat_methods_or_ranges() {
+    let src = "let a = 1.5; let b = 1..5; let c = 2.0e6; let d = 7.max(3); let e = 0x1F;";
+    let lexed = lex(src);
+    assert!(idents(src).contains(&"max".to_string()));
+    // `1..5` must produce two dots (range), not a malformed float.
+    let dots = lexed.tokens.iter().filter(|t| t.text == ".").count();
+    assert_eq!(dots, 3, "two range dots + one method dot");
+}
+
+#[test]
+fn token_lines_are_tracked() {
+    let src = "let a = 1;\nlet b = 2;\n\nlet c = 3;";
+    let lexed = lex(src);
+    assert!(lexed.line_has_tokens(1));
+    assert!(lexed.line_has_tokens(2));
+    assert!(!lexed.line_has_tokens(3));
+    assert!(lexed.line_has_tokens(4));
+}
+
+#[test]
+fn unterminated_constructs_do_not_panic() {
+    // A lint must survive anything it is pointed at.
+    for src in ["let s = \"open", "/* open", "let c = '", "r#\"open"] {
+        let _ = lex(src);
+    }
+}

@@ -1,0 +1,137 @@
+//! Fixture-driven rule tests: each rule has a fixture that must fire
+//! (with exact lines) and a fixture that must stay quiet.
+
+use cd_lint::{lint_source, Policy, Rule};
+
+const SIM: Policy = Policy { sim: true };
+const NON_SIM: Policy = Policy { sim: false };
+
+/// Lints a fixture and returns `(line, rule)` pairs.
+fn lint(src: &str, policy: Policy) -> Vec<(u32, Rule)> {
+    lint_source("fixture.rs", src, policy)
+        .into_iter()
+        .map(|f| (f.line, f.rule))
+        .collect()
+}
+
+#[test]
+fn wall_clock_fires_on_both_clocks_only() {
+    let src = include_str!("../fixtures/wall_clock_violation.rs");
+    assert_eq!(
+        lint(src, SIM),
+        vec![(5, Rule::WallClock), (10, Rule::WallClock)],
+    );
+}
+
+#[test]
+fn wall_clock_is_quiet_outside_sim_crates() {
+    let src = include_str!("../fixtures/wall_clock_violation.rs");
+    assert_eq!(lint(src, NON_SIM), vec![]);
+}
+
+#[test]
+fn wall_clock_allows_suppress_with_justification() {
+    let src = include_str!("../fixtures/wall_clock_annotated.rs");
+    assert_eq!(lint(src, SIM), vec![]);
+}
+
+#[test]
+fn unordered_iter_fires_on_fields_aliases_and_locals() {
+    let src = include_str!("../fixtures/unordered_iter_violation.rs");
+    assert_eq!(
+        lint(src, SIM),
+        vec![
+            (15, Rule::UnorderedIter), // for (_k, v) in &self.routes
+            (22, Rule::UnorderedIter), // self.seen.iter()
+            (26, Rule::UnorderedIter), // self.by_alias.values() via type alias
+            (32, Rule::UnorderedIter), // for p in &pending (local binding)
+        ],
+    );
+}
+
+#[test]
+fn unordered_iter_ignores_lookups_ordered_maps_and_audited_loops() {
+    let src = include_str!("../fixtures/unordered_iter_clean.rs");
+    assert_eq!(lint(src, SIM), vec![]);
+}
+
+#[test]
+fn panic_paths_fires_on_every_construct_in_a_region() {
+    let src = include_str!("../fixtures/panic_paths_violation.rs");
+    assert_eq!(
+        lint(src, SIM),
+        vec![
+            (5, Rule::PanicPaths),  // payload[0]
+            (6, Rule::PanicPaths),  // .unwrap()
+            (7, Rule::PanicPaths),  // .expect()
+            (9, Rule::PanicPaths),  // panic!
+            (12, Rule::PanicPaths), // unreachable!
+        ],
+    );
+}
+
+#[test]
+fn panic_paths_applies_in_non_sim_files_too() {
+    // The region marker opts in regardless of crate classification.
+    let src = include_str!("../fixtures/panic_paths_violation.rs");
+    assert_eq!(lint(src, NON_SIM).len(), 5);
+}
+
+#[test]
+fn panic_paths_respects_booked_errors_allows_and_region_end() {
+    let src = include_str!("../fixtures/panic_paths_clean.rs");
+    assert_eq!(lint(src, SIM), vec![]);
+}
+
+#[test]
+fn unsafe_hygiene_fires_on_blocks_and_impls() {
+    let src = include_str!("../fixtures/unsafe_violation.rs");
+    assert_eq!(
+        lint(src, NON_SIM),
+        vec![(5, Rule::UnsafeHygiene), (12, Rule::UnsafeHygiene)],
+    );
+}
+
+#[test]
+fn unsafe_hygiene_accepts_safety_comments_in_every_position() {
+    let src = include_str!("../fixtures/unsafe_clean.rs");
+    assert_eq!(lint(src, NON_SIM), vec![]);
+}
+
+#[test]
+fn malformed_annotations_are_findings() {
+    let src = include_str!("../fixtures/annotation_errors.rs");
+    assert_eq!(
+        lint(src, NON_SIM),
+        vec![
+            (3, Rule::Annotation),  // allow without justification
+            (6, Rule::Annotation),  // unknown rule name
+            (9, Rule::Annotation),  // unknown verb
+            (12, Rule::Annotation), // deny on a non-region rule
+        ],
+    );
+}
+
+#[test]
+fn policy_classifies_sim_sources_only() {
+    assert!(Policy::for_path("crates/virt-net/src/net.rs").sim);
+    assert!(Policy::for_path("crates/sim-core/src/event.rs").sim);
+    assert!(Policy::for_path("crates/fleet/src/gcs.rs").sim);
+    // Tests of sim crates may time things and probe hash maps.
+    assert!(!Policy::for_path("crates/fleet/tests/zero_alloc.rs").sim);
+    // The lint tool itself walks real directory trees.
+    assert!(!Policy::for_path("crates/cd-lint/src/lib.rs").sim);
+    assert!(!Policy::for_path("src/main.rs").sim);
+}
+
+#[test]
+fn findings_render_rustc_style() {
+    let src = include_str!("../fixtures/wall_clock_violation.rs");
+    let findings = lint_source("crates/x/src/lib.rs", src, SIM);
+    let rendered = findings[0].to_string();
+    assert!(rendered.starts_with("error[wall_clock]: "), "{rendered}");
+    assert!(
+        rendered.ends_with("--> crates/x/src/lib.rs:5"),
+        "{rendered}"
+    );
+}

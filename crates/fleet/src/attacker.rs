@@ -159,6 +159,10 @@ impl AttackerNode {
         self.armed.iter().map(|(_, d)| d.packets_sent()).sum()
     }
 
+    // The hostile-timeline execution path: entries come from campaign
+    // scripts, so structural surprises must be booked errors or carry a
+    // proof, never an unchecked panic.
+    // cd-lint: deny(panic_paths)
     fn resolve(&self, target: AttackerTarget) -> Addr {
         match target {
             AttackerTarget::GcsUplink(v) => Addr {
@@ -166,6 +170,7 @@ impl AttackerNode {
                 port: GCS_PORT_BASE + v as u16,
             },
             AttackerTarget::SwarmJam(v) => Addr {
+                // cd-lint: allow(panic_paths) -- compile_attackers wraps v modulo the fleet size, so it indexes in range
                 ns: self.radios[v],
                 port: SWARM_RX_PORT,
             },
@@ -184,13 +189,16 @@ impl AttackerNode {
         self.last_tick = now;
         let armed_before = self.armed.len();
         let mut onsets = Vec::new();
-        while self.entries.get(self.cursor).is_some_and(|e| e.at <= now) {
-            let entry = &self.entries[self.cursor];
+        while let Some(entry) = self.entries.get(self.cursor) {
+            if entry.at > now {
+                break;
+            }
             self.cursor += 1;
             match &entry.event {
                 AttackEvent::UdpFlood(flood) => {
                     let socket = net
                         .bind(self.ns, self.next_src_port)
+                        // cd-lint: allow(panic_paths) -- ports ascend from ATTACKER_SRC_PORT_BASE in the attacker's own namespace, so the bind cannot collide
                         .expect("attacker source port free");
                     self.next_src_port += 1;
                     let name = match entry.target {
@@ -218,6 +226,7 @@ impl AttackerNode {
                         }
                     }
                 }
+                // cd-lint: allow(panic_paths) -- compile_attackers asserts every attacker entry is a flood or cease-fire
                 other => unreachable!(
                     "compile_attackers admits only network events, got {}",
                     other.name()
@@ -225,17 +234,19 @@ impl AttackerNode {
             }
         }
         let dt = now.saturating_since(prev);
-        for (k, (_, driver)) in self.armed.iter_mut().enumerate() {
-            let dt = if k >= armed_before {
-                // Armed this turn: emit only from its onset (clamped to
-                // the turn window), not from the previous tick.
-                now.saturating_since(onsets[k - armed_before].max(prev))
-            } else {
-                dt
-            };
+        // Entries armed this turn sit after `armed_before` and pushed one
+        // onset each, so the zip below pairs them exactly.
+        let (existing, fresh) = self.armed.split_at_mut(armed_before);
+        for (_, driver) in existing {
             driver.step(net, now, dt);
         }
+        for ((_, driver), onset) in fresh.iter_mut().zip(&onsets) {
+            // Armed this turn: emit only from its onset (clamped to
+            // the turn window), not from the previous tick.
+            driver.step(net, now, now.saturating_since((*onset).max(prev)));
+        }
     }
+    // cd-lint: end(panic_paths)
 }
 
 #[cfg(test)]

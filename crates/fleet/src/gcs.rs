@@ -144,19 +144,19 @@ pub fn encode_telemetry(buf: &mut Vec<u8>, vehicle: u16, crashed: bool, position
 /// and garbage payloads must all come back `None` — there is no panic
 /// path (the length check is a single fixed-size conversion, and every
 /// field read stays inside it by construction).
+// cd-lint: deny(panic_paths)
 pub fn decode_telemetry(payload: &[u8]) -> Option<(u16, bool, [f64; 3])> {
     let bytes: &[u8; TELEMETRY_BYTES] = payload.try_into().ok()?;
-    let vehicle = u16::from_le_bytes([bytes[0], bytes[1]]);
-    let crashed = bytes[2] != 0;
+    let [v0, v1, crashed_b, words @ ..] = bytes;
+    let vehicle = u16::from_le_bytes([*v0, *v1]);
+    let crashed = *crashed_b != 0;
     let mut position = [0.0; 3];
-    for (i, p) in position.iter_mut().enumerate() {
-        let at = 3 + 4 * i;
-        let mut word = [0u8; 4];
-        word.copy_from_slice(&bytes[at..at + 4]);
-        *p = f64::from(f32::from_le_bytes(word));
+    for (p, word) in position.iter_mut().zip(words.chunks_exact(4)) {
+        *p = f64::from(f32::from_le_bytes(word.try_into().ok()?));
     }
     Some((vehicle, crashed, position))
 }
+// cd-lint: end(panic_paths)
 
 /// The ground-station node in the shared airspace.
 #[derive(Debug)]

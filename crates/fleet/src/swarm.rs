@@ -234,17 +234,17 @@ impl SwarmLink {
         for i in 0..self.rx.len() {
             while let Some(pkt) = net.recv(self.rx[i]) {
                 let decoded = decode_telemetry(&pkt.payload);
-                match decoded {
-                    Some((sender, _crashed, position))
-                        if self.neighbors[i].contains(&(sender as usize)) =>
-                    {
+                // A packet counts only when it decodes *and* self-identifies
+                // as a configured neighbor; a single position() scan decides
+                // both, leaving no panic path on the hostile port.
+                let slot = decoded.and_then(|(sender, _, _)| {
+                    self.neighbors[i].iter().position(|&j| j == sender as usize)
+                });
+                match (decoded, slot) {
+                    (Some((_sender, _crashed, position)), Some(slot)) => {
                         let view = &mut self.views[i];
                         view.rx_msgs += 1;
                         view.last_heard = Some(pkt.sent);
-                        let slot = self.neighbors[i]
-                            .iter()
-                            .position(|&j| j == sender as usize)
-                            .expect("sender is a neighbor");
                         self.tracked[i][slot] = Some((position, pkt.sent));
                         let own = fleet[i].position;
                         let d2 = (own[0] - position[0]).powi(2)

@@ -21,6 +21,10 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates to `System` with the caller's exact
+// layout/pointer arguments, so `System`'s contract is upheld verbatim;
+// the only addition is a relaxed atomic increment, which allocates
+// nothing and cannot unwind.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);

@@ -108,41 +108,58 @@ impl Frame {
     /// * [`DecodeError::BadCrc`] on checksum mismatch,
     /// * [`DecodeError::BadLength`] if the length byte disagrees with the
     ///   message's fixed payload length.
+    // Frame bytes arrive off the attacked channel, so the decoder must
+    // book every malformation as an error: header fields come from one
+    // slice pattern, the payload/CRC split is length-checked up front,
+    // and the checksum folds in the header bytes individually (the CRC
+    // is a plain byte loop, so this is bit-identical to hashing the
+    // contiguous span).
+    // cd-lint: deny(panic_paths)
     pub fn decode(bytes: &[u8]) -> Result<(Frame, usize), DecodeError> {
-        if bytes.len() < FRAME_OVERHEAD || bytes[0] != STX {
+        let [stx, len_b, seq, sys_id, comp_id, msg_id, rest @ ..] = bytes else {
+            return Err(DecodeError::Truncated);
+        };
+        if *stx != STX {
             return Err(DecodeError::Truncated);
         }
-        let len = bytes[1] as usize;
+        let len = *len_b as usize;
         let total = len + FRAME_OVERHEAD;
-        if bytes.len() < total {
+        let Some(body) = rest.get(..len + 2) else {
             return Err(DecodeError::Truncated);
-        }
-        let seq = bytes[2];
-        let sys_id = bytes[3];
-        let comp_id = bytes[4];
-        let msg_id = bytes[5];
-        let crc_extra = crc_extra_for(msg_id).ok_or(DecodeError::UnknownMessage { msg_id })?;
+        };
+        let (payload, crc_bytes) = body.split_at(len);
+        let [c0, c1] = crc_bytes else {
+            return Err(DecodeError::Truncated);
+        };
+        let crc_extra =
+            crc_extra_for(*msg_id).ok_or(DecodeError::UnknownMessage { msg_id: *msg_id })?;
 
         let mut crc = Crc16::new();
-        crc.update(&bytes[1..total - 2]);
+        crc.update_byte(*len_b);
+        crc.update_byte(*seq);
+        crc.update_byte(*sys_id);
+        crc.update_byte(*comp_id);
+        crc.update_byte(*msg_id);
+        crc.update(payload);
         crc.update_byte(crc_extra);
         let actual = crc.get();
-        let expected = u16::from_le_bytes([bytes[total - 2], bytes[total - 1]]);
+        let expected = u16::from_le_bytes([*c0, *c1]);
         if actual != expected {
             return Err(DecodeError::BadCrc { expected, actual });
         }
 
-        let message = Message::decode(msg_id, &bytes[6..6 + len])?;
+        let message = Message::decode(*msg_id, payload)?;
         Ok((
             Frame {
-                seq,
-                sys_id,
-                comp_id,
+                seq: *seq,
+                sys_id: *sys_id,
+                comp_id: *comp_id,
                 message,
             },
             total,
         ))
     }
+    // cd-lint: end(panic_paths)
 }
 
 /// A sending endpoint that stamps frames with a wrapping sequence number,

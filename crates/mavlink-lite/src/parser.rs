@@ -9,6 +9,11 @@
 use crate::error::DecodeError;
 use crate::frame::{Frame, FRAME_OVERHEAD, STX};
 
+// The parser sits directly on the flooded UDP channel: every byte below
+// is attacker-controlled, so the whole scan path must book errors in
+// the statistics rather than panic.
+// cd-lint: deny(panic_paths)
+
 /// Cumulative parser health counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ParserStats {
@@ -79,8 +84,9 @@ impl Parser {
         // size; each round consumes input, so this terminates.
         while !self.buf.is_empty() && !bytes.is_empty() {
             let take = Self::needed(&self.buf).min(bytes.len());
-            self.buf.extend_from_slice(&bytes[..take]);
-            bytes = &bytes[take..];
+            let (head, rest) = bytes.split_at(take);
+            self.buf.extend_from_slice(head);
+            bytes = rest;
             let pos = Self::scan(&mut self.stats, &self.buf, frames);
             self.buf.drain(..pos);
         }
@@ -89,9 +95,8 @@ impl Parser {
             // case): scan the input in place and only buffer an
             // incomplete tail, skipping the copy-in/drain-out round trip.
             let pos = Self::scan(&mut self.stats, bytes, frames);
-            if pos < bytes.len() {
-                self.buf.extend_from_slice(&bytes[pos..]);
-            }
+            self.buf
+                .extend_from_slice(bytes.get(pos..).unwrap_or_default());
         }
     }
 
@@ -101,33 +106,38 @@ impl Parser {
     /// holds a tail [`Parser::could_complete`] approved, so the bound is
     /// positive.
     fn needed(buf: &[u8]) -> usize {
-        if buf.len() < 2 {
-            return 2 - buf.len();
+        match buf {
+            [] => 2,
+            [_] => 1,
+            [_, len, ..] => (*len as usize + FRAME_OVERHEAD)
+                .saturating_sub(buf.len())
+                .max(1),
         }
-        (buf[1] as usize + FRAME_OVERHEAD)
-            .saturating_sub(buf.len())
-            .max(1)
     }
 
     /// Scans `data` for frames, updating `stats` and pushing decoded
     /// frames. Returns the index of the first byte that may still grow
     /// into a complete frame (== `data.len()` when fully consumed).
     fn scan(stats: &mut ParserStats, data: &[u8], frames: &mut Vec<Frame>) -> usize {
+        // `pos` never exceeds `data.len()`, so the `get(pos..)` slices
+        // below never actually hit their empty default — spelling them
+        // this way keeps the scan structurally panic-free on any input.
         let mut pos = 0usize;
         loop {
             // Hunt for the next start marker.
-            match data[pos..].iter().position(|&b| b == STX) {
+            let rest = data.get(pos..).unwrap_or_default();
+            match rest.iter().position(|&b| b == STX) {
                 Some(offset) => {
                     stats.bytes_skipped += offset as u64;
                     pos += offset;
                 }
                 None => {
-                    stats.bytes_skipped += (data.len() - pos) as u64;
+                    stats.bytes_skipped += rest.len() as u64;
                     return data.len();
                 }
             }
 
-            match Frame::decode(&data[pos..]) {
+            match Frame::decode(data.get(pos..).unwrap_or_default()) {
                 Ok((frame, used)) => {
                     stats.frames_ok += 1;
                     frames.push(frame);
@@ -137,7 +147,7 @@ impl Parser {
                     // Might complete with more input — but only if the
                     // remaining tail could still be a frame; a lone STX at
                     // the very end always waits.
-                    if Self::could_complete(&data[pos..]) {
+                    if Self::could_complete(data.get(pos..).unwrap_or_default()) {
                         return pos;
                     }
                     // A full-length candidate failed structurally: skip the
@@ -166,11 +176,10 @@ impl Parser {
     /// True when `tail` forms a valid prefix that may still grow into a
     /// complete frame.
     fn could_complete(tail: &[u8]) -> bool {
-        if tail.len() < 2 {
-            return true; // just STX (or STX+LEN) so far
+        match tail {
+            [] | [_] => true, // just STX (or STX+LEN) so far
+            [_, len, ..] => tail.len() < *len as usize + FRAME_OVERHEAD,
         }
-        let total = tail[1] as usize + FRAME_OVERHEAD;
-        tail.len() < total
     }
 
     /// Cumulative counters.
@@ -183,6 +192,7 @@ impl Parser {
         self.buf.len()
     }
 }
+// cd-lint: end(panic_paths)
 
 #[cfg(test)]
 mod tests {

@@ -65,6 +65,11 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    // Determinism audit (unordered_iter): both hash sets are probe-only
+    // (insert/remove/contains by sequence number, never iterated), so
+    // hash order cannot influence delivery order — that comes solely
+    // from the heap's (time, seq) ordering. The compaction `retain`
+    // walks the heap, not a set. cd-lint enforces this for future edits.
     /// Sequence numbers scheduled, not yet delivered, not cancelled.
     pending: std::collections::HashSet<u64>,
     /// Lazily deleted entries still sitting in the heap. Every id in here

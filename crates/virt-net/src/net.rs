@@ -408,6 +408,12 @@ pub struct Network {
     namespaces: Vec<String>,
     sockets: Vec<Socket>,
     links: Vec<Link>,
+    // Determinism audit (unordered_iter): every hash container below is
+    // probe-only — keyed get/insert/remove, never iterated — so hash
+    // order cannot reach delivery order or the report. Anything that
+    // walks state in order (deliveries, link settlement, namespace
+    // lookup by name) goes through the Vecs above, whose order is
+    // creation order. cd-lint enforces this for future edits.
     /// DNAT rules: packets addressed to `key` are rewritten to `value`.
     port_maps: AddrMap<Addr>,
     /// Ingress rate limits configured for endpoints nothing is bound to
@@ -543,6 +549,8 @@ impl Network {
     /// find a tenant by name and then inspect its wiring with
     /// [`Network::neighbors`] / [`Network::link_config`].
     pub fn find_namespace(&self, name: &str) -> Option<NsId> {
+        // Order audit: `namespaces` is a Vec, so this scan runs in
+        // creation order — deterministic, unlike a name→id hash index.
         self.namespaces
             .iter()
             .position(|n| n == name)

@@ -1,0 +1,17 @@
+//! The cd-lint gate as a workspace test: `cargo test` fails if any
+//! source file violates the determinism/robustness rules — the same
+//! check `cargo run -p cd-lint` and the CI lint job perform.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_lint_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = cd_lint::lint_workspace(root);
+    assert!(
+        findings.is_empty(),
+        "cd-lint found {} violation(s):\n{}",
+        findings.len(),
+        cd_lint::render(&findings)
+    );
+}
