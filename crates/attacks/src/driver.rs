@@ -56,6 +56,15 @@ pub trait AttackDriver: std::fmt::Debug + Send {
     /// `CeaseFire` events. Idempotent.
     fn halt(&mut self, _machine: &mut Machine) {}
 
+    /// `true` while [`AttackDriver::step`] has per-quantum work to do.
+    /// Resource hogs are pure scheduler load (their `step` is the default
+    /// no-op) and halted emitters stay silent, so both report `false` —
+    /// which is what lets an event-driven executor skip their `step`
+    /// calls across a leaped span without changing behavior.
+    fn quantum_active(&self) -> bool {
+        false
+    }
+
     /// Datagrams offered to the network so far (0 for non-network
     /// attacks).
     fn packets_sent(&self) -> u64 {

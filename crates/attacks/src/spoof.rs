@@ -159,6 +159,10 @@ impl AttackDriver for SpoofDriver {
         self.stop(machine);
     }
 
+    fn quantum_active(&self) -> bool {
+        self.active
+    }
+
     fn packets_sent(&self) -> u64 {
         self.sent
     }

@@ -152,6 +152,11 @@ impl FloodEmitter {
     pub fn stop(&mut self) {
         self.active = false;
     }
+
+    /// `true` until [`FloodEmitter::stop`] is called.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
 }
 
 /// Drives an active flood: call [`FloodDriver::step`] every quantum.
@@ -200,6 +205,10 @@ impl AttackDriver for FloodDriver {
 
     fn halt(&mut self, machine: &mut Machine) {
         self.stop(machine);
+    }
+
+    fn quantum_active(&self) -> bool {
+        self.emitter.is_active()
     }
 
     fn packets_sent(&self) -> u64 {

@@ -17,7 +17,10 @@
 //!
 //! `--threads T` runs every cell on the sharded parallel executor (the
 //! reports are byte-identical at any thread count); `--big` appends the
-//! swarm-scale N = 1000 cell to the sweep.
+//! swarm-scale N = 1000 cell to the sweep; `--no-leap` runs every cell
+//! on the quantum-stepped reference executor instead of the time-leap
+//! default — the emitted CSV must be byte-identical either way (CI
+//! diffs the two).
 
 use std::fmt::Write as _;
 
@@ -46,6 +49,7 @@ fn main() {
     let args = Args::parse();
     let smoke = args.has("--smoke");
     let threads: usize = args.parsed("--threads").unwrap_or(1);
+    let leap = !args.has("--no-leap");
     // Smoke keeps the flights just long enough (3 s) that the rolling
     // flood's 2 s onset actually fires.
     let (mut sizes, duration): (Vec<usize>, SimDuration) = if smoke {
@@ -57,9 +61,10 @@ fn main() {
         sizes.push(1000);
     }
     println!(
-        "Fleet campaign — N ∈ {sizes:?} × {{healthy, flood, mixed, swarm-jam}}, {}s flights, {threads} thread(s){}\n",
+        "Fleet campaign — N ∈ {sizes:?} × {{healthy, flood, mixed, swarm-jam}}, {}s flights, {threads} thread(s){}{}\n",
         duration.as_secs_f64(),
-        if smoke { " (smoke)" } else { "" }
+        if smoke { " (smoke)" } else { "" },
+        if leap { "" } else { ", stepped reference executor" }
     );
 
     let base = ScenarioConfig::healthy().with_duration(duration);
@@ -69,7 +74,8 @@ fn main() {
         for &n in &sizes {
             let mut cfg = FleetConfig::new(base.clone(), n)
                 .with_script(script.clone())
-                .with_threads(threads);
+                .with_threads(threads)
+                .with_leap(leap);
             if swarm {
                 cfg = cfg.with_swarm(SwarmConfig::default());
             }

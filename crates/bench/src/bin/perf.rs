@@ -33,6 +33,9 @@ struct Measurement {
     sim_s: f64,
     steps: u64,
     packets: u64,
+    /// Quanta the time-leap executor advanced in closed form or replay
+    /// instead of stepping (`steps - quanta_leaped` were stepped).
+    leaped: u64,
     /// Process peak RSS (kB) sampled right after this row ran. The
     /// high-water mark is process-monotone, so each row's figure is an
     /// upper bound on its own footprint; rows run in ascending fleet
@@ -51,7 +54,7 @@ impl Measurement {
 
     fn json(&self) -> String {
         format!(
-            "{{\"name\":\"{}\",\"wall_s\":{:.4},\"sim_s\":{:.2},\"steps\":{},\"steps_per_sec\":{:.0},\"packets\":{},\"packets_per_sec\":{:.0},\"peak_rss_kb\":{}}}",
+            "{{\"name\":\"{}\",\"wall_s\":{:.4},\"sim_s\":{:.2},\"steps\":{},\"steps_per_sec\":{:.0},\"packets\":{},\"packets_per_sec\":{:.0},\"quanta_leaped\":{},\"quanta_stepped\":{},\"peak_rss_kb\":{}}}",
             self.name,
             self.wall_s,
             self.sim_s,
@@ -59,21 +62,23 @@ impl Measurement {
             self.steps_per_sec(),
             self.packets,
             self.packets_per_sec(),
+            self.leaped,
+            self.steps.saturating_sub(self.leaped),
             self.rss_kb,
         )
     }
 }
 
-/// Times `work` (which reports `(steps, packets)`) `repeat` times and
-/// keeps the fastest run — every iteration repeats identical
-/// deterministic work, so best-of discards only host noise.
+/// Times `work` (which reports `(steps, packets, quanta_leaped)`)
+/// `repeat` times and keeps the fastest run — every iteration repeats
+/// identical deterministic work, so best-of discards only host noise.
 #[allow(clippy::disallowed_methods)] // wall time is the measurement here
-fn measure(name: &str, repeat: usize, mut work: impl FnMut() -> (u64, u64)) -> Measurement {
+fn measure(name: &str, repeat: usize, mut work: impl FnMut() -> (u64, u64, u64)) -> Measurement {
     let quantum_s = containerdrone_core::config::SCHED_QUANTUM.as_secs_f64();
     let mut best: Option<Measurement> = None;
     for _ in 0..repeat.max(1) {
         let started = Instant::now();
-        let (steps, packets) = work();
+        let (steps, packets, leaped) = work();
         let wall_s = started.elapsed().as_secs_f64();
         let m = Measurement {
             name: name.to_string(),
@@ -81,6 +86,7 @@ fn measure(name: &str, repeat: usize, mut work: impl FnMut() -> (u64, u64)) -> M
             sim_s: steps as f64 * quantum_s,
             steps,
             packets,
+            leaped,
             rss_kb: 0,
         };
         if best.as_ref().is_none_or(|b| m.wall_s < b.wall_s) {
@@ -95,7 +101,11 @@ fn measure(name: &str, repeat: usize, mut work: impl FnMut() -> (u64, u64)) -> M
 fn run_scenario(name: &str, cfg: ScenarioConfig, repeat: usize) -> Measurement {
     measure(name, repeat, || {
         let result = Scenario::new(cfg.clone()).run();
-        (result.sim_steps, result.net_packets_sent)
+        (
+            result.sim_steps,
+            result.net_packets_sent,
+            result.quanta_leaped,
+        )
     })
 }
 
@@ -117,7 +127,7 @@ fn measure_fleet(
 ) -> Measurement {
     let mut m = measure(name, repeat, || {
         let report = cd_fleet::Fleet::new(fleet_config(n, duration, threads)).run();
-        (report.sim_steps, report.net_packets)
+        (report.sim_steps, report.net_packets, report.quanta_leaped)
     });
     // `steps` sums quanta over every vehicle machine (the throughput
     // numerator), but simulated time is the *airspace* clock — one
@@ -146,7 +156,8 @@ fn measure_campaign(
             .iter()
             .map(|o| o.result.net_packets_sent)
             .sum();
-        (steps, packets)
+        let leaped = report.outcomes.iter().map(|o| o.result.quanta_leaped).sum();
+        (steps, packets, leaped)
     })
 }
 
@@ -303,6 +314,39 @@ fn main() {
         );
         measurements.push(m);
     }
+    // Idle-heavy rows: a healthy fleet (no attack timeline) is the
+    // regime the event-driven time-leap executor targets — machines
+    // mostly waiting between task events. The same cell runs on both
+    // executors (leap default vs the quantum-stepped `--no-leap`
+    // reference, byte-identical reports), so the pair reads out the
+    // executor's own speedup directly; the `quanta_leaped` counter on
+    // the leap row is the coverage witness.
+    let healthy_sizes: &[usize] = if smoke { &[5] } else { &[1000] };
+    for &n in healthy_sizes {
+        for (suffix, leap) in [("", true), ("-noleap", false)] {
+            let m = measure(&format!("fleet-n{n}-healthy{suffix}"), repeat, || {
+                let base = ScenarioConfig::healthy().with_duration(fleet_duration);
+                let cfg = cd_fleet::FleetConfig::new(base, n)
+                    .with_threads(threads)
+                    .with_leap(leap);
+                let report = cd_fleet::Fleet::new(cfg).run();
+                (report.sim_steps, report.net_packets, report.quanta_leaped)
+            });
+            let m = Measurement {
+                sim_s: fleet_duration.as_secs_f64(),
+                ..m
+            };
+            println!(
+                "  {:<22} {:>7.3}s wall  {:>9.0} steps/s  {:>9.0} pkts/s  ({:.1}% leaped)",
+                m.name,
+                m.wall_s,
+                m.steps_per_sec(),
+                m.packets_per_sec(),
+                100.0 * m.leaped as f64 / m.steps.max(1) as f64,
+            );
+            measurements.push(m);
+        }
+    }
     // Adversarial-airspace rows: V2V swarm streams plus external
     // attacker nodes ([`cd_bench::swarm_fleet_config`] — the same cell
     // the fleet bin's swarm-jam timeline runs). Measures the airspace
@@ -313,7 +357,7 @@ fn main() {
         let m = measure(&format!("fleet-n{n}-swarm-jam"), repeat, || {
             let base = ScenarioConfig::healthy().with_duration(fleet_duration);
             let report = cd_fleet::Fleet::new(cd_bench::swarm_fleet_config(base, n)).run();
-            (report.sim_steps, report.net_packets)
+            (report.sim_steps, report.net_packets, report.quanta_leaped)
         });
         let m = Measurement {
             sim_s: fleet_duration.as_secs_f64(),
@@ -336,7 +380,7 @@ fn main() {
     // never clobber a committed prior-PR BENCH file.
     let out_file = out_path
         .clone()
-        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_5.json").to_string());
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json").to_string());
 
     // --merge: keep the better of (this run, what the out file already
     // holds) per scenario. Each run repeats identical deterministic work,

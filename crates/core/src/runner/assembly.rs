@@ -310,6 +310,7 @@ impl Runtime {
             ids,
             recorder,
             steps: 0,
+            quanta_leaped: 0,
             frame_scratch: Vec::new(),
         }
     }

@@ -60,6 +60,9 @@ use crate::telemetry::FlightRecorder;
 pub use assembly::TaskIds;
 pub use report::{ScenarioResult, StreamReport};
 
+// `SpanEnd` is defined next to `VehicleInstance` below; both are part of
+// the fleet-executor API surface.
+
 /// An executable scenario.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -82,6 +85,13 @@ impl Scenario {
     /// (see the `custom_rule` example).
     pub fn run_with_rules(self, rules: Vec<Box<dyn SecurityRule>>) -> ScenarioResult {
         self.start_with_rules(rules).run_to_end()
+    }
+
+    /// [`Scenario::run`] on the quantum-stepped reference executor
+    /// (`--no-leap`): byte-identical result, no time-leap fast path. Kept
+    /// as the safety net the leap-equivalence tests diff against.
+    pub fn run_stepped(self) -> ScenarioResult {
+        self.start().run_to_end_stepped()
     }
 
     /// Builds the full system and returns it paused at t = 0, ready to be
@@ -151,8 +161,34 @@ impl RunningScenario {
         while self.vehicle.now() < target && self.step() {}
     }
 
-    /// Runs the remainder of the flight and tears down into the result.
+    /// [`RunningScenario::advance_to`] on the time-leap executor:
+    /// span-by-span instead of quantum-by-quantum, byte-identical state
+    /// at every quantum boundary. Used to carve steady-state measurement
+    /// windows out of a leap-executed run (the allocation-regression
+    /// gate does).
+    pub fn advance_to_leap(&mut self, target: SimTime) {
+        let quantum = self.vehicle.rt.machine.config().quantum;
+        let hard = self
+            .vehicle
+            .end_boundary()
+            .min(VehicleInstance::quantum_end_at_or_after(target, quantum));
+        while self.vehicle.now() < hard && self.vehicle.advance_span(&mut self.net, hard) {}
+    }
+
+    /// Runs the remainder of the flight on the time-leap executor and
+    /// tears down into the result. Byte-identical to
+    /// [`RunningScenario::run_to_end_stepped`] (the equivalence tests and
+    /// figure goldens pin this), just faster across event-free spans.
     pub fn run_to_end(mut self) -> ScenarioResult {
+        let end = self.vehicle.end_boundary();
+        while self.vehicle.advance_span(&mut self.net, end) {}
+        self.finish()
+    }
+
+    /// Runs the remainder of the flight on the quantum-stepped reference
+    /// executor (the `--no-leap` path): every quantum runs all four
+    /// phases, no closed-form spans.
+    pub fn run_to_end_stepped(mut self) -> ScenarioResult {
         while self.step() {}
         self.finish()
     }
@@ -302,7 +338,13 @@ impl VehicleInstance {
                     .recorder
                     .mark(crash.time, format!("crash: {}", crash.kind));
                 self.crash_marked = true;
-                self.crash_deadline = Some(now + SimDuration::from_secs(1));
+                // Anchored to the crash's own (substep-exact) time rather
+                // than the detecting quantum so the post-crash window is
+                // identical whether physics caught up every quantum or in
+                // one leap. Stepped detection happens within the quantum
+                // of the crash, whose end is the crash time itself (both
+                // sit on the 50 µs grid), so this changes nothing there.
+                self.crash_deadline = Some(crash.time + SimDuration::from_secs(1));
             }
         }
         if self.crash_deadline.is_some_and(|d| now >= d) {
@@ -315,6 +357,207 @@ impl VehicleInstance {
     pub fn finish(self, net: &Network) -> ScenarioResult {
         self.rt.finish(net)
     }
+
+    /// The first quantum boundary at/after the flight end — the natural
+    /// `hard_target` for [`VehicleInstance::advance_span`] when no fleet
+    /// poll boundary applies sooner.
+    pub fn end_boundary(&self) -> SimTime {
+        Self::quantum_end_at_or_after(self.end, self.rt.machine.config().quantum)
+    }
+
+    /// The first quantum boundary at or after `t` — where an end-of-quantum
+    /// observer (network step, attack cursor, telemetry) first sees an
+    /// event at time `t`.
+    fn quantum_end_at_or_after(t: SimTime, quantum: SimDuration) -> SimTime {
+        let qn = quantum.as_nanos();
+        SimTime::from_nanos(t.as_nanos().div_ceil(qn) * qn)
+    }
+
+    /// The physical world this vehicle flies in. Fleet batch executors
+    /// read it to gather SoA physics lanes
+    /// ([`uav_dynamics::batch::WorldBatch::enroll`]).
+    pub fn world(&self) -> &World {
+        &self.rt.world
+    }
+
+    /// Mutable access to the physical world, for scattering a
+    /// batch-advanced lane back before observation and
+    /// [`VehicleInstance::post_step`].
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.rt.world
+    }
+
+    /// One time-leap span: advances through one event-free stretch —
+    /// possibly in closed form — then runs the regular quantum tail
+    /// (physics catch-up, job dispatch, armed attacks, network delivery)
+    /// once at the span's end.
+    ///
+    /// `hard_target` must be quantum-aligned and ahead of the current
+    /// time; the vehicle never advances past it (fleet executors pass
+    /// their next poll boundary, the single-vehicle runner passes
+    /// [`VehicleInstance::end_boundary`]).
+    ///
+    /// Telemetry/crash bookkeeping ([`VehicleInstance::post_step`]) runs
+    /// here only when the span ends *short* of `hard_target`; at the
+    /// target the caller observes the vehicle first (fleet snapshots are
+    /// taken pre-`post_step`, exactly like the stepped executor) and then
+    /// calls `post_step` itself. With `defer_physics` the at-target,
+    /// event-free case additionally skips the physics catch-up and
+    /// returns [`SpanEnd::AtTargetDeferred`]: the caller owns advancing
+    /// the world to [`VehicleInstance::now`] (e.g. via a SoA
+    /// [`uav_dynamics::batch::WorldBatch`]) before observing. Deferral is
+    /// sound because nothing in the tail below the physics call reads the
+    /// world: job dispatch is skipped (no events), attack arming and
+    /// network stepping never consult physics.
+    ///
+    /// # Equivalence
+    ///
+    /// Results are byte-identical to repeated [`RunningScenario::step`]
+    /// because a span only ever skips a subsystem's per-quantum call when
+    /// that call is provably a no-op:
+    ///
+    /// - the span ends no later than the first quantum boundary at/after
+    ///   the earliest pending network arrival, script onset, telemetry
+    ///   record and crash deadline, so the skipped `Network::step`s
+    ///   deliver nothing and the skipped attack-cursor checks and
+    ///   `post_step`s fire nothing;
+    /// - the machine's own [`Machine::leap_to`] never crosses a task
+    ///   release, job completion, slice expiry or MemGuard boundary it
+    ///   cannot reproduce in closed form;
+    /// - physics integrates on a fixed 500 µs grid, so one catch-up
+    ///   [`World::advance_to`] at the span end performs exactly the
+    ///   substeps the per-quantum calls would have;
+    /// - while any armed attack emits per-quantum traffic
+    ///   ([`AttackDriver::quantum_active`]), the span degenerates to
+    ///   single plain steps.
+    fn span_once(
+        &mut self,
+        net: &mut Network,
+        hard_target: SimTime,
+        defer_physics: bool,
+    ) -> SpanEnd {
+        if self.done() {
+            return SpanEnd::Done;
+        }
+        let quantum = self.rt.machine.config().quantum;
+        let now = self.rt.machine.now();
+
+        self.events.clear();
+        if self.rt.armed.iter().any(|d| d.quantum_active()) {
+            // Live emitters (floods, spoofers) have per-quantum work that
+            // cannot be leaped over: one plain quantum.
+            self.rt.machine.step(&mut self.events);
+            self.rt.steps += 1;
+        } else {
+            let mut target = hard_target.min(Self::quantum_end_at_or_after(self.end, quantum));
+            target = target.min(Self::quantum_end_at_or_after(self.next_record, quantum));
+            if let Some(d) = self.crash_deadline {
+                target = target.min(Self::quantum_end_at_or_after(d, quantum));
+            }
+            if let Some(entry) = self.rt.script.get(self.rt.script_cursor) {
+                target = target.min(Self::quantum_end_at_or_after(entry.at, quantum));
+            }
+            if let Some(arrival) = net.next_delivery_time() {
+                target = target.min(Self::quantum_end_at_or_after(arrival, quantum));
+            }
+            // Within one quantum of the nearest event this degenerates to
+            // exactly one plain step.
+            let target = target.max(now + quantum);
+
+            loop {
+                let leaped = self.rt.machine.leap_to(target);
+                self.rt.steps += leaped;
+                self.rt.quanta_leaped += leaped;
+                if self.rt.machine.now() + quantum > target {
+                    break;
+                }
+                self.rt.machine.step(&mut self.events);
+                self.rt.steps += 1;
+                if !self.events.is_empty() {
+                    // A scheduling event needs its end-of-quantum dispatch;
+                    // flush here and let the next span resume.
+                    break;
+                }
+            }
+        }
+
+        let now = self.rt.machine.now();
+        let at_target = now >= hard_target;
+        let defer = defer_physics && at_target && self.events.is_empty();
+        if !defer {
+            self.rt.world.advance_to(now);
+        }
+        for i in 0..self.events.len() {
+            if let SchedEvent::JobCompleted { task, .. } = self.events[i] {
+                self.rt.dispatch(task, now, net);
+            }
+        }
+        self.rt.step_attacks(now, quantum, net);
+
+        let deliveries = net.step(now);
+        for &d in deliveries {
+            self.on_delivery(d);
+        }
+        if at_target {
+            if defer {
+                SpanEnd::AtTargetDeferred
+            } else {
+                SpanEnd::AtTarget
+            }
+        } else {
+            self.post_step();
+            SpanEnd::Short
+        }
+    }
+
+    /// The time-leap fast path (see [`VehicleInstance::span_once`] for
+    /// the equivalence argument), with the observation hand-off folded
+    /// away: runs the full quantum tail including
+    /// [`VehicleInstance::post_step`] and returns `false` once the flight
+    /// is over, without advancing. The single-vehicle drop-in for the
+    /// [`RunningScenario::step`] loop.
+    pub fn advance_span(&mut self, net: &mut Network, hard_target: SimTime) -> bool {
+        match self.span_once(net, hard_target, false) {
+            SpanEnd::Done => false,
+            SpanEnd::Short => true,
+            SpanEnd::AtTarget => {
+                self.post_step();
+                true
+            }
+            // defer_physics is false.
+            SpanEnd::AtTargetDeferred => unreachable!(),
+        }
+    }
+
+    /// One time-leap span with physics deferral for SoA batching — the
+    /// fleet executor's building block. See
+    /// [`VehicleInstance::span_once`] for the protocol each [`SpanEnd`]
+    /// variant imposes on the caller.
+    pub fn advance_span_deferred(&mut self, net: &mut Network, hard_target: SimTime) -> SpanEnd {
+        self.span_once(net, hard_target, true)
+    }
+}
+
+/// How a [`VehicleInstance::advance_span_deferred`] span ended, and what
+/// the caller owes the vehicle before advancing it again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanEnd {
+    /// The flight was already over; nothing advanced.
+    Done,
+    /// The span flushed before the hard target (scheduling event, or a
+    /// live emitter forcing plain quanta). The full quantum tail —
+    /// including [`VehicleInstance::post_step`] — already ran; call
+    /// again to continue toward the target.
+    Short,
+    /// Reached the hard target. Physics is current, but
+    /// [`VehicleInstance::post_step`] has **not** run: observe the
+    /// vehicle (snapshot), then call it.
+    AtTarget,
+    /// Reached the hard target with no pending events; physics catch-up
+    /// was deferred. Advance the world to [`VehicleInstance::now`]
+    /// (e.g. batch-enroll it), then observe, then call
+    /// [`VehicleInstance::post_step`].
+    AtTargetDeferred,
 }
 
 /// The live state of one vehicle. Built by [`assembly`], advanced by
@@ -366,6 +609,7 @@ pub(crate) struct Runtime {
     pub(crate) ids: TaskIds,
     pub(crate) recorder: FlightRecorder,
     pub(crate) steps: u64,
+    pub(crate) quanta_leaped: u64,
     /// Scratch for decoded frames, reused across every received datagram.
     pub(crate) frame_scratch: Vec<Frame>,
 }

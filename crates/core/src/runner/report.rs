@@ -66,6 +66,11 @@ pub struct ScenarioResult {
     /// Scheduler quanta executed by the run loop (the perf harness's
     /// steps/sec denominator is wall time; this is the numerator).
     pub sim_steps: u64,
+    /// Of [`ScenarioResult::sim_steps`], how many were advanced in closed
+    /// form by the time-leap executor rather than stepped one quantum at a
+    /// time. Always 0 on the quantum-stepped reference path (`--no-leap`);
+    /// everything else about the result is byte-identical either way.
+    pub quanta_leaped: u64,
     /// Total datagrams offered to the virtual network over the run
     /// (legitimate streams and attack traffic combined). This counter is
     /// network-global: in a fleet run it is the whole shared airspace's
@@ -243,6 +248,7 @@ impl Runtime {
             attack_packets,
             heartbeats_received: self.heartbeats_received,
             sim_steps: self.steps,
+            quanta_leaped: self.quanta_leaped,
             net_packets_sent: net.packets_sent(),
             task_report,
             telemetry: self.recorder,

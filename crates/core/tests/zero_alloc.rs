@@ -85,6 +85,46 @@ fn healthy_steady_state_allocates_nothing() {
     assert!(result.sim_steps >= 4 * 20_000, "4 s at 50 µs quanta");
 }
 
+/// The time-leap executor's counterpart of the healthy gate: one
+/// simulated second advanced span-by-span ([`RunningScenario::
+/// advance_to_leap`]) must also be allocation-free. The leap path has
+/// its own scratch state beyond the stepped loop's — the pinned
+/// assignment's demand set, the replayed memory progress, the captured
+/// fair dispatch order — all of which must come from pre-sized,
+/// persistent buffers.
+#[test]
+fn healthy_leap_steady_state_allocates_nothing() {
+    let _window = MEASUREMENT.lock().expect("serialize measurement");
+    let mut run = Scenario::new(ScenarioConfig::healthy()).start();
+
+    // Warmup on the same executor the window measures, so every
+    // leap-path scratch vector has reached steady-state capacity.
+    run.advance_to_leap(SimTime::from_secs(3));
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(before > 0, "counter must have registered setup allocations");
+    run.advance_to_leap(SimTime::from_secs(4)); // one simulated second
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "leap steady-state loop allocated {} times in one simulated second",
+        after - before
+    );
+
+    // The window really ran the leap executor, not a degenerate step loop.
+    let result = run.finish();
+    assert!(!result.crashed());
+    assert!(result.sim_steps >= 4 * 20_000, "4 s at 50 µs quanta");
+    assert!(
+        result.quanta_leaped * 2 > result.sim_steps,
+        "a healthy leap run must leap most quanta: {} of {}",
+        result.quanta_leaped,
+        result.sim_steps
+    );
+}
+
 /// The flood fast-path counterpart: one simulated second of the Figure 7
 /// UDP flood in steady state must also be allocation-free. The warmup is
 /// pool-aware — it runs well past the 8 s attack onset and the Simplex

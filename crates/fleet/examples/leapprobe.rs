@@ -1,0 +1,23 @@
+//! Quick throughput probe for the time-leap executor: the same healthy
+//! N=50 fleet run with and without leaping. Not a test — the tracked
+//! numbers live in the cd-bench matrix (`BENCH_7.json`).
+
+use cd_fleet::{Fleet, FleetConfig};
+use containerdrone_core::scenario::ScenarioConfig;
+use sim_core::time::SimDuration;
+
+fn main() {
+    let base = ScenarioConfig::healthy().with_duration(SimDuration::from_secs(3));
+    for leap in [false, true] {
+        let r = Fleet::new(FleetConfig::new(base.clone(), 50).with_leap(leap)).run();
+        let dt = r.wall_clock.as_secs_f64();
+        println!(
+            "leap={leap}: {:.2}s  steps={} leaped={} ({:.1}%)  {:.2}M steps/s",
+            dt,
+            r.sim_steps,
+            r.quanta_leaped,
+            100.0 * r.quanta_leaped as f64 / r.sim_steps as f64,
+            r.sim_steps as f64 / dt / 1e6,
+        );
+    }
+}

@@ -73,9 +73,10 @@ use std::time::{Duration, Instant};
 
 use attacks::fleet::FleetScript;
 use containerdrone_core::config::SCHED_QUANTUM;
-use containerdrone_core::runner::{ScenarioResult, VehicleInstance};
+use containerdrone_core::runner::{ScenarioResult, SpanEnd, VehicleInstance};
 use containerdrone_core::scenario::ScenarioConfig;
 use sim_core::time::{SimDuration, SimTime};
+use uav_dynamics::batch::WorldBatch;
 use virt_net::net::Network;
 
 pub use airspace::Airspace;
@@ -115,6 +116,12 @@ pub struct FleetConfig {
     /// How vehicles are assigned to worker threads. Any strategy produces
     /// byte-identical reports; the choice only moves wall-clock time.
     pub partition: Partition,
+    /// Run on the event-driven time-leap executor (the default). `false`
+    /// is the `--no-leap` reference: every quantum runs all four phases.
+    /// Both produce byte-identical reports — the adversarial equivalence
+    /// tests pin it — the leap executor is just faster across event-free
+    /// spans.
+    pub leap: bool,
 }
 
 /// Shard-assignment strategy for the parallel executor.
@@ -148,6 +155,7 @@ impl FleetConfig {
             attacker: AttackerConfig::default(),
             threads: 1,
             partition: Partition::default(),
+            leap: true,
         }
     }
 
@@ -192,6 +200,15 @@ impl FleetConfig {
         self.partition = partition;
         self
     }
+
+    /// Selects the executor: `true` (default) for the event-driven
+    /// time-leap executor, `false` for the quantum-stepped reference
+    /// (`--no-leap`). Byte-identical either way.
+    #[must_use]
+    pub fn with_leap(mut self, leap: bool) -> Self {
+        self.leap = leap;
+        self
+    }
 }
 
 /// One vehicle plus the private bridge network it flies against. The
@@ -228,6 +245,94 @@ fn run_slot_to(slot: &mut VehicleSlot, target: SimTime, snap: &mut VehicleSnapsh
             return;
         }
     }
+}
+
+/// Pooled per-worker scratch of the leap executor: the struct-of-arrays
+/// physics batch and the bin-local indices of vehicles whose physics
+/// catch-up was deferred into it. Cleared (capacity kept) after every
+/// poll batch, so steady state allocates nothing.
+#[derive(Default)]
+struct ShardScratch {
+    batch: WorldBatch,
+    pending: Vec<usize>,
+}
+
+/// Advances one vehicle span-by-span to `target` (a poll boundary) on
+/// the time-leap executor. Mirrors [`run_slot_to`]'s interleaving
+/// exactly — the snapshot the GCS poll must see is captured after the
+/// at-target machine advance, before that quantum's `post_step` — except
+/// that a vehicle ending its final span event-free defers its physics
+/// catch-up: the caller batches those into `batch` and finishes them via
+/// [`finish_deferred_slot`]. Returns `true` when this vehicle was
+/// deferred (its lane was enrolled in `batch`, its snapshot and
+/// bookkeeping still owed).
+fn run_slot_leap(
+    slot: &mut VehicleSlot,
+    target: SimTime,
+    snap: &mut VehicleSnapshot,
+    batch: &mut WorldBatch,
+) -> bool {
+    let VehicleSlot { net, vehicle } = slot;
+    loop {
+        match vehicle.advance_span_deferred(net, target) {
+            SpanEnd::Done => {
+                *snap = VehicleSnapshot::finished(vehicle);
+                return false;
+            }
+            SpanEnd::Short => {}
+            SpanEnd::AtTarget => {
+                *snap = VehicleSnapshot::of(vehicle);
+                vehicle.post_step();
+                return false;
+            }
+            SpanEnd::AtTargetDeferred => {
+                batch.enroll(vehicle.world(), vehicle.now());
+                return true;
+            }
+        }
+    }
+}
+
+/// Completes a deferred vehicle once its shard's physics batch has
+/// advanced: scatters the lane back into the world, captures the poll
+/// snapshot (physics now current, `post_step` still pending — the same
+/// observation point as the non-deferred paths) and runs the owed
+/// telemetry/crash bookkeeping.
+fn finish_deferred_slot(
+    slot: &mut VehicleSlot,
+    snap: &mut VehicleSnapshot,
+    batch: &WorldBatch,
+    lane: usize,
+) {
+    let vehicle = &mut slot.vehicle;
+    batch.scatter_into(lane, vehicle.world_mut());
+    *snap = VehicleSnapshot::of(vehicle);
+    vehicle.post_step();
+}
+
+/// [`run_slot_leap`] plus the same EWMA cost observation as
+/// [`run_slot_timed`]. The deferred physics cost lands in the batch
+/// advance outside this timer — the estimate only steers
+/// [`Partition::LoadBalanced`], never simulation state, so the skew is
+/// harmless.
+#[allow(clippy::disallowed_methods)] // mirror of the cd-lint allow below
+fn run_slot_leap_timed(
+    slot: &mut VehicleSlot,
+    target: SimTime,
+    snap: &mut VehicleSnapshot,
+    cost: &mut f64,
+    batch: &mut WorldBatch,
+) -> bool {
+    // cd-lint: allow(wall_clock) -- cost-only EWMA observation for LPT shard balance; never feeds simulation state or the report
+    let started = Instant::now();
+    let deferred = run_slot_leap(slot, target, snap, batch);
+    let observed = started.elapsed().as_secs_f64();
+    *cost = if *cost == 0.0 {
+        observed
+    } else {
+        0.5 * *cost + 0.5 * observed
+    };
+    deferred
 }
 
 /// [`run_slot_to`] plus cost observation: folds the measured wall time
@@ -306,27 +411,67 @@ fn assign_shards(costs: &[f64], threads: usize, partition: Partition) -> Vec<Vec
     }
 }
 
-/// Runs every slot up to `target`, sharded over `threads` scoped worker
-/// threads under the configured [`Partition`]. Slots are disjoint, so
-/// the only synchronisation is the scope join; snapshots land in
-/// vehicle-index order regardless of which thread wrote them — the
-/// partition decides *where* a vehicle computes, never *what*, so the
-/// report is partition- and thread-count-independent by construction.
+/// The executor knobs for one poll-boundary batch: where to stop, how
+/// wide to shard, how to partition, and which executor (leap/stepped)
+/// advances each vehicle.
+#[derive(Clone, Copy)]
+struct ShardPlan {
+    target: SimTime,
+    threads: usize,
+    partition: Partition,
+    leap: bool,
+}
+
+/// Runs every slot up to `plan.target`, sharded over `plan.threads`
+/// scoped worker threads under the configured [`Partition`]. Slots are
+/// disjoint, so the only synchronisation is the scope join; snapshots
+/// land in vehicle-index order regardless of which thread wrote them —
+/// the partition decides *where* a vehicle computes, never *what*, so
+/// the report is partition- and thread-count-independent by
+/// construction.
 fn run_shards(
     slots: &mut [VehicleSlot],
     snapshots: &mut [VehicleSnapshot],
     costs: &mut [f64],
-    target: SimTime,
-    threads: usize,
-    partition: Partition,
+    scratch: &mut [ShardScratch],
+    plan: ShardPlan,
 ) {
+    let ShardPlan {
+        target,
+        threads,
+        partition,
+        leap,
+    } = plan;
     if threads <= 1 || slots.len() <= 1 {
-        for ((slot, snap), cost) in slots
-            .iter_mut()
-            .zip(snapshots.iter_mut())
-            .zip(costs.iter_mut())
-        {
-            run_slot_timed(slot, target, snap, cost);
+        if leap {
+            // Index loops over pooled scratch: the serial leap path, like
+            // the serial stepped path, allocates nothing in steady state.
+            let scratch = &mut scratch[0];
+            for i in 0..slots.len() {
+                if run_slot_leap_timed(
+                    &mut slots[i],
+                    target,
+                    &mut snapshots[i],
+                    &mut costs[i],
+                    &mut scratch.batch,
+                ) {
+                    scratch.pending.push(i);
+                }
+            }
+            scratch.batch.advance();
+            for (lane, &i) in scratch.pending.iter().enumerate() {
+                finish_deferred_slot(&mut slots[i], &mut snapshots[i], &scratch.batch, lane);
+            }
+            scratch.batch.clear();
+            scratch.pending.clear();
+        } else {
+            for ((slot, snap), cost) in slots
+                .iter_mut()
+                .zip(snapshots.iter_mut())
+                .zip(costs.iter_mut())
+            {
+                run_slot_timed(slot, target, snap, cost);
+            }
         }
         return;
     }
@@ -349,10 +494,26 @@ fn run_shards(
         })
         .collect();
     std::thread::scope(|scope| {
-        for batch in work {
+        for (batch, scratch) in work.into_iter().zip(scratch.iter_mut()) {
             scope.spawn(move || {
-                for (slot, snap, cost) in batch {
-                    run_slot_timed(slot, target, snap, cost);
+                if leap {
+                    let mut batch = batch;
+                    for (i, (slot, snap, cost)) in batch.iter_mut().enumerate() {
+                        if run_slot_leap_timed(slot, target, snap, cost, &mut scratch.batch) {
+                            scratch.pending.push(i);
+                        }
+                    }
+                    scratch.batch.advance();
+                    for (lane, &i) in scratch.pending.iter().enumerate() {
+                        let (slot, snap, _) = &mut batch[i];
+                        finish_deferred_slot(slot, snap, &scratch.batch, lane);
+                    }
+                    scratch.batch.clear();
+                    scratch.pending.clear();
+                } else {
+                    for (slot, snap, cost) in batch {
+                        run_slot_timed(slot, target, snap, cost);
+                    }
                 }
             });
         }
@@ -372,12 +533,16 @@ pub struct Fleet {
     snapshots: Vec<VehicleSnapshot>,
     /// Observed per-batch step cost per vehicle (load-balancing weights).
     costs: Vec<f64>,
+    /// One pooled leap scratch (SoA physics batch + deferred list) per
+    /// worker thread.
+    scratch: Vec<ShardScratch>,
     now: SimTime,
     end_of_flight: SimTime,
     next_poll: SimTime,
     poll_period: SimDuration,
     threads: usize,
     partition: Partition,
+    leap: bool,
 }
 
 impl Fleet {
@@ -451,12 +616,16 @@ impl Fleet {
             attackers,
             snapshots: vec![VehicleSnapshot::default(); n],
             costs: vec![0.0; n],
+            scratch: std::iter::repeat_with(ShardScratch::default)
+                .take(config.threads.max(1))
+                .collect(),
             now: SimTime::ZERO,
             end_of_flight,
             next_poll: SimTime::ZERO,
             poll_period: SimDuration::from_hz(config.gcs.poll_hz),
             threads: config.threads.max(1),
             partition: config.partition,
+            leap: config.leap,
         }
     }
 
@@ -613,43 +782,63 @@ impl Fleet {
     /// configurations is unaffected.
     fn run_to_end(&mut self) {
         let threads = self.threads.clamp(1, self.slots.len());
-        loop {
-            // The next poll boundary: the first quantum boundary past
-            // `now` at which the poll is due.
-            let mut target = self.now + SCHED_QUANTUM;
-            while target < self.next_poll {
-                target += SCHED_QUANTUM;
-            }
-            run_shards(
-                &mut self.slots,
-                &mut self.snapshots,
-                &mut self.costs,
+        while self.run_batch(threads) {}
+    }
+
+    /// Advances the fleet in whole poll-boundary batches on the
+    /// configured executor until the fleet clock reaches `target` (or
+    /// every vehicle finishes). The incremental form of the executor
+    /// behind [`Fleet::run`] — used to carve steady-state measurement
+    /// windows (the allocation-regression gate) out of a batch-executed
+    /// run. The final batch may overshoot `target` to its poll boundary.
+    pub fn run_until(&mut self, target: SimTime) {
+        let threads = self.threads.clamp(1, self.slots.len());
+        while self.now < target && self.run_batch(threads) {}
+    }
+
+    /// One poll-boundary batch of the executor: shards the vehicles to
+    /// the next poll boundary, merges, settles. Returns `false` when the
+    /// fleet is done (every vehicle finished, now or earlier).
+    fn run_batch(&mut self, threads: usize) -> bool {
+        // The next poll boundary: the first quantum boundary past
+        // `now` at which the poll is due.
+        let mut target = self.now + SCHED_QUANTUM;
+        while target < self.next_poll {
+            target += SCHED_QUANTUM;
+        }
+        run_shards(
+            &mut self.slots,
+            &mut self.snapshots,
+            &mut self.costs,
+            &mut self.scratch,
+            ShardPlan {
                 target,
                 threads,
-                self.partition,
-            );
-            let furthest = self
-                .slots
-                .iter()
-                .map(|s| s.vehicle.now())
-                .max()
-                .unwrap_or(self.now);
-            if furthest <= self.now {
-                break; // every vehicle had already finished
-            }
-            self.now = furthest;
-            if furthest == target {
-                // At least one vehicle was still flying at the poll
-                // quantum, so the quantum-stepped loop would have fired
-                // the poll there too.
-                self.merge_boundary(target);
-                self.next_poll += self.poll_period;
-            }
-            self.settle_airspace();
-            if furthest < target {
-                break; // the whole fleet finished before the boundary
-            }
+                partition: self.partition,
+                leap: self.leap,
+            },
+        );
+        let furthest = self
+            .slots
+            .iter()
+            .map(|s| s.vehicle.now())
+            .max()
+            .unwrap_or(self.now);
+        if furthest <= self.now {
+            return false; // every vehicle had already finished
         }
+        self.now = furthest;
+        if furthest == target {
+            // At least one vehicle was still flying at the poll
+            // quantum, so the quantum-stepped loop would have fired
+            // the poll there too.
+            self.merge_boundary(target);
+            self.next_poll += self.poll_period;
+        }
+        self.settle_airspace();
+        // `furthest < target` means the whole fleet finished before the
+        // boundary.
+        furthest >= target
     }
 
     /// Tears the fleet down into a [`FleetReport`] at the current time
@@ -701,6 +890,7 @@ impl Fleet {
             .collect();
         FleetReport {
             sim_steps: outcomes.iter().map(|o| o.result.sim_steps).sum(),
+            quanta_leaped: outcomes.iter().map(|o| o.result.quanta_leaped).sum(),
             net_packets,
             attacker_packets,
             duration: now,
@@ -753,6 +943,11 @@ pub struct FleetReport {
     /// Scheduler quanta executed, summed over all vehicle machines (the
     /// fleet steps/sec numerator).
     pub sim_steps: u64,
+    /// Of [`FleetReport::sim_steps`], the quanta the time-leap executor
+    /// advanced in closed form instead of stepping individually. Always 0
+    /// under `--no-leap`; everything else in the report is byte-identical
+    /// either way (see [`FleetReport::quanta_stepped`]).
+    pub quanta_leaped: u64,
     /// Datagrams offered to the bridge and airspace networks combined
     /// (streams, attacks and telemetry).
     pub net_packets: u64,
@@ -772,6 +967,13 @@ impl FleetReport {
     pub const CSV_HEADER: &'static str = "vehicle,seed,outcome,crashed,switch_s,\
          max_deviation_m,deadline_skips,gcs_packets,gcs_dropped,gcs_malformed,\
          gcs_last_seen_s,swarm_rx,swarm_jam_drops,swarm_min_sep_m";
+
+    /// Quanta the executor stepped individually (the complement of
+    /// [`FleetReport::quanta_leaped`]; equals `sim_steps` under
+    /// `--no-leap`).
+    pub fn quanta_stepped(&self) -> u64 {
+        self.sim_steps - self.quanta_leaped
+    }
 
     /// Number of vehicles that crashed.
     pub fn crashes(&self) -> usize {

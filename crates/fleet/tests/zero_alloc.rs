@@ -12,10 +12,15 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use cd_fleet::{Fleet, FleetConfig};
 use containerdrone_core::scenario::ScenarioConfig;
 use sim_core::time::SimTime;
+
+/// The allocation counter is process-global, so the two measurement
+/// windows must never overlap: each test serializes on this lock.
+static MEASUREMENT: Mutex<()> = Mutex::new(());
 
 struct CountingAllocator;
 
@@ -61,6 +66,7 @@ fn advance_to(fleet: &mut Fleet, target: SimTime) {
 /// have been written.
 #[test]
 fn fleet_flood_steady_state_allocates_nothing() {
+    let _window = MEASUREMENT.lock().expect("serialize measurement");
     // fig7 for every vehicle: a static timeline, so no fleet-script
     // rotation re-arms attacks (and allocates) inside the window.
     let mut fleet = Fleet::new(FleetConfig::new(ScenarioConfig::fig7(), 3));
@@ -95,4 +101,43 @@ fn fleet_flood_steady_state_allocates_nothing() {
             o.index
         );
     }
+}
+
+/// The batch/leap executor's counterpart: one simulated second of a
+/// healthy fleet advanced in whole poll-boundary batches
+/// ([`Fleet::run_until`], the executor behind [`Fleet::run`]) must be
+/// allocation-free once warm. This covers the leap-path scratch the
+/// per-quantum gate never touches: per-shard SoA physics batches, the
+/// deferred-vehicle lists, and every machine's replay/demand/fair-order
+/// buffers.
+#[test]
+fn fleet_leap_steady_state_allocates_nothing() {
+    let _window = MEASUREMENT.lock().expect("serialize measurement");
+    let mut fleet = Fleet::new(FleetConfig::new(ScenarioConfig::healthy(), 3));
+
+    // Warmup on the same executor the window measures, so the shard
+    // scratch (physics batch lanes, pending lists) has reached capacity.
+    fleet.run_until(SimTime::from_secs(3));
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(before > 0, "counter must have registered setup allocations");
+    fleet.run_until(SimTime::from_secs(4)); // one simulated second
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "fleet leap steady-state batch allocated {} times in one simulated second",
+        after - before
+    );
+
+    // The window really ran the leap executor over a healthy fleet.
+    let report = fleet.finish();
+    assert_eq!(report.crashes(), 0);
+    assert!(
+        report.quanta_leaped * 2 > report.sim_steps,
+        "a healthy fleet batch run must leap most quanta: {} of {}",
+        report.quanta_leaped,
+        report.sim_steps
+    );
 }

@@ -217,6 +217,312 @@ impl MemorySystem {
         }
     }
 
+    /// The next MemGuard budget-replenish instant, or `None` when
+    /// regulation is off. Budgets (and therefore throttle decisions) can
+    /// only change at this instant, which makes it a scheduling hint for
+    /// event-driven executors.
+    pub fn next_replenish_time(&self) -> Option<SimTime> {
+        self.memguard.as_ref().map(|mg| mg.next_replenish)
+    }
+
+    /// `true` if the regulated core `i` has exhausted its budget, i.e. its
+    /// next quantum before a replenish would be fully throttled.
+    pub fn core_exhausted(&self, i: usize) -> bool {
+        match &self.memguard {
+            Some(mg) => match mg.config.budgets[i] {
+                Some(budget) => mg.used[i] >= budget,
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Advances `quanta` consecutive all-idle scheduler quanta in one call,
+    /// bit-identical to calling [`MemorySystem::quantum`] that many times
+    /// (starting at `start`, stride `dt`) with every core at
+    /// [`CoreDemand::default`].
+    ///
+    /// The stepped path does three things on an idle quantum, all
+    /// replicated here in closed form:
+    ///
+    /// 1. Replenish fires on every quantum whose start is at or past
+    ///    `next_replenish`, resetting budgets and re-arming at that
+    ///    quantum's start plus one period — so fires recur with a stride
+    ///    of `ceil(period / dt)` quanta from the first firing quantum.
+    /// 2. A core that has exhausted its budget stays stalled (accruing
+    ///    `throttled_time`) on every quantum before the first replenish,
+    ///    even with nothing running.
+    /// 3. `prev_served` decays to all zeros after one idle quantum, so
+    ///    the quantum after the leap sees zero cross-core contention.
+    ///
+    /// Durations are integer nanoseconds, so the `dt * n` products below
+    /// equal `n` repeated additions exactly — no float accumulation is
+    /// involved on this path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is zero.
+    pub fn leap_idle(&mut self, start: SimTime, dt: SimDuration, quanta: u64) {
+        assert!(dt.as_nanos() > 0, "quantum must be non-zero");
+        if quanta == 0 {
+            return;
+        }
+        if let Some(mg) = &mut self.memguard {
+            // Index of the first quantum whose start reaches the pending
+            // replenish instant (it need not be grid-aligned).
+            let j0 = if mg.next_replenish <= start {
+                0
+            } else {
+                let gap = (mg.next_replenish - start).as_nanos();
+                gap.div_ceil(dt.as_nanos())
+            };
+            for (i, budget) in mg.config.budgets.iter().enumerate() {
+                let Some(budget) = budget else { continue };
+                if mg.used[i] >= *budget {
+                    // A non-positive budget re-exhausts instantly after
+                    // every replenish; a positive one stalls only until
+                    // the first replenish of the span.
+                    let stalled = if *budget <= 0.0 {
+                        quanta
+                    } else {
+                        j0.min(quanta)
+                    };
+                    if stalled > 0 {
+                        self.counters[i].throttled_time += dt * stalled;
+                    }
+                }
+            }
+            if j0 < quanta {
+                // At least one replenish fires inside the span: budgets
+                // reset, and the phase re-arms from the last firing
+                // quantum's start (`now + period`, as the stepped update
+                // does).
+                mg.used.iter_mut().for_each(|u| *u = 0.0);
+                let stride = (mg.config.period.as_nanos().div_ceil(dt.as_nanos())).max(1);
+                let last_fire = j0 + ((quanta - 1 - j0) / stride) * stride;
+                mg.next_replenish = start + dt * last_fire + mg.config.period;
+            }
+        }
+        self.prev_served.iter_mut().for_each(|s| *s = 0.0);
+        self.served_scratch.iter_mut().for_each(|s| *s = 0.0);
+    }
+
+    /// Advances up to `max_k` quanta during which exactly one core —
+    /// `active` — has live, latency-bound demand `d` and every other core
+    /// is idle or throttled (serving nothing). Returns the quanta actually
+    /// advanced, bit-identical to that many [`MemorySystem::quantum`]
+    /// calls with `d` on `active` and [`CoreDemand::default`] elsewhere
+    /// (throttled cores short-circuit before their demand is read, so any
+    /// demand shape on an exhausted core reduces to the default).
+    ///
+    /// With zero previous service from the other cores, `u_other` is
+    /// exactly zero every quantum, so a latency-bound task runs at exactly
+    /// full progress and serves a constant `bandwidth × dt` lines — the
+    /// per-quantum float additions (budget draw, performance counters) are
+    /// replayed in a loop because repeated f64 addition is not one
+    /// multiplication. The walk stops early (returning fewer quanta) at
+    /// the quantum a MemGuard budget would cap — partial-service quanta
+    /// change the served rate and belong to the stepped path — and returns
+    /// 0 without touching state if any *other* core has non-zero previous
+    /// service or the demand is streaming (streaming progress depends on
+    /// residual bus share, not worth the closed form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` is out of range or `dt` is zero.
+    pub fn leap_one_active(
+        &mut self,
+        start: SimTime,
+        dt: SimDuration,
+        active: usize,
+        d: &CoreDemand,
+        max_k: u64,
+    ) -> u64 {
+        assert!(active < self.n_cores(), "core {active} out of range");
+        assert!(dt.as_nanos() > 0, "quantum must be non-zero");
+        if d.streaming {
+            return 0;
+        }
+        if self
+            .prev_served
+            .iter()
+            .enumerate()
+            .any(|(i, &s)| i != active && s != 0.0)
+        {
+            return 0;
+        }
+        let dt_s = dt.as_secs_f64();
+        // u_other is exactly 0: stall_fraction · γ · 0 = 0, progress 1/1.
+        let lines = d.bandwidth * dt_s;
+        let mut k = 0u64;
+        let mut t = start;
+        while k < max_k {
+            if let Some(mg) = &mut self.memguard {
+                // A replenish due at this quantum fires before anything
+                // else, exactly as the stepped path orders it. (If the
+                // quantum then turns out to be capped and is left to the
+                // stepped path, the early firing is still identical: the
+                // stepped quantum would apply the very same reset.)
+                if t >= mg.next_replenish {
+                    mg.used.iter_mut().for_each(|u| *u = 0.0);
+                    mg.next_replenish = t + mg.config.period;
+                }
+                // Stop *before* the quantum where the active core's budget
+                // would cap (or is already exhausted): partial service and
+                // throttling belong to the stepped path, and none of this
+                // quantum's effects may be applied here.
+                if let Some(budget) = mg.config.budgets[active] {
+                    if mg.used[active] >= budget || lines >= budget - mg.used[active] {
+                        break;
+                    }
+                    mg.used[active] += lines;
+                }
+                // Exhausted *other* cores stall through this leaped
+                // quantum exactly as the stepped throttle branch does.
+                for (i, budget) in mg.config.budgets.iter().enumerate() {
+                    let Some(budget) = budget else { continue };
+                    if i != active && mg.used[i] >= *budget {
+                        self.counters[i].throttled_time += dt;
+                    }
+                }
+            }
+            self.counters[active].lines += lines;
+            k += 1;
+            t += dt;
+        }
+        if k > 0 {
+            for (i, s) in self.prev_served.iter_mut().enumerate() {
+                *s = if i == active { lines / dt_s } else { 0.0 };
+            }
+            // Dead state — overwritten before every read — kept in the
+            // steady value the alternating swap would leave after ≥ 2
+            // quanta.
+            self.served_scratch.copy_from_slice(&self.prev_served);
+        }
+        k
+    }
+
+    /// `true` when some budgeted, non-exhausted core could hit its
+    /// MemGuard cap during a quantum starting at `now` with these
+    /// demands. The guard the replay path must check before each
+    /// [`MemorySystem::replay_quantum`]: capped quanta serve partial
+    /// lines and bump `throttle_events`, which the replay does not
+    /// model. Conservative — uses the demand's full `bandwidth × dt` as
+    /// an upper bound on the lines a quantum can move (progress ≤ 1),
+    /// and accounts for a replenish firing at `now` exactly as the
+    /// quantum itself would.
+    #[inline]
+    pub fn cap_risk(&self, now: SimTime, dt: SimDuration, demands: &[CoreDemand]) -> bool {
+        let Some(mg) = &self.memguard else {
+            return false;
+        };
+        let dt_s = dt.as_secs_f64();
+        let replenished = now >= mg.next_replenish;
+        for (i, d) in demands.iter().enumerate() {
+            let Some(budget) = mg.config.budgets[i] else {
+                continue;
+            };
+            let used = if replenished { 0.0 } else { mg.used[i] };
+            if used >= budget {
+                // Already exhausted: the throttle branch moves no lines,
+                // so the cap branch is unreachable on this core.
+                continue;
+            }
+            if d.bandwidth * dt_s >= budget - used {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// One quantum of the exact [`MemorySystem::quantum`] arithmetic for
+    /// a replayed leap span: the identical per-core operation sequence —
+    /// replenish, throttle branch, compute-only fast path, contention
+    /// formula, budget draw, counters, served-rate swap — with per-core
+    /// progress written into the caller's slice instead of the outcome
+    /// vector. Progress is `0.0` exactly when the core throttled (both
+    /// contention formulas are strictly positive), so no separate
+    /// throttled flag is returned.
+    ///
+    /// Callers must rule out the MemGuard cap branch first (see
+    /// [`MemorySystem::cap_risk`]); a capped quantum would bump
+    /// `throttle_events` and serve partial lines, which this replay does
+    /// not model — debug builds assert the precondition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demands` or `progress` length differs from the core
+    /// count.
+    pub fn replay_quantum(
+        &mut self,
+        now: SimTime,
+        dt: SimDuration,
+        demands: &[CoreDemand],
+        progress: &mut [f64],
+    ) {
+        assert_eq!(demands.len(), self.n_cores(), "one demand per core");
+        assert_eq!(progress.len(), self.n_cores(), "one progress slot per core");
+        let dt_s = dt.as_secs_f64();
+
+        if let Some(mg) = &mut self.memguard {
+            if now >= mg.next_replenish {
+                mg.used.iter_mut().for_each(|u| *u = 0.0);
+                mg.next_replenish = now + mg.config.period;
+            }
+        }
+
+        let total_prev: f64 = self.prev_served.iter().sum();
+        self.served_scratch.iter_mut().for_each(|s| *s = 0.0);
+        let served_now = &mut self.served_scratch;
+
+        for (i, d) in demands.iter().enumerate() {
+            let throttled = match &self.memguard {
+                Some(mg) => match mg.config.budgets[i] {
+                    Some(budget) => mg.used[i] >= budget,
+                    None => false,
+                },
+                None => false,
+            };
+            if throttled {
+                self.counters[i].throttled_time += dt;
+                progress[i] = 0.0;
+                continue;
+            }
+
+            if d.bandwidth == 0.0 && d.stall_fraction == 0.0 && !d.streaming {
+                progress[i] = 1.0;
+                continue;
+            }
+
+            let others = (total_prev - self.prev_served[i]).max(0.0);
+            let u_other = (others / self.config.total_bandwidth).clamp(0.0, 1.0);
+            let p = if d.streaming {
+                let available =
+                    (self.config.total_bandwidth - others).max(0.05 * self.config.total_bandwidth);
+                (available / d.bandwidth.max(1e-9)).min(1.0)
+            } else {
+                1.0 / (1.0 + d.stall_fraction * self.config.contention_gamma * u_other)
+            };
+            let lines = d.bandwidth * dt_s * p;
+
+            if let Some(mg) = &mut self.memguard {
+                if let Some(budget) = mg.config.budgets[i] {
+                    debug_assert!(
+                        lines < (budget - mg.used[i]).max(0.0),
+                        "cap risk must be ruled out before replay_quantum"
+                    );
+                    mg.used[i] += lines;
+                }
+            }
+
+            self.counters[i].lines += lines;
+            served_now[i] = lines / dt_s;
+            progress[i] = p;
+        }
+
+        std::mem::swap(&mut self.prev_served, &mut self.served_scratch);
+    }
+
     /// Advances one scheduler quantum.
     ///
     /// `demands[i]` describes what the task currently running on core `i`
@@ -472,5 +778,215 @@ mod tests {
     fn quantum_validates_demand_length() {
         let mut mem = MemorySystem::new(4, DramConfig::default());
         let _ = mem.quantum(SimTime::ZERO, DT, &[idle()]);
+    }
+
+    /// Steps `quanta` all-idle quanta the slow way, starting at `t`.
+    fn step_idle(mem: &mut MemorySystem, mut t: SimTime, quanta: u64) -> SimTime {
+        let demands = vec![idle(); mem.n_cores()];
+        for _ in 0..quanta {
+            let _ = mem.quantum(t, DT, &demands);
+            t += DT;
+        }
+        t
+    }
+
+    /// Asserts the two systems are in bit-identical externally-observable
+    /// state: counters, throttle bookkeeping, replenish phase, and (via a
+    /// probe quantum on clones) contention state.
+    fn assert_same_state(a: &MemorySystem, b: &MemorySystem, t: SimTime) {
+        assert_eq!(a.counters(), b.counters());
+        assert_eq!(a.throttle_events(), b.throttle_events());
+        assert_eq!(a.next_replenish_time(), b.next_replenish_time());
+        let demands = vec![victim(0.7); a.n_cores()];
+        let mut ac = a.clone();
+        let mut bc = b.clone();
+        let oa = ac.quantum(t, DT, &demands).to_vec();
+        let ob = bc.quantum(t, DT, &demands).to_vec();
+        assert_eq!(oa, ob, "probe quantum diverged");
+    }
+
+    #[test]
+    fn leap_idle_matches_stepped_without_memguard() {
+        let mut stepped = MemorySystem::new(4, DramConfig::default());
+        // Build up non-zero prev_served first.
+        let mut t = SimTime::ZERO;
+        for _ in 0..7 {
+            let _ = stepped.quantum(t, DT, &[victim(0.5), idle(), idle(), hog()]);
+            t += DT;
+        }
+        let mut leaped = stepped.clone();
+        let end = step_idle(&mut stepped, t, 33);
+        leaped.leap_idle(t, DT, 33);
+        assert_same_state(&leaped, &stepped, end);
+    }
+
+    #[test]
+    fn leap_idle_matches_stepped_across_replenish() {
+        let dram = DramConfig::default();
+        let mut stepped = MemorySystem::new(4, dram);
+        stepped.enable_memguard(MemGuardConfig::single_core(4, 3, 0.02, &dram));
+        // Exhaust core 3's budget partway into a period so the idle span
+        // starts with a stalled core and crosses several replenishes.
+        let mut t = SimTime::ZERO;
+        for _ in 0..9 {
+            let _ = stepped.quantum(t, DT, &[idle(), idle(), idle(), hog()]);
+            t += DT;
+        }
+        assert!(stepped.core_exhausted(3), "hog must exhaust the budget");
+        for quanta in [1u64, 5, 11, 20, 21, 40, 67] {
+            let mut leaped = stepped.clone();
+            let mut slow = stepped.clone();
+            let end = step_idle(&mut slow, t, quanta);
+            leaped.leap_idle(t, DT, quanta);
+            assert_same_state(&leaped, &slow, end);
+        }
+    }
+
+    #[test]
+    fn leap_idle_matches_stepped_from_unaligned_phase() {
+        // Start the span on a quantum grid offset from the replenish
+        // phase: the first quantum at/past `next_replenish` fires it.
+        let dram = DramConfig::default();
+        let mut stepped = MemorySystem::new(2, dram);
+        stepped.enable_memguard(MemGuardConfig::single_core(2, 1, 0.03, &dram));
+        let mut t = SimTime::from_micros(30); // off the 50 µs grid
+        for _ in 0..6 {
+            let _ = stepped.quantum(t, DT, &[idle(), hog()]);
+            t += DT;
+        }
+        let mut leaped = stepped.clone();
+        let end = step_idle(&mut stepped, t, 55);
+        leaped.leap_idle(t, DT, 55);
+        assert_same_state(&leaped, &stepped, end);
+    }
+
+    #[test]
+    fn leap_idle_zero_quanta_is_a_no_op() {
+        let mut mem = MemorySystem::new(2, DramConfig::default());
+        let _ = mem.quantum(SimTime::ZERO, DT, &[hog(), idle()]);
+        let before = mem.clone();
+        mem.leap_idle(SimTime::from_micros(50), DT, 0);
+        assert_eq!(mem.counters(), before.counters());
+        assert_eq!(mem.next_replenish_time(), before.next_replenish_time());
+    }
+
+    /// A streaming demand for the replay equivalence walks.
+    fn stream(bw: f64) -> CoreDemand {
+        CoreDemand {
+            bandwidth: bw,
+            stall_fraction: 0.0,
+            streaming: true,
+        }
+    }
+
+    /// Drives `replay_quantum` and `quantum` side by side over a varied
+    /// multi-core demand schedule and asserts bitwise state equality
+    /// after every quantum, plus that the replayed progress equals the
+    /// stepped outcome's exactly. `cap_risk` gates each replayed quantum
+    /// the way the machine's leap path does: when it fires, the replay
+    /// copy takes the stepped quantum instead (its conservatism is
+    /// checked the other way round — a clear never caps).
+    fn replay_walk(mut stepped: MemorySystem, schedule: &[Vec<CoreDemand>], quanta: usize) {
+        let mut replayed = stepped.clone();
+        let mut progress = vec![0.0; stepped.n_cores()];
+        let mut t = SimTime::ZERO;
+        let mut replayed_some = false;
+        for q in 0..quanta {
+            let demands = &schedule[q % schedule.len()];
+            let out: Vec<CoreOutcome> = stepped.quantum(t, DT, demands).to_vec();
+            if replayed.cap_risk(t, DT, demands) {
+                let rout = replayed.quantum(t, DT, demands).to_vec();
+                assert_eq!(out, rout, "quantum {q}: stepped copies diverged");
+            } else {
+                assert!(
+                    out.iter().all(|o| o.served_lines >= 0.0),
+                    "quantum {q}: stepped path capped without cap_risk firing"
+                );
+                replayed.replay_quantum(t, DT, demands, &mut progress);
+                for (i, o) in out.iter().enumerate() {
+                    assert_eq!(
+                        progress[i].to_bits(),
+                        o.progress.to_bits(),
+                        "quantum {q} core {i}: replayed progress diverged"
+                    );
+                    assert_eq!(o.throttled, progress[i] == 0.0, "quantum {q} core {i}");
+                }
+                replayed_some = true;
+            }
+            assert_eq!(
+                stepped.counters(),
+                replayed.counters(),
+                "quantum {q}: counters diverged"
+            );
+            assert_eq!(stepped.throttle_events(), replayed.throttle_events());
+            assert_eq!(
+                stepped.next_replenish_time(),
+                replayed.next_replenish_time()
+            );
+            t += DT;
+        }
+        assert!(replayed_some, "schedule never exercised the replay path");
+        assert_same_state(&stepped, &replayed, t);
+    }
+
+    #[test]
+    fn replay_quantum_matches_stepped_multi_active() {
+        let schedule: Vec<Vec<CoreDemand>> = vec![
+            vec![victim(0.7), idle(), victim(0.55), hog()],
+            vec![victim(0.7), victim(0.4), idle(), hog()],
+            vec![idle(), idle(), idle(), hog()],
+            vec![victim(0.7), victim(0.55), victim(0.4), hog()],
+        ];
+        replay_walk(MemorySystem::new(4, DramConfig::default()), &schedule, 120);
+    }
+
+    #[test]
+    fn replay_quantum_matches_stepped_with_streaming() {
+        let schedule: Vec<Vec<CoreDemand>> = vec![
+            vec![stream(9e6), victim(0.6), idle(), victim(0.4)],
+            vec![stream(9e6), stream(4e6), victim(0.6), idle()],
+            vec![idle(), stream(20e6), idle(), victim(0.5)],
+        ];
+        replay_walk(MemorySystem::new(4, DramConfig::default()), &schedule, 90);
+    }
+
+    #[test]
+    fn replay_quantum_matches_stepped_under_memguard() {
+        let dram = DramConfig::default();
+        let mut mem = MemorySystem::new(4, dram);
+        // A budget small enough that the hog caps it every period: the
+        // walk alternates cap-risk (stepped on both copies) and replayable
+        // quanta across many replenish cycles.
+        mem.enable_memguard(MemGuardConfig::single_core(4, 3, 0.15, &dram));
+        let schedule: Vec<Vec<CoreDemand>> = vec![
+            vec![victim(0.7), idle(), victim(0.55), hog()],
+            vec![victim(0.7), victim(0.4), idle(), hog()],
+            vec![idle(), victim(0.55), victim(0.4), hog()],
+        ];
+        replay_walk(mem, &schedule, 400);
+    }
+
+    #[test]
+    fn cap_risk_is_conservative() {
+        // Whenever cap_risk says "no", the stepped quantum must not cap:
+        // throttle_events may only move on quanta cap_risk flagged.
+        let dram = DramConfig::default();
+        let mut mem = MemorySystem::new(2, dram);
+        mem.enable_memguard(MemGuardConfig::single_core(2, 1, 0.2, &dram));
+        let mut t = SimTime::ZERO;
+        for _ in 0..200 {
+            let demands = vec![victim(0.6), hog()];
+            let risk = mem.cap_risk(t, DT, &demands);
+            let before = mem.throttle_events();
+            let _ = mem.quantum(t, DT, &demands);
+            if !risk {
+                assert_eq!(
+                    before,
+                    mem.throttle_events(),
+                    "capped at {t:?} without cap_risk firing"
+                );
+            }
+            t += DT;
+        }
     }
 }

@@ -1,0 +1,224 @@
+//! Cost breakdown probe: ns per stepped quantum on a healthy-like task
+//! set, and ns per bare `MemorySystem::quantum` call. Not a test —
+//! numbers guide the time-leap executor work.
+
+// A probe measures wall time by definition; nothing here touches sim
+// state, so the determinism rule the lint backs does not apply.
+#![allow(clippy::disallowed_methods)]
+
+use membw::dram::{CoreDemand, DramConfig, MemorySystem};
+use rt_sched::machine::{Machine, MachineConfig};
+use rt_sched::task::{Cost, CpuSet, TaskSpec};
+use sim_core::time::{SimDuration, SimTime};
+
+fn healthy_machine() -> Machine {
+    let mut m = Machine::new(MachineConfig {
+        n_cores: 4,
+        quantum: SimDuration::from_micros(50),
+        dram: DramConfig::default(),
+    });
+    let root = m.root_cgroup();
+    let hce = CpuSet::from_cores([0usize, 1, 2]);
+    let cce = CpuSet::from_cores([3usize]);
+    m.spawn(
+        TaskSpec::periodic_fifo(
+            "kworker/0",
+            40,
+            SimDuration::from_millis(10),
+            Cost::compute(SimDuration::from_micros(480)),
+        )
+        .with_affinity(CpuSet::from_cores([0usize])),
+        root,
+    );
+    for core in 1..4usize {
+        m.spawn(
+            TaskSpec::periodic_fifo(
+                "tick",
+                40,
+                SimDuration::from_millis(10),
+                Cost::compute(SimDuration::from_micros(70)),
+            )
+            .with_affinity(CpuSet::from_cores([core])),
+            root,
+        );
+    }
+    m.spawn(
+        TaskSpec::periodic_fifo(
+            "sensor-driver",
+            90,
+            SimDuration::from_hz(250.0),
+            Cost::memory_bound(SimDuration::from_micros(350), 2.2e6, 0.70),
+        )
+        .with_affinity(hce),
+        root,
+    );
+    m.spawn(
+        TaskSpec::periodic_fifo(
+            "motor-driver",
+            90,
+            SimDuration::from_hz(400.0),
+            Cost::compute(SimDuration::from_micros(60)),
+        )
+        .with_affinity(hce)
+        .with_offset(SimDuration::from_micros(200)),
+        root,
+    );
+    m.spawn(
+        TaskSpec::periodic_fifo(
+            "safety-controller",
+            20,
+            SimDuration::from_hz(400.0),
+            Cost::memory_bound(SimDuration::from_micros(320), 1.5e6, 0.55),
+        )
+        .with_affinity(hce)
+        .with_offset(SimDuration::from_micros(400)),
+        root,
+    );
+    m.spawn(
+        TaskSpec::periodic_fifo(
+            "security-monitor",
+            35,
+            SimDuration::from_hz(100.0),
+            Cost::compute(SimDuration::from_micros(50)),
+        )
+        .with_affinity(hce),
+        root,
+    );
+    m.spawn(
+        TaskSpec::periodic_fair(
+            "cce-pipeline",
+            SimDuration::from_hz(250.0),
+            Cost::memory_bound(SimDuration::from_micros(900), 2.0e6, 0.60),
+        )
+        .with_affinity(cce),
+        root,
+    );
+    m.spawn(
+        TaskSpec::periodic_fair(
+            "cce-rate-loop",
+            SimDuration::from_hz(400.0),
+            Cost::memory_bound(SimDuration::from_micros(300), 1.0e6, 0.40),
+        )
+        .with_affinity(cce)
+        .with_offset(SimDuration::from_micros(800)),
+        root,
+    );
+    m
+}
+
+fn main() {
+    let quanta = 600_000u64; // 30 machine-seconds
+
+    // (1) Full stepped machine.
+    let mut m = healthy_machine();
+    let mut events = Vec::new();
+    let t = std::time::Instant::now();
+    for _ in 0..quanta {
+        m.step(&mut events);
+        events.clear();
+    }
+    let per_step = t.elapsed().as_nanos() as f64 / quanta as f64;
+    println!("machine.step:      {per_step:6.1} ns/quantum");
+
+    // (2) leap_to attempt cost on the same machine (mostly returns 0).
+    let mut m = healthy_machine();
+    let mut events = Vec::new();
+    let mut leaped = 0u64;
+    let t = std::time::Instant::now();
+    let mut now = SimTime::ZERO;
+    for _ in 0..quanta {
+        let k = m.leap_to(SimTime::MAX);
+        leaped += k;
+        now = now.max(m.now());
+        m.step(&mut events);
+        events.clear();
+    }
+    let per = t.elapsed().as_nanos() as f64 / (quanta + leaped) as f64;
+    println!(
+        "leap_to+step:      {per:6.1} ns/quantum  ({:.1}% leaped)",
+        100.0 * leaped as f64 / (quanta + leaped) as f64
+    );
+
+    // (3) Bare memory quantum with three active cores.
+    let mut mem = MemorySystem::new(4, DramConfig::default());
+    let demands = vec![
+        CoreDemand {
+            bandwidth: 2.2e6,
+            stall_fraction: 0.70,
+            streaming: false,
+        },
+        CoreDemand {
+            bandwidth: 0.05e6,
+            stall_fraction: 0.05,
+            streaming: false,
+        },
+        CoreDemand::default(),
+        CoreDemand {
+            bandwidth: 2.0e6,
+            stall_fraction: 0.60,
+            streaming: false,
+        },
+    ];
+    let dt = SimDuration::from_micros(50);
+    let mut now = SimTime::ZERO;
+    let t = std::time::Instant::now();
+    for _ in 0..quanta {
+        let out = mem.quantum(now, dt, &demands);
+        std::hint::black_box(out);
+        now += dt;
+    }
+    let per_mem = t.elapsed().as_nanos() as f64 / quanta as f64;
+    println!("memory.quantum:    {per_mem:6.1} ns/quantum");
+
+    // (4) Bitwise fixed-point convergence of the served-rate recurrence
+    // under constant demands, from a cold start and from a perturbed
+    // state (one extra core's traffic just vanished).
+    for (label, warm) in [("cold", false), ("warm", true)] {
+        let mut mem = MemorySystem::new(4, DramConfig::default());
+        let mut now = SimTime::ZERO;
+        if warm {
+            let pre = vec![
+                CoreDemand {
+                    bandwidth: 2.2e6,
+                    stall_fraction: 0.70,
+                    streaming: false,
+                },
+                CoreDemand {
+                    bandwidth: 1.5e6,
+                    stall_fraction: 0.55,
+                    streaming: false,
+                },
+                CoreDemand {
+                    bandwidth: 1.0e6,
+                    stall_fraction: 0.40,
+                    streaming: false,
+                },
+                CoreDemand {
+                    bandwidth: 2.0e6,
+                    stall_fraction: 0.60,
+                    streaming: false,
+                },
+            ];
+            for _ in 0..200 {
+                mem.quantum(now, dt, &pre);
+                now += dt;
+            }
+        }
+        let mut prev: Vec<f64> = Vec::new();
+        let mut iters = 0u32;
+        for i in 0..200u32 {
+            let out: Vec<f64> = mem
+                .quantum(now, dt, &demands)
+                .iter()
+                .map(|o| o.served_lines)
+                .collect();
+            now += dt;
+            if out == prev {
+                iters = i;
+                break;
+            }
+            prev = out;
+        }
+        println!("fixed point ({label}): {iters} quanta");
+    }
+}

@@ -232,6 +232,12 @@ pub struct Machine {
     fair_scratch: Vec<(u64, u32)>,
     /// Scratch: per-core memory demands handed to the memory system.
     demands: Vec<CoreDemand>,
+    /// Scratch: per-core progress written by the replayed memory quantum
+    /// on the leap path.
+    progress_scratch: Vec<f64>,
+    /// Scratch: the fair dispatch order captured at the start of a
+    /// replayed leap span, re-checked for stability every quantum.
+    fair_order: Vec<(u64, u32)>,
     /// Ready-queue epoch the current `assignment` was computed against
     /// (`None` before the first dispatch). When the epoch is unchanged —
     /// and the fair class cannot reorder (≤ 1 runnable fair task) — the
@@ -277,6 +283,8 @@ impl Machine {
             assign_verify: Vec::with_capacity(config.n_cores),
             fair_scratch: Vec::new(),
             demands: Vec::with_capacity(config.n_cores),
+            progress_scratch: vec![0.0; config.n_cores],
+            fair_order: Vec::new(),
             next_release_hint: SimTime::MAX,
             periodic_tasks: Vec::new(),
             config,
@@ -570,6 +578,407 @@ impl Machine {
         while self.now + self.config.quantum <= target {
             self.step(events);
         }
+    }
+
+    /// `true` when no task is runnable: until the next periodic release
+    /// (or an external injection) every quantum is pure bookkeeping.
+    pub fn is_idle(&self) -> bool {
+        self.ready.occupied == [0; 4] && self.ready.fair.is_empty()
+    }
+
+    /// The earliest instant at which the machine's scheduling state can
+    /// change, assuming no external call (injection, kill, spawn) arrives
+    /// first: the next periodic release, the earliest possible running-job
+    /// completion (a lower bound — contention and throttling only push
+    /// completions later), the next round-robin slice expiry, and — when
+    /// some core has exhausted its MemGuard budget — the next replenish
+    /// (which flips that core's throttle state). Quanta strictly before
+    /// the returned time neither produce events nor alter the dispatch
+    /// decision, which is what makes them leapable.
+    pub fn next_interesting_time(&self) -> SimTime {
+        let dt_ns = self.config.quantum.as_nanos();
+        let dt = self.config.quantum;
+        let mut t = self.next_release_hint;
+        if let Some(nr) = self.memory.next_replenish_time() {
+            if (0..self.config.n_cores).any(|i| self.memory.core_exhausted(i)) {
+                t = t.min(nr);
+            }
+        }
+        let now = self.now;
+        let tasks = &self.tasks;
+        let mut visit = |tid: TaskId| {
+            let task = &tasks[tid.index()];
+            if let Some(job) = task.jobs.front() {
+                // Progress per quantum never exceeds the quantum itself.
+                let j = job.remaining.as_nanos().div_ceil(dt_ns).max(1);
+                t = t.min(now + dt * j);
+            }
+            if let SchedPolicy::RoundRobin { slice, .. } = task.spec.policy {
+                let rem = slice.saturating_sub(task.slice_used);
+                let j = rem.as_nanos().div_ceil(dt_ns).max(1);
+                t = t.min(now + dt * j);
+            }
+        };
+        self.ready.for_each_rt(|tid| {
+            visit(tid);
+            true
+        });
+        for &id in &self.ready.fair {
+            visit(id);
+        }
+        t.max(self.now)
+    }
+
+    /// Number of whole quanta starting strictly before `t`, from `now`.
+    fn quanta_before(&self, t: SimTime) -> u64 {
+        if t <= self.now {
+            0
+        } else {
+            (t - self.now)
+                .as_nanos()
+                .div_ceil(self.config.quantum.as_nanos())
+        }
+    }
+
+    /// Advances toward `target` by leaping provably inert quantum spans in
+    /// closed form instead of stepping them one by one. Returns the number
+    /// of quanta leaped; `now` advances by exactly that many quanta.
+    ///
+    /// Leaped quanta are bit-identical to stepped ones and produce no
+    /// events; the caller steps normally from wherever the leap stops (a
+    /// release boundary, a completion, an RR expiry, a replenish under an
+    /// exhausted budget, or a span no leap form covers). Three span
+    /// classes are leaped:
+    ///
+    /// - **Idle**: no task is runnable. Quanta before the next release do
+    ///   nothing but advance time and tick the memory regulator, which
+    ///   [`MemorySystem::leap_idle`] replays exactly.
+    /// - **Uncontended running spans** (closed form): the previous
+    ///   assignment is provably reusable (unchanged ready epoch, ≤ 1
+    ///   runnable fair task) and at most one assigned core carries live,
+    ///   latency-bound memory demand — every other core is compute-only
+    ///   (progress exactly one quantum) or throttled (progress exactly
+    ///   zero). Per-quantum task arithmetic is a constant, so integer
+    ///   counters multiply out and the fair-class `vruntime` accumulates
+    ///   the identical per-quantum product in a loop (repeated f64
+    ///   addition is not multiplication, so the loop is kept).
+    /// - **Contended running spans** (replay): several memory-active
+    ///   cores, streaming demand, or multiple runnable fair tasks. The
+    ///   exact per-quantum arithmetic — the DRAM contention recurrence
+    ///   via [`MemorySystem::replay_quantum`] plus the stepped task
+    ///   updates — is replayed against the pinned assignment, skipping
+    ///   only the dispatch machinery that is provably inert; stability
+    ///   (no completion, no budget cap, unchanged fair dispatch order)
+    ///   is re-checked before every replayed quantum.
+    ///
+    /// Spans never cross a release, a completion, an RR slice expiry, or
+    /// (for throttled cores) a budget replenish.
+    pub fn leap_to(&mut self, target: SimTime) -> u64 {
+        let dt = self.config.quantum;
+        let dt_ns = dt.as_nanos();
+        let mut leaped = 0u64;
+        loop {
+            let span = target.saturating_since(self.now).as_nanos() / dt_ns;
+            if span == 0 {
+                return leaped;
+            }
+            // Release bound: leapable quanta start strictly before the
+            // next pending release (releases fire at quantum start).
+            let k_rel = if self.next_release_hint == SimTime::MAX {
+                span
+            } else {
+                span.min(self.quanta_before(self.next_release_hint))
+            };
+            if k_rel == 0 {
+                return leaped;
+            }
+
+            if self.is_idle() {
+                self.memory.leap_idle(self.now, dt, k_rel);
+                self.now += dt * k_rel;
+                leaped += k_rel;
+                if k_rel < span {
+                    return leaped; // stopped at the release boundary
+                }
+                continue;
+            }
+
+            let k = self.leap_running_span(k_rel);
+            if k == 0 {
+                return leaped;
+            }
+            leaped += k;
+            if k < k_rel {
+                return leaped; // an in-span bound fired; caller steps it
+            }
+        }
+    }
+
+    /// One attempt at a stable running-span leap of at most `max_k` quanta
+    /// (see [`Machine::leap_to`]). Returns the quanta actually leaped
+    /// (0 = not closed-formable from this state).
+    fn leap_running_span(&mut self, max_k: u64) -> u64 {
+        let multi_fair = self.ready.fair.len() > 1;
+        if multi_fair || self.last_assign_epoch != Some(self.ready.epoch) {
+            // Same recompute-or-reuse decision `assign_cores` makes at
+            // dispatch: a stale epoch or a reorderable fair class means
+            // the placement must be re-derived — the identical pure
+            // function of the same inputs, so a declined leap leaves
+            // exactly the state the next `step` would compute anyway.
+            self.compute_assignment();
+            self.last_assign_epoch = Some(self.ready.epoch);
+        }
+        let dt = self.config.quantum;
+        let dt_ns = dt.as_nanos();
+        let mut k = max_k;
+        let mut traffic = 0usize;
+        let mut streaming_any = false;
+        let mut throttled_mask = 0u64;
+        let mut single_active: Option<(usize, CoreDemand)> = None;
+        for core in 0..self.assignment.len() {
+            let Some(tid) = self.assignment[core] else {
+                continue;
+            };
+            let task = &self.tasks[tid.index()];
+            if self.memory.core_exhausted(core) {
+                // Throttled: stable only until the replenish un-throttles
+                // the core.
+                let Some(nr) = self.memory.next_replenish_time() else {
+                    return 0;
+                };
+                if nr <= self.now {
+                    return 0;
+                }
+                k = k.min(self.quanta_before(nr));
+                throttled_mask |= 1 << core;
+            } else {
+                let cost = &task.spec.cost;
+                if cost.mem_bandwidth != 0.0 || cost.stall_fraction != 0.0 || cost.streaming {
+                    traffic += 1;
+                    streaming_any |= cost.streaming;
+                    single_active = Some((
+                        core,
+                        CoreDemand {
+                            bandwidth: cost.mem_bandwidth,
+                            stall_fraction: cost.stall_fraction,
+                            streaming: cost.streaming,
+                        },
+                    ));
+                }
+            }
+            if let SchedPolicy::RoundRobin { slice, .. } = task.spec.policy {
+                let rem = slice.saturating_sub(task.slice_used);
+                let j_rot = rem.as_nanos().div_ceil(dt_ns);
+                k = k.min(j_rot.saturating_sub(1));
+            }
+            if k == 0 {
+                return 0;
+            }
+        }
+
+        if traffic <= 1 && !streaming_any && !multi_fair {
+            let leaped = self.leap_uncontended_span(k, single_active);
+            if leaped > 0 {
+                return leaped;
+            }
+            // Fall through to the replay: e.g. residual cross-core
+            // contention from the previous quantum still dilates the
+            // single active core, which the closed form refuses.
+        }
+        self.leap_replay_span(k, multi_fair, throttled_mask)
+    }
+
+    /// The closed-form span leap for the uncontended regimes: every
+    /// assigned core is compute-only, throttled, or the *single* core
+    /// with live latency-bound demand (zero cross-core contention ⇒
+    /// exactly full progress). Per-quantum task arithmetic is a constant,
+    /// so integer counters multiply out and the memory side collapses to
+    /// [`MemorySystem::leap_idle`] / [`MemorySystem::leap_one_active`].
+    /// Returns the quanta leaped (0 = the closed form declined).
+    fn leap_uncontended_span(&mut self, mut k: u64, active: Option<(usize, CoreDemand)>) -> u64 {
+        let dt = self.config.quantum;
+        let dt_ns = dt.as_nanos();
+        // Progress is exactly one quantum per quantum on unthrottled
+        // cores in this regime: stop before the completing quantum.
+        for core in 0..self.assignment.len() {
+            let Some(tid) = self.assignment[core] else {
+                continue;
+            };
+            if self.memory.core_exhausted(core) {
+                continue; // zero progress: cannot complete
+            }
+            if let Some(job) = self.tasks[tid.index()].jobs.front() {
+                let j_comp = job.remaining.as_nanos().div_ceil(dt_ns).max(1);
+                k = k.min(j_comp - 1);
+            }
+        }
+        if k == 0 {
+            return 0;
+        }
+
+        // Apply the memory side first — it can shorten the span further
+        // (the active core's budget capping mid-span) — then multiply out
+        // the constant per-quantum task arithmetic.
+        match active {
+            Some((core, demand)) => {
+                k = self.memory.leap_one_active(self.now, dt, core, &demand, k);
+                if k == 0 {
+                    return 0;
+                }
+            }
+            None => self.memory.leap_idle(self.now, dt, k),
+        }
+        for core in 0..self.assignment.len() {
+            let Some(tid) = self.assignment[core] else {
+                continue;
+            };
+            // Unchanged by the leap: exhausted cores stay exhausted (the
+            // span ends before their replenish), unexhausted ones move no
+            // lines.
+            let throttled = self.memory.core_exhausted(core);
+            let task = &mut self.tasks[tid.index()];
+            let per_q_useful = if throttled {
+                SimDuration::ZERO
+            } else if let Some(job) = task.jobs.front_mut() {
+                job.remaining -= dt * k;
+                dt.min(task.spec.cost.cpu)
+            } else {
+                dt
+            };
+            task.stats.useful_time += per_q_useful * k;
+            task.stats.busy_time += dt * k;
+            self.cores[core].busy += dt * k;
+            if throttled {
+                self.cores[core].throttled += dt * k;
+            }
+            let scale = vruntime_scale(&task.spec.policy);
+            if scale != 0.0 {
+                // The stepped path adds the same product every quantum;
+                // repeated addition is kept because it is not equivalent
+                // to one multiplication in f64.
+                let inc = dt.as_secs_f64() * scale;
+                for _ in 0..k {
+                    task.vruntime += inc;
+                }
+            }
+            task.slice_used += dt * k;
+        }
+        self.now += dt * k;
+        k
+    }
+
+    /// The general span leap: several cores with live memory demand,
+    /// streaming tasks, multiple runnable fair tasks — regimes where
+    /// per-quantum progress is state-dependent and nothing multiplies
+    /// out. Each quantum is *replayed* with the exact stepped arithmetic
+    /// ([`MemorySystem::replay_quantum`] plus the per-core task updates
+    /// of [`Machine::step`]) while skipping the dispatch machinery that
+    /// is provably inert: no release is due (caller bound), the ready
+    /// set cannot transition (no completion — checked before every
+    /// quantum — no RR expiry, no external call), and the placement is
+    /// pinned (epoch unchanged; with several fair tasks their dispatch
+    /// order is re-checked for stability every quantum). Stops — leaving
+    /// the quantum to the stepped path — before any quantum that could
+    /// complete a job, cap a MemGuard budget, or reorder the fair class.
+    fn leap_replay_span(&mut self, max_k: u64, multi_fair: bool, throttled_mask: u64) -> u64 {
+        let dt = self.config.quantum;
+        // The fixed demand set of the pinned assignment — what `step`
+        // rebuilds every quantum.
+        self.demands.clear();
+        self.demands
+            .resize(self.config.n_cores, CoreDemand::default());
+        for (core, slot) in self.assignment.iter().enumerate() {
+            if let Some(tid) = slot {
+                let cost = &self.tasks[tid.index()].spec.cost;
+                self.demands[core] = CoreDemand {
+                    bandwidth: cost.mem_bandwidth,
+                    stall_fraction: cost.stall_fraction,
+                    streaming: cost.streaming,
+                };
+            }
+        }
+        if multi_fair {
+            // Span-start fair dispatch order, exactly as
+            // `compute_assignment` sorts it: (quantized vruntime, id).
+            self.fair_order.clear();
+            for &id in &self.ready.fair {
+                let key = (self.tasks[id.index()].vruntime * 1e9) as u64;
+                self.fair_order.push((key, id.0));
+            }
+            self.fair_order.sort_unstable();
+        }
+
+        let mut leaped = 0u64;
+        'quanta: while leaped < max_k {
+            // --- stop checks: nothing may be mutated past this point if
+            // --- the quantum could diverge from a replay.
+            if multi_fair {
+                // The placement is stable iff the captured order is still
+                // sorted under the current vruntimes (only running tasks'
+                // keys moved, and only upward).
+                let mut prev = (0u64, 0u32);
+                for (n, &(_, raw)) in self.fair_order.iter().enumerate() {
+                    let key = (self.tasks[TaskId(raw).index()].vruntime * 1e9) as u64;
+                    if n > 0 && (key, raw) < prev {
+                        break 'quanta;
+                    }
+                    prev = (key, raw);
+                }
+            }
+            for core in 0..self.assignment.len() {
+                let Some(tid) = self.assignment[core] else {
+                    continue;
+                };
+                if throttled_mask >> core & 1 == 1 {
+                    continue; // zero progress: cannot complete
+                }
+                if let Some(job) = self.tasks[tid.index()].jobs.front() {
+                    // progress ≤ dt, so remaining > dt rules a completion
+                    // out without knowing the contention state.
+                    if job.remaining <= dt {
+                        break 'quanta;
+                    }
+                }
+            }
+            if self.memory.cap_risk(self.now, dt, &self.demands) {
+                break;
+            }
+
+            // --- the quantum, replayed.
+            self.memory
+                .replay_quantum(self.now, dt, &self.demands, &mut self.progress_scratch);
+            for core in 0..self.assignment.len() {
+                let Some(tid) = self.assignment[core] else {
+                    continue;
+                };
+                let throttled = throttled_mask >> core & 1 == 1;
+                let progress = dt.mul_f64(self.progress_scratch[core]);
+                let task = &mut self.tasks[tid.index()];
+                match task.jobs.front_mut() {
+                    None => {
+                        task.stats.useful_time += progress;
+                        task.stats.busy_time += dt;
+                    }
+                    Some(job) => {
+                        // No completion: remaining > dt ≥ progress.
+                        job.remaining -= progress;
+                        task.stats.busy_time += dt;
+                        task.stats.useful_time += progress.min(task.spec.cost.cpu);
+                    }
+                }
+                self.cores[core].busy += dt;
+                if throttled {
+                    self.cores[core].throttled += dt;
+                }
+                task.vruntime += dt.as_secs_f64() * vruntime_scale(&task.spec.policy);
+                task.slice_used += dt;
+                // RR rotation cannot fire: the span is bounded strictly
+                // before any slice expiry.
+            }
+            self.now += dt;
+            leaped += 1;
+        }
+        leaped
     }
 
     fn release_due_jobs(&mut self, events: &mut Vec<SchedEvent>) {
@@ -1123,6 +1532,224 @@ mod tests {
         for (core, rate) in idle.iter().enumerate().skip(1) {
             assert!(*rate > 0.999, "core {core} idle {rate}");
         }
+    }
+
+    /// Drives `m` to `target` through [`Machine::leap_to`], falling back
+    /// to single steps exactly as the vehicle executor does. Returns the
+    /// quanta leaped.
+    fn run_leaping(m: &mut Machine, target: SimTime, events: &mut Vec<SchedEvent>) -> u64 {
+        let q = m.config().quantum;
+        let mut leaped = 0;
+        while m.now() + q <= target {
+            leaped += m.leap_to(target);
+            if m.now() + q <= target {
+                m.step(events);
+            }
+        }
+        leaped
+    }
+
+    /// Asserts the leaped machine is bit-identical to the stepped one:
+    /// clocks, per-task stats, per-core accounting, memory counters, and
+    /// the event stream, now and over a further stepped window.
+    fn assert_leap_equivalent(mut m: Machine, target: SimTime, expect_leaps: bool) {
+        let mut stepped = m.clone();
+        let mut ev_s = Vec::new();
+        stepped.step_until(target, &mut ev_s);
+        let mut ev_l = Vec::new();
+        let leaped = run_leaping(&mut m, target, &mut ev_l);
+        if expect_leaps {
+            assert!(leaped > 0, "fast path never engaged");
+        }
+        assert_eq!(m.now(), stepped.now());
+        assert_eq!(ev_l, ev_s, "event streams diverged");
+        for i in 0..m.tasks.len() {
+            let id = TaskId(i as u32);
+            assert_eq!(
+                m.task_stats(id),
+                stepped.task_stats(id),
+                "stats diverged for {}",
+                m.task_name(id)
+            );
+        }
+        assert_eq!(m.core_stats(), stepped.core_stats());
+        assert_eq!(m.memory().counters(), stepped.memory().counters());
+        assert_eq!(
+            m.memory().next_replenish_time(),
+            stepped.memory().next_replenish_time()
+        );
+        assert_eq!(
+            m.memory().throttle_events(),
+            stepped.memory().throttle_events()
+        );
+        // The states must remain indistinguishable when stepped onward.
+        let onward = target + SimDuration::from_millis(25);
+        ev_s.clear();
+        ev_l.clear();
+        stepped.step_until(onward, &mut ev_s);
+        m.step_until(onward, &mut ev_l);
+        assert_eq!(ev_l, ev_s, "post-leap behavior diverged");
+        assert_eq!(m.core_stats(), stepped.core_stats());
+    }
+
+    #[test]
+    fn leap_matches_stepped_periodic_mix() {
+        // Staggered periodic tasks: idle gaps and single-active spans
+        // (even "compute" costs carry light memory noise, so these spans
+        // exercise the one-active-core closed form, not just idle leaps).
+        let mut m = machine();
+        let root = m.root_cgroup();
+        m.spawn(
+            TaskSpec::periodic_fifo(
+                "drv",
+                90,
+                SimDuration::from_millis(4),
+                Cost::compute(SimDuration::from_micros(350)),
+            ),
+            root,
+        );
+        m.spawn(
+            TaskSpec::periodic_fifo(
+                "safety",
+                20,
+                SimDuration::from_millis(10),
+                Cost::memory_bound(SimDuration::from_micros(320), 1.5e6, 0.55),
+            )
+            .with_offset(SimDuration::from_micros(1200)),
+            root,
+        );
+        assert_leap_equivalent(m, SimTime::from_millis(200), true);
+    }
+
+    #[test]
+    fn leap_matches_stepped_throttled_hog() {
+        // The paper's protected-CCE shape: a fair memory hog on a budgeted
+        // core alternates unthrottled spans, a cap quantum, and long
+        // throttled spans — all three boundaries must land exactly.
+        let mut m = machine();
+        let cfg = MemGuardConfig::single_core(4, 3, 0.05, &m.config().dram);
+        m.enable_memguard(cfg);
+        let root = m.root_cgroup();
+        m.spawn(
+            TaskSpec::busy_fair(
+                "pipeline",
+                Cost::memory_bound(SimDuration::from_secs(1), 2.0e6, 0.6),
+            )
+            .with_affinity(CpuSet::single(3)),
+            root,
+        );
+        m.spawn(
+            TaskSpec::periodic_fifo(
+                "drv",
+                90,
+                SimDuration::from_millis(4),
+                Cost::compute(SimDuration::from_micros(100)),
+            )
+            .with_affinity(CpuSet::single(0)),
+            root,
+        );
+        assert_leap_equivalent(m, SimTime::from_millis(150), true);
+    }
+
+    #[test]
+    fn leap_matches_stepped_round_robin() {
+        let mut m = Machine::new(MachineConfig {
+            n_cores: 1,
+            ..MachineConfig::default()
+        });
+        let root = m.root_cgroup();
+        let slice = SimDuration::from_millis(1);
+        for name in ["rr-a", "rr-b"] {
+            m.spawn(
+                TaskSpec {
+                    name: name.into(),
+                    policy: SchedPolicy::RoundRobin {
+                        priority: 50,
+                        slice,
+                    },
+                    affinity: CpuSet::ALL,
+                    activation: Activation::Busy,
+                    cost: Cost::compute(SimDuration::from_secs(1)),
+                },
+                root,
+            );
+        }
+        assert_leap_equivalent(m, SimTime::from_millis(50), true);
+    }
+
+    #[test]
+    fn leap_matches_stepped_with_injection() {
+        // Sporadic injections between leap windows, as packet delivery
+        // produces them.
+        let mut m = machine();
+        let root = m.root_cgroup();
+        let rx = m.spawn(
+            TaskSpec::sporadic_fifo("rx", 30, Cost::compute(SimDuration::from_micros(90))),
+            root,
+        );
+        let mut stepped = m.clone();
+        let mut ev_s = Vec::new();
+        let mut ev_l = Vec::new();
+        let mut leaped = 0;
+        for window in 1..=40u64 {
+            let target = SimTime::from_millis(window * 5);
+            stepped.step_until(target, &mut ev_s);
+            leaped += run_leaping(&mut m, target, &mut ev_l);
+            if window % 3 == 0 {
+                stepped.inject_job(rx, 7);
+                m.inject_job(rx, 7);
+            }
+        }
+        assert!(leaped > 0);
+        assert_eq!(ev_l, ev_s);
+        assert_eq!(m.task_stats(rx), stepped.task_stats(rx));
+        assert_eq!(m.core_stats(), stepped.core_stats());
+        assert_eq!(m.memory().counters(), stepped.memory().counters());
+    }
+
+    #[test]
+    fn next_interesting_time_is_a_sound_lower_bound() {
+        let mut m = machine();
+        let root = m.root_cgroup();
+        m.spawn(
+            TaskSpec::periodic_fifo(
+                "drv",
+                90,
+                SimDuration::from_millis(4),
+                Cost::compute(SimDuration::from_micros(350)),
+            ),
+            root,
+        );
+        let mut ev = Vec::new();
+        for _ in 0..2000 {
+            let before = ev.len();
+            let hint = m.next_interesting_time();
+            m.step(&mut ev);
+            if ev.len() > before {
+                // An event fired in this quantum: the hint must not have
+                // pointed past its end.
+                assert!(
+                    hint <= m.now(),
+                    "hint {hint} skipped an event before {}",
+                    m.now()
+                );
+            }
+        }
+        // Idle machine: the hint is exactly the next release.
+        let mut idle = machine();
+        let r = idle.root_cgroup();
+        idle.spawn(
+            TaskSpec::periodic_fifo(
+                "late",
+                50,
+                SimDuration::from_millis(10),
+                Cost::compute(SimDuration::from_micros(100)),
+            )
+            .with_offset(SimDuration::from_millis(7)),
+            r,
+        );
+        assert!(idle.is_idle());
+        assert_eq!(idle.next_interesting_time(), SimTime::from_millis(7));
     }
 
     #[test]

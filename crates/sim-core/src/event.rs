@@ -140,6 +140,30 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// The time of the next pending event without mutating the queue —
+    /// the `&self` complement of [`EventQueue::peek_time`], for callers
+    /// that only *plan* around the deadline (an event-driven executor
+    /// computing how far it may leap) and must not disturb queue state.
+    ///
+    /// Lazily-cancelled entries still sitting in the heap are skipped by
+    /// filtering rather than popping, so the scan is O(k) in the number
+    /// of dead entries ahead of the first live one (the compaction in
+    /// [`EventQueue::cancel`] keeps that bounded). The heap's top is the
+    /// earliest entry overall, so walking forward from it until the
+    /// first non-cancelled entry yields the true deadline.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        // The heap's iteration order is unspecified, but the minimum
+        // over live entries is order-independent.
+        self.heap
+            .iter()
+            .filter(|e| !self.cancelled.contains(&e.seq))
+            .map(|e| e.time)
+            .min()
+    }
+
     /// Drains every event due at or before `now`, in time order (FIFO for
     /// equal times).
     pub fn pop_due(&mut self, now: SimTime) -> PopDue<'_, E> {
@@ -258,6 +282,56 @@ mod tests {
         q.schedule(SimTime::from_millis(5), 2);
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn next_deadline_reports_earliest_pending() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_deadline(), None);
+        q.schedule(SimTime::from_millis(30), 3);
+        q.schedule(SimTime::from_millis(10), 1);
+        q.schedule(SimTime::from_millis(20), 2);
+        assert_eq!(q.next_deadline(), Some(SimTime::from_millis(10)));
+        // Non-popping: asking twice changes nothing.
+        assert_eq!(q.next_deadline(), Some(SimTime::from_millis(10)));
+        assert_eq!(q.len(), 3);
+        let out: Vec<i32> = q.pop_due(SimTime::from_secs(1)).map(|(_, e)| e).collect();
+        assert_eq!(out, vec![1, 2, 3], "deadline queries never reorder");
+        assert_eq!(q.next_deadline(), None);
+    }
+
+    #[test]
+    fn next_deadline_skips_lazily_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), 1);
+        let b = q.schedule(SimTime::from_millis(2), 2);
+        q.schedule(SimTime::from_millis(5), 3);
+        q.cancel(a);
+        q.cancel(b);
+        // Both dead entries still sit in the heap (below the compaction
+        // threshold), yet the deadline must see through them.
+        assert_eq!(q.next_deadline(), Some(SimTime::from_millis(5)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn next_deadline_empty_after_all_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), 1);
+        q.cancel(a);
+        assert_eq!(q.next_deadline(), None);
+    }
+
+    #[test]
+    fn next_deadline_agrees_with_peek_time() {
+        let mut q = EventQueue::new();
+        let ids: Vec<EventId> = (0..20)
+            .map(|i| q.schedule(SimTime::from_millis(20 - i), i))
+            .collect();
+        for id in ids.iter().step_by(3) {
+            q.cancel(*id);
+        }
+        assert_eq!(q.next_deadline(), q.peek_time());
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Struct-of-arrays batch physics: many worlds' idle spans advanced in
+//! one contiguous sweep.
+//!
+//! A fleet shard that leaps its vehicles' scheduler/network idle spans is
+//! left with N pending physics catch-ups per poll batch — one
+//! [`World::advance_to`] per vehicle, each buried inside a megabytes-wide
+//! `VehicleInstance`. Walking those worlds one vehicle at a time drags a
+//! whole vehicle's working set through cache for a few hundred floating
+//! point operations. [`WorldBatch`] instead *gathers* the integrator
+//! state into struct-of-arrays lanes — positions, velocities, attitudes,
+//! angular rates, motor banks and wind processes each contiguous across
+//! the shard — advances every lane substep-outer/lane-inner, and
+//! *scatters* the results back.
+//!
+//! # Bit-exactness
+//!
+//! Batched physics is **bit-identical** to per-world stepping, by
+//! construction:
+//!
+//! - every lane substep runs [`Quadrotor::step_kernel`] — the *same*
+//!   function body `World::advance_to` runs — on the lane's own state;
+//! - each world's wind process (its RNG included) and crash detector
+//!   travel with the lane, so noise streams advance exactly as they
+//!   would in place;
+//! - lanes never read each other, so the substep-outer interleaving
+//!   cannot change any lane's arithmetic.
+//!
+//! The fleet equivalence tests pin this end-to-end (batched leap runs
+//! against quantum-stepped runs, byte-for-byte).
+//!
+//! All lane storage is pooled: [`WorldBatch::clear`] keeps capacity, so a
+//! steady-state fleet batch allocates nothing (the counting-allocator
+//! gate covers this).
+
+use sim_core::time::{SimDuration, SimTime};
+
+use crate::crash::CrashDetector;
+use crate::environment::Wind;
+use crate::math::{Mat3, Quat, Vec3};
+use crate::motor::Motor;
+use crate::quad::{QuadParams, QuadState, Quadrotor};
+use crate::world::World;
+
+/// Pooled struct-of-arrays lanes for batched physics catch-up.
+///
+/// # Examples
+///
+/// ```
+/// use uav_dynamics::batch::WorldBatch;
+/// use uav_dynamics::world::{World, WorldConfig};
+/// use uav_dynamics::math::Vec3;
+/// use sim_core::time::SimTime;
+///
+/// let mut a = World::new(WorldConfig::default(), 1);
+/// a.start_at_hover(Vec3::new(0.0, 0.0, -1.0));
+/// let mut batch = WorldBatch::default();
+/// let lane = batch.enroll(&a, SimTime::from_millis(20));
+/// batch.advance();
+/// batch.scatter_into(lane, &mut a);
+/// assert_eq!(a.now(), SimTime::from_millis(20));
+/// ```
+#[derive(Debug, Default)]
+pub struct WorldBatch {
+    // Per-lane integration window.
+    dt: Vec<SimDuration>,
+    dt_s: Vec<f64>,
+    now: Vec<SimTime>,
+    target: Vec<SimTime>,
+    // Airframe constants.
+    params: Vec<QuadParams>,
+    inertia_inv: Vec<Mat3>,
+    // Kinematic state, one field per array: the contiguous lanes the
+    // integrator sweeps.
+    positions: Vec<Vec3>,
+    velocities: Vec<Vec3>,
+    attitudes: Vec<Quat>,
+    angular_velocities: Vec<Vec3>,
+    accelerations: Vec<Vec3>,
+    // Actuation, environment and failure state.
+    motors: Vec<[Motor; 4]>,
+    on_ground: Vec<bool>,
+    winds: Vec<Wind>,
+    detectors: Vec<CrashDetector>,
+}
+
+impl WorldBatch {
+    /// Number of enrolled lanes.
+    pub fn len(&self) -> usize {
+        self.now.len()
+    }
+
+    /// `true` when no lane is enrolled.
+    pub fn is_empty(&self) -> bool {
+        self.now.is_empty()
+    }
+
+    /// Drops every lane but keeps the allocations for the next batch.
+    pub fn clear(&mut self) {
+        self.dt.clear();
+        self.dt_s.clear();
+        self.now.clear();
+        self.target.clear();
+        self.params.clear();
+        self.inertia_inv.clear();
+        self.positions.clear();
+        self.velocities.clear();
+        self.attitudes.clear();
+        self.angular_velocities.clear();
+        self.accelerations.clear();
+        self.motors.clear();
+        self.on_ground.clear();
+        self.winds.clear();
+        self.detectors.clear();
+    }
+
+    /// Gathers `world`'s physics into a new lane that [`WorldBatch::advance`]
+    /// will integrate up to `target`. The world keeps its now-stale state
+    /// until the matching [`WorldBatch::scatter_into`]; callers must not
+    /// read or step it in between. Returns the lane index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world's physics step is zero (the sweep could not
+    /// terminate).
+    pub fn enroll(&mut self, world: &World, target: SimTime) -> usize {
+        let lane = world.extract_lane();
+        assert!(
+            lane.dt > SimDuration::ZERO,
+            "physics_dt must be positive for batched integration"
+        );
+        self.dt.push(lane.dt);
+        self.dt_s.push(lane.dt.as_secs_f64());
+        self.now.push(lane.now);
+        self.target.push(target);
+        self.params.push(lane.params);
+        self.inertia_inv.push(lane.inertia_inv);
+        self.positions.push(lane.state.position);
+        self.velocities.push(lane.state.velocity);
+        self.attitudes.push(lane.state.attitude);
+        self.angular_velocities.push(lane.state.angular_velocity);
+        self.accelerations.push(lane.state.acceleration);
+        self.motors.push(lane.motors);
+        self.on_ground.push(lane.on_ground);
+        self.winds.push(lane.wind);
+        self.detectors.push(lane.detector);
+        self.now.len() - 1
+    }
+
+    /// Integrates every lane to its target, substep-outer/lane-inner:
+    /// each sweep advances all still-pending lanes by one fixed substep,
+    /// walking the struct-of-arrays storage front to back. Lanes are
+    /// independent, so this interleaving is bit-identical to advancing
+    /// each world serially.
+    pub fn advance(&mut self) {
+        loop {
+            let mut pending = false;
+            for i in 0..self.now.len() {
+                let dt = self.dt[i];
+                if self.now[i] + dt > self.target[i] {
+                    continue;
+                }
+                pending = true;
+                let dt_s = self.dt_s[i];
+                let wind = self.winds[i].step(dt_s);
+                let mut state = QuadState {
+                    position: self.positions[i],
+                    velocity: self.velocities[i],
+                    attitude: self.attitudes[i],
+                    angular_velocity: self.angular_velocities[i],
+                    acceleration: self.accelerations[i],
+                };
+                Quadrotor::step_kernel(
+                    &self.params[i],
+                    &self.inertia_inv[i],
+                    &mut state,
+                    &mut self.motors[i],
+                    &mut self.on_ground[i],
+                    dt_s,
+                    wind,
+                );
+                self.now[i] += dt;
+                self.detectors[i].check(&state, self.on_ground[i], self.now[i]);
+                self.positions[i] = state.position;
+                self.velocities[i] = state.velocity;
+                self.attitudes[i] = state.attitude;
+                self.angular_velocities[i] = state.angular_velocity;
+                self.accelerations[i] = state.acceleration;
+            }
+            if !pending {
+                return;
+            }
+        }
+    }
+
+    /// Writes an advanced lane back into its world (the inverse of
+    /// [`WorldBatch::enroll`]). Lanes may be scattered in any order, each
+    /// exactly once per enrollment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn scatter_into(&self, lane: usize, world: &mut World) {
+        world.restore_lane(crate::world::LaneState {
+            dt: self.dt[lane],
+            now: self.now[lane],
+            params: self.params[lane],
+            inertia_inv: self.inertia_inv[lane],
+            state: QuadState {
+                position: self.positions[lane],
+                velocity: self.velocities[lane],
+                attitude: self.attitudes[lane],
+                angular_velocity: self.angular_velocities[lane],
+                acceleration: self.accelerations[lane],
+            },
+            motors: self.motors[lane],
+            on_ground: self.on_ground[lane],
+            wind: self.winds[lane].clone(),
+            detector: self.detectors[lane].clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn hover_world(seed: u64) -> World {
+        let mut w = World::new(WorldConfig::default(), seed);
+        w.start_at_hover(Vec3::new(0.0, 0.0, -1.0));
+        let hover = w.quad_params().hover_command();
+        w.set_motor_commands([hover; 4]);
+        w
+    }
+
+    fn assert_worlds_identical(a: &World, b: &World, label: &str) {
+        assert_eq!(a.now(), b.now(), "{label}: now");
+        assert_eq!(a.truth(), b.truth(), "{label}: state");
+        assert_eq!(a.on_ground(), b.on_ground(), "{label}: on_ground");
+        assert_eq!(a.crash(), b.crash(), "{label}: crash");
+    }
+
+    #[test]
+    fn batched_advance_is_bit_identical_to_serial() {
+        let mut batch = WorldBatch::default();
+        let mut batched: Vec<World> = (0..5).map(hover_world).collect();
+        let mut serial = batched.clone();
+        let target = SimTime::from_millis(500);
+
+        let lanes: Vec<usize> = batched.iter().map(|w| batch.enroll(w, target)).collect();
+        batch.advance();
+        for (lane, w) in lanes.into_iter().zip(batched.iter_mut()) {
+            batch.scatter_into(lane, w);
+        }
+        for w in serial.iter_mut() {
+            w.advance_to(target);
+        }
+        for (i, (a, b)) in batched.iter().zip(serial.iter()).enumerate() {
+            assert_worlds_identical(a, b, &format!("seed {i}"));
+        }
+    }
+
+    #[test]
+    fn staggered_lane_starts_and_targets_match_serial() {
+        // Lanes enter the batch at different phases and leave at
+        // different targets — the shape a fleet poll batch produces when
+        // vehicles flushed at different mid-span events.
+        let mut batch = WorldBatch::default();
+        let mut batched: Vec<World> = (0..4).map(|i| hover_world(100 + i)).collect();
+        for (i, w) in batched.iter_mut().enumerate() {
+            w.advance_to(SimTime::from_micros(500 * i as u64));
+        }
+        let mut serial = batched.clone();
+        let targets: Vec<SimTime> = (0..4)
+            .map(|i| SimTime::from_millis(20) + SimDuration::from_micros(500 * i as u64))
+            .collect();
+
+        let lanes: Vec<usize> = batched
+            .iter()
+            .zip(&targets)
+            .map(|(w, &t)| batch.enroll(w, t))
+            .collect();
+        batch.advance();
+        for (lane, w) in lanes.into_iter().zip(batched.iter_mut()) {
+            batch.scatter_into(lane, w);
+        }
+        for (w, &t) in serial.iter_mut().zip(&targets) {
+            w.advance_to(t);
+        }
+        for (i, (a, b)) in batched.iter().zip(serial.iter()).enumerate() {
+            assert_worlds_identical(a, b, &format!("lane {i}"));
+        }
+    }
+
+    #[test]
+    fn crashes_latch_identically_in_batch() {
+        // Motors off from 2 m: the ground-impact crash must latch at the
+        // same substep with the same timestamp either way.
+        let mut w = World::new(WorldConfig::default(), 7);
+        w.start_at_hover(Vec3::new(0.0, 0.0, -2.0));
+        w.set_motor_commands([0.0; 4]);
+        let mut serial = w.clone();
+        let target = SimTime::from_secs(3);
+
+        let mut batch = WorldBatch::default();
+        let lane = batch.enroll(&w, target);
+        batch.advance();
+        batch.scatter_into(lane, &mut w);
+        serial.advance_to(target);
+
+        assert!(w.crash().is_some(), "free fall from 2 m must crash");
+        assert_worlds_identical(&w, &serial, "crash lane");
+    }
+
+    #[test]
+    fn cleared_batch_reuses_lanes_without_leaking_state() {
+        let mut batch = WorldBatch::default();
+        let mut a = hover_world(1);
+        let lane = batch.enroll(&a, SimTime::from_millis(50));
+        batch.advance();
+        batch.scatter_into(lane, &mut a);
+        batch.clear();
+        assert!(batch.is_empty());
+
+        // Second use: a fresh world must behave exactly as in a fresh batch.
+        let mut b = hover_world(2);
+        let mut b_ref = b.clone();
+        let lane = batch.enroll(&b, SimTime::from_millis(50));
+        assert_eq!(lane, 0);
+        assert_eq!(batch.len(), 1);
+        batch.advance();
+        batch.scatter_into(lane, &mut b);
+        b_ref.advance_to(SimTime::from_millis(50));
+        assert_worlds_identical(&b, &b_ref, "reused batch");
+    }
+
+    #[test]
+    fn past_target_is_a_no_op_lane() {
+        let mut batch = WorldBatch::default();
+        let mut w = hover_world(3);
+        w.advance_to(SimTime::from_millis(10));
+        let before = *w.truth();
+        let lane = batch.enroll(&w, SimTime::from_millis(5));
+        batch.advance();
+        batch.scatter_into(lane, &mut w);
+        assert_eq!(w.now(), SimTime::from_millis(10));
+        assert_eq!(*w.truth(), before);
+    }
+}

@@ -196,61 +196,97 @@ impl Quadrotor {
     ///
     /// Semi-implicit Euler at the caller's rate (≥ 500 Hz recommended).
     pub fn step(&mut self, dt: f64, wind: Vec3) {
-        for m in &mut self.motors {
+        Self::step_kernel(
+            &self.params,
+            &self.inertia_inv,
+            &mut self.state,
+            &mut self.motors,
+            &mut self.on_ground,
+            dt,
+            wind,
+        );
+    }
+
+    /// The integrator kernel behind [`Quadrotor::step`], operating on
+    /// borrowed state so the SoA batch executor
+    /// ([`crate::batch::WorldBatch`]) can run the *same* instruction
+    /// sequence over contiguous per-shard lanes. Both entry points share
+    /// this one body, which is what makes batched physics bit-identical
+    /// to per-world stepping.
+    pub(crate) fn step_kernel(
+        params: &QuadParams,
+        inertia_inv: &Mat3,
+        state: &mut QuadState,
+        motors: &mut [Motor; 4],
+        on_ground: &mut bool,
+        dt: f64,
+        wind: Vec3,
+    ) {
+        for m in motors.iter_mut() {
             m.step(dt);
         }
-        let thrusts = self.motor_thrusts();
+        let thrusts = [
+            motors[0].thrust(),
+            motors[1].thrust(),
+            motors[2].thrust(),
+            motors[3].thrust(),
+        ];
         let total_thrust: f64 = thrusts.iter().sum();
 
         // Torques from motor geometry (FRD: thrust acts along -z body).
-        let d = self.params.arm_length / std::f64::consts::SQRT_2;
+        let d = params.arm_length / std::f64::consts::SQRT_2;
         let mut torque = Vec3::ZERO;
         for i in 0..4 {
             let (sx, sy) = MOTOR_POS_SIGNS[i];
             let (x, y) = (sx * d, sy * d);
             torque.x += -y * thrusts[i];
             torque.y += x * thrusts[i];
-            torque.z += MOTOR_SPIN[i] * self.params.torque_coeff * thrusts[i];
+            torque.z += MOTOR_SPIN[i] * params.torque_coeff * thrusts[i];
         }
-        torque -= self.state.angular_velocity * self.params.angular_drag;
+        torque -= state.angular_velocity * params.angular_drag;
 
         // Angular dynamics: ω̇ = I⁻¹(τ − ω × Iω).
-        let i_omega = self.params.inertia.mul_vec(self.state.angular_velocity);
-        let omega_dot = self
-            .inertia_inv
-            .mul_vec(torque - self.state.angular_velocity.cross(i_omega));
-        self.state.angular_velocity += omega_dot * dt;
-        self.state.attitude = self
-            .state
-            .attitude
-            .integrate(self.state.angular_velocity, dt);
+        let i_omega = params.inertia.mul_vec(state.angular_velocity);
+        let omega_dot = inertia_inv.mul_vec(torque - state.angular_velocity.cross(i_omega));
+        state.angular_velocity += omega_dot * dt;
+        state.attitude = state.attitude.integrate(state.angular_velocity, dt);
 
         // Linear dynamics.
-        let thrust_world = self
-            .state
-            .attitude
-            .rotate(Vec3::new(0.0, 0.0, -total_thrust));
-        let airspeed = self.state.velocity - wind;
-        let drag = -airspeed * self.params.linear_drag;
-        let accel = Vec3::new(0.0, 0.0, GRAVITY) + (thrust_world + drag) / self.params.mass;
-        self.state.acceleration = accel - Vec3::new(0.0, 0.0, GRAVITY);
+        let thrust_world = state.attitude.rotate(Vec3::new(0.0, 0.0, -total_thrust));
+        let airspeed = state.velocity - wind;
+        let drag = -airspeed * params.linear_drag;
+        let accel = Vec3::new(0.0, 0.0, GRAVITY) + (thrust_world + drag) / params.mass;
+        state.acceleration = accel - Vec3::new(0.0, 0.0, GRAVITY);
 
-        self.state.velocity += accel * dt;
-        self.state.position += self.state.velocity * dt;
+        state.velocity += accel * dt;
+        state.position += state.velocity * dt;
 
         // Ground plane at z = 0 (NED: positive z is below origin).
-        if self.state.position.z >= 0.0 {
-            self.state.position.z = 0.0;
-            if self.state.velocity.z > 0.0 {
-                self.state.velocity = Vec3::ZERO;
-                self.state.angular_velocity = Vec3::ZERO;
+        if state.position.z >= 0.0 {
+            state.position.z = 0.0;
+            if state.velocity.z > 0.0 {
+                state.velocity = Vec3::ZERO;
+                state.angular_velocity = Vec3::ZERO;
             }
-            self.on_ground = true;
+            *on_ground = true;
             // Resting: the normal force supplies one g of specific force.
-            self.state.acceleration = Vec3::new(0.0, 0.0, -GRAVITY);
+            state.acceleration = Vec3::new(0.0, 0.0, -GRAVITY);
         } else {
-            self.on_ground = false;
+            *on_ground = false;
         }
+    }
+
+    /// The batch executor's gather view: kinematic state, motor bank,
+    /// ground flag and the cached inverse inertia, in one read.
+    pub(crate) fn lane_parts(&self) -> (&QuadState, &[Motor; 4], bool, &Mat3) {
+        (&self.state, &self.motors, self.on_ground, &self.inertia_inv)
+    }
+
+    /// The batch executor's scatter: writes an advanced lane back.
+    pub(crate) fn restore_lane(&mut self, state: QuadState, motors: [Motor; 4], on_ground: bool) {
+        self.state = state;
+        self.motors = motors;
+        self.on_ground = on_ground;
     }
 }
 

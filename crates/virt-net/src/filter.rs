@@ -49,6 +49,26 @@ impl TokenBucket {
         self.rate
     }
 
+    /// The earliest instant at which an offered packet would be admitted:
+    /// `now` itself if a whole token is already available, otherwise the
+    /// time the continuous refill reaches one token. Purely predictive —
+    /// the bucket state is untouched, and an actual admission still goes
+    /// through [`TokenBucket::admit`].
+    ///
+    /// Rate limiting *drops* rather than delays, so this is not a
+    /// correctness bound for an event-driven executor; it exists so
+    /// planners and tests can reason about when a throttled port opens
+    /// up again.
+    pub fn next_token_time(&self, now: SimTime) -> SimTime {
+        let dt = now.saturating_since(self.last).as_secs_f64();
+        let tokens = (self.tokens + dt * self.rate).min(self.burst);
+        if tokens >= 1.0 {
+            return now.max(self.last);
+        }
+        let wait = (1.0 - tokens) / self.rate;
+        now.max(self.last) + sim_core::time::SimDuration::from_secs_f64(wait)
+    }
+
     /// Tries to admit one packet at `now`; `true` if admitted.
     pub fn admit(&mut self, now: SimTime) -> bool {
         let dt = now.saturating_since(self.last).as_secs_f64();
@@ -108,6 +128,24 @@ mod tests {
             assert!(tb.admit(t), "400 pps under a 500 pps limit must pass");
             t += SimDuration::from_micros(2500); // 400 pps
         }
+    }
+
+    #[test]
+    fn next_token_time_predicts_admission() {
+        let mut tb = TokenBucket::new(100.0, 2.0);
+        let t = SimTime::ZERO;
+        assert_eq!(tb.next_token_time(t), t, "full bucket admits immediately");
+        assert!(tb.admit(t));
+        assert!(tb.admit(t));
+        assert!(!tb.admit(t), "burst exhausted");
+        let reopen = tb.next_token_time(t);
+        assert!(reopen > t);
+        // Just before the predicted instant: still dropped. At it: admitted.
+        let early = reopen - SimDuration::from_micros(100);
+        assert!(!tb.clone().admit(early));
+        assert!(tb.clone().admit(reopen));
+        // Prediction never mutated the bucket.
+        assert!(!tb.admit(t));
     }
 
     #[test]

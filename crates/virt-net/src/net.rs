@@ -870,6 +870,44 @@ impl Network {
         &self.deliveries
     }
 
+    /// The arrival time of the earliest packet still in flight on any
+    /// link, or `None` when every transmit queue is empty — the planning
+    /// hint an event-driven executor composes with the machine's own to
+    /// decide how far it may leap without a [`Network::step`] observing
+    /// anything.
+    ///
+    /// Within one link direction arrivals are monotone (each packet's
+    /// arrival is its predecessor's serialisation end plus latency), so
+    /// the front entry of each queue is that direction's earliest; a
+    /// run-length-encoded burst reports its next undelivered packet's
+    /// arrival, which already accounts for the stride walked so far.
+    /// Loopback sends never queue — they deliver inside
+    /// [`Network::send`] — so they cannot invalidate this hint.
+    pub fn next_delivery_time(&self) -> Option<SimTime> {
+        let mut earliest: Option<SimTime> = None;
+        for link in &self.links {
+            for dir in [&link.ab, &link.ba] {
+                if let Some(front) = dir.queue.front() {
+                    let t = front.next_arrival();
+                    earliest = Some(earliest.map_or(t, |e| e.min(t)));
+                }
+            }
+        }
+        earliest
+    }
+
+    /// The earliest instant the ingress rate limit on `dst` would admit a
+    /// packet (see [`TokenBucket::next_token_time`]); `now` itself when
+    /// `dst` carries no limit or the bucket already holds a token.
+    /// Predictive only — no bucket state changes.
+    pub fn next_token_time(&self, dst: Addr, now: SimTime) -> SimTime {
+        let bucket = match self.addr_index.get(&dst) {
+            Some(&i) => self.sockets[i as usize].rate_limit.as_ref(),
+            None => self.rate_limits.get(&dst),
+        };
+        bucket.map_or(now, |tb| tb.next_token_time(now))
+    }
+
     /// Pops the oldest datagram from a socket's receive queue.
     pub fn recv(&mut self, socket: SocketId) -> Option<Packet> {
         self.sockets.get_mut(socket.0 as usize)?.rx.pop_front()
@@ -1294,6 +1332,66 @@ mod tests {
             seen.push(pkt.payload.as_slice()[0]);
         }
         assert_eq!(seen, [0, 0, 0, 0, 0, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn next_delivery_time_tracks_queued_packets() {
+        let (mut net, host, cce) = pair();
+        let _rx = net.bind(cce, 14660).unwrap();
+        let tx = net.bind(host, 9000).unwrap();
+        assert_eq!(net.next_delivery_time(), None, "idle net has no arrivals");
+        net.send(
+            tx,
+            Addr {
+                ns: cce,
+                port: 14660,
+            },
+            vec![0; 52],
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let hint = net.next_delivery_time().expect("one packet in flight");
+        // Stepping to just before the hint delivers nothing; stepping to
+        // the hint delivers the packet and clears it.
+        assert!(net.step(hint - SimDuration::from_nanos(1)).is_empty());
+        assert_eq!(net.next_delivery_time(), Some(hint));
+        assert_eq!(net.step(hint).len(), 1);
+        assert_eq!(net.next_delivery_time(), None);
+    }
+
+    #[test]
+    fn next_delivery_time_walks_burst_strides() {
+        let (mut net, host, cce) = pair();
+        let _rx = net.bind_with_capacity(host, 14600, 1024).unwrap();
+        let tx = net.bind(cce, 9000).unwrap();
+        let flood: Arc<[u8]> = vec![0u8; 64].into();
+        let dst = Addr {
+            ns: host,
+            port: 14600,
+        };
+        net.send_shared(tx, dst, &flood, 10, SimTime::ZERO).unwrap();
+        let first = net.next_delivery_time().expect("burst queued");
+        net.step(first);
+        let second = net.next_delivery_time().expect("nine packets left");
+        assert!(second > first, "RLE stride advances the hint");
+        net.step(SimTime::from_secs(1));
+        assert_eq!(net.next_delivery_time(), None);
+    }
+
+    #[test]
+    fn next_token_time_reads_socket_and_pending_limits() {
+        let (mut net, host, _) = pair();
+        let dst = Addr {
+            ns: host,
+            port: 14600,
+        };
+        let now = SimTime::from_millis(3);
+        assert_eq!(net.next_token_time(dst, now), now, "no limit: immediate");
+        // A limit installed before anything binds waits in `rate_limits`.
+        net.add_rate_limit(dst, 100.0, 1.0);
+        assert_eq!(net.next_token_time(dst, now), now, "full bucket");
+        let _rx = net.bind(host, 14600).unwrap();
+        assert_eq!(net.next_token_time(dst, now), now, "moved onto socket");
     }
 
     /// A fleet executor moves shard networks onto worker threads, so the

@@ -1,0 +1,114 @@
+//! Time-leap executor equivalence: the event-driven fast path must be
+//! byte-identical to the quantum-stepped reference executor on every
+//! scenario family — healthy (the leap-heavy case), each paper figure,
+//! and the spoof timeline (live emitters force per-quantum fallback).
+//!
+//! The fleet-level counterpart (swarm jams, external attacker nodes,
+//! mixed adversarial campaigns, `--no-leap`) lives in
+//! `crates/fleet/tests/adversarial.rs`.
+
+use containerdrone::framework::{Scenario, ScenarioConfig};
+use containerdrone::sim::time::SimDuration;
+
+/// Runs `cfg` on both executors and asserts the observable results are
+/// byte-identical; returns the leaped-quanta count for profile checks.
+fn assert_leap_equivalent(cfg: ScenarioConfig, label: &str) -> u64 {
+    let leap = Scenario::new(cfg.clone()).run();
+    let stepped = Scenario::new(cfg).run_stepped();
+
+    assert_eq!(
+        leap.telemetry.to_csv(),
+        stepped.telemetry.to_csv(),
+        "{label}: telemetry CSV diverged"
+    );
+    assert_eq!(leap.sim_steps, stepped.sim_steps, "{label}: sim_steps");
+    assert_eq!(leap.crash, stepped.crash, "{label}: crash");
+    assert_eq!(leap.switch_time, stepped.switch_time, "{label}: switch");
+    assert_eq!(
+        leap.monitor_events, stepped.monitor_events,
+        "{label}: monitor events"
+    );
+    assert_eq!(leap.attack_log, stepped.attack_log, "{label}: attack log");
+    assert_eq!(leap.idle_rates, stepped.idle_rates, "{label}: idle rates");
+    assert_eq!(
+        leap.hce_parser_stats, stepped.hce_parser_stats,
+        "{label}: parser stats"
+    );
+    assert_eq!(
+        leap.rx_socket_stats, stepped.rx_socket_stats,
+        "{label}: rx socket stats"
+    );
+    assert_eq!(
+        leap.attack_packets, stepped.attack_packets,
+        "{label}: attack packets"
+    );
+    assert_eq!(
+        leap.heartbeats_received, stepped.heartbeats_received,
+        "{label}: heartbeats"
+    );
+    assert_eq!(
+        leap.net_packets_sent, stepped.net_packets_sent,
+        "{label}: net packets"
+    );
+    assert_eq!(
+        leap.task_report, stepped.task_report,
+        "{label}: task report"
+    );
+    assert_eq!(
+        stepped.quanta_leaped, 0,
+        "{label}: reference executor must never leap"
+    );
+    leap.quanta_leaped
+}
+
+#[test]
+fn healthy_run_leaps_and_matches_stepped() {
+    let cfg = ScenarioConfig::healthy().with_duration(SimDuration::from_secs(5));
+    let leaped = assert_leap_equivalent(cfg, "healthy");
+    assert!(
+        leaped > 0,
+        "a healthy flight has idle spans the executor must leap"
+    );
+}
+
+#[test]
+fn fig4_flood_unprotected_matches_stepped() {
+    let cfg = ScenarioConfig::fig4().with_duration(SimDuration::from_secs(8));
+    assert_leap_equivalent(cfg, "fig4");
+}
+
+#[test]
+fn fig5_flood_protected_matches_stepped() {
+    let cfg = ScenarioConfig::fig5().with_duration(SimDuration::from_secs(8));
+    assert_leap_equivalent(cfg, "fig5");
+}
+
+#[test]
+fn fig6_failover_matches_stepped() {
+    let cfg = ScenarioConfig::fig6().with_duration(SimDuration::from_secs(16));
+    assert_leap_equivalent(cfg, "fig6");
+}
+
+#[test]
+fn fig7_matches_stepped() {
+    let cfg = ScenarioConfig::fig7().with_duration(SimDuration::from_secs(8));
+    assert_leap_equivalent(cfg, "fig7");
+}
+
+#[test]
+fn spoof_timeline_matches_stepped() {
+    let cfg = ScenarioConfig::spoof().with_duration(SimDuration::from_secs(8));
+    assert_leap_equivalent(cfg, "spoof");
+}
+
+#[test]
+fn crash_window_matches_stepped() {
+    // fig4 full-length ends in lost control for the default seed; the
+    // 1 s post-crash window and early termination must agree exactly.
+    let cfg = ScenarioConfig::fig4();
+    let leap = Scenario::new(cfg.clone()).run();
+    let stepped = Scenario::new(cfg).run_stepped();
+    assert_eq!(leap.crash, stepped.crash);
+    assert_eq!(leap.sim_steps, stepped.sim_steps);
+    assert_eq!(leap.telemetry.to_csv(), stepped.telemetry.to_csv());
+}
