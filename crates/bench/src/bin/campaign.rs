@@ -8,9 +8,17 @@
 //!
 //! ```text
 //! cargo run --release -p cd-bench --bin campaign
+//! cargo run --release -p cd-bench --bin campaign -- --trace events.jsonl --metrics-addr 127.0.0.1:9464
 //! ```
+//!
+//! `--trace <path>` writes the per-variant structured JSONL trace
+//! (fragments concatenated in grid order — byte-identical at any worker
+//! count); `--metrics-addr <host:port>` serves live campaign-progress
+//! counters in Prometheus text format while the grid drains.
 
+use cd_bench::cli::Args;
 use cd_bench::{write_result, CampaignSpec};
+use cd_obs::Registry;
 use sim_core::time::SimDuration;
 
 fn spec() -> CampaignSpec {
@@ -22,11 +30,28 @@ fn spec() -> CampaignSpec {
 }
 
 fn main() {
+    let args = Args::parse();
     let n = spec().len();
     println!("Campaign speedup bench — {n} scenario variants, serial vs parallel\n");
 
+    let trace = args.value("--trace");
+    let registry = std::sync::Arc::new(Registry::new());
+    let _server = args.value("--metrics-addr").map(|addr| {
+        cd_obs::server::serve(std::sync::Arc::clone(&registry), addr)
+            .unwrap_or_else(|e| panic!("--metrics-addr {addr}: {e}"))
+    });
+    let observed = |mut s: CampaignSpec| {
+        if trace.is_some() {
+            s = s.with_trace();
+        }
+        if args.has("--metrics-addr") {
+            s = s.with_metrics(&registry);
+        }
+        s
+    };
+
     let serial = spec().run_serial();
-    let parallel = spec().run();
+    let parallel = observed(spec()).run();
 
     let speedup = serial.wall_clock.as_secs_f64() / parallel.wall_clock.as_secs_f64();
     println!("{}", parallel.ascii_table());
@@ -61,4 +86,9 @@ fn main() {
     ));
     write_result("campaign.csv", &csv);
     write_result("campaign.txt", &parallel.ascii_table());
+    if let Some(path) = trace {
+        std::fs::write(path, parallel.trace_bytes())
+            .unwrap_or_else(|e| panic!("--trace {path}: {e}"));
+        println!("trace written to {path}");
+    }
 }

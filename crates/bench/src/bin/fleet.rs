@@ -20,7 +20,13 @@
 //! swarm-scale N = 1000 cell to the sweep; `--no-leap` runs every cell
 //! on the quantum-stepped reference executor instead of the time-leap
 //! default — the emitted CSV must be byte-identical either way (CI
-//! diffs the two).
+//! diffs the two, after stripping the executor-stat columns).
+//!
+//! Observability: `--trace events.jsonl` streams the deterministic
+//! structured trace of every cell (concatenated in sweep order —
+//! byte-identical at any `--threads`, CI diffs 1 vs 2);
+//! `--metrics-addr 127.0.0.1:9464` serves live Prometheus text
+//! exposition for the whole sweep.
 
 use std::fmt::Write as _;
 
@@ -28,6 +34,7 @@ use attacks::fleet::FleetScript;
 use cd_bench::cli::Args;
 use cd_bench::{ascii_table, emit_table, write_result};
 use cd_fleet::{Fleet, FleetConfig, SwarmConfig};
+use cd_obs::{Registry, TraceSink};
 use containerdrone_core::scenario::ScenarioConfig;
 use sim_core::time::SimDuration;
 
@@ -50,6 +57,17 @@ fn main() {
     let smoke = args.has("--smoke");
     let threads: usize = args.parsed("--threads").unwrap_or(1);
     let leap = !args.has("--no-leap");
+    // One trace file for the whole sweep: each cell appends through its
+    // own sink over a cloned handle (cells run sequentially, and every
+    // sink is flushed at its fleet's teardown).
+    let trace_file = args
+        .value("--trace")
+        .map(|path| std::fs::File::create(path).unwrap_or_else(|e| panic!("--trace {path}: {e}")));
+    let registry = std::sync::Arc::new(Registry::new());
+    let _server = args.value("--metrics-addr").map(|addr| {
+        cd_obs::server::serve(std::sync::Arc::clone(&registry), addr)
+            .unwrap_or_else(|e| panic!("--metrics-addr {addr}: {e}"))
+    });
     // Smoke keeps the flights just long enough (3 s) that the rolling
     // flood's 2 s onset actually fires.
     let (mut sizes, duration): (Vec<usize>, SimDuration) = if smoke {
@@ -69,7 +87,13 @@ fn main() {
 
     let base = ScenarioConfig::healthy().with_duration(duration);
     let mut rows = Vec::new();
-    let mut csv = format!("timeline,n,{}\n", cd_fleet::FleetReport::CSV_HEADER);
+    // Per-row executor stats (quanta_leaped/quanta_stepped) are appended
+    // here, outside FleetReport::CSV_HEADER — the report's own CSV stays
+    // byte-identical across executors, which the equivalence pins rely on.
+    let mut csv = format!(
+        "timeline,n,{},quanta_leaped,quanta_stepped\n",
+        cd_fleet::FleetReport::CSV_HEADER
+    );
     for (label, script, swarm) in timelines() {
         for &n in &sizes {
             let mut cfg = FleetConfig::new(base.clone(), n)
@@ -79,7 +103,15 @@ fn main() {
             if swarm {
                 cfg = cfg.with_swarm(SwarmConfig::default());
             }
-            let report = Fleet::new(cfg).run();
+            let mut fleet = Fleet::new(cfg);
+            if let Some(file) = &trace_file {
+                let clone = file.try_clone().expect("clone trace file handle");
+                fleet.attach_trace(TraceSink::new(Box::new(std::io::BufWriter::new(clone))));
+            }
+            if args.has("--metrics-addr") {
+                fleet.attach_metrics(&registry);
+            }
+            let report = fleet.run();
             let wall = report.wall_clock.as_secs_f64();
             let steps_per_sec = report.sim_steps as f64 / wall.max(1e-9);
             rows.push(vec![
@@ -99,9 +131,15 @@ fn main() {
                 report.net_packets.to_string(),
                 report.attacker_packets.to_string(),
             ]);
-            // Per-vehicle rows, prefixed with the cell coordinates.
-            for line in report.to_csv().lines().skip(1) {
-                let _ = writeln!(csv, "{label},{n},{line}");
+            // Per-vehicle rows, prefixed with the cell coordinates and
+            // suffixed with that vehicle's executor stats.
+            for (line, o) in report.to_csv().lines().skip(1).zip(&report.outcomes) {
+                let _ = writeln!(
+                    csv,
+                    "{label},{n},{line},{},{}",
+                    o.result.quanta_leaped,
+                    o.result.sim_steps - o.result.quanta_leaped
+                );
             }
         }
     }

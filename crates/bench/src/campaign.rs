@@ -31,10 +31,12 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use attacks::script::AttackScript;
+use cd_obs::metrics::{Counter, Registry};
+use cd_obs::trace::TraceSink;
 use containerdrone_core::runner::{Scenario, ScenarioResult};
 use containerdrone_core::scenario::ScenarioConfig;
 use containerdrone_core::Protections;
-use sim_core::time::SimTime;
+use sim_core::time::{SimDuration, SimTime};
 
 use crate::ascii_table;
 
@@ -47,12 +49,50 @@ pub struct Variant {
     pub config: ScenarioConfig,
 }
 
+/// Pre-registered campaign-progress counters, shared (lock-free) by
+/// every worker thread so a live scrape sees the grid drain mid-run.
+#[derive(Debug, Clone)]
+struct CampaignMetrics {
+    started: Counter,
+    crash: Counter,
+    lost_ctl: Counter,
+    stable: Counter,
+    switches: Counter,
+}
+
+impl CampaignMetrics {
+    fn register(reg: &Registry) -> Self {
+        let done = "Campaign variants completed, by verdict.";
+        CampaignMetrics {
+            started: reg.counter(
+                "cd_campaign_variants_started_total",
+                "Campaign variants handed to a worker.",
+                &[],
+            ),
+            crash: reg.counter("cd_campaign_variants_total", done, &[("verdict", "crash")]),
+            lost_ctl: reg.counter(
+                "cd_campaign_variants_total",
+                done,
+                &[("verdict", "lost-ctl")],
+            ),
+            stable: reg.counter("cd_campaign_variants_total", done, &[("verdict", "stable")]),
+            switches: reg.counter(
+                "cd_campaign_switches_total",
+                "Variants whose monitor performed the Simplex switch.",
+                &[],
+            ),
+        }
+    }
+}
+
 /// A batch of scenario variants to execute.
 #[derive(Debug, Clone)]
 pub struct CampaignSpec {
     /// Campaign name (report heading, CSV file stem).
     pub name: String,
     variants: Vec<Variant>,
+    trace: bool,
+    metrics: Option<CampaignMetrics>,
 }
 
 impl CampaignSpec {
@@ -61,7 +101,32 @@ impl CampaignSpec {
         CampaignSpec {
             name: name.into(),
             variants: Vec::new(),
+            trace: false,
+            metrics: None,
         }
+    }
+
+    /// Enables per-variant structured tracing: each variant's vehicle
+    /// records into a pre-allocated ring (ordinal = variant index),
+    /// drained every 250 simulated ms, and the per-variant JSONL
+    /// fragments land in [`CampaignOutcome::trace`]. Because fragments
+    /// are keyed to variants (not threads), the concatenated stream from
+    /// [`CampaignReport::trace_bytes`] is byte-identical at any worker
+    /// count.
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Registers campaign-progress counters (variants started, verdicts,
+    /// switches) in `registry`; workers update them live as the grid
+    /// drains. Share the registry with [`cd_obs::server::serve`] to
+    /// scrape a campaign in flight.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = Some(CampaignMetrics::register(registry));
+        self
     }
 
     /// Adds one variant (chainable).
@@ -139,7 +204,12 @@ impl CampaignSpec {
     // elsewhere to keep sim code on the virtual clock).
     #[allow(clippy::disallowed_methods)]
     pub fn run_with_threads(self, threads: usize) -> CampaignReport {
-        let CampaignSpec { name, variants } = self;
+        let CampaignSpec {
+            name,
+            variants,
+            trace,
+            metrics,
+        } = self;
         let n = variants.len();
         let threads = threads.clamp(1, n.max(1));
         let started = Instant::now();
@@ -147,6 +217,7 @@ impl CampaignSpec {
         let mut slots: Vec<Mutex<Option<CampaignOutcome>>> = Vec::with_capacity(n);
         slots.resize_with(n, || Mutex::new(None));
         let cursor = AtomicUsize::new(0);
+        let metrics = metrics.as_ref();
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -155,7 +226,20 @@ impl CampaignSpec {
                     let Some(variant) = variants.get(i) else {
                         break;
                     };
-                    let outcome = run_variant(variant);
+                    if let Some(m) = metrics {
+                        m.started.inc();
+                    }
+                    let outcome = run_variant(variant, i, trace);
+                    if let Some(m) = metrics {
+                        match outcome.verdict() {
+                            "crash" => m.crash.inc(),
+                            "lost-ctl" => m.lost_ctl.inc(),
+                            _ => m.stable.inc(),
+                        }
+                        if outcome.result.switch_time.is_some() {
+                            m.switches.inc();
+                        }
+                    }
                     *slots[i].lock().expect("outcome slot") = Some(outcome);
                 });
             }
@@ -180,19 +264,47 @@ impl CampaignSpec {
 }
 
 #[allow(clippy::disallowed_methods)] // wall time is the measurement here
-fn run_variant(variant: &Variant) -> CampaignOutcome {
+fn run_variant(variant: &Variant, ord: usize, trace: bool) -> CampaignOutcome {
     let started = Instant::now();
     let config = variant.config.clone();
     let end = SimTime::ZERO + config.duration;
-    let result = Scenario::new(config).run();
+    let (result, trace) = if trace {
+        run_variant_traced(config, ord)
+    } else {
+        (Scenario::new(config).run(), Vec::new())
+    };
     let from = result.attack_onset.unwrap_or(SimTime::from_secs(2));
     CampaignOutcome {
         label: variant.label.clone(),
         seed: result.config.seed,
         max_deviation: result.max_deviation(from, end),
         run_time: started.elapsed(),
+        trace,
         result,
     }
+}
+
+/// [`Scenario::run`] with a trace ring attached (ordinal = variant
+/// index), advanced in 250 ms windows on the same leap executor and
+/// drained after each window — sim-time drain points, so the JSONL
+/// fragment is a pure function of the variant.
+fn run_variant_traced(config: ScenarioConfig, ord: usize) -> (ScenarioResult, Vec<u8>) {
+    let mut run = Scenario::new(config).start();
+    run.vehicle_mut().obs_port().attach(8192, ord as u32);
+    let (mut sink, buf) = TraceSink::in_memory();
+    let window = SimDuration::from_millis(250);
+    loop {
+        let before = run.now();
+        run.advance_to_leap(before + window);
+        run.vehicle_mut()
+            .obs_port()
+            .drain(|ev| sink.write_event(ev));
+        if run.now() == before {
+            break;
+        }
+    }
+    sink.flush();
+    (run.finish(), buf.take())
 }
 
 /// One variant's outcome: the headline numbers plus the full result for
@@ -208,6 +320,9 @@ pub struct CampaignOutcome {
     pub max_deviation: f64,
     /// Host wall-clock time this variant took.
     pub run_time: Duration,
+    /// This variant's JSONL trace fragment (empty unless the spec ran
+    /// with [`CampaignSpec::with_trace`]).
+    pub trace: Vec<u8>,
     /// The full scenario result.
     pub result: ScenarioResult,
 }
@@ -294,6 +409,17 @@ impl CampaignReport {
     /// Looks an outcome up by label.
     pub fn outcome(&self, label: &str) -> Option<&CampaignOutcome> {
         self.outcomes.iter().find(|o| o.label == label)
+    }
+
+    /// The campaign's full JSONL trace: per-variant fragments
+    /// concatenated in spec order — worker count and completion order
+    /// cancel out, so the stream is byte-identical at any thread count.
+    pub fn trace_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.outcomes.iter().map(|o| o.trace.len()).sum());
+        for o in &self.outcomes {
+            out.extend_from_slice(&o.trace);
+        }
+        out
     }
 }
 

@@ -47,6 +47,7 @@ pub const SIM_CRATE_DIRS: &[&str] = &[
     "membw",
     "container-rt",
     "autopilot",
+    "cd-obs",
 ];
 
 /// Rule identifiers, also the names the annotation grammar accepts.

@@ -1,0 +1,69 @@
+//! **cd-obs** — deterministic observability for the sim stack.
+//!
+//! The paper's whole argument rests on *observing* the system under
+//! attack — detection latency, switch timing, deadline misses — yet an
+//! end-of-run CSV is the only surface the repro had. This crate adds the
+//! two live surfaces the campaign-as-a-service direction needs, without
+//! giving up a byte of determinism:
+//!
+//! - [`metrics`] — a pre-registered metrics registry (counters, gauges,
+//!   fixed-bucket histograms with fixed label sets) updated through
+//!   lock-free [`std::sync::atomic::AtomicU64`] handles, rendered in
+//!   Prometheus text exposition format or as a JSON snapshot. Metrics
+//!   are a *racy* read surface by design: scraping mid-run observes
+//!   whatever the worker threads have published so far, and nothing in
+//!   the simulation ever reads a metric back.
+//! - [`trace`] — fixed-capacity, pre-allocated ring buffers of
+//!   sim-time-stamped [`trace::TraceEvent`]s (attack arm/cease, Simplex
+//!   switch, crash, deadline skip, leap spans with stop reasons, GCS and
+//!   swarm per-window deltas, shard rebalances), drained to JSONL on the
+//!   coordinating thread in vehicle-index order — the PR 4/5 merge
+//!   discipline — so the stream is byte-identical at any thread count.
+//! - [`server`] — a tiny blocking TCP exposition server for live
+//!   Prometheus scrapes during fleet runs. The scrape timestamp it
+//!   reports is the **only** wall-clock read in the sim stack (behind a
+//!   `cd-lint` allow); everything else carries sim time.
+//!
+//! The hot-path contract: an unattached [`trace::ObsPort`] is one
+//! `Option` discriminant test ([`emit!`] is branch-on-a-bool), and a
+//! fleet with no registry attached touches no atomics — the zero-alloc
+//! and perf gates hold with observability compiled in.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod server;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use server::ObsServer;
+pub use trace::{ObsPort, TraceEvent, TraceKind, TraceMask, TraceSink};
+
+/// Records a trace event iff `$port` has a buffer attached.
+///
+/// The macro exists so call sites stay compile-cheap: when the port is
+/// detached (the default — every run without `--trace`), the expansion
+/// is a single branch on the port's `Option` discriminant and the event
+/// payload expressions are never evaluated.
+///
+/// ```
+/// use cd_obs::{emit, ObsPort, TraceKind};
+/// use sim_core::time::SimTime;
+///
+/// let mut port = ObsPort::detached();
+/// // Detached: one branch, the payload is not evaluated.
+/// emit!(port, SimTime::ZERO, TraceKind::Crash, "ground", 0, 0);
+///
+/// port.attach(16, 3);
+/// emit!(port, SimTime::from_millis(100), TraceKind::Crash, "ground", 1, 0);
+/// assert_eq!(port.len(), 1);
+/// ```
+#[macro_export]
+macro_rules! emit {
+    ($port:expr, $t:expr, $kind:expr, $label:expr, $a:expr, $b:expr) => {
+        if $port.enabled() {
+            $port.record($t, $kind, $label, $a, $b);
+        }
+    };
+}

@@ -1,0 +1,544 @@
+//! The metrics registry: pre-registered families with fixed label sets,
+//! lock-free atomic updates, Prometheus text and JSON exposition.
+//!
+//! Registration (naming a family, attaching a labeled child) takes the
+//! registry mutex and happens once, before the run. The handles a
+//! registration returns — [`Counter`], [`Gauge`], [`Histogram`] — are
+//! `Arc`-shared atomics: updating one from a worker thread is a relaxed
+//! atomic op, no lock, no allocation. Exposition walks the registry
+//! under the mutex and reads every atomic once; a mid-run scrape
+//! observes a racy-but-valid snapshot, which is exactly what a metrics
+//! surface is for. Nothing in the simulation ever reads a metric back,
+//! so none of this can leak into a report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Publishes a cumulative total computed elsewhere (the fleet's
+    /// per-batch sums over per-vehicle counters). The caller owns
+    /// monotonicity.
+    pub fn store(&self, total: u64) {
+        self.0.store(total, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// The shared atomic behind this counter, for wiring an external
+    /// writer (e.g. a network stack's own packet counters) directly to a
+    /// registered series: every increment the writer makes is visible to
+    /// the next scrape with no publication pass in between.
+    pub fn shared(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.0)
+    }
+}
+
+/// A point-in-time value (f64, stored as bits in one atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Publishes a new value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Upper bounds of the finite buckets (ascending); the `+Inf` bucket
+    /// is implicit.
+    bounds: Vec<f64>,
+    /// Per-bound counts (NOT cumulative; exposition accumulates).
+    buckets: Vec<AtomicU64>,
+    /// Count beyond the last finite bound.
+    overflow: AtomicU64,
+    count: AtomicU64,
+    /// Sum of observations, f64 bits, CAS loop.
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket distribution. Buckets are chosen at registration; an
+/// observation is two relaxed increments plus one CAS loop for the sum.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let core = &self.0;
+        match core.bounds.iter().position(|&b| v <= b) {
+            Some(i) => core.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => core.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        core.count.fetch_add(1, Ordering::Relaxed);
+        let mut old = core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(old) + v).to_bits();
+            match core.sum_bits.compare_exchange_weak(
+                old,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(cur) => old = cur,
+            }
+        }
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations so far.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn key(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum MetricValue {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Child {
+    labels: Vec<(String, String)>,
+    value: MetricValue,
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    children: Vec<Child>,
+}
+
+/// The metric families, in registration order. Shared as
+/// `Arc<Registry>` between the simulation (writers) and the exposition
+/// server (reader).
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> MetricValue,
+    ) -> MetricValue {
+        let mut families = self.families.lock().expect("metrics registry poisoned");
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert_eq!(
+                    f.kind, kind,
+                    "metric `{name}` re-registered with a different type"
+                );
+                f
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    children: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        if let Some(existing) = family.children.iter().find(|c| c.labels == labels) {
+            return clone_value(&existing.value);
+        }
+        let value = make();
+        family.children.push(Child {
+            labels,
+            value: clone_value(&value),
+        });
+        value
+    }
+
+    /// Registers (or re-fetches) a counter with a fixed label set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different type.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, labels, MetricKind::Counter, || {
+            MetricValue::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            MetricValue::Counter(c) => c,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Registers (or re-fetches) a gauge with a fixed label set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different type.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, labels, MetricKind::Gauge, || {
+            MetricValue::Gauge(Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits()))))
+        }) {
+            MetricValue::Gauge(g) => g,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Registers (or re-fetches) a histogram with fixed buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different type, or if
+    /// `bounds` is empty or not strictly ascending.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram `{name}` needs buckets");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram `{name}` buckets must ascend"
+        );
+        match self.register(name, help, labels, MetricKind::Histogram, || {
+            MetricValue::Histogram(Histogram(Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                buckets: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+                overflow: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            })))
+        }) {
+            MetricValue::Histogram(h) => h,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Renders every family in Prometheus text exposition format
+    /// (version 0.0.4): `# HELP`/`# TYPE` once per family, one sample
+    /// line per child, histogram children expanded into cumulative
+    /// `_bucket`/`_sum`/`_count` series.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let families = self.families.lock().expect("metrics registry poisoned");
+        for f in families.iter() {
+            push_line(&mut out, &["# HELP ", &f.name, " ", &f.help]);
+            push_line(&mut out, &["# TYPE ", &f.name, " ", f.kind.key()]);
+            for child in &f.children {
+                match &child.value {
+                    MetricValue::Counter(c) => {
+                        sample(
+                            &mut out,
+                            &f.name,
+                            "",
+                            &child.labels,
+                            None,
+                            &c.get().to_string(),
+                        );
+                    }
+                    MetricValue::Gauge(g) => {
+                        sample(
+                            &mut out,
+                            &f.name,
+                            "",
+                            &child.labels,
+                            None,
+                            &fmt_f64(g.get()),
+                        );
+                    }
+                    MetricValue::Histogram(h) => {
+                        let core = &h.0;
+                        let mut cum = 0u64;
+                        for (bound, count) in core.bounds.iter().zip(&core.buckets) {
+                            cum += count.load(Ordering::Relaxed);
+                            sample(
+                                &mut out,
+                                &f.name,
+                                "_bucket",
+                                &child.labels,
+                                Some(&fmt_f64(*bound)),
+                                &cum.to_string(),
+                            );
+                        }
+                        cum += core.overflow.load(Ordering::Relaxed);
+                        sample(
+                            &mut out,
+                            &f.name,
+                            "_bucket",
+                            &child.labels,
+                            Some("+Inf"),
+                            &cum.to_string(),
+                        );
+                        sample(
+                            &mut out,
+                            &f.name,
+                            "_sum",
+                            &child.labels,
+                            None,
+                            &fmt_f64(h.sum()),
+                        );
+                        sample(
+                            &mut out,
+                            &f.name,
+                            "_count",
+                            &child.labels,
+                            None,
+                            &h.count().to_string(),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a JSON snapshot: one object per family with its type and
+    /// labeled children. The machine-readable sibling of
+    /// [`Registry::render_prometheus`] for JSONL result streams.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        let families = self.families.lock().expect("metrics registry poisoned");
+        for (fi, f) in families.iter().enumerate() {
+            if fi > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"type\":\"{}\",\"series\":[",
+                f.name,
+                f.kind.key()
+            );
+            for (ci, child) in f.children.iter().enumerate() {
+                if ci > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"labels\":{");
+                for (li, (k, v)) in child.labels.iter().enumerate() {
+                    if li > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":\"{}\"", escape(k), escape(v));
+                }
+                out.push_str("},");
+                match &child.value {
+                    MetricValue::Counter(c) => {
+                        let _ = write!(out, "\"value\":{}", c.get());
+                    }
+                    MetricValue::Gauge(g) => {
+                        let _ = write!(out, "\"value\":{}", fmt_f64(g.get()));
+                    }
+                    MetricValue::Histogram(h) => {
+                        let _ = write!(out, "\"count\":{},\"sum\":{}", h.count(), fmt_f64(h.sum()));
+                    }
+                }
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn clone_value(v: &MetricValue) -> MetricValue {
+    match v {
+        MetricValue::Counter(c) => MetricValue::Counter(c.clone()),
+        MetricValue::Gauge(g) => MetricValue::Gauge(g.clone()),
+        MetricValue::Histogram(h) => MetricValue::Histogram(h.clone()),
+    }
+}
+
+fn push_line(out: &mut String, parts: &[&str]) {
+    for p in parts {
+        out.push_str(p);
+    }
+    out.push('\n');
+}
+
+/// One exposition sample line: `name[suffix]{labels,le} value`.
+fn sample(
+    out: &mut String,
+    name: &str,
+    suffix: &str,
+    labels: &[(String, String)],
+    le: Option<&str>,
+    value: &str,
+) {
+    out.push_str(name);
+    out.push_str(suffix);
+    if !labels.is_empty() || le.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape(v));
+            out.push('"');
+        }
+        if let Some(le) = le {
+            if !first {
+                out.push(',');
+            }
+            out.push_str("le=\"");
+            out.push_str(le);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Label-value escaping per the text exposition format.
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// f64 formatting for exposition: integral values print without the
+/// trailing `.0` mismatch risk because Rust's shortest-repr `{}` is
+/// stable and locale-free.
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_in_exposition_format() {
+        let reg = Registry::new();
+        let hits = reg.counter("cd_test_hits_total", "Test hits.", &[]);
+        let depth = reg.gauge("cd_test_depth", "Test depth.", &[("vehicle", "3")]);
+        hits.add(41);
+        hits.inc();
+        depth.set(2.5);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# HELP cd_test_hits_total Test hits.\n"));
+        assert!(text.contains("# TYPE cd_test_hits_total counter\n"));
+        assert!(text.contains("\ncd_test_hits_total 42\n"));
+        assert!(text.contains("# TYPE cd_test_depth gauge\n"));
+        assert!(text.contains("cd_test_depth{vehicle=\"3\"} 2.5\n"));
+    }
+
+    #[test]
+    fn reregistration_returns_the_same_series() {
+        let reg = Registry::new();
+        let a = reg.counter("cd_test_total", "One series.", &[("k", "v")]);
+        let b = reg.counter("cd_test_total", "One series.", &[("k", "v")]);
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+        // Exactly one sample line for the pair.
+        let text = reg.render_prometheus();
+        assert_eq!(text.matches("cd_test_total{").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_conflicts_panic_at_registration() {
+        let reg = Registry::new();
+        let _ = reg.counter("cd_test_conflict", "As a counter.", &[]);
+        let _ = reg.gauge("cd_test_conflict", "As a gauge.", &[]);
+    }
+
+    #[test]
+    fn histograms_expose_cumulative_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("cd_test_span", "Span sizes.", &[], &[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 5.0, 50.0, 5000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 5060.5).abs() < 1e-9);
+        let text = reg.render_prometheus();
+        assert!(text.contains("cd_test_span_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("cd_test_span_bucket{le=\"10\"} 3\n"));
+        assert!(text.contains("cd_test_span_bucket{le=\"100\"} 4\n"));
+        assert!(text.contains("cd_test_span_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("cd_test_span_count 5\n"));
+    }
+
+    #[test]
+    fn json_snapshot_mirrors_the_registry() {
+        let reg = Registry::new();
+        reg.counter("cd_test_a_total", "A.", &[("vehicle", "0")])
+            .add(9);
+        reg.gauge("cd_test_b", "B.", &[]).set(1.25);
+        let json = reg.render_json();
+        assert!(json.contains("\"cd_test_a_total\":{\"type\":\"counter\""));
+        assert!(json.contains("\"labels\":{\"vehicle\":\"0\"},\"value\":9"));
+        assert!(json.contains(
+            "\"cd_test_b\":{\"type\":\"gauge\",\"series\":[{\"labels\":{},\"value\":1.25}]}"
+        ));
+    }
+}

@@ -1,0 +1,198 @@
+//! A tiny blocking TCP exposition server for live Prometheus scrapes.
+//!
+//! One `std::net::TcpListener` on one background thread, serving:
+//!
+//! - `GET /metrics` — Prometheus text exposition format
+//!   ([`Registry::render_prometheus`]), plus one `cd_obs_scrape_unix_seconds`
+//!   gauge stamped from the host clock at scrape time;
+//! - `GET /metrics.json` — the JSON snapshot ([`Registry::render_json`]).
+//!
+//! The scrape timestamp is the **only** wall-clock read in the sim
+//! stack. It exists because a Prometheus series without any wall anchor
+//! is hard to correlate with the scraper's own clock, and it is safe
+//! because the exposition path is strictly read-only: nothing the
+//! server computes ever flows back into simulation state, so the
+//! nondeterminism stays on the wire.
+//!
+//! Shutdown is cooperative: [`ObsServer::shutdown`] raises a flag and
+//! pokes the listener with a self-connection so the blocking `accept`
+//! wakes up and the thread exits.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::Registry;
+
+/// A running exposition server. Dropping it (or calling
+/// [`ObsServer::shutdown`]) stops the background thread.
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9464`; port 0 picks a free port) and
+/// serves `registry` until shutdown.
+pub fn serve(registry: Arc<Registry>, addr: &str) -> std::io::Result<ObsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("cd-obs-exposition".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if thread_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // A stalled scraper must not wedge the server.
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                let _ = handle_scrape(stream, &registry);
+            }
+        })?;
+    Ok(ObsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+impl ObsServer {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept; the flag makes the thread exit.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Serves one scrape: reads the request head, routes on the path,
+/// writes an HTTP/1.0 response (connection close, no keep-alive — a
+/// scrape per connection keeps the loop trivially robust).
+fn handle_scrape(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    let mut head = [0u8; 1024];
+    let n = stream.read(&mut head)?;
+    let request = String::from_utf8_lossy(&head[..n]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+
+    let (status, content_type, body) = match path {
+        "/metrics" | "/" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            with_scrape_stamp(registry.render_prometheus()),
+        ),
+        "/metrics.json" => ("200 OK", "application/json", registry.render_json()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Appends the scrape-time wall-clock gauge to a rendered exposition.
+#[allow(clippy::disallowed_methods)] // mirror of the cd-lint allow below
+fn with_scrape_stamp(mut body: String) -> String {
+    use std::fmt::Write as _;
+    // cd-lint: allow(wall_clock) -- scrape-timestamp gauge on the read-only exposition path; never feeds simulation state
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    body.push_str(
+        "# HELP cd_obs_scrape_unix_seconds Wall-clock time of this scrape (the sim stack's only wall-clock read).\n",
+    );
+    body.push_str("# TYPE cd_obs_scrape_unix_seconds gauge\n");
+    let _ = writeln!(body, "cd_obs_scrape_unix_seconds {unix}");
+    body
+}
+
+/// Client-side helper: performs one `GET` against a served path and
+/// returns the response body. Used by the observability example and the
+/// mid-run scrape tests; plain `curl` works identically from outside.
+pub fn scrape(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    // One write: the server answers after its first read, so a request
+    // trickled out over several small writes can race the response.
+    stream.write_all(format!("GET {path} HTTP/1.0\r\nHost: cd-obs\r\n\r\n").as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed HTTP response",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_text_and_json_and_shuts_down() {
+        let registry = Arc::new(Registry::new());
+        let hits = registry.counter("cd_test_scrapes_total", "Scrapes.", &[]);
+        hits.add(5);
+        let server = serve(Arc::clone(&registry), "127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+
+        let text = scrape(addr, "/metrics").expect("text scrape");
+        assert!(text.contains("# TYPE cd_test_scrapes_total counter\n"));
+        assert!(text.contains("cd_test_scrapes_total 5\n"));
+        assert!(text.contains("# TYPE cd_obs_scrape_unix_seconds gauge\n"));
+
+        // Updates land without re-registration: same atomic.
+        hits.add(2);
+        let text = scrape(addr, "/metrics").expect("second scrape");
+        assert!(text.contains("cd_test_scrapes_total 7\n"));
+
+        let json = scrape(addr, "/metrics.json").expect("json scrape");
+        assert!(json.contains("\"cd_test_scrapes_total\":{\"type\":\"counter\""));
+
+        let missing = scrape(addr, "/nope").expect("404 scrape");
+        assert_eq!(missing, "not found\n");
+
+        server.shutdown();
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+    }
+}

@@ -312,6 +312,8 @@ impl Runtime {
             steps: 0,
             quanta_leaped: 0,
             frame_scratch: Vec::new(),
+            obs: cd_obs::ObsPort::detached(),
+            simplex_switches: 0,
         }
     }
 }

@@ -36,6 +36,14 @@ impl Runtime {
         self.attack_log.push((now, event.name()));
         if *event == AttackEvent::CeaseFire {
             self.recorder.mark(now, "attack stop: cease-fire");
+            cd_obs::emit!(
+                self.obs,
+                now,
+                cd_obs::TraceKind::AttackCease,
+                event.name(),
+                self.armed.len() as u64,
+                0
+            );
             for driver in &mut self.armed {
                 driver.halt(&mut self.machine);
             }
@@ -44,6 +52,14 @@ impl Runtime {
 
         self.recorder
             .mark(now, format!("attack start: {}", event.name()));
+        cd_obs::emit!(
+            self.obs,
+            now,
+            cd_obs::TraceKind::AttackArm,
+            event.name(),
+            self.script_cursor as u64,
+            0
+        );
         let controller_tasks = self.ids.controller_tasks();
         let src_port = self.next_src_port;
         self.next_src_port += 1;

@@ -127,6 +127,15 @@ impl Runtime {
             self.safety_fc.reset_transients();
             self.recorder
                 .mark(now, "simplex switch to safety controller");
+            self.simplex_switches += 1;
+            cd_obs::emit!(
+                self.obs,
+                now,
+                cd_obs::TraceKind::SimplexSwitch,
+                "to_safety",
+                self.simplex_switches,
+                0
+            );
         }
     }
 

@@ -43,6 +43,7 @@ pub mod report;
 use attacks::driver::AttackDriver;
 use attacks::script::ScriptEntry;
 use autopilot::controller::FlightController;
+use cd_obs::{emit, ObsPort, TraceKind};
 use container_rt::container::Container;
 use mavlink_lite::frame::{Frame, Sender};
 use mavlink_lite::parser::Parser;
@@ -197,6 +198,18 @@ impl RunningScenario {
     pub fn finish(self) -> ScenarioResult {
         self.vehicle.finish(&self.net)
     }
+
+    /// The vehicle instance — the inspection surface for executor
+    /// counters and trace-port attachment on a single-vehicle run.
+    pub fn vehicle(&self) -> &VehicleInstance {
+        &self.vehicle
+    }
+
+    /// Mutable access to the vehicle instance (attach/drain its
+    /// [`ObsPort`] between stepping windows).
+    pub fn vehicle_mut(&mut self) -> &mut VehicleInstance {
+        &mut self.vehicle
+    }
 }
 
 /// One vehicle's complete simulation state — everything *except* the
@@ -300,6 +313,7 @@ impl VehicleInstance {
         let now = self.rt.machine.now();
         self.rt.world.advance_to(now);
 
+        self.rt.trace_skips(&self.events, now);
         for i in 0..self.events.len() {
             if let SchedEvent::JobCompleted { task, .. } = self.events[i] {
                 self.rt.dispatch(task, now, net);
@@ -337,6 +351,14 @@ impl VehicleInstance {
                 self.rt
                     .recorder
                     .mark(crash.time, format!("crash: {}", crash.kind));
+                emit!(
+                    self.rt.obs,
+                    crash.time,
+                    TraceKind::Crash,
+                    crash_label(crash.kind),
+                    0,
+                    0
+                );
                 self.crash_marked = true;
                 // Anchored to the crash's own (substep-exact) time rather
                 // than the detecting quantum so the post-crash window is
@@ -443,6 +465,8 @@ impl VehicleInstance {
         let now = self.rt.machine.now();
 
         self.events.clear();
+        let span_steps = self.rt.steps;
+        let span_leaped = self.rt.quanta_leaped;
         if self.rt.armed.iter().any(|d| d.quantum_active()) {
             // Live emitters (floods, spoofers) have per-quantum work that
             // cannot be leaped over: one plain quantum.
@@ -482,11 +506,29 @@ impl VehicleInstance {
         }
 
         let now = self.rt.machine.now();
+        if self.rt.obs.enabled() {
+            let leaped = self.rt.quanta_leaped - span_leaped;
+            if leaped > 0 {
+                // Label = why the span could go no further (the machine's
+                // stop reason, or a scheduling event that needs dispatch);
+                // a = quanta leaped, b = quanta stepped plainly.
+                let label = if self.events.is_empty() {
+                    self.rt.machine.obs().last_leap_stop
+                } else {
+                    "event"
+                };
+                let stepped = (self.rt.steps - span_steps) - leaped;
+                self.rt
+                    .obs
+                    .record(now, TraceKind::LeapSpan, label, leaped, stepped);
+            }
+        }
         let at_target = now >= hard_target;
         let defer = defer_physics && at_target && self.events.is_empty();
         if !defer {
             self.rt.world.advance_to(now);
         }
+        self.rt.trace_skips(&self.events, now);
         for i in 0..self.events.len() {
             if let SchedEvent::JobCompleted { task, .. } = self.events[i] {
                 self.rt.dispatch(task, now, net);
@@ -535,6 +577,68 @@ impl VehicleInstance {
     /// variant imposes on the caller.
     pub fn advance_span_deferred(&mut self, net: &mut Network, hard_target: SimTime) -> SpanEnd {
         self.span_once(net, hard_target, true)
+    }
+
+    /// The structured trace port. Detached by default; attach a ring
+    /// buffer ([`ObsPort::attach`]) to start capturing
+    /// [`cd_obs::TraceEvent`]s, then drain it between quanta (fleet
+    /// executors drain at poll boundaries in vehicle-index order).
+    pub fn obs_port(&mut self) -> &mut ObsPort {
+        &mut self.rt.obs
+    }
+
+    /// Executor observability counters of the underlying machine
+    /// (quanta, dispatch reuse, deadline skips, leap stop reasons).
+    pub fn sched_obs(&self) -> &rt_sched::machine::SchedObs {
+        self.rt.machine.obs()
+    }
+
+    /// Scheduler quanta executed so far (plain steps + leaped).
+    pub fn sim_steps(&self) -> u64 {
+        self.rt.steps
+    }
+
+    /// Quanta advanced in closed form by the time-leap executor.
+    pub fn quanta_leaped(&self) -> u64 {
+        self.rt.quanta_leaped
+    }
+
+    /// Simplex switches to the safety controller taken so far.
+    pub fn simplex_switches(&self) -> u64 {
+        self.rt.simplex_switches
+    }
+}
+
+/// Stable wire label for a crash kind (trace events carry `&'static str`
+/// labels; the human-facing [`std::fmt::Display`] strings stay in the
+/// flight recorder).
+fn crash_label(kind: uav_dynamics::crash::CrashKind) -> &'static str {
+    use uav_dynamics::crash::CrashKind;
+    match kind {
+        CrashKind::GroundImpact => "ground_impact",
+        CrashKind::CageImpact => "cage_impact",
+        CrashKind::LossOfControl => "loss_of_control",
+    }
+}
+
+impl Runtime {
+    /// Emits one [`TraceKind::DeadlineSkip`] per skipped release in
+    /// `events` (a = task ordinal, b = the skipped release instant, ns).
+    fn trace_skips(&mut self, events: &[SchedEvent], now: SimTime) {
+        if !self.obs.enabled() {
+            return;
+        }
+        for ev in events {
+            if let SchedEvent::ReleaseSkipped { task, release } = *ev {
+                self.obs.record(
+                    now,
+                    TraceKind::DeadlineSkip,
+                    "",
+                    task.index() as u64,
+                    release.as_nanos(),
+                );
+            }
+        }
     }
 }
 
@@ -612,4 +716,9 @@ pub(crate) struct Runtime {
     pub(crate) quanta_leaped: u64,
     /// Scratch for decoded frames, reused across every received datagram.
     pub(crate) frame_scratch: Vec<Frame>,
+    /// Structured trace port — detached (a single branch per potential
+    /// event) unless a fleet/scenario driver attaches a buffer.
+    pub(crate) obs: ObsPort,
+    /// Lifetime count of Simplex switches to the safety controller.
+    pub(crate) simplex_switches: u64,
 }

@@ -254,6 +254,14 @@ impl GroundStation {
         &self.views
     }
 
+    /// Live (mid-run) ingress-drop count on vehicle `i`'s telemetry port.
+    /// [`GroundStation::finish`] folds the final value into the views;
+    /// this reads the same socket counter while the run is still going —
+    /// the per-window trace deltas and live metrics are built from it.
+    pub fn dropped_so_far(&self, net: &Network, i: usize) -> u64 {
+        net.socket_stats(self.rx[i]).dropped_ratelimit
+    }
+
     /// Tears the GCS down into its final views, folding in the per-client
     /// rate-limit drop counters from the network.
     pub fn finish(mut self, net: &Network) -> Vec<GcsView> {

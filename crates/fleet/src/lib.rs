@@ -67,11 +67,14 @@
 pub mod airspace;
 pub mod attacker;
 pub mod gcs;
+pub mod obs;
 pub mod swarm;
 
 use std::time::{Duration, Instant};
 
 use attacks::fleet::FleetScript;
+use cd_obs::metrics::Registry;
+use cd_obs::trace::TraceSink;
 use containerdrone_core::config::SCHED_QUANTUM;
 use containerdrone_core::runner::{ScenarioResult, SpanEnd, VehicleInstance};
 use containerdrone_core::scenario::ScenarioConfig;
@@ -82,6 +85,7 @@ use virt_net::net::Network;
 pub use airspace::Airspace;
 pub use attacker::{AttackerConfig, AttackerNode};
 pub use gcs::{GcsConfig, GcsView, GroundStation, VehicleSnapshot};
+pub use obs::FleetObserver;
 pub use swarm::{SwarmConfig, SwarmLink, SwarmTopology, SwarmView};
 
 /// A fleet scenario: one per-vehicle base configuration replicated N
@@ -214,9 +218,9 @@ impl FleetConfig {
 /// One vehicle plus the private bridge network it flies against. The
 /// unit of sharding: a slot never touches anything outside itself while
 /// advancing, so disjoint slots advance on different threads freely.
-struct VehicleSlot {
-    net: Network,
-    vehicle: VehicleInstance,
+pub(crate) struct VehicleSlot {
+    pub(crate) net: Network,
+    pub(crate) vehicle: VehicleInstance,
 }
 
 /// Advances one vehicle quantum-by-quantum until it finishes or reaches
@@ -428,14 +432,16 @@ struct ShardPlan {
 /// land in vehicle-index order regardless of which thread wrote them —
 /// the partition decides *where* a vehicle computes, never *what*, so
 /// the report is partition- and thread-count-independent by
-/// construction.
+/// construction. Returns the shard assignment used, `None` on the
+/// serial path (which computes no bins — and must stay allocation-free
+/// for the zero-alloc gate).
 fn run_shards(
     slots: &mut [VehicleSlot],
     snapshots: &mut [VehicleSnapshot],
     costs: &mut [f64],
     scratch: &mut [ShardScratch],
     plan: ShardPlan,
-) {
+) -> Option<Vec<Vec<usize>>> {
     let ShardPlan {
         target,
         threads,
@@ -473,7 +479,7 @@ fn run_shards(
                 run_slot_timed(slot, target, snap, cost);
             }
         }
-        return;
+        return None;
     }
     let bins = assign_shards(costs, threads, partition);
     // Split the disjoint `&mut` cells out of the slices and deal them to
@@ -518,6 +524,7 @@ fn run_shards(
             });
         }
     });
+    Some(bins)
 }
 
 /// A fleet mid-flight: N vehicles on one quantum clock, each over its
@@ -543,6 +550,9 @@ pub struct Fleet {
     threads: usize,
     partition: Partition,
     leap: bool,
+    /// Trace sink + metric handles, all-`None` unless attached — one
+    /// branch per poll boundary when detached.
+    obs: obs::FleetObs,
 }
 
 impl Fleet {
@@ -626,7 +636,64 @@ impl Fleet {
             threads: config.threads.max(1),
             partition: config.partition,
             leap: config.leap,
+            obs: obs::FleetObs::default(),
         }
+    }
+
+    /// Attaches a structured trace: every vehicle gets a pre-allocated
+    /// event ring (this is the trace path's only allocation), and the
+    /// coordinating thread drains all rings into `sink` at each poll
+    /// boundary, in vehicle-index order. Under the sink's default
+    /// [`cd_obs::TraceMask`] the JSONL stream is byte-identical at any
+    /// thread count and partition; `TraceMask::ALL` adds the
+    /// thread-count-dependent shard-rebalance events.
+    pub fn attach_trace(&mut self, sink: TraceSink) {
+        // A poll window is ~2000 quanta; 4096 events per vehicle rides
+        // out a skip storm without wrapping (wrap drops oldest + counts).
+        const RING_CAPACITY: usize = 4096;
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            slot.vehicle.obs_port().attach(RING_CAPACITY, i as u32);
+        }
+        self.obs.ensure_ledgers(self.slots.len());
+        self.obs.sink = Some(sink);
+    }
+
+    /// Registers the fleet's metric families in `registry` and wires the
+    /// per-packet network counters of every bridge and the airspace to
+    /// registered series. Totals and gauges are (re)published at every
+    /// poll boundary; the network counters update live. Share the
+    /// registry with [`cd_obs::server::serve`] to scrape a run in flight.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.obs.metrics = Some(obs::FleetMetrics::register(
+            registry,
+            self.slots.len(),
+            self.threads,
+        ));
+        self.obs.ensure_ledgers(self.slots.len());
+        let help = "Datagrams offered to the virtual networks, by admission result.";
+        let counters = virt_net::net::NetCounters {
+            admitted: registry
+                .counter("cd_net_datagrams_total", help, &[("result", "admitted")])
+                .shared(),
+            dropped_ratelimit: registry
+                .counter(
+                    "cd_net_datagrams_total",
+                    help,
+                    &[("result", "dropped_ratelimit")],
+                )
+                .shared(),
+            dropped_overflow: registry
+                .counter(
+                    "cd_net_datagrams_total",
+                    help,
+                    &[("result", "dropped_overflow")],
+                )
+                .shared(),
+        };
+        for slot in &mut self.slots {
+            slot.net.set_counters(counters.clone());
+        }
+        self.airspace.net_mut().set_counters(counters);
     }
 
     /// Current fleet time (the common quantum clock).
@@ -717,6 +784,9 @@ impl Fleet {
             self.next_poll += self.poll_period;
         }
         self.settle_airspace();
+        if poll_due {
+            self.observe_boundary(None);
+        }
         true
     }
 
@@ -751,13 +821,23 @@ impl Fleet {
     /// lands only in [`FleetReport::wall_clock`], a diagnostic field the
     /// equivalence tests explicitly exclude from byte comparison — every
     /// simulated quantity in the report derives from the virtual clock.
+    pub fn run(self) -> FleetReport {
+        self.run_observed(&mut ())
+    }
+
+    /// [`Fleet::run`] with an observer in the loop: `on_batch` fires
+    /// after every completed poll-boundary batch (trace drained, metrics
+    /// republished), `on_finish` with the final report. The observer only
+    /// *reads* the fleet, so the run's bytes are unchanged by observation.
     #[allow(clippy::disallowed_methods)] // mirror of the cd-lint allow below
-    pub fn run(mut self) -> FleetReport {
+    pub fn run_observed(mut self, observer: &mut dyn FleetObserver) -> FleetReport {
         // cd-lint: allow(wall_clock) -- diagnostic wall_clock field only; excluded from report byte-comparison
         let started = Instant::now();
-        self.run_to_end();
+        self.run_to_end(observer);
+        self.obs.flush();
         let mut report = self.finish();
         report.wall_clock = started.elapsed();
+        observer.on_finish(&report);
         report
     }
 
@@ -780,9 +860,11 @@ impl Fleet {
     /// deterministic, and every thread count and partition runs this
     /// batch executor, so the byte-identical guarantee across executor
     /// configurations is unaffected.
-    fn run_to_end(&mut self) {
+    fn run_to_end(&mut self, observer: &mut dyn FleetObserver) {
         let threads = self.threads.clamp(1, self.slots.len());
-        while self.run_batch(threads) {}
+        while self.run_batch(threads) {
+            observer.on_batch(self);
+        }
     }
 
     /// Advances the fleet in whole poll-boundary batches on the
@@ -806,7 +888,7 @@ impl Fleet {
         while target < self.next_poll {
             target += SCHED_QUANTUM;
         }
-        run_shards(
+        let bins = run_shards(
             &mut self.slots,
             &mut self.snapshots,
             &mut self.costs,
@@ -836,9 +918,33 @@ impl Fleet {
             self.next_poll += self.poll_period;
         }
         self.settle_airspace();
+        // Observation runs on every batch end (including the final
+        // partial one, so trailing events drain): the batch sequence is
+        // thread-count-independent, so so is the trace stream.
+        self.observe_boundary(bins.as_deref());
         // `furthest < target` means the whole fleet finished before the
         // boundary.
         furthest >= target
+    }
+
+    /// The poll-boundary observation pass (no-op unless a trace sink or
+    /// metrics registry is attached): drains every vehicle's trace ring
+    /// in vehicle-index order, appends the fleet-scope per-window GCS and
+    /// swarm delta events, and republishes every metric family.
+    fn observe_boundary(&mut self, bins: Option<&[Vec<usize>]>) {
+        if !self.obs.active() {
+            return;
+        }
+        self.obs.boundary(
+            &mut self.slots,
+            self.airspace.net(),
+            &self.gcs,
+            self.swarm.as_ref(),
+            &self.attackers,
+            self.now,
+            bins,
+            &self.costs,
+        );
     }
 
     /// Tears the fleet down into a [`FleetReport`] at the current time

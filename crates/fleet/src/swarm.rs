@@ -272,6 +272,14 @@ impl SwarmLink {
         self.tracked[vehicle][slot]
     }
 
+    /// Live (mid-run) jam footprint on vehicle `i`'s swarm port: ingress
+    /// rate-limit drops plus receive-queue overflow, read off the same
+    /// socket counters [`SwarmLink::finish`] folds into the final views.
+    pub fn jam_dropped_so_far(&self, net: &Network, i: usize) -> u64 {
+        let stats = net.socket_stats(self.rx[i]);
+        stats.dropped_ratelimit + stats.dropped_overflow
+    }
+
     /// Tears the swarm fabric down into its final views, folding in the
     /// per-port drop counters (rate limit + overflow = jam footprint).
     pub fn finish(mut self, net: &Network) -> Vec<SwarmView> {

@@ -9,6 +9,13 @@
 //! downlink, pre-sized recorders, and the reused core assignment in
 //! every vehicle's scheduler. N = 1000 fleet sweeps are only affordable
 //! because this property holds.
+//!
+//! Observability (cd-obs) is compiled into every layer these windows
+//! measure, with all surfaces *detached*: trace ports are `None`
+//! branches, no metrics registry is attached, no network counters are
+//! wired. These gates therefore also pin that unobserved runs pay
+//! nothing — attaching a sink or registry is the explicit opt-in
+//! (`Fleet::attach_trace` pre-allocates the rings up front).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};

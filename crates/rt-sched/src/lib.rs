@@ -40,7 +40,7 @@ pub mod task;
 
 pub use analysis::{response_time_analysis, AnalysisReport, AnalyzedTask, TaskVerdict};
 pub use cgroup::{Cgroup, CgroupId};
-pub use machine::{CoreStats, Machine, MachineConfig, TaskStats};
+pub use machine::{CoreStats, Machine, MachineConfig, SchedObs, TaskStats};
 pub use task::{
     Activation, Cost, CpuSet, OverrunPolicy, SchedEvent, SchedPolicy, TaskId, TaskSpec,
 };

@@ -195,6 +195,42 @@ pub struct CoreStats {
     pub throttled: SimDuration,
 }
 
+/// Deterministic executor observability counters — plain integers fed
+/// only by simulation state (never by wall clock or thread identity),
+/// so they are identical across runs and safe to surface in traces and
+/// live metrics. Cheap enough to maintain unconditionally: a handful of
+/// integer increments per quantum/leap, no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedObs {
+    /// Quanta executed by [`Machine::step`].
+    pub stepped_quanta: u64,
+    /// Quanta advanced in closed form by [`Machine::leap_to`].
+    pub leaped_quanta: u64,
+    /// Full dispatch placements computed (`compute_assignment` runs).
+    pub dispatch_recomputes: u64,
+    /// Dispatches that reused the previous placement (epoch unchanged,
+    /// ≤ 1 runnable fair task).
+    pub dispatch_reuses: u64,
+    /// Periodic releases skipped under the overrun skip policy, summed
+    /// over all tasks — the live deadline-miss counter (the per-task
+    /// split stays in [`TaskStats::skips`]).
+    pub deadline_skips: u64,
+    /// [`Machine::leap_to`] returns that stopped at a pending release
+    /// boundary.
+    pub leap_stops_release: u64,
+    /// Returns that stopped short at an in-span bound (imminent
+    /// completion, RR slice expiry, MemGuard cap or replenish).
+    pub leap_stops_event: u64,
+    /// Returns where no span class applied from the current state.
+    pub leap_stops_declined: u64,
+    /// Returns that reached the requested target.
+    pub leap_stops_target: u64,
+    /// Stop reason of the most recent [`Machine::leap_to`] return:
+    /// `"release"`, `"event"`, `"declined"` or `"target"` (empty before
+    /// the first leap).
+    pub last_leap_stop: &'static str,
+}
+
 /// The simulated multicore machine.
 ///
 /// # Examples
@@ -254,6 +290,9 @@ pub struct Machine {
     /// Indices of periodic tasks, so the release scan touches nothing
     /// else. Kills are filtered by the `alive` flag at scan time.
     periodic_tasks: Vec<u32>,
+    /// Executor observability counters (quanta, dispatches, skips, leap
+    /// stop reasons). Deterministic: fed only by simulation state.
+    obs: SchedObs,
 }
 
 impl Machine {
@@ -287,8 +326,14 @@ impl Machine {
             fair_order: Vec::new(),
             next_release_hint: SimTime::MAX,
             periodic_tasks: Vec::new(),
+            obs: SchedObs::default(),
             config,
         }
+    }
+
+    /// Executor observability counters.
+    pub fn obs(&self) -> &SchedObs {
+        &self.obs
     }
 
     /// Current machine time.
@@ -469,6 +514,7 @@ impl Machine {
     /// Advances exactly one quantum, appending events to `events`.
     pub fn step(&mut self, events: &mut Vec<SchedEvent>) {
         let dt = self.config.quantum;
+        self.obs.stepped_quanta += 1;
         self.release_due_jobs(events);
 
         self.assign_cores();
@@ -677,10 +723,12 @@ impl Machine {
         let dt = self.config.quantum;
         let dt_ns = dt.as_nanos();
         let mut leaped = 0u64;
-        loop {
+        let leaped = loop {
             let span = target.saturating_since(self.now).as_nanos() / dt_ns;
             if span == 0 {
-                return leaped;
+                self.obs.leap_stops_target += 1;
+                self.obs.last_leap_stop = "target";
+                break leaped;
             }
             // Release bound: leapable quanta start strictly before the
             // next pending release (releases fire at quantum start).
@@ -690,7 +738,9 @@ impl Machine {
                 span.min(self.quanta_before(self.next_release_hint))
             };
             if k_rel == 0 {
-                return leaped;
+                self.obs.leap_stops_release += 1;
+                self.obs.last_leap_stop = "release";
+                break leaped;
             }
 
             if self.is_idle() {
@@ -698,20 +748,30 @@ impl Machine {
                 self.now += dt * k_rel;
                 leaped += k_rel;
                 if k_rel < span {
-                    return leaped; // stopped at the release boundary
+                    // Stopped at the release boundary.
+                    self.obs.leap_stops_release += 1;
+                    self.obs.last_leap_stop = "release";
+                    break leaped;
                 }
                 continue;
             }
 
             let k = self.leap_running_span(k_rel);
             if k == 0 {
-                return leaped;
+                self.obs.leap_stops_declined += 1;
+                self.obs.last_leap_stop = "declined";
+                break leaped;
             }
             leaped += k;
             if k < k_rel {
-                return leaped; // an in-span bound fired; caller steps it
+                // An in-span bound fired; caller steps it.
+                self.obs.leap_stops_event += 1;
+                self.obs.last_leap_stop = "event";
+                break leaped;
             }
-        }
+        };
+        self.obs.leaped_quanta += leaped;
+        leaped
     }
 
     /// One attempt at a stable running-span leap of at most `max_k` quanta
@@ -725,6 +785,7 @@ impl Machine {
             // the placement must be re-derived — the identical pure
             // function of the same inputs, so a declined leap leaves
             // exactly the state the next `step` would compute anyway.
+            self.obs.dispatch_recomputes += 1;
             self.compute_assignment();
             self.last_assign_epoch = Some(self.ready.epoch);
         }
@@ -1007,6 +1068,7 @@ impl Machine {
                 task.next_release = Some(release + period);
                 if !task.jobs.is_empty() && overrun == OverrunPolicy::SkipRelease {
                     task.stats.skips += 1;
+                    self.obs.deadline_skips += 1;
                     events.push(SchedEvent::ReleaseSkipped {
                         task: TaskId(idx as u32),
                         release,
@@ -1046,6 +1108,7 @@ impl Machine {
     /// recomputation on the vast majority of quanta.
     fn assign_cores(&mut self) {
         if self.last_assign_epoch == Some(self.ready.epoch) && self.ready.fair.len() <= 1 {
+            self.obs.dispatch_reuses += 1;
             // Debug builds re-derive the placement and compare, so every
             // test run cross-checks the reuse proof on every reused
             // quantum (via persistent scratch — the check itself must not
@@ -1064,6 +1127,7 @@ impl Machine {
             }
             return;
         }
+        self.obs.dispatch_recomputes += 1;
         self.compute_assignment();
         self.last_assign_epoch = Some(self.ready.epoch);
     }

@@ -33,12 +33,15 @@ pub mod filter;
 pub mod net;
 
 pub use filter::TokenBucket;
-pub use net::{Addr, Delivery, LinkConfig, NetError, Network, NsId, Packet, SocketId, SocketStats};
+pub use net::{
+    Addr, Delivery, LinkConfig, NetCounters, NetError, Network, NsId, Packet, SocketId, SocketStats,
+};
 
 /// Convenient glob import of the network types.
 pub mod prelude {
     pub use crate::filter::TokenBucket;
     pub use crate::net::{
-        Addr, Delivery, LinkConfig, NetError, Network, NsId, Packet, SocketId, SocketStats,
+        Addr, Delivery, LinkConfig, NetCounters, NetError, Network, NsId, Packet, SocketId,
+        SocketStats,
     };
 }

@@ -441,7 +441,33 @@ pub struct Network {
     /// Total datagrams offered via [`Network::send`] (including ones later
     /// dropped by queues or rate limits).
     total_sent: u64,
+    /// Optional shared live counters (see [`NetCounters`]); `None` — the
+    /// default — keeps the admission path free of atomic traffic.
+    counters: Option<NetCounters>,
     now: SimTime,
+}
+
+/// Shared live packet counters, incremented at the delivery admission
+/// sites. `Clone` shares the underlying atomics, so one set handed to
+/// every per-vehicle network (plus the airspace) aggregates fleet-wide
+/// traffic without any collection pass — a metrics scraper on another
+/// thread reads the same atomics. Purely observational: nothing in the
+/// network ever reads them back, and relaxed ordering suffices because
+/// each counter is an independent statistic.
+#[derive(Debug, Clone, Default)]
+pub struct NetCounters {
+    /// Datagrams admitted to a receive queue.
+    pub admitted: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    /// Datagrams dropped by an ingress rate limit.
+    pub dropped_ratelimit: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    /// Datagrams dropped by receive-queue overflow.
+    pub dropped_overflow: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl NetCounters {
+    fn bump(counter: &std::sync::atomic::AtomicU64) {
+        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
 }
 
 /// Errors from socket operations.
@@ -823,16 +849,25 @@ impl Network {
         if let Some(tb) = &mut s.rate_limit {
             if !tb.admit(now) {
                 s.stats.dropped_ratelimit += 1;
+                if let Some(c) = &self.counters {
+                    NetCounters::bump(&c.dropped_ratelimit);
+                }
                 self.recycle_buf(pkt.payload);
                 return;
             }
         }
         if s.rx.len() >= s.rx_capacity {
             s.stats.dropped_overflow += 1;
+            if let Some(c) = &self.counters {
+                NetCounters::bump(&c.dropped_overflow);
+            }
             self.recycle_buf(pkt.payload);
         } else {
             s.stats.delivered += 1;
             s.stats.bytes_delivered += pkt.payload.len() as u64;
+            if let Some(c) = &self.counters {
+                NetCounters::bump(&c.admitted);
+            }
             s.rx.push_back(pkt);
             if notify {
                 if self.delivered_counts[i as usize] == 0 {
@@ -926,6 +961,14 @@ impl Network {
         self.sockets
             .get(socket.0 as usize)
             .map_or(0, |s| s.rx.len())
+    }
+
+    /// Attaches shared live counters (see [`NetCounters`]). Clone one set
+    /// onto every network in a fleet to aggregate admissions and drops
+    /// across all of them; counters stay attached for the network's
+    /// lifetime.
+    pub fn set_counters(&mut self, counters: NetCounters) {
+        self.counters = Some(counters);
     }
 
     /// Statistics of a socket.
