@@ -161,6 +161,70 @@ fn measure_campaign(
     })
 }
 
+/// Sums every occurrence of an integer field like `"sim_steps":` in a
+/// merged JSONL stream.
+fn sum_jsonl_field(jsonl: &str, field: &str) -> u64 {
+    let key = format!("\"{field}\":");
+    let mut total = 0u64;
+    let mut rest = jsonl;
+    while let Some(at) = rest.find(&key) {
+        rest = &rest[at + key.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        total += rest[..end].trim().parse::<u64>().unwrap_or(0);
+    }
+    total
+}
+
+/// Orchestrator throughput rows: the same 16-variant grid as the
+/// campaign rows, but driven end-to-end through the multi-process
+/// pipeline — worker spawn, frame protocol, ledger appends, ordered
+/// merge. Spawns the sibling `cd-orch` binary next to this harness;
+/// returns `None` (caller prints a skip notice) when it is not built.
+fn measure_orch(
+    name: &str,
+    workers: usize,
+    duration: SimDuration,
+    repeat: usize,
+) -> Option<Measurement> {
+    let orch = std::env::current_exe().ok()?.with_file_name("cd-orch");
+    if !orch.exists() {
+        return None;
+    }
+    let dir = std::env::temp_dir().join(format!("cd-orch-perf-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok()?;
+    let spec_path = dir.join(format!("{name}.spec"));
+    let out = dir.join(format!("{name}.jsonl"));
+    let ledger = dir.join(format!("{name}.ledger"));
+    let spec = format!(
+        "name: {name}\nduration_ms: {}\nseeds: 1 2\nattacks: none kill\n\
+         protections: stock no-monitor no-iptables bare\n",
+        duration.as_millis()
+    );
+    std::fs::write(&spec_path, spec).ok()?;
+    Some(measure(name, repeat, || {
+        std::fs::remove_file(&ledger).ok();
+        let status = std::process::Command::new(&orch)
+            .arg("--spec")
+            .arg(&spec_path)
+            .arg("--workers")
+            .arg(workers.to_string())
+            .arg("--out")
+            .arg(&out)
+            .arg("--ledger")
+            .arg(&ledger)
+            .stderr(std::process::Stdio::null())
+            .status()
+            .expect("spawn cd-orch");
+        assert!(status.success(), "cd-orch exited with {status}");
+        let merged = std::fs::read_to_string(&out).expect("merged stream");
+        (
+            sum_jsonl_field(&merged, "sim_steps"),
+            sum_jsonl_field(&merged, "net_packets"),
+            0,
+        )
+    }))
+}
+
 /// Peak resident set size in kB from `/proc/self/status` (0 when
 /// unavailable — non-Linux hosts).
 fn peak_rss_kb() -> u64 {
@@ -267,6 +331,33 @@ fn main() {
             m.packets_per_sec()
         );
         measurements.push(m);
+    }
+    // Orchestrator rows: the campaign16 grid again, but through the
+    // whole cd-orch pipeline (process spawn, frame protocol, ledger
+    // sync, ordered merge). Compared against campaign16-serial /
+    // -parallel, the gap is the orchestration overhead itself.
+    for workers in [1usize, 4] {
+        match measure_orch(
+            &format!("orch-16-w{workers}"),
+            workers,
+            campaign_duration,
+            repeat,
+        ) {
+            Some(m) => {
+                println!(
+                    "  {:<22} {:>7.3}s wall  {:>9.0} steps/s  {:>9.0} pkts/s  (workers={workers})",
+                    m.name,
+                    m.wall_s,
+                    m.steps_per_sec(),
+                    m.packets_per_sec()
+                );
+                measurements.push(m);
+            }
+            None => println!(
+                "  orch-16-w{workers}            skipped — cd-orch binary not built \
+                 next to this harness (cargo build --release -p cd-orch)"
+            ),
+        }
     }
     // Fleet scaling rows: shared-airspace co-simulation under the mixed
     // attack timeline. Steps/sec here counts quanta summed over every
@@ -380,7 +471,7 @@ fn main() {
     // never clobber a committed prior-PR BENCH file.
     let out_file = out_path
         .clone()
-        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json").to_string());
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json").to_string());
 
     // --merge: keep the better of (this run, what the out file already
     // holds) per scenario. Each run repeats identical deterministic work,

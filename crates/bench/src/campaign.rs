@@ -284,6 +284,55 @@ fn run_variant(variant: &Variant, ord: usize, trace: bool) -> CampaignOutcome {
     }
 }
 
+/// Runs exactly one variant to completion — the unit of work the
+/// multi-process orchestrator (`cd-orch`) hands to a worker. Identical
+/// to what [`CampaignSpec::run`] executes per variant (minus tracing),
+/// so a worker-produced [`CampaignOutcome::jsonl_record`] is
+/// byte-for-byte what the in-process campaign produces for the same
+/// variant.
+pub fn run_one(variant: &Variant) -> CampaignOutcome {
+    run_variant(variant, 0, false)
+}
+
+/// [`run_one`] advanced in fixed sim-time windows, invoking `progress`
+/// after every window (and once at the end) with the current sim time.
+///
+/// The window loop runs on the same leap executor as
+/// [`containerdrone_core::runner::Scenario::run`] and the result is
+/// byte-identical to [`run_one`]'s — the equivalence is pinned by a
+/// test below. Workers use the callback to emit liveness heartbeats
+/// (and, under fault injection, to die or stall mid-run) without
+/// perturbing the deterministic outcome.
+#[allow(clippy::disallowed_methods)] // wall time is the measurement here
+pub fn run_one_windowed(
+    variant: &Variant,
+    window: SimDuration,
+    progress: &mut dyn FnMut(SimTime),
+) -> CampaignOutcome {
+    let started = Instant::now();
+    let config = variant.config.clone();
+    let end = SimTime::ZERO + config.duration;
+    let mut run = Scenario::new(config).start();
+    loop {
+        let before = run.now();
+        run.advance_to_leap(before + window);
+        if run.now() == before {
+            break;
+        }
+        progress(run.now());
+    }
+    let result = run.finish();
+    let from = result.attack_onset.unwrap_or(SimTime::from_secs(2));
+    CampaignOutcome {
+        label: variant.label.clone(),
+        seed: result.config.seed,
+        max_deviation: result.max_deviation(from, end),
+        run_time: started.elapsed(),
+        trace: Vec::new(),
+        result,
+    }
+}
+
 /// [`Scenario::run`] with a trace ring attached (ordinal = variant
 /// index), advanced in 250 ms windows on the same leap executor and
 /// drained after each window — sim-time drain points, so the JSONL
@@ -337,6 +386,32 @@ impl CampaignOutcome {
         } else {
             "stable"
         }
+    }
+
+    /// One newline-terminated JSON record for this outcome, built from
+    /// **deterministic fields only** — no wall-clock time, no host
+    /// state. Every field is a pure function of the variant, so the
+    /// record is byte-identical whether the variant ran in-process, in
+    /// a worker process, on the first attempt or the fifth retry. This
+    /// is the merged-result wire format of the `cd-orch` orchestrator
+    /// and the reference stream it is byte-diffed against.
+    pub fn jsonl_record(&self) -> String {
+        let switch = self
+            .result
+            .switch_time
+            .map(|t| format!("{:.3}", t.as_secs_f64()))
+            .unwrap_or_else(|| "null".into());
+        format!(
+            "{{\"variant\":\"{}\",\"seed\":{},\"outcome\":\"{}\",\"crashed\":{},\"switch_s\":{},\"max_deviation_m\":{:.4},\"sim_steps\":{},\"net_packets\":{}}}\n",
+            self.label,
+            self.seed,
+            self.verdict(),
+            self.result.crashed(),
+            switch,
+            self.max_deviation,
+            self.result.sim_steps,
+            self.result.net_packets_sent,
+        )
     }
 }
 
@@ -421,6 +496,18 @@ impl CampaignReport {
         }
         out
     }
+
+    /// The campaign's deterministic result stream: one
+    /// [`CampaignOutcome::jsonl_record`] per variant, concatenated in
+    /// spec order. This is the in-process reference the `cd-orch`
+    /// orchestrator's merged output is byte-diffed against.
+    pub fn jsonl_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for o in &self.outcomes {
+            out.extend_from_slice(o.jsonl_record().as_bytes());
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -469,6 +556,46 @@ mod tests {
             .run_with_threads(64);
         assert_eq!(report.threads, 1);
         assert_eq!(report.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn windowed_run_matches_one_shot_run_byte_for_byte() {
+        // `run_one_windowed` is the worker-process execution shape
+        // (heartbeat hooks between sim windows); its record must be
+        // byte-identical to the in-process campaign's.
+        let variant = Variant {
+            label: "windowed".into(),
+            config: short().with_seed(11),
+        };
+        let one_shot = run_one(&variant);
+        let mut windows = 0;
+        let windowed = run_one_windowed(&variant, SimDuration::from_millis(250), &mut |_| {
+            windows += 1;
+        });
+        assert!(windows >= 3, "progress fired per window (got {windows})");
+        assert_eq!(one_shot.jsonl_record(), windowed.jsonl_record());
+    }
+
+    #[test]
+    fn jsonl_bytes_concatenates_records_in_spec_order() {
+        let report = CampaignSpec::new("jsonl")
+            .variant("a", short())
+            .variant("b", short().with_seed(5))
+            .run_with_threads(2);
+        let bytes = report.jsonl_bytes();
+        let text = String::from_utf8(bytes.clone()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"variant\":\"a\",\"seed\":2019,"));
+        assert!(lines[1].starts_with("{\"variant\":\"b\",\"seed\":5,"));
+        assert!(lines[0].contains("\"switch_s\":null"));
+        // Per-variant records are what the stream concatenates.
+        let rejoined: Vec<u8> = report
+            .outcomes
+            .iter()
+            .flat_map(|o| o.jsonl_record().into_bytes())
+            .collect();
+        assert_eq!(bytes, rejoined);
     }
 
     #[test]

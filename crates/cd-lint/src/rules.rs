@@ -48,6 +48,7 @@ pub const SIM_CRATE_DIRS: &[&str] = &[
     "container-rt",
     "autopilot",
     "cd-obs",
+    "cd-orch",
 ];
 
 /// Rule identifiers, also the names the annotation grammar accepts.

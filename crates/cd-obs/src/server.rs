@@ -17,15 +17,32 @@
 //! Shutdown is cooperative: [`ObsServer::shutdown`] raises a flag and
 //! pokes the listener with a self-connection so the blocking `accept`
 //! wakes up and the thread exits.
+//!
+//! The accept loop never trusts a client: each connection is handed to
+//! its own bounded handler thread (a stalled scraper ties up one
+//! handler for its read timeout, not the accept loop), the request
+//! line is length-capped (`414` past [`MAX_REQUEST_LINE`]), anything
+//! that is not a well-formed `GET <path> …` line gets a `400` and a
+//! close, and connections past [`MAX_CONNECTIONS`] are shed with a
+//! `503` instead of queueing behind a slow-loris.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::metrics::Registry;
+
+/// Concurrent scrape connections served before new ones are shed with
+/// a `503`. Prometheus scrapes one at a time; dozens means a stuck or
+/// hostile scraper, and shedding keeps the accept loop responsive.
+pub const MAX_CONNECTIONS: usize = 32;
+
+/// Longest accepted request line, bytes. `GET /metrics.json HTTP/1.1`
+/// is ~30; anything near this bound is garbage.
+pub const MAX_REQUEST_LINE: usize = 1024;
 
 /// A running exposition server. Dropping it (or calling
 /// [`ObsServer::shutdown`]) stops the background thread.
@@ -46,15 +63,46 @@ pub fn serve(registry: Arc<Registry>, addr: &str) -> std::io::Result<ObsServer> 
     let handle = std::thread::Builder::new()
         .name("cd-obs-exposition".to_string())
         .spawn(move || {
+            let live = Arc::new(AtomicUsize::new(0));
             for stream in listener.incoming() {
                 if thread_stop.load(Ordering::Acquire) {
                     break;
                 }
-                let Ok(stream) = stream else { continue };
-                // A stalled scraper must not wedge the server.
+                let Ok(mut stream) = stream else { continue };
+                // A stalled scraper must not wedge its handler thread
+                // past the timeout, let alone the accept loop.
                 let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-                let _ = handle_scrape(stream, &registry);
+                if live.load(Ordering::Acquire) >= MAX_CONNECTIONS {
+                    let _ = respond(
+                        &mut stream,
+                        "503 Service Unavailable",
+                        "text/plain; charset=utf-8",
+                        "busy\n",
+                    );
+                    continue;
+                }
+                live.fetch_add(1, Ordering::AcqRel);
+                let conn_registry = Arc::clone(&registry);
+                let conn_live = Arc::clone(&live);
+                let spawned = std::thread::Builder::new()
+                    .name("cd-obs-scrape".to_string())
+                    .spawn(move || {
+                        // Errors here are a broken/hostile client;
+                        // the connection just closes. On success,
+                        // drain what the client sent past the request
+                        // line — closing with unread bytes queued
+                        // turns the close into a TCP reset that can
+                        // clobber the response in flight.
+                        let mut stream = stream;
+                        if handle_scrape(&mut stream, &conn_registry).is_ok() {
+                            drain_then_close(&mut stream);
+                        }
+                        conn_live.fetch_sub(1, Ordering::AcqRel);
+                    });
+                if spawned.is_err() {
+                    live.fetch_sub(1, Ordering::AcqRel);
+                }
             }
         })?;
     Ok(ObsServer {
@@ -92,18 +140,92 @@ impl Drop for ObsServer {
     }
 }
 
-/// Serves one scrape: reads the request head, routes on the path,
-/// writes an HTTP/1.0 response (connection close, no keep-alive — a
+/// How reading one request line ended.
+enum RequestLine {
+    /// A complete line arrived within the cap.
+    Line(String),
+    /// No line end within [`MAX_REQUEST_LINE`] bytes.
+    TooLong,
+    /// The client closed before finishing a line.
+    Closed,
+}
+
+/// Reads up to the first `\n`, hard-capped at [`MAX_REQUEST_LINE`]
+/// bytes. A stalled client hits the socket read timeout and surfaces
+/// as `Err`, which closes the connection.
+fn read_request_line(stream: &mut TcpStream) -> std::io::Result<RequestLine> {
+    let mut line = Vec::with_capacity(128);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte)? {
+            0 => return Ok(RequestLine::Closed),
+            _ => {
+                if byte[0] == b'\n' {
+                    return Ok(RequestLine::Line(
+                        String::from_utf8_lossy(&line).into_owned(),
+                    ));
+                }
+                if line.len() >= MAX_REQUEST_LINE {
+                    return Ok(RequestLine::TooLong);
+                }
+                line.push(byte[0]);
+            }
+        }
+    }
+}
+
+/// Writes one HTTP/1.0 response (connection close, no keep-alive — a
 /// scrape per connection keeps the loop trivially robust).
-fn handle_scrape(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
-    let mut head = [0u8; 1024];
-    let n = stream.read(&mut head)?;
-    let request = String::from_utf8_lossy(&head[..n]);
-    let path = request
-        .lines()
-        .next()
-        .and_then(|line| line.split_whitespace().nth(1))
-        .unwrap_or("/");
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Sends our FIN, then reads the connection dry (bounded by the
+/// socket read timeout and a byte cap) so the eventual close is a
+/// clean shutdown, not a reset racing the response.
+fn drain_then_close(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut scratch = [0u8; 1024];
+    for _ in 0..64 {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Serves one scrape: reads the bounded request line, routes on the
+/// path, answers. Anything malformed gets a `400` (or `414` when the
+/// line never ends) and a close — a hostile request must never unwind
+/// the server or hold its handler beyond the socket timeout.
+fn handle_scrape(stream: &mut TcpStream, registry: &Registry) -> std::io::Result<()> {
+    const TEXT: &str = "text/plain; charset=utf-8";
+    let line = match read_request_line(stream)? {
+        RequestLine::Line(line) => line,
+        RequestLine::TooLong => {
+            return respond(stream, "414 URI Too Long", TEXT, "request line too long\n")
+        }
+        RequestLine::Closed => return Ok(()),
+    };
+    let mut words = line.split_whitespace();
+    let (method, path) = match (words.next(), words.next()) {
+        (Some(method), Some(path)) => (method, path),
+        _ => return respond(stream, "400 Bad Request", TEXT, "malformed request line\n"),
+    };
+    if method != "GET" {
+        return respond(stream, "405 Method Not Allowed", TEXT, "GET only\n");
+    }
 
     let (status, content_type, body) = match path {
         "/metrics" | "/" => (
@@ -118,13 +240,7 @@ fn handle_scrape(mut stream: TcpStream, registry: &Registry) -> std::io::Result<
             "not found\n".to_string(),
         ),
     };
-    write!(
-        stream,
-        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    )?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    respond(stream, status, content_type, &body)
 }
 
 /// Appends the scrape-time wall-clock gauge to a rendered exposition.
@@ -194,5 +310,114 @@ mod tests {
 
         server.shutdown();
         assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+    }
+
+    /// Reads one raw response (status line included) off a request.
+    fn raw_request(addr: SocketAddr, request: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        stream.write_all(request).expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+    }
+
+    #[test]
+    #[allow(clippy::disallowed_methods)] // timing assertion on the serving path, not sim state
+    fn stalled_clients_do_not_block_concurrent_scrapes() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("cd_test_live_total", "Live.", &[]).inc();
+        let server = serve(Arc::clone(&registry), "127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+
+        // Park several connections that never send a byte, then
+        // scrape. Before per-connection handlers, each parked client
+        // pinned the accept loop for its whole read timeout.
+        let parked: Vec<TcpStream> = (0..4)
+            .map(|_| TcpStream::connect(addr).expect("park"))
+            .collect();
+        let started = std::time::Instant::now(); // cd-lint: allow(wall_clock) -- test latency assertion; no sim state
+        let text = scrape(addr, "/metrics").expect("scrape past stalled clients");
+        assert!(text.contains("cd_test_live_total 1\n"));
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "scrape queued behind stalled clients: {:?}",
+            started.elapsed()
+        );
+        drop(parked);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_line_gets_414() {
+        let registry = Arc::new(Registry::new());
+        let server = serve(Arc::clone(&registry), "127.0.0.1:0").expect("bind");
+        let mut request = vec![b'A'; MAX_REQUEST_LINE + 64];
+        request.extend_from_slice(b"\r\n\r\n");
+        let response = raw_request(server.addr(), &request);
+        assert!(response.starts_with("HTTP/1.0 414"), "{response}");
+        // And the server is still alive afterwards.
+        assert!(scrape(server.addr(), "/metrics").is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_400_not_a_panic() {
+        let registry = Arc::new(Registry::new());
+        let server = serve(Arc::clone(&registry), "127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        for garbage in [&b"\n"[..], b"GET\n", b"\x00\xFF\x80garbage\n"] {
+            let response = raw_request(addr, garbage);
+            assert!(response.starts_with("HTTP/1.0 400"), "{response:?}");
+        }
+        let response = raw_request(addr, b"POST /metrics HTTP/1.0\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.0 405"), "{response}");
+        assert!(scrape(addr, "/metrics").is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    #[allow(clippy::disallowed_methods)] // retry-loop deadline in a test, not sim state
+    fn connections_past_the_cap_are_shed_and_the_server_recovers() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("cd_test_cap_total", "Cap.", &[]).inc();
+        let server = serve(Arc::clone(&registry), "127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        // Saturate the cap with parked connections. Overflow accepts
+        // are shed immediately (503 or close) instead of queueing the
+        // accept loop behind the stalled herd…
+        let parked: Vec<TcpStream> = (0..MAX_CONNECTIONS + 8)
+            .map(|_| TcpStream::connect(addr).expect("park"))
+            .collect();
+        std::thread::sleep(Duration::from_millis(200)); // let accepts drain
+        let mut stream = TcpStream::connect(addr).expect("connect over cap");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+            .expect("write");
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response); // 503, 200, or reset — just not a hang
+        drop(stream);
+        // …and once the herd clears, scrapes work again.
+        drop(parked);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10); // cd-lint: allow(wall_clock) -- test retry deadline; no sim state
+        loop {
+            if let Ok(text) = scrape(addr, "/metrics") {
+                if text.contains("cd_test_cap_total 1\n") {
+                    break;
+                }
+            }
+            let now = std::time::Instant::now(); // cd-lint: allow(wall_clock) -- test retry deadline; no sim state
+            assert!(
+                now <= deadline,
+                "server did not recover after the herd cleared"
+            );
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        server.shutdown();
     }
 }

@@ -1,0 +1,192 @@
+//! Deterministic fault injection for worker processes.
+//!
+//! `--inject kill:0.3,stall:0.1,garbage:0.05` gives each `(run,
+//! attempt)` pair a chance to die mid-run (`process::abort`), hang
+//! forever (heartbeats stop, deadline fires), or corrupt its result
+//! frame's checksum. The draw is a pure hash of `(seed, run, attempt)`
+//! — no RNG state, no wall clock — so a retried attempt of the same
+//! run draws a *different* fault (the attempt counter moved) while the
+//! whole schedule replays identically across orchestrator restarts and
+//! `--resume`. That reproducibility is what lets CI assert the merged
+//! stream is byte-identical *with* faults injected.
+
+use std::fmt;
+
+/// Which fault a worker fires for one `(run, attempt)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Abort the process mid-run (simulates OOM-kill / hard crash).
+    Kill,
+    /// Stop making progress forever (simulates a livelock / D-state
+    /// hang); the parent's heartbeat deadline reaps it.
+    Stall,
+    /// Complete the run but corrupt the result frame's CRC byte
+    /// (simulates pipe damage / a buggy worker).
+    Garbage,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Kill => write!(f, "kill"),
+            Fault::Stall => write!(f, "stall"),
+            Fault::Garbage => write!(f, "garbage"),
+        }
+    }
+}
+
+/// Per-fault injection rates, each in `[0, 1]`, summing to at most 1.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct InjectConfig {
+    /// Probability a given attempt aborts mid-run.
+    pub kill: f64,
+    /// Probability a given attempt hangs forever.
+    pub stall: f64,
+    /// Probability a given attempt emits a corrupt result frame.
+    pub garbage: f64,
+}
+
+impl InjectConfig {
+    /// Parses `kill:0.3,stall:0.1,garbage:0.05` (any subset of keys,
+    /// any order). The empty string is the all-zero config.
+    pub fn parse(text: &str) -> Result<InjectConfig, String> {
+        let mut cfg = InjectConfig::default();
+        for part in text.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = part.split_once(':') else {
+                return Err(format!("--inject wants `fault:rate`, got `{part}`"));
+            };
+            let rate: f64 = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("--inject rate `{value}`: {e}"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("--inject rate {rate} outside [0, 1]"));
+            }
+            match key.trim() {
+                "kill" => cfg.kill = rate,
+                "stall" => cfg.stall = rate,
+                "garbage" => cfg.garbage = rate,
+                other => {
+                    return Err(format!(
+                        "unknown fault `{other}` (known: kill, stall, garbage)"
+                    ))
+                }
+            }
+        }
+        if cfg.kill + cfg.stall + cfg.garbage > 1.0 {
+            return Err("--inject rates must sum to at most 1".to_string());
+        }
+        Ok(cfg)
+    }
+
+    /// Renders back to the `--inject` argument form, for passing to
+    /// worker child processes.
+    pub fn render(&self) -> String {
+        format!(
+            "kill:{},stall:{},garbage:{}",
+            self.kill, self.stall, self.garbage
+        )
+    }
+
+    /// `true` when every rate is zero (no faults ever fire).
+    pub fn is_off(&self) -> bool {
+        self.kill == 0.0 && self.stall == 0.0 && self.garbage == 0.0
+    }
+
+    /// The fault (if any) this `(run, attempt)` draws under `seed`.
+    /// Pure: same inputs, same draw, in every process and across every
+    /// restart.
+    pub fn draw(&self, seed: u64, run: u32, attempt: u32) -> Option<Fault> {
+        if self.is_off() {
+            return None;
+        }
+        let x = splitmix64(
+            seed.wrapping_add(u64::from(run).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(u64::from(attempt).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)),
+        );
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.kill {
+            Some(Fault::Kill)
+        } else if u < self.kill + self.stall {
+            Some(Fault::Stall)
+        } else if u < self.kill + self.stall + self.garbage {
+            Some(Fault::Garbage)
+        } else {
+            None
+        }
+    }
+}
+
+/// SplitMix64 finalizer — a well-mixed 64-bit hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subsets_in_any_order_and_roundtrips() {
+        let cfg = InjectConfig::parse("stall:0.1,kill:0.3").expect("parse");
+        assert_eq!(cfg.kill, 0.3);
+        assert_eq!(cfg.stall, 0.1);
+        assert_eq!(cfg.garbage, 0.0);
+        let again = InjectConfig::parse(&cfg.render()).expect("reparse");
+        assert_eq!(cfg, again);
+        assert!(InjectConfig::parse("").expect("empty").is_off());
+    }
+
+    #[test]
+    fn rejects_bad_rates_and_names() {
+        assert!(InjectConfig::parse("kill:1.5").is_err());
+        assert!(InjectConfig::parse("kill:-0.1").is_err());
+        assert!(InjectConfig::parse("warp:0.5").is_err());
+        assert!(InjectConfig::parse("kill=0.5").is_err());
+        assert!(InjectConfig::parse("kill:0.6,stall:0.6").is_err());
+    }
+
+    #[test]
+    fn draws_are_pure_and_attempt_sensitive() {
+        let cfg = InjectConfig::parse("kill:0.5").expect("parse");
+        for run in 0..64u32 {
+            for attempt in 0..4u32 {
+                assert_eq!(
+                    cfg.draw(9, run, attempt),
+                    cfg.draw(9, run, attempt),
+                    "draw must be pure"
+                );
+            }
+        }
+        // Across many runs, some draw Kill and some draw nothing, and
+        // at 0.5 the retry of a killed attempt eventually clears.
+        let kills = (0..256u32).filter(|&r| cfg.draw(9, r, 0).is_some()).count();
+        assert!(kills > 64 && kills < 192, "rate far off: {kills}/256");
+        let cleared = (0..256u32)
+            .filter(|&r| (0..8).any(|a| cfg.draw(9, r, a).is_none()))
+            .count();
+        assert_eq!(cleared, 256, "every run must eventually clear at 0.5");
+    }
+
+    #[test]
+    fn cumulative_bands_cover_all_faults() {
+        let cfg = InjectConfig::parse("kill:0.33,stall:0.33,garbage:0.34").expect("parse");
+        let mut seen = [0usize; 3];
+        for run in 0..512u32 {
+            match cfg.draw(7, run, 0) {
+                Some(Fault::Kill) => seen[0] += 1,
+                Some(Fault::Stall) => seen[1] += 1,
+                Some(Fault::Garbage) => seen[2] += 1,
+                None => {}
+            }
+        }
+        assert!(seen.iter().all(|&n| n > 64), "bands unbalanced: {seen:?}");
+    }
+}

@@ -1,0 +1,533 @@
+//! The snapshot/resume ledger: an append-only, checksummed record of
+//! every settled run.
+//!
+//! Layout on disk:
+//!
+//! ```text
+//! header  : [b"CDLG"][version u32 LE][spec digest u64 LE][crc32 u32 LE]   20 bytes
+//! record* : [len u32 LE][crc32 u32 LE][run u32 LE][outcome u8][jsonl …]
+//! ```
+//!
+//! The header CRC covers its first 16 bytes; each record CRC covers
+//! the record body (`run + outcome + jsonl`, `len` bytes). Every
+//! append is `sync_data`'d, so after a SIGKILL the file is a clean
+//! prefix of appends plus at most one **torn** tail record — an
+//! expected artifact that `--resume` truncates (with a notice) before
+//! replaying. A record whose checksum fails *inside* the prefix is a
+//! different animal entirely: the ledger was damaged at rest, and
+//! resume refuses with a structured [`LedgerError::Corrupt`] naming
+//! the byte offset, rather than silently dropping work.
+//!
+//! Decoding is a `panic_paths` deny region — a ledger can be
+//! truncated or corrupted at any byte, and parsing must classify, not
+//! unwind. The fuzz tests feed truncations and bit flips at every
+//! byte boundary.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::wire::crc32;
+
+/// Ledger file magic.
+pub const LEDGER_MAGIC: &[u8; 4] = b"CDLG";
+
+/// Current ledger format version.
+pub const LEDGER_VERSION: u32 = 1;
+
+/// Header size on disk.
+pub const HEADER_LEN: usize = 20;
+
+/// Bound on one record body; a JSONL record is a few hundred bytes.
+pub const MAX_RECORD: usize = 1 << 20;
+
+/// Minimum record body length: run (4) + outcome (1).
+const MIN_RECORD: usize = 5;
+
+/// How one settled run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The run completed and its record is real.
+    Ok,
+    /// The run was quarantined; its record is synthesized.
+    Failed,
+}
+
+impl RunOutcome {
+    fn to_byte(self) -> u8 {
+        match self {
+            RunOutcome::Ok => 0,
+            RunOutcome::Failed => 1,
+        }
+    }
+
+    fn from_byte(byte: u8) -> Option<RunOutcome> {
+        match byte {
+            0 => Some(RunOutcome::Ok),
+            1 => Some(RunOutcome::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded ledger record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerRecord {
+    /// Byte offset of this record's length prefix in the file.
+    pub offset: u64,
+    /// The run index the record settles.
+    pub run: u32,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// The JSONL line (real or synthesized) for the merged stream.
+    pub jsonl: Vec<u8>,
+}
+
+/// How the byte stream ended after the intact record prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tail {
+    /// File ends exactly at a record boundary.
+    Clean,
+    /// File ends inside a record at `offset` — the expected artifact
+    /// of a kill mid-append. Resume truncates to `offset`.
+    Torn {
+        /// Byte offset where the torn record starts.
+        offset: u64,
+    },
+}
+
+/// Everything a ledger parse yields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerLoad {
+    /// Spec digest pinned in the header.
+    pub digest: u64,
+    /// The intact record prefix, in append order.
+    pub records: Vec<LedgerRecord>,
+    /// How the stream ended.
+    pub tail: Tail,
+}
+
+/// A ledger failure. `Corrupt` carries the byte offset of the first
+/// bad record so the operator can inspect the damage.
+#[derive(Debug)]
+pub enum LedgerError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// File too short to hold a header.
+    NoHeader,
+    /// Header magic is not `CDLG`.
+    BadMagic([u8; 4]),
+    /// Header names a version this build does not speak.
+    BadVersion(u32),
+    /// Header checksum mismatch — the header itself is damaged.
+    BadHeaderChecksum,
+    /// A record *inside* the intact prefix is damaged: checksum
+    /// mismatch, absurd length, or an unknown outcome byte.
+    Corrupt {
+        /// Byte offset of the first damaged record.
+        offset: u64,
+        /// What exactly is wrong with it.
+        reason: String,
+    },
+    /// Header digest does not match the spec being resumed.
+    DigestMismatch {
+        /// Digest the ledger header pinned.
+        ledger: u64,
+        /// Digest of the spec the orchestrator was given.
+        spec: u64,
+    },
+    /// A record names a run index outside the spec grid.
+    RunOutOfRange {
+        /// Byte offset of the offending record.
+        offset: u64,
+        /// The out-of-range run index.
+        run: u32,
+        /// The grid size it had to be under.
+        runs: usize,
+    },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::Io(e) => write!(f, "ledger i/o error: {e}"),
+            LedgerError::NoHeader => write!(f, "ledger too short to hold a header"),
+            LedgerError::BadMagic(m) => write!(f, "ledger magic {m:02X?} is not CDLG"),
+            LedgerError::BadVersion(v) => {
+                write!(f, "ledger version {v} (this build speaks {LEDGER_VERSION})")
+            }
+            LedgerError::BadHeaderChecksum => write!(f, "ledger header checksum mismatch"),
+            LedgerError::Corrupt { offset, reason } => {
+                write!(f, "ledger corrupt at byte offset {offset}: {reason}")
+            }
+            LedgerError::DigestMismatch { ledger, spec } => write!(
+                f,
+                "ledger was written for spec digest {ledger:016x}, not {spec:016x} — refusing to resume a different campaign"
+            ),
+            LedgerError::RunOutOfRange { offset, run, runs } => write!(
+                f,
+                "ledger record at offset {offset} names run {run}, but the spec has only {runs} runs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+impl From<std::io::Error> for LedgerError {
+    fn from(e: std::io::Error) -> Self {
+        LedgerError::Io(e)
+    }
+}
+
+// Ledger bytes come off disk after arbitrary kill/corruption; parsing
+// must classify every malformation, never unwind.
+// cd-lint: deny(panic_paths)
+
+fn le_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let chunk: [u8; 4] = bytes.get(at..at.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_le_bytes(chunk))
+}
+
+fn le_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    let chunk: [u8; 8] = bytes.get(at..at.checked_add(8)?)?.try_into().ok()?;
+    Some(u64::from_le_bytes(chunk))
+}
+
+/// Parses full ledger bytes. Pure — the fuzz tests drive this
+/// directly with damaged inputs.
+pub fn parse(bytes: &[u8]) -> Result<LedgerLoad, LedgerError> {
+    let header = bytes.get(..HEADER_LEN).ok_or(LedgerError::NoHeader)?;
+    let magic = header.get(..4).unwrap_or_default();
+    if magic != LEDGER_MAGIC {
+        let mut m = [0u8; 4];
+        m.copy_from_slice(magic);
+        return Err(LedgerError::BadMagic(m));
+    }
+    let version = le_u32(header, 4).ok_or(LedgerError::NoHeader)?;
+    let digest = le_u64(header, 8).ok_or(LedgerError::NoHeader)?;
+    let declared_crc = le_u32(header, 16).ok_or(LedgerError::NoHeader)?;
+    let computed_crc = crc32(&[header.get(..16).unwrap_or_default()]);
+    if computed_crc != declared_crc {
+        return Err(LedgerError::BadHeaderChecksum);
+    }
+    if version != LEDGER_VERSION {
+        return Err(LedgerError::BadVersion(version));
+    }
+
+    let mut records = Vec::new();
+    let mut at = HEADER_LEN;
+    loop {
+        if at == bytes.len() {
+            return Ok(LedgerLoad {
+                digest,
+                records,
+                tail: Tail::Clean,
+            });
+        }
+        let offset = at as u64;
+        // A record prefix (len + crc) that doesn't fully fit is torn.
+        let (Some(len), Some(declared)) = (le_u32(bytes, at), le_u32(bytes, at + 4)) else {
+            return Ok(LedgerLoad {
+                digest,
+                records,
+                tail: Tail::Torn { offset },
+            });
+        };
+        let len = len as usize;
+        if !(MIN_RECORD..=MAX_RECORD).contains(&len) {
+            // An absurd length is damage, not a torn append: appends
+            // never write a length outside these bounds.
+            return Err(LedgerError::Corrupt {
+                offset,
+                reason: format!("record length {len} outside [{MIN_RECORD}, {MAX_RECORD}]"),
+            });
+        }
+        let body_at = at + 8;
+        let Some(body) = body_at
+            .checked_add(len)
+            .and_then(|end| bytes.get(body_at..end))
+        else {
+            return Ok(LedgerLoad {
+                digest,
+                records,
+                tail: Tail::Torn { offset },
+            });
+        };
+        let computed = crc32(&[body]);
+        if computed != declared {
+            return Err(LedgerError::Corrupt {
+                offset,
+                reason: format!(
+                    "record checksum mismatch: declared 0x{declared:08X}, computed 0x{computed:08X}"
+                ),
+            });
+        }
+        let (Some(run), Some(&outcome_byte)) = (le_u32(body, 0), body.get(4)) else {
+            return Err(LedgerError::Corrupt {
+                offset,
+                reason: "record body shorter than its checked minimum".to_string(),
+            });
+        };
+        let Some(outcome) = RunOutcome::from_byte(outcome_byte) else {
+            return Err(LedgerError::Corrupt {
+                offset,
+                reason: format!("unknown outcome byte {outcome_byte}"),
+            });
+        };
+        records.push(LedgerRecord {
+            offset,
+            run,
+            outcome,
+            jsonl: body.get(MIN_RECORD..).unwrap_or_default().to_vec(),
+        });
+        at = body_at + len;
+    }
+}
+// cd-lint: end(panic_paths)
+
+/// Encodes one record (length prefix + checksum + body).
+pub fn encode_record(run: u32, outcome: RunOutcome, jsonl: &[u8]) -> Vec<u8> {
+    debug_assert!(MIN_RECORD + jsonl.len() <= MAX_RECORD);
+    let len = (MIN_RECORD + jsonl.len()) as u32;
+    let crc = crc32(&[&run.to_le_bytes(), &[outcome.to_byte()], jsonl]);
+    let mut out = Vec::with_capacity(8 + len as usize);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&run.to_le_bytes());
+    out.push(outcome.to_byte());
+    out.extend_from_slice(jsonl);
+    out
+}
+
+/// Encodes a ledger header for `digest`.
+pub fn encode_header(digest: u64) -> [u8; HEADER_LEN] {
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(LEDGER_MAGIC);
+    header[4..8].copy_from_slice(&LEDGER_VERSION.to_le_bytes());
+    header[8..16].copy_from_slice(&digest.to_le_bytes());
+    let crc = crc32(&[&header[..16]]);
+    header[16..20].copy_from_slice(&crc.to_le_bytes());
+    header
+}
+
+/// Parses a ledger file from disk.
+pub fn load(path: &Path) -> Result<LedgerLoad, LedgerError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    parse(&bytes)
+}
+
+/// The append-side handle: every append is checksummed, length-
+/// prefixed, flushed, and `sync_data`'d before the orchestrator
+/// treats the run as settled.
+#[derive(Debug)]
+pub struct Ledger {
+    file: File,
+    path: PathBuf,
+}
+
+impl Ledger {
+    /// Creates a fresh ledger (truncating any previous file) with the
+    /// spec digest pinned in the header.
+    pub fn create(path: &Path, digest: u64) -> Result<Ledger, LedgerError> {
+        let mut file = File::create(path)?;
+        file.write_all(&encode_header(digest))?;
+        file.sync_all()?;
+        Ok(Ledger {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Reopens an existing ledger for appending, first truncating it
+    /// to `keep_len` (dropping a torn tail record, if any).
+    pub fn open_append(path: &Path, keep_len: u64) -> Result<Ledger, LedgerError> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(keep_len)?;
+        file.sync_all()?;
+        let mut file = OpenOptions::new().append(true).open(path)?;
+        file.flush()?;
+        Ok(Ledger {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Appends one settled run. Durable on return.
+    pub fn append(
+        &mut self,
+        run: u32,
+        outcome: RunOutcome,
+        jsonl: &[u8],
+    ) -> Result<(), LedgerError> {
+        self.file.write_all(&encode_record(run, outcome, jsonl))?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// The file this ledger writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bytes() -> Vec<u8> {
+        let mut bytes = encode_header(0xABCD_EF01_2345_6789).to_vec();
+        bytes.extend_from_slice(&encode_record(0, RunOutcome::Ok, b"{\"a\":1}\n"));
+        bytes.extend_from_slice(&encode_record(3, RunOutcome::Failed, b"{\"b\":2}\n"));
+        bytes.extend_from_slice(&encode_record(1, RunOutcome::Ok, b"{\"c\":3}\n"));
+        bytes
+    }
+
+    #[test]
+    fn roundtrips_records_in_append_order() {
+        let load = parse(&sample_bytes()).expect("parse");
+        assert_eq!(load.digest, 0xABCD_EF01_2345_6789);
+        assert_eq!(load.tail, Tail::Clean);
+        assert_eq!(load.records.len(), 3);
+        assert_eq!(load.records[0].run, 0);
+        assert_eq!(load.records[1].run, 3);
+        assert_eq!(load.records[1].outcome, RunOutcome::Failed);
+        assert_eq!(load.records[2].jsonl, b"{\"c\":3}\n");
+        assert_eq!(load.records[0].offset, HEADER_LEN as u64);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_torn_tail_or_header_error() {
+        let bytes = sample_bytes();
+        let full = parse(&bytes).expect("full parse");
+        for cut in 0..bytes.len() {
+            match parse(&bytes[..cut]) {
+                Err(LedgerError::NoHeader) => assert!(cut < HEADER_LEN, "cut={cut}"),
+                Ok(load) => {
+                    assert!(cut >= HEADER_LEN, "cut={cut}");
+                    // The intact prefix must be a prefix of the full
+                    // record list — truncation never invents records.
+                    assert_eq!(
+                        load.records.as_slice(),
+                        &full.records[..load.records.len()],
+                        "cut={cut}"
+                    );
+                    match load.tail {
+                        // Clean only at a record boundary (header end,
+                        // any record end).
+                        Tail::Clean => {
+                            let boundary = full
+                                .records
+                                .iter()
+                                .map(|r| r.offset as usize)
+                                .chain([bytes.len()])
+                                .any(|b| b == cut);
+                            assert!(boundary, "cut={cut} clean off-boundary");
+                        }
+                        Tail::Torn { offset } => {
+                            assert!(offset as usize <= cut, "cut={cut}");
+                            // Resume truncates to `offset`; that
+                            // prefix must itself parse clean.
+                            let again = parse(&bytes[..offset as usize]).expect("torn prefix");
+                            assert_eq!(again.tail, Tail::Clean);
+                        }
+                    }
+                }
+                Err(e) => panic!("cut={cut}: unexpected error {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_pass_silently() {
+        let bytes = sample_bytes();
+        let full = parse(&bytes).expect("full parse");
+        for pos in 0..bytes.len() {
+            for bit in [0u8, 3, 7] {
+                let mut bad = bytes.clone();
+                bad[pos] ^= 1 << bit;
+                match parse(&bad) {
+                    // Damage detected with a name — good. Header
+                    // damage and record damage both classify.
+                    Err(_) => {}
+                    // A flip inside a record's *length* field can
+                    // legitimately re-frame the stream as torn; the
+                    // surviving record prefix must still be a true
+                    // prefix and the tail flagged.
+                    Ok(load) => {
+                        assert!(
+                            matches!(load.tail, Tail::Torn { .. }),
+                            "pos={pos} bit={bit}: flip passed as clean"
+                        );
+                        assert!(
+                            load.records.len() < full.records.len(),
+                            "pos={pos} bit={bit}: torn but no record lost"
+                        );
+                        for (got, want) in load.records.iter().zip(&full.records) {
+                            assert_eq!(got, want, "pos={pos} bit={bit}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_record_error_names_the_offset() {
+        let mut bytes = sample_bytes();
+        // Flip a byte inside the second record's body.
+        let second = parse(&bytes).expect("parse").records[1].offset as usize;
+        bytes[second + 10] ^= 0xFF;
+        match parse(&bytes) {
+            Err(LedgerError::Corrupt { offset, reason }) => {
+                assert_eq!(offset as usize, second);
+                assert!(reason.contains("checksum"), "reason: {reason}");
+            }
+            other => panic!("wanted Corrupt at {second}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_and_reload_through_a_real_file() {
+        let dir = std::env::temp_dir().join(format!("cd-orch-ledger-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("test.ledger");
+        {
+            let mut ledger = Ledger::create(&path, 42).expect("create");
+            ledger.append(5, RunOutcome::Ok, b"{}\n").expect("append");
+            ledger
+                .append(6, RunOutcome::Failed, b"{}\n")
+                .expect("append");
+        }
+        let loaded = load(&path).expect("load");
+        assert_eq!(loaded.digest, 42);
+        assert_eq!(loaded.records.len(), 2);
+
+        // Simulate a torn tail: append garbage half-record, then
+        // reopen through open_append with the intact length.
+        let intact = std::fs::metadata(&path).expect("meta").len();
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+            f.write_all(&[9, 9, 9]).expect("tear");
+        }
+        let torn = load_tail(&path);
+        assert_eq!(torn, Tail::Torn { offset: intact });
+        {
+            let mut ledger = Ledger::open_append(&path, intact).expect("reopen");
+            ledger.append(7, RunOutcome::Ok, b"{}\n").expect("append");
+        }
+        let reloaded = load(&path).expect("reload");
+        assert_eq!(reloaded.tail, Tail::Clean);
+        assert_eq!(reloaded.records.len(), 3);
+        assert_eq!(reloaded.records[2].run, 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn load_tail(path: &Path) -> Tail {
+        load(path).expect("load").tail
+    }
+}

@@ -1,0 +1,150 @@
+//! `cd-orch` — crash-resilient campaign orchestration from the shell.
+//!
+//! ```text
+//! cd-orch --spec sweep.spec --workers 4 --out merged.jsonl --ledger sweep.ledger
+//! cd-orch --spec sweep.spec --resume …            # after a SIGKILL
+//! cd-orch --spec sweep.spec --inject kill:0.3,stall:0.1 …
+//! cd-orch --reference --spec sweep.spec --out ref.jsonl
+//! cd-orch --worker                                # spawned by the parent, not you
+//! ```
+//!
+//! The merged JSONL stream is byte-identical for a given spec no
+//! matter the worker count, crash schedule, retry history, or resume
+//! point; `--reference` produces the same bytes in-process for
+//! comparison.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use cd_bench::cli::Args;
+use cd_obs::Registry;
+use cd_orch::orchestrator::{self, OrchOptions};
+use cd_orch::worker::worker_main;
+use cd_orch::{InjectConfig, RetryPolicy};
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+
+    if args.has("--worker") {
+        let inject = match InjectConfig::parse(args.value("--inject").unwrap_or("")) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("cd-orch --worker: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let seed = args.parsed::<u64>("--inject-seed").unwrap_or(0);
+        return ExitCode::from(worker_main(inject, seed) as u8);
+    }
+
+    let Some(spec_path) = args.value("--spec") else {
+        eprintln!(
+            "usage: cd-orch --spec <file> [--workers N] [--out merged.jsonl] \
+             [--ledger sweep.ledger] [--resume] [--inject kill:R,stall:R,garbage:R] \
+             [--inject-seed N] [--metrics-addr HOST:PORT] [--deadline-ms N] \
+             [--max-attempts N] [--backoff-base-ms N] [--backoff-cap-ms N] \
+             [--stream] [--reference]"
+        );
+        return ExitCode::from(2);
+    };
+    let spec_text = match std::fs::read_to_string(spec_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cd-orch: reading {spec_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let out = PathBuf::from(args.value("--out").unwrap_or("merged.jsonl"));
+
+    if args.has("--reference") {
+        return match orchestrator::reference_bytes(&spec_text) {
+            Ok(bytes) => match std::fs::write(&out, &bytes) {
+                Ok(()) => {
+                    eprintln!("cd-orch: reference written to {}", out.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cd-orch: writing {}: {e}", out.display());
+                    ExitCode::from(2)
+                }
+            },
+            Err(e) => {
+                eprintln!("cd-orch: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let inject = match InjectConfig::parse(args.value("--inject").unwrap_or("")) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("cd-orch: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut policy = RetryPolicy::default();
+    if let Some(n) = args.parsed::<u32>("--max-attempts") {
+        policy.max_attempts = n.max(1);
+    }
+    if let Some(n) = args.parsed::<u64>("--backoff-base-ms") {
+        policy.base_delay_ms = n;
+    }
+    if let Some(n) = args.parsed::<u64>("--backoff-cap-ms") {
+        policy.cap_delay_ms = n;
+    }
+
+    let mut opts = OrchOptions::new(
+        spec_text,
+        out,
+        PathBuf::from(args.value("--ledger").unwrap_or("sweep.ledger")),
+    );
+    opts.workers = args.parsed::<usize>("--workers").unwrap_or(2).max(1);
+    opts.resume = args.has("--resume");
+    opts.inject = inject;
+    opts.inject_seed = args.parsed::<u64>("--inject-seed").unwrap_or(0);
+    opts.policy = policy;
+    opts.deadline_ms = args.parsed::<u64>("--deadline-ms").unwrap_or(5000);
+    opts.stream = args.has("--stream");
+
+    // Live metrics, if asked for. The server thread holds its own Arc
+    // and shuts down when the process exits.
+    let _server = match args.value("--metrics-addr") {
+        Some(addr) => {
+            let registry = Arc::new(Registry::new());
+            opts.metrics = Some(Arc::clone(&registry));
+            match cd_obs::server::serve(registry, addr) {
+                Ok(server) => {
+                    eprintln!("cd-orch: metrics on http://{}/metrics", server.addr());
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("cd-orch: cannot serve metrics on {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
+
+    match orchestrator::run(&opts) {
+        Ok(summary) => {
+            eprintln!(
+                "cd-orch: {} runs settled ({} ok, {} failed), {} resumed, \
+                 {} retries, {} worker restarts -> {}",
+                summary.runs,
+                summary.completed,
+                summary.failed,
+                summary.resumed,
+                summary.retries,
+                summary.worker_restarts,
+                opts.out.display(),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cd-orch: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

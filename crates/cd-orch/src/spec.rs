@@ -1,0 +1,329 @@
+//! The campaign spec: the text format both the orchestrator and its
+//! workers parse, and the in-process reference runs.
+//!
+//! A spec is a small line-oriented text file describing a grid of
+//! scenario variants — `attacks × protections × seeds` over a base
+//! flight, exactly the shape [`CampaignSpec::product`] builds:
+//!
+//! ```text
+//! # 16-variant smoke grid
+//! name: ci
+//! duration_ms: 1500
+//! seeds: 1 2 3 4
+//! attacks: none kill hog+kill flood
+//! protections: stock
+//! ```
+//!
+//! The spec is the **single source of truth** shared by every process:
+//! the orchestrator parses it to know the run count and labels, each
+//! worker parses the identical bytes (shipped over its stdin preamble)
+//! to build the identical [`CampaignSpec`], and the `--reference` mode
+//! runs it through the in-process `Campaign` layer. The canonical
+//! rendering is digested ([`OrchSpec::digest`]) and pinned in the
+//! ledger header and the worker handshake, so a resumed session or a
+//! respawned worker can never silently run a different grid.
+
+use attacks::membw_hog::BandwidthHog;
+use attacks::script::{AttackEvent, AttackScript};
+use attacks::spoof::MotorSpoof;
+use attacks::udp_flood::UdpFlood;
+use cd_bench::CampaignSpec;
+use containerdrone_core::scenario::ScenarioConfig;
+use containerdrone_core::Protections;
+use sim_core::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// The attack vocabulary a spec may name.
+pub const ATTACKS: &[&str] = &["none", "kill", "hog", "hog+kill", "flood", "spoof"];
+
+/// The protection vocabulary a spec may name.
+pub const PROTECTIONS: &[&str] = &["stock", "no-monitor", "no-memguard", "no-iptables", "bare"];
+
+/// A parsed, validated campaign spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrchSpec {
+    /// Campaign name (report heading).
+    pub name: String,
+    /// Flight duration per variant, milliseconds of simulated time.
+    pub duration_ms: u64,
+    /// Master seeds (innermost grid axis).
+    pub seeds: Vec<u64>,
+    /// Attack timeline names (outermost grid axis), from [`ATTACKS`].
+    pub attacks: Vec<String>,
+    /// Protection set names (middle grid axis), from [`PROTECTIONS`].
+    pub protections: Vec<String>,
+}
+
+/// A spec parse/validation failure, with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line in the spec text (0 for whole-file errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "spec error: {}", self.message)
+        } else {
+            write!(f, "spec error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(line: usize, message: impl Into<String>) -> SpecError {
+    SpecError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl OrchSpec {
+    /// Parses and validates spec text. Unknown keys, unknown attack or
+    /// protection names, and malformed numbers are errors; missing
+    /// keys fall back to a 1-variant healthy default.
+    pub fn parse(text: &str) -> Result<OrchSpec, SpecError> {
+        let mut spec = OrchSpec {
+            name: "orch".to_string(),
+            duration_ms: 2000,
+            seeds: vec![2019],
+            attacks: vec!["none".to_string()],
+            protections: vec!["stock".to_string()],
+        };
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once(':') else {
+                return Err(err(lineno, format!("expected `key: value`, got `{line}`")));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "name" => {
+                    if value.is_empty() || !value.chars().all(|c| c.is_ascii_graphic()) {
+                        return Err(err(lineno, "name must be non-empty printable ASCII"));
+                    }
+                    spec.name = value.to_string();
+                }
+                "duration_ms" => {
+                    spec.duration_ms = value
+                        .parse()
+                        .map_err(|e| err(lineno, format!("duration_ms `{value}`: {e}")))?;
+                    if spec.duration_ms == 0 {
+                        return Err(err(lineno, "duration_ms must be positive"));
+                    }
+                }
+                "seeds" => {
+                    spec.seeds = value
+                        .split_whitespace()
+                        .map(|s| {
+                            s.parse()
+                                .map_err(|e| err(lineno, format!("seed `{s}`: {e}")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if spec.seeds.is_empty() {
+                        return Err(err(lineno, "seeds must name at least one seed"));
+                    }
+                }
+                "attacks" => {
+                    spec.attacks = validated_names(lineno, value, ATTACKS, "attack")?;
+                }
+                "protections" => {
+                    spec.protections = validated_names(lineno, value, PROTECTIONS, "protection")?;
+                }
+                other => {
+                    return Err(err(
+                        lineno,
+                        format!(
+                            "unknown key `{other}` (keys: name, duration_ms, seeds, attacks, protections)"
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The canonical rendering: fixed key order, single-space
+    /// separators. Parsing the canonical text reproduces the spec
+    /// exactly, and the [`OrchSpec::digest`] is taken over these bytes.
+    pub fn canonical(&self) -> String {
+        let join = |v: &[String]| v.join(" ");
+        let seeds: Vec<String> = self.seeds.iter().map(|s| s.to_string()).collect();
+        format!(
+            "name: {}\nduration_ms: {}\nseeds: {}\nattacks: {}\nprotections: {}\n",
+            self.name,
+            self.duration_ms,
+            seeds.join(" "),
+            join(&self.attacks),
+            join(&self.protections),
+        )
+    }
+
+    /// FNV-1a 64 over the canonical rendering — the spec identity the
+    /// ledger header and the worker handshake pin.
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.canonical().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Number of variants in the grid.
+    pub fn len(&self) -> usize {
+        self.attacks.len() * self.protections.len() * self.seeds.len()
+    }
+
+    /// `true` when the grid is empty (never, after validation).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes the grid as the in-process [`CampaignSpec`] — the
+    /// same `product` construction everywhere, so variant order and
+    /// labels are identical in the orchestrator, every worker, and the
+    /// reference run.
+    pub fn campaign(&self) -> CampaignSpec {
+        let base = ScenarioConfig::builder()
+            .duration(SimDuration::from_millis(self.duration_ms))
+            .build();
+        let attacks: Vec<(&str, AttackScript)> = self
+            .attacks
+            .iter()
+            .map(|name| (name.as_str(), attack_script(name)))
+            .collect();
+        let protections: Vec<(&str, Protections)> = self
+            .protections
+            .iter()
+            .map(|name| (name.as_str(), protection_set(name)))
+            .collect();
+        CampaignSpec::product(&self.name, &base, &attacks, &protections, &self.seeds)
+    }
+}
+
+fn validated_names(
+    lineno: usize,
+    value: &str,
+    vocabulary: &[&str],
+    what: &str,
+) -> Result<Vec<String>, SpecError> {
+    let names: Vec<String> = value.split_whitespace().map(str::to_string).collect();
+    if names.is_empty() {
+        return Err(err(lineno, format!("{what}s must name at least one entry")));
+    }
+    for name in &names {
+        if !vocabulary.contains(&name.as_str()) {
+            return Err(err(
+                lineno,
+                format!("unknown {what} `{name}` (known: {})", vocabulary.join(", ")),
+            ));
+        }
+    }
+    Ok(names)
+}
+
+/// The named attack timelines. Onsets sit at 3 s / 6 s (the
+/// `standard_grid` convention) so short smoke flights exercise the
+/// healthy path and longer flights the attacks.
+fn attack_script(name: &str) -> AttackScript {
+    let at3 = SimTime::from_secs(3);
+    match name {
+        "none" => AttackScript::none(),
+        "kill" => AttackScript::single(at3, AttackEvent::KillComplex),
+        "hog" => AttackScript::single(at3, AttackEvent::MemoryHog(BandwidthHog::isolbench())),
+        "hog+kill" => AttackScript::new()
+            .at(at3, AttackEvent::MemoryHog(BandwidthHog::isolbench()))
+            .at(SimTime::from_secs(6), AttackEvent::KillComplex),
+        "flood" => AttackScript::single(at3, AttackEvent::UdpFlood(UdpFlood::against_motor_port())),
+        "spoof" => AttackScript::single(at3, AttackEvent::SpoofMotor(MotorSpoof::moderate())),
+        other => unreachable!("attack `{other}` passed validation"),
+    }
+}
+
+/// The named protection sets.
+fn protection_set(name: &str) -> Protections {
+    let mut p = Protections::default();
+    match name {
+        "stock" => {}
+        "no-monitor" => p.monitor = false,
+        "no-memguard" => p.memguard = false,
+        "no-iptables" => p.iptables = false,
+        "bare" => {
+            p.monitor = false;
+            p.memguard = false;
+            p.iptables = false;
+            p.cpu_isolation = false;
+        }
+        other => unreachable!("protection `{other}` passed validation"),
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE: &str = "# demo\nname: demo\nduration_ms: 1000\nseeds: 1 2\nattacks: none kill\nprotections: stock no-monitor\n";
+
+    #[test]
+    fn parses_and_counts_the_grid() {
+        let spec = OrchSpec::parse(SMOKE).expect("parse");
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.len(), 8);
+        let campaign = spec.campaign();
+        assert_eq!(campaign.len(), 8);
+        assert_eq!(campaign.variants()[0].label, "none/stock/seed1");
+        assert_eq!(campaign.variants()[7].label, "kill/no-monitor/seed2");
+    }
+
+    #[test]
+    fn canonical_roundtrips_and_digest_is_stable() {
+        let spec = OrchSpec::parse(SMOKE).expect("parse");
+        let canon = spec.canonical();
+        let reparsed = OrchSpec::parse(&canon).expect("reparse");
+        assert_eq!(spec, reparsed);
+        assert_eq!(spec.digest(), reparsed.digest());
+        // Any semantic change moves the digest.
+        let mut other = spec.clone();
+        other.seeds.push(3);
+        assert_ne!(spec.digest(), other.digest());
+    }
+
+    #[test]
+    fn defaults_are_a_single_healthy_variant() {
+        let spec = OrchSpec::parse("").expect("empty spec");
+        assert_eq!(spec.len(), 1);
+        assert_eq!(spec.campaign().variants()[0].label, "none/stock/seed2019");
+    }
+
+    #[test]
+    fn rejects_unknown_names_and_keys_with_line_numbers() {
+        let e = OrchSpec::parse("attacks: warp\n").expect_err("unknown attack");
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("warp"));
+        let e = OrchSpec::parse("name: x\nbogus: 1\n").expect_err("unknown key");
+        assert_eq!(e.line, 2);
+        let e = OrchSpec::parse("duration_ms: nope\n").expect_err("bad number");
+        assert!(e.message.contains("duration_ms"));
+        assert!(OrchSpec::parse("no-colon\n").is_err());
+        assert!(OrchSpec::parse("duration_ms: 0\n").is_err());
+        assert!(OrchSpec::parse("seeds:\n").is_err());
+    }
+
+    #[test]
+    fn every_vocabulary_entry_builds() {
+        let spec = OrchSpec::parse(
+            "duration_ms: 100\nattacks: none kill hog hog+kill flood spoof\nprotections: stock no-monitor no-memguard no-iptables bare\n",
+        )
+        .expect("full vocabulary");
+        assert_eq!(spec.campaign().len(), 30);
+    }
+}

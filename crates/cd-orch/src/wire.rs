@@ -1,0 +1,356 @@
+//! The worker wire protocol: length-prefixed, CRC32-checksummed frames.
+//!
+//! Commands flow parent → worker as text lines on the worker's stdin
+//! (`SPEC <len>` + raw bytes, `RUN <run> <attempt>`, `EXIT`); frames
+//! flow worker → parent as binary on the worker's stdout:
+//!
+//! ```text
+//! [0xCD][type: u8][len: u32 LE][crc32: u32 LE][payload: len bytes]
+//! ```
+//!
+//! The CRC covers the type byte and the payload, so a frame whose
+//! header or body was damaged in flight (or deliberately corrupted by
+//! `--inject garbage:…`) is detected at the parent, which treats the
+//! whole worker as compromised: kill, respawn, retry the run. Decoding
+//! is a hostile-input path — a worker can be arbitrarily broken — so
+//! the byte-level decoder is a `panic_paths` deny region: malformed
+//! frames book a [`WireError`], never unwind the orchestrator.
+
+use std::fmt;
+use std::io::Read;
+
+/// Hard bound on a frame payload. A result record is a few hundred
+/// bytes; anything near this bound is a broken or hostile worker.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Leading magic byte of every frame.
+pub const FRAME_MAGIC: u8 = 0xCD;
+
+/// Frame header size: magic + type + len + crc.
+pub const HEADER_LEN: usize = 10;
+
+const TYPE_READY: u8 = 1;
+const TYPE_HEARTBEAT: u8 = 2;
+const TYPE_RESULT: u8 = 3;
+
+/// One worker → parent frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Handshake after the spec preamble: the worker's digest of the
+    /// spec it parsed. The parent verifies it against its own.
+    Ready {
+        /// [`crate::spec::OrchSpec::digest`] as the worker computed it.
+        digest: u64,
+    },
+    /// Liveness signal emitted once per simulated window during a run.
+    Heartbeat {
+        /// The run index the worker is executing.
+        run: u32,
+    },
+    /// A completed run's deterministic JSONL record.
+    Result {
+        /// The run index this result answers.
+        run: u32,
+        /// The [`cd_bench::CampaignOutcome::jsonl_record`] bytes.
+        jsonl: Vec<u8>,
+    },
+}
+
+/// A framing/decoding failure.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying pipe error.
+    Io(std::io::Error),
+    /// Stream ended inside a frame.
+    Truncated,
+    /// First byte of a frame was not [`FRAME_MAGIC`].
+    BadMagic(u8),
+    /// Declared payload length exceeds [`MAX_FRAME`].
+    Oversized(u32),
+    /// CRC32 mismatch between header and body.
+    Checksum {
+        /// CRC the header declared.
+        declared: u32,
+        /// CRC computed over the received bytes.
+        computed: u32,
+    },
+    /// Unknown frame type byte.
+    UnknownType(u8),
+    /// Payload too short / malformed for its type.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "pipe error: {e}"),
+            WireError::Truncated => write!(f, "stream truncated mid-frame"),
+            WireError::BadMagic(b) => write!(f, "bad frame magic 0x{b:02X}"),
+            WireError::Oversized(n) => write!(f, "frame length {n} exceeds bound {MAX_FRAME}"),
+            WireError::Checksum { declared, computed } => write!(
+                f,
+                "frame checksum mismatch: declared 0x{declared:08X}, computed 0x{computed:08X}"
+            ),
+            WireError::UnknownType(t) => write!(f, "unknown frame type {t}"),
+            WireError::Malformed(what) => write!(f, "malformed frame payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// CRC-32 (IEEE 802.3, reflected) over `parts` in sequence.
+pub fn crc32(parts: &[&[u8]]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc: u32 = !0;
+    for part in parts {
+        for &byte in *part {
+            let idx = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+            // Constant-size table lookup; idx is masked to 0..=255.
+            crc = (crc >> 8) ^ TABLE[idx];
+        }
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Encodes one frame (header + payload).
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let (ftype, payload): (u8, Vec<u8>) = match frame {
+        Frame::Ready { digest } => (TYPE_READY, digest.to_le_bytes().to_vec()),
+        Frame::Heartbeat { run } => (TYPE_HEARTBEAT, run.to_le_bytes().to_vec()),
+        Frame::Result { run, jsonl } => {
+            let mut p = Vec::with_capacity(4 + jsonl.len());
+            p.extend_from_slice(&run.to_le_bytes());
+            p.extend_from_slice(jsonl);
+            (TYPE_RESULT, p)
+        }
+    };
+    debug_assert!(payload.len() <= MAX_FRAME);
+    let crc = crc32(&[&[ftype], &payload]);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.push(FRAME_MAGIC);
+    out.push(ftype);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+// The byte-level decoder: hostile input (a broken worker writes
+// anything), so no panic path is tolerable.
+// cd-lint: deny(panic_paths)
+
+/// Reads the little-endian `u32` at `at`.
+fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let chunk: [u8; 4] = bytes.get(at..at.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_le_bytes(chunk))
+}
+
+/// Reads the little-endian `u64` at `at`.
+fn read_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    let chunk: [u8; 8] = bytes.get(at..at.checked_add(8)?)?.try_into().ok()?;
+    Some(u64::from_le_bytes(chunk))
+}
+
+/// Decodes a checksummed payload into a [`Frame`]. The caller has
+/// already verified the CRC; this validates shape only.
+pub fn decode_payload(ftype: u8, payload: &[u8]) -> Result<Frame, WireError> {
+    match ftype {
+        TYPE_READY => match read_u64(payload, 0) {
+            Some(digest) if payload.len() == 8 => Ok(Frame::Ready { digest }),
+            _ => Err(WireError::Malformed("READY wants exactly 8 digest bytes")),
+        },
+        TYPE_HEARTBEAT => match read_u32(payload, 0) {
+            Some(run) if payload.len() == 4 => Ok(Frame::Heartbeat { run }),
+            _ => Err(WireError::Malformed("HEARTBEAT wants exactly 4 run bytes")),
+        },
+        TYPE_RESULT => match (read_u32(payload, 0), payload.get(4..)) {
+            (Some(run), Some(jsonl)) => Ok(Frame::Result {
+                run,
+                jsonl: jsonl.to_vec(),
+            }),
+            _ => Err(WireError::Malformed("RESULT wants a 4-byte run prefix")),
+        },
+        other => Err(WireError::UnknownType(other)),
+    }
+}
+
+/// Validates one frame header, returning `(type, payload_len, crc)`.
+pub fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(u8, usize, u32), WireError> {
+    match header {
+        [magic, ..] if *magic != FRAME_MAGIC => Err(WireError::BadMagic(*magic)),
+        [_, ftype, rest @ ..] => {
+            let len = read_u32(rest, 0).ok_or(WireError::Truncated)?;
+            let crc = read_u32(rest, 4).ok_or(WireError::Truncated)?;
+            if len as usize > MAX_FRAME {
+                return Err(WireError::Oversized(len));
+            }
+            Ok((*ftype, len as usize, crc))
+        }
+    }
+}
+// cd-lint: end(panic_paths)
+
+/// Incremental frame reader over a blocking byte stream (the parent's
+/// view of a worker's stdout).
+#[derive(Debug)]
+pub struct FrameReader<R: Read> {
+    inner: R,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a stream.
+    pub fn new(inner: R) -> Self {
+        FrameReader { inner }
+    }
+
+    /// Reads the next frame. `Ok(None)` is a clean end-of-stream at a
+    /// frame boundary (the worker exited); every other shortfall or
+    /// malformation is a [`WireError`].
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let mut header = [0u8; HEADER_LEN];
+        match read_exact_or_eof(&mut self.inner, &mut header)? {
+            Filled::Eof => return Ok(None),
+            Filled::Partial => return Err(WireError::Truncated),
+            Filled::Full => {}
+        }
+        let (ftype, len, declared) = decode_header(&header)?;
+        let mut payload = vec![0u8; len];
+        match read_exact_or_eof(&mut self.inner, &mut payload)? {
+            Filled::Full => {}
+            _ => return Err(WireError::Truncated),
+        }
+        let computed = crc32(&[&[ftype], &payload]);
+        if computed != declared {
+            return Err(WireError::Checksum { declared, computed });
+        }
+        decode_payload(ftype, &payload).map(Some)
+    }
+}
+
+enum Filled {
+    Full,
+    Partial,
+    Eof,
+}
+
+/// `read_exact` that distinguishes EOF-at-start from EOF-mid-buffer.
+fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<Filled, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    Filled::Eof
+                } else {
+                    Filled::Partial
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(Filled::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b""]), 0);
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let frames = [
+            Frame::Ready {
+                digest: 0xDEAD_BEEF_0BAD_F00D,
+            },
+            Frame::Heartbeat { run: 7 },
+            Frame::Result {
+                run: 42,
+                jsonl: b"{\"variant\":\"x\"}\n".to_vec(),
+            },
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode(f));
+        }
+        let mut reader = FrameReader::new(stream.as_slice());
+        for f in &frames {
+            assert_eq!(reader.next_frame().expect("frame").as_ref(), Some(f));
+        }
+        assert!(reader.next_frame().expect("clean eof").is_none());
+    }
+
+    #[test]
+    fn corruption_is_detected_not_panicked() {
+        let good = encode(&Frame::Result {
+            run: 3,
+            jsonl: b"payload".to_vec(),
+        });
+        // Flip one bit at every position: every damage must surface as
+        // a WireError (checksum, magic, length, truncation), never a
+        // panic and never a silently wrong frame.
+        for bit in 0..good.len() * 8 {
+            let mut bad = good.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            let mut reader = FrameReader::new(bad.as_slice());
+            match reader.next_frame() {
+                Err(_) => {}
+                Ok(other) => panic!("bit {bit}: corruption survived as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_detected() {
+        let good = encode(&Frame::Heartbeat { run: 1 });
+        for cut in 1..good.len() {
+            let mut reader = FrameReader::new(&good[..cut]);
+            assert!(
+                matches!(reader.next_frame(), Err(WireError::Truncated)),
+                "cut at {cut} must be Truncated"
+            );
+        }
+        let mut reader = FrameReader::new(&good[..0]);
+        assert!(reader.next_frame().expect("empty is clean eof").is_none());
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_allocation() {
+        let mut bad = encode(&Frame::Heartbeat { run: 1 });
+        bad[2..6].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut reader = FrameReader::new(bad.as_slice());
+        assert!(matches!(
+            reader.next_frame(),
+            Err(WireError::Oversized(u32::MAX))
+        ));
+    }
+}

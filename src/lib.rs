@@ -18,6 +18,7 @@
 //! | [`attacks`] | Memory hog, UDP flood, CPU hog, controller-kill attacks + fleet/attacker-node placement |
 //! | [`fleet`] (`cd-fleet`) | Multi-UAV co-simulation: load-balanced sharded executor, adversarial airspace (GCS, V2V swarm streams, attacker nodes) |
 //! | [`obs`] (`cd-obs`) | Deterministic structured tracing (JSONL), metrics registry, live Prometheus exposition |
+//! | [`orch`] (`cd-orch`) | Crash-resilient multi-process campaign orchestrator: fault injection, retry/backoff, snapshot/resume |
 //! | [`sim`] (`sim-core`) | Deterministic time, RNG, events, recording |
 //!
 //! # Quickstart
@@ -57,6 +58,7 @@ pub use attacks;
 pub use autopilot;
 pub use cd_fleet as fleet;
 pub use cd_obs as obs;
+pub use cd_orch as orch;
 pub use container_rt as containers;
 pub use containerdrone_core as framework;
 pub use mavlink_lite as protocol;
