@@ -10,7 +10,7 @@
 use rt_sched::machine::Machine;
 use rt_sched::task::TaskId;
 use sim_core::time::{SimDuration, SimTime};
-use virt_net::net::{Network, NsId};
+use virt_net::net::{Addr, Network, NsId};
 
 use container_rt::container::Container;
 
@@ -69,6 +69,50 @@ pub trait AttackDriver: std::fmt::Debug + Send {
     /// attacks).
     fn packets_sent(&self) -> u64 {
         0
+    }
+
+    /// Span-emission capability: `Some(dst)` if this driver can
+    /// reproduce, post-hoc in one batch, exactly the traffic its
+    /// per-quantum [`AttackDriver::step`] calls would have offered across
+    /// an event-free span — all of it aimed at `dst`. The executor uses
+    /// the address to keep leaping across the driver's own deliveries
+    /// (they cannot wake anything while the flooded receiver is inert)
+    /// while every *other* arrival still breaks the span. `None` — the
+    /// default — means per-quantum stepping is the only exact schedule.
+    fn span_dst(&self) -> Option<Addr> {
+        None
+    }
+
+    /// Whether a concrete span `(from, to)` is provably exact to emit in
+    /// one batch — in particular, that the link queue has headroom for
+    /// every datagram the span plus the regular tail step at `to` can
+    /// offer, so a capacity boundary the per-quantum schedule would never
+    /// hit (its deliveries drain the queue between sends) cannot surface
+    /// under deferred delivery. Only meaningful when
+    /// [`AttackDriver::span_dst`] is `Some`.
+    fn span_ready(
+        &self,
+        _net: &Network,
+        _from: SimTime,
+        _to: SimTime,
+        _quantum: SimDuration,
+    ) -> bool {
+        false
+    }
+
+    /// Emits, post-hoc at their historical times, the packets the
+    /// skipped per-quantum steps at `t = from + quantum, from +
+    /// 2·quantum, …` (strictly below `to`) would have sent. Only called
+    /// after [`AttackDriver::span_ready`] approved a window containing
+    /// `(from, to)`; the default is unreachable by construction and does
+    /// nothing.
+    fn span_emit(
+        &mut self,
+        _net: &mut Network,
+        _from: SimTime,
+        _to: SimTime,
+        _quantum: SimDuration,
+    ) {
     }
 }
 

@@ -143,6 +143,90 @@ impl FloodEmitter {
         }
     }
 
+    /// The flooded destination.
+    pub fn dst(&self) -> Addr {
+        self.dst
+    }
+
+    /// The sending socket.
+    pub fn socket(&self) -> SocketId {
+        self.socket
+    }
+
+    /// Upper bound on the datagrams [`FloodEmitter::span_emit`] over
+    /// `(from, to)` plus the regular step at `to` will offer: the carry
+    /// is always below one token, and the steps at `from + quantum ..= to`
+    /// add exactly `pps · (to − from)` tokens between them.
+    pub fn span_bound(&self, from: SimTime, to: SimTime) -> u64 {
+        (self.carry + self.pps * to.saturating_since(from).as_secs_f64()) as u64 + 1
+    }
+
+    /// Replays the carry walk of the per-quantum steps at
+    /// `t = from + quantum, from + 2·quantum, …` (strictly below `to`),
+    /// offering each step's packets at its historical time. Runs of
+    /// quanta with equal emission counts collapse into one
+    /// [`Network::send_paced`] span apiece, so the fig7 steady state —
+    /// one packet every quantum for seconds on end — becomes a single
+    /// queue entry. The carry arithmetic is evaluated per quantum in the
+    /// identical order the stepped path uses, so `carry`, `sent` and
+    /// every emission time are bit-equal to per-quantum stepping.
+    pub fn span_emit(
+        &mut self,
+        net: &mut Network,
+        from: SimTime,
+        to: SimTime,
+        quantum: SimDuration,
+    ) {
+        if !self.active {
+            return;
+        }
+        let inc = self.pps * quantum.as_secs_f64();
+        let mut t = from + quantum;
+        let mut run_count = 0u64;
+        let mut run_len = 0u64;
+        let mut run_start = t;
+        while t < to {
+            self.carry += inc;
+            let mut count = 0u64;
+            while self.carry >= 1.0 {
+                self.carry -= 1.0;
+                count += 1;
+            }
+            if count == run_count {
+                run_len += 1;
+            } else {
+                if run_count > 0 && run_len > 0 {
+                    let _ = net.send_paced(
+                        self.socket,
+                        self.dst,
+                        &self.payload,
+                        run_count,
+                        run_len,
+                        run_start,
+                        quantum,
+                    );
+                    self.sent += run_count * run_len;
+                }
+                run_count = count;
+                run_len = 1;
+                run_start = t;
+            }
+            t += quantum;
+        }
+        if run_count > 0 && run_len > 0 {
+            let _ = net.send_paced(
+                self.socket,
+                self.dst,
+                &self.payload,
+                run_count,
+                run_len,
+                run_start,
+                quantum,
+            );
+            self.sent += run_count * run_len;
+        }
+    }
+
     /// Total packets offered so far.
     pub fn sent(&self) -> u64 {
         self.sent
@@ -214,6 +298,28 @@ impl AttackDriver for FloodDriver {
     fn packets_sent(&self) -> u64 {
         self.emitter.sent()
     }
+
+    fn span_dst(&self) -> Option<Addr> {
+        if !self.emitter.is_active() {
+            return None;
+        }
+        Some(self.emitter.dst())
+    }
+
+    fn span_ready(&self, net: &Network, from: SimTime, to: SimTime, _quantum: SimDuration) -> bool {
+        // Slack beyond the flood's own bound for whatever the tail
+        // quantum's job dispatch enqueues on the same link direction
+        // (a handful of motor frames at most) before the span-end
+        // network step finally drains it.
+        const TAIL_SLACK: u64 = 64;
+        let bound = self.emitter.span_bound(from, to).saturating_add(TAIL_SLACK);
+        net.pace_headroom(self.emitter.socket(), self.emitter.dst())
+            .is_some_and(|headroom| headroom >= bound)
+    }
+
+    fn span_emit(&mut self, net: &mut Network, from: SimTime, to: SimTime, quantum: SimDuration) {
+        self.emitter.span_emit(net, from, to, quantum);
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +359,89 @@ mod tests {
         let stats = net.socket_stats(rx);
         // Most packets arrive (large rx buffer, no rate limit configured).
         assert!(stats.delivered > 4_000, "delivered {}", stats.delivered);
+    }
+
+    #[test]
+    fn span_emit_matches_per_quantum_stepping() {
+        // Rates chosen to exercise the carry walk: sub-quantum (counts
+        // alternating 0/1), exactly one per quantum (the fig7 case), and
+        // multi-packet quanta (counts alternating 3/4).
+        for pps in [7_300.0, 20_000.0, 64_000.0] {
+            let build = || {
+                let mut m = Machine::new(MachineConfig::default());
+                let mut net = Network::new();
+                let host = net.add_namespace("host");
+                let mut c = Container::create(&mut m, &mut net, host, ContainerConfig::cce(3));
+                net.add_rate_limit(
+                    Addr {
+                        ns: host,
+                        port: 14600,
+                    },
+                    2_000.0,
+                    200.0,
+                );
+                let rx = net.bind_with_capacity(host, 14600, 256).unwrap();
+                let driver = UdpFlood {
+                    pps,
+                    payload: 64,
+                    target_port: 14600,
+                }
+                .launch(&mut m, &mut net, &mut c, host, 40000)
+                .unwrap();
+                (m, net, rx, driver)
+            };
+            let (_, mut net_a, rx_a, mut stepped) = build();
+            let (_, mut net_b, rx_b, mut spanned) = build();
+
+            let q = SimDuration::from_micros(50);
+            let end = SimTime::from_millis(40);
+
+            // Reference: step every quantum.
+            let mut t = SimTime::ZERO;
+            while t <= end {
+                stepped.step(&mut net_a, t, q);
+                net_a.step(t);
+                t += q;
+            }
+
+            // Span path, the executor's protocol: a regular step at each
+            // span boundary, one post-hoc emission for everything in
+            // between, the network stepped only at boundaries. Chunks are
+            // sized so the span bound fits the queue headroom — the same
+            // gate the runner enforces via `pace_headroom`.
+            let mut now = SimTime::ZERO;
+            spanned.step(&mut net_b, now, q);
+            net_b.step(now);
+            while now < end {
+                let next = (now + SimDuration::from_millis(5)).min(end);
+                assert!(spanned.span_dst().is_some());
+                assert!(
+                    spanned.span_ready(&net_b, now, next, q),
+                    "5 ms chunks must fit the queue headroom (pps {pps})"
+                );
+                AttackDriver::span_emit(&mut spanned, &mut net_b, now, next, q);
+                now = next;
+                spanned.step(&mut net_b, now, q);
+                net_b.step(now);
+            }
+
+            assert_eq!(stepped.sent(), spanned.sent(), "pps {pps}");
+            assert_eq!(
+                net_a.socket_stats(rx_a),
+                net_b.socket_stats(rx_b),
+                "pps {pps}"
+            );
+            loop {
+                match (net_a.recv(rx_a), net_b.recv(rx_b)) {
+                    (None, None) => break,
+                    (Some(p), Some(r)) => {
+                        assert_eq!(p.sent, r.sent);
+                        assert_eq!(p.payload.as_slice(), r.payload.as_slice());
+                    }
+                    _ => panic!("delivered streams diverge (pps {pps})"),
+                }
+            }
+        }
     }
 
     #[test]

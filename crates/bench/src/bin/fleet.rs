@@ -20,7 +20,11 @@
 //! swarm-scale N = 1000 cell to the sweep; `--no-leap` runs every cell
 //! on the quantum-stepped reference executor instead of the time-leap
 //! default — the emitted CSV must be byte-identical either way (CI
-//! diffs the two, after stripping the executor-stat columns).
+//! diffs the two, after stripping the executor-stat columns);
+//! `--no-bulk` settles every network flood span packet-by-packet
+//! instead of in closed form — the CSV must be byte-identical with no
+//! columns stripped (bulk changes no counter, not even the executor
+//! stats; CI diffs the full files).
 //!
 //! Observability: `--trace events.jsonl` streams the deterministic
 //! structured trace of every cell (concatenated in sweep order —
@@ -57,6 +61,7 @@ fn main() {
     let smoke = args.has("--smoke");
     let threads: usize = args.parsed("--threads").unwrap_or(1);
     let leap = !args.has("--no-leap");
+    let bulk = !args.has("--no-bulk");
     // One trace file for the whole sweep: each cell appends through its
     // own sink over a cloned handle (cells run sequentially, and every
     // sink is flushed at its fleet's teardown).
@@ -82,8 +87,11 @@ fn main() {
         "Fleet campaign — N ∈ {sizes:?} × {{healthy, flood, mixed, swarm-jam}}, {}s flights, {threads} thread(s){}{}\n",
         duration.as_secs_f64(),
         if smoke { " (smoke)" } else { "" },
-        if leap { "" } else { ", stepped reference executor" }
+        if leap { "" } else { ", stepped reference executor" },
     );
+    if !bulk {
+        println!("(--no-bulk: per-packet flood-span settlement)\n");
+    }
 
     let base = ScenarioConfig::healthy().with_duration(duration);
     let mut rows = Vec::new();
@@ -99,7 +107,8 @@ fn main() {
             let mut cfg = FleetConfig::new(base.clone(), n)
                 .with_script(script.clone())
                 .with_threads(threads)
-                .with_leap(leap);
+                .with_leap(leap)
+                .with_bulk(bulk);
             if swarm {
                 cfg = cfg.with_swarm(SwarmConfig::default());
             }

@@ -19,12 +19,26 @@
 //! still builds and runs.
 
 use std::fmt::Write as _;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use cd_bench::cli::Args;
+use containerdrone_core::phase;
 use containerdrone_core::prelude::*;
 use containerdrone_core::runner::Scenario;
 use sim_core::time::SimDuration;
+
+/// Epoch for the executor's opt-in phase clock. Monotonic nanoseconds
+/// since first use; installed into [`containerdrone_core::phase`] so the
+/// runner's phase brackets attribute real wall time. cd-bench is a
+/// measurement harness, not a simulation crate — the clock never feeds
+/// simulation state (`phase_ns` is scratch drained at report time).
+static PHASE_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+#[allow(clippy::disallowed_methods)] // wall time is the measurement here
+fn phase_clock() -> u64 {
+    PHASE_EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
 
 /// One measured scenario.
 struct Measurement {
@@ -41,6 +55,16 @@ struct Measurement {
     /// upper bound on its own footprint; rows run in ascending fleet
     /// size, which keeps the bound tight for the rows that matter.
     rss_kb: u64,
+    /// Executor phase breakdown ([`phase::NAMES`] order), wall-ns spent
+    /// in network stepping / scheduler quanta / physics / parsing.
+    /// Measured by one *extra* clock-on iteration of the same
+    /// deterministic work — the timed repeats themselves run with no
+    /// clock installed, because two clock reads per bracket inflate a
+    /// leap-dense 30 s row's wall time by double-digit percent and the
+    /// wall numbers must stay comparable across BENCH history. Zero for
+    /// rows whose work runs in other processes (orch) — their executors
+    /// never install the clock.
+    phases: [u64; phase::COUNT],
 }
 
 impl Measurement {
@@ -53,8 +77,10 @@ impl Measurement {
     }
 
     fn json(&self) -> String {
-        format!(
-            "{{\"name\":\"{}\",\"wall_s\":{:.4},\"sim_s\":{:.2},\"steps\":{},\"steps_per_sec\":{:.0},\"packets\":{},\"packets_per_sec\":{:.0},\"quanta_leaped\":{},\"quanta_stepped\":{},\"peak_rss_kb\":{}}}",
+        // Phase fields stay flat (`"phase_net_ns":…`) rather than nested:
+        // the merge/baseline readers scan entries up to the first `}`.
+        let mut s = format!(
+            "{{\"name\":\"{}\",\"wall_s\":{:.4},\"sim_s\":{:.2},\"steps\":{},\"steps_per_sec\":{:.0},\"packets\":{},\"packets_per_sec\":{:.0},\"quanta_leaped\":{},\"quanta_stepped\":{}",
             self.name,
             self.wall_s,
             self.sim_s,
@@ -64,21 +90,34 @@ impl Measurement {
             self.packets_per_sec(),
             self.leaped,
             self.steps.saturating_sub(self.leaped),
-            self.rss_kb,
-        )
+        );
+        for (name, ns) in phase::NAMES.iter().zip(self.phases) {
+            let _ = write!(s, ",\"phase_{name}_ns\":{ns}");
+        }
+        let _ = write!(s, ",\"peak_rss_kb\":{}}}", self.rss_kb);
+        s
     }
 }
 
-/// Times `work` (which reports `(steps, packets, quanta_leaped)`)
-/// `repeat` times and keeps the fastest run — every iteration repeats
-/// identical deterministic work, so best-of discards only host noise.
+/// Times `work` (which reports `(steps, packets, quanta_leaped,
+/// phase_ns)`) `repeat` times clock-off and keeps the fastest run —
+/// every iteration repeats identical deterministic work, so best-of
+/// discards only host noise. When `phased`, one *extra* clock-on
+/// iteration then attributes the row's phase breakdown (see
+/// [`Measurement::phases`]); the timed repeats never see the clock.
 #[allow(clippy::disallowed_methods)] // wall time is the measurement here
-fn measure(name: &str, repeat: usize, mut work: impl FnMut() -> (u64, u64, u64)) -> Measurement {
+fn measure(
+    name: &str,
+    repeat: usize,
+    phased: bool,
+    mut work: impl FnMut() -> (u64, u64, u64, [u64; phase::COUNT]),
+) -> Measurement {
     let quantum_s = containerdrone_core::config::SCHED_QUANTUM.as_secs_f64();
+    phase::uninstall_clock();
     let mut best: Option<Measurement> = None;
     for _ in 0..repeat.max(1) {
         let started = Instant::now();
-        let (steps, packets, leaped) = work();
+        let (steps, packets, leaped, _) = work();
         let wall_s = started.elapsed().as_secs_f64();
         let m = Measurement {
             name: name.to_string(),
@@ -88,23 +127,31 @@ fn measure(name: &str, repeat: usize, mut work: impl FnMut() -> (u64, u64, u64))
             packets,
             leaped,
             rss_kb: 0,
+            phases: [0; phase::COUNT],
         };
         if best.as_ref().is_none_or(|b| m.wall_s < b.wall_s) {
             best = Some(m);
         }
     }
     let mut best = best.expect("at least one run");
+    if phased {
+        phase::install_clock(phase_clock);
+        let (_, _, _, phases) = work();
+        phase::uninstall_clock();
+        best.phases = phases;
+    }
     best.rss_kb = peak_rss_kb();
     best
 }
 
 fn run_scenario(name: &str, cfg: ScenarioConfig, repeat: usize) -> Measurement {
-    measure(name, repeat, || {
+    measure(name, repeat, true, || {
         let result = Scenario::new(cfg.clone()).run();
         (
             result.sim_steps,
             result.net_packets_sent,
             result.quanta_leaped,
+            result.phase_ns,
         )
     })
 }
@@ -125,9 +172,14 @@ fn measure_fleet(
     threads: usize,
     repeat: usize,
 ) -> Measurement {
-    let mut m = measure(name, repeat, || {
+    let mut m = measure(name, repeat, true, || {
         let report = cd_fleet::Fleet::new(fleet_config(n, duration, threads)).run();
-        (report.sim_steps, report.net_packets, report.quanta_leaped)
+        (
+            report.sim_steps,
+            report.net_packets,
+            report.quanta_leaped,
+            report.phase_ns,
+        )
     });
     // `steps` sums quanta over every vehicle machine (the throughput
     // numerator), but simulated time is the *airspace* clock — one
@@ -143,7 +195,7 @@ fn measure_campaign(
     parallel: bool,
     repeat: usize,
 ) -> Measurement {
-    measure(name, repeat, || {
+    measure(name, repeat, true, || {
         let spec = cd_bench::standard_grid("perf-campaign", duration, seeds);
         let report = if parallel {
             spec.run()
@@ -157,7 +209,13 @@ fn measure_campaign(
             .map(|o| o.result.net_packets_sent)
             .sum();
         let leaped = report.outcomes.iter().map(|o| o.result.quanta_leaped).sum();
-        (steps, packets, leaped)
+        let mut phases = [0u64; phase::COUNT];
+        for o in &report.outcomes {
+            for (acc, v) in phases.iter_mut().zip(o.result.phase_ns) {
+                *acc += v;
+            }
+        }
+        (steps, packets, leaped, phases)
     })
 }
 
@@ -201,7 +259,9 @@ fn measure_orch(
         duration.as_millis()
     );
     std::fs::write(&spec_path, spec).ok()?;
-    Some(measure(name, repeat, || {
+    // No phases: the simulation work runs in the spawned workers, whose
+    // processes never install a clock — an extra pass would buy nothing.
+    Some(measure(name, repeat, false, || {
         std::fs::remove_file(&ledger).ok();
         let status = std::process::Command::new(&orch)
             .arg("--spec")
@@ -220,7 +280,8 @@ fn measure_orch(
         (
             sum_jsonl_field(&merged, "sim_steps"),
             sum_jsonl_field(&merged, "net_packets"),
-            0,
+            sum_jsonl_field(&merged, "quanta_leaped"),
+            [0u64; phase::COUNT],
         )
     }))
 }
@@ -270,6 +331,11 @@ fn entry_rss_kb(entry: &str) -> Option<u64> {
 }
 
 fn main() {
+    // Warm the phase-clock epoch once; [`measure`] installs/uninstalls
+    // the clock around its single phase-attribution pass per row — the
+    // timed repeats always run clock-off (`phase_ns` never feeds
+    // results, but the bracket reads would inflate wall time).
+    phase_clock();
     let args = Args::parse();
     let smoke = args.has("--smoke");
     let out_path = args.value("--out").map(str::to_string);
@@ -415,13 +481,18 @@ fn main() {
     let healthy_sizes: &[usize] = if smoke { &[5] } else { &[1000] };
     for &n in healthy_sizes {
         for (suffix, leap) in [("", true), ("-noleap", false)] {
-            let m = measure(&format!("fleet-n{n}-healthy{suffix}"), repeat, || {
+            let m = measure(&format!("fleet-n{n}-healthy{suffix}"), repeat, true, || {
                 let base = ScenarioConfig::healthy().with_duration(fleet_duration);
                 let cfg = cd_fleet::FleetConfig::new(base, n)
                     .with_threads(threads)
                     .with_leap(leap);
                 let report = cd_fleet::Fleet::new(cfg).run();
-                (report.sim_steps, report.net_packets, report.quanta_leaped)
+                (
+                    report.sim_steps,
+                    report.net_packets,
+                    report.quanta_leaped,
+                    report.phase_ns,
+                )
             });
             let m = Measurement {
                 sim_s: fleet_duration.as_secs_f64(),
@@ -445,10 +516,15 @@ fn main() {
     // bursts, and the token buckets absorbing them.
     let swarm_sizes: &[usize] = if smoke { &[5] } else { &[25, 100] };
     for &n in swarm_sizes {
-        let m = measure(&format!("fleet-n{n}-swarm-jam"), repeat, || {
+        let m = measure(&format!("fleet-n{n}-swarm-jam"), repeat, true, || {
             let base = ScenarioConfig::healthy().with_duration(fleet_duration);
             let report = cd_fleet::Fleet::new(cd_bench::swarm_fleet_config(base, n)).run();
-            (report.sim_steps, report.net_packets, report.quanta_leaped)
+            (
+                report.sim_steps,
+                report.net_packets,
+                report.quanta_leaped,
+                report.phase_ns,
+            )
         });
         let m = Measurement {
             sim_s: fleet_duration.as_secs_f64(),
@@ -471,7 +547,7 @@ fn main() {
     // never clobber a committed prior-PR BENCH file.
     let out_file = out_path
         .clone()
-        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json").to_string());
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_10.json").to_string());
 
     // --merge: keep the better of (this run, what the out file already
     // holds) per scenario. Each run repeats identical deterministic work,

@@ -402,7 +402,7 @@ impl CampaignOutcome {
             .map(|t| format!("{:.3}", t.as_secs_f64()))
             .unwrap_or_else(|| "null".into());
         format!(
-            "{{\"variant\":\"{}\",\"seed\":{},\"outcome\":\"{}\",\"crashed\":{},\"switch_s\":{},\"max_deviation_m\":{:.4},\"sim_steps\":{},\"net_packets\":{}}}\n",
+            "{{\"variant\":\"{}\",\"seed\":{},\"outcome\":\"{}\",\"crashed\":{},\"switch_s\":{},\"max_deviation_m\":{:.4},\"sim_steps\":{},\"quanta_leaped\":{},\"net_packets\":{}}}\n",
             self.label,
             self.seed,
             self.verdict(),
@@ -410,6 +410,7 @@ impl CampaignOutcome {
             switch,
             self.max_deviation,
             self.result.sim_steps,
+            self.result.quanta_leaped,
             self.result.net_packets_sent,
         )
     }

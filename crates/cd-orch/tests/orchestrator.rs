@@ -41,6 +41,19 @@ fn opts(tag: &str, spec: &str) -> OrchOptions {
 fn merged_stream_is_byte_identical_across_worker_counts() {
     let reference = orchestrator::reference_bytes(SPEC).expect("reference");
     assert!(!reference.is_empty());
+    // The merged wire format must carry the executor's leap counter, and
+    // worker runs must actually leap — a zero here is the PR-9 reporting
+    // bug (orchestrated rows always claimed quanta_leaped: 0) coming
+    // back.
+    let text = String::from_utf8(reference.clone()).expect("utf8");
+    assert!(
+        text.lines().all(|l| l.contains("\"quanta_leaped\":")),
+        "every merged record must report quanta_leaped: {text}"
+    );
+    assert!(
+        text.lines().any(|l| !l.contains("\"quanta_leaped\":0,")),
+        "orchestrated runs must leap somewhere in the sweep: {text}"
+    );
     for workers in [1usize, 2, 8] {
         let mut o = opts(&format!("wc{workers}"), SPEC);
         o.workers = workers;

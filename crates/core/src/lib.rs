@@ -64,6 +64,7 @@
 pub mod config;
 pub mod feeder;
 pub mod monitor;
+pub mod phase;
 pub mod runner;
 pub mod scenario;
 pub mod telemetry;

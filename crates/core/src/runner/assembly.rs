@@ -312,6 +312,8 @@ impl Runtime {
             steps: 0,
             quanta_leaped: 0,
             frame_scratch: Vec::new(),
+            flood_memo: None,
+            phase_ns: [0; crate::phase::COUNT],
             obs: cd_obs::ObsPort::detached(),
             simplex_switches: 0,
         }

@@ -51,7 +51,7 @@ use rt_sched::machine::Machine;
 use rt_sched::task::SchedEvent;
 use sim_core::time::{SimDuration, SimTime};
 use uav_dynamics::world::World;
-use virt_net::net::{Delivery, Network, NsId, SocketId};
+use virt_net::net::{Addr, Delivery, Network, NsId, SocketId};
 
 use crate::feeder::StreamCounter;
 use crate::monitor::{SecurityMonitor, SecurityRule};
@@ -148,10 +148,13 @@ impl RunningScenario {
         if !self.vehicle.advance(&mut self.net) {
             return false;
         }
+        let t0 = crate::phase::now();
         let deliveries = self.net.step(self.vehicle.now());
         for &d in deliveries {
             self.vehicle.on_delivery(d);
         }
+        self.vehicle
+            .phase_add(crate::phase::NET, crate::phase::now() - t0);
         self.vehicle.post_step();
         true
     }
@@ -209,6 +212,14 @@ impl RunningScenario {
     /// [`ObsPort`] between stepping windows).
     pub fn vehicle_mut(&mut self) -> &mut VehicleInstance {
         &mut self.vehicle
+    }
+
+    /// Selects the network delivery path: `true` (the default) settles
+    /// flood spans in closed form, `false` (`--no-bulk`) replays them
+    /// packet-by-packet. Byte-identical results either way — the bulk
+    /// equivalence suites pin it; bulk is just O(1) per span.
+    pub fn set_bulk(&mut self, on: bool) {
+        self.net.set_bulk(on);
     }
 }
 
@@ -308,10 +319,15 @@ impl VehicleInstance {
         }
         let quantum = self.rt.machine.config().quantum;
         self.events.clear();
+        let t0 = crate::phase::now();
         self.rt.machine.step(&mut self.events);
         self.rt.steps += 1;
         let now = self.rt.machine.now();
+        let t1 = crate::phase::now();
         self.rt.world.advance_to(now);
+        let t2 = crate::phase::now();
+        self.rt.phase_ns[crate::phase::SCHED] += t1 - t0;
+        self.rt.phase_ns[crate::phase::PHYSICS] += t2 - t1;
 
         self.rt.trace_skips(&self.events, now);
         for i in 0..self.events.len() {
@@ -451,7 +467,31 @@ impl VehicleInstance {
     ///   substeps the per-quantum calls would have;
     /// - while any armed attack emits per-quantum traffic
     ///   ([`AttackDriver::quantum_active`]), the span degenerates to
-    ///   single plain steps.
+    ///   single plain steps — *unless* the flood-span fast path below
+    ///   proves batch emission exact.
+    ///
+    /// # Flood spans
+    ///
+    /// A steady flood is per-quantum traffic, which historically forced
+    /// one plain step per quantum for the whole attack window. The span
+    /// leap stays exact under a flood when every link in this chain is
+    /// provable ([`VehicleInstance::flood_span_target`]):
+    ///
+    /// - exactly one armed driver has per-quantum work, and it can replay
+    ///   its skipped emissions post-hoc at their historical times
+    ///   ([`AttackDriver::span_emit`]) — no dispatch runs mid-span, so
+    ///   nothing else enqueues on the flooded direction in between and
+    ///   FIFO order is preserved;
+    /// - the flooded destination is this vehicle's motor port and the rx
+    ///   thread is dead (the paper's post-switch state), so deferred
+    ///   deliveries wake nothing and nobody reads the socket mid-span:
+    ///   admissions happen at packet arrival times either way;
+    /// - every arrival *not* aimed at the flooded port still clamps the
+    ///   span ([`Network::next_delivery_time_excluding`]);
+    /// - the link queue has headroom for the whole span's offered load
+    ///   ([`AttackDriver::span_ready`]), so deferring the queue drain to
+    ///   the span-end network step cannot surface a capacity boundary
+    ///   the per-quantum schedule would not have hit.
     fn span_once(
         &mut self,
         net: &mut Network,
@@ -467,45 +507,38 @@ impl VehicleInstance {
         self.events.clear();
         let span_steps = self.rt.steps;
         let span_leaped = self.rt.quanta_leaped;
+        let sched_t0 = crate::phase::now();
+        let mut flood_span: Option<usize> = None;
         if self.rt.armed.iter().any(|d| d.quantum_active()) {
-            // Live emitters (floods, spoofers) have per-quantum work that
-            // cannot be leaped over: one plain quantum.
-            self.rt.machine.step(&mut self.events);
-            self.rt.steps += 1;
+            if let Some((idx, target)) = self.flood_span_target(net, hard_target) {
+                flood_span = Some(idx);
+                self.leap_toward(target);
+            } else {
+                // A live emitter without a provable span: one plain
+                // quantum.
+                self.rt.machine.step(&mut self.events);
+                self.rt.steps += 1;
+            }
         } else {
-            let mut target = hard_target.min(Self::quantum_end_at_or_after(self.end, quantum));
-            target = target.min(Self::quantum_end_at_or_after(self.next_record, quantum));
-            if let Some(d) = self.crash_deadline {
-                target = target.min(Self::quantum_end_at_or_after(d, quantum));
-            }
-            if let Some(entry) = self.rt.script.get(self.rt.script_cursor) {
-                target = target.min(Self::quantum_end_at_or_after(entry.at, quantum));
-            }
+            let mut target = self.span_target_base(hard_target);
             if let Some(arrival) = net.next_delivery_time() {
                 target = target.min(Self::quantum_end_at_or_after(arrival, quantum));
             }
             // Within one quantum of the nearest event this degenerates to
             // exactly one plain step.
             let target = target.max(now + quantum);
-
-            loop {
-                let leaped = self.rt.machine.leap_to(target);
-                self.rt.steps += leaped;
-                self.rt.quanta_leaped += leaped;
-                if self.rt.machine.now() + quantum > target {
-                    break;
-                }
-                self.rt.machine.step(&mut self.events);
-                self.rt.steps += 1;
-                if !self.events.is_empty() {
-                    // A scheduling event needs its end-of-quantum dispatch;
-                    // flush here and let the next span resume.
-                    break;
-                }
-            }
+            self.leap_toward(target);
         }
+        self.rt.phase_ns[crate::phase::SCHED] += crate::phase::now() - sched_t0;
 
+        let span_start = now;
         let now = self.rt.machine.now();
+        if let Some(idx) = flood_span {
+            // Replay the skipped per-quantum emissions at their
+            // historical times, before the tail's dispatch can enqueue
+            // anything behind them.
+            self.rt.armed[idx].span_emit(net, span_start, now, quantum);
+        }
         if self.rt.obs.enabled() {
             let leaped = self.rt.quanta_leaped - span_leaped;
             if leaped > 0 {
@@ -526,7 +559,9 @@ impl VehicleInstance {
         let at_target = now >= hard_target;
         let defer = defer_physics && at_target && self.events.is_empty();
         if !defer {
+            let t0 = crate::phase::now();
             self.rt.world.advance_to(now);
+            self.rt.phase_ns[crate::phase::PHYSICS] += crate::phase::now() - t0;
         }
         self.rt.trace_skips(&self.events, now);
         for i in 0..self.events.len() {
@@ -536,10 +571,12 @@ impl VehicleInstance {
         }
         self.rt.step_attacks(now, quantum, net);
 
+        let t0 = crate::phase::now();
         let deliveries = net.step(now);
         for &d in deliveries {
             self.on_delivery(d);
         }
+        self.rt.phase_ns[crate::phase::NET] += crate::phase::now() - t0;
         if at_target {
             if defer {
                 SpanEnd::AtTargetDeferred
@@ -550,6 +587,102 @@ impl VehicleInstance {
             self.post_step();
             SpanEnd::Short
         }
+    }
+
+    /// The span-target clamps shared by every leap flavor: hard target,
+    /// flight end, next telemetry record, crash deadline and the next
+    /// attack-script onset, each promoted to the quantum boundary where
+    /// an end-of-quantum observer first sees it.
+    fn span_target_base(&self, hard_target: SimTime) -> SimTime {
+        let quantum = self.rt.machine.config().quantum;
+        let mut target = hard_target.min(Self::quantum_end_at_or_after(self.end, quantum));
+        target = target.min(Self::quantum_end_at_or_after(self.next_record, quantum));
+        if let Some(d) = self.crash_deadline {
+            target = target.min(Self::quantum_end_at_or_after(d, quantum));
+        }
+        if let Some(entry) = self.rt.script.get(self.rt.script_cursor) {
+            target = target.min(Self::quantum_end_at_or_after(entry.at, quantum));
+        }
+        target
+    }
+
+    /// The leap loop: closed-form machine leaps toward `target`,
+    /// interleaved with plain steps wherever the machine cannot leap,
+    /// flushing as soon as a scheduling event needs its end-of-quantum
+    /// dispatch.
+    fn leap_toward(&mut self, target: SimTime) {
+        let quantum = self.rt.machine.config().quantum;
+        loop {
+            let leaped = self.rt.machine.leap_to(target);
+            self.rt.steps += leaped;
+            self.rt.quanta_leaped += leaped;
+            if self.rt.machine.now() + quantum > target {
+                break;
+            }
+            self.rt.machine.step(&mut self.events);
+            self.rt.steps += 1;
+            if !self.events.is_empty() {
+                // A scheduling event needs its end-of-quantum dispatch;
+                // flush here and let the next span resume.
+                break;
+            }
+        }
+    }
+
+    /// The flood-span precondition chain (see the *Flood spans* section
+    /// of [`VehicleInstance::span_once`]): returns the index of the one
+    /// span-capable live emitter and the proven leap target, or `None`
+    /// when per-quantum stepping is the only exact schedule.
+    fn flood_span_target(&self, net: &Network, hard_target: SimTime) -> Option<(usize, SimTime)> {
+        let quantum = self.rt.machine.config().quantum;
+        let now = self.rt.machine.now();
+        // Exactly one driver with per-quantum work, and it is
+        // span-capable.
+        let mut live = self
+            .rt
+            .armed
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.quantum_active());
+        let (idx, driver) = live.next()?;
+        if live.next().is_some() {
+            return None;
+        }
+        let dst = driver.span_dst()?;
+        // Deliveries to the flooded port must be inert: the motor socket
+        // is the only one whose deliveries wake a task (the rx thread),
+        // and every other socket is read by polling handlers whose
+        // mid-span reads would observe the deferred deliveries. So the
+        // span only engages against the motor port with the rx thread
+        // dead — the paper's post-switch state, which is exactly when
+        // the flood window dominates the run.
+        let motor = Addr {
+            ns: self.rt.host_ns,
+            port: crate::config::MOTOR_PORT,
+        };
+        if dst != motor {
+            return None;
+        }
+        if self
+            .rt
+            .ids
+            .rx
+            .is_some_and(|rx| self.rt.machine.is_alive(rx))
+        {
+            return None;
+        }
+        let mut target = self.span_target_base(hard_target);
+        if let Some(arrival) = net.next_delivery_time_excluding(dst) {
+            target = target.min(Self::quantum_end_at_or_after(arrival, quantum));
+        }
+        if target <= now + quantum {
+            // Degenerate span: a plain step costs less than the replay.
+            return None;
+        }
+        if !driver.span_ready(net, now, target, quantum) {
+            return None;
+        }
+        Some((idx, target))
     }
 
     /// The time-leap fast path (see [`VehicleInstance::span_once`] for
@@ -606,6 +739,15 @@ impl VehicleInstance {
     /// Simplex switches to the safety controller taken so far.
     pub fn simplex_switches(&self) -> u64 {
         self.rt.simplex_switches
+    }
+
+    /// Credits `ns` wall-nanoseconds to executor phase `phase`
+    /// ([`crate::phase`] indices). External steppers (the fleet executor,
+    /// [`RunningScenario::step`]) own the network step and batch-physics
+    /// calls, so they bracket those themselves and book the time here;
+    /// the totals surface in [`ScenarioResult::phase_ns`].
+    pub fn phase_add(&mut self, phase: usize, ns: u64) {
+        self.rt.phase_ns[phase] += ns;
     }
 }
 
@@ -716,6 +858,16 @@ pub(crate) struct Runtime {
     pub(crate) quanta_leaped: u64,
     /// Scratch for decoded frames, reused across every received datagram.
     pub(crate) frame_scratch: Vec<Frame>,
+    /// Parse-once memo for shared flood payloads: the last shared buffer
+    /// whose clean-slate parse produced no frames and left the reassembly
+    /// buffer empty, with the [`ParserStats`] delta that parse booked.
+    /// Later packets carrying the same buffer (pointer identity) replay
+    /// the delta instead of re-scanning.
+    pub(crate) flood_memo: Option<(std::sync::Arc<[u8]>, mavlink_lite::parser::ParserStats)>,
+    /// Wall-nanoseconds per executor phase ([`crate::phase`] indices).
+    /// All-zero unless a measurement harness installed the phase clock;
+    /// never feeds simulation state.
+    pub(crate) phase_ns: [u64; crate::phase::COUNT],
     /// Structured trace port — detached (a single branch per potential
     /// event) unless a fleet/scenario driver attaches a buffer.
     pub(crate) obs: ObsPort,

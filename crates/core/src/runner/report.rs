@@ -79,6 +79,12 @@ pub struct ScenarioResult {
     pub net_packets_sent: u64,
     /// Per-task scheduler statistics (name, stats).
     pub task_report: Vec<(String, TaskStats)>,
+    /// Wall-nanoseconds the executor spent per phase ([`crate::phase`]
+    /// indices / [`crate::phase::NAMES`]). All-zero unless a measurement
+    /// harness installed the phase clock ([`crate::phase::install_clock`]);
+    /// scratch for the perf harness, excluded from every equivalence
+    /// comparison.
+    pub phase_ns: [u64; crate::phase::COUNT],
 }
 
 impl ScenarioResult {
@@ -249,6 +255,7 @@ impl Runtime {
             heartbeats_received: self.heartbeats_received,
             sim_steps: self.steps,
             quanta_leaped: self.quanta_leaped,
+            phase_ns: self.phase_ns,
             net_packets_sent: net.packets_sent(),
             task_report,
             telemetry: self.recorder,

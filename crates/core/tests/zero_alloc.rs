@@ -167,3 +167,51 @@ fn udp_flood_steady_state_allocates_nothing() {
         "iptables limit never engaged"
     );
 }
+
+/// The bulk flood-span counterpart: one simulated second of the Figure 7
+/// flood advanced span-by-span — closed-form machine leaps, batched
+/// emission replay ([`AttackDriver::span_emit`]), run-length-encoded
+/// link entries and closed-form token-bucket settlement — must also be
+/// allocation-free. This is the gate the PR's O(1)-per-span flood
+/// arithmetic has to clear: a span that materialized its packets (or a
+/// memo that grew per datagram) would show up here as per-quantum heap
+/// traffic.
+#[test]
+fn udp_flood_leap_steady_state_allocates_nothing() {
+    let _window = MEASUREMENT.lock().expect("serialize measurement");
+    let mut run = Scenario::new(ScenarioConfig::fig7()).start();
+
+    // Warmup on the leap executor itself, well past onset and switch:
+    // flood-span scratch (the driver's replay cursor, the RLE front,
+    // the machine's captured fair order) reaches steady capacity.
+    run.advance_to_leap(SimTime::from_secs(12));
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let leaped_before = run.vehicle().sched_obs().leaped_quanta;
+    assert!(before > 0, "counter must have registered setup allocations");
+    run.advance_to_leap(SimTime::from_secs(13)); // one simulated flood second
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let leaped_in_window = run.vehicle().sched_obs().leaped_quanta - leaped_before;
+
+    assert_eq!(
+        after - before,
+        0,
+        "bulk flood-span loop allocated {} times in one simulated second",
+        after - before
+    );
+    // The window really took flood spans — the gate must cover the bulk
+    // path, not a degenerate per-quantum fallback.
+    assert!(
+        leaped_in_window * 2 > 20_000,
+        "the flood window must leap most of its quanta: {leaped_in_window} of 20000"
+    );
+
+    let result = run.finish();
+    assert!(!result.crashed());
+    assert!(result.switch_time.is_some(), "monitor never switched");
+    assert!(
+        result.flood_sent > 4 * 20_000,
+        "flood offered only {} packets",
+        result.flood_sent
+    );
+}

@@ -76,6 +76,7 @@ use attacks::fleet::FleetScript;
 use cd_obs::metrics::Registry;
 use cd_obs::trace::TraceSink;
 use containerdrone_core::config::SCHED_QUANTUM;
+use containerdrone_core::phase;
 use containerdrone_core::runner::{ScenarioResult, SpanEnd, VehicleInstance};
 use containerdrone_core::scenario::ScenarioConfig;
 use sim_core::time::{SimDuration, SimTime};
@@ -126,6 +127,12 @@ pub struct FleetConfig {
     /// tests pin it — the leap executor is just faster across event-free
     /// spans.
     pub leap: bool,
+    /// Use the virtual network's bulk (closed-form) flood-delivery fast
+    /// path (the default). `false` is the `--no-bulk` reference: every
+    /// queued span settles packet-by-packet. Both produce byte-identical
+    /// reports — [`virt_net::net::Network::set_bulk`] — bulk is just
+    /// O(1) per flood span instead of O(packets).
+    pub bulk: bool,
 }
 
 /// Shard-assignment strategy for the parallel executor.
@@ -160,6 +167,7 @@ impl FleetConfig {
             threads: 1,
             partition: Partition::default(),
             leap: true,
+            bulk: true,
         }
     }
 
@@ -213,6 +221,16 @@ impl FleetConfig {
         self.leap = leap;
         self
     }
+
+    /// Selects the network delivery path: `true` (default) settles flood
+    /// spans in closed form, `false` (`--no-bulk`) replays them
+    /// packet-by-packet. Byte-identical either way — the bulk
+    /// equivalence suites pin it.
+    #[must_use]
+    pub fn with_bulk(mut self, bulk: bool) -> Self {
+        self.bulk = bulk;
+        self
+    }
 }
 
 /// One vehicle plus the private bridge network it flies against. The
@@ -240,10 +258,12 @@ fn run_slot_to(slot: &mut VehicleSlot, target: SimTime, snap: &mut VehicleSnapsh
         if at_target {
             *snap = VehicleSnapshot::of(vehicle);
         }
+        let t0 = phase::now();
         let deliveries = net.step(now);
         for &d in deliveries {
             vehicle.on_delivery(d);
         }
+        vehicle.phase_add(phase::NET, phase::now() - t0);
         vehicle.post_step();
         if at_target {
             return;
@@ -259,6 +279,11 @@ fn run_slot_to(slot: &mut VehicleSlot, target: SimTime, snap: &mut VehicleSnapsh
 struct ShardScratch {
     batch: WorldBatch,
     pending: Vec<usize>,
+    /// Wall-ns this shard spent in batched physics catch-up — the
+    /// deferred share of the physics phase, booked here because it runs
+    /// outside any vehicle ([`containerdrone_core::phase`] accounting;
+    /// stays zero unless the phase clock is installed).
+    physics_ns: u64,
 }
 
 /// Advances one vehicle span-by-span to `target` (a poll boundary) on
@@ -464,7 +489,9 @@ fn run_shards(
                     scratch.pending.push(i);
                 }
             }
+            let t0 = phase::now();
             scratch.batch.advance();
+            scratch.physics_ns += phase::now() - t0;
             for (lane, &i) in scratch.pending.iter().enumerate() {
                 finish_deferred_slot(&mut slots[i], &mut snapshots[i], &scratch.batch, lane);
             }
@@ -509,7 +536,9 @@ fn run_shards(
                             scratch.pending.push(i);
                         }
                     }
+                    let t0 = phase::now();
                     scratch.batch.advance();
+                    scratch.physics_ns += phase::now() - t0;
                     for (lane, &i) in scratch.pending.iter().enumerate() {
                         let (slot, snap, _) = &mut batch[i];
                         finish_deferred_slot(slot, snap, &scratch.batch, lane);
@@ -580,10 +609,12 @@ impl Fleet {
                 cfg.attacks = cfg.attacks.at(entry.at, entry.event.clone());
             }
             let mut net = Network::new();
+            net.set_bulk(config.bulk);
             let vehicle = VehicleInstance::build(cfg, Vec::new(), &mut net);
             slots.push(VehicleSlot { net, vehicle });
         }
         let mut airspace = Airspace::build(config.n_vehicles, config.gcs.uplink);
+        airspace.net_mut().set_bulk(config.bulk);
         let gcs = GroundStation::build(&mut airspace, &config.gcs);
         let swarm = config
             .swarm
@@ -958,6 +989,7 @@ impl Fleet {
             attackers,
             now,
             end_of_flight,
+            scratch,
             ..
         } = self;
         let net = airspace.net();
@@ -994,9 +1026,17 @@ impl Fleet {
                 }
             })
             .collect();
+        let mut phase_ns = [0u64; phase::COUNT];
+        for o in &outcomes {
+            for (acc, v) in phase_ns.iter_mut().zip(o.result.phase_ns) {
+                *acc += v;
+            }
+        }
+        phase_ns[phase::PHYSICS] += scratch.iter().map(|s| s.physics_ns).sum::<u64>();
         FleetReport {
             sim_steps: outcomes.iter().map(|o| o.result.sim_steps).sum(),
             quanta_leaped: outcomes.iter().map(|o| o.result.quanta_leaped).sum(),
+            phase_ns,
             net_packets,
             attacker_packets,
             duration: now,
@@ -1054,6 +1094,12 @@ pub struct FleetReport {
     /// under `--no-leap`; everything else in the report is byte-identical
     /// either way (see [`FleetReport::quanta_stepped`]).
     pub quanta_leaped: u64,
+    /// Wall-nanoseconds per executor phase, summed over vehicles and
+    /// worker shards ([`containerdrone_core::phase`] indices). All-zero
+    /// unless the phase clock is installed; under multi-threaded runs the
+    /// phases sum CPU-time-like across threads, so they can exceed the
+    /// run's wall clock.
+    pub phase_ns: [u64; phase::COUNT],
     /// Datagrams offered to the bridge and airspace networks combined
     /// (streams, attacks and telemetry).
     pub net_packets: u64,

@@ -132,6 +132,56 @@ fn adversarial_campaign_leap_matches_no_leap_at_every_thread_count() {
     }
 }
 
+/// `--no-bulk` (per-packet flood-span settlement in the virtual
+/// network) must be byte-identical to the bulk default across the
+/// adversarial matrix — **including** the executor stats: bulk changes
+/// delivery mechanics only, never a counter or a leap decision, so
+/// nothing gets stripped from this comparison (unlike the leap/no-leap
+/// diff, which strips the executor-stat columns).
+#[test]
+fn bulk_and_per_packet_settlement_agree_byte_for_byte() {
+    type ConfigFn = fn(usize) -> FleetConfig;
+    let cases: [(&str, ConfigFn); 2] =
+        [("mixed", mixed_config), ("adversarial", adversarial_config)];
+    for (label, config) in cases {
+        let bulk = Fleet::new(config(8)).run();
+        let nobulk = Fleet::new(config(8).with_bulk(false)).run();
+        assert_eq!(
+            bulk.to_csv(),
+            nobulk.to_csv(),
+            "{label}: fleet CSV diverged between settlement paths"
+        );
+        assert_eq!(
+            bulk.quanta_leaped, nobulk.quanta_leaped,
+            "{label}: bulk must not change what the executor leaps"
+        );
+        assert_eq!(bulk.sim_steps, nobulk.sim_steps, "{label}: sim_steps");
+        assert_eq!(bulk.net_packets, nobulk.net_packets, "{label}: packets");
+        for (a, b) in bulk.outcomes.iter().zip(&nobulk.outcomes) {
+            assert_eq!(
+                a.result.telemetry.to_csv(),
+                b.result.telemetry.to_csv(),
+                "{label}: vehicle {} telemetry diverged",
+                a.index
+            );
+            assert_eq!(
+                a.result.rx_socket_stats, b.result.rx_socket_stats,
+                "{label}: vehicle {} socket stats",
+                a.index
+            );
+            assert_eq!(
+                a.result.hce_parser_stats, b.result.hce_parser_stats,
+                "{label}: vehicle {} parser stats",
+                a.index
+            );
+        }
+        assert!(
+            bulk.quanta_leaped > 0,
+            "{label}: degenerate case — nothing leaped, the pin is vacuous"
+        );
+    }
+}
+
 /// A healthy fleet's machines are mostly waiting between task events, so
 /// the executor should leap well over two thirds of all quanta (measured:
 /// ~73% — the stepped remainder is the genuine event quanta: ~2 200

@@ -148,3 +148,52 @@ fn fleet_leap_steady_state_allocates_nothing() {
         report.sim_steps
     );
 }
+
+/// The flooded batch-executor gate — the fleet twin of the core crate's
+/// `udp_flood_leap_steady_state_allocates_nothing`. One simulated second
+/// of a 3-vehicle Figure-7 flood advanced in poll-boundary batches must
+/// be allocation-free: flood spans leap through the attack window in
+/// closed form, the skipped emissions replay as run-length-encoded
+/// bursts, and the bulk token-bucket settlement books whole runs without
+/// materializing a packet. Any of those falling back to per-datagram
+/// heap traffic fails here.
+#[test]
+fn fleet_flood_leap_steady_state_allocates_nothing() {
+    let _window = MEASUREMENT.lock().expect("serialize measurement");
+    let mut fleet = Fleet::new(FleetConfig::new(ScenarioConfig::fig7(), 3));
+
+    // Pool-aware warmup on the batch executor itself, well past the 8 s
+    // onset and the Simplex switches: RLE link entries, replay cursors
+    // and every machine's span scratch reach steady capacity.
+    fleet.run_until(SimTime::from_secs(12));
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(before > 0, "counter must have registered setup allocations");
+    fleet.run_until(SimTime::from_secs(13)); // one simulated flood second
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "fleet flood batch allocated {} times in one simulated second",
+        after - before
+    );
+
+    // The window really was a flooded fleet riding the leap executor.
+    let report = fleet.finish();
+    assert_eq!(report.crashes(), 0);
+    assert_eq!(report.switches(), 3, "every monitor must have switched");
+    assert!(
+        report.quanta_leaped * 2 > report.sim_steps,
+        "a flooded fleet batch run must still leap most quanta: {} of {}",
+        report.quanta_leaped,
+        report.sim_steps
+    );
+    for o in &report.outcomes {
+        assert!(
+            o.result.flood_sent > 4 * 20_000,
+            "vehicle {} unflooded",
+            o.index
+        );
+    }
+}

@@ -187,9 +187,40 @@ impl Parser {
         self.stats
     }
 
+    /// Books a pre-recorded statistics delta without scanning — the
+    /// replay half of a parse-once/account-N-times memo over
+    /// byte-identical datagrams (a flood fans one shared buffer out as
+    /// thousands of packets). Sound only when the recorded push started
+    /// *and* ended with an empty reassembly buffer: the scan is then a
+    /// pure function of the payload bytes, so replaying its counter
+    /// delta is observationally identical to re-scanning.
+    pub fn account(&mut self, delta: ParserStats) {
+        self.stats.frames_ok = self.stats.frames_ok.wrapping_add(delta.frames_ok);
+        self.stats.crc_errors = self.stats.crc_errors.wrapping_add(delta.crc_errors);
+        self.stats.unknown_messages = self
+            .stats
+            .unknown_messages
+            .wrapping_add(delta.unknown_messages);
+        self.stats.bytes_skipped = self.stats.bytes_skipped.wrapping_add(delta.bytes_skipped);
+    }
+
     /// Bytes currently buffered awaiting more input.
     pub fn pending_bytes(&self) -> usize {
         self.buf.len()
+    }
+}
+
+impl ParserStats {
+    /// The counter movement since `earlier` — what one recorded push
+    /// contributed, replayable via [`Parser::account`]. Wrapping so a
+    /// hostile counter state can never panic this path.
+    pub fn delta_since(&self, earlier: &ParserStats) -> ParserStats {
+        ParserStats {
+            frames_ok: self.frames_ok.wrapping_sub(earlier.frames_ok),
+            crc_errors: self.crc_errors.wrapping_sub(earlier.crc_errors),
+            unknown_messages: self.unknown_messages.wrapping_sub(earlier.unknown_messages),
+            bytes_skipped: self.bytes_skipped.wrapping_sub(earlier.bytes_skipped),
+        }
     }
 }
 // cd-lint: end(panic_paths)

@@ -55,6 +55,39 @@ pub struct CoreDemand {
     pub streaming: bool,
 }
 
+/// Why [`MemorySystem::leap_fair_active`] stopped advancing. The
+/// stopping quantum itself is never applied — it belongs to the caller
+/// (a re-dispatch on `Rotation`, the stepped path on `Cap`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FairLeapStop {
+    /// Hit `max_k` (the caller's span bound), or declined outright
+    /// (0 quanta: residual cross-core service or streaming demand).
+    Bound,
+    /// The accumulator crossed the quantized-order threshold: the next
+    /// dispatch would reorder the fair class.
+    Rotation,
+    /// The active core's MemGuard budget would cap the next quantum.
+    Cap,
+}
+
+/// The caller-supplied accumulator [`MemorySystem::leap_fair_active`]
+/// drives alongside the memory state: the running fair task's
+/// `vruntime` (`acc += inc` per quantum) plus the quantized-order stop
+/// threshold against the task's successor in the captured dispatch
+/// order.
+pub struct FairDrive<'a> {
+    /// The running task's vruntime, advanced in place.
+    pub acc: &'a mut f64,
+    /// Per-quantum increment (`dt_secs × vruntime_scale`) — the same
+    /// f64 product the stepped path adds, so the bits agree.
+    pub inc: f64,
+    /// `(successor_key, successor_id, runner_id)`: the walk stops
+    /// *before* the quantum whose dispatch would order the successor
+    /// ahead of the runner. `None` when no successor exists (the runner
+    /// cannot rotate away).
+    pub stop: Option<(u64, u32, u32)>,
+}
+
 /// Outcome of one quantum for one core.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreOutcome {
@@ -400,6 +433,139 @@ impl MemorySystem {
             self.served_scratch.copy_from_slice(&self.prev_served);
         }
         k
+    }
+
+    /// Residual per-core service rates from the previous quantum (lines
+    /// per second). Event-driven executors read these to prove the
+    /// zero-cross-contention precondition of the single-active leap
+    /// forms without round-tripping through a probe quantum.
+    pub fn prev_served(&self) -> &[f64] {
+        &self.prev_served
+    }
+
+    /// Advances up to `max_k` quanta of the single-active steady state
+    /// — at most one core (`active`) with live, latency-bound demand,
+    /// every other core idle or throttled — while driving one caller-
+    /// supplied linear accumulator (`acc += inc` per quantum) with a
+    /// quantized-order stop threshold. Bit-identical to that many
+    /// [`MemorySystem::replay_quantum`] calls with `active`'s demand on
+    /// its core and [`CoreDemand::default`] elsewhere.
+    ///
+    /// The accumulator is the fair-class scheduler's `vruntime` of the
+    /// single running fair task: the only per-quantum f64 state outside
+    /// this memory system in the regime. `stop` is the `(key, id)` pair
+    /// of that task's successor in the captured fair dispatch order
+    /// plus the task's own id; the walk stops *before* the quantum
+    /// whose dispatch would reorder the pair — `(succ_key, succ_id) <
+    /// (quantize(acc), id)` — because only the running task's key moves,
+    /// and only upward, so the first possible inversion of a sorted
+    /// capture is against the immediate successor.
+    ///
+    /// As in [`MemorySystem::leap_one_active`]: with zero previous
+    /// service elsewhere the active core serves a constant
+    /// `bandwidth × dt` lines at exactly full progress, the walk stops
+    /// before any quantum a MemGuard budget would cap, and it returns
+    /// 0 quanta without touching state when another core has residual
+    /// service or the demand is streaming. `active: None` covers the
+    /// compute-only placement (including a throttled demand core, whose
+    /// demand the stepped path never reads): no lines move, exhausted
+    /// cores stall, `prev_served` decays to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` is out of range or `dt` is zero.
+    pub fn leap_fair_active(
+        &mut self,
+        start: SimTime,
+        dt: SimDuration,
+        active: Option<(usize, CoreDemand)>,
+        drive: FairDrive<'_>,
+        max_k: u64,
+    ) -> (u64, FairLeapStop) {
+        let FairDrive { acc, inc, stop } = drive;
+        assert!(dt.as_nanos() > 0, "quantum must be non-zero");
+        if let Some((core, d)) = &active {
+            assert!(*core < self.n_cores(), "core {core} out of range");
+            if d.streaming {
+                return (0, FairLeapStop::Bound);
+            }
+            if self
+                .prev_served
+                .iter()
+                .enumerate()
+                .any(|(i, &s)| i != *core && s != 0.0)
+            {
+                return (0, FairLeapStop::Bound);
+            }
+        }
+        let dt_s = dt.as_secs_f64();
+        // u_other is exactly 0: stall_fraction · γ · 0 = 0, progress 1/1.
+        let lines = active.map(|(_, d)| d.bandwidth * dt_s);
+        let mut k = 0u64;
+        let mut t = start;
+        let reason = loop {
+            if k >= max_k {
+                break FairLeapStop::Bound;
+            }
+            // The rotation gate comes first: the stepped dispatch would
+            // re-place the fair class at this quantum's start, before
+            // any memory effect, so nothing of this quantum is applied.
+            if let Some((succ_key, succ_raw, raw)) = stop {
+                let key = (*acc * 1e9) as u64;
+                if (succ_key, succ_raw) < (key, raw) {
+                    break FairLeapStop::Rotation;
+                }
+            }
+            if let Some(mg) = &mut self.memguard {
+                // A replenish due at this quantum fires before anything
+                // else, exactly as the stepped path orders it (firing
+                // and then stopping on the cap is still identical: the
+                // stepped quantum would apply the very same reset).
+                if t >= mg.next_replenish {
+                    mg.used.iter_mut().for_each(|u| *u = 0.0);
+                    mg.next_replenish = t + mg.config.period;
+                }
+                if let Some((core, _)) = active {
+                    if let Some(budget) = mg.config.budgets[core] {
+                        let lines = lines.unwrap_or_default();
+                        if mg.used[core] >= budget || lines >= budget - mg.used[core] {
+                            break FairLeapStop::Cap;
+                        }
+                        mg.used[core] += lines;
+                    }
+                }
+                // Exhausted cores (other than the active one, which the
+                // cap gate keeps strictly under budget) stall through
+                // this quantum exactly as the stepped throttle branch.
+                for (i, budget) in mg.config.budgets.iter().enumerate() {
+                    let Some(budget) = budget else { continue };
+                    if active.is_none_or(|(c, _)| c != i) && mg.used[i] >= *budget {
+                        self.counters[i].throttled_time += dt;
+                    }
+                }
+            }
+            if let Some((core, _)) = active {
+                self.counters[core].lines += lines.unwrap_or_default();
+            }
+            *acc += inc;
+            k += 1;
+            t += dt;
+        };
+        if k > 0 {
+            match active {
+                Some((core, _)) => {
+                    let rate = lines.unwrap_or_default() / dt_s;
+                    for (i, s) in self.prev_served.iter_mut().enumerate() {
+                        *s = if i == core { rate } else { 0.0 };
+                    }
+                }
+                None => self.prev_served.iter_mut().for_each(|s| *s = 0.0),
+            }
+            // Dead state — overwritten before every read — kept in the
+            // steady value the alternating swap would leave.
+            self.served_scratch.copy_from_slice(&self.prev_served);
+        }
+        (k, reason)
     }
 
     /// `true` when some budgeted, non-exhausted core could hit its

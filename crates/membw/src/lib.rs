@@ -27,11 +27,15 @@
 
 pub mod dram;
 
-pub use dram::{CoreDemand, CoreOutcome, DramConfig, MemGuardConfig, MemorySystem, PerfCounter};
+pub use dram::{
+    CoreDemand, CoreOutcome, DramConfig, FairDrive, FairLeapStop, MemGuardConfig, MemorySystem,
+    PerfCounter,
+};
 
 /// Convenient glob import of the memory-system types.
 pub mod prelude {
     pub use crate::dram::{
-        CoreDemand, CoreOutcome, DramConfig, MemGuardConfig, MemorySystem, PerfCounter,
+        CoreDemand, CoreOutcome, DramConfig, FairDrive, FairLeapStop, MemGuardConfig, MemorySystem,
+        PerfCounter,
     };
 }

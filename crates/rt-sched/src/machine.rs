@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use membw::dram::{CoreDemand, DramConfig, MemGuardConfig, MemorySystem};
+use membw::dram::{CoreDemand, DramConfig, FairDrive, FairLeapStop, MemGuardConfig, MemorySystem};
 use sim_core::time::{SimDuration, SimTime};
 
 use crate::cgroup::{Cgroup, CgroupId};
@@ -284,6 +284,19 @@ pub struct Machine {
     /// gate).
     #[cfg(debug_assertions)]
     assign_verify: Vec<Option<TaskId>>,
+    /// Cache of the RT phase of [`Machine::compute_assignment`]: the
+    /// placement with only the RT buckets placed, plus the free-core
+    /// mask the fair fill starts from. The RT prefix is a pure function
+    /// of the RT ready order and static affinities, both pinned by the
+    /// ready epoch — so while `rt_epoch` matches, a recomputation (which
+    /// multi-fair dispatch runs every quantum, because vruntimes move)
+    /// only re-fills the fair slots.
+    rt_assignment: Vec<Option<TaskId>>,
+    /// Free-core mask left after the cached RT phase.
+    rt_free_mask: u64,
+    /// Ready-queue epoch `rt_assignment`/`rt_free_mask` were derived
+    /// against (`None` before the first full walk).
+    rt_epoch: Option<u64>,
     /// Earliest pending periodic release; quanta before it skip the
     /// release scan entirely (releases are ~10× rarer than quanta).
     next_release_hint: SimTime,
@@ -320,6 +333,9 @@ impl Machine {
             last_assign_epoch: None,
             #[cfg(debug_assertions)]
             assign_verify: Vec::with_capacity(config.n_cores),
+            rt_assignment: Vec::with_capacity(config.n_cores),
+            rt_free_mask: 0,
+            rt_epoch: None,
             fair_scratch: Vec::new(),
             demands: Vec::with_capacity(config.n_cores),
             progress_scratch: vec![0.0; config.n_cores],
@@ -837,14 +853,21 @@ impl Machine {
             }
         }
 
-        if traffic <= 1 && !streaming_any && !multi_fair {
-            let leaped = self.leap_uncontended_span(k, single_active);
+        if traffic <= 1 && !streaming_any {
+            let leaped = if multi_fair {
+                // Several runnable fair tasks, but the steady regime
+                // (one fair-hosting core, ≤ 1 demand core) still avoids
+                // the full per-quantum replay.
+                self.leap_fair_span(k, throttled_mask)
+            } else {
+                self.leap_uncontended_span(k, single_active)
+            };
             if leaped > 0 {
                 return leaped;
             }
             // Fall through to the replay: e.g. residual cross-core
             // contention from the previous quantum still dilates the
-            // single active core, which the closed form refuses.
+            // single active core, which the closed forms refuse.
         }
         self.leap_replay_span(k, multi_fair, throttled_mask)
     }
@@ -928,6 +951,211 @@ impl Machine {
         k
     }
 
+    /// The span leap for the multi-fair steady state — the flood
+    /// regime: several *runnable* fair tasks, but exactly one assigned
+    /// core hosts a fair (vruntime-scaled) runner, at most that same
+    /// core carries live latency-bound demand, and no other core has
+    /// residual service from the previous quantum.
+    ///
+    /// In that regime every per-quantum effect the general replay
+    /// computes is a constant except three f64 accumulations: the
+    /// runner's `vruntime`, the active core's MemGuard budget draw, and
+    /// its line counter. [`MemorySystem::leap_fair_active`] replays
+    /// those three in a micro-loop (repeated f64 addition is not one
+    /// multiplication) with the fair-rotation stability check folded
+    /// into a single quantized-key comparison — only the runner's key
+    /// moves, and only upward, so the first possible inversion of the
+    /// sorted capture is against its immediate successor. Everything
+    /// else — task stats, job progress, core counters — multiplies out
+    /// per segment in integer nanoseconds.
+    ///
+    /// Fair rotations are resolved in-span without re-running the full
+    /// placement. That is sound because the span pins every input the
+    /// placement is a function of: the ready epoch cannot move (no
+    /// release, completion, or external call mid-span), so the RT
+    /// prefix and the free-core set are fixed, and the entry check
+    /// proves every runnable fair task's affinity admits exactly one
+    /// free core — the fair core. The fair fill then always places the
+    /// head of the (quantized vruntime, id) order there and nothing
+    /// else, so a rotation reduces to re-sorting one moved key in the
+    /// maintained ladder (the sorted order over distinct ids is unique,
+    /// so the incremental re-sort equals a fresh capture) and swapping
+    /// the runner. Segment bounds that depend on the runner are then
+    /// re-derived; bounds for the frozen RT cores are computed once at
+    /// entry in absolute span quanta (their jobs progress exactly one
+    /// quantum per quantum, so the entry bound stays exact). Returns
+    /// the quanta leaped (0 = declined to the general replay).
+    fn leap_fair_span(&mut self, max_k: u64, throttled_mask: u64) -> u64 {
+        let dt = self.config.quantum;
+        let dt_ns = dt.as_nanos();
+        let mut bound = max_k;
+
+        // --- span entry: prove the regime once. Nothing is mutated
+        // --- until the first segment advances, so a decline is free.
+        let mut fair_core = usize::MAX;
+        let mut rid = TaskId(0);
+        for core in 0..self.assignment.len() {
+            let Some(tid) = self.assignment[core] else {
+                continue;
+            };
+            let task = &self.tasks[tid.index()];
+            if vruntime_scale(&task.spec.policy) != 0.0 {
+                if fair_core != usize::MAX {
+                    return 0; // two moving vruntime keys
+                }
+                fair_core = core;
+                rid = tid;
+                continue;
+            }
+            // Frozen non-fair cores: fold their completion bounds into
+            // the span bound once, in absolute span quanta (exactly one
+            // quantum of progress per quantum keeps them exact).
+            if throttled_mask >> core & 1 == 0 {
+                let cost = &task.spec.cost;
+                if cost.mem_bandwidth != 0.0 || cost.stall_fraction != 0.0 || cost.streaming {
+                    return 0; // demand off the fair core: replay territory
+                }
+                if let Some(job) = self.tasks[tid.index()].jobs.front() {
+                    let j_comp = job.remaining.as_nanos().div_ceil(dt_ns).max(1);
+                    bound = bound.min(j_comp - 1);
+                }
+            }
+        }
+        if fair_core == usize::MAX {
+            return 0; // static keys: the general replay's case
+        }
+        // Every runnable fair task must be vruntime-scaled (no
+        // round-robin slice bounds to track) and placeable on exactly
+        // one free core — the fair core. Then the fair fill is the
+        // ladder head by construction, rotations never move the fair
+        // class anywhere else, and no second fair task gets a core.
+        debug_assert_eq!(self.rt_epoch, Some(self.ready.epoch));
+        for &id in &self.ready.fair {
+            let task = &self.tasks[id.index()];
+            if vruntime_scale(&task.spec.policy) == 0.0
+                || task.spec.affinity.bits() & self.rt_free_mask != 1 << fair_core
+            {
+                return 0;
+            }
+        }
+        if self
+            .memory
+            .prev_served()
+            .iter()
+            .enumerate()
+            .any(|(i, &s)| i != fair_core && s != 0.0)
+        {
+            // Residual cross-core service: the contention recurrence
+            // does not collapse to constants. (The fair core's own
+            // residue is fine — a core never contends with itself.)
+            return 0;
+        }
+        let runner_throttled = throttled_mask >> fair_core & 1 == 1;
+
+        // The fair dispatch ladder, maintained across rotations.
+        self.capture_fair_order();
+        debug_assert!(self.fair_order.len() > 1, "multi-fair span needs a ladder");
+        debug_assert_eq!(self.fair_order[0].1, rid.0, "runner must head the ladder");
+
+        let mut leaped = 0u64;
+        'segments: while leaped < bound {
+            let task = &self.tasks[rid.index()];
+            let cost = &task.spec.cost;
+            if cost.streaming {
+                break 'segments; // a streaming runner rotated in
+            }
+            let active = (!runner_throttled
+                && (cost.mem_bandwidth != 0.0 || cost.stall_fraction != 0.0))
+                .then_some((
+                    fair_core,
+                    CoreDemand {
+                        bandwidth: cost.mem_bandwidth,
+                        stall_fraction: cost.stall_fraction,
+                        streaming: false,
+                    },
+                ));
+            let inc = dt.as_secs_f64() * vruntime_scale(&task.spec.policy);
+            let mut vr = task.vruntime;
+            // Stop before the runner's own completing quantum (progress
+            // is exactly one quantum per quantum unless throttled).
+            let mut seg = bound - leaped;
+            if !runner_throttled {
+                if let Some(job) = task.jobs.front() {
+                    let j_comp = job.remaining.as_nanos().div_ceil(dt_ns).max(1);
+                    seg = seg.min(j_comp - 1);
+                }
+            }
+            if seg == 0 {
+                break 'segments;
+            }
+            let stop = (self.fair_order[1].0, self.fair_order[1].1, rid.0);
+            let drive = FairDrive {
+                acc: &mut vr,
+                inc,
+                stop: Some(stop),
+            };
+            let (k, stop_reason) = self
+                .memory
+                .leap_fair_active(self.now, dt, active, drive, seg);
+
+            if k > 0 {
+                // Bulk-apply the constant per-quantum task arithmetic —
+                // the exact stepped updates with progress pinned at one
+                // quantum (unthrottled) or zero (throttled).
+                for core in 0..self.assignment.len() {
+                    let Some(tid) = self.assignment[core] else {
+                        continue;
+                    };
+                    let throttled = throttled_mask >> core & 1 == 1;
+                    let task = &mut self.tasks[tid.index()];
+                    task.stats.busy_time += dt * k;
+                    if !throttled {
+                        match task.jobs.front_mut() {
+                            None => task.stats.useful_time += dt * k,
+                            Some(job) => {
+                                // No completion: every bound stops
+                                // strictly before remaining ≤ dt.
+                                job.remaining -= dt * k;
+                                task.stats.useful_time += dt.min(task.spec.cost.cpu) * k;
+                            }
+                        }
+                    }
+                    task.slice_used += dt * k;
+                    self.cores[core].busy += dt * k;
+                    if throttled {
+                        self.cores[core].throttled += dt * k;
+                    }
+                }
+                self.tasks[rid.index()].vruntime = vr;
+                self.now += dt * k;
+                leaped += k;
+            }
+            match stop_reason {
+                FairLeapStop::Rotation => {
+                    // The stepped path would re-place the fair class at
+                    // this quantum; under the pinned inputs that is the
+                    // ladder-head swap. (A fresh capture is sorted, so
+                    // a rotation always advances ≥ 1 quantum — no spin.)
+                    if k == 0 {
+                        break 'segments;
+                    }
+                    self.obs.dispatch_recomputes += 1;
+                    let pair = ((vr * 1e9) as u64, rid.0);
+                    let mut i = 0;
+                    while i + 1 < self.fair_order.len() && self.fair_order[i + 1] < pair {
+                        self.fair_order[i] = self.fair_order[i + 1];
+                        i += 1;
+                    }
+                    self.fair_order[i] = pair;
+                    rid = TaskId(self.fair_order[0].1);
+                    self.assignment[fair_core] = Some(rid);
+                }
+                FairLeapStop::Cap | FairLeapStop::Bound => break 'segments,
+            }
+        }
+        leaped
+    }
+
     /// The general span leap: several cores with live memory demand,
     /// streaming tasks, multiple runnable fair tasks — regimes where
     /// per-quantum progress is state-dependent and nothing multiplies
@@ -937,40 +1165,29 @@ impl Machine {
     /// is provably inert: no release is due (caller bound), the ready
     /// set cannot transition (no completion — checked before every
     /// quantum — no RR expiry, no external call), and the placement is
-    /// pinned (epoch unchanged; with several fair tasks their dispatch
-    /// order is re-checked for stability every quantum). Stops — leaving
-    /// the quantum to the stepped path — before any quantum that could
-    /// complete a job, cap a MemGuard budget, or reorder the fair class.
+    /// pinned between fair rotations (epoch unchanged; with several fair
+    /// tasks their dispatch order is re-checked for stability every
+    /// quantum, and on a rotation the placement is re-derived in-span by
+    /// the same full recomputation the stepped path would run — multiple
+    /// runnable fair tasks recompute every quantum either way, so the
+    /// refreshed placement is the identical pure function of the same
+    /// inputs). Stops — leaving the quantum to the stepped path — before
+    /// any quantum that could complete a job or cap a MemGuard budget,
+    /// and on rotations that hand a core to a round-robin task (slice
+    /// bounds were derived for the entry placement).
     fn leap_replay_span(&mut self, max_k: u64, multi_fair: bool, throttled_mask: u64) -> u64 {
         let dt = self.config.quantum;
-        // The fixed demand set of the pinned assignment — what `step`
+        let mut throttled_mask = throttled_mask;
+        // The demand set of the current assignment — what `step`
         // rebuilds every quantum.
-        self.demands.clear();
-        self.demands
-            .resize(self.config.n_cores, CoreDemand::default());
-        for (core, slot) in self.assignment.iter().enumerate() {
-            if let Some(tid) = slot {
-                let cost = &self.tasks[tid.index()].spec.cost;
-                self.demands[core] = CoreDemand {
-                    bandwidth: cost.mem_bandwidth,
-                    stall_fraction: cost.stall_fraction,
-                    streaming: cost.streaming,
-                };
-            }
-        }
+        self.rebuild_demands();
         if multi_fair {
-            // Span-start fair dispatch order, exactly as
-            // `compute_assignment` sorts it: (quantized vruntime, id).
-            self.fair_order.clear();
-            for &id in &self.ready.fair {
-                let key = (self.tasks[id.index()].vruntime * 1e9) as u64;
-                self.fair_order.push((key, id.0));
-            }
-            self.fair_order.sort_unstable();
+            self.capture_fair_order();
         }
 
+        let mut bound = max_k;
         let mut leaped = 0u64;
-        'quanta: while leaped < max_k {
+        'quanta: while leaped < bound {
             // --- stop checks: nothing may be mutated past this point if
             // --- the quantum could diverge from a replay.
             if multi_fair {
@@ -978,12 +1195,55 @@ impl Machine {
                 // sorted under the current vruntimes (only running tasks'
                 // keys moved, and only upward).
                 let mut prev = (0u64, 0u32);
+                let mut rotated = false;
                 for (n, &(_, raw)) in self.fair_order.iter().enumerate() {
                     let key = (self.tasks[TaskId(raw).index()].vruntime * 1e9) as u64;
                     if n > 0 && (key, raw) < prev {
-                        break 'quanta;
+                        rotated = true;
+                        break;
                     }
                     prev = (key, raw);
+                }
+                if rotated {
+                    // The fair class dispatches in a different order this
+                    // quantum. The stepped path handles that with a full
+                    // recomputation (several runnable fair tasks recompute
+                    // every quantum); running the identical recomputation
+                    // here keeps the span alive across the rotation. Every
+                    // per-core span bound is then re-derived for the new
+                    // placement; a bound that cannot be re-proven leaves
+                    // the recomputed (but untouched) state to the stepped
+                    // path — exactly what its own dispatch would produce.
+                    self.obs.dispatch_recomputes += 1;
+                    self.compute_assignment();
+                    self.last_assign_epoch = Some(self.ready.epoch);
+                    self.rebuild_demands();
+                    throttled_mask = 0;
+                    for core in 0..self.assignment.len() {
+                        let Some(tid) = self.assignment[core] else {
+                            continue;
+                        };
+                        if matches!(
+                            self.tasks[tid.index()].spec.policy,
+                            SchedPolicy::RoundRobin { .. }
+                        ) {
+                            break 'quanta;
+                        }
+                        if self.memory.core_exhausted(core) {
+                            let Some(nr) = self.memory.next_replenish_time() else {
+                                break 'quanta;
+                            };
+                            if nr <= self.now {
+                                break 'quanta;
+                            }
+                            bound = bound.min(leaped + self.quanta_before(nr));
+                            throttled_mask |= 1 << core;
+                        }
+                    }
+                    if leaped >= bound {
+                        break 'quanta;
+                    }
+                    self.capture_fair_order();
                 }
             }
             for core in 0..self.assignment.len() {
@@ -1040,6 +1300,38 @@ impl Machine {
             leaped += 1;
         }
         leaped
+    }
+
+    /// Rebuilds the per-core [`CoreDemand`] set from the current
+    /// assignment — the exact construction [`Machine::step`] performs
+    /// every quantum before handing the demands to the memory system.
+    fn rebuild_demands(&mut self) {
+        self.demands.clear();
+        self.demands
+            .resize(self.config.n_cores, CoreDemand::default());
+        for (core, slot) in self.assignment.iter().enumerate() {
+            if let Some(tid) = slot {
+                let cost = &self.tasks[tid.index()].spec.cost;
+                self.demands[core] = CoreDemand {
+                    bandwidth: cost.mem_bandwidth,
+                    stall_fraction: cost.stall_fraction,
+                    streaming: cost.streaming,
+                };
+            }
+        }
+    }
+
+    /// Captures the fair dispatch order exactly as
+    /// [`Machine::compute_assignment`] sorts it: (quantized vruntime,
+    /// id). The replay span re-checks this capture for stability before
+    /// every quantum.
+    fn capture_fair_order(&mut self) {
+        self.fair_order.clear();
+        for &id in &self.ready.fair {
+            let key = (self.tasks[id.index()].vruntime * 1e9) as u64;
+            self.fair_order.push((key, id.0));
+        }
+        self.fair_order.sort_unstable();
     }
 
     fn release_due_jobs(&mut self, events: &mut Vec<SchedEvent>) {
@@ -1138,33 +1430,46 @@ impl Machine {
     /// off the incrementally maintained buckets; only the (few) runnable
     /// fair tasks are ordered at dispatch time, because vruntime moves
     /// every quantum.
+    ///
+    /// The RT phase is cached against the ready epoch: an epoch match
+    /// means both ready classes kept their membership and RT order, so
+    /// the RT prefix (and the free-core mask it leaves) is byte-for-byte
+    /// what a fresh walk would produce and only the fair fill — whose
+    /// vruntime keys move every quantum — runs again. Multi-fair
+    /// dispatch recomputes every quantum, which makes this the hot path
+    /// of fair-saturated windows (the paper's flooded container).
     fn compute_assignment(&mut self) {
-        let n_cores = self.config.n_cores;
+        if self.rt_epoch != Some(self.ready.epoch) {
+            let n_cores = self.config.n_cores;
+            let tasks = &self.tasks;
+            let rt_assignment = &mut self.rt_assignment;
+            rt_assignment.clear();
+            rt_assignment.resize(n_cores, None);
+            // Bit `i` set = core `i` still free; "first free core the
+            // affinity allows" is one AND + trailing_zeros.
+            let mut free_mask: u64 = if n_cores >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << n_cores) - 1
+            };
+            self.ready.for_each_rt(|tid| {
+                let allowed = tasks[tid.index()].spec.affinity.bits() & free_mask;
+                if allowed != 0 {
+                    let core = allowed.trailing_zeros() as usize;
+                    rt_assignment[core] = Some(tid);
+                    free_mask &= !(1 << core);
+                }
+                free_mask != 0
+            });
+            self.rt_free_mask = free_mask;
+            self.rt_epoch = Some(self.ready.epoch);
+        }
+
         let tasks = &self.tasks;
         let assignment = &mut self.assignment;
         assignment.clear();
-        assignment.resize(n_cores, None);
-        // Bit `i` set = core `i` still free; "first free core the affinity
-        // allows" is one AND + trailing_zeros.
-        let mut free_mask: u64 = if n_cores >= 64 {
-            u64::MAX
-        } else {
-            (1u64 << n_cores) - 1
-        };
-
-        let mut place = |tid: TaskId, free_mask: &mut u64| {
-            let allowed = tasks[tid.index()].spec.affinity.bits() & *free_mask;
-            if allowed != 0 {
-                let core = allowed.trailing_zeros() as usize;
-                assignment[core] = Some(tid);
-                *free_mask &= !(1 << core);
-            }
-        };
-
-        self.ready.for_each_rt(|tid| {
-            place(tid, &mut free_mask);
-            free_mask != 0
-        });
+        assignment.extend_from_slice(&self.rt_assignment);
+        let mut free_mask = self.rt_free_mask;
 
         if free_mask != 0 && !self.ready.fair.is_empty() {
             self.fair_scratch.clear();
@@ -1178,7 +1483,12 @@ impl Machine {
                 self.fair_scratch.sort_unstable();
             }
             for &(_, raw) in &self.fair_scratch {
-                place(TaskId(raw), &mut free_mask);
+                let allowed = tasks[TaskId(raw).index()].spec.affinity.bits() & free_mask;
+                if allowed != 0 {
+                    let core = allowed.trailing_zeros() as usize;
+                    assignment[core] = Some(TaskId(raw));
+                    free_mask &= !(1 << core);
+                }
                 if free_mask == 0 {
                     break;
                 }

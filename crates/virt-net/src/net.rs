@@ -95,6 +95,16 @@ impl PacketBuf {
             PacketBuf::Shared(a) => a,
         }
     }
+
+    /// The shared buffer behind this payload, if it is one (flood
+    /// fan-out). Receivers use pointer identity on it to recognise a
+    /// byte-identical datagram they have already parsed.
+    pub fn shared(&self) -> Option<&Arc<[u8]>> {
+        match self {
+            PacketBuf::Owned(_) => None,
+            PacketBuf::Shared(a) => Some(a),
+        }
+    }
 }
 
 impl std::ops::Deref for PacketBuf {
@@ -207,6 +217,30 @@ enum Queued {
         payload: Arc<[u8]>,
         sent: SimTime,
     },
+    /// A whole flood *span* as one entry: `batches` consecutive quanta,
+    /// each sending `per_batch` identical packets. Batch `b`'s packets
+    /// are sent at `sent + batch_stride*b` and arrive `ser` apart, so
+    /// the packet stream is byte-for-byte what per-quantum
+    /// [`Network::send_shared`] calls at those times would have queued —
+    /// see [`Network::send_paced`] for the preconditions that make the
+    /// single-entry encoding exact.
+    Paced {
+        next_arrival: SimTime,
+        /// In-batch arrival stride (one serialisation time).
+        ser: SimDuration,
+        /// Sent-time stride between consecutive batches.
+        batch_stride: SimDuration,
+        per_batch: u64,
+        /// Packets already shed from the current batch.
+        batch_pos: u64,
+        /// Total packets left across all remaining batches.
+        remaining: u64,
+        src: Addr,
+        dst: Addr,
+        payload: Arc<[u8]>,
+        /// Sent time of the current batch.
+        sent: SimTime,
+    },
 }
 
 impl Queued {
@@ -215,6 +249,16 @@ impl Queued {
         match self {
             Queued::One { arrival, .. } => *arrival,
             Queued::Burst { next_arrival, .. } => *next_arrival,
+            Queued::Paced { next_arrival, .. } => *next_arrival,
+        }
+    }
+
+    /// Destination of the entry's packets (an RLE entry has one).
+    fn dst(&self) -> Addr {
+        match self {
+            Queued::One { pkt, .. } => pkt.dst,
+            Queued::Burst { dst, .. } => *dst,
+            Queued::Paced { dst, .. } => *dst,
         }
     }
 }
@@ -381,6 +425,85 @@ impl Link {
                 }
                 Some((arrival, pkt))
             }
+            Queued::Paced {
+                next_arrival,
+                ser,
+                batch_stride,
+                per_batch,
+                batch_pos,
+                remaining,
+                src,
+                dst,
+                payload,
+                sent,
+            } => {
+                let arrival = *next_arrival;
+                let pkt = Packet {
+                    src: *src,
+                    dst: *dst,
+                    payload: PacketBuf::Shared(Arc::clone(payload)),
+                    sent: *sent,
+                };
+                *batch_pos += 1;
+                if *batch_pos == *per_batch {
+                    // Cross a batch boundary: the next packet is the first
+                    // of a batch sent one quantum later, whose arrival is
+                    // `sent + batch_stride + ser + latency`, i.e. this
+                    // arrival plus the stride minus the in-batch walk.
+                    *batch_pos = 0;
+                    *sent += *batch_stride;
+                    *next_arrival = arrival + *batch_stride - *ser * (*per_batch - 1);
+                } else {
+                    *next_arrival = arrival + *ser;
+                }
+                *remaining -= 1;
+                if *remaining == 0 {
+                    dir.queue.pop_front();
+                }
+                Some((arrival, pkt))
+            }
+        }
+    }
+
+    /// Removes `k` packets from the front RLE entry after a bulk
+    /// settlement delivered them; the entry's cursors advance exactly as
+    /// `k` [`Link::pop_due`] calls would have moved them.
+    fn consume_front(&mut self, forward: bool, k: u64) {
+        let dir = self.dir_mut(forward);
+        dir.queued_packets -= k as usize;
+        let done = match dir.queue.front_mut() {
+            Some(Queued::Burst {
+                next_arrival,
+                stride,
+                remaining,
+                ..
+            }) => {
+                *next_arrival += *stride * k;
+                *remaining -= k;
+                *remaining == 0
+            }
+            Some(Queued::Paced {
+                next_arrival,
+                batch_stride,
+                per_batch,
+                batch_pos,
+                remaining,
+                sent,
+                ..
+            }) => {
+                // Bulk settlement only engages on uniform arrival
+                // strides, which for a paced entry means one packet per
+                // batch; the cursor walk is then whole batches.
+                debug_assert!(*per_batch == 1 && *batch_pos == 0);
+                *next_arrival += *batch_stride * k;
+                *sent += *batch_stride * k;
+                *remaining -= k;
+                *remaining == 0
+            }
+            _ => unreachable!("consume_front follows a span peek"),
+        };
+        if done {
+            dir.queue.pop_front();
         }
     }
 }
@@ -444,6 +567,10 @@ pub struct Network {
     /// Optional shared live counters (see [`NetCounters`]); `None` — the
     /// default — keeps the admission path free of atomic traffic.
     counters: Option<NetCounters>,
+    /// Inverted so the derived `Default` enables bulk settlement: `true`
+    /// forces [`Network::step`] onto the packet-by-packet reference path
+    /// (the permanent `--no-bulk` equivalence witness).
+    no_bulk: bool,
     now: SimTime,
 }
 
@@ -467,6 +594,14 @@ pub struct NetCounters {
 impl NetCounters {
     fn bump(counter: &std::sync::atomic::AtomicU64) {
         counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Batch counterpart of [`NetCounters::bump`] for bulk settlement —
+    /// one atomic add accounts a whole span's worth of packets.
+    fn add(counter: &std::sync::atomic::AtomicU64, n: u64) {
+        if n > 0 {
+            counter.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        }
     }
 }
 
@@ -824,6 +959,132 @@ impl Network {
         Ok(())
     }
 
+    /// Emits a whole flood *span* in one call: `batches` consecutive
+    /// quanta `stride` apart starting at `first`, each offering
+    /// `per_batch` copies of one shared payload. Semantically identical
+    /// to calling [`Network::send_shared`] once per batch at those
+    /// (historical) times — the caller is a time-leap executor replaying
+    /// an attack span it proved free of interleaved traffic on this
+    /// route, which is what makes emitting after the fact exact.
+    ///
+    /// When the serialiser is free at `first`, a batch serialises within
+    /// its stride (`per_batch·ser ≤ stride`) and the whole span fits the
+    /// transmit queue, the span collapses into a single
+    /// run-length-encoded entry (O(1) in packets); otherwise it falls
+    /// back to per-batch enqueues, which reproduce the reference
+    /// serialiser/capacity behaviour construct-for-construct. Returns
+    /// `true` on the collapsed path, `false` on the fallback — callers
+    /// never need to branch on it, it exists for tests to pin both.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::send`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_paced(
+        &mut self,
+        socket: SocketId,
+        dst: Addr,
+        payload: &Arc<[u8]>,
+        per_batch: u64,
+        batches: u64,
+        first: SimTime,
+        stride: SimDuration,
+    ) -> Result<bool, NetError> {
+        if per_batch == 0 || batches == 0 {
+            return Ok(true);
+        }
+        let src = self
+            .sockets
+            .get(socket.0 as usize)
+            .ok_or(NetError::BadSocket)?
+            .addr;
+        let dst = self.port_maps.get(&dst).copied().unwrap_or(dst);
+        if src.ns == dst.ns {
+            // Loopback: deliver each batch at its historical send time,
+            // exactly as the per-quantum calls would have.
+            for b in 0..batches {
+                let t = first + stride * b;
+                for _ in 0..per_batch {
+                    self.total_sent += 1;
+                    let pkt = Packet {
+                        src,
+                        dst,
+                        payload: PacketBuf::Shared(Arc::clone(payload)),
+                        sent: t,
+                    };
+                    self.deliver_local(pkt, t, false);
+                }
+            }
+            return Ok(false);
+        }
+        let link_idx = self.route(src.ns, dst.ns).ok_or(NetError::NoRoute {
+            from: src.ns,
+            to: dst.ns,
+        })?;
+        let link = &mut self.links[link_idx];
+        let forward = link.a == src.ns;
+        let ser = SimDuration::from_secs_f64(payload.len() as f64 / link.config.bandwidth);
+        let total = per_batch * batches;
+        let capacity = link.config.queue_capacity;
+        let latency = link.config.latency;
+        let dir = link.dir_mut(forward);
+        let collapsible = dir.tx_free <= first
+            && ser * per_batch <= stride
+            && capacity.saturating_sub(dir.queued_packets) as u64 >= total;
+        if collapsible {
+            // Proof the single entry is exact: the serialiser is free at
+            // every batch's send time (free at `first`, and each batch
+            // finishes `stride - per_batch·ser ≥ 0` before the next), so
+            // batch `b`'s packet `j` arrives at
+            // `first + stride·b + (j+1)·ser + latency` — the progression
+            // the entry's cursors walk — and capacity admits everything,
+            // so no drop decision is being skipped.
+            self.total_sent += total;
+            dir.queued_packets += total as usize;
+            dir.tx_free = first + stride * (batches - 1) + ser * per_batch;
+            dir.queue.push_back(Queued::Paced {
+                next_arrival: first + ser + latency,
+                ser,
+                batch_stride: stride,
+                per_batch,
+                batch_pos: 0,
+                remaining: total,
+                src,
+                dst,
+                payload: Arc::clone(payload),
+                sent: first,
+            });
+            return Ok(true);
+        }
+        self.total_sent += total;
+        for b in 0..batches {
+            let t = first + stride * b;
+            let link = &mut self.links[link_idx];
+            link.enqueue_burst(forward, src, dst, payload, per_batch, ser, t);
+        }
+        Ok(false)
+    }
+
+    /// Transmit-queue headroom from `socket` toward `dst`: how many more
+    /// packets the connecting link direction accepts before capacity
+    /// drops begin. `None` for a loopback, unrouted or stale endpoint —
+    /// a span planner must treat those as "no span".
+    pub fn pace_headroom(&self, socket: SocketId, dst: Addr) -> Option<u64> {
+        let src = self.sockets.get(socket.0 as usize)?.addr;
+        let dst = self.port_maps.get(&dst).copied().unwrap_or(dst);
+        if src.ns == dst.ns {
+            return None;
+        }
+        let li = self.route(src.ns, dst.ns)?;
+        let link = &self.links[li];
+        let dir = if link.a == src.ns { &link.ab } else { &link.ba };
+        Some(
+            link.config
+                .queue_capacity
+                .saturating_sub(dir.queued_packets) as u64,
+        )
+    }
+
     /// Delivers one packet to its destination socket (rate limit, then
     /// receive-queue admission), recycling the payload on any drop.
     /// `notify` adds the delivery to the current step's [`Delivery`] list
@@ -878,15 +1139,197 @@ impl Network {
         }
     }
 
+    /// Settles a run of due packets from the front RLE entry of one link
+    /// direction in a single pass: one destination lookup, batched
+    /// statistics, and closed-form token-bucket accounting where the
+    /// bucket state permits. Packet-for-packet identical to the
+    /// [`Link::pop_due`] + [`Network::deliver_local`] loop:
+    ///
+    /// * only the *front* entry's due prefix is taken, so FIFO order
+    ///   with later entries and other directions is untouched;
+    /// * admissions evaluate at the same arrival times in the same
+    ///   order ([`TokenBucket::admit_span`] is bit-exact);
+    /// * receive-queue pushes carry each packet's own sent time, and a
+    ///   full queue mid-run degrades to pure counting — the remaining
+    ///   admissions still burn tokens, exactly as the per-packet path
+    ///   admits then overflows.
+    ///
+    /// Returns `false` (no state change) when the front entry is not an
+    /// RLE run with ≥ 2 due packets on a uniform arrival stride; the
+    /// caller then falls back to the per-packet pop.
+    fn try_settle_span(&mut self, li: usize, forward: bool, target: SimTime) -> bool {
+        let link = &self.links[li];
+        let dir = if forward { &link.ab } else { &link.ba };
+        let Some(front) = dir.queue.front() else {
+            return false;
+        };
+        let (first, stride, remaining, src, dst, sent0, sent_stride) = match front {
+            Queued::One { .. } => return false,
+            Queued::Burst {
+                next_arrival,
+                stride,
+                remaining,
+                src,
+                dst,
+                sent,
+                ..
+            } => (
+                *next_arrival,
+                *stride,
+                *remaining,
+                *src,
+                *dst,
+                *sent,
+                SimDuration::ZERO,
+            ),
+            Queued::Paced {
+                next_arrival,
+                batch_stride,
+                per_batch,
+                remaining,
+                src,
+                dst,
+                sent,
+                ..
+            } => {
+                if *per_batch != 1 {
+                    // Nested strides: arrival deltas alternate, so the
+                    // uniform-stride bulk math does not apply.
+                    return false;
+                }
+                (
+                    *next_arrival,
+                    *batch_stride,
+                    *remaining,
+                    *src,
+                    *dst,
+                    *sent,
+                    *batch_stride,
+                )
+            }
+        };
+        if first > target || stride.as_nanos() == 0 {
+            return false;
+        }
+        let due = 1 + (target - first).as_nanos() / stride.as_nanos();
+        let k = remaining.min(due);
+        if k < 2 {
+            return false;
+        }
+
+        // Resolve the destination once (same memo discipline as
+        // `deliver_local`).
+        let idx = match self.memo {
+            Some((addr, i)) if addr == dst => Some(i),
+            _ => match self.addr_index.get(&dst) {
+                Some(&i) => {
+                    self.memo = Some((dst, i));
+                    Some(i)
+                }
+                None => None,
+            },
+        };
+        let Some(i) = idx else {
+            // Unbound destination: the whole run vanishes (shared
+            // payloads are refcounts, nothing to recycle).
+            self.links[li].consume_front(forward, k);
+            return true;
+        };
+
+        let payload = match front {
+            Queued::Burst { payload, .. } | Queued::Paced { payload, .. } => Arc::clone(payload),
+            Queued::One { .. } => unreachable!("matched RLE above"),
+        };
+        let payload_len = payload.len() as u64;
+
+        let s = &mut self.sockets[i as usize];
+        let mut dropped_rl = 0u64;
+        let mut overflow = 0u64;
+        let mut pushed = 0u64;
+
+        let mut j = 0u64;
+        let mut arrival = first;
+        let mut sent = sent0;
+        // Per-packet decisions only while the receive queue has room —
+        // each push must carry its packet's own sent time. Once the
+        // queue is full nothing else can enter this step (no consumer
+        // runs mid-settlement), so the remainder is pure counting.
+        while j < k && s.rx.len() < s.rx_capacity {
+            let admit = match &mut s.rate_limit {
+                Some(tb) => tb.admit(arrival),
+                None => true,
+            };
+            if admit {
+                s.stats.delivered += 1;
+                s.stats.bytes_delivered += payload_len;
+                s.rx.push_back(Packet {
+                    src,
+                    dst,
+                    payload: PacketBuf::Shared(Arc::clone(&payload)),
+                    sent,
+                });
+                pushed += 1;
+            } else {
+                dropped_rl += 1;
+            }
+            arrival += stride;
+            sent += sent_stride;
+            j += 1;
+        }
+        if j < k {
+            // Queue full: admissions still consume tokens (the
+            // per-packet path admits, then drops on overflow), so the
+            // token-bucket span math accounts the rest in one shot.
+            let rest = k - j;
+            let admitted = match &mut s.rate_limit {
+                Some(tb) => tb.admit_span(arrival, stride, rest),
+                None => rest,
+            };
+            dropped_rl += rest - admitted;
+            overflow += admitted;
+        }
+        s.stats.dropped_ratelimit += dropped_rl;
+        s.stats.dropped_overflow += overflow;
+        if let Some(c) = &self.counters {
+            NetCounters::add(&c.admitted, pushed);
+            NetCounters::add(&c.dropped_ratelimit, dropped_rl);
+            NetCounters::add(&c.dropped_overflow, overflow);
+        }
+        if pushed > 0 {
+            if self.delivered_counts[i as usize] == 0 {
+                self.touched.push(i);
+            }
+            self.delivered_counts[i as usize] += pushed as usize;
+        }
+        self.links[li].consume_front(forward, k);
+        true
+    }
+
     /// Advances the network to `target`, delivering due packets. Returns
     /// one [`Delivery`] per socket that received datagrams, sorted by
     /// socket id; the slice is backed by scratch storage reused across
     /// steps.
+    ///
+    /// A run-length-encoded front entry (a flood burst or paced span)
+    /// with several due packets is settled in bulk — admission, drop and
+    /// delivery counts for the whole run computed together (closed form
+    /// where the token-bucket state permits, see
+    /// [`TokenBucket::admit_span`]) — unless bulk settlement is disabled
+    /// ([`Network::set_bulk`]), which pins the packet-by-packet
+    /// reference path. The [`Delivery`] list is identical either way:
+    /// it was already aggregated per socket per step.
     pub fn step(&mut self, target: SimTime) -> &[Delivery] {
+        let bulk = !self.no_bulk;
         for li in 0..self.links.len() {
             for dir in 0..2 {
-                while let Some((arrival, pkt)) = self.links[li].pop_due(dir == 0, target) {
-                    self.deliver_local(pkt, arrival, true);
+                loop {
+                    if bulk && self.try_settle_span(li, dir == 0, target) {
+                        continue;
+                    }
+                    match self.links[li].pop_due(dir == 0, target) {
+                        Some((arrival, pkt)) => self.deliver_local(pkt, arrival, true),
+                        None => break,
+                    }
                 }
             }
         }
@@ -929,6 +1372,46 @@ impl Network {
             }
         }
         earliest
+    }
+
+    /// [`Network::next_delivery_time`] restricted to packets *not*
+    /// destined for `excluded` — the planning hint for a flood span
+    /// whose deliveries to one inert endpoint are provably safe to
+    /// cross (admission is evaluated at arrival times, so settling them
+    /// late is exact; the caller owns that proof).
+    ///
+    /// Within a direction arrivals are monotone, so the first entry not
+    /// addressed to `excluded` carries that direction's earliest
+    /// non-excluded arrival; the scan is per *entry*, and flood spans
+    /// are run-length-encoded into single entries.
+    pub fn next_delivery_time_excluding(&self, excluded: Addr) -> Option<SimTime> {
+        let mut earliest: Option<SimTime> = None;
+        for link in &self.links {
+            for dir in [&link.ab, &link.ba] {
+                for entry in &dir.queue {
+                    if entry.dst() == excluded {
+                        continue;
+                    }
+                    let t = entry.next_arrival();
+                    earliest = Some(earliest.map_or(t, |e| e.min(t)));
+                    break;
+                }
+            }
+        }
+        earliest
+    }
+
+    /// Enables or disables bulk span settlement in [`Network::step`].
+    /// On by default; `false` pins the packet-by-packet reference path
+    /// (`--no-bulk` in the campaign bins), kept forever as the
+    /// equivalence witness the bulk path is byte-diffed against.
+    pub fn set_bulk(&mut self, on: bool) {
+        self.no_bulk = !on;
+    }
+
+    /// `true` while bulk span settlement is enabled (the default).
+    pub fn bulk_enabled(&self) -> bool {
+        !self.no_bulk
     }
 
     /// The earliest instant the ingress rate limit on `dst` would admit a
@@ -1471,5 +1954,215 @@ mod tests {
                 }
             ]
         );
+    }
+
+    /// Deterministic PCG-style generator for the randomized equivalence
+    /// grids — no external crates, identical sequence on every run.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+
+        fn pick(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// Drains both sockets fully and demands byte-identical packet
+    /// streams (payload, sent time, source) plus identical stats.
+    fn assert_drained_equal(a: &mut Network, ra: SocketId, b: &mut Network, rb: SocketId) {
+        assert_eq!(a.socket_stats(ra), b.socket_stats(rb), "socket stats");
+        loop {
+            match (a.recv(ra), b.recv(rb)) {
+                (None, None) => break,
+                (Some(p), Some(q)) => {
+                    assert_eq!(p.payload.as_slice(), q.payload.as_slice(), "payload");
+                    assert_eq!(p.sent, q.sent, "sent time");
+                    assert_eq!(p.src, q.src, "source");
+                }
+                (p, q) => panic!(
+                    "stream lengths diverge: {:?} vs {:?}",
+                    p.is_some(),
+                    q.is_some()
+                ),
+            }
+        }
+    }
+
+    /// The satellite equivalence grid: bulk settlement vs the per-packet
+    /// reference across random token-bucket configs, link capacities,
+    /// interleaved non-burst traffic from a *second* link into the same
+    /// rate-limited port (exercising the non-uniform bucket-clock
+    /// fallback), mid-run drains, and random step boundaries. Frames,
+    /// stats, drop counts and delivery order must be byte-equal.
+    #[test]
+    fn bulk_settlement_matches_per_packet_reference_across_grid() {
+        let mut rng = Lcg(0x5eed_cafe_f00d_0001);
+        for round in 0..60 {
+            let queue_cap = [4usize, 32, 300, 2048][rng.pick(4) as usize];
+            let rx_cap = [2usize, 16, 256, 10_000][rng.pick(4) as usize];
+            let bandwidth = [1.0e5, 2.0e6, 125.0e6][rng.pick(3) as usize];
+            let latency = SimDuration::from_micros([0u64, 10, 2000][rng.pick(3) as usize]);
+            let limit = match rng.pick(4) {
+                0 => None,
+                1 => Some((50.0, 10.0)),
+                2 => Some((2000.0, 200.0)),
+                _ => Some((250_000.0, 1.0)),
+            };
+            let build = |bulk: bool| {
+                let mut net = Network::new();
+                let a = net.add_namespace("a");
+                let b = net.add_namespace("b");
+                let c = net.add_namespace("c");
+                let cfg = LinkConfig {
+                    latency,
+                    bandwidth,
+                    queue_capacity: queue_cap,
+                };
+                net.connect(a, b, cfg);
+                net.connect(c, b, cfg);
+                let dst = Addr { ns: b, port: 1 };
+                if let Some((pps, burst)) = limit {
+                    net.add_rate_limit(dst, pps, burst);
+                }
+                let rx = net.bind_with_capacity(b, 1, rx_cap).unwrap();
+                let tx_a = net.bind(a, 2).unwrap();
+                let tx_c = net.bind(c, 2).unwrap();
+                net.set_bulk(bulk);
+                (net, rx, tx_a, tx_c, dst)
+            };
+            let (mut bulk, rx_b, txa_b, txc_b, dst) = build(true);
+            let (mut refr, rx_r, txa_r, txc_r, _) = build(false);
+            let payload: Arc<[u8]> = vec![round as u8; 1 + rng.pick(80) as usize].into();
+
+            let mut now = SimTime::ZERO;
+            for _ in 0..30 {
+                now += SimDuration::from_micros(rng.pick(4000));
+                match rng.pick(6) {
+                    0 | 1 => {
+                        let count = 1 + rng.pick(400);
+                        bulk.send_shared(txa_b, dst, &payload, count, now).unwrap();
+                        refr.send_shared(txa_r, dst, &payload, count, now).unwrap();
+                    }
+                    2 => {
+                        // Interleaved individual traffic on the same dir.
+                        bulk.send(txa_b, dst, payload.to_vec(), now).unwrap();
+                        refr.send(txa_r, dst, payload.to_vec(), now).unwrap();
+                    }
+                    3 => {
+                        // Cross-link traffic into the same rate-limited
+                        // port: the bucket clock advances out of band.
+                        let count = 1 + rng.pick(50);
+                        bulk.send_shared(txc_b, dst, &payload, count, now).unwrap();
+                        refr.send_shared(txc_r, dst, &payload, count, now).unwrap();
+                    }
+                    4 => {
+                        let d_b: Vec<Delivery> = bulk.step(now).to_vec();
+                        let d_r: Vec<Delivery> = refr.step(now).to_vec();
+                        assert_eq!(d_b, d_r, "deliveries diverged at {now:?}");
+                    }
+                    _ => {
+                        // Mid-run partial drain frees receive-queue space.
+                        for _ in 0..rng.pick(8) {
+                            match (bulk.recv(rx_b), refr.recv(rx_r)) {
+                                (None, None) => break,
+                                (Some(p), Some(q)) => {
+                                    assert_eq!(p.sent, q.sent);
+                                    assert_eq!(p.payload.as_slice(), q.payload.as_slice());
+                                }
+                                _ => panic!("drain diverged"),
+                            }
+                        }
+                    }
+                }
+            }
+            let end = now + SimDuration::from_secs(10);
+            assert_eq!(bulk.step(end).to_vec(), refr.step(end).to_vec());
+            assert_eq!(bulk.link_drops(), refr.link_drops(), "link drops");
+            assert_eq!(bulk.packets_sent(), refr.packets_sent());
+            assert_drained_equal(&mut bulk, rx_b, &mut refr, rx_r);
+        }
+    }
+
+    /// `send_paced` (one collapsed span entry, or its per-batch
+    /// fallback) vs the per-quantum `send_shared` loop it replaces:
+    /// byte-equal delivery streams and stats across random strides,
+    /// batch sizes, pre-loaded serialisers and tight queues — with bulk
+    /// settlement on and off.
+    #[test]
+    fn paced_span_matches_per_quantum_shared_sends() {
+        let mut rng = Lcg(0x5eed_cafe_f00d_0002);
+        for round in 0..60 {
+            let queue_cap = [8usize, 64, 1024][rng.pick(3) as usize];
+            let bandwidth = [2.0e6, 125.0e6][rng.pick(2) as usize];
+            let latency = SimDuration::from_micros([5u64, 50][rng.pick(2) as usize]);
+            let limit = match rng.pick(3) {
+                0 => None,
+                1 => Some((900.0, 20.0)),
+                _ => Some((20_000.0, 3.0)),
+            };
+            let bulk_on = rng.pick(2) == 0;
+            let build = |_| {
+                let mut net = Network::new();
+                let a = net.add_namespace("a");
+                let b = net.add_namespace("b");
+                let cfg = LinkConfig {
+                    latency,
+                    bandwidth,
+                    queue_capacity: queue_cap,
+                };
+                net.connect(a, b, cfg);
+                let dst = Addr { ns: b, port: 1 };
+                if let Some((pps, burst)) = limit {
+                    net.add_rate_limit(dst, pps, burst);
+                }
+                let rx = net.bind_with_capacity(b, 1, 4096).unwrap();
+                let tx = net.bind(a, 2).unwrap();
+                net.set_bulk(bulk_on);
+                (net, rx, tx, dst)
+            };
+            let (mut paced, rx_p, tx_p, dst) = build(());
+            let (mut refr, rx_r, tx_r, _) = build(());
+            let payload: Arc<[u8]> = vec![round as u8; 1 + rng.pick(64) as usize].into();
+
+            // Sometimes pre-load the serialiser so the collapsed-entry
+            // precondition fails and the fallback path runs.
+            let first = SimTime::from_micros(100 + rng.pick(500));
+            if rng.pick(3) == 0 {
+                let t0 = SimTime::from_micros(rng.pick(700));
+                paced.send(tx_p, dst, payload.to_vec(), t0).unwrap();
+                refr.send(tx_r, dst, payload.to_vec(), t0).unwrap();
+            }
+            let per_batch = 1 + rng.pick(3);
+            let batches = 1 + rng.pick(120);
+            let stride = SimDuration::from_micros(1 + rng.pick(200));
+
+            paced
+                .send_paced(tx_p, dst, &payload, per_batch, batches, first, stride)
+                .unwrap();
+            for b in 0..batches {
+                refr.send_shared(tx_r, dst, &payload, per_batch, first + stride * b)
+                    .unwrap();
+            }
+
+            // Step through the span at random boundaries, comparing the
+            // delivery notifications along the way.
+            let span_end = first + stride * batches + SimDuration::from_secs(1);
+            let mut now = first;
+            while now < span_end {
+                now += SimDuration::from_micros(1 + rng.pick(40_000));
+                let t = now.min(span_end);
+                assert_eq!(paced.step(t).to_vec(), refr.step(t).to_vec());
+            }
+            assert_eq!(paced.link_drops(), refr.link_drops());
+            assert_eq!(paced.packets_sent(), refr.packets_sent());
+            assert_drained_equal(&mut paced, rx_p, &mut refr, rx_r);
+        }
     }
 }

@@ -1,0 +1,100 @@
+//! Flood-floor regression pins for the Figure 7 UDP-flood scenario.
+//!
+//! PR 10 made flood spans first-class arithmetic objects: the executor
+//! leaps through the attack window in closed form and the network
+//! settles each span's datagrams in bulk. Two properties keep that from
+//! silently rotting:
+//!
+//! - **Leap coverage floor** — the flood window must stay *leapable*.
+//!   If a future change reintroduces per-quantum fallback inside the
+//!   window (a driver losing span capability, a dispatch change that
+//!   declines the fair ladder), coverage collapses from ~70 % toward
+//!   the ~19 % a stepped flood window yields, and the first test fails
+//!   long before anyone reads a BENCH file.
+//! - **Bulk equivalence** — closed-form settlement must be a pure
+//!   mechanical speedup. The second test runs the same flight on both
+//!   settlement paths and demands equality on every observable counter
+//!   *including* the executor stats (bulk may not change what leaps).
+//!
+//! The fleet-level bulk pins live in `crates/fleet/tests/leap.rs`.
+
+use containerdrone::framework::{Scenario, ScenarioConfig};
+use containerdrone::sim::time::{SimDuration, SimTime};
+
+/// The full paper-length flood: 30 s, onset at 8 s, Simplex switch
+/// shortly after — the BENCH `fig7-udp-flood` row's exact configuration.
+fn fig7_full() -> ScenarioConfig {
+    ScenarioConfig::fig7().with_duration(SimDuration::from_secs(30))
+}
+
+/// The time-leap executor must advance at least two thirds of a full
+/// Figure 7 flight's quanta in closed form or replay (measured: ~70 %;
+/// a healthy flight leaps ~73 %, so the flood window costs only a few
+/// points of coverage — that closeness *is* the tentpole).
+#[test]
+fn fig7_leap_coverage_holds_the_floor() {
+    let result = Scenario::new(fig7_full()).run();
+    assert!(result.switch_time.is_some(), "monitor never switched");
+    assert!(
+        result.quanta_leaped * 3 >= result.sim_steps * 2,
+        "fig7 leap coverage fell below 2/3: {} of {} quanta",
+        result.quanta_leaped,
+        result.sim_steps
+    );
+}
+
+/// Bulk flood-span settlement vs the per-packet reference path, on the
+/// leap executor, over the full flood: every observable — telemetry,
+/// parser/socket counters, attack log, task report — and every executor
+/// stat must be byte-identical. Bulk changes delivery mechanics only.
+#[test]
+fn fig7_bulk_and_per_packet_settlement_agree() {
+    let run = |bulk: bool| {
+        let cfg = fig7_full();
+        let end = SimTime::ZERO + cfg.duration;
+        let mut run = Scenario::new(cfg).start();
+        run.set_bulk(bulk);
+        run.advance_to_leap(end);
+        run.finish()
+    };
+    let bulk = run(true);
+    let nobulk = run(false);
+
+    assert_eq!(
+        bulk.telemetry.to_csv(),
+        nobulk.telemetry.to_csv(),
+        "telemetry CSV diverged between settlement paths"
+    );
+    assert_eq!(bulk.sim_steps, nobulk.sim_steps, "sim_steps");
+    assert_eq!(
+        bulk.quanta_leaped, nobulk.quanta_leaped,
+        "bulk must not change what the executor leaps"
+    );
+    assert_eq!(bulk.crash, nobulk.crash, "crash");
+    assert_eq!(bulk.switch_time, nobulk.switch_time, "switch");
+    assert_eq!(bulk.monitor_events, nobulk.monitor_events, "monitor events");
+    assert_eq!(bulk.attack_log, nobulk.attack_log, "attack log");
+    assert_eq!(bulk.flood_sent, nobulk.flood_sent, "flood packets offered");
+    assert_eq!(
+        bulk.hce_parser_stats, nobulk.hce_parser_stats,
+        "parser stats"
+    );
+    assert_eq!(
+        bulk.rx_socket_stats, nobulk.rx_socket_stats,
+        "rx socket stats"
+    );
+    assert_eq!(
+        bulk.net_packets_sent, nobulk.net_packets_sent,
+        "net packets"
+    );
+    assert_eq!(bulk.task_report, nobulk.task_report, "task report");
+
+    // Non-degeneracy: the flood really ran and the bulk path really had
+    // spans to settle.
+    assert!(bulk.switch_time.is_some(), "monitor never switched");
+    assert!(
+        bulk.flood_sent > 300_000,
+        "flood offered only {} packets over the window",
+        bulk.flood_sent
+    );
+}

@@ -91,8 +91,19 @@ fn fig6_failover_matches_stepped() {
 
 #[test]
 fn fig7_matches_stepped() {
-    let cfg = ScenarioConfig::fig7().with_duration(SimDuration::from_secs(8));
-    assert_leap_equivalent(cfg, "fig7");
+    // 12 s covers flood onset (8 s), the simplex switch (~8.6 s) and a
+    // multi-second stretch of post-switch flood steady state — the
+    // window where the flood-span fast path batches the emitter's
+    // per-quantum traffic. 8 s would stop at onset and never exercise
+    // it.
+    let cfg = ScenarioConfig::fig7().with_duration(SimDuration::from_secs(12));
+    let leaped = assert_leap_equivalent(cfg, "fig7");
+    // 0–8 s healthy (leaps), 8 s–switch per-quantum (rx alive), then
+    // flood spans: well over half the 240k quanta must leap.
+    assert!(
+        leaped > 120_000,
+        "flood window must leap via flood spans, leaped only {leaped}"
+    );
 }
 
 #[test]
